@@ -1,0 +1,93 @@
+// PSS data-structure micro-benchmarks (google-benchmark): view merges with
+// and without the Π bias, overlay metric computation, backlog churn.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nylon/pss.hpp"
+#include "pss/metrics.hpp"
+#include "pss/view.hpp"
+#include "wcl/backlog.hpp"
+
+namespace whisper {
+namespace {
+
+nylon::PssEntry make_entry(Rng& rng) {
+  nylon::PssEntry e;
+  e.card.id = NodeId{rng.next_below(10000) + 1};
+  e.card.is_public = rng.next_bool(0.3);
+  e.age = static_cast<std::uint32_t>(rng.next_below(30));
+  return e;
+}
+
+void BM_ViewMerge(benchmark::State& state) {
+  const auto pi = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  pss::View<nylon::PssEntry> view(10);
+  for (int i = 0; i < 10; ++i) view.insert(make_entry(rng));
+  std::vector<nylon::PssEntry> received;
+  for (int i = 0; i < 5; ++i) received.push_back(make_entry(rng));
+  Rng merge_rng(99);
+  for (auto _ : state) {
+    pss::View<nylon::PssEntry> v = view;
+    v.merge(received, NodeId{99999}, pi, merge_rng);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ViewMerge)->Arg(0)->Arg(3);
+
+void BM_ViewRandomSubset(benchmark::State& state) {
+  Rng rng(2);
+  pss::View<nylon::PssEntry> view(20);
+  for (int i = 0; i < 20; ++i) view.insert(make_entry(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.random_subset(5, rng));
+  }
+}
+BENCHMARK(BM_ViewRandomSubset);
+
+void BM_ClusteringCoefficient(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(3);
+  pss::OverlayGraph graph;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    std::vector<NodeId> nbrs;
+    for (int j = 0; j < 10; ++j) nbrs.push_back(NodeId{rng.next_below(n) + 1});
+    graph[NodeId{i}] = std::move(nbrs);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pss::clustering_coefficients(graph));
+  }
+}
+BENCHMARK(BM_ClusteringCoefficient)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_InDegrees(benchmark::State& state) {
+  Rng rng(4);
+  pss::OverlayGraph graph;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    std::vector<NodeId> nbrs;
+    for (int j = 0; j < 10; ++j) nbrs.push_back(NodeId{rng.next_below(1000) + 1});
+    graph[NodeId{i}] = std::move(nbrs);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pss::in_degrees(graph));
+  }
+}
+BENCHMARK(BM_InDegrees)->Unit(benchmark::kMicrosecond);
+
+void BM_BacklogPush(benchmark::State& state) {
+  Rng rng(5);
+  wcl::ConnectionBacklog cb(20);
+  wcl::CbEntry e;
+  for (auto _ : state) {
+    e.card.id = NodeId{rng.next_below(40) + 1};
+    e.card.is_public = rng.next_bool(0.3);
+    cb.push(e);
+    benchmark::DoNotOptimize(cb);
+  }
+}
+BENCHMARK(BM_BacklogPush);
+
+}  // namespace
+}  // namespace whisper
+
+BENCHMARK_MAIN();

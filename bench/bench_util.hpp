@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "whisper/testbed.hpp"
+
+namespace whisper::bench {
+
+inline void banner(const std::string& title, const std::string& paper_shape) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper-reports: %s\n", paper_shape.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Parse "--nodes=200"-style overrides (small defaults keep CI fast; pass
+/// the paper-scale values to reproduce the original experiment sizes).
+inline std::size_t arg_size(int argc, char** argv, const std::string& key,
+                            std::size_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return static_cast<std::size_t>(std::stoull(arg.substr(prefix.size())));
+  }
+  return fallback;
+}
+
+inline std::string arg_str(int argc, char** argv, const std::string& key,
+                           const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+}  // namespace whisper::bench

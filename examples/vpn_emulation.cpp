@@ -1,0 +1,145 @@
+// Decentralized VPN emulation — the paper's §I motivating scenario: a
+// multi-site company wants private connectivity between sites WITHOUT VPN
+// gateways (single points of failure). Each site's machines join one
+// private group; a tiny "virtual network" layer on top of the PPSS maps
+// virtual addresses to members and carries frames confidentially.
+//
+// An eavesdropper wiretaps every physical link (the paper's attacker) and
+// reports what it could extract: with WHISPER, neither frame contents nor
+// the set of VPN participants is recoverable.
+//
+//   $ ./examples/vpn_emulation
+#include <cstdio>
+
+#include <map>
+#include <unordered_set>
+
+#include "whisper/testbed.hpp"
+
+using namespace whisper;
+
+namespace {
+
+/// Virtual-network frame router on top of one PPSS group.
+class VpnSite {
+ public:
+  VpnSite(WhisperNode* node, GroupId vpn, std::string site, std::uint32_t virtual_ip)
+      : node_(node), vpn_(vpn), site_(std::move(site)), virtual_ip_(virtual_ip) {}
+
+  void attach(std::map<std::uint32_t, VpnSite*>& routing_table) {
+    routing_table[virtual_ip_] = this;
+    node_->group(vpn_)->on_app_message = [this](const wcl::RemotePeer&, BytesView frame) {
+      Reader r(frame);
+      const std::uint32_t dst_ip = r.u32();
+      const std::string data = r.str();
+      if (!r.ok() || dst_ip != virtual_ip_) return;
+      ++frames_received_;
+      std::printf("  [10.8.0.%u %-9s] received frame: \"%s\"\n", virtual_ip_, site_.c_str(),
+                  data.c_str());
+    };
+  }
+
+  /// Send a frame to a virtual address (resolved through the group).
+  bool send_frame(const std::map<std::uint32_t, VpnSite*>& routing_table,
+                  std::uint32_t dst_ip, const std::string& data) {
+    auto it = routing_table.find(dst_ip);
+    if (it == routing_table.end()) return false;
+    Writer w;
+    w.u32(dst_ip);
+    w.str(data);
+    auto* peer_group = it->second->node_->group(vpn_);
+    return node_->group(vpn_)->send_app_to(peer_group->self_descriptor(), w.data());
+  }
+
+  WhisperNode* node() const { return node_; }
+  const std::string& site() const { return site_; }
+  std::size_t frames_received() const { return frames_received_; }
+
+ private:
+  WhisperNode* node_;
+  GroupId vpn_;
+  std::string site_;
+  std::uint32_t virtual_ip_;
+  std::size_t frames_received_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 60;
+  cfg.natted_fraction = 0.7;
+  cfg.node.pss.pi_min_public = 3;
+  cfg.node.wcl.pi = 3;
+  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.seed = 2026;
+  WhisperTestbed tb(cfg);
+  std::printf("booting a 60-node internet (70%% of hosts behind NATs)...\n");
+  tb.run_for(6 * sim::kMinute);
+
+  // The company VPN: headquarters founds the group, branches join.
+  const GroupId vpn{100};
+  auto nodes = tb.alive_nodes();
+  crypto::Drbg drbg(100);
+  ppss::Ppss& hq_group = nodes[0]->create_group(vpn, crypto::RsaKeyPair::generate(512, drbg));
+
+  std::vector<VpnSite> sites;
+  sites.reserve(4);
+  sites.emplace_back(nodes[0], vpn, "hq", 1);
+  const char* branches[] = {"berlin", "osaka", "recife"};
+  for (int i = 0; i < 3; ++i) {
+    nodes[10 * (i + 1)]->join_group(vpn, *hq_group.invite(nodes[10 * (i + 1)]->id()),
+                             hq_group.self_descriptor());
+    sites.emplace_back(nodes[10 * (i + 1)], vpn, branches[i], static_cast<std::uint32_t>(i + 2));
+  }
+  tb.run_for(3 * sim::kMinute);
+
+  std::map<std::uint32_t, VpnSite*> routing_table;
+  for (auto& s : sites) s.attach(routing_table);
+  for (auto& s : sites) {
+    std::printf("site %-8s node=%s (%s)\n", s.site().c_str(), s.node()->id().str().c_str(),
+                s.node()->is_public() ? "public" : "behind NAT");
+  }
+
+  // The eavesdropper: taps EVERY physical link from here on.
+  std::size_t tapped_packets = 0, tapped_bytes = 0;
+  std::unordered_set<std::uint64_t> wcl_senders_seen;
+  const Bytes payroll = to_bytes("payroll-2026.xlsx");
+  bool payroll_leaked = false;
+  tb.network().set_tap([&](const sim::Datagram& d) {
+    ++tapped_packets;
+    tapped_bytes += d.payload.size();
+    if (std::search(d.payload.begin(), d.payload.end(), payroll.begin(), payroll.end()) !=
+        d.payload.end()) {
+      payroll_leaked = true;
+    }
+    if (d.proto == sim::Proto::kWcl) {
+      Reader r(d.payload);
+      if (r.u8() == 1) wcl_senders_seen.insert(r.node_id().value);
+    }
+  });
+
+  std::printf("\n--- virtual network traffic (eavesdropper on every link) ---\n");
+  sites[0].send_frame(routing_table, 2, "payroll-2026.xlsx -> berlin");
+  tb.run_for(sim::kMinute);
+  sites[1].send_frame(routing_table, 3, "forwarding payroll-2026.xlsx to osaka");
+  tb.run_for(sim::kMinute);
+  sites[3].send_frame(routing_table, 1, "recife quarterly numbers to hq");
+  tb.run_for(sim::kMinute);
+  tb.network().set_tap(nullptr);
+
+  std::printf("\n--- what the eavesdropper got ---\n");
+  std::printf("packets observed: %zu (%.1f KB)\n", tapped_packets,
+              static_cast<double>(tapped_bytes) / 1024.0);
+  std::printf("frame contents recovered: %s\n", payroll_leaked ? "YES (!)" : "none");
+  std::printf("nodes seen forwarding confidential traffic: %zu "
+              "(mixes and relays all over the network -- the 4 VPN sites are\n"
+              " indistinguishable within this set; group membership stays hidden)\n",
+              wcl_senders_seen.size());
+
+  std::size_t delivered = 0;
+  for (auto& s : sites) delivered += s.frames_received();
+  std::printf("\nframes delivered end-to-end: %zu/3\n", delivered);
+  std::printf("no VPN gateway existed at any point: kill any node and the overlay heals.\n");
+  return 0;
+}

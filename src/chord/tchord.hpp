@@ -1,0 +1,134 @@
+// T-Chord: gossip-based construction of a Chord ring inside a private
+// group (§V-G), following the T-Man framework: nodes gossip candidate
+// descriptors with ring-proximity-biased selection and converge to the
+// Chord successor/predecessor/finger structure in a few cycles.
+//
+// All communication goes through the PPSS application channel, i.e. over
+// WCL confidential routes. Lookup queries ship the querying node's
+// descriptor so the owner can answer with a single WCL path (the exact
+// mechanism the paper describes for its Fig. 9 experiment).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "ppss/ppss.hpp"
+
+namespace whisper::chord {
+
+/// Position on the Chord ring (64-bit identifier space).
+using ChordKey = std::uint64_t;
+
+/// The ring identifier of a node: a hash of its node id.
+ChordKey chord_key_of(NodeId id);
+
+/// PPSS application channel used by T-Chord messages.
+inline constexpr std::uint8_t kChordAppId = 1;
+
+/// Clockwise distance from `a` to `b` on the ring.
+inline ChordKey ring_distance(ChordKey a, ChordKey b) { return b - a; }
+
+/// A routable ring member: its key and how to reach it confidentially.
+struct ChordDescriptor {
+  ChordKey key = 0;
+  wcl::RemotePeer peer;
+
+  NodeId id() const { return peer.card.id; }
+  void serialize(Writer& w) const;
+  static std::optional<ChordDescriptor> deserialize(Reader& r);
+};
+
+struct TChordConfig {
+  sim::Time cycle = 30 * sim::kSecond;
+  std::size_t candidate_capacity = 32;
+  std::size_t gossip_descriptors = 8;
+  std::size_t successor_list = 4;
+  std::size_t finger_bits = 64;
+  std::size_t lookup_hop_limit = 32;
+  sim::Time lookup_timeout = 20 * sim::kSecond;
+  /// Re-dispatches after a timeout before reporting failure (stale
+  /// descriptors along the path heal as gossip refreshes them).
+  std::size_t lookup_retries = 1;
+};
+
+class TChord {
+ public:
+  TChord(sim::Simulator& sim, ppss::Ppss& ppss, TChordConfig config, Rng rng);
+  ~TChord();
+
+  TChord(const TChord&) = delete;
+  TChord& operator=(const TChord&) = delete;
+
+  void start();
+  void stop();
+
+  ChordKey self_key() const { return self_key_; }
+  std::optional<ChordDescriptor> successor() const;
+  std::optional<ChordDescriptor> predecessor() const;
+  /// Finger i: the known node minimizing clockwise distance from
+  /// self + 2^i. Deduplicated; may be fewer than finger_bits entries.
+  std::vector<ChordDescriptor> fingers() const;
+  std::size_t candidate_count() const { return candidates_.size(); }
+
+  struct LookupResult {
+    ChordDescriptor owner;
+    std::uint32_t hops = 0;
+    sim::Time rtt = 0;
+  };
+  using LookupCallback = std::function<void(std::optional<LookupResult>)>;
+
+  /// Resolve the successor of `key` by greedy finger routing; the owner
+  /// answers directly. The callback fires once (nullopt on timeout).
+  void lookup(ChordKey key, LookupCallback callback);
+
+  struct Stats {
+    std::uint64_t lookups_sent = 0;
+    std::uint64_t lookups_answered = 0;
+    std::uint64_t lookups_timed_out = 0;
+    std::uint64_t lookups_served = 0;  // we were the owner
+    std::uint64_t forwards = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_cycle();
+  void handle_app(const wcl::RemotePeer& from, BytesView payload);
+  void handle_gossip(std::uint8_t kind, const wcl::RemotePeer& from, Reader& r);
+  void handle_lookup_request(Reader& r);
+  void handle_lookup_response(Reader& r);
+  void absorb(const ChordDescriptor& d);
+  std::vector<ChordDescriptor> best_for(ChordKey target_key) const;
+  /// True if this node owns `key` (key in (predecessor, self]).
+  bool owns(ChordKey key) const;
+  const ChordDescriptor* closest_preceding(ChordKey key) const;
+  void route_or_serve(ChordKey key, std::uint64_t lookup_id,
+                      const ChordDescriptor& origin, std::uint32_t hops);
+  ChordDescriptor self_descriptor();
+
+  sim::Simulator& sim_;
+  ppss::Ppss& ppss_;
+  TChordConfig config_;
+  Rng rng_;
+  ChordKey self_key_;
+  bool running_ = false;
+  sim::TimerId cycle_timer_ = 0;
+
+  /// Candidate set ordered by ring position (key -> descriptor).
+  std::map<ChordKey, ChordDescriptor> candidates_;
+
+  struct PendingLookup {
+    ChordKey key = 0;
+    LookupCallback callback;
+    sim::Time started_at = 0;
+    sim::TimerId timeout_timer = 0;
+    std::size_t attempts = 0;
+  };
+  void arm_lookup_timer(std::uint64_t lookup_id);
+  std::unordered_map<std::uint64_t, PendingLookup> pending_lookups_;
+  std::uint64_t next_lookup_id_;
+
+  Stats stats_;
+};
+
+}  // namespace whisper::chord

@@ -1,0 +1,50 @@
+#include "churn/churn.hpp"
+
+#include <cmath>
+
+namespace whisper::churn {
+
+ChurnEngine::ChurnEngine(sim::Simulator& sim, KillFn kill, SpawnFn spawn,
+                         PopulationFn population)
+    : sim_(sim), kill_(std::move(kill)), spawn_(std::move(spawn)),
+      population_(std::move(population)) {}
+
+void ChurnEngine::schedule(const ChurnPhase& phase) {
+  if (phase.leave_fraction <= 0.0 || phase.end <= phase.start) return;
+  sim_.schedule_at(phase.start, [this, phase] { tick(phase); });
+}
+
+void ChurnEngine::tick(ChurnPhase phase) {
+  if (sim_.now() >= phase.end) return;
+
+  const double exact = static_cast<double>(population_()) * phase.leave_fraction + leave_carry_;
+  const std::size_t leavers = static_cast<std::size_t>(exact);
+  leave_carry_ = exact - static_cast<double>(leavers);
+
+  const std::size_t killed = leavers > 0 ? kill_(leavers) : 0;
+  total_killed_ += killed;
+  const std::size_t joiners =
+      static_cast<std::size_t>(std::llround(static_cast<double>(killed) * phase.replacement_ratio));
+  if (joiners > 0) {
+    spawn_(joiners);
+    total_spawned_ += joiners;
+  }
+
+  const sim::Time next = sim_.now() + phase.interval;
+  if (next < phase.end) {
+    sim_.schedule_at(next, [this, phase] { tick(phase); });
+  }
+}
+
+void ChurnEngine::schedule_join(sim::Time start, sim::Time duration, std::size_t count) {
+  if (count == 0) return;
+  const sim::Time step = duration > 0 ? duration / count : 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    sim_.schedule_at(start + step * i, [this] {
+      spawn_(1);
+      ++total_spawned_;
+    });
+  }
+}
+
+}  // namespace whisper::churn

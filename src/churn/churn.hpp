@@ -1,0 +1,61 @@
+// Churn injection (the SPLAY churn-module role, Table I).
+//
+// Executes churn scripts of the shape the paper uses:
+//   from 0s to 30s     join 1000
+//   at 300s            set replacement ratio to 100%
+//   from 300s to 1200s const churn X% each 60s
+//   at 1200s           stop
+//
+// The engine drives two callbacks owned by the testbed: kill(n) removes n
+// random live nodes, spawn(n) boots n fresh ones.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace whisper::churn {
+
+struct ChurnPhase {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  sim::Time interval = 60 * sim::kSecond;
+  /// Fraction of the *current network size* leaving per interval.
+  double leave_fraction = 0.0;
+  /// Joiners per leaver (1.0 = the paper's 100% replacement ratio).
+  double replacement_ratio = 1.0;
+};
+
+class ChurnEngine {
+ public:
+  /// kill(n) returns how many nodes were actually removed; spawn(n) boots n
+  /// fresh nodes; population() reports the current live count.
+  using KillFn = std::function<std::size_t(std::size_t)>;
+  using SpawnFn = std::function<void(std::size_t)>;
+  using PopulationFn = std::function<std::size_t()>;
+
+  ChurnEngine(sim::Simulator& sim, KillFn kill, SpawnFn spawn, PopulationFn population);
+
+  /// Schedule a churn phase. Multiple phases may be scheduled.
+  void schedule(const ChurnPhase& phase);
+
+  /// Schedule a one-shot mass join of `count` nodes spread over
+  /// [start, start+duration).
+  void schedule_join(sim::Time start, sim::Time duration, std::size_t count);
+
+  std::size_t total_killed() const { return total_killed_; }
+  std::size_t total_spawned() const { return total_spawned_; }
+
+ private:
+  void tick(ChurnPhase phase);
+
+  sim::Simulator& sim_;
+  KillFn kill_;
+  SpawnFn spawn_;
+  PopulationFn population_;
+  std::size_t total_killed_ = 0;
+  std::size_t total_spawned_ = 0;
+  double leave_carry_ = 0.0;  // fractional leavers carried between ticks
+};
+
+}  // namespace whisper::churn

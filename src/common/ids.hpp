@@ -1,0 +1,70 @@
+// Strongly-typed identifiers shared across the WHISPER stack.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace whisper {
+
+/// Identity of a node in the system. Stable for the lifetime of a node
+/// incarnation; a node that leaves and rejoins gets a fresh id.
+struct NodeId {
+  std::uint64_t value = 0;
+
+  constexpr auto operator<=>(const NodeId&) const = default;
+  constexpr bool is_nil() const { return value == 0; }
+  std::string str() const { return "n" + std::to_string(value); }
+};
+
+/// Sentinel node id: "no node". Used e.g. as the next-hop marker at the end
+/// of an onion path (the paper's ⊥).
+inline constexpr NodeId kNilNode{0};
+
+/// Identity of a private group.
+struct GroupId {
+  std::uint64_t value = 0;
+
+  constexpr auto operator<=>(const GroupId&) const = default;
+  constexpr bool is_nil() const { return value == 0; }
+  std::string str() const { return "g" + std::to_string(value); }
+};
+
+/// A network endpoint as observed on the (simulated) public Internet or a
+/// private LAN segment: IPv4-like address plus UDP-like port.
+struct Endpoint {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  constexpr auto operator<=>(const Endpoint&) const = default;
+  constexpr bool is_nil() const { return ip == 0 && port == 0; }
+  std::string str() const {
+    return std::to_string((ip >> 24) & 0xff) + "." + std::to_string((ip >> 16) & 0xff) + "." +
+           std::to_string((ip >> 8) & 0xff) + "." + std::to_string(ip & 0xff) + ":" +
+           std::to_string(port);
+  }
+};
+
+}  // namespace whisper
+
+template <>
+struct std::hash<whisper::NodeId> {
+  std::size_t operator()(const whisper::NodeId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<whisper::GroupId> {
+  std::size_t operator()(const whisper::GroupId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<whisper::Endpoint> {
+  std::size_t operator()(const whisper::Endpoint& ep) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{ep.ip} << 16) | ep.port);
+  }
+};

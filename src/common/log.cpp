@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace whisper {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] ", level_tag(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace whisper

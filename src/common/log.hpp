@@ -1,0 +1,22 @@
+// Minimal leveled logging. Off by default so simulations stay quiet;
+// benches and examples raise the level when narrating.
+#pragma once
+
+#include <cstdarg>
+
+namespace whisper {
+
+enum class LogLevel { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr, gated on the global level.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define WHISPER_LOG_ERROR(...) ::whisper::logf(::whisper::LogLevel::kError, __VA_ARGS__)
+#define WHISPER_LOG_WARN(...) ::whisper::logf(::whisper::LogLevel::kWarn, __VA_ARGS__)
+#define WHISPER_LOG_INFO(...) ::whisper::logf(::whisper::LogLevel::kInfo, __VA_ARGS__)
+#define WHISPER_LOG_DEBUG(...) ::whisper::logf(::whisper::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace whisper

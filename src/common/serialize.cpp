@@ -1,0 +1,3 @@
+#include "common/serialize.hpp"
+
+// Header-only; this TU anchors the library target.

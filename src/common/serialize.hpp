@@ -1,0 +1,149 @@
+// Binary serialization used by every protocol message in the stack.
+//
+// Bandwidth accounting in the simulator counts serialized bytes, so all
+// protocol messages go through Writer/Reader instead of being passed as
+// in-memory objects. Encoding is little-endian, length-prefixed for
+// variable-size fields. Reader is non-throwing: failed reads set an error
+// flag and return zero values; callers check ok() once at the end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace whisper {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, 2); }
+  void u32(std::uint32_t v) { append(&v, 4); }
+  void u64(std::uint64_t v) { append(&v, 8); }
+  void f64(double v) { append(&v, 8); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void node_id(NodeId id) { u64(id.value); }
+  void group_id(GroupId id) { u64(id.value); }
+  void endpoint(Endpoint ep) {
+    u32(ep.ip);
+    u16(ep.port);
+  }
+
+  /// Length-prefixed byte string (u32 length).
+  void bytes(BytesView data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Raw append without a length prefix.
+  void raw(BytesView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    extract(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    extract(&v, 2);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    extract(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    extract(&v, 8);
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    extract(&v, 8);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  NodeId node_id() { return NodeId{u64()}; }
+  GroupId group_id() { return GroupId{u64()}; }
+  Endpoint endpoint() {
+    Endpoint ep;
+    ep.ip = u32();
+    ep.port = u16();
+    return ep;
+  }
+
+  Bytes bytes() {
+    std::uint32_t n = u32();
+    if (n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  /// Consume all remaining bytes.
+  Bytes rest() {
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+    pos_ = data_.size();
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool ok() const { return ok_; }
+  /// True iff all input was consumed and no read failed.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  void extract(void* p, std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace whisper

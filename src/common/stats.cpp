@@ -1,0 +1,123 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace whisper {
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::sum() const { return std::accumulate(values_.begin(), values_.end(), 0.0); }
+
+double Samples::mean() const { return values_.empty() ? 0.0 : sum() / values_.size(); }
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / (values_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0) return values_.front();
+  if (p >= 100) return values_.back();
+  const double rank = p / 100.0 * (values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - lo;
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+std::vector<double> Samples::cdf_at(const std::vector<double>& xs) const {
+  ensure_sorted();
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    auto it = std::upper_bound(values_.begin(), values_.end(), x);
+    out.push_back(values_.empty() ? 0.0
+                                  : static_cast<double>(it - values_.begin()) / values_.size());
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> Samples::cdf_series(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || points < 2) return out;
+  ensure_sorted();
+  const double lo = values_.front();
+  const double hi = values_.back();
+  const double step = (hi - lo) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + step * i;
+    auto it = std::upper_bound(values_.begin(), values_.end(), x);
+    out.emplace_back(x, static_cast<double>(it - values_.begin()) / values_.size());
+  }
+  return out;
+}
+
+std::string format_cdf(const Samples& s, int points, const std::string& x_label) {
+  std::string out = "  " + x_label + "  CDF\n";
+  char line[96];
+  for (auto [x, f] : s.cdf_series(points)) {
+    std::snprintf(line, sizeof(line), "  %12.4f  %6.2f%%\n", x, f * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+std::string format_stacked_percentiles(const Samples& s) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "p5=%.3f p25=%.3f p50=%.3f p75=%.3f p90=%.3f",
+                s.percentile(5), s.percentile(25), s.percentile(50), s.percentile(75),
+                s.percentile(90));
+  return line;
+}
+
+std::vector<std::pair<std::int64_t, double>> IntDistribution::cdf(std::int64_t lo,
+                                                                  std::int64_t hi) const {
+  std::vector<std::int64_t> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<std::int64_t, double>> out;
+  for (std::int64_t x = lo; x <= hi; ++x) {
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    out.emplace_back(x, sorted.empty()
+                            ? 0.0
+                            : static_cast<double>(it - sorted.begin()) / sorted.size());
+  }
+  return out;
+}
+
+double IntDistribution::mean() const {
+  if (values_.empty()) return 0.0;
+  double acc = 0.0;
+  for (auto v : values_) acc += static_cast<double>(v);
+  return acc / values_.size();
+}
+
+std::int64_t IntDistribution::max() const {
+  std::int64_t m = 0;
+  for (auto v : values_) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace whisper

@@ -1,0 +1,76 @@
+// Statistics helpers for the evaluation harness: summaries, percentiles,
+// CDF series (the paper reports most results as CDFs and stacked
+// percentile plots).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whisper {
+
+/// Accumulates samples and answers summary/percentile/CDF queries.
+class Samples {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  void add_n(double v, std::size_t n) {
+    values_.insert(values_.end(), n, v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double sum() const;
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// p in [0, 100]. Linear interpolation between order statistics.
+  double percentile(double p) const;
+
+  /// CDF evaluated at the given points: fraction of samples <= x.
+  std::vector<double> cdf_at(const std::vector<double>& xs) const;
+
+  /// Evenly-spaced CDF series over [min, max] with `points` steps,
+  /// as (x, fraction<=x) pairs. Useful for printing paper-style CDF plots.
+  std::vector<std::pair<double, double>> cdf_series(int points) const;
+
+  const std::vector<double>& values() const { return values_; }
+  void clear() {
+    values_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Renders a textual CDF plot: one line per step, "x fraction".
+std::string format_cdf(const Samples& s, int points, const std::string& x_label);
+
+/// Renders the paper's stacked-percentile representation: 5/25/50/75/90th.
+std::string format_stacked_percentiles(const Samples& s);
+
+/// Integer-keyed distribution (e.g. in-degrees): counts per value.
+class IntDistribution {
+ public:
+  void add(std::int64_t v) { values_.push_back(v); }
+  std::size_t count() const { return values_.size(); }
+  /// CDF: fraction of values <= x for x in [lo, hi].
+  std::vector<std::pair<std::int64_t, double>> cdf(std::int64_t lo, std::int64_t hi) const;
+  double mean() const;
+  std::int64_t max() const;
+  const std::vector<std::int64_t>& values() const { return values_; }
+
+ private:
+  std::vector<std::int64_t> values_;
+};
+
+}  // namespace whisper

@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace whisper {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+
+  std::string out = "  ";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out += pad(headers_[c], widths[c]) + (c + 1 < headers_.size() ? "  " : "\n");
+  out += "  ";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out += std::string(widths[c], '-') + (c + 1 < headers_.size() ? "  " : "\n");
+  for (const auto& row : rows_) {
+    out += "  ";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out += pad(row[c], widths[c]) + (c + 1 < row.size() ? "  " : "\n");
+  }
+  return out;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace whisper

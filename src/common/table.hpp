@@ -1,0 +1,27 @@
+// Minimal fixed-width table printer for the benchmark harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace whisper {
+
+/// Collects rows of strings and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+  /// Format helper: fixed-precision double.
+  static std::string num(double v, int precision = 2);
+  /// Format helper: percentage with two decimals ("98.30%").
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace whisper

@@ -1,0 +1,158 @@
+#include "crypto/aes128.hpp"
+
+#include <cstring>
+
+namespace whisper::crypto {
+
+namespace {
+
+// S-box tables built once at startup from the GF(2^8) inverse + affine map.
+struct SboxTables {
+  std::uint8_t sbox[256];
+  std::uint8_t inv_sbox[256];
+
+  SboxTables() {
+    // Multiplicative inverses via exp/log tables over generator 3.
+    std::uint8_t exp[256], log[256];
+    std::uint8_t x = 1;
+    for (int i = 0; i < 256; ++i) {
+      exp[i] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      // multiply x by 3 in GF(2^8)
+      x = static_cast<std::uint8_t>(x ^ ((x << 1) ^ ((x & 0x80) ? 0x1b : 0)));
+    }
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t inv = i == 0 ? 0 : exp[255 - log[i]];
+      // Affine transformation.
+      std::uint8_t s = static_cast<std::uint8_t>(
+          inv ^ static_cast<std::uint8_t>((inv << 1) | (inv >> 7)) ^
+          static_cast<std::uint8_t>((inv << 2) | (inv >> 6)) ^
+          static_cast<std::uint8_t>((inv << 3) | (inv >> 5)) ^
+          static_cast<std::uint8_t>((inv << 4) | (inv >> 4)) ^ 0x63);
+      sbox[i] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(i);
+    }
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+Aes128::Aes128(const AesKey& key) {
+  const auto& t = tables();
+  std::memcpy(round_keys_[0], key.data(), 16);
+  std::uint8_t rcon = 1;
+  for (int r = 1; r <= 10; ++r) {
+    std::uint8_t* rk = round_keys_[r];
+    const std::uint8_t* prev = round_keys_[r - 1];
+    // RotWord + SubWord + Rcon on the last word of the previous round key.
+    rk[0] = static_cast<std::uint8_t>(prev[0] ^ t.sbox[prev[13]] ^ rcon);
+    rk[1] = static_cast<std::uint8_t>(prev[1] ^ t.sbox[prev[14]]);
+    rk[2] = static_cast<std::uint8_t>(prev[2] ^ t.sbox[prev[15]]);
+    rk[3] = static_cast<std::uint8_t>(prev[3] ^ t.sbox[prev[12]]);
+    for (int i = 4; i < 16; ++i) rk[i] = static_cast<std::uint8_t>(prev[i] ^ rk[i - 4]);
+    rcon = xtime(rcon);
+  }
+}
+
+void Aes128::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  const auto& t = tables();
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(in[i] ^ round_keys_[0][i]);
+
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes
+    for (auto& b : s) b = t.sbox[b];
+    // ShiftRows (state is column-major: s[4c + r] is row r, column c)
+    std::uint8_t tmp[16];
+    for (int c = 0; c < 4; ++c)
+      for (int r = 0; r < 4; ++r) tmp[4 * c + r] = s[4 * ((c + r) % 4) + r];
+    std::memcpy(s, tmp, 16);
+    // MixColumns (skipped in the final round)
+    if (round < 10) {
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = s + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+        col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+        col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+        col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+      }
+    }
+    // AddRoundKey
+    for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(s[i] ^ round_keys_[round][i]);
+  }
+  std::memcpy(out, s, 16);
+}
+
+void Aes128::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  const auto& t = tables();
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(in[i] ^ round_keys_[10][i]);
+
+  for (int round = 9; round >= 0; --round) {
+    // InvShiftRows
+    std::uint8_t tmp[16];
+    for (int c = 0; c < 4; ++c)
+      for (int r = 0; r < 4; ++r) tmp[4 * ((c + r) % 4) + r] = s[4 * c + r];
+    std::memcpy(s, tmp, 16);
+    // InvSubBytes
+    for (auto& b : s) b = t.inv_sbox[b];
+    // AddRoundKey
+    for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(s[i] ^ round_keys_[round][i]);
+    // InvMixColumns (skipped before the last AddRoundKey, i.e. round 0)
+    if (round > 0) {
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = s + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
+                                           gmul(a3, 9));
+        col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                                           gmul(a3, 13));
+        col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                                           gmul(a3, 11));
+        col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                                           gmul(a3, 14));
+      }
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+Bytes aes128_ctr(const AesKey& key, const AesBlock& iv, BytesView data) {
+  const Aes128 cipher(key);
+  Bytes out(data.size());
+  AesBlock counter = iv;
+  std::uint8_t keystream[16];
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    cipher.encrypt_block(counter.data(), keystream);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i)
+      out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
+    // Increment the counter block (big-endian).
+    for (int i = 15; i >= 0; --i) {
+      if (++counter[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace whisper::crypto

@@ -1,0 +1,35 @@
+// AES-128 (FIPS 197) block cipher plus CTR mode.
+//
+// The paper uses AES for the symmetric leg of the hybrid onion encryption
+// (content encrypted under a fresh random key k, k itself RSA-wrapped).
+// CTR mode keeps ciphertext length equal to plaintext length, which keeps
+// onion-layer size accounting simple.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace whisper::crypto {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// AES-128 with a precomputed key schedule.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  std::uint8_t round_keys_[11][16];
+};
+
+/// CTR-mode encryption/decryption (the operation is its own inverse).
+/// The 16-byte IV is the initial counter block.
+Bytes aes128_ctr(const AesKey& key, const AesBlock& iv, BytesView data);
+
+}  // namespace whisper::crypto

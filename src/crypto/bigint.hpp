@@ -1,0 +1,81 @@
+// Arbitrary-precision unsigned integers, sized for RSA (512..4096 bits).
+//
+// Representation: little-endian vector of 64-bit limbs, normalized so the
+// most significant limb is non-zero (zero is the empty vector). Intermediate
+// arithmetic uses unsigned __int128. Modular exponentiation uses Montgomery
+// multiplication (CIOS), which requires an odd modulus — always the case for
+// RSA moduli and Miller-Rabin candidates. A general Knuth-D division is
+// provided for everything else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace whisper::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Big-endian byte import/export (network order, as used on the wire).
+  static BigInt from_bytes(BytesView be);
+  Bytes to_bytes() const;
+  /// Fixed-width big-endian export, left-padded with zeros. Value must fit.
+  Bytes to_bytes_padded(std::size_t width) const;
+
+  static BigInt from_hex(const std::string& hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_one() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  // Comparisons.
+  int compare(const BigInt& o) const;
+  bool operator==(const BigInt& o) const { return compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return compare(o) >= 0; }
+
+  // Arithmetic. Subtraction requires *this >= o (unsigned domain).
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// (quotient, remainder); divisor must be non-zero.
+  std::pair<BigInt, BigInt> divmod(const BigInt& divisor) const;
+  BigInt operator/(const BigInt& o) const { return divmod(o).first; }
+  BigInt operator%(const BigInt& o) const { return divmod(o).second; }
+
+  /// Remainder modulo a single 64-bit value (fast path for prime sieving).
+  std::uint64_t mod_u64(std::uint64_t m) const;
+
+  /// (this ^ exp) mod m. m must be odd (Montgomery); asserts otherwise.
+  BigInt modexp(const BigInt& exp, const BigInt& m) const;
+
+  /// Modular inverse via binary extended gcd; returns zero if not invertible.
+  BigInt modinv(const BigInt& m) const;
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void trim();
+  static BigInt from_limbs(std::vector<std::uint64_t> limbs);
+
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace whisper::crypto

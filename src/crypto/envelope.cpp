@@ -1,0 +1,43 @@
+#include "crypto/envelope.hpp"
+
+#include <cstring>
+
+namespace whisper::crypto {
+
+Bytes envelope_seal(const RsaPublicKey& pub, BytesView payload, Drbg& drbg) {
+  AesKey key;
+  AesBlock iv;
+  drbg.fill(key.data(), key.size());
+  drbg.fill(iv.data(), iv.size());
+
+  Bytes wrapped_input(32);
+  std::memcpy(wrapped_input.data(), key.data(), 16);
+  std::memcpy(wrapped_input.data() + 16, iv.data(), 16);
+  Bytes rsa_block = rsa_encrypt(pub, wrapped_input, drbg);
+  if (rsa_block.empty()) return {};
+
+  Bytes body = aes128_ctr(key, iv, payload);
+  Bytes out;
+  out.reserve(rsa_block.size() + body.size());
+  out.insert(out.end(), rsa_block.begin(), rsa_block.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<Bytes> envelope_open(const RsaKeyPair& key, BytesView envelope) {
+  const std::size_t k = key.pub.block_size();
+  if (envelope.size() < k) return std::nullopt;
+  auto wrapped = rsa_decrypt(key, envelope.subspan(0, k));
+  if (!wrapped || wrapped->size() != 32) return std::nullopt;
+  AesKey aes_key;
+  AesBlock iv;
+  std::memcpy(aes_key.data(), wrapped->data(), 16);
+  std::memcpy(iv.data(), wrapped->data() + 16, 16);
+  return aes128_ctr(aes_key, iv, envelope.subspan(k));
+}
+
+std::size_t envelope_size(const RsaPublicKey& pub, std::size_t payload_size) {
+  return pub.block_size() + payload_size;
+}
+
+}  // namespace whisper::crypto

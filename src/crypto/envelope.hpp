@@ -1,0 +1,25 @@
+// Hybrid encryption envelope: an RSA-wrapped AES key plus AES-CTR payload.
+//
+// RSA blocks are too small to carry an onion layer (which itself contains
+// the next, already-encrypted layer), so each layer is sealed hybridly:
+//   envelope = RSA_pk(aes_key || iv) || AES-CTR_{aes_key,iv}(payload)
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/rsa.hpp"
+
+namespace whisper::crypto {
+
+/// Seal `payload` to the holder of `pub`'s private key.
+Bytes envelope_seal(const RsaPublicKey& pub, BytesView payload, Drbg& drbg);
+
+/// Open an envelope sealed to `key`. nullopt if malformed.
+std::optional<Bytes> envelope_open(const RsaKeyPair& key, BytesView envelope);
+
+/// Size of envelope_seal output for a payload of the given size.
+std::size_t envelope_size(const RsaPublicKey& pub, std::size_t payload_size);
+
+}  // namespace whisper::crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104) and authenticated body encryption.
+//
+// AES-CTR alone is malleable: a link attacker could flip plaintext bits
+// without detection (the paper's honest-but-curious model excludes this,
+// but a production middleware should not). The WCL can therefore run its
+// content bodies in encrypt-then-MAC mode: AES-CTR + HMAC-SHA256 under
+// keys derived from the onion content key.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/sha256.hpp"
+
+namespace whisper::crypto {
+
+/// HMAC-SHA256 over `data` with an arbitrary-length key.
+Digest256 hmac_sha256(BytesView key, BytesView data);
+
+/// Encrypt-then-MAC: AES-CTR(key, iv) over `plaintext`, then HMAC-SHA256
+/// (with a derived MAC key) over the ciphertext, appended (32 bytes).
+Bytes seal_authenticated(const AesKey& key, const AesBlock& iv, BytesView plaintext);
+
+/// Verify and decrypt; nullopt when the tag does not match.
+std::optional<Bytes> open_authenticated(const AesKey& key, const AesBlock& iv,
+                                        BytesView sealed);
+
+}  // namespace whisper::crypto

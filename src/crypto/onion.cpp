@@ -1,0 +1,104 @@
+#include "crypto/onion.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/serialize.hpp"
+
+namespace whisper::crypto {
+
+Bytes OnionPacket::serialize() const {
+  Writer w;
+  w.bytes(header);
+  w.bytes(body);
+  return std::move(w).take();
+}
+
+std::optional<OnionPacket> OnionPacket::deserialize(BytesView data) {
+  Reader r(data);
+  OnionPacket p;
+  p.header = r.bytes();
+  p.body = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+OnionKeys onion_fresh_keys(Drbg& drbg) {
+  OnionKeys keys;
+  drbg.fill(keys.k.data(), keys.k.size());
+  drbg.fill(keys.iv.data(), keys.iv.size());
+  return keys;
+}
+
+Bytes onion_crypt_body(const OnionKeys& keys, BytesView data) {
+  return aes128_ctr(keys.k, keys.iv, data);
+}
+
+Bytes onion_build_header(std::span<const OnionHop> path, const OnionKeys& keys, Drbg& drbg) {
+  assert(!path.empty());
+
+  // Innermost layer, for the destination: (⊥, k, iv).
+  const OnionHop& dest = path.back();
+  Bytes layer;
+  {
+    Writer w;
+    w.node_id(kNilNode);
+    w.raw(BytesView(keys.k.data(), keys.k.size()));
+    w.raw(BytesView(keys.iv.data(), keys.iv.size()));
+    layer = envelope_seal(dest.key, w.data(), drbg);
+  }
+
+  // Wrap outwards: each mix learns only the identity (and address hint) of
+  // its successor.
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    Writer w;
+    w.node_id(path[i + 1].id);
+    w.endpoint(path[i + 1].addr);
+    w.raw(layer);
+    layer = envelope_seal(path[i].key, w.data(), drbg);
+  }
+  return layer;
+}
+
+OnionPacket onion_build(std::span<const OnionHop> path, BytesView content, Drbg& drbg) {
+  const OnionKeys keys = onion_fresh_keys(drbg);
+  OnionPacket packet;
+  packet.body = onion_crypt_body(keys, content);
+  packet.header = onion_build_header(path, keys, drbg);
+  return packet;
+}
+
+std::optional<OnionPeel> onion_peel_header(const RsaKeyPair& key, const OnionPacket& packet) {
+  auto plain = envelope_open(key, packet.header);
+  if (!plain) return std::nullopt;
+  Reader r(*plain);
+  const NodeId next = r.node_id();
+  if (!r.ok()) return std::nullopt;
+
+  OnionPeel result;
+  if (next == kNilNode) {
+    // Destination: remainder is (k, iv).
+    if (r.remaining() != 32) return std::nullopt;
+    Bytes kiv = r.rest();
+    std::memcpy(result.keys.k.data(), kiv.data(), 16);
+    std::memcpy(result.keys.iv.data(), kiv.data() + 16, 16);
+    result.is_destination = true;
+  } else {
+    result.next_hop = next;
+    result.next_addr = r.endpoint();
+    if (!r.ok()) return std::nullopt;
+    result.next_packet.header = r.rest();
+    result.next_packet.body = packet.body;
+  }
+  return result;
+}
+
+std::optional<OnionPeel> onion_peel(const RsaKeyPair& key, const OnionPacket& packet) {
+  auto result = onion_peel_header(key, packet);
+  if (result && result->is_destination) {
+    result->content = onion_crypt_body(result->keys, packet.body);
+  }
+  return result;
+}
+
+}  // namespace whisper::crypto

@@ -1,0 +1,58 @@
+#include "crypto/random.hpp"
+
+#include <cstring>
+
+namespace whisper::crypto {
+
+Drbg::Drbg(std::uint64_t seed) {
+  std::uint8_t seed_bytes[8];
+  std::memcpy(seed_bytes, &seed, 8);
+  const Digest256 d = Sha256::hash(BytesView(seed_bytes, 8));
+  std::memcpy(seed_, d.data(), 32);
+}
+
+Drbg::Drbg(Rng& rng) : Drbg(rng.next_u64()) {}
+
+void Drbg::refill() {
+  Sha256 h;
+  h.update(seed_, 32);
+  std::uint8_t ctr[8];
+  std::memcpy(ctr, &counter_, 8);
+  h.update(ctr, 8);
+  block_ = h.finish();
+  ++counter_;
+  pos_ = 0;
+}
+
+void Drbg::fill(std::uint8_t* out, std::size_t n) {
+  while (n > 0) {
+    if (pos_ >= 32) refill();
+    const std::size_t take = std::min<std::size_t>(n, 32 - pos_);
+    std::memcpy(out, block_.data() + pos_, take);
+    pos_ += take;
+    out += take;
+    n -= take;
+  }
+}
+
+Bytes Drbg::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out.data(), n);
+  return out;
+}
+
+std::uint64_t Drbg::u64() {
+  std::uint64_t v = 0;
+  fill(reinterpret_cast<std::uint8_t*>(&v), 8);
+  return v;
+}
+
+std::uint64_t Drbg::below(std::uint64_t bound) {
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace whisper::crypto

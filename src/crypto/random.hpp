@@ -1,0 +1,40 @@
+// Deterministic random byte generator for key material.
+//
+// The simulator must be reproducible, so key material is derived from the
+// seeded simulation RNG through a SHA-256-based extract-expand construction
+// (a simplified HKDF). In a production deployment this would be replaced by
+// the OS entropy source; the interface is the only contact point.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace whisper::crypto {
+
+/// Deterministic byte stream extracted from a seed via SHA-256 in counter
+/// mode: block_i = SHA256(seed || i).
+class Drbg {
+ public:
+  explicit Drbg(std::uint64_t seed);
+  /// Seed from a general-purpose Rng stream (forks the stream).
+  explicit Drbg(Rng& rng);
+
+  void fill(std::uint8_t* out, std::size_t n);
+  Bytes bytes(std::size_t n);
+  std::uint64_t u64();
+  /// Uniform below bound (rejection sampled).
+  std::uint64_t below(std::uint64_t bound);
+
+ private:
+  void refill();
+
+  std::uint8_t seed_[32];
+  std::uint64_t counter_ = 0;
+  Digest256 block_{};
+  std::size_t pos_ = 32;  // force refill on first use
+};
+
+}  // namespace whisper::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4). Used for signatures, passports, key fingerprints,
+// and as the extractor for deterministic key-material derivation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace whisper::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(BytesView data);
+  Sha256& update(const void* data, std::size_t n);
+  Digest256 finish();
+
+  /// One-shot convenience.
+  static Digest256 hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Truncated 64-bit fingerprint of a byte string (for ids derived from keys).
+std::uint64_t fingerprint64(BytesView data);
+
+}  // namespace whisper::crypto

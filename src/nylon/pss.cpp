@@ -1,0 +1,151 @@
+#include "nylon/pss.hpp"
+
+#include <algorithm>
+
+namespace whisper::nylon {
+
+namespace {
+constexpr std::uint8_t kKindRequest = 1;
+constexpr std::uint8_t kKindResponse = 2;
+}  // namespace
+
+NylonPss::NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng)
+    : sim_(sim), transport_(transport), config_(config), rng_(rng),
+      view_(config.view_size) {
+  transport_.register_handler(kTagPss,
+                              [this](NodeId from, BytesView p) { handle_message(from, p); });
+}
+
+NylonPss::~NylonPss() { stop(); }
+
+void NylonPss::bootstrap(const std::vector<pss::ContactCard>& cards) {
+  for (const auto& card : cards) {
+    if (card.id == transport_.self()) continue;
+    view_.insert(PssEntry{card, 0});
+  }
+  view_.truncate_biased(config_.pi_min_public, rng_);
+  repair_relay();
+}
+
+void NylonPss::start() {
+  if (running_) return;
+  running_ = true;
+  const sim::Time offset = rng_.next_below(config_.cycle);
+  cycle_timer_ = sim_.schedule_after(offset, [this] { on_cycle(); });
+}
+
+void NylonPss::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
+  for (auto& [seq, pending] : pending_) {
+    if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
+  }
+  pending_.clear();
+}
+
+std::vector<PssEntry> NylonPss::make_buffer() {
+  std::vector<PssEntry> buffer;
+  buffer.push_back(PssEntry{transport_.self_card(), 0});
+  auto subset = view_.random_subset(config_.gossip_size - 1, rng_);
+  buffer.insert(buffer.end(), subset.begin(), subset.end());
+  return buffer;
+}
+
+Bytes NylonPss::encode(std::uint8_t kind, std::uint32_t seq,
+                       const std::vector<PssEntry>& buffer) {
+  Writer w;
+  w.u8(kind);
+  w.u32(seq);
+  w.u16(static_cast<std::uint16_t>(buffer.size()));
+  for (const auto& e : buffer) e.serialize(w);
+  if (extra_provider) {
+    w.bytes(extra_provider());
+  } else {
+    w.bytes(Bytes{});
+  }
+  return std::move(w).take();
+}
+
+void NylonPss::on_cycle() {
+  if (!running_) return;
+  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+
+  repair_relay();
+  view_.age_all();
+  const PssEntry* partner = view_.oldest();
+  if (partner == nullptr) return;
+
+  const std::uint32_t seq = next_seq_++;
+  const pss::ContactCard partner_card = partner->card;
+  ++exchanges_initiated_;
+
+  // Swap the partner out of the view: it comes back fresh via the self-entry
+  // of its response, and stays out if it is dead. Keeping it would pin the
+  // same partners (its age is refreshed by every exchange).
+  view_.remove(partner_card.id);
+
+  transport_.send(partner_card, kTagPss, encode(kKindRequest, seq, make_buffer()),
+                  sim::Proto::kPss);
+
+  PendingExchange pending;
+  pending.partner = partner_card.id;
+  pending.timeout_timer = sim_.schedule_after(config_.response_timeout, [this, seq] {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    // No response: treat the partner as failed and heal the view.
+    view_.remove(it->second.partner);
+    pending_.erase(it);
+    ++exchanges_timed_out_;
+  });
+  pending_[seq] = pending;
+}
+
+void NylonPss::handle_message(NodeId from, BytesView payload) {
+  Reader r(payload);
+  const std::uint8_t kind = r.u8();
+  const std::uint32_t seq = r.u32();
+  const std::uint16_t count = r.u16();
+  std::vector<PssEntry> received;
+  received.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) received.push_back(PssEntry::deserialize(r));
+  const Bytes extra = r.bytes();
+  if (!r.ok()) return;
+  if (received.empty()) return;
+
+  // The first buffer entry is the sender's own fresh card.
+  const pss::ContactCard sender_card = received.front().card;
+  if (sender_card.id != from) return;
+
+  if (extra_consumer) extra_consumer(sender_card, extra);
+
+  if (kind == kKindRequest) {
+    // Respond with our buffer (selected before merging), then merge.
+    transport_.send(sender_card, kTagPss, encode(kKindResponse, seq, make_buffer()),
+                    sim::Proto::kPss);
+    view_.merge(received, transport_.self(), config_.pi_min_public, rng_);
+    if (on_exchange) on_exchange(sender_card);
+  } else if (kind == kKindResponse) {
+    auto it = pending_.find(seq);
+    if (it == pending_.end() || it->second.partner != from) return;
+    if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+    pending_.erase(it);
+    view_.merge(received, transport_.self(), config_.pi_min_public, rng_);
+    ++exchanges_completed_;
+    if (on_exchange) on_exchange(sender_card);
+  }
+}
+
+void NylonPss::repair_relay() {
+  if (transport_.is_public() || !transport_.relay_lost()) return;
+  // Pick the freshest P-node from the view as the new relay.
+  const PssEntry* best = nullptr;
+  for (const auto& e : view_.entries()) {
+    if (!e.is_public()) continue;
+    if (e.card.id == transport_.relay_id()) continue;  // the one that just died
+    if (best == nullptr || e.age < best->age) best = &e;
+  }
+  if (best != nullptr) transport_.set_relay(best->card);
+}
+
+}  // namespace whisper::nylon

@@ -1,0 +1,110 @@
+// The NAT-resilient gossip peer sampling service (Nylon, §II-B/§III-B).
+//
+// Implements the healer strategy: each cycle a node ages its view, selects
+// the oldest entry as exchange partner, and both sides merge keeping the
+// youngest entries. WHISPER's two PSS modifications live here:
+//  - Π-biased truncation (delegated to pss::View::truncate_biased);
+//  - the public key sampling hook: `extra_provider`/`extra_consumer` let
+//    the key service piggyback each node's public key on gossip messages.
+//
+// Failure handling: if the partner does not answer within the timeout, its
+// entry is dropped from the view (standard gossip failure detection). For
+// N-nodes the protocol also repairs a lost relay by promoting a fresh
+// P-node from the view.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "nylon/transport.hpp"
+#include "pss/view.hpp"
+#include "sim/simulator.hpp"
+
+namespace whisper::nylon {
+
+struct PssConfig {
+  std::size_t view_size = 10;       // c
+  std::size_t gossip_size = 5;      // entries per buffer, including self
+  std::size_t pi_min_public = 0;    // Π
+  sim::Time cycle = 10 * sim::kSecond;
+  sim::Time response_timeout = 5 * sim::kSecond;
+};
+
+/// View entry of the system-wide PSS: contact card + gossip age.
+struct PssEntry {
+  pss::ContactCard card;
+  std::uint32_t age = 0;
+
+  NodeId id() const { return card.id; }
+  bool is_public() const { return card.is_public; }
+
+  void serialize(Writer& w) const {
+    card.serialize(w);
+    w.u32(age);
+  }
+  static PssEntry deserialize(Reader& r) {
+    PssEntry e;
+    e.card = pss::ContactCard::deserialize(r);
+    e.age = r.u32();
+    return e;
+  }
+};
+
+class NylonPss {
+ public:
+  NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng);
+  ~NylonPss();
+
+  NylonPss(const NylonPss&) = delete;
+  NylonPss& operator=(const NylonPss&) = delete;
+
+  /// Seed the view (and, for N-nodes without a relay, pick one).
+  void bootstrap(const std::vector<pss::ContactCard>& cards);
+
+  /// Begin periodic gossip (first cycle at a random offset < cycle time).
+  void start();
+  void stop();
+
+  const pss::View<PssEntry>& view() const { return view_; }
+
+  /// Piggyback hooks (public key sampling service).
+  std::function<Bytes()> extra_provider;
+  std::function<void(const pss::ContactCard& from, BytesView)> extra_consumer;
+
+  /// Invoked on every *successful* gossip exchange with the partner's card
+  /// (both directions) — feeds the WCL connection backlog.
+  std::function<void(const pss::ContactCard&)> on_exchange;
+
+  std::uint64_t exchanges_initiated() const { return exchanges_initiated_; }
+  std::uint64_t exchanges_completed() const { return exchanges_completed_; }
+  std::uint64_t exchanges_timed_out() const { return exchanges_timed_out_; }
+
+ private:
+  void on_cycle();
+  void handle_message(NodeId from, BytesView payload);
+  void repair_relay();
+  std::vector<PssEntry> make_buffer();
+  Bytes encode(std::uint8_t kind, std::uint32_t seq, const std::vector<PssEntry>& buffer);
+
+  sim::Simulator& sim_;
+  Transport& transport_;
+  PssConfig config_;
+  Rng rng_;
+  pss::View<PssEntry> view_;
+  bool running_ = false;
+  sim::TimerId cycle_timer_ = 0;
+  std::uint32_t next_seq_ = 1;
+
+  struct PendingExchange {
+    NodeId partner;
+    sim::TimerId timeout_timer = 0;
+  };
+  std::unordered_map<std::uint32_t, PendingExchange> pending_;
+
+  std::uint64_t exchanges_initiated_ = 0;
+  std::uint64_t exchanges_completed_ = 0;
+  std::uint64_t exchanges_timed_out_ = 0;
+};
+
+}  // namespace whisper::nylon

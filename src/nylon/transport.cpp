@@ -1,0 +1,304 @@
+#include "nylon/transport.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace whisper::nylon {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kData = 1,
+  kForward = 2,
+  kRegister = 3,
+  kRegisterAck = 4,
+  kProbe = 5,
+  kProbeAck = 6,
+};
+
+}  // namespace
+
+Bytes Transport::DataMsg::serialize() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kData));
+  w.node_id(from);
+  w.boolean(relayed);
+  w.endpoint(observed_src);
+  w.u8(tag);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::optional<Transport::DataMsg> Transport::DataMsg::parse(Reader& r) {
+  DataMsg m;
+  m.from = r.node_id();
+  m.relayed = r.boolean();
+  m.observed_src = r.endpoint();
+  m.tag = r.u8();
+  m.payload = r.rest();
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+Transport::Transport(sim::Simulator& sim, sim::Network& net, NodeId self, Endpoint internal_ep,
+                     bool is_public, TransportConfig config)
+    : sim_(sim), net_(net), self_(self), internal_ep_(internal_ep), is_public_(is_public),
+      config_(config) {
+  net_.attach(internal_ep_, [this](const sim::Datagram& d) { on_datagram(d); });
+  attached_ = true;
+}
+
+Transport::~Transport() { shutdown(); }
+
+void Transport::shutdown() {
+  if (!attached_) return;
+  net_.detach(internal_ep_);
+  if (keepalive_timer_ != 0) sim_.cancel(keepalive_timer_);
+  keepalive_timer_ = 0;
+  attached_ = false;
+}
+
+pss::ContactCard Transport::self_card() const {
+  pss::ContactCard card;
+  card.id = self_;
+  card.is_public = is_public_;
+  if (is_public_) {
+    card.addr = internal_ep_;
+  } else {
+    card.addr = relay_.addr;
+    card.relay_id = relay_.id;
+  }
+  return card;
+}
+
+void Transport::set_relay(const pss::ContactCard& relay) {
+  assert(!is_public_);
+  assert(relay.is_public);
+  relay_ = relay;
+  unanswered_keepalives_ = 0;
+  if (keepalive_timer_ != 0) sim_.cancel(keepalive_timer_);
+  send_keepalive();
+}
+
+bool Transport::relay_lost() const {
+  if (is_public_) return false;
+  if (relay_.id.is_nil()) return true;
+  return unanswered_keepalives_ >= config_.relay_loss_threshold;
+}
+
+void Transport::send_keepalive() {
+  if (!attached_ || relay_.id.is_nil()) return;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRegister));
+  w.node_id(self_);
+  net_.send(internal_ep_, relay_.addr, std::move(w).take(), sim::Proto::kControl);
+  ++unanswered_keepalives_;
+  keepalive_timer_ =
+      sim_.schedule_after(config_.keepalive_period, [this] { send_keepalive(); });
+}
+
+void Transport::register_handler(std::uint8_t tag, Handler handler) {
+  handlers_[tag] = std::move(handler);
+}
+
+bool Transport::can_send_direct(NodeId peer) const {
+  auto it = direct_routes_.find(peer);
+  return it != direct_routes_.end() &&
+         it->second.verified_at + config_.route_ttl > sim_.now();
+}
+
+bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView payload,
+                     sim::Proto proto) {
+  if (!attached_ || card.id.is_nil()) return false;
+
+  DataMsg msg;
+  msg.from = self_;
+  msg.tag = tag;
+  msg.payload.assign(payload.begin(), payload.end());
+
+  // 1. Verified punched route.
+  if (auto it = direct_routes_.find(card.id);
+      it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > sim_.now()) {
+    return net_.send(internal_ep_, it->second.endpoint, msg.serialize(), proto);
+  }
+  // 2. P-node: its address is globally reachable.
+  if (card.is_public) {
+    return net_.send(internal_ep_, card.addr, msg.serialize(), proto);
+  }
+  // 3. We are the target's relay: forward from our own registration table.
+  if (card.relay_id == self_) {
+    auto it = registrations_.find(card.id);
+    if (it == registrations_.end() || it->second.expires <= sim_.now()) return false;
+    msg.relayed = true;
+    msg.observed_src = internal_ep_;  // we are public; peers see this address
+    return net_.send(internal_ep_, it->second.external, msg.serialize(), proto);
+  }
+  // 4. Via the target's relay.
+  if (card.addr.is_nil()) return false;
+  msg.relayed = true;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kForward));
+  w.node_id(card.id);
+  w.bytes(msg.serialize());
+  return net_.send(internal_ep_, card.addr, std::move(w).take(), proto);
+}
+
+bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, sim::Proto proto) {
+  if (!attached_ || to.is_nil()) return false;
+  DataMsg msg;
+  msg.from = self_;
+  msg.tag = tag;
+  msg.payload.assign(payload.begin(), payload.end());
+
+  if (auto it = direct_routes_.find(to);
+      it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > sim_.now()) {
+    return net_.send(internal_ep_, it->second.endpoint, msg.serialize(), proto);
+  }
+  if (auto it = registrations_.find(to);
+      it != registrations_.end() && it->second.expires > sim_.now()) {
+    msg.relayed = true;
+    msg.observed_src = internal_ep_;
+    return net_.send(internal_ep_, it->second.external, msg.serialize(), proto);
+  }
+  return false;
+}
+
+void Transport::on_datagram(const sim::Datagram& dgram) {
+  Reader r(dgram.payload);
+  const auto type = static_cast<MsgType>(r.u8());
+  if (!r.ok()) return;
+  switch (type) {
+    case MsgType::kData:
+      handle_data(dgram, r);
+      break;
+    case MsgType::kForward:
+      handle_forward(dgram, r);
+      break;
+    case MsgType::kRegister:
+      handle_register(dgram, r);
+      break;
+    case MsgType::kRegisterAck:
+      handle_register_ack(r);
+      break;
+    case MsgType::kProbe:
+      handle_probe(dgram, r);
+      break;
+    case MsgType::kProbeAck:
+      handle_probe_ack(dgram, r);
+      break;
+  }
+}
+
+void Transport::handle_data(const sim::Datagram& dgram, Reader& r) {
+  auto msg = DataMsg::parse(r);
+  if (!msg) return;
+
+  if (!msg->relayed) {
+    // Direct packet: the peer can reach us; probe back so that we can
+    // confirm the reverse direction too.
+    if (!can_send_direct(msg->from)) consider_probe(msg->from, dgram.src);
+  } else if (!msg->observed_src.is_nil()) {
+    // Relayed with an observed external endpoint: hole punch candidate —
+    // unless the "observed" address is the relay itself (P-node relaying
+    // for us stamps its own address when it is the original sender).
+    if (!can_send_direct(msg->from)) consider_probe(msg->from, msg->observed_src);
+  }
+
+  auto it = handlers_.find(msg->tag);
+  if (it != handlers_.end()) it->second(msg->from, msg->payload);
+}
+
+void Transport::handle_forward(const sim::Datagram& dgram, Reader& r) {
+  if (!is_public_) return;  // only P-nodes relay
+  const NodeId dst = r.node_id();
+  Bytes inner = r.bytes();
+  if (!r.ok()) return;
+
+  auto it = registrations_.find(dst);
+  if (it == registrations_.end() || it->second.expires <= sim_.now()) return;
+
+  // Stamp the sender's observed external endpoint into the data message so
+  // the receiver can attempt hole punching (the RV role of Nylon).
+  Reader ir(inner);
+  const auto type = static_cast<MsgType>(ir.u8());
+  if (type != MsgType::kData) return;
+  auto msg = DataMsg::parse(ir);
+  if (!msg) return;
+  msg->observed_src = dgram.src;
+  // Keep the original accounting class for forwarded traffic.
+  net_.send(internal_ep_, it->second.external, msg->serialize(), dgram.proto);
+}
+
+void Transport::handle_register(const sim::Datagram& dgram, Reader& r) {
+  if (!is_public_) return;
+  const NodeId who = r.node_id();
+  if (!r.ok()) return;
+  registrations_[who] = Registration{dgram.src, sim_.now() + config_.registration_ttl};
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRegisterAck));
+  w.node_id(self_);
+  net_.send(internal_ep_, dgram.src, std::move(w).take(), sim::Proto::kControl);
+}
+
+void Transport::handle_register_ack(Reader& r) {
+  const NodeId from = r.node_id();
+  if (!r.ok()) return;
+  if (from == relay_.id) unanswered_keepalives_ = 0;
+}
+
+void Transport::consider_probe(NodeId peer, Endpoint candidate) {
+  if (peer == self_ || candidate.is_nil()) return;
+  auto& pending = probes_[peer];
+  if (pending.sent_at != 0 && pending.sent_at + config_.probe_min_interval > sim_.now()) return;
+  pending.seq = next_probe_seq_++;
+  pending.target = candidate;
+  pending.sent_at = sim_.now();
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kProbe));
+  w.node_id(self_);
+  w.u32(pending.seq);
+  net_.send(internal_ep_, candidate, std::move(w).take(), sim::Proto::kControl);
+}
+
+void Transport::handle_probe(const sim::Datagram& dgram, Reader& r) {
+  const NodeId from = r.node_id();
+  const std::uint32_t seq = r.u32();
+  if (!r.ok()) return;
+  // The probe reached us directly: answering to its wire source both
+  // confirms reachability to the peer and opens our own mapping toward it.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kProbeAck));
+  w.node_id(self_);
+  w.u32(seq);
+  net_.send(internal_ep_, dgram.src, std::move(w).take(), sim::Proto::kControl);
+  (void)from;
+}
+
+void Transport::handle_probe_ack(const sim::Datagram& dgram, Reader& r) {
+  const NodeId from = r.node_id();
+  const std::uint32_t seq = r.u32();
+  if (!r.ok()) return;
+  auto it = probes_.find(from);
+  if (it == probes_.end() || it->second.seq != seq) return;
+  // Our probe went through and the ack came back: the probed endpoint is a
+  // working direct route.
+  note_direct_route(from, it->second.target);
+  (void)dgram;
+}
+
+void Transport::note_direct_route(NodeId peer, Endpoint ep) {
+  direct_routes_[peer] = DirectRoute{ep, sim_.now()};
+}
+
+std::size_t Transport::relayed_registrations() const {
+  std::size_t n = 0;
+  for (const auto& [id, reg] : registrations_) {
+    if (reg.expires > sim_.now()) ++n;
+  }
+  return n;
+}
+
+}  // namespace whisper::nylon

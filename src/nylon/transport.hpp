@@ -1,0 +1,161 @@
+// Nylon transport: NAT-resilient node-to-node datagram delivery (§II-C).
+//
+// Responsibilities:
+//  - N-nodes register with a public relay node and keep the registration
+//    alive; the relay forwards traffic to them (the Nylon RV-as-relay role).
+//  - Hole punching: on learning a peer's observed external endpoint (either
+//    from direct traffic or from the relay's stamp), a node probes it;
+//    a probe-ack confirms a working *direct* route, which is then preferred
+//    over the relay. Whether probes and acks actually traverse is decided
+//    by the NAT emulation — cone/cone pairs converge to direct routes,
+//    symmetric NATs keep needing the relay, as the paper observes.
+//  - Demultiplexing: upper layers (PSS gossip, key sampling, WCL) register
+//    per-tag handlers.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "pss/contact.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace whisper::nylon {
+
+/// Upper-layer protocol tags carried inside transport data messages.
+inline constexpr std::uint8_t kTagPss = 1;
+inline constexpr std::uint8_t kTagKeys = 2;
+inline constexpr std::uint8_t kTagWcl = 3;
+inline constexpr std::uint8_t kTagApp = 4;
+
+struct TransportConfig {
+  /// Relay registration refresh period (also refreshes the NAT mapping).
+  sim::Time keepalive_period = 30 * sim::kSecond;
+  /// Registrations at a relay expire after this long without a keepalive.
+  sim::Time registration_ttl = 2 * sim::kMinute;
+  /// Verified direct routes are trusted for this long after verification
+  /// (must stay below the NAT lease, which keeps the hole open; the default
+  /// matches TCP-style hour-scale leases).
+  sim::Time route_ttl = 30 * sim::kMinute;
+  /// Minimum interval between punch probes to the same peer.
+  sim::Time probe_min_interval = 5 * sim::kSecond;
+  /// After this many unanswered keepalives the relay is declared lost.
+  int relay_loss_threshold = 3;
+};
+
+class Transport {
+ public:
+  Transport(sim::Simulator& sim, sim::Network& net, NodeId self, Endpoint internal_ep,
+            bool is_public, TransportConfig config = {});
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  NodeId self() const { return self_; }
+  bool is_public() const { return is_public_; }
+  Endpoint internal_endpoint() const { return internal_ep_; }
+
+  /// This node's current contact card (changes when the relay changes).
+  pss::ContactCard self_card() const;
+
+  /// Choose/replace the relay (N-nodes only; `relay` must be a P-node card).
+  void set_relay(const pss::ContactCard& relay);
+  /// True when an N-node has no live relay (none set, or keepalives
+  /// unanswered): the node is unreachable and should pick a new relay.
+  bool relay_lost() const;
+  NodeId relay_id() const { return relay_.id; }
+
+  using Handler = std::function<void(NodeId from, BytesView payload)>;
+  void register_handler(std::uint8_t tag, Handler handler);
+
+  /// Send `payload` to the node described by `card`, preferring a verified
+  /// direct route, then the card's address (direct for P-nodes, via relay
+  /// for N-nodes). Returns false if no send was possible at all.
+  bool send(const pss::ContactCard& card, std::uint8_t tag, BytesView payload,
+            sim::Proto proto);
+
+  /// True if a verified, fresh direct route to `peer` exists.
+  bool can_send_direct(NodeId peer) const;
+
+  /// Best-effort send using only local state — a verified punched route or
+  /// our own relay registration for the peer. Used by the WCL when a mix
+  /// must reach the next hop without a contact card (the onion carries only
+  /// the node id). Returns false when no such state exists.
+  bool send_by_id(NodeId to, std::uint8_t tag, BytesView payload, sim::Proto proto);
+
+  /// Stop timers and detach from the network (node shutdown/churn).
+  void shutdown();
+  bool running() const { return attached_; }
+
+  /// Number of live registrations this node is relaying for (P-nodes).
+  std::size_t relayed_registrations() const;
+
+ private:
+  struct DataMsg {
+    NodeId from;
+    bool relayed = false;
+    Endpoint observed_src;  // stamped by the relay
+    std::uint8_t tag = 0;
+    Bytes payload;
+
+    Bytes serialize() const;
+    static std::optional<DataMsg> parse(Reader& r);
+  };
+
+  void on_datagram(const sim::Datagram& dgram);
+  void handle_data(const sim::Datagram& dgram, Reader& r);
+  void handle_forward(const sim::Datagram& dgram, Reader& r);
+  void handle_register(const sim::Datagram& dgram, Reader& r);
+  void handle_register_ack(Reader& r);
+  void handle_probe(const sim::Datagram& dgram, Reader& r);
+  void handle_probe_ack(const sim::Datagram& dgram, Reader& r);
+
+  void send_keepalive();
+  void consider_probe(NodeId peer, Endpoint candidate);
+  void note_direct_route(NodeId peer, Endpoint ep);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  NodeId self_;
+  Endpoint internal_ep_;
+  bool is_public_;
+  TransportConfig config_;
+  bool attached_ = false;
+
+  // Relay state (N-nodes).
+  pss::ContactCard relay_;  // nil id when unset
+  int unanswered_keepalives_ = 0;
+  sim::TimerId keepalive_timer_ = 0;
+
+  // Verified direct routes to peers.
+  struct DirectRoute {
+    Endpoint endpoint;
+    sim::Time verified_at = 0;
+  };
+  std::unordered_map<NodeId, DirectRoute> direct_routes_;
+
+  // Punch probes in flight: peer -> (seq, target, sent_at).
+  struct PendingProbe {
+    std::uint32_t seq = 0;
+    Endpoint target;
+    sim::Time sent_at = 0;
+  };
+  std::unordered_map<NodeId, PendingProbe> probes_;
+  std::uint32_t next_probe_seq_ = 1;
+
+  // Relay-side registrations (P-nodes).
+  struct Registration {
+    Endpoint external;
+    sim::Time expires = 0;
+  };
+  std::unordered_map<NodeId, Registration> registrations_;
+
+  std::unordered_map<std::uint8_t, Handler> handlers_;
+};
+
+}  // namespace whisper::nylon

@@ -1,0 +1,80 @@
+#include "overlay/aggregation.hpp"
+
+#include <algorithm>
+
+namespace whisper::overlay {
+
+namespace {
+constexpr std::uint8_t kKindPush = 1;
+constexpr std::uint8_t kKindPull = 2;
+}  // namespace
+
+Aggregation::Aggregation(sim::Simulator& sim, ppss::Ppss& ppss, double initial_value,
+                         AggregationConfig config, Rng rng)
+    : sim_(sim), ppss_(ppss), config_(config), rng_(rng), value_(initial_value) {
+  ppss_.register_app(config_.app_id, [this](const wcl::RemotePeer& from, BytesView p) {
+    handle_app(from, p);
+  });
+}
+
+Aggregation::~Aggregation() { stop(); }
+
+void Aggregation::start() {
+  if (running_) return;
+  running_ = true;
+  cycle_timer_ = sim_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
+}
+
+void Aggregation::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
+}
+
+double Aggregation::combine(double mine, double theirs) const {
+  switch (config_.kind) {
+    case AggregateKind::kAverage:
+      return (mine + theirs) / 2.0;
+    case AggregateKind::kMax:
+      return std::max(mine, theirs);
+    case AggregateKind::kMin:
+      return std::min(mine, theirs);
+  }
+  return mine;
+}
+
+void Aggregation::on_cycle() {
+  if (!running_) return;
+  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+
+  const auto& view = ppss_.private_view();
+  if (view.empty()) return;
+  Rng pick = rng_.fork();
+  const auto& entries = view.entries();
+  const auto& partner = entries[pick.pick_index(entries)];
+
+  Writer w;
+  w.u8(kKindPush);
+  w.f64(value_);
+  ppss_.send_app_to(partner.peer, w.data(), config_.app_id);
+}
+
+void Aggregation::handle_app(const wcl::RemotePeer& from, BytesView payload) {
+  Reader r(payload);
+  const std::uint8_t kind = r.u8();
+  const double theirs = r.f64();
+  if (!r.ok()) return;
+
+  if (kind == kKindPush) {
+    // Classic push-pull: answer with our pre-combination value, then both
+    // sides hold combine(mine, theirs).
+    Writer w;
+    w.u8(kKindPull);
+    w.f64(value_);
+    ppss_.send_app_to(from, w.data(), config_.app_id);
+  }
+  value_ = combine(value_, theirs);
+  ++exchanges_;
+}
+
+}  // namespace whisper::overlay

@@ -1,0 +1,67 @@
+// Gossip-based aggregation inside a private group (the paper's reference
+// [8], Jelasity et al.): push-pull averaging over confidential channels.
+//
+// Each node holds a local estimate; on every exchange both partners set
+// their estimate to the pair's mean. Estimates converge exponentially to
+// the group-wide average. Three classic uses, all cited by the paper:
+//  - AVERAGE of a measured quantity;
+//  - MAX by taking max() instead of mean() (the leader-election primitive
+//    of §IV-A);
+//  - SIZE estimation [11]: one node starts at 1, everyone else at 0; the
+//    average converges to 1/n, so n ≈ 1/estimate.
+#pragma once
+
+#include <functional>
+
+#include "ppss/ppss.hpp"
+
+namespace whisper::overlay {
+
+enum class AggregateKind : std::uint8_t {
+  kAverage = 0,
+  kMax = 1,
+  kMin = 2,
+};
+
+struct AggregationConfig {
+  sim::Time cycle = 30 * sim::kSecond;
+  AggregateKind kind = AggregateKind::kAverage;
+  std::uint8_t app_id = 5;
+};
+
+class Aggregation {
+ public:
+  Aggregation(sim::Simulator& sim, ppss::Ppss& ppss, double initial_value,
+              AggregationConfig config, Rng rng);
+  ~Aggregation();
+
+  Aggregation(const Aggregation&) = delete;
+  Aggregation& operator=(const Aggregation&) = delete;
+
+  void start();
+  void stop();
+
+  double estimate() const { return value_; }
+  void set_value(double v) { value_ = v; }
+  std::uint64_t exchanges() const { return exchanges_; }
+
+  /// For kAverage seeded as size-estimation (leader = 1, others = 0):
+  /// the implied group size (0 when the estimate is still degenerate).
+  double implied_size() const { return value_ > 1e-12 ? 1.0 / value_ : 0.0; }
+
+ private:
+  void on_cycle();
+  void handle_app(const wcl::RemotePeer& from, BytesView payload);
+  double combine(double mine, double theirs) const;
+
+  sim::Simulator& sim_;
+  ppss::Ppss& ppss_;
+  AggregationConfig config_;
+  Rng rng_;
+  double value_;
+  bool running_ = false;
+  sim::TimerId cycle_timer_ = 0;
+  std::uint64_t exchanges_ = 0;
+};
+
+}  // namespace whisper::overlay

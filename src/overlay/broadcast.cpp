@@ -1,0 +1,70 @@
+#include "overlay/broadcast.hpp"
+
+namespace whisper::overlay {
+
+Broadcast::Broadcast(ppss::Ppss& ppss, BroadcastConfig config, Rng rng)
+    : ppss_(ppss), config_(config), rng_(rng),
+      next_msg_id_((ppss.self().value << 20) | 1) {
+  ppss_.register_app(config_.app_id, [this](const wcl::RemotePeer& from, BytesView p) {
+    handle_app(from, p);
+  });
+}
+
+bool Broadcast::mark_seen(std::uint64_t msg_id) {
+  if (seen_.contains(msg_id)) return false;
+  if (seen_.size() >= config_.seen_capacity) seen_.clear();  // coarse reset
+  seen_.insert(msg_id);
+  return true;
+}
+
+std::uint64_t Broadcast::publish(BytesView payload) {
+  const std::uint64_t msg_id = next_msg_id_++;
+  mark_seen(msg_id);
+  ++stats_.published;
+  ++stats_.delivered;
+  if (on_deliver) on_deliver(ppss_.self(), payload);
+  forward(msg_id, ppss_.self(), config_.hop_budget, payload, ppss_.self());
+  return msg_id;
+}
+
+void Broadcast::forward(std::uint64_t msg_id, NodeId origin, std::uint32_t hops_left,
+                        BytesView payload, NodeId skip) {
+  if (hops_left == 0) return;
+  Writer w;
+  w.u64(msg_id);
+  w.node_id(origin);
+  w.u32(hops_left - 1);
+  w.bytes(payload);
+
+  // Sample `fanout` distinct members from the private view.
+  std::vector<const ppss::PrivateEntry*> pool;
+  for (const auto& e : ppss_.private_view().entries()) {
+    if (e.id() == skip || e.id() == ppss_.self()) continue;
+    pool.push_back(&e);
+  }
+  rng_.shuffle(pool);
+  const std::size_t n = std::min(config_.fanout, pool.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ppss_.send_app_to(pool[i]->peer, w.data(), config_.app_id);
+    ++stats_.forwarded;
+  }
+}
+
+void Broadcast::handle_app(const wcl::RemotePeer& from, BytesView payload) {
+  Reader r(payload);
+  const std::uint64_t msg_id = r.u64();
+  const NodeId origin = r.node_id();
+  const std::uint32_t hops_left = r.u32();
+  const Bytes body = r.bytes();
+  if (!r.ok()) return;
+
+  if (!mark_seen(msg_id)) {
+    ++stats_.duplicates;
+    return;
+  }
+  ++stats_.delivered;
+  if (on_deliver) on_deliver(origin, body);
+  forward(msg_id, origin, hops_left, body, from.card.id);
+}
+
+}  // namespace whisper::overlay

@@ -1,0 +1,62 @@
+// Group broadcast: lpbcast-style probabilistic dissemination [5] inside a
+// private group — the "application-level multicast" the paper lists among
+// the PSS-powered protocols, here running over confidential channels.
+//
+// Messages carry an id and a hop budget; every receiver delivers once and
+// re-forwards to `fanout` members sampled from its private view. With
+// fanout ~3 and log-scale hop budgets, delivery probability approaches 1
+// for group-sized populations.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "ppss/ppss.hpp"
+
+namespace whisper::overlay {
+
+struct BroadcastConfig {
+  std::size_t fanout = 3;
+  std::uint32_t hop_budget = 6;
+  /// Cap on the duplicate-suppression cache.
+  std::size_t seen_capacity = 4096;
+  std::uint8_t app_id = 4;
+};
+
+class Broadcast {
+ public:
+  Broadcast(ppss::Ppss& ppss, BroadcastConfig config, Rng rng);
+
+  Broadcast(const Broadcast&) = delete;
+  Broadcast& operator=(const Broadcast&) = delete;
+
+  /// Delivery upcall: fires exactly once per message id.
+  using DeliverFn = std::function<void(NodeId origin, BytesView payload)>;
+  DeliverFn on_deliver;
+
+  /// Publish to the group; delivers locally too. Returns the message id.
+  std::uint64_t publish(BytesView payload);
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t forwarded = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void handle_app(const wcl::RemotePeer& from, BytesView payload);
+  void forward(std::uint64_t msg_id, NodeId origin, std::uint32_t hops_left,
+               BytesView payload, NodeId skip);
+  bool mark_seen(std::uint64_t msg_id);
+
+  ppss::Ppss& ppss_;
+  BroadcastConfig config_;
+  Rng rng_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t next_msg_id_;
+  Stats stats_;
+};
+
+}  // namespace whisper::overlay

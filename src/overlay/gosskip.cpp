@@ -1,0 +1,146 @@
+#include "overlay/gosskip.hpp"
+
+namespace whisper::overlay {
+
+namespace {
+constexpr std::uint8_t kKindSearchReq = 1;
+constexpr std::uint8_t kKindSearchResp = 2;
+}  // namespace
+
+GosSkip::GosSkip(sim::Simulator& sim, ppss::Ppss& ppss, GosSkipConfig config, Rng rng)
+    : sim_(sim), ppss_(ppss), config_(config), rng_(rng),
+      tman_(sim, ppss, overlay_key_of(ppss.self()), rank::line, config.tman, rng_.fork()),
+      next_search_id_(ppss.self().value << 16) {
+  ppss_.register_app(config_.search_app_id,
+                     [this](const wcl::RemotePeer& from, BytesView p) {
+                       handle_search(from, p);
+                     });
+}
+
+GosSkip::~GosSkip() { stop(); }
+
+void GosSkip::start() { tman_.start(); }
+
+void GosSkip::stop() {
+  tman_.stop();
+  for (auto& [id, p] : pending_) {
+    if (p.timeout_timer != 0) sim_.cancel(p.timeout_timer);
+  }
+  pending_.clear();
+}
+
+std::optional<OverlayDescriptor> GosSkip::left() const {
+  std::optional<OverlayDescriptor> best;
+  for (const auto& d : tman_.candidates_sorted()) {
+    if (d.key < self_key()) best = d;  // sorted ascending: last one below
+  }
+  return best;
+}
+
+std::optional<OverlayDescriptor> GosSkip::right() const {
+  for (const auto& d : tman_.candidates_sorted()) {
+    if (d.key > self_key()) return d;  // first one above
+  }
+  return std::nullopt;
+}
+
+bool GosSkip::owns(OverlayKey key) const {
+  // The owner of `key` is the member with the smallest key >= `key`
+  // (wrapping past the largest key to the smallest member). We own it when
+  // no known candidate sits between `key` and us.
+  if (key > self_key()) {
+    // Only via wrap-around: we own it if we are the smallest member and no
+    // candidate has key >= `key`.
+    for (const auto& d : tman_.candidates_sorted()) {
+      if (d.key >= key || d.key < self_key()) return false;
+    }
+    return true;
+  }
+  for (const auto& d : tman_.candidates_sorted()) {
+    if (d.key >= key && d.key < self_key()) return false;
+  }
+  return true;
+}
+
+void GosSkip::search(OverlayKey key, SearchCallback callback) {
+  const std::uint64_t search_id = next_search_id_++;
+  PendingSearch pending;
+  pending.callback = std::move(callback);
+  pending.started_at = sim_.now();
+  pending.timeout_timer = sim_.schedule_after(config_.search_timeout, [this, search_id] {
+    auto it = pending_.find(search_id);
+    if (it == pending_.end()) return;
+    auto cb = std::move(it->second.callback);
+    pending_.erase(it);
+    cb(std::nullopt);
+  });
+  pending_[search_id] = std::move(pending);
+  route_or_answer(key, search_id, OverlayDescriptor{self_key(), ppss_.self_descriptor()}, 0);
+}
+
+void GosSkip::route_or_answer(OverlayKey key, std::uint64_t search_id,
+                              const OverlayDescriptor& origin, std::uint32_t hops) {
+  const bool we_are_origin = origin.id() == ppss_.self();
+  if (owns(key) || hops >= config_.search_hop_limit) {
+    if (we_are_origin) {
+      auto it = pending_.find(search_id);
+      if (it == pending_.end()) return;
+      if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+      auto cb = std::move(it->second.callback);
+      const sim::Time rtt = sim_.now() - it->second.started_at;
+      pending_.erase(it);
+      cb(SearchResult{OverlayDescriptor{self_key(), ppss_.self_descriptor()}, hops, rtt});
+      return;
+    }
+    Writer w;
+    w.u8(kKindSearchResp);
+    w.u64(search_id);
+    w.u32(hops);
+    OverlayDescriptor{self_key(), ppss_.self_descriptor()}.serialize(w);
+    ppss_.send_app_to(origin.peer, w.data(), config_.search_app_id);
+    return;
+  }
+
+  // Greedy step: the known candidate closest to the target key.
+  auto next = tman_.closest_to(key, 1);
+  if (next.empty()) return;
+
+  Writer w;
+  w.u8(kKindSearchReq);
+  w.u64(search_id);
+  w.u64(key);
+  w.u32(hops + 1);
+  origin.serialize(w);
+  ppss_.send_app_to(next.front().peer, w.data(), config_.search_app_id);
+}
+
+void GosSkip::handle_search(const wcl::RemotePeer& from, BytesView payload) {
+  Reader r(payload);
+  const std::uint8_t kind = r.u8();
+  if (!r.ok()) return;
+  if (kind == kKindSearchReq) {
+    const std::uint64_t search_id = r.u64();
+    const OverlayKey key = r.u64();
+    const std::uint32_t hops = r.u32();
+    auto origin = OverlayDescriptor::deserialize(r);
+    if (!r.ok() || !origin) return;
+    route_or_answer(key, search_id, *origin, hops);
+    return;
+  }
+  if (kind == kKindSearchResp) {
+    const std::uint64_t search_id = r.u64();
+    const std::uint32_t hops = r.u32();
+    auto owner = OverlayDescriptor::deserialize(r);
+    if (!r.ok() || !owner) return;
+    auto it = pending_.find(search_id);
+    if (it == pending_.end()) return;
+    if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+    auto cb = std::move(it->second.callback);
+    const sim::Time rtt = sim_.now() - it->second.started_at;
+    pending_.erase(it);
+    cb(SearchResult{*owner, hops, rtt});
+  }
+  (void)from;
+}
+
+}  // namespace whisper::overlay

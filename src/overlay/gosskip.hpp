@@ -1,0 +1,73 @@
+// GosSkip-style sorted overlay (the paper's reference [13]): members of a
+// private group arrange themselves on a line sorted by key, each node
+// maintaining its nearest left/right neighbours — a skip-list level-0 built
+// with T-Man over confidential channels. Supports greedy key search with
+// replies routed straight back to the querier (same pattern as T-Chord's
+// Fig. 9 experiment).
+#pragma once
+
+#include "overlay/tman.hpp"
+
+namespace whisper::overlay {
+
+struct GosSkipConfig {
+  TManConfig tman{};
+  std::size_t search_hop_limit = 32;
+  sim::Time search_timeout = 20 * sim::kSecond;
+  /// PPSS app channel for search traffic (the TMan instance uses
+  /// tman.app_id for construction gossip).
+  std::uint8_t search_app_id = 3;
+};
+
+class GosSkip {
+ public:
+  GosSkip(sim::Simulator& sim, ppss::Ppss& ppss, GosSkipConfig config, Rng rng);
+  ~GosSkip();
+
+  GosSkip(const GosSkip&) = delete;
+  GosSkip& operator=(const GosSkip&) = delete;
+
+  void start();
+  void stop();
+
+  OverlayKey self_key() const { return tman_.self_key(); }
+
+  /// Nearest neighbour on the left (largest key < self), if known.
+  std::optional<OverlayDescriptor> left() const;
+  /// Nearest neighbour on the right (smallest key > self), if known.
+  std::optional<OverlayDescriptor> right() const;
+  std::size_t candidate_count() const { return tman_.candidate_count(); }
+
+  struct SearchResult {
+    OverlayDescriptor owner;  // the member with the smallest key >= target
+    std::uint32_t hops = 0;
+    sim::Time rtt = 0;
+  };
+  using SearchCallback = std::function<void(std::optional<SearchResult>)>;
+
+  /// Greedy search for the member responsible for `key` (successor on the
+  /// sorted line, wrapping at the top).
+  void search(OverlayKey key, SearchCallback callback);
+
+ private:
+  void handle_search(const wcl::RemotePeer& from, BytesView payload);
+  void route_or_answer(OverlayKey key, std::uint64_t search_id,
+                       const OverlayDescriptor& origin, std::uint32_t hops);
+  bool owns(OverlayKey key) const;
+
+  sim::Simulator& sim_;
+  ppss::Ppss& ppss_;
+  GosSkipConfig config_;
+  Rng rng_;
+  TMan tman_;
+
+  struct PendingSearch {
+    SearchCallback callback;
+    sim::Time started_at = 0;
+    sim::TimerId timeout_timer = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingSearch> pending_;
+  std::uint64_t next_search_id_;
+};
+
+}  // namespace whisper::overlay

@@ -1,0 +1,174 @@
+#include "overlay/tman.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace whisper::overlay {
+
+namespace {
+constexpr std::uint8_t kKindReq = 1;
+constexpr std::uint8_t kKindResp = 2;
+}  // namespace
+
+void OverlayDescriptor::serialize(Writer& w) const {
+  w.u64(key);
+  peer.serialize(w);
+}
+
+std::optional<OverlayDescriptor> OverlayDescriptor::deserialize(Reader& r) {
+  OverlayDescriptor d;
+  d.key = r.u64();
+  auto peer = wcl::RemotePeer::deserialize(r);
+  if (!peer || !r.ok()) return std::nullopt;
+  d.peer = std::move(*peer);
+  return d;
+}
+
+namespace rank {
+
+std::uint64_t ring(OverlayKey self, OverlayKey candidate) {
+  const std::uint64_t cw = candidate - self;
+  const std::uint64_t ccw = self - candidate;
+  return std::min(cw, ccw);
+}
+
+std::uint64_t line(OverlayKey self, OverlayKey candidate) {
+  return self > candidate ? self - candidate : candidate - self;
+}
+
+}  // namespace rank
+
+OverlayKey overlay_key_of(NodeId id) {
+  Writer w;
+  w.str("overlay-key");
+  w.node_id(id);
+  return crypto::fingerprint64(w.data());
+}
+
+TMan::TMan(sim::Simulator& sim, ppss::Ppss& ppss, OverlayKey self_key, RankFn rank,
+           TManConfig config, Rng rng)
+    : sim_(sim), ppss_(ppss), self_key_(self_key), rank_(std::move(rank)), config_(config),
+      rng_(rng) {
+  ppss_.register_app(config_.app_id, [this](const wcl::RemotePeer& from, BytesView p) {
+    handle_app(from, p);
+  });
+}
+
+TMan::~TMan() { stop(); }
+
+void TMan::start() {
+  if (running_) return;
+  running_ = true;
+  cycle_timer_ = sim_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
+}
+
+void TMan::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
+}
+
+void TMan::absorb(const OverlayDescriptor& d) {
+  if (d.id() == ppss_.self() || d.id().is_nil()) return;
+  candidates_[d.key] = d;
+  trim();
+}
+
+void TMan::trim() {
+  // Keep the candidates most relevant to self; drop the worst-ranked.
+  while (candidates_.size() > config_.candidate_capacity) {
+    auto worst = candidates_.begin();
+    for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
+      if (rank_(self_key_, it->first) > rank_(self_key_, worst->first)) worst = it;
+    }
+    candidates_.erase(worst);
+  }
+}
+
+std::vector<OverlayDescriptor> TMan::best_for(OverlayKey target, std::size_t n) const {
+  std::vector<OverlayDescriptor> all;
+  all.reserve(candidates_.size());
+  for (const auto& [k, d] : candidates_) all.push_back(d);
+  std::sort(all.begin(), all.end(), [&](const OverlayDescriptor& a, const OverlayDescriptor& b) {
+    return rank_(target, a.key) < rank_(target, b.key);
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::vector<OverlayDescriptor> TMan::closest(std::size_t n) const {
+  return best_for(self_key_, n);
+}
+
+std::vector<OverlayDescriptor> TMan::closest_to(OverlayKey key, std::size_t n) const {
+  return best_for(key, n);
+}
+
+std::vector<OverlayDescriptor> TMan::candidates_sorted() const {
+  std::vector<OverlayDescriptor> out;
+  out.reserve(candidates_.size());
+  for (const auto& [k, d] : candidates_) out.push_back(d);
+  return out;
+}
+
+void TMan::on_cycle() {
+  if (!running_) return;
+  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+
+  // Seed from the PPSS private view (keeps descriptors fresh too).
+  for (const auto& e : ppss_.private_view().entries()) {
+    absorb(OverlayDescriptor{overlay_key_of(e.id()), e.peer});
+  }
+  if (candidates_.empty()) return;
+
+  // Partner: proximity-biased selection.
+  const OverlayDescriptor* partner = nullptr;
+  if (rng_.next_bool(config_.proximity_bias)) {
+    auto best = best_for(self_key_, 1);
+    if (!best.empty()) partner = &candidates_.find(best.front().key)->second;
+  }
+  if (partner == nullptr) {
+    auto it = candidates_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rng_.next_below(candidates_.size())));
+    partner = &it->second;
+  }
+
+  Writer w;
+  w.u8(kKindReq);
+  w.u64(self_key_);
+  auto buffer = best_for(partner->key, config_.gossip_descriptors);
+  w.u16(static_cast<std::uint16_t>(buffer.size()));
+  for (const auto& d : buffer) d.serialize(w);
+  ppss_.send_app_to(partner->peer, w.data(), config_.app_id);
+}
+
+void TMan::handle_app(const wcl::RemotePeer& from, BytesView payload) {
+  Reader r(payload);
+  const std::uint8_t kind = r.u8();
+  const OverlayKey sender_key = r.u64();
+  const std::uint16_t count = r.u16();
+  std::vector<OverlayDescriptor> received;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    auto d = OverlayDescriptor::deserialize(r);
+    if (!d) return;
+    received.push_back(std::move(*d));
+  }
+  if (!r.ok()) return;
+
+  absorb(OverlayDescriptor{sender_key, from});
+  for (const auto& d : received) absorb(d);
+  ++exchanges_;
+
+  if (kind == kKindReq) {
+    Writer w;
+    w.u8(kKindResp);
+    w.u64(self_key_);
+    auto buffer = best_for(sender_key, config_.gossip_descriptors);
+    w.u16(static_cast<std::uint16_t>(buffer.size()));
+    for (const auto& d : buffer) d.serialize(w);
+    ppss_.send_app_to(from, w.data(), config_.app_id);
+  }
+}
+
+}  // namespace whisper::overlay

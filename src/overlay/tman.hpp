@@ -1,0 +1,105 @@
+// Generic T-Man: gossip-based overlay construction inside a private group.
+//
+// The paper builds T-Chord with the T-Man framework [12] and points at
+// further overlays (GosSkip [13], Kelips [14]) as equally valid consumers of
+// the PPSS. This module is the reusable core: nodes hold a bounded candidate
+// set of (key, descriptor) pairs, gossip the candidates most useful to their
+// partner (ranked by a pluggable proximity function), and converge to the
+// neighbourhood structure the ranking induces. All traffic runs over the
+// PPSS application channel, i.e. through WCL confidential routes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "ppss/ppss.hpp"
+
+namespace whisper::overlay {
+
+/// Key on the overlay's metric space.
+using OverlayKey = std::uint64_t;
+
+/// A member descriptor placed on the metric space.
+struct OverlayDescriptor {
+  OverlayKey key = 0;
+  wcl::RemotePeer peer;
+
+  NodeId id() const { return peer.card.id; }
+  void serialize(Writer& w) const;
+  static std::optional<OverlayDescriptor> deserialize(Reader& r);
+};
+
+struct TManConfig {
+  sim::Time cycle = 30 * sim::kSecond;
+  std::size_t candidate_capacity = 32;
+  std::size_t gossip_descriptors = 8;
+  /// Fraction of cycles gossiping with the closest candidate (the rest go
+  /// to random candidates for connectivity).
+  double proximity_bias = 0.5;
+  /// PPSS application channel id this instance listens on.
+  std::uint8_t app_id = 2;
+};
+
+/// Proximity function: lower = more relevant to `self`. T-Man ranks
+/// candidate sets with this when choosing what to keep and what to send.
+using RankFn = std::function<std::uint64_t(OverlayKey self, OverlayKey candidate)>;
+
+/// Ready-made rankings.
+namespace rank {
+/// Ring distance (min of both directions) — T-Chord-style rings.
+std::uint64_t ring(OverlayKey self, OverlayKey candidate);
+/// Absolute difference on the line — sorted/GosSkip-style overlays.
+std::uint64_t line(OverlayKey self, OverlayKey candidate);
+}  // namespace rank
+
+class TMan {
+ public:
+  TMan(sim::Simulator& sim, ppss::Ppss& ppss, OverlayKey self_key, RankFn rank,
+       TManConfig config, Rng rng);
+  ~TMan();
+
+  TMan(const TMan&) = delete;
+  TMan& operator=(const TMan&) = delete;
+
+  void start();
+  void stop();
+
+  OverlayKey self_key() const { return self_key_; }
+  std::size_t candidate_count() const { return candidates_.size(); }
+
+  /// The n candidates ranked closest to self.
+  std::vector<OverlayDescriptor> closest(std::size_t n) const;
+  /// The candidates ranked closest to an arbitrary key.
+  std::vector<OverlayDescriptor> closest_to(OverlayKey key, std::size_t n) const;
+  /// All candidates in key order (ascending).
+  std::vector<OverlayDescriptor> candidates_sorted() const;
+
+  /// Inject a descriptor (e.g. from application traffic).
+  void absorb(const OverlayDescriptor& d);
+
+  std::uint64_t exchanges() const { return exchanges_; }
+
+ private:
+  void on_cycle();
+  void handle_app(const wcl::RemotePeer& from, BytesView payload);
+  std::vector<OverlayDescriptor> best_for(OverlayKey target, std::size_t n) const;
+  void trim();
+
+  sim::Simulator& sim_;
+  ppss::Ppss& ppss_;
+  OverlayKey self_key_;
+  RankFn rank_;
+  TManConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  sim::TimerId cycle_timer_ = 0;
+  std::map<OverlayKey, OverlayDescriptor> candidates_;
+  std::uint64_t exchanges_ = 0;
+};
+
+/// A node's key on the sorted overlay (hash of its id, distinct domain from
+/// the chord keys).
+OverlayKey overlay_key_of(NodeId id);
+
+}  // namespace whisper::overlay

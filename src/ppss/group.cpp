@@ -1,0 +1,114 @@
+#include "ppss/group.hpp"
+
+#include <algorithm>
+
+namespace whisper::ppss {
+
+void Passport::serialize(Writer& w) const {
+  w.node_id(node);
+  w.u64(epoch);
+  w.bytes(signature);
+}
+
+std::optional<Passport> Passport::deserialize(Reader& r) {
+  Passport p;
+  p.node = r.node_id();
+  p.epoch = r.u64();
+  p.signature = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+void Accreditation::serialize(Writer& w) const {
+  w.group_id(group);
+  w.node_id(node);
+  w.u64(epoch);
+  w.bytes(signature);
+}
+
+std::optional<Accreditation> Accreditation::deserialize(Reader& r) {
+  Accreditation a;
+  a.group = r.group_id();
+  a.node = r.node_id();
+  a.epoch = r.u64();
+  a.signature = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return a;
+}
+
+void GroupKeyring::add_epoch(std::uint64_t epoch, crypto::RsaPublicKey key) {
+  for (auto& [e, k] : keys_) {
+    if (e == epoch) {
+      k = std::move(key);
+      return;
+    }
+  }
+  keys_.emplace_back(epoch, std::move(key));
+}
+
+std::uint64_t GroupKeyring::latest_epoch() const {
+  std::uint64_t latest = 0;
+  for (const auto& [e, k] : keys_) latest = std::max(latest, e);
+  return latest;
+}
+
+std::optional<crypto::RsaPublicKey> GroupKeyring::key_for(std::uint64_t epoch) const {
+  for (const auto& [e, k] : keys_) {
+    if (e == epoch) return k;
+  }
+  return std::nullopt;
+}
+
+Bytes GroupKeyring::passport_message(GroupId group, NodeId node, std::uint64_t epoch) {
+  Writer w;
+  w.str("whisper-passport");
+  w.group_id(group);
+  w.node_id(node);
+  w.u64(epoch);
+  return std::move(w).take();
+}
+
+Bytes GroupKeyring::accreditation_message(GroupId group, NodeId node, std::uint64_t epoch) {
+  Writer w;
+  w.str("whisper-accreditation");
+  w.group_id(group);
+  w.node_id(node);
+  w.u64(epoch);
+  return std::move(w).take();
+}
+
+bool GroupKeyring::verify_passport(const Passport& p) const {
+  auto key = key_for(p.epoch);
+  if (!key) return false;
+  return crypto::rsa_verify(*key, passport_message(group_, p.node, p.epoch), p.signature);
+}
+
+bool GroupKeyring::verify_accreditation(const Accreditation& a) const {
+  if (a.group != group_) return false;
+  auto key = key_for(a.epoch);
+  if (!key) return false;
+  return crypto::rsa_verify(*key, accreditation_message(a.group, a.node, a.epoch),
+                            a.signature);
+}
+
+Passport issue_passport(GroupId group, std::uint64_t epoch, NodeId node,
+                        const crypto::RsaKeyPair& group_key) {
+  Passport p;
+  p.node = node;
+  p.epoch = epoch;
+  p.signature = crypto::rsa_sign(group_key, GroupKeyring::passport_message(group, node, epoch));
+  return p;
+}
+
+Accreditation issue_accreditation(GroupId group, std::uint64_t epoch, NodeId node,
+                                  const crypto::RsaKeyPair& group_key) {
+  Accreditation a;
+  a.group = group;
+  a.node = node;
+  a.epoch = epoch;
+  a.signature =
+      crypto::rsa_sign(group_key, GroupKeyring::accreditation_message(group, node, epoch));
+  return a;
+}
+
+}  // namespace whisper::ppss

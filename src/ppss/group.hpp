@@ -1,0 +1,79 @@
+// Private group management primitives (§IV-A).
+//
+// A private group has a public/private keypair; all members know the public
+// key, leaders hold the private key. Joining requires an accreditation
+// (signed invitation); the leader answers with a passport — the node's id
+// signed with the group key — which members ship with every intra-group
+// message. Messages with invalid passports are silently ignored, so a node
+// never reveals group membership to non-members.
+//
+// Group keys rotate on leader election: the keyring keeps the history of
+// group public keys (epoch-indexed) so passports issued under earlier keys
+// keep verifying.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+#include "crypto/rsa.hpp"
+
+namespace whisper::ppss {
+
+/// A member's proof of group membership: its node id signed with the group
+/// private key of some epoch.
+struct Passport {
+  NodeId node;
+  std::uint64_t epoch = 0;
+  Bytes signature;
+
+  void serialize(Writer& w) const;
+  static std::optional<Passport> deserialize(Reader& r);
+};
+
+/// An invitation to join: signed by a group key (or an external invitation
+/// manager — here always the group key).
+struct Accreditation {
+  GroupId group;
+  NodeId node;
+  std::uint64_t epoch = 0;
+  Bytes signature;
+
+  void serialize(Writer& w) const;
+  static std::optional<Accreditation> deserialize(Reader& r);
+};
+
+/// The history of group public keys, epoch-indexed.
+class GroupKeyring {
+ public:
+  explicit GroupKeyring(GroupId group) : group_(group) {}
+
+  GroupId group() const { return group_; }
+
+  void add_epoch(std::uint64_t epoch, crypto::RsaPublicKey key);
+  std::uint64_t latest_epoch() const;
+  std::optional<crypto::RsaPublicKey> key_for(std::uint64_t epoch) const;
+  std::size_t epochs() const { return keys_.size(); }
+
+  /// Verify a passport against the epoch key it claims.
+  bool verify_passport(const Passport& p) const;
+  bool verify_accreditation(const Accreditation& a) const;
+
+  /// Message bytes a passport signature covers.
+  static Bytes passport_message(GroupId group, NodeId node, std::uint64_t epoch);
+  static Bytes accreditation_message(GroupId group, NodeId node, std::uint64_t epoch);
+
+ private:
+  GroupId group_;
+  std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>> keys_;
+};
+
+/// Leader-side issuing helpers.
+Passport issue_passport(GroupId group, std::uint64_t epoch, NodeId node,
+                        const crypto::RsaKeyPair& group_key);
+Accreditation issue_accreditation(GroupId group, std::uint64_t epoch, NodeId node,
+                                  const crypto::RsaKeyPair& group_key);
+
+}  // namespace whisper::ppss

@@ -1,0 +1,233 @@
+// PPSS: the Private Peer Sampling Service (§IV).
+//
+// One instance per (node, group). Provides a private partial view of group
+// members, refreshed by gossip exchanges that travel exclusively over WCL
+// confidential routes. View entries are RemotePeer descriptors: contact
+// card, public key, and — for N-nodes — the Π P-node helpers needed to
+// build a WCL path to them. Every message ships the sender's passport;
+// invalid passports are silently ignored.
+//
+// Also implemented here:
+//  - join protocol (accreditation -> leader -> passport + bootstrap view);
+//  - persistent connection pool (PCP): pinned peers re-pinged periodically
+//    so their helper sets stay fresh (§IV-C);
+//  - leader liveness via heartbeat ages piggybacked on gossip, and leader
+//    election by gossip aggregation of the maximum id-hash, followed by a
+//    group-key rotation announced by the winner (§IV-A).
+//  - application messaging between group members over WCL, with the
+//    sender's descriptor shipped so the receiver can answer with a single
+//    WCL path (used by T-Chord, §V-G).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ppss/group.hpp"
+#include "pss/view.hpp"
+#include "sim/cpumeter.hpp"
+#include "wcl/wcl.hpp"
+
+namespace whisper::ppss {
+
+struct PpssConfig {
+  std::size_t view_size = 10;
+  std::size_t gossip_size = 5;  // entries per exchange (the paper's figure)
+  /// Entries older than this many cycles are dropped: their Π helper sets
+  /// are too stale to open WCL paths reliably.
+  std::uint32_t max_entry_age = 8;
+  sim::Time cycle = 1 * sim::kMinute;
+  sim::Time response_timeout = 15 * sim::kSecond;
+  sim::Time pcp_refresh = 2 * sim::kMinute;
+  /// A leader is presumed dead when no heartbeat has been observed for this
+  /// long; an election then starts.
+  sim::Time leader_timeout = 5 * sim::kMinute;
+  /// Election converges after the max-hash proposal has been stable for
+  /// this many consecutive cycles.
+  int election_stable_cycles = 3;
+  std::size_t join_max_retries = 3;
+};
+
+/// Entry of a private view: a reachable member descriptor plus gossip age.
+struct PrivateEntry {
+  wcl::RemotePeer peer;
+  std::uint32_t age = 0;
+
+  NodeId id() const { return peer.card.id; }
+  bool is_public() const { return peer.card.is_public; }
+
+  void serialize(Writer& w) const;
+  static std::optional<PrivateEntry> deserialize(Reader& r);
+};
+
+class Ppss {
+ public:
+  Ppss(sim::Simulator& sim, wcl::Wcl& wcl, NodeId self, GroupId group, sim::CpuMeter& cpu,
+       PpssConfig config, Rng rng);
+  ~Ppss();
+
+  Ppss(const Ppss&) = delete;
+  Ppss& operator=(const Ppss&) = delete;
+
+  GroupId group() const { return group_; }
+  NodeId self() const { return self_; }
+
+  /// Create the group: this node becomes the founding leader, holding the
+  /// group private key, with a self-issued passport.
+  void found_group(crypto::RsaKeyPair group_key);
+
+  /// Leader-side: issue an invitation for `node`.
+  std::optional<Accreditation> invite(NodeId node) const;
+
+  /// Join with an accreditation through a known member of the group
+  /// (the entry point; per the paper, join requests reach a leader — if the
+  /// entry point is not a leader the request is forwarded to one).
+  void join(const Accreditation& accreditation, const wcl::RemotePeer& entry_point);
+
+  bool joined() const { return !passport_.signature.empty(); }
+  bool is_leader() const { return group_key_.has_value(); }
+  const Passport& passport() const { return passport_; }
+  const GroupKeyring& keyring() const { return keyring_; }
+  std::uint64_t leader_epoch() const { return keyring_.latest_epoch(); }
+
+  void start();
+  void stop();
+
+  const pss::View<PrivateEntry>& private_view() const { return view_; }
+
+  /// Called by the node-level dispatcher with a group-stripped WCL payload.
+  void handle_payload(BytesView payload);
+
+  // --- Persistent connection pool (§IV-C). ---
+  void make_persistent(const wcl::RemotePeer& peer);
+  void drop_persistent(NodeId id);
+  std::optional<wcl::RemotePeer> persistent_peer(NodeId id) const;
+  std::size_t pcp_size() const { return pcp_.size(); }
+
+  // --- Application traffic. ---
+  /// Sender descriptor + payload, so the app can answer with a single path.
+  using AppHandler = std::function<void(const wcl::RemotePeer& from, BytesView payload)>;
+  /// Handler for the default application channel (app id 0).
+  AppHandler on_app_message;
+  /// Several protocols can share one group: each registers under its own
+  /// app id (1..255); id 0 is `on_app_message`.
+  void register_app(std::uint8_t app_id, AppHandler handler);
+
+  /// Send to a member known from the private view or the PCP.
+  bool send_app(NodeId to, BytesView payload, std::uint8_t app_id = 0);
+  /// Send to an explicitly known member descriptor (e.g. replying).
+  bool send_app_to(const wcl::RemotePeer& to, BytesView payload, std::uint8_t app_id = 0);
+
+  /// Resolve a member descriptor (PCP first, then private view).
+  std::optional<wcl::RemotePeer> resolve(NodeId id) const;
+
+  /// This node's own current descriptor (card, key, helpers) — what other
+  /// members need to reach us with a single WCL path.
+  wcl::RemotePeer self_descriptor() const;
+
+  struct Stats {
+    std::uint64_t exchanges_initiated = 0;
+    std::uint64_t exchanges_completed = 0;
+    std::uint64_t exchanges_timed_out = 0;
+    std::uint64_t bad_passports = 0;
+    std::uint64_t joins_served = 0;
+    std::uint64_t elections_won = 0;
+    std::uint64_t elections_observed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Callback fired when an exchange completes, with the round-trip time —
+  /// the data source for Fig. 7.
+  std::function<void(sim::Time rtt)> on_exchange_rtt;
+
+ private:
+  struct GossipMeta {
+    std::uint64_t leader_epoch = 0;
+    /// Microseconds since the sender last observed a leader heartbeat.
+    std::uint64_t heartbeat_age_us = 0;
+    /// Election proposal: the max id-hash seen (0 when no election).
+    std::uint64_t proposal_hash = 0;
+    NodeId proposal_node;
+    /// Key rotation announcement (present when epoch advanced).
+    Bytes rotation;  // empty when absent
+  };
+
+  void on_cycle();
+  void on_pcp_refresh();
+  void handle_gossip(std::uint8_t kind, Reader& r);
+  void handle_join_request(Reader& r);
+  void handle_join_response(Reader& r);
+  void handle_ping(std::uint8_t kind, Reader& r);
+  void handle_app(Reader& r);
+
+  bool verify_passport_cached(const Passport& p);
+  PrivateEntry self_entry();
+  Bytes encode_gossip(std::uint8_t kind, std::uint32_t seq,
+                      const std::vector<PrivateEntry>& buffer);
+  GossipMeta current_meta();
+  void absorb_meta(const GossipMeta& meta);
+  void maybe_elect();
+  Bytes make_rotation_announcement();
+  void send_join_request();
+
+  sim::Simulator& sim_;
+  wcl::Wcl& wcl_;
+  NodeId self_;
+  GroupId group_;
+  sim::CpuMeter& cpu_;
+  PpssConfig config_;
+  Rng rng_;
+  crypto::Drbg drbg_;
+
+  GroupKeyring keyring_;
+  Passport passport_;
+  std::optional<crypto::RsaKeyPair> group_key_;  // leaders only
+
+  pss::View<PrivateEntry> view_;
+  bool running_ = false;
+  sim::TimerId cycle_timer_ = 0;
+  sim::TimerId pcp_timer_ = 0;
+
+  // Pending gossip exchanges (seq -> partner/timer/start time).
+  struct PendingExchange {
+    NodeId partner;
+    sim::TimerId timeout_timer = 0;
+    sim::Time started_at = 0;
+  };
+  std::unordered_map<std::uint32_t, PendingExchange> pending_;
+  std::uint32_t next_seq_ = 1;
+
+  // Join state.
+  struct PendingJoin {
+    Accreditation accreditation;
+    wcl::RemotePeer entry_point;
+    std::size_t attempts = 0;
+    sim::TimerId retry_timer = 0;
+  };
+  std::optional<PendingJoin> pending_join_;
+
+  // PCP.
+  struct PinnedPeer {
+    wcl::RemotePeer peer;
+    int missed_pings = 0;
+  };
+  std::unordered_map<NodeId, PinnedPeer> pcp_;
+  std::unordered_map<std::uint32_t, NodeId> pending_pings_;
+
+  // Leader liveness & election.
+  sim::Time last_heartbeat_seen_ = 0;
+  std::uint64_t election_proposal_hash_ = 0;
+  NodeId election_proposal_node_;
+  int election_stable_count_ = 0;
+
+  // Passport verification cache (verified signature fingerprints).
+  std::unordered_set<std::uint64_t> verified_passports_;
+
+  // Registered application channels (app id 1..255).
+  std::unordered_map<std::uint8_t, AppHandler> app_handlers_;
+
+  Stats stats_;
+};
+
+}  // namespace whisper::ppss

@@ -1,0 +1,69 @@
+#include "pss/metrics.hpp"
+
+#include <deque>
+
+namespace whisper::pss {
+
+Samples clustering_coefficients(const OverlayGraph& graph) {
+  // Edge lookup set for O(1) membership tests.
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> out;
+  out.reserve(graph.size());
+  for (const auto& [node, nbrs] : graph) {
+    out[node].insert(nbrs.begin(), nbrs.end());
+  }
+  auto connected = [&](NodeId a, NodeId b) {
+    auto ita = out.find(a);
+    if (ita != out.end() && ita->second.contains(b)) return true;
+    auto itb = out.find(b);
+    return itb != out.end() && itb->second.contains(a);
+  };
+
+  Samples coeffs;
+  for (const auto& [node, nbrs] : graph) {
+    if (nbrs.size() < 2) {
+      coeffs.add(0.0);
+      continue;
+    }
+    std::size_t links = 0, pairs = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        ++pairs;
+        if (connected(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    coeffs.add(static_cast<double>(links) / static_cast<double>(pairs));
+  }
+  return coeffs;
+}
+
+std::unordered_map<NodeId, std::int64_t> in_degrees(const OverlayGraph& graph) {
+  std::unordered_map<NodeId, std::int64_t> deg;
+  for (const auto& [node, nbrs] : graph) {
+    deg.try_emplace(node, 0);
+    for (NodeId n : nbrs) ++deg[n];
+  }
+  return deg;
+}
+
+double reachable_fraction(const OverlayGraph& graph, NodeId start) {
+  if (graph.empty()) return 0.0;
+  std::unordered_set<NodeId> visited{start};
+  std::deque<NodeId> frontier{start};
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    auto it = graph.find(cur);
+    if (it == graph.end()) continue;
+    for (NodeId n : it->second) {
+      if (visited.insert(n).second) frontier.push_back(n);
+    }
+  }
+  std::size_t in_graph = 0;
+  for (const auto& [node, nbrs] : graph) {
+    (void)nbrs;
+    if (visited.contains(node)) ++in_graph;
+  }
+  return static_cast<double>(in_graph) / static_cast<double>(graph.size());
+}
+
+}  // namespace whisper::pss

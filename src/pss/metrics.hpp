@@ -1,0 +1,28 @@
+// Overlay graph quality metrics (Fig. 5): local clustering coefficient and
+// in-degree distributions over the directed graph induced by the views.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/stats.hpp"
+
+namespace whisper::pss {
+
+/// Directed overlay snapshot: node -> set of out-neighbours (its view).
+using OverlayGraph = std::unordered_map<NodeId, std::vector<NodeId>>;
+
+/// Local clustering coefficient of each node: among the pairs of its
+/// out-neighbours, the fraction connected by an edge in either direction.
+/// Nodes with fewer than two out-neighbours contribute 0.
+Samples clustering_coefficients(const OverlayGraph& graph);
+
+/// In-degree of every node present in the graph (as key or as target).
+std::unordered_map<NodeId, std::int64_t> in_degrees(const OverlayGraph& graph);
+
+/// Fraction of nodes reachable from `start` following out-edges.
+double reachable_fraction(const OverlayGraph& graph, NodeId start);
+
+}  // namespace whisper::pss

@@ -1,0 +1,78 @@
+#include "sim/network.hpp"
+
+#include <numeric>
+
+namespace whisper::sim {
+
+std::uint64_t TrafficCounters::total_up() const {
+  return std::accumulate(std::begin(up), std::end(up), std::uint64_t{0});
+}
+
+std::uint64_t TrafficCounters::total_down() const {
+  return std::accumulate(std::begin(down), std::end(down), std::uint64_t{0});
+}
+
+Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency)
+    : sim_(sim), latency_(std::move(latency)), rng_(sim.rng().fork()) {}
+
+void Network::attach(Endpoint internal_ep, Handler handler) {
+  handlers_[internal_ep] = std::move(handler);
+}
+
+void Network::detach(Endpoint internal_ep) { handlers_.erase(internal_ep); }
+
+bool Network::attached(Endpoint internal_ep) const { return handlers_.contains(internal_ep); }
+
+bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Proto proto) {
+  Endpoint wire_src = internal_src;
+  if (translator_ != nullptr) {
+    auto mapped = translator_->outbound(internal_src, public_dst);
+    if (!mapped) return false;
+    wire_src = *mapped;
+  }
+
+  // Account upload at the sender regardless of eventual delivery: bytes
+  // leave the sender's uplink either way.
+  counters_[internal_src].up[static_cast<std::size_t>(proto)] += payload.size();
+  ++packets_sent_;
+
+  if (tap_) tap_(Datagram{wire_src, public_dst, payload, proto});
+
+  auto delay = latency_->sample(wire_src, public_dst, rng_);
+  if (!delay) return true;  // lost in transit
+
+  Datagram dgram{wire_src, public_dst, std::move(payload), proto};
+  sim_.schedule_after(*delay, [this, dgram = std::move(dgram)]() mutable {
+    deliver(std::move(dgram));
+  });
+  return true;
+}
+
+void Network::deliver(Datagram dgram) {
+  Endpoint internal_dst = dgram.dst;
+  if (translator_ != nullptr) {
+    auto mapped = translator_->inbound(dgram.dst, dgram.src);
+    if (!mapped) return;  // filtered by the destination's NAT device
+    internal_dst = *mapped;
+  }
+  auto it = handlers_.find(internal_dst);
+  if (it == handlers_.end()) return;  // node departed
+
+  counters_[internal_dst].down[static_cast<std::size_t>(dgram.proto)] += dgram.payload.size();
+  ++packets_delivered_;
+  it->second(dgram);
+}
+
+const TrafficCounters& Network::counters(Endpoint internal_ep) const {
+  static const TrafficCounters kEmpty{};
+  auto it = counters_.find(internal_ep);
+  return it == counters_.end() ? kEmpty : it->second;
+}
+
+void Network::reset_counters() {
+  counters_.clear();
+  packets_sent_ = 0;
+  packets_delivered_ = 0;
+}
+
+}  // namespace whisper::sim

@@ -1,0 +1,123 @@
+// Simulated datagram network with NAT interposition and traffic accounting.
+//
+// Nodes bind a handler to their *internal* endpoint. When a datagram is
+// sent, the installed AddressTranslator (the NAT emulation, see src/nat)
+// rewrites the source to its external mapping and decides whether the
+// destination's device lets the packet in. Per-node up/down byte counters
+// are kept per protocol tag — these counters are the data source for the
+// paper's bandwidth figures (Fig. 6 and Fig. 8).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace whisper::sim {
+
+/// Protocol tags for traffic accounting.
+enum class Proto : std::uint8_t {
+  kPss = 0,      // peer sampling gossip
+  kKeys = 1,     // public key piggyback share
+  kWcl = 2,      // onion-routed confidential traffic
+  kPpss = 3,     // private peer sampling payloads (inside WCL accounting)
+  kControl = 4,  // NAT rendezvous / hole punching control traffic
+  kApp = 5,      // application traffic
+  kCount = 6,
+};
+
+/// A datagram as observed on the wire (addresses are *public* ones when NAT
+/// devices are on the path).
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  Bytes payload;
+  Proto proto = Proto::kApp;
+};
+
+/// NAT interposition hook; implemented by nat::NatFabric.
+class AddressTranslator {
+ public:
+  virtual ~AddressTranslator() = default;
+
+  /// Sender side: map the internal source endpoint to its public mapping for
+  /// this destination, creating/refreshing state. nullopt = cannot send.
+  virtual std::optional<Endpoint> outbound(Endpoint internal_src, Endpoint public_dst) = 0;
+
+  /// Receiver side: given the public destination and the (public) source the
+  /// packet arrives from, return the internal endpoint to deliver to, or
+  /// nullopt if the device filters the packet out.
+  virtual std::optional<Endpoint> inbound(Endpoint public_dst, Endpoint public_src) = 0;
+};
+
+/// Per-node traffic counters in bytes.
+struct TrafficCounters {
+  std::uint64_t up[static_cast<std::size_t>(Proto::kCount)] = {};
+  std::uint64_t down[static_cast<std::size_t>(Proto::kCount)] = {};
+
+  std::uint64_t total_up() const;
+  std::uint64_t total_down() const;
+  std::uint64_t up_for(Proto p) const { return up[static_cast<std::size_t>(p)]; }
+  std::uint64_t down_for(Proto p) const { return down[static_cast<std::size_t>(p)]; }
+};
+
+/// The simulated network. Nodes are identified by their internal endpoint.
+class Network {
+ public:
+  Network(Simulator& sim, std::unique_ptr<LatencyModel> latency);
+
+  using Handler = std::function<void(const Datagram&)>;
+
+  /// Bind a node's receive handler at its internal endpoint.
+  void attach(Endpoint internal_ep, Handler handler);
+  /// Remove a node (e.g. churn departure). Packets in flight are dropped on
+  /// arrival.
+  void detach(Endpoint internal_ep);
+  bool attached(Endpoint internal_ep) const;
+
+  /// Install the NAT fabric. May be null (all endpoints public).
+  void set_translator(AddressTranslator* translator) { translator_ = translator; }
+
+  /// Wiretap: observes every datagram as it appears on the wire (after NAT
+  /// source rewriting, before destination filtering) — the vantage point of
+  /// the paper's link-observing attacker. Used by security tests and the
+  /// eavesdropper example; null disables.
+  using Tap = std::function<void(const Datagram&)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Send a datagram from a node's internal endpoint to a *public*
+  /// destination endpoint. Returns false if the sender could not even emit
+  /// the packet (no NAT mapping possible). Delivery itself is asynchronous
+  /// and silently subject to loss and filtering.
+  bool send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Proto proto);
+
+  const TrafficCounters& counters(Endpoint internal_ep) const;
+  void reset_counters();
+
+  /// Total datagrams handed to the latency model / delivered to handlers.
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t packets_dropped() const { return packets_sent_ - packets_delivered_; }
+
+  Simulator& simulator() { return sim_; }
+
+ private:
+  void deliver(Datagram dgram);
+
+  Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  AddressTranslator* translator_ = nullptr;
+  Tap tap_;
+  std::unordered_map<Endpoint, Handler> handlers_;
+  std::unordered_map<Endpoint, TrafficCounters> counters_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  Rng rng_;
+};
+
+}  // namespace whisper::sim

@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace whisper::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+TimerId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_);
+  const TimerId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+TimerId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(TimerId id) { cancelled_.insert(id); }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    if (!step()) break;
+  }
+  now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace whisper::sim

@@ -1,0 +1,78 @@
+// Discrete-event simulation core.
+//
+// Replaces the paper's physical testbeds (cluster + PlanetLab): protocol
+// stacks run in-process against a virtual clock, so a thousand-node
+// deployment executes deterministically on one machine. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace whisper::sim {
+
+/// Virtual time in microseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1000;
+inline constexpr Time kSecond = 1'000'000;
+inline constexpr Time kMinute = 60 * kSecond;
+
+/// Handle for cancelling a scheduled event.
+using TimerId = std::uint64_t;
+
+/// Event-loop with a virtual clock. Events scheduled for the same instant
+/// fire in scheduling order (stable), which keeps runs deterministic.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run at absolute virtual time `at` (>= now).
+  TimerId schedule_at(Time at, std::function<void()> fn);
+  /// Schedule `fn` to run `delay` from now.
+  TimerId schedule_after(Time delay, std::function<void()> fn);
+  /// Cancel a pending event; no-op if already fired or cancelled.
+  void cancel(TimerId id);
+
+  /// Run the next event; false if the queue is empty.
+  bool step();
+  /// Run all events with timestamp <= t, then advance the clock to t.
+  void run_until(Time t);
+  /// Run until the event queue drains.
+  void run();
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    TimerId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace whisper::sim

@@ -1,0 +1,414 @@
+#include "wcl/wcl.hpp"
+
+#include <algorithm>
+
+namespace whisper::wcl {
+
+namespace {
+constexpr std::uint8_t kKindOnion = 1;
+constexpr std::uint8_t kKindAck = 2;
+constexpr std::uint8_t kKindNack = 3;
+}  // namespace
+
+void Helper::serialize(Writer& w) const {
+  card.serialize(w);
+  w.bytes(key.serialize());
+}
+
+std::optional<Helper> Helper::deserialize(Reader& r) {
+  Helper h;
+  h.card = pss::ContactCard::deserialize(r);
+  auto key = crypto::RsaPublicKey::deserialize(r.bytes());
+  if (!r.ok() || !key) return std::nullopt;
+  h.key = *key;
+  return h;
+}
+
+void RemotePeer::serialize(Writer& w) const {
+  card.serialize(w);
+  w.bytes(key.serialize());
+  w.u8(static_cast<std::uint8_t>(helpers.size()));
+  for (const auto& h : helpers) h.serialize(w);
+}
+
+std::optional<RemotePeer> RemotePeer::deserialize(Reader& r) {
+  RemotePeer p;
+  p.card = pss::ContactCard::deserialize(r);
+  auto key = crypto::RsaPublicKey::deserialize(r.bytes());
+  if (!r.ok() || !key) return std::nullopt;
+  p.key = *key;
+  const std::uint8_t n = r.u8();
+  if (!r.ok()) return std::nullopt;
+  for (std::uint8_t i = 0; i < n; ++i) {
+    auto h = Helper::deserialize(r);
+    if (!h) return std::nullopt;
+    p.helpers.push_back(std::move(*h));
+  }
+  return p;
+}
+
+Wcl::Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& keys,
+         nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng)
+    : sim_(sim), transport_(transport), keys_(keys), pss_(pss), cpu_(cpu), config_(config),
+      rng_(rng), drbg_(rng_.next_u64()), cb_(config.cb_capacity),
+      next_msg_id_(transport.self().value << 20) {
+  transport_.register_handler(nylon::kTagWcl,
+                              [this](NodeId from, BytesView p) { handle_message(from, p); });
+}
+
+Wcl::~Wcl() {
+  for (auto& [id, pending] : pending_sends_) {
+    if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
+  }
+}
+
+void Wcl::on_gossip_exchange(const pss::ContactCard& partner) {
+  auto key = keys_.key_of(partner.id);
+  if (!key) return;  // key not piggybacked yet; the next exchange will carry it
+  cb_.push(CbEntry{partner, *key});
+  ensure_pi();
+}
+
+void Wcl::ensure_pi() {
+  if (cb_.count_public() + pnode_fetches_.size() >= config_.pi) return;
+  // Pull fresh P-nodes from the PSS view into the CB, opening a path to
+  // them by way of the key request/response exchange (§III-A).
+  for (const auto& entry : pss_.view().entries()) {
+    if (cb_.count_public() + pnode_fetches_.size() >= config_.pi) break;
+    if (!entry.is_public()) continue;
+    if (cb_.contains(entry.card.id) || pnode_fetches_.contains(entry.card.id)) continue;
+    const pss::ContactCard card = entry.card;
+    pnode_fetches_.insert(card.id);
+    keys_.request_key(card, [this, card](std::optional<crypto::RsaPublicKey> key) {
+      pnode_fetches_.erase(card.id);
+      if (key) {
+        cb_.push(CbEntry{card, *key});
+      } else {
+        ensure_pi();  // try another candidate
+      }
+    });
+  }
+}
+
+std::vector<Helper> Wcl::own_helpers() const {
+  std::vector<Helper> out;
+  for (const CbEntry* e : cb_.publics()) {
+    if (out.size() >= config_.pi) break;
+    out.push_back(Helper{e->card, e->key});
+  }
+  return out;
+}
+
+RemotePeer Wcl::self_peer() const {
+  RemotePeer peer;
+  peer.card = transport_.self_card();
+  peer.key = keys_.own_public();
+  peer.helpers = own_helpers();
+  return peer;
+}
+
+bool Wcl::send_confidential(const RemotePeer& dest, BytesView payload, SendCallback callback) {
+  if (dest.card.id == transport_.self()) return false;
+  const std::uint64_t msg_id = next_msg_id_++;
+  PendingSend pending;
+  pending.dest = dest;
+  pending.payload.assign(payload.begin(), payload.end());
+  pending.callback = std::move(callback);
+  auto [it, inserted] = pending_sends_.emplace(msg_id, std::move(pending));
+  if (!attempt(msg_id, it->second)) {
+    // Not a single path could be constructed.
+    auto cb = std::move(it->second.callback);
+    const NodeId dest_id = it->second.dest.card.id;
+    pending_sends_.erase(it);
+    ++stats_.no_alternative;
+    if (outcome_probe) outcome_probe(dest_id, SendOutcome::kNoAlternative);
+    if (cb) cb(SendOutcome::kNoAlternative);
+    return false;
+  }
+  return true;
+}
+
+bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
+  const NodeId self = transport_.self();
+  const RemotePeer& dest = pending.dest;
+
+  // First mix A: a random CB entry distinct from the destination and from
+  // the helper we will pick.
+  std::vector<const CbEntry*> a_candidates;
+  for (const auto& e : cb_.entries()) {
+    if (e.card.id == dest.card.id || e.card.id == self) continue;
+    a_candidates.push_back(&e);
+  }
+  if (a_candidates.empty()) return false;
+
+  // Second mix B: an untried helper of the destination; for P-node
+  // destinations without helpers, any P-node from our CB works (§IV-B).
+  std::vector<Helper> b_candidates;
+  for (const auto& h : dest.helpers) {
+    if (!h.card.is_public) continue;
+    if (h.card.id == dest.card.id || h.card.id == self) continue;
+    if (pending.tried_helpers.contains(h.card.id)) continue;
+    b_candidates.push_back(h);
+  }
+  if (b_candidates.empty() && dest.card.is_public) {
+    for (const CbEntry* e : cb_.publics()) {
+      if (e->card.id == dest.card.id || e->card.id == self) continue;
+      if (pending.tried_helpers.contains(e->card.id)) continue;
+      b_candidates.push_back(Helper{e->card, e->key});
+    }
+  }
+  if (b_candidates.empty()) return false;
+
+  const Helper b = b_candidates[rng_.pick_index(b_candidates)];
+  pending.tried_helpers.insert(b.card.id);
+
+  // A must differ from B.
+  std::vector<const CbEntry*> a_filtered;
+  for (const CbEntry* e : a_candidates) {
+    if (e->card.id != b.card.id) a_filtered.push_back(e);
+  }
+  if (a_filtered.empty()) return false;
+  const CbEntry a = *a_filtered[rng_.pick_index(a_filtered)];
+
+  ++pending.attempts;
+  ++stats_.total_attempts;
+
+  // Build the onion S -> A [-> M...] -> B -> D. Mixes after A must be
+  // P-nodes (reachable without setup) and get explicit address hints; D's
+  // hint is its public address when it has one, nil otherwise (B then
+  // resolves D from its own backlog / relay / punched-route state).
+  std::vector<crypto::OnionHop> path;
+  // With a single mix the helper B is the whole path (it is the only node
+  // guaranteed to reach D); anonymity towards B is forfeited.
+  if (config_.mixes >= 2) {
+    path.push_back(crypto::OnionHop{a.card.id, a.key, Endpoint{}});
+  }
+  if (config_.mixes > 2) {
+    // Middle mixes: distinct P-nodes from our CB (collusion hardening,
+    // paper footnote 2: f mixes tolerate f-1 colluders).
+    std::vector<const CbEntry*> middle_pool;
+    for (const CbEntry* e : cb_.publics()) {
+      if (e->card.id == dest.card.id || e->card.id == self) continue;
+      if (e->card.id == a.card.id || e->card.id == b.card.id) continue;
+      middle_pool.push_back(e);
+    }
+    rng_.shuffle(middle_pool);
+    for (std::size_t m = 0; m + 2 < config_.mixes && m < middle_pool.size(); ++m) {
+      path.push_back(
+          crypto::OnionHop{middle_pool[m]->card.id, middle_pool[m]->key,
+                           middle_pool[m]->card.addr});
+    }
+  }
+  path.push_back(crypto::OnionHop{b.card.id, b.key, b.card.addr});
+  const Endpoint dest_hint = dest.card.is_public ? dest.card.addr : Endpoint{};
+  path.push_back(crypto::OnionHop{dest.card.id, dest.key, dest_hint});
+
+  const crypto::OnionKeys keys = crypto::onion_fresh_keys(drbg_);
+  crypto::OnionPacket packet;
+  // Deterministic virtual processing cost (measured wall time is recorded
+  // separately by the CPU meter and must not perturb event ordering).
+  const sim::Time crypto_time =
+      config_.virtual_rsa_seal_cost * path.size() +
+      config_.virtual_aes_cost_per_kb * (pending.payload.size() / 1024 + 1);
+  cpu_.charge(sim::CpuCategory::kAes, [&] {
+    // One cleartext mode byte tells the destination how to open the body.
+    if (config_.authenticated_bodies) {
+      packet.body = crypto::seal_authenticated(keys.k, keys.iv, pending.payload);
+      packet.body.insert(packet.body.begin(), 1);
+    } else {
+      packet.body = crypto::onion_crypt_body(keys, pending.payload);
+      packet.body.insert(packet.body.begin(), 0);
+    }
+  });
+  cpu_.charge(sim::CpuCategory::kRsaEncrypt, [&] {
+    packet.header = crypto::onion_build_header(path, keys, drbg_);
+  });
+
+  Writer w;
+  w.u8(kKindOnion);
+  w.u64(msg_id);
+  transport_.self_card().serialize(w);
+  w.raw(packet.serialize());
+  // Charge the measured crypto time to the virtual clock: the packet leaves
+  // only after the onion has been built.
+  const pss::ContactCard first_hop = config_.mixes >= 2 ? a.card : b.card;
+  sim_.schedule_after(crypto_time,
+                      [this, card = first_hop, data = std::move(w).take()] {
+                        transport_.send(card, nylon::kTagWcl, data, sim::Proto::kWcl);
+                      });
+
+  if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
+  pending.timeout_timer = sim_.schedule_after(config_.ack_timeout, [this, msg_id] {
+    handle_ack(msg_id, /*success=*/false);
+  });
+  return true;
+}
+
+void Wcl::finish(std::uint64_t msg_id, SendOutcome outcome) {
+  auto it = pending_sends_.find(msg_id);
+  if (it == pending_sends_.end()) return;
+  if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+  auto cb = std::move(it->second.callback);
+  const NodeId dest = it->second.dest.card.id;
+  pending_sends_.erase(it);
+  if (outcome_probe) outcome_probe(dest, outcome);
+  switch (outcome) {
+    case SendOutcome::kSuccessFirstTry:
+      ++stats_.first_try_success;
+      break;
+    case SendOutcome::kSuccessAlternative:
+      ++stats_.alternative_success;
+      break;
+    case SendOutcome::kNoAlternative:
+      ++stats_.no_alternative;
+      break;
+  }
+  if (cb) cb(outcome);
+}
+
+void Wcl::handle_ack(std::uint64_t msg_id, bool success) {
+  auto it = pending_sends_.find(msg_id);
+  if (it == pending_sends_.end()) return;
+  PendingSend& pending = it->second;
+  if (success) {
+    finish(msg_id, pending.attempts <= 1 ? SendOutcome::kSuccessFirstTry
+                                         : SendOutcome::kSuccessAlternative);
+    return;
+  }
+  // Failed attempt: retry with an alternative path, up to Π alternatives.
+  if (pending.attempts > config_.max_retries || !attempt(msg_id, pending)) {
+    finish(msg_id, SendOutcome::kNoAlternative);
+  }
+}
+
+void Wcl::send_signal(const pss::ContactCard& to, bool success, std::uint64_t msg_id) {
+  Writer w;
+  w.u8(success ? kKindAck : kKindNack);
+  w.u64(msg_id);
+  transport_.send(to, nylon::kTagWcl, w.data(), sim::Proto::kWcl);
+}
+
+void Wcl::handle_message(NodeId from, BytesView payload) {
+  Reader r(payload);
+  const std::uint8_t kind = r.u8();
+  if (!r.ok()) return;
+  if (kind == kKindOnion) {
+    handle_onion(from, r);
+    return;
+  }
+  // ACK/NACK: either meant for one of our sends, or backtracking through us.
+  const std::uint64_t msg_id = r.u64();
+  if (!r.ok()) return;
+  if (auto fw = pending_forwards_.find(msg_id); fw != pending_forwards_.end()) {
+    if (fw->second.expires > sim_.now()) {
+      send_signal(fw->second.predecessor, kind == kKindAck, msg_id);
+    }
+    pending_forwards_.erase(fw);
+    return;
+  }
+  handle_ack(msg_id, kind == kKindAck);
+  (void)from;
+}
+
+void Wcl::handle_onion(NodeId from, Reader& r) {
+  const std::uint64_t msg_id = r.u64();
+  const pss::ContactCard predecessor = pss::ContactCard::deserialize(r);
+  auto packet = crypto::OnionPacket::deserialize(r.rest());
+  if (!r.ok() || !packet || predecessor.id != from) return;
+
+  std::optional<crypto::OnionPeel> peel;
+  sim::Time crypto_time = config_.virtual_rsa_peel_cost;
+  cpu_.charge(sim::CpuCategory::kRsaDecrypt, [&] {
+    peel = crypto::onion_peel_header(keys_.own_pair(), *packet);
+  });
+  if (!peel) {
+    // Not addressed to us / corrupt: report failure so the source retries.
+    send_signal(predecessor, /*success=*/false, msg_id);
+    return;
+  }
+
+  if (peel->is_destination) {
+    if (packet->body.empty()) {
+      send_signal(predecessor, /*success=*/false, msg_id);
+      return;
+    }
+    const std::uint8_t mode = packet->body.front();
+    const BytesView body(packet->body.data() + 1, packet->body.size() - 1);
+    Bytes content;
+    bool body_ok = true;
+    crypto_time += config_.virtual_aes_cost_per_kb * (body.size() / 1024 + 1);
+    cpu_.charge(sim::CpuCategory::kAes, [&] {
+      if (mode == 1) {
+        auto opened = crypto::open_authenticated(peel->keys.k, peel->keys.iv, body);
+        if (opened) {
+          content = std::move(*opened);
+        } else {
+          body_ok = false;  // tampered in transit
+        }
+      } else {
+        content = crypto::onion_crypt_body(peel->keys, body);
+      }
+    });
+    if (!body_ok) {
+      ++stats_.bodies_rejected;
+      send_signal(predecessor, /*success=*/false, msg_id);
+      return;
+    }
+    ++stats_.onions_delivered;
+    // Deliver (and ack) after the measured decryption time has elapsed on
+    // the virtual clock.
+    sim_.schedule_after(crypto_time,
+                        [this, predecessor, msg_id, content = std::move(content)]() mutable {
+                          send_signal(predecessor, /*success=*/true, msg_id);
+                          if (on_deliver) on_deliver(std::move(content));
+                        });
+    return;
+  }
+
+  // Mix role: resolve the next hop and forward. Resolution order: the
+  // address hint baked into the onion layer (always present for the P-node
+  // second mix), then our connection backlog (fresh gossip partners), then
+  // transport-level state — a still-open punched route or our own relay
+  // registration (we may be the destination's relay). The last two are what
+  // makes the next-to-last hop work: that mix was chosen *because* it
+  // recently exchanged with the destination, so the NAT state is open even
+  // when the CB entry has already rotated out.
+  Writer w;
+  w.u8(kKindOnion);
+  w.u64(msg_id);
+  transport_.self_card().serialize(w);
+  w.raw(peel->next_packet.serialize());
+
+  // Resolve now, but put the packet on the wire only after the measured
+  // peel time has elapsed on the virtual clock.
+  std::optional<pss::ContactCard> next_card;
+  if (!peel->next_addr.is_nil()) {
+    pss::ContactCard card;
+    card.id = peel->next_hop;
+    card.addr = peel->next_addr;
+    card.is_public = true;
+    next_card = card;
+  } else if (const CbEntry* e = cb_.find(peel->next_hop)) {
+    next_card = e->card;
+  }
+
+  const NodeId next_hop = peel->next_hop;
+  sim_.schedule_after(
+      crypto_time,
+      [this, predecessor, msg_id, next_hop, next_card, data = std::move(w).take()] {
+        const bool sent =
+            next_card.has_value()
+                ? transport_.send(*next_card, nylon::kTagWcl, data, sim::Proto::kWcl)
+                : transport_.send_by_id(next_hop, nylon::kTagWcl, data, sim::Proto::kWcl);
+        if (!sent) {
+          ++stats_.forward_failures;
+          send_signal(predecessor, /*success=*/false, msg_id);
+          return;
+        }
+        pending_forwards_[msg_id] =
+            PendingForward{predecessor, sim_.now() + config_.pending_forward_ttl};
+        ++stats_.onions_forwarded;
+      });
+}
+
+}  // namespace whisper::wcl

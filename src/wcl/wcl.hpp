@@ -1,0 +1,181 @@
+// WCL: the WHISPER Communication Layer (§III).
+//
+// Provides a one-way confidential channel from a source S to a destination
+// D through two mixes A and B (S → A → B → D):
+//  - A is drawn from S's connection backlog (a NAT-valid route is open);
+//  - B is one of the Π P-node "helpers" advertised alongside D (a P-node
+//    that recently gossiped with D and can therefore reach it);
+//  - content is AES-encrypted with a fresh key k carried to D inside the
+//    layered onion header; mixes learn only their successor.
+//
+// Delivery feedback travels hop-by-hop back along the same links (ACK from
+// the destination, NACK from a mix that cannot forward), so relationship
+// anonymity is preserved: every node only ever talks to its direct
+// neighbours on the path. Unanswered attempts time out. The source retries
+// with alternative mixes up to Π times (paper footnote 3), then reports
+// that no alternative route exists.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/hmac.hpp"
+#include "crypto/onion.hpp"
+#include "keysvc/keyservice.hpp"
+#include "nylon/pss.hpp"
+#include "nylon/transport.hpp"
+#include "sim/cpumeter.hpp"
+#include "wcl/backlog.hpp"
+
+namespace whisper::wcl {
+
+/// A P-node helper: the next-to-last hop candidate for reaching some node.
+struct Helper {
+  pss::ContactCard card;
+  crypto::RsaPublicKey key;
+
+  void serialize(Writer& w) const;
+  static std::optional<Helper> deserialize(Reader& r);
+};
+
+/// Everything needed to open a WCL path towards a node: its card, its
+/// public key, and (for N-nodes) Π helpers. This is what PPSS view entries
+/// carry (§IV-B).
+struct RemotePeer {
+  pss::ContactCard card;
+  crypto::RsaPublicKey key;
+  std::vector<Helper> helpers;
+
+  void serialize(Writer& w) const;
+  static std::optional<RemotePeer> deserialize(Reader& r);
+};
+
+enum class SendOutcome {
+  kSuccessFirstTry,     // first constructed path delivered
+  kSuccessAlternative,  // a retry with alternative mixes delivered
+  kNoAlternative,       // all alternatives exhausted
+};
+
+struct WclConfig {
+  std::size_t pi = 3;                          // Π
+  std::size_t cb_capacity = 20;                // 2c
+  /// Number of mixes on a path (the paper's default is 2: S → A → B → D).
+  /// f mixes tolerate f−1 colluding nodes (footnote 2); values above 2 add
+  /// P-node mixes between A and B. Must be >= 1.
+  std::size_t mixes = 2;
+  std::size_t max_retries = 3;                 // alternatives tried after the first attempt
+  sim::Time ack_timeout = 5 * sim::kSecond;    // per attempt
+  sim::Time pending_forward_ttl = 60 * sim::kSecond;
+  /// Encrypt-then-MAC the content body (AES-CTR + HMAC-SHA256, +32 bytes).
+  /// The paper uses plain AES (its model excludes active tampering), so the
+  /// default reproduces that; enable for integrity-protected deployments.
+  bool authenticated_bodies = false;
+
+  /// Deterministic processing costs charged to the virtual clock (actual
+  /// wall-clock measurements still flow into the CPU meters for Table II /
+  /// Fig. 7, but folding *measured* time into event ordering would make
+  /// runs irreproducible). Defaults calibrated from bench_crypto_micro at
+  /// 512-bit keys.
+  sim::Time virtual_rsa_seal_cost = 15;      // us per onion layer sealed
+  sim::Time virtual_rsa_peel_cost = 160;     // us per layer peeled
+  sim::Time virtual_aes_cost_per_kb = 30;    // us per KB of body
+};
+
+class Wcl {
+ public:
+  Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& keys,
+      nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng);
+  ~Wcl();
+
+  Wcl(const Wcl&) = delete;
+  Wcl& operator=(const Wcl&) = delete;
+
+  /// Feed a completed gossip exchange (wired to NylonPss::on_exchange):
+  /// inserts the partner into the CB and restores the Π P-node invariant.
+  void on_gossip_exchange(const pss::ContactCard& partner);
+
+  using SendCallback = std::function<void(SendOutcome)>;
+
+  /// Send `payload` confidentially to `dest`. Returns false if no path can
+  /// even be attempted (empty CB / no helpers). The callback fires once
+  /// with the final outcome.
+  bool send_confidential(const RemotePeer& dest, BytesView payload, SendCallback callback = {});
+
+  /// Upcall with the decrypted payload when this node is a destination.
+  std::function<void(Bytes payload)> on_deliver;
+
+  /// Observation hook: fires once per send_confidential with the final
+  /// outcome and the destination. Benches use it to apply the paper's
+  /// accounting (a path that fails because the destination itself is dead
+  /// is a destination failure, not a WCL route failure — footnote 3).
+  std::function<void(NodeId dest, SendOutcome outcome)> outcome_probe;
+
+  const ConnectionBacklog& backlog() const { return cb_; }
+
+  /// This node's own helpers: the Π freshest P-nodes of the CB, shipped in
+  /// PPSS entries describing this node. Empty helpers are normal for
+  /// P-nodes (any known P-node can serve as their next-to-last hop).
+  std::vector<Helper> own_helpers() const;
+
+  /// The RemotePeer descriptor other nodes can use to reach this node.
+  RemotePeer self_peer() const;
+
+  struct Stats {
+    std::uint64_t first_try_success = 0;
+    std::uint64_t alternative_success = 0;
+    std::uint64_t no_alternative = 0;
+    std::uint64_t onions_forwarded = 0;
+    std::uint64_t onions_delivered = 0;
+    std::uint64_t forward_failures = 0;
+    std::uint64_t total_attempts = 0;
+    /// Authenticated bodies whose MAC failed (tampering detected).
+    std::uint64_t bodies_rejected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingSend {
+    RemotePeer dest;
+    Bytes payload;
+    SendCallback callback;
+    std::size_t attempts = 0;
+    std::unordered_set<NodeId> tried_helpers;
+    sim::TimerId timeout_timer = 0;
+  };
+
+  void handle_message(NodeId from, BytesView payload);
+  void handle_onion(NodeId from, Reader& r);
+  void handle_ack(std::uint64_t msg_id, bool success);
+  bool attempt(std::uint64_t msg_id, PendingSend& pending);
+  void finish(std::uint64_t msg_id, SendOutcome outcome);
+  void ensure_pi();
+  void send_signal(const pss::ContactCard& to, bool success, std::uint64_t msg_id);
+
+  sim::Simulator& sim_;
+  nylon::Transport& transport_;
+  keysvc::KeyService& keys_;
+  nylon::NylonPss& pss_;
+  sim::CpuMeter& cpu_;
+  WclConfig config_;
+  Rng rng_;
+  crypto::Drbg drbg_;
+  ConnectionBacklog cb_;
+
+  std::unordered_map<std::uint64_t, PendingSend> pending_sends_;
+  std::uint64_t next_msg_id_;
+
+  // Mix state: where an in-flight onion came from, for ACK/NACK backtracking.
+  struct PendingForward {
+    pss::ContactCard predecessor;
+    sim::Time expires = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingForward> pending_forwards_;
+
+  // P-nodes currently being fetched to restore the Π invariant.
+  std::unordered_set<NodeId> pnode_fetches_;
+
+  Stats stats_;
+};
+
+}  // namespace whisper::wcl

@@ -1,0 +1,21 @@
+#include "whisper/keypool.hpp"
+
+#include <deque>
+#include <map>
+
+namespace whisper {
+
+const crypto::RsaKeyPair& pooled_keypair(std::size_t idx, std::size_t bits) {
+  // deque: references stay valid while the pool grows (nodes hold on to
+  // their keypair by reference).
+  static std::map<std::size_t, std::deque<crypto::RsaKeyPair>> pools;
+  auto& pool = pools[bits];
+  while (pool.size() <= idx) {
+    // Seed derived from (bits, index) so pools are stable across runs.
+    crypto::Drbg drbg(0x57A7 + bits * 1'000'003 + pool.size());
+    pool.push_back(crypto::RsaKeyPair::generate(bits, drbg));
+  }
+  return pool[idx];
+}
+
+}  // namespace whisper

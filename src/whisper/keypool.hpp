@@ -1,0 +1,19 @@
+// Process-wide pool of deterministic RSA keypairs.
+//
+// Key generation is the only genuinely expensive part of booting a
+// simulated node. Benches build several thousand-node deployments per run,
+// so keypairs are generated once per (index, bits) from fixed seeds and
+// reused across testbeds. This is purely a simulation-bootstrap shortcut:
+// every node still holds a distinct keypair and every cryptographic
+// operation is performed for real.
+#pragma once
+
+#include "crypto/rsa.hpp"
+
+namespace whisper {
+
+/// The idx-th pooled keypair with the given modulus size. Thread-compatible
+/// (single-threaded simulations); grows the pool on demand.
+const crypto::RsaKeyPair& pooled_keypair(std::size_t idx, std::size_t bits);
+
+}  // namespace whisper

@@ -1,0 +1,88 @@
+#include "whisper/node.hpp"
+
+namespace whisper {
+
+WhisperNode::WhisperNode(sim::Simulator& sim, sim::Network& net, NodeId id,
+                         Endpoint internal_ep, bool is_public,
+                         const crypto::RsaKeyPair& keypair, NodeConfig config, Rng rng)
+    : sim_(sim), id_(id), keypair_(keypair), config_(config), rng_(rng),
+      transport_(sim, net, id, internal_ep, is_public, config.transport),
+      pss_(sim, transport_, config.pss, rng_.fork()),
+      keys_(sim, transport_, keypair_, config.keys),
+      wcl_(sim, transport_, keys_, pss_, cpu_, config.wcl, rng_.fork()) {
+  // Public key sampling rides on the PSS gossip (§III-B-2)...
+  pss_.extra_provider = [this] { return keys_.piggyback(); };
+  pss_.extra_consumer = [this](const pss::ContactCard& from, BytesView extra) {
+    keys_.consume(from, extra);
+  };
+  // ...and every completed exchange feeds the connection backlog (§III-A).
+  pss_.on_exchange = [this](const pss::ContactCard& partner) {
+    wcl_.on_gossip_exchange(partner);
+  };
+  // Confidential payloads are routed to the owning group instance.
+  wcl_.on_deliver = [this](Bytes payload) { dispatch_wcl(std::move(payload)); };
+}
+
+WhisperNode::~WhisperNode() { stop(); }
+
+void WhisperNode::start(const std::vector<pss::ContactCard>& bootstrap) {
+  if (!transport_.is_public()) {
+    // An N-node needs a relay before it is reachable at all: pick the first
+    // public bootstrap contact (the PSS repairs the choice later if needed).
+    for (const auto& card : bootstrap) {
+      if (card.is_public) {
+        transport_.set_relay(card);
+        break;
+      }
+    }
+  }
+  pss_.bootstrap(bootstrap);
+  pss_.start();
+}
+
+void WhisperNode::stop() {
+  for (auto& [gid, group] : groups_) group->stop();
+  pss_.stop();
+  transport_.shutdown();
+}
+
+ppss::Ppss& WhisperNode::make_group_instance(GroupId group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    auto instance = std::make_unique<ppss::Ppss>(sim_, wcl_, id_, group, cpu_, config_.ppss,
+                                                 rng_.fork());
+    it = groups_.emplace(group, std::move(instance)).first;
+  }
+  return *it->second;
+}
+
+ppss::Ppss& WhisperNode::create_group(GroupId group, crypto::RsaKeyPair group_key) {
+  ppss::Ppss& instance = make_group_instance(group);
+  instance.found_group(std::move(group_key));
+  instance.start();
+  return instance;
+}
+
+ppss::Ppss& WhisperNode::join_group(GroupId group, const ppss::Accreditation& accreditation,
+                                    const wcl::RemotePeer& entry_point) {
+  ppss::Ppss& instance = make_group_instance(group);
+  instance.join(accreditation, entry_point);
+  instance.start();
+  return instance;
+}
+
+ppss::Ppss* WhisperNode::group(GroupId group) {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+void WhisperNode::dispatch_wcl(Bytes payload) {
+  Reader r(payload);
+  const GroupId group = r.group_id();
+  if (!r.ok()) return;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;  // not a member: drop silently
+  it->second->handle_payload(r.rest());
+}
+
+}  // namespace whisper

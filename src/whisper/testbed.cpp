@@ -1,0 +1,134 @@
+#include "whisper/testbed.hpp"
+
+#include <algorithm>
+
+#include "whisper/keypool.hpp"
+
+namespace whisper {
+
+WhisperTestbed::WhisperTestbed(TestbedConfig config)
+    : config_(std::move(config)), rng_(config_.seed), sim_(config_.seed ^ 0x5eed) {
+  fabric_ = std::make_unique<nat::NatFabric>(sim_);
+  net_ = std::make_unique<sim::Network>(sim_, sim::make_latency_model(config_.latency));
+  net_->set_translator(fabric_.get());
+  for (std::size_t i = 0; i < config_.initial_nodes; ++i) spawn_node();
+}
+
+WhisperNode& WhisperTestbed::spawn_node() {
+  const NodeId id{next_node_id_++};
+  // The very first nodes must be public so that relays and bootstrap
+  // contacts exist for everyone after them.
+  nat::NatType type = nat::NatType::kNone;
+  if (alive_public_nodes().size() >= 2) {
+    type = nat::draw_nat_type(rng_, config_.natted_fraction);
+  }
+  const bool is_public = type == nat::NatType::kNone;
+  const Endpoint ep =
+      is_public ? fabric_->add_public_node() : fabric_->add_natted_node(type);
+
+  auto node = std::make_unique<WhisperNode>(sim_, *net_, id, ep, is_public,
+                                            pooled_keypair(next_key_index_++,
+                                                           config_.node.rsa_bits),
+                                            config_.node, rng_.fork());
+
+  // Bootstrap contacts: a random sample of live nodes, always including at
+  // least one public node (required as a relay for N-nodes).
+  std::vector<pss::ContactCard> bootstrap;
+  auto alive = alive_nodes();
+  std::erase_if(alive, [&](WhisperNode* n) { return n->id() == id; });
+  rng_.shuffle(alive);
+  for (WhisperNode* n : alive) {
+    if (bootstrap.size() >= config_.bootstrap_contacts) break;
+    bootstrap.push_back(n->transport().self_card());
+  }
+  const bool has_public = std::any_of(bootstrap.begin(), bootstrap.end(),
+                                      [](const pss::ContactCard& c) { return c.is_public; });
+  if (!has_public) {
+    for (WhisperNode* n : alive) {
+      if (n->is_public()) {
+        bootstrap.push_back(n->transport().self_card());
+        break;
+      }
+    }
+  }
+
+  node->start(bootstrap);
+  nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+NodeId WhisperTestbed::kill_random_node() {
+  auto alive = alive_nodes();
+  if (alive.empty()) return kNilNode;
+  WhisperNode* victim = alive[rng_.pick_index(alive)];
+  const NodeId id = victim->id();
+  kill_node(id);
+  return id;
+}
+
+void WhisperTestbed::kill_node(NodeId id) {
+  for (auto& n : nodes_) {
+    if (n->id() == id && n->running()) {
+      n->stop();
+      fabric_->remove_node(n->internal_endpoint());
+      return;
+    }
+  }
+}
+
+WhisperNode* WhisperTestbed::node(NodeId id) {
+  for (auto& n : nodes_) {
+    if (n->id() == id) return n.get();
+  }
+  return nullptr;
+}
+
+std::vector<WhisperNode*> WhisperTestbed::all_nodes() {
+  std::vector<WhisperNode*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+std::vector<WhisperNode*> WhisperTestbed::alive_nodes() {
+  std::vector<WhisperNode*> out;
+  for (auto& n : nodes_) {
+    if (n->running()) out.push_back(n.get());
+  }
+  return out;
+}
+
+std::vector<WhisperNode*> WhisperTestbed::alive_public_nodes() {
+  std::vector<WhisperNode*> out;
+  for (auto& n : nodes_) {
+    if (n->running() && n->is_public()) out.push_back(n.get());
+  }
+  return out;
+}
+
+std::size_t WhisperTestbed::alive_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const std::unique_ptr<WhisperNode>& n) { return n->running(); }));
+}
+
+void WhisperTestbed::run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+pss::OverlayGraph WhisperTestbed::overlay_snapshot() {
+  pss::OverlayGraph graph;
+  for (auto& n : nodes_) {
+    if (!n->running()) continue;
+    std::vector<NodeId> nbrs;
+    for (const auto& e : n->pss().view().entries()) nbrs.push_back(e.id());
+    graph[n->id()] = std::move(nbrs);
+  }
+  return graph;
+}
+
+WhisperNode* WhisperTestbed::random_node() {
+  auto alive = alive_nodes();
+  if (alive.empty()) return nullptr;
+  return alive[rng_.pick_index(alive)];
+}
+
+}  // namespace whisper

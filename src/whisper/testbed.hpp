@@ -1,0 +1,79 @@
+// WhisperTestbed: builds a whole simulated deployment.
+//
+// Owns the simulator, latency model, network, NAT fabric, and the node
+// population; provides churn operations (kill/spawn) and measurement
+// helpers (overlay snapshots, bandwidth counters). Every bench constructs
+// one of these from a TestbedConfig — this file is the equivalent of the
+// paper's SPLAY deployment scripts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nat/nat.hpp"
+#include "pss/metrics.hpp"
+#include "sim/network.hpp"
+#include "whisper/node.hpp"
+
+namespace whisper {
+
+struct TestbedConfig {
+  std::size_t initial_nodes = 0;
+  double natted_fraction = 0.7;  // the paper's deployment mix
+  std::string latency = "cluster";
+  NodeConfig node;
+  std::uint64_t seed = 42;
+  /// How many existing node cards a booting node receives.
+  std::size_t bootstrap_contacts = 5;
+};
+
+class WhisperTestbed {
+ public:
+  explicit WhisperTestbed(TestbedConfig config);
+
+  // Nodes hold references to the simulator and network owned here:
+  // the testbed must stay at a fixed address.
+  WhisperTestbed(const WhisperTestbed&) = delete;
+  WhisperTestbed& operator=(const WhisperTestbed&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *net_; }
+  nat::NatFabric& fabric() { return *fabric_; }
+  Rng& rng() { return rng_; }
+  const TestbedConfig& config() const { return config_; }
+
+  /// Boot one more node (public with probability 1-natted_fraction).
+  WhisperNode& spawn_node();
+  /// Remove a random live node; returns its id (nil if none).
+  NodeId kill_random_node();
+  void kill_node(NodeId id);
+
+  WhisperNode* node(NodeId id);
+  std::vector<WhisperNode*> alive_nodes();
+  /// Every node ever spawned, including stopped ones (their statistics
+  /// remain readable — churn experiments aggregate over these).
+  std::vector<WhisperNode*> all_nodes();
+  std::vector<WhisperNode*> alive_public_nodes();
+  std::size_t alive_count() const;
+
+  /// Advance virtual time.
+  void run_for(sim::Time duration);
+
+  /// Snapshot of the system-wide PSS out-views.
+  pss::OverlayGraph overlay_snapshot();
+
+  /// Pick a random live node.
+  WhisperNode* random_node();
+
+ private:
+  TestbedConfig config_;
+  Rng rng_;
+  sim::Simulator sim_;
+  std::unique_ptr<nat::NatFabric> fabric_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<std::unique_ptr<WhisperNode>> nodes_;  // includes stopped ones
+  std::uint64_t next_node_id_ = 1;
+  std::size_t next_key_index_ = 0;
+};
+
+}  // namespace whisper

@@ -1,0 +1,124 @@
+#include "churn/churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::churn {
+namespace {
+
+struct ChurnFixture : ::testing::Test {
+  sim::Simulator sim{3};
+  std::size_t population = 1000;
+  std::size_t killed = 0;
+  std::size_t spawned = 0;
+
+  ChurnEngine make_engine() {
+    return ChurnEngine(
+        sim,
+        [this](std::size_t n) {
+          const std::size_t k = std::min(n, population);
+          population -= k;
+          killed += k;
+          return k;
+        },
+        [this](std::size_t n) {
+          population += n;
+          spawned += n;
+        },
+        [this] { return population; });
+  }
+};
+
+TEST_F(ChurnFixture, ConstantChurnKillsExpectedFraction) {
+  ChurnEngine engine = make_engine();
+  ChurnPhase phase;
+  phase.start = 0;
+  phase.end = 15 * sim::kMinute;
+  phase.interval = sim::kMinute;
+  phase.leave_fraction = 0.01;  // 1% per minute
+  engine.schedule(phase);
+  sim.run();
+  // 15 ticks of ~10 nodes each.
+  EXPECT_NEAR(static_cast<double>(killed), 150.0, 5.0);
+  EXPECT_EQ(killed, spawned);            // 100% replacement
+  EXPECT_EQ(population, 1000u);          // net size stable
+}
+
+TEST_F(ChurnFixture, ReplacementRatioZeroShrinksNetwork) {
+  ChurnEngine engine = make_engine();
+  ChurnPhase phase;
+  phase.start = 0;
+  phase.end = 10 * sim::kMinute;
+  phase.interval = sim::kMinute;
+  phase.leave_fraction = 0.1;
+  phase.replacement_ratio = 0.0;
+  engine.schedule(phase);
+  sim.run();
+  EXPECT_EQ(spawned, 0u);
+  EXPECT_LT(population, 1000u);
+}
+
+TEST_F(ChurnFixture, PhaseWindowRespected) {
+  ChurnEngine engine = make_engine();
+  ChurnPhase phase;
+  phase.start = 5 * sim::kMinute;
+  phase.end = 8 * sim::kMinute;
+  phase.interval = sim::kMinute;
+  phase.leave_fraction = 0.01;
+  engine.schedule(phase);
+  sim.run_until(4 * sim::kMinute);
+  EXPECT_EQ(killed, 0u);
+  sim.run();
+  // Ticks at 5, 6, 7 minutes only.
+  EXPECT_NEAR(static_cast<double>(killed), 30.0, 2.0);
+}
+
+TEST_F(ChurnFixture, FractionalRatesAccumulate) {
+  population = 100;
+  ChurnEngine engine = make_engine();
+  ChurnPhase phase;
+  phase.start = 0;
+  phase.end = 100 * sim::kMinute;
+  phase.interval = sim::kMinute;
+  phase.leave_fraction = 0.002;  // 0.2 nodes/tick: relies on carry
+  engine.schedule(phase);
+  sim.run();
+  // 100 ticks * 0.2 = ~20 leavers despite each tick rounding to 0.
+  EXPECT_NEAR(static_cast<double>(killed), 20.0, 3.0);
+}
+
+TEST_F(ChurnFixture, MassJoinSpreadsOverWindow) {
+  ChurnEngine engine = make_engine();
+  engine.schedule_join(0, 30 * sim::kSecond, 100);
+  sim.run_until(15 * sim::kSecond);
+  EXPECT_GT(spawned, 30u);
+  EXPECT_LT(spawned, 70u);
+  sim.run();
+  EXPECT_EQ(spawned, 100u);
+}
+
+TEST_F(ChurnFixture, ZeroRatePhaseIgnored) {
+  ChurnEngine engine = make_engine();
+  ChurnPhase phase;
+  phase.start = 0;
+  phase.end = 10 * sim::kMinute;
+  phase.leave_fraction = 0.0;
+  engine.schedule(phase);
+  sim.run();
+  EXPECT_EQ(killed, 0u);
+}
+
+TEST_F(ChurnFixture, TotalsTracked) {
+  ChurnEngine engine = make_engine();
+  ChurnPhase phase;
+  phase.start = 0;
+  phase.end = 5 * sim::kMinute;
+  phase.interval = sim::kMinute;
+  phase.leave_fraction = 0.01;
+  engine.schedule(phase);
+  sim.run();
+  EXPECT_EQ(engine.total_killed(), killed);
+  EXPECT_EQ(engine.total_spawned(), spawned);
+}
+
+}  // namespace
+}  // namespace whisper::churn

@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper {
+namespace {
+
+TEST(Samples, BasicSummary) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Samples, PercentileEndpoints) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
+}
+
+TEST(Samples, EmptySafe) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_TRUE(s.cdf_series(10).empty());
+}
+
+TEST(Samples, CdfAt) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  auto cdf = s.cdf_at({0.5, 2.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(Samples, CdfSeriesMonotone) {
+  Samples s;
+  for (int i = 0; i < 100; ++i) s.add(i * i % 37);
+  auto series = s.cdf_series(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+    EXPECT_GE(series[i].first, series[i - 1].first);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Samples, AddNWeights) {
+  Samples s;
+  s.add_n(5.0, 10);
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(Samples, InterleavedAddAndQuery) {
+  Samples s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  s.add(7.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(IntDistribution, CdfCountsCorrectly) {
+  IntDistribution d;
+  for (std::int64_t v : {1, 1, 2, 5}) d.add(v);
+  auto cdf = d.cdf(0, 5);
+  ASSERT_EQ(cdf.size(), 6u);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 0.0);   // <= 0
+  EXPECT_DOUBLE_EQ(cdf[1].second, 0.5);   // <= 1
+  EXPECT_DOUBLE_EQ(cdf[2].second, 0.75);  // <= 2
+  EXPECT_DOUBLE_EQ(cdf[5].second, 1.0);   // <= 5
+}
+
+TEST(IntDistribution, MeanAndMax) {
+  IntDistribution d;
+  for (std::int64_t v : {2, 4, 6}) d.add(v);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_EQ(d.max(), 6);
+}
+
+TEST(FormatHelpers, StackedPercentilesContainsAll) {
+  Samples s;
+  for (int i = 0; i < 100; ++i) s.add(i);
+  const std::string out = format_stacked_percentiles(s);
+  EXPECT_NE(out.find("p5="), std::string::npos);
+  EXPECT_NE(out.find("p90="), std::string::npos);
+}
+
+TEST(FormatHelpers, FormatCdfHasHeaderAndRows) {
+  Samples s;
+  for (int i = 0; i < 10; ++i) s.add(i);
+  const std::string out = format_cdf(s, 5, "delay");
+  EXPECT_NE(out.find("delay"), std::string::npos);
+  EXPECT_NE(out.find("100.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whisper

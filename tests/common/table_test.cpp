@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  const std::string out = t.render();
+  // All lines (header, separator, data) have equal width: columns line up.
+  std::vector<std::size_t> line_lengths;
+  std::size_t start = 0;
+  for (std::size_t nl = out.find('\n'); nl != std::string::npos; nl = out.find('\n', start)) {
+    line_lengths.push_back(nl - start);
+    start = nl + 1;
+  }
+  ASSERT_EQ(line_lengths.size(), 3u);
+  EXPECT_EQ(line_lengths[0], line_lengths[1]);
+  EXPECT_EQ(line_lengths[1], line_lengths[2]);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, PctFormatsFraction) {
+  EXPECT_EQ(Table::pct(0.983, 2), "98.30%");
+  EXPECT_EQ(Table::pct(1.0, 1), "100.0%");
+}
+
+}  // namespace
+}  // namespace whisper

@@ -1,0 +1,208 @@
+// Wire-format robustness: every serializable protocol struct must
+// round-trip its own encoding and reject (never crash on) random garbage.
+#include <gtest/gtest.h>
+
+#include "chord/tchord.hpp"
+#include "common/rng.hpp"
+#include "nylon/pss.hpp"
+#include "overlay/tman.hpp"
+#include "ppss/group.hpp"
+#include "ppss/ppss.hpp"
+#include "wcl/wcl.hpp"
+
+namespace whisper {
+namespace {
+
+const crypto::RsaPublicKey& some_key() {
+  static const crypto::RsaPublicKey k = [] {
+    crypto::Drbg d(31415);
+    return crypto::RsaKeyPair::generate(512, d).pub;
+  }();
+  return k;
+}
+
+pss::ContactCard random_card(Rng& rng) {
+  pss::ContactCard c;
+  c.id = NodeId{rng.next_u64() | 1};
+  c.addr = Endpoint{static_cast<std::uint32_t>(rng.next_u64()),
+                    static_cast<std::uint16_t>(rng.next_u64())};
+  c.is_public = rng.next_bool(0.5);
+  c.relay_id = NodeId{rng.next_u64()};
+  return c;
+}
+
+wcl::RemotePeer random_peer(Rng& rng, std::size_t helpers) {
+  wcl::RemotePeer p;
+  p.card = random_card(rng);
+  p.key = some_key();
+  for (std::size_t i = 0; i < helpers; ++i) {
+    wcl::Helper h;
+    h.card = random_card(rng);
+    h.key = some_key();
+    p.helpers.push_back(std::move(h));
+  }
+  return p;
+}
+
+TEST(WireFuzz, ContactCardRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    pss::ContactCard c = random_card(rng);
+    Writer w;
+    c.serialize(w);
+    Reader r(w.data());
+    EXPECT_EQ(pss::ContactCard::deserialize(r), c);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(WireFuzz, PssEntryRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    nylon::PssEntry e;
+    e.card = random_card(rng);
+    e.age = static_cast<std::uint32_t>(rng.next_u64());
+    Writer w;
+    e.serialize(w);
+    Reader r(w.data());
+    nylon::PssEntry back = nylon::PssEntry::deserialize(r);
+    EXPECT_EQ(back.card, e.card);
+    EXPECT_EQ(back.age, e.age);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(WireFuzz, PrivateEntryRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ppss::PrivateEntry e;
+    e.peer = random_peer(rng, rng.next_below(4));
+    e.age = static_cast<std::uint32_t>(rng.next_u64());
+    Writer w;
+    e.serialize(w);
+    Reader r(w.data());
+    auto back = ppss::PrivateEntry::deserialize(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->peer.card, e.peer.card);
+    EXPECT_EQ(back->peer.helpers.size(), e.peer.helpers.size());
+    EXPECT_EQ(back->age, e.age);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(WireFuzz, ChordDescriptorRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    chord::ChordDescriptor d;
+    d.key = rng.next_u64();
+    d.peer = random_peer(rng, 2);
+    Writer w;
+    d.serialize(w);
+    Reader r(w.data());
+    auto back = chord::ChordDescriptor::deserialize(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->key, d.key);
+    EXPECT_EQ(back->peer.card, d.peer.card);
+  }
+}
+
+TEST(WireFuzz, OverlayDescriptorRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    overlay::OverlayDescriptor d;
+    d.key = rng.next_u64();
+    d.peer = random_peer(rng, 1);
+    Writer w;
+    d.serialize(w);
+    Reader r(w.data());
+    auto back = overlay::OverlayDescriptor::deserialize(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->key, d.key);
+    EXPECT_EQ(back->peer.card, d.peer.card);
+  }
+}
+
+TEST(WireFuzz, PassportAndAccreditationRoundTrip) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    ppss::Passport p;
+    p.node = NodeId{rng.next_u64()};
+    p.epoch = rng.next_u64();
+    p.signature = Bytes(rng.next_below(100));
+    rng.fill_bytes(p.signature.data(), p.signature.size());
+    Writer w;
+    p.serialize(w);
+    Reader r(w.data());
+    auto back = ppss::Passport::deserialize(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->node, p.node);
+    EXPECT_EQ(back->epoch, p.epoch);
+    EXPECT_EQ(back->signature, p.signature);
+  }
+}
+
+// Garbage in, nullopt (or garbage values) out — never a crash or a read
+// past the buffer.
+TEST(WireFuzz, GarbageNeverCrashesDeserializers) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage(rng.next_below(300));
+    rng.fill_bytes(garbage.data(), garbage.size());
+    {
+      Reader r(garbage);
+      (void)pss::ContactCard::deserialize(r);
+    }
+    {
+      Reader r(garbage);
+      (void)nylon::PssEntry::deserialize(r);
+    }
+    {
+      Reader r(garbage);
+      (void)ppss::PrivateEntry::deserialize(r);
+    }
+    {
+      Reader r(garbage);
+      (void)wcl::RemotePeer::deserialize(r);
+    }
+    {
+      Reader r(garbage);
+      (void)chord::ChordDescriptor::deserialize(r);
+    }
+    {
+      Reader r(garbage);
+      (void)overlay::OverlayDescriptor::deserialize(r);
+    }
+    {
+      Reader r(garbage);
+      (void)ppss::Passport::deserialize(r);
+    }
+    {
+      Reader r(garbage);
+      (void)ppss::Accreditation::deserialize(r);
+    }
+    (void)crypto::RsaPublicKey::deserialize(garbage);
+    (void)crypto::OnionPacket::deserialize(garbage);
+  }
+}
+
+// Truncation fuzz: valid encodings cut at every byte boundary must fail
+// gracefully (nullopt), never crash.
+TEST(WireFuzz, TruncatedEncodingsFailGracefully) {
+  Rng rng(8);
+  wcl::RemotePeer peer = random_peer(rng, 3);
+  Writer w;
+  peer.serialize(w);
+  const Bytes full = w.data();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Reader r(BytesView(full.data(), cut));
+    auto back = wcl::RemotePeer::deserialize(r);
+    // Any successful parse from a truncation must have consumed valid data
+    // only; most cuts must fail.
+    if (back.has_value()) {
+      EXPECT_TRUE(r.ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace whisper

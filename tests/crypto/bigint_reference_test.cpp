@@ -1,0 +1,137 @@
+// BigInt cross-checked against native unsigned __int128 arithmetic: for
+// operands that fit in 128 bits, every operation must agree exactly with
+// the hardware.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace whisper::crypto {
+namespace {
+
+using u128 = unsigned __int128;
+
+BigInt from_u128(u128 v) {
+  Bytes be(16);
+  for (int i = 15; i >= 0; --i) {
+    be[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+  return BigInt::from_bytes(be);
+}
+
+u128 to_u128(const BigInt& v) {
+  u128 out = 0;
+  for (std::uint8_t b : v.to_bytes()) out = (out << 8) | b;
+  return out;
+}
+
+u128 random_u128(Rng& rng, int max_bits) {
+  u128 v = (static_cast<u128>(rng.next_u64()) << 64) | rng.next_u64();
+  const int shift = 128 - static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_bits)) + 1);
+  return v >> shift;
+}
+
+TEST(BigIntReference, AdditionMatchesNative) {
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    const u128 a = random_u128(rng, 127);  // headroom for the carry
+    const u128 b = random_u128(rng, 127);
+    EXPECT_EQ(to_u128(from_u128(a) + from_u128(b)), a + b);
+  }
+}
+
+TEST(BigIntReference, SubtractionMatchesNative) {
+  Rng rng(102);
+  for (int i = 0; i < 500; ++i) {
+    u128 a = random_u128(rng, 128);
+    u128 b = random_u128(rng, 128);
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ(to_u128(from_u128(a) - from_u128(b)), a - b);
+  }
+}
+
+TEST(BigIntReference, MultiplicationMatchesNative) {
+  Rng rng(103);
+  for (int i = 0; i < 500; ++i) {
+    const u128 a = random_u128(rng, 64);
+    const u128 b = random_u128(rng, 63);
+    EXPECT_EQ(to_u128(from_u128(a) * from_u128(b)), a * b);
+  }
+}
+
+TEST(BigIntReference, DivisionMatchesNative) {
+  Rng rng(104);
+  for (int i = 0; i < 500; ++i) {
+    const u128 a = random_u128(rng, 128);
+    u128 b = random_u128(rng, static_cast<int>(rng.next_below(128)) + 1);
+    if (b == 0) b = 1;
+    auto [q, r] = from_u128(a).divmod(from_u128(b));
+    EXPECT_EQ(to_u128(q), a / b);
+    EXPECT_EQ(to_u128(r), a % b);
+  }
+}
+
+TEST(BigIntReference, ShiftsMatchNative) {
+  Rng rng(105);
+  for (int i = 0; i < 300; ++i) {
+    const u128 a = random_u128(rng, 100);
+    const std::size_t s = rng.next_below(28);
+    EXPECT_EQ(to_u128(from_u128(a) << s), a << s);
+    EXPECT_EQ(to_u128(from_u128(a) >> s), a >> s);
+  }
+}
+
+TEST(BigIntReference, ComparisonMatchesNative) {
+  Rng rng(106);
+  for (int i = 0; i < 500; ++i) {
+    const u128 a = random_u128(rng, 128);
+    const u128 b = random_u128(rng, 128);
+    EXPECT_EQ(from_u128(a) < from_u128(b), a < b);
+    EXPECT_EQ(from_u128(a) == from_u128(b), a == b);
+  }
+}
+
+TEST(BigIntReference, ModExpMatchesNativeSmall) {
+  Rng rng(107);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t base = rng.next_below(1 << 20);
+    const std::uint64_t exp = rng.next_below(64);
+    const std::uint64_t mod = (rng.next_below(1 << 20) | 1) + 2;  // odd, >= 3
+    // Native reference via repeated squaring in 128 bits.
+    u128 acc = 1, b = base % mod;
+    for (std::uint64_t e = exp; e > 0; e >>= 1) {
+      if (e & 1) acc = acc * b % mod;
+      b = b * b % mod;
+    }
+    EXPECT_EQ(to_u128(BigInt{base}.modexp(BigInt{exp}, BigInt{mod})),
+              acc) << base << "^" << exp << " mod " << mod;
+  }
+}
+
+TEST(BigIntReference, ModU64MatchesNative) {
+  Rng rng(108);
+  for (int i = 0; i < 300; ++i) {
+    const u128 a = random_u128(rng, 128);
+    const std::uint64_t m = rng.next_u64() | 1;
+    EXPECT_EQ(from_u128(a).mod_u64(m), static_cast<std::uint64_t>(a % m));
+  }
+}
+
+TEST(BigIntReference, GcdMatchesEuclid) {
+  Rng rng(109);
+  for (int i = 0; i < 300; ++i) {
+    std::uint64_t a = rng.next_below(1ull << 40);
+    std::uint64_t b = rng.next_below(1ull << 40);
+    std::uint64_t x = a, y = b;
+    while (y != 0) {
+      const std::uint64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    EXPECT_EQ(BigInt::gcd(BigInt{a}, BigInt{b}), BigInt{x});
+  }
+}
+
+}  // namespace
+}  // namespace whisper::crypto

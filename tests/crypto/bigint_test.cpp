@@ -1,0 +1,247 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace whisper::crypto {
+namespace {
+
+BigInt random_bigint(Rng& rng, std::size_t max_bytes) {
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(max_bytes));
+  Bytes b(n);
+  rng.fill_bytes(b.data(), n);
+  return BigInt::from_bytes(b);
+}
+
+TEST(BigInt, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigInt, SmallArithmetic) {
+  EXPECT_EQ(BigInt{2} + BigInt{3}, BigInt{5});
+  EXPECT_EQ(BigInt{7} - BigInt{5}, BigInt{2});
+  EXPECT_EQ(BigInt{6} * BigInt{7}, BigInt{42});
+  EXPECT_EQ(BigInt{100} / BigInt{7}, BigInt{14});
+  EXPECT_EQ(BigInt{100} % BigInt{7}, BigInt{2});
+}
+
+TEST(BigInt, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef00112233";
+  BigInt v = BigInt::from_hex(hex);
+  EXPECT_EQ(v.to_hex(), hex);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  Bytes b{0x01, 0x02, 0x03, 0xff, 0x00, 0x80};
+  BigInt v = BigInt::from_bytes(b);
+  EXPECT_EQ(v.to_bytes(), b);
+}
+
+TEST(BigInt, PaddedBytes) {
+  BigInt v{0x1234};
+  Bytes p = v.to_bytes_padded(8);
+  ASSERT_EQ(p.size(), 8u);
+  EXPECT_EQ(p[6], 0x12);
+  EXPECT_EQ(p[7], 0x34);
+  EXPECT_EQ(p[0], 0x00);
+  EXPECT_EQ(BigInt::from_bytes(p), v);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt max64 = BigInt::from_hex("ffffffffffffffff");
+  EXPECT_EQ((max64 + BigInt{1}).to_hex(), "10000000000000000");
+}
+
+TEST(BigInt, MultiplicationKnownValue) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  BigInt max64 = BigInt::from_hex("ffffffffffffffff");
+  EXPECT_EQ((max64 * max64).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigInt, ShiftRoundTrip) {
+  BigInt v = BigInt::from_hex("123456789abcdef");
+  for (std::size_t s : {1u, 7u, 63u, 64u, 65u, 130u}) {
+    EXPECT_EQ((v << s) >> s, v) << "shift " << s;
+  }
+}
+
+TEST(BigInt, BitAccess) {
+  BigInt v{0b1010};
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(1000));
+}
+
+TEST(BigInt, CompareOrdering) {
+  BigInt a = BigInt::from_hex("ffffffffffffffff");
+  BigInt b = BigInt::from_hex("10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, b);
+}
+
+// Property: a = (a/b)*b + a%b, and a%b < b.
+TEST(BigInt, DivModInvariantRandom) {
+  Rng rng(12345);
+  for (int i = 0; i < 300; ++i) {
+    BigInt a = random_bigint(rng, 64);
+    BigInt b = random_bigint(rng, 32);
+    if (b.is_zero()) b = BigInt{1};
+    auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigInt, DivModEdgeCases) {
+  BigInt a = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  // Divide by itself.
+  auto [q1, r1] = a.divmod(a);
+  EXPECT_EQ(q1, BigInt{1});
+  EXPECT_TRUE(r1.is_zero());
+  // Dividend smaller than divisor.
+  auto [q2, r2] = BigInt{5}.divmod(a);
+  EXPECT_TRUE(q2.is_zero());
+  EXPECT_EQ(r2, BigInt{5});
+  // Divide by one.
+  auto [q3, r3] = a.divmod(BigInt{1});
+  EXPECT_EQ(q3, a);
+  EXPECT_TRUE(r3.is_zero());
+}
+
+// Exercises the rare Knuth-D add-back branch via dividends shaped to make
+// the initial quotient estimate one too high.
+TEST(BigInt, DivModStressNearBoundary) {
+  Rng rng(777);
+  for (int i = 0; i < 200; ++i) {
+    // b with high limb pattern close to 2^64.
+    Bytes bb(24, 0xff);
+    rng.fill_bytes(bb.data() + 8, 16);
+    BigInt b = BigInt::from_bytes(bb);
+    BigInt q_true = random_bigint(rng, 16);
+    BigInt r_true = random_bigint(rng, 16) % b;
+    BigInt a = q_true * b + r_true;
+    auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q, q_true);
+    EXPECT_EQ(r, r_true);
+  }
+}
+
+TEST(BigInt, ModU64MatchesDivMod) {
+  Rng rng(999);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = random_bigint(rng, 40);
+    std::uint64_t m = rng.next_u64() | 1;
+    EXPECT_EQ(BigInt{a.mod_u64(m)}, a % BigInt{m});
+  }
+}
+
+TEST(BigInt, ModExpKnownValues) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigInt{2}.modexp(BigInt{10}, BigInt{1001}), BigInt{1024 % 1001});
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigInt p{1000003};
+  EXPECT_EQ(BigInt{12345}.modexp(p - BigInt{1}, p), BigInt{1});
+}
+
+TEST(BigInt, ModExpZeroExponent) {
+  EXPECT_EQ(BigInt{5}.modexp(BigInt{}, BigInt{7}), BigInt{1});
+}
+
+TEST(BigInt, ModExpOneModulus) {
+  EXPECT_TRUE(BigInt{5}.modexp(BigInt{3}, BigInt{1}).is_zero());
+}
+
+// Property: Montgomery modexp agrees with naive square-and-multiply + divmod.
+TEST(BigInt, ModExpMatchesNaive) {
+  Rng rng(2024);
+  for (int i = 0; i < 30; ++i) {
+    BigInt base = random_bigint(rng, 24);
+    BigInt exp = random_bigint(rng, 3);
+    BigInt mod = random_bigint(rng, 16);
+    if (!mod.is_odd()) mod = mod + BigInt{1};
+    if (mod <= BigInt{1}) mod = BigInt{3};
+
+    // Naive reference.
+    BigInt acc{1};
+    for (std::size_t b = exp.bit_length(); b-- > 0;) {
+      acc = (acc * acc) % mod;
+      if (exp.bit(b)) acc = (acc * base) % mod;
+    }
+    EXPECT_EQ(base.modexp(exp, mod), acc);
+  }
+}
+
+TEST(BigInt, ModInvBasics) {
+  // 3 * 5 = 15 = 1 mod 7
+  EXPECT_EQ(BigInt{3}.modinv(BigInt{7}), BigInt{5});
+  // Non-invertible: gcd(6, 9) = 3.
+  EXPECT_TRUE(BigInt{6}.modinv(BigInt{9}).is_zero());
+}
+
+TEST(BigInt, ModInvProperty) {
+  Rng rng(555);
+  for (int i = 0; i < 100; ++i) {
+    BigInt m = random_bigint(rng, 24);
+    if (m <= BigInt{2}) continue;
+    BigInt a = random_bigint(rng, 24) % m;
+    if (a.is_zero()) continue;
+    BigInt inv = a.modinv(m);
+    if (inv.is_zero()) {
+      EXPECT_NE(BigInt::gcd(a, m), BigInt{1});
+    } else {
+      EXPECT_EQ((a * inv) % m, BigInt{1});
+      EXPECT_LT(inv, m);
+    }
+  }
+}
+
+TEST(BigInt, GcdKnownValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt{48}, BigInt{18}), BigInt{6});
+  EXPECT_EQ(BigInt::gcd(BigInt{17}, BigInt{13}), BigInt{1});
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{5}), BigInt{5});
+}
+
+TEST(BigInt, SubtractionToZero) {
+  BigInt a = BigInt::from_hex("123456789abcdef0123456789");
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(BigInt, MulByZero) {
+  BigInt a = BigInt::from_hex("ffffffffffffffffffff");
+  EXPECT_TRUE((a * BigInt{}).is_zero());
+  EXPECT_TRUE((BigInt{} * a).is_zero());
+}
+
+// Property: (a + b) - b == a for random values.
+TEST(BigInt, AddSubInverse) {
+  Rng rng(31337);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = random_bigint(rng, 48);
+    BigInt b = random_bigint(rng, 48);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+// Property: multiplication is commutative and distributes over addition.
+TEST(BigInt, MulAlgebraicProperties) {
+  Rng rng(808);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = random_bigint(rng, 20);
+    BigInt b = random_bigint(rng, 20);
+    BigInt c = random_bigint(rng, 20);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+}  // namespace
+}  // namespace whisper::crypto

@@ -1,0 +1,188 @@
+// Parameterized property sweeps over the crypto substrate: the same
+// invariants checked across key sizes, payload sizes and path lengths.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "crypto/envelope.hpp"
+#include "crypto/onion.hpp"
+#include "crypto/rsa.hpp"
+
+namespace whisper::crypto {
+namespace {
+
+// Shared keypair cache — keygen dominates test time otherwise.
+const RsaKeyPair& cached_key(std::size_t bits, std::size_t idx = 0) {
+  static std::map<std::pair<std::size_t, std::size_t>, RsaKeyPair> cache;
+  auto key = std::make_pair(bits, idx);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Drbg d(9000 + bits * 31 + idx);
+    it = cache.emplace(key, RsaKeyPair::generate(bits, d)).first;
+  }
+  return it->second;
+}
+
+// --- RSA across modulus sizes. ---
+
+class RsaSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaSizes, EncryptDecryptRoundTrip) {
+  const auto& kp = cached_key(GetParam());
+  Drbg d(1);
+  for (std::size_t len : {0u, 1u, 16u, 32u}) {
+    if (len > kp.pub.max_message()) continue;
+    Bytes msg(len, 0x42);
+    auto pt = rsa_decrypt(kp, rsa_encrypt(kp.pub, msg, d));
+    ASSERT_TRUE(pt.has_value()) << GetParam() << " bits, len " << len;
+    EXPECT_EQ(*pt, msg);
+  }
+}
+
+TEST_P(RsaSizes, SignVerifyRoundTrip) {
+  const auto& kp = cached_key(GetParam());
+  const Bytes msg = to_bytes("sweep message");
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, rsa_sign(kp, msg)));
+}
+
+TEST_P(RsaSizes, CiphertextHasBlockSize) {
+  const auto& kp = cached_key(GetParam());
+  Drbg d(2);
+  EXPECT_EQ(rsa_encrypt(kp.pub, Bytes(8, 1), d).size(), GetParam() / 8);
+}
+
+TEST_P(RsaSizes, CrossKeyVerificationFails) {
+  const auto& kp = cached_key(GetParam());
+  const auto& other = cached_key(GetParam(), 1);
+  const Bytes msg = to_bytes("cross");
+  EXPECT_FALSE(rsa_verify(other.pub, msg, rsa_sign(kp, msg)));
+}
+
+TEST_P(RsaSizes, PublicKeyWireRoundTrip) {
+  const auto& kp = cached_key(GetParam());
+  auto back = RsaPublicKey::deserialize(kp.pub.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, kp.pub);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaSizes, ::testing::Values(512u, 768u, 1024u));
+
+// --- Envelope across payload sizes. ---
+
+class EnvelopeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnvelopeSizes, SealOpenRoundTrip) {
+  const auto& kp = cached_key(512);
+  Drbg d(3);
+  Bytes payload(GetParam());
+  d.fill(payload.data(), payload.size());
+  auto opened = envelope_open(kp, envelope_seal(kp.pub, payload, d));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST_P(EnvelopeSizes, CiphertextSizeIsPredicted) {
+  const auto& kp = cached_key(512);
+  Drbg d(4);
+  EXPECT_EQ(envelope_seal(kp.pub, Bytes(GetParam(), 0x1), d).size(),
+            envelope_size(kp.pub, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, EnvelopeSizes,
+                         ::testing::Values(0u, 1u, 15u, 16u, 17u, 255u, 4096u, 20480u));
+
+// --- Onion across path lengths and payload sizes. ---
+
+class OnionPaths : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(OnionPaths, FullPathDelivery) {
+  const auto [hops, payload_len] = GetParam();
+  Drbg d(5);
+  std::vector<OnionHop> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    path.push_back(OnionHop{NodeId{i + 1}, cached_key(512, i).pub,
+                            Endpoint{static_cast<std::uint32_t>(i + 1), 1}});
+  }
+  Bytes content(payload_len);
+  d.fill(content.data(), content.size());
+
+  OnionPacket pkt = onion_build(path, content, d);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto peel = onion_peel(cached_key(512, i), pkt);
+    ASSERT_TRUE(peel.has_value()) << "hop " << i;
+    ASSERT_FALSE(peel->is_destination);
+    EXPECT_EQ(peel->next_hop, path[i + 1].id);
+    EXPECT_EQ(peel->next_addr, path[i + 1].addr);
+    pkt = peel->next_packet;
+  }
+  auto last = onion_peel(cached_key(512, hops - 1), pkt);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_TRUE(last->is_destination);
+  EXPECT_EQ(last->content, content);
+}
+
+TEST_P(OnionPaths, EveryLayerOpaqueToOthers) {
+  const auto [hops, payload_len] = GetParam();
+  Drbg d(6);
+  std::vector<OnionHop> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    path.push_back(OnionHop{NodeId{i + 1}, cached_key(512, i).pub, Endpoint{}});
+  }
+  const OnionPacket pkt = onion_build(path, Bytes(payload_len, 0x5c), d);
+  // Only the first hop's key opens the outermost layer.
+  for (std::size_t i = 1; i < hops; ++i) {
+    EXPECT_FALSE(onion_peel(cached_key(512, i), pkt).has_value()) << "key " << i;
+  }
+}
+
+TEST_P(OnionPaths, HeaderSizeGrowsLinearlyWithHops) {
+  const auto [hops, payload_len] = GetParam();
+  Drbg d(7);
+  std::vector<OnionHop> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    path.push_back(OnionHop{NodeId{i + 1}, cached_key(512, i).pub, Endpoint{}});
+  }
+  const OnionPacket pkt = onion_build(path, Bytes(payload_len, 0), d);
+  // Each layer adds one hybrid envelope: RSA block (64) + next-hop id (8) +
+  // endpoint (6); innermost layer carries (nil id + key material).
+  const std::size_t block = cached_key(512).pub.block_size();
+  const std::size_t inner = block + 8 + 32;
+  const std::size_t expected = inner + (hops - 1) * (block + 8 + 6);
+  EXPECT_EQ(pkt.header.size(), expected);
+  // Body is exactly payload-sized (CTR mode).
+  EXPECT_EQ(pkt.body.size(), payload_len);
+}
+
+INSTANTIATE_TEST_SUITE_P(PathShapes, OnionPaths,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),
+                                            ::testing::Values(0u, 64u, 20480u)));
+
+// --- Drbg determinism sweep. ---
+
+class DrbgSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DrbgSeeds, SameSeedSameStream) {
+  Drbg a(GetParam()), b(GetParam());
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+}
+
+TEST_P(DrbgSeeds, DifferentSeedDifferentStream) {
+  Drbg a(GetParam()), b(GetParam() + 1);
+  EXPECT_NE(a.bytes(100), b.bytes(100));
+}
+
+TEST_P(DrbgSeeds, BelowIsUniformish) {
+  Drbg d(GetParam());
+  int buckets[7] = {};
+  for (int i = 0; i < 7000; ++i) ++buckets[d.below(7)];
+  for (int b = 0; b < 7; ++b) {
+    EXPECT_GT(buckets[b], 800) << "bucket " << b;
+    EXPECT_LT(buckets[b], 1200) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrbgSeeds, ::testing::Values(0ull, 1ull, 0xdeadbeefull));
+
+}  // namespace
+}  // namespace whisper::crypto

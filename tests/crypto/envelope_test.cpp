@@ -1,0 +1,86 @@
+#include "crypto/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::crypto {
+namespace {
+
+const RsaKeyPair& key() {
+  static const RsaKeyPair kp = [] {
+    Drbg d(303);
+    return RsaKeyPair::generate(512, d);
+  }();
+  return kp;
+}
+
+TEST(Envelope, RoundTripSmall) {
+  Drbg d(1);
+  const Bytes msg = to_bytes("short");
+  const Bytes env = envelope_seal(key().pub, msg, d);
+  auto back = envelope_open(key(), env);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST(Envelope, RoundTripLargePayload) {
+  Drbg d(2);
+  Bytes msg(64 * 1024);
+  d.fill(msg.data(), msg.size());
+  const Bytes env = envelope_seal(key().pub, msg, d);
+  auto back = envelope_open(key(), env);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST(Envelope, RoundTripEmptyPayload) {
+  Drbg d(3);
+  const Bytes env = envelope_seal(key().pub, Bytes{}, d);
+  auto back = envelope_open(key(), env);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Envelope, SizeMatchesPredicted) {
+  Drbg d(4);
+  for (std::size_t n : {0u, 1u, 100u, 4096u}) {
+    const Bytes env = envelope_seal(key().pub, Bytes(n, 0x7), d);
+    EXPECT_EQ(env.size(), envelope_size(key().pub, n));
+  }
+}
+
+TEST(Envelope, WrongKeyFails) {
+  Drbg d(5);
+  const Bytes env = envelope_seal(key().pub, to_bytes("secret"), d);
+  Drbg d2(6);
+  const RsaKeyPair other = RsaKeyPair::generate(512, d2);
+  auto back = envelope_open(other, env);
+  if (back.has_value()) {
+    EXPECT_NE(*back, to_bytes("secret"));
+  }
+}
+
+TEST(Envelope, TruncatedEnvelopeFails) {
+  Drbg d(7);
+  Bytes env = envelope_seal(key().pub, to_bytes("secret"), d);
+  env.resize(key().pub.block_size() - 1);
+  EXPECT_FALSE(envelope_open(key(), env).has_value());
+}
+
+TEST(Envelope, CorruptedRsaBlockFails) {
+  Drbg d(8);
+  Bytes env = envelope_seal(key().pub, to_bytes("secret"), d);
+  env[5] ^= 0xff;
+  auto back = envelope_open(key(), env);
+  if (back.has_value()) {
+    EXPECT_NE(*back, to_bytes("secret"));
+  }
+}
+
+TEST(Envelope, FreshKeysPerSeal) {
+  Drbg d(9);
+  const Bytes msg = to_bytes("same");
+  EXPECT_NE(envelope_seal(key().pub, msg, d), envelope_seal(key().pub, msg, d));
+}
+
+}  // namespace
+}  // namespace whisper::crypto

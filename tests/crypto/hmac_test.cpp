@@ -1,0 +1,100 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::crypto {
+namespace {
+
+std::string hmac_hex(const std::string& key, const std::string& msg) {
+  const Digest256 d = hmac_sha256(to_bytes(key), to_bytes(msg));
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// RFC 4231 test case 2.
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hmac_hex("Jefe", "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1 (0x0b*20 key).
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest256 d = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(Hmac, LongKeyHashedFirst) {
+  const Bytes key(131, 0xaa);
+  const Digest256 d = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentTags) {
+  EXPECT_NE(hmac_hex("key1", "msg"), hmac_hex("key2", "msg"));
+}
+
+TEST(Hmac, DifferentMessagesDifferentTags) {
+  EXPECT_NE(hmac_hex("key", "msg1"), hmac_hex("key", "msg2"));
+}
+
+TEST(Hmac, EmptyInputsSupported) {
+  EXPECT_EQ(hmac_hex("", "").size(), 64u);
+}
+
+TEST(Authenticated, RoundTrip) {
+  AesKey key{};
+  AesBlock iv{};
+  key[0] = 1;
+  iv[0] = 2;
+  const Bytes msg = to_bytes("authenticated payload");
+  const Bytes sealed = seal_authenticated(key, iv, msg);
+  EXPECT_EQ(sealed.size(), msg.size() + 32);
+  auto opened = open_authenticated(key, iv, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(Authenticated, EmptyPayloadRoundTrip) {
+  AesKey key{};
+  AesBlock iv{};
+  auto opened = open_authenticated(key, iv, seal_authenticated(key, iv, Bytes{}));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Authenticated, TamperedCiphertextRejected) {
+  AesKey key{};
+  AesBlock iv{};
+  Bytes sealed = seal_authenticated(key, iv, to_bytes("integrity"));
+  sealed[0] ^= 0x01;
+  EXPECT_FALSE(open_authenticated(key, iv, sealed).has_value());
+}
+
+TEST(Authenticated, TamperedTagRejected) {
+  AesKey key{};
+  AesBlock iv{};
+  Bytes sealed = seal_authenticated(key, iv, to_bytes("integrity"));
+  sealed.back() ^= 0x01;
+  EXPECT_FALSE(open_authenticated(key, iv, sealed).has_value());
+}
+
+TEST(Authenticated, WrongKeyRejected) {
+  AesKey key{}, other{};
+  other[5] = 9;
+  AesBlock iv{};
+  const Bytes sealed = seal_authenticated(key, iv, to_bytes("integrity"));
+  EXPECT_FALSE(open_authenticated(other, iv, sealed).has_value());
+}
+
+TEST(Authenticated, TruncatedInputRejected) {
+  AesKey key{};
+  AesBlock iv{};
+  EXPECT_FALSE(open_authenticated(key, iv, Bytes(31, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace whisper::crypto

@@ -1,0 +1,177 @@
+#include "crypto/onion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whisper::crypto {
+namespace {
+
+// A small set of shared keypairs (keygen is the slow part).
+const std::vector<RsaKeyPair>& keys() {
+  static const std::vector<RsaKeyPair> ks = [] {
+    std::vector<RsaKeyPair> v;
+    Drbg d(404);
+    for (int i = 0; i < 5; ++i) v.push_back(RsaKeyPair::generate(512, d));
+    return v;
+  }();
+  return ks;
+}
+
+OnionHop hop(std::size_t i) {
+  return OnionHop{NodeId{i + 1}, keys()[i].pub,
+                  Endpoint{static_cast<std::uint32_t>(0x01000000 + i), 5000}};
+}
+
+TEST(Onion, SingleHopPathIsDirectSeal) {
+  Drbg d(1);
+  const Bytes content = to_bytes("direct message");
+  std::vector<OnionHop> path{hop(0)};
+  const OnionPacket pkt = onion_build(path, content, d);
+  auto peel = onion_peel(keys()[0], pkt);
+  ASSERT_TRUE(peel.has_value());
+  EXPECT_TRUE(peel->is_destination);
+  EXPECT_EQ(peel->content, content);
+}
+
+// The paper's configuration: path S -> A -> B -> D (two mixes).
+TEST(Onion, TwoMixPathDelivers) {
+  Drbg d(2);
+  const Bytes content = to_bytes("confidential group traffic");
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2)};  // A, B, D
+  OnionPacket pkt = onion_build(path, content, d);
+
+  auto at_a = onion_peel(keys()[0], pkt);
+  ASSERT_TRUE(at_a.has_value());
+  EXPECT_FALSE(at_a->is_destination);
+  EXPECT_EQ(at_a->next_hop, NodeId{2});
+  EXPECT_EQ(at_a->next_addr, hop(1).addr);
+
+  auto at_b = onion_peel(keys()[1], at_a->next_packet);
+  ASSERT_TRUE(at_b.has_value());
+  EXPECT_FALSE(at_b->is_destination);
+  EXPECT_EQ(at_b->next_hop, NodeId{3});
+
+  auto at_d = onion_peel(keys()[2], at_b->next_packet);
+  ASSERT_TRUE(at_d.has_value());
+  EXPECT_TRUE(at_d->is_destination);
+  EXPECT_EQ(at_d->content, content);
+}
+
+TEST(Onion, LongPathForCollusionResistance) {
+  // f mixes tolerate f-1 colluders (paper footnote 2): exercise f = 4.
+  Drbg d(3);
+  const Bytes content = to_bytes("extra paranoid");
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2), hop(3), hop(4)};
+  OnionPacket pkt = onion_build(path, content, d);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto peel = onion_peel(keys()[i], pkt);
+    ASSERT_TRUE(peel.has_value()) << "hop " << i;
+    ASSERT_FALSE(peel->is_destination);
+    EXPECT_EQ(peel->next_hop, path[i + 1].id);
+    pkt = peel->next_packet;
+  }
+  auto final = onion_peel(keys()[4], pkt);
+  ASSERT_TRUE(final.has_value());
+  EXPECT_TRUE(final->is_destination);
+  EXPECT_EQ(final->content, content);
+}
+
+TEST(Onion, MixCannotReadContent) {
+  Drbg d(4);
+  const Bytes content = to_bytes("top secret");
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2)};
+  const OnionPacket pkt = onion_build(path, content, d);
+  // The body as seen by mixes is AES-encrypted and never equals the content.
+  EXPECT_NE(pkt.body, content);
+  auto at_a = onion_peel(keys()[0], pkt);
+  ASSERT_TRUE(at_a.has_value());
+  EXPECT_NE(at_a->next_packet.body, content);
+}
+
+TEST(Onion, MixLearnsOnlyNextHop) {
+  Drbg d(5);
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2)};
+  const OnionPacket pkt = onion_build(path, to_bytes("x"), d);
+  auto at_a = onion_peel(keys()[0], pkt);
+  ASSERT_TRUE(at_a.has_value());
+  // A cannot peel the next layer (it is sealed to B).
+  EXPECT_FALSE(onion_peel(keys()[0], at_a->next_packet).has_value());
+  // Nor can A peel with D's layer ordering skipped.
+  EXPECT_FALSE(onion_peel(keys()[2], pkt).has_value());
+}
+
+TEST(Onion, WrongKeyCannotPeel) {
+  Drbg d(6);
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2)};
+  const OnionPacket pkt = onion_build(path, to_bytes("x"), d);
+  EXPECT_FALSE(onion_peel(keys()[3], pkt).has_value());
+}
+
+TEST(Onion, HeaderShrinksPerHop) {
+  Drbg d(7);
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2)};
+  const OnionPacket pkt = onion_build(path, to_bytes("x"), d);
+  auto at_a = onion_peel(keys()[0], pkt);
+  ASSERT_TRUE(at_a.has_value());
+  EXPECT_LT(at_a->next_packet.header.size(), pkt.header.size());
+  // Body is untouched by forwarding.
+  EXPECT_EQ(at_a->next_packet.body, pkt.body);
+}
+
+TEST(Onion, SerializeRoundTrip) {
+  Drbg d(8);
+  std::vector<OnionHop> path{hop(0), hop(1)};
+  const OnionPacket pkt = onion_build(path, to_bytes("wire"), d);
+  const Bytes wire = pkt.serialize();
+  EXPECT_EQ(wire.size(), pkt.wire_size());
+  auto back = OnionPacket::deserialize(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->header, pkt.header);
+  EXPECT_EQ(back->body, pkt.body);
+}
+
+TEST(Onion, DeserializeGarbageFails) {
+  EXPECT_FALSE(OnionPacket::deserialize(Bytes{1, 2}).has_value());
+}
+
+TEST(Onion, EmptyContentSupported) {
+  Drbg d(9);
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2)};
+  OnionPacket pkt = onion_build(path, Bytes{}, d);
+  auto a = onion_peel(keys()[0], pkt);
+  ASSERT_TRUE(a.has_value());
+  auto b = onion_peel(keys()[1], a->next_packet);
+  ASSERT_TRUE(b.has_value());
+  auto dd = onion_peel(keys()[2], b->next_packet);
+  ASSERT_TRUE(dd.has_value());
+  EXPECT_TRUE(dd->is_destination);
+  EXPECT_TRUE(dd->content.empty());
+}
+
+TEST(Onion, LargeContentSurvivesFullPath) {
+  Drbg d(10);
+  Bytes content(20 * 1024);  // the paper's ~20 KB view exchanges
+  d.fill(content.data(), content.size());
+  std::vector<OnionHop> path{hop(0), hop(1), hop(2)};
+  OnionPacket pkt = onion_build(path, content, d);
+  auto a = onion_peel(keys()[0], pkt);
+  auto b = onion_peel(keys()[1], a->next_packet);
+  auto dd = onion_peel(keys()[2], b->next_packet);
+  ASSERT_TRUE(dd.has_value());
+  EXPECT_EQ(dd->content, content);
+}
+
+TEST(Onion, TamperedBodyDecryptsToGarbage) {
+  Drbg d(11);
+  const Bytes content = to_bytes("integrity matters");
+  std::vector<OnionHop> path{hop(0)};
+  OnionPacket pkt = onion_build(path, content, d);
+  pkt.body[0] ^= 0xff;
+  auto peel = onion_peel(keys()[0], pkt);
+  ASSERT_TRUE(peel.has_value());
+  EXPECT_NE(peel->content, content);
+}
+
+}  // namespace
+}  // namespace whisper::crypto

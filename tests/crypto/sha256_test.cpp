@@ -1,0 +1,74 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace whisper::crypto {
+namespace {
+
+std::string hash_hex(const std::string& msg) {
+  const Digest256 d = Sha256::hash(to_bytes(msg));
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const Digest256 d = h.finish();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(&c, 1);
+  EXPECT_EQ(h.finish(), Sha256::hash(to_bytes(msg)));
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x5a);
+    Sha256 split;
+    split.update(BytesView(msg.data(), len / 2));
+    split.update(BytesView(msg.data() + len / 2, len - len / 2));
+    EXPECT_EQ(split.finish(), Sha256::hash(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Sha256::hash(to_bytes("a")), Sha256::hash(to_bytes("b")));
+  EXPECT_NE(Sha256::hash(to_bytes("")), Sha256::hash(Bytes{0}));
+}
+
+TEST(Fingerprint64, StableAndDistinct) {
+  EXPECT_EQ(fingerprint64(to_bytes("x")), fingerprint64(to_bytes("x")));
+  EXPECT_NE(fingerprint64(to_bytes("x")), fingerprint64(to_bytes("y")));
+}
+
+TEST(Fingerprint64, MatchesDigestPrefix) {
+  const Digest256 d = Sha256::hash(to_bytes("abc"));
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) expected = (expected << 8) | d[static_cast<std::size_t>(i)];
+  EXPECT_EQ(fingerprint64(to_bytes("abc")), expected);
+}
+
+}  // namespace
+}  // namespace whisper::crypto

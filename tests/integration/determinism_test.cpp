@@ -1,0 +1,88 @@
+// Whole-stack determinism: identical seeds must produce bit-identical
+// protocol evolution across every layer — the property that makes paper
+// reproduction runs exactly repeatable.
+#include <gtest/gtest.h>
+
+#include "whisper/testbed.hpp"
+
+namespace whisper {
+namespace {
+
+constexpr GroupId kGroup{50505};
+
+struct RunDigest {
+  std::uint64_t overlay = 0;
+  std::uint64_t wcl = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t traffic = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+RunDigest run_once(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 40;
+  cfg.node.pss.pi_min_public = 3;
+  cfg.node.wcl.pi = 3;
+  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.seed = seed;
+  WhisperTestbed tb(cfg);
+  tb.run_for(5 * sim::kMinute);
+
+  // Group activity on top.
+  auto nodes = tb.alive_nodes();
+  crypto::Drbg d(seed);
+  auto& fg = nodes[0]->create_group(kGroup, crypto::RsaKeyPair::generate(512, d));
+  for (int i = 1; i <= 6; ++i) {
+    nodes[static_cast<std::size_t>(i)]->join_group(
+        kGroup, *fg.invite(nodes[static_cast<std::size_t>(i)]->id()), fg.self_descriptor());
+  }
+  tb.run_for(8 * sim::kMinute);
+
+  RunDigest digest;
+  for (WhisperNode* n : tb.alive_nodes()) {
+    for (const auto& e : n->pss().view().entries()) {
+      digest.overlay = digest.overlay * 1099511628211ull + e.id().value;
+      digest.overlay = digest.overlay * 1099511628211ull + e.age;
+    }
+    digest.wcl = digest.wcl * 31 + n->wcl().stats().first_try_success;
+    digest.wcl = digest.wcl * 31 + n->wcl().backlog().size();
+    digest.traffic += tb.network().counters(n->internal_endpoint()).total_up();
+    if (auto* g = n->group(kGroup)) {
+      digest.groups = digest.groups * 31 + (g->joined() ? 1u : 0u);
+      digest.groups = digest.groups * 31 + g->private_view().size();
+      digest.groups = digest.groups * 31 + g->stats().exchanges_completed;
+    }
+  }
+  return digest;
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalRuns) {
+  const RunDigest a = run_once(777);
+  const RunDigest b = run_once(777);
+  EXPECT_EQ(a.overlay, b.overlay);
+  EXPECT_EQ(a.wcl, b.wcl);
+  EXPECT_EQ(a.groups, b.groups);
+  EXPECT_EQ(a.traffic, b.traffic);
+}
+
+TEST(Determinism, DifferentSeedsDifferentRuns) {
+  const RunDigest a = run_once(777);
+  const RunDigest b = run_once(778);
+  // At least the overlay evolution must differ (traffic could coincide in
+  // principle, overlay state practically cannot).
+  EXPECT_NE(a.overlay, b.overlay);
+}
+
+TEST(Determinism, DigestsStableAcrossRepetition) {
+  // Three repetitions agree pairwise (catches hidden global state such as
+  // static caches leaking across testbeds).
+  const RunDigest a = run_once(999);
+  const RunDigest b = run_once(999);
+  const RunDigest c = run_once(999);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+}  // namespace
+}  // namespace whisper

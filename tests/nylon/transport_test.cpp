@@ -1,0 +1,207 @@
+#include "nylon/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nat/nat.hpp"
+
+namespace whisper::nylon {
+namespace {
+
+// Harness: a network with a NAT fabric and manually wired transports.
+struct TransportFixture : ::testing::Test {
+  sim::Simulator sim{7};
+  nat::NatFabric fabric{sim};
+  sim::Network net{sim, std::make_unique<sim::FixedLatency>(sim::kMillisecond)};
+
+  std::vector<std::unique_ptr<Transport>> transports;
+
+  TransportFixture() { net.set_translator(&fabric); }
+
+  Transport& add_public(std::uint64_t id) {
+    Endpoint ep = fabric.add_public_node();
+    transports.push_back(std::make_unique<Transport>(sim, net, NodeId{id}, ep, true));
+    return *transports.back();
+  }
+
+  Transport& add_natted(std::uint64_t id, nat::NatType type) {
+    Endpoint ep = fabric.add_natted_node(type);
+    transports.push_back(std::make_unique<Transport>(sim, net, NodeId{id}, ep, false));
+    return *transports.back();
+  }
+
+  static std::vector<std::pair<NodeId, Bytes>>& inbox(Transport& t) {
+    static std::unordered_map<Transport*, std::vector<std::pair<NodeId, Bytes>>> boxes;
+    return boxes[&t];
+  }
+
+  void collect(Transport& t) {
+    inbox(t).clear();
+    t.register_handler(kTagApp, [&t](NodeId from, BytesView p) {
+      inbox(t).emplace_back(from, Bytes(p.begin(), p.end()));
+    });
+  }
+};
+
+TEST_F(TransportFixture, PublicToPublicDirect) {
+  Transport& a = add_public(1);
+  Transport& b = add_public(2);
+  collect(b);
+  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{9}, sim::Proto::kApp));
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_EQ(inbox(b).size(), 1u);
+  EXPECT_EQ(inbox(b)[0].first, NodeId{1});
+  EXPECT_EQ(inbox(b)[0].second, Bytes{9});
+}
+
+TEST_F(TransportFixture, SelfCardReflectsRole) {
+  Transport& p = add_public(1);
+  EXPECT_TRUE(p.self_card().is_public);
+  EXPECT_TRUE(p.self_card().relay_id.is_nil());
+
+  Transport& relay = add_public(2);
+  Transport& n = add_natted(3, nat::NatType::kFullCone);
+  n.set_relay(relay.self_card());
+  EXPECT_FALSE(n.self_card().is_public);
+  EXPECT_EQ(n.self_card().relay_id, NodeId{2});
+  EXPECT_EQ(n.self_card().addr, relay.self_card().addr);
+}
+
+TEST_F(TransportFixture, NattedReachableViaRelay) {
+  Transport& relay = add_public(1);
+  Transport& n = add_natted(2, nat::NatType::kSymmetric);  // sym: relay is the only way
+  Transport& sender = add_public(3);
+  n.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);  // registration settles
+  collect(n);
+  EXPECT_TRUE(sender.send(n.self_card(), kTagApp, Bytes{5}, sim::Proto::kApp));
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_EQ(inbox(n).size(), 1u);
+  EXPECT_EQ(inbox(n)[0].first, NodeId{3});
+}
+
+TEST_F(TransportFixture, RelayLostWithoutAcks) {
+  Transport& relay = add_public(1);
+  Transport& n = add_natted(2, nat::NatType::kFullCone);
+  EXPECT_TRUE(n.relay_lost());  // no relay set yet
+  n.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  EXPECT_FALSE(n.relay_lost());
+  // Kill the relay: keepalives go unanswered.
+  relay.shutdown();
+  sim.run_until(sim.now() + 5 * sim::kMinute);
+  EXPECT_TRUE(n.relay_lost());
+}
+
+TEST_F(TransportFixture, RegistrationExpiresAtRelay) {
+  Transport& relay = add_public(1);
+  Transport& n = add_natted(2, nat::NatType::kFullCone);
+  n.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  EXPECT_EQ(relay.relayed_registrations(), 1u);
+  // Stop the N-node: registration decays.
+  n.shutdown();
+  sim.run_until(sim.now() + 3 * sim::kMinute);
+  EXPECT_EQ(relay.relayed_registrations(), 0u);
+}
+
+TEST_F(TransportFixture, HolePunchingConeToCone) {
+  Transport& relay = add_public(1);
+  Transport& a = add_natted(2, nat::NatType::kFullCone);
+  Transport& b = add_natted(3, nat::NatType::kRestrictedCone);
+  a.set_relay(relay.self_card());
+  b.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  collect(a);
+  collect(b);
+
+  // Exchange a few messages via relays; probes piggyback and punch.
+  for (int i = 0; i < 3; ++i) {
+    a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp);
+    b.send(a.self_card(), kTagApp, Bytes{2}, sim::Proto::kApp);
+    sim.run_until(sim.now() + 10 * sim::kSecond);
+  }
+  EXPECT_TRUE(a.can_send_direct(NodeId{3}));
+  EXPECT_TRUE(b.can_send_direct(NodeId{2}));
+  // And the direct route actually delivers.
+  const std::size_t before = inbox(b).size();
+  a.send(b.self_card(), kTagApp, Bytes{7}, sim::Proto::kApp);
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_EQ(inbox(b).size(), before + 1);
+}
+
+TEST_F(TransportFixture, NoDirectRouteBetweenSymmetricPair) {
+  Transport& relay = add_public(1);
+  Transport& a = add_natted(2, nat::NatType::kSymmetric);
+  Transport& b = add_natted(3, nat::NatType::kSymmetric);
+  a.set_relay(relay.self_card());
+  b.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  collect(b);
+  for (int i = 0; i < 5; ++i) {
+    a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp);
+    b.send(a.self_card(), kTagApp, Bytes{2}, sim::Proto::kApp);
+    sim.run_until(sim.now() + 10 * sim::kSecond);
+  }
+  // Punching cannot work through two symmetric NATs...
+  EXPECT_FALSE(a.can_send_direct(NodeId{3}));
+  // ...but relay delivery still does.
+  const std::size_t before = inbox(b).size();
+  a.send(b.self_card(), kTagApp, Bytes{9}, sim::Proto::kApp);
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_EQ(inbox(b).size(), before + 1);
+}
+
+TEST_F(TransportFixture, NattedToNattedViaRelays) {
+  Transport& r1 = add_public(1);
+  Transport& r2 = add_public(2);
+  Transport& a = add_natted(3, nat::NatType::kSymmetric);
+  Transport& b = add_natted(4, nat::NatType::kPortRestrictedCone);
+  a.set_relay(r1.self_card());
+  b.set_relay(r2.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  collect(b);
+  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1, 2}, sim::Proto::kApp));
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_EQ(inbox(b).size(), 1u);
+  EXPECT_EQ(inbox(b)[0].first, NodeId{3});
+}
+
+TEST_F(TransportFixture, ShutdownStopsDelivery) {
+  Transport& a = add_public(1);
+  Transport& b = add_public(2);
+  collect(b);
+  b.shutdown();
+  a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp);
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_TRUE(inbox(b).empty());
+  EXPECT_FALSE(b.running());
+}
+
+TEST_F(TransportFixture, SendToNilCardFails) {
+  Transport& a = add_public(1);
+  pss::ContactCard nil_card;
+  EXPECT_FALSE(a.send(nil_card, kTagApp, Bytes{1}, sim::Proto::kApp));
+}
+
+TEST_F(TransportFixture, UnknownTagSilentlyIgnored) {
+  Transport& a = add_public(1);
+  Transport& b = add_public(2);
+  // No handler registered for kTagApp on b.
+  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp));
+  sim.run();  // must not crash
+}
+
+TEST_F(TransportFixture, RelayServesItsOwnRegistrants) {
+  // The relay itself sends to a node registered with it (card case 3).
+  Transport& relay = add_public(1);
+  Transport& n = add_natted(2, nat::NatType::kSymmetric);
+  n.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  collect(n);
+  EXPECT_TRUE(relay.send(n.self_card(), kTagApp, Bytes{3}, sim::Proto::kApp));
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_EQ(inbox(n).size(), 1u);
+}
+
+}  // namespace
+}  // namespace whisper::nylon

@@ -1,0 +1,145 @@
+#include "overlay/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whisper/testbed.hpp"
+
+namespace whisper::overlay {
+namespace {
+
+constexpr GroupId kGroup{80808};
+
+TestbedConfig config(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 30;
+  cfg.node.pss.pi_min_public = 3;
+  cfg.node.wcl.pi = 3;
+  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct AggHarness {
+  WhisperTestbed tb;
+  std::vector<WhisperNode*> members;
+
+  AggHarness(std::size_t n_members, std::uint64_t seed) : tb(config(seed)) {
+    tb.run_for(6 * sim::kMinute);
+    auto nodes = tb.alive_nodes();
+    crypto::Drbg d(seed);
+    auto& fg = nodes[0]->create_group(kGroup, crypto::RsaKeyPair::generate(512, d));
+    members.push_back(nodes[0]);
+    for (std::size_t i = 1; i < n_members; ++i) {
+      nodes[i]->join_group(kGroup, *fg.invite(nodes[i]->id()), fg.self_descriptor());
+      members.push_back(nodes[i]);
+      tb.run_for(5 * sim::kSecond);
+    }
+    tb.run_for(5 * sim::kMinute);
+  }
+};
+
+TEST(Aggregation, AverageConverges) {
+  AggHarness h(10, 4001);
+  AggregationConfig ac;
+  ac.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<Aggregation>> aggs;
+  double truth = 0;
+  for (std::size_t i = 0; i < h.members.size(); ++i) {
+    const double v = static_cast<double>(i * 10);  // 0, 10, ..., 90
+    truth += v;
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+                                                 *h.members[i]->group(kGroup), v, ac,
+                                                 h.tb.rng().fork()));
+    aggs.back()->start();
+  }
+  truth /= static_cast<double>(h.members.size());
+  h.tb.run_for(10 * sim::kMinute);
+
+  // Every estimate close to the global mean (45).
+  for (auto& a : aggs) {
+    EXPECT_NEAR(a->estimate(), truth, truth * 0.25) << "an estimate did not converge";
+  }
+  // The spread collapsed dramatically from the initial [0, 90].
+  double mn = 1e18, mx = -1e18;
+  for (auto& a : aggs) {
+    mn = std::min(mn, a->estimate());
+    mx = std::max(mx, a->estimate());
+  }
+  EXPECT_LT(mx - mn, 25.0);
+}
+
+TEST(Aggregation, MaxPropagates) {
+  AggHarness h(8, 4002);
+  AggregationConfig ac;
+  ac.kind = AggregateKind::kMax;
+  ac.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<Aggregation>> aggs;
+  for (std::size_t i = 0; i < h.members.size(); ++i) {
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+                                                 *h.members[i]->group(kGroup),
+                                                 static_cast<double>(i), ac,
+                                                 h.tb.rng().fork()));
+    aggs.back()->start();
+  }
+  h.tb.run_for(8 * sim::kMinute);
+  // Everyone learns the maximum (7) — this is exactly the leader-election
+  // primitive of §IV-A.
+  for (auto& a : aggs) EXPECT_DOUBLE_EQ(a->estimate(), 7.0);
+}
+
+TEST(Aggregation, MinPropagates) {
+  AggHarness h(6, 4003);
+  AggregationConfig ac;
+  ac.kind = AggregateKind::kMin;
+  ac.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<Aggregation>> aggs;
+  for (std::size_t i = 0; i < h.members.size(); ++i) {
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+                                                 *h.members[i]->group(kGroup),
+                                                 static_cast<double>(100 + i), ac,
+                                                 h.tb.rng().fork()));
+    aggs.back()->start();
+  }
+  h.tb.run_for(8 * sim::kMinute);
+  for (auto& a : aggs) EXPECT_DOUBLE_EQ(a->estimate(), 100.0);
+}
+
+TEST(Aggregation, SizeEstimation) {
+  AggHarness h(12, 4004);
+  AggregationConfig ac;
+  ac.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<Aggregation>> aggs;
+  for (std::size_t i = 0; i < h.members.size(); ++i) {
+    // The leader seeds 1, everyone else 0: the average converges to 1/n.
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+                                                 *h.members[i]->group(kGroup),
+                                                 i == 0 ? 1.0 : 0.0, ac,
+                                                 h.tb.rng().fork()));
+    aggs.back()->start();
+  }
+  h.tb.run_for(12 * sim::kMinute);
+  // Estimates imply the true group size within a reasonable factor.
+  for (auto& a : aggs) {
+    EXPECT_GT(a->implied_size(), 6.0);
+    EXPECT_LT(a->implied_size(), 24.0);
+  }
+}
+
+TEST(Aggregation, ExchangesHappen) {
+  AggHarness h(5, 4005);
+  AggregationConfig ac;
+  ac.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<Aggregation>> aggs;
+  for (WhisperNode* m : h.members) {
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(), *m->group(kGroup), 1.0, ac,
+                                                 h.tb.rng().fork()));
+    aggs.back()->start();
+  }
+  h.tb.run_for(5 * sim::kMinute);
+  std::uint64_t total = 0;
+  for (auto& a : aggs) total += a->exchanges();
+  EXPECT_GT(total, 10u);
+}
+
+}  // namespace
+}  // namespace whisper::overlay

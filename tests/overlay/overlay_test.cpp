@@ -1,0 +1,252 @@
+// T-Man / GosSkip / Broadcast over a private group.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "chord/tchord.hpp"
+#include "overlay/broadcast.hpp"
+#include "overlay/gosskip.hpp"
+#include "overlay/tman.hpp"
+#include "whisper/testbed.hpp"
+
+namespace whisper::overlay {
+namespace {
+
+constexpr GroupId kGroup{90909};
+
+TestbedConfig config(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 35;
+  cfg.node.pss.pi_min_public = 3;
+  cfg.node.wcl.pi = 3;
+  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct GroupHarness {
+  WhisperTestbed tb;
+  std::vector<WhisperNode*> members;
+
+  GroupHarness(std::size_t n_members, std::uint64_t seed) : tb(config(seed)) {
+    tb.run_for(6 * sim::kMinute);
+    auto nodes = tb.alive_nodes();
+    crypto::Drbg d(seed);
+    auto& fg = nodes[0]->create_group(kGroup, crypto::RsaKeyPair::generate(512, d));
+    members.push_back(nodes[0]);
+    for (std::size_t i = 1; i < n_members; ++i) {
+      nodes[i]->join_group(kGroup, *fg.invite(nodes[i]->id()), fg.self_descriptor());
+      members.push_back(nodes[i]);
+      tb.run_for(5 * sim::kSecond);
+    }
+    tb.run_for(5 * sim::kMinute);
+  }
+};
+
+TEST(RankFunctions, RingAndLine) {
+  EXPECT_EQ(rank::ring(10, 20), 10u);
+  EXPECT_EQ(rank::ring(20, 10), 10u);
+  EXPECT_EQ(rank::ring(0, ~0ull), 1u);  // wraps
+  EXPECT_EQ(rank::line(10, 20), 10u);
+  EXPECT_EQ(rank::line(20, 10), 10u);
+  EXPECT_EQ(rank::line(0, ~0ull), ~0ull);  // no wrap on the line
+}
+
+TEST(OverlayKeys, DeterministicAndDistinctFromChord) {
+  EXPECT_EQ(overlay_key_of(NodeId{7}), overlay_key_of(NodeId{7}));
+  EXPECT_NE(overlay_key_of(NodeId{7}), overlay_key_of(NodeId{8}));
+}
+
+TEST(TManGeneric, ConvergesToClosestNeighbours) {
+  GroupHarness h(10, 3001);
+  TManConfig tc;
+  tc.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<TMan>> instances;
+  for (WhisperNode* m : h.members) {
+    instances.push_back(std::make_unique<TMan>(
+        h.tb.simulator(), *m->group(kGroup), overlay_key_of(m->id()), rank::line, tc,
+        h.tb.rng().fork()));
+    instances.back()->start();
+  }
+  h.tb.run_for(8 * sim::kMinute);
+
+  // Global truth: sorted keys.
+  std::vector<OverlayKey> keys;
+  for (WhisperNode* m : h.members) keys.push_back(overlay_key_of(m->id()));
+  std::sort(keys.begin(), keys.end());
+
+  std::size_t correct = 0;
+  for (auto& inst : instances) {
+    auto close = inst->closest(2);
+    if (close.empty()) continue;
+    // The closest candidate must be the true nearest key on the line.
+    OverlayKey best_true = 0;
+    std::uint64_t best_dist = ~0ull;
+    for (OverlayKey k : keys) {
+      if (k == inst->self_key()) continue;
+      if (rank::line(inst->self_key(), k) < best_dist) {
+        best_dist = rank::line(inst->self_key(), k);
+        best_true = k;
+      }
+    }
+    if (close.front().key == best_true) ++correct;
+  }
+  EXPECT_GE(correct, instances.size() - 1);
+}
+
+TEST(GosSkipOverlay, LeftRightNeighboursCorrect) {
+  GroupHarness h(10, 3002);
+  GosSkipConfig gc;
+  gc.tman.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<GosSkip>> instances;
+  for (WhisperNode* m : h.members) {
+    instances.push_back(
+        std::make_unique<GosSkip>(h.tb.simulator(), *m->group(kGroup), gc, h.tb.rng().fork()));
+    instances.back()->start();
+  }
+  h.tb.run_for(8 * sim::kMinute);
+
+  std::vector<OverlayKey> keys;
+  for (WhisperNode* m : h.members) keys.push_back(overlay_key_of(m->id()));
+  std::sort(keys.begin(), keys.end());
+
+  std::size_t correct = 0;
+  for (auto& inst : instances) {
+    auto it = std::find(keys.begin(), keys.end(), inst->self_key());
+    ASSERT_NE(it, keys.end());
+    const bool has_left = it != keys.begin();
+    const bool has_right = std::next(it) != keys.end();
+    bool ok = true;
+    if (has_left) {
+      auto l = inst->left();
+      ok &= l.has_value() && l->key == *std::prev(it);
+    }
+    if (has_right) {
+      auto r = inst->right();
+      ok &= r.has_value() && r->key == *std::next(it);
+    }
+    if (ok) ++correct;
+  }
+  EXPECT_GE(correct, instances.size() - 1);
+}
+
+TEST(GosSkipOverlay, SearchFindsOwner) {
+  GroupHarness h(10, 3003);
+  GosSkipConfig gc;
+  gc.tman.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<GosSkip>> instances;
+  for (WhisperNode* m : h.members) {
+    instances.push_back(
+        std::make_unique<GosSkip>(h.tb.simulator(), *m->group(kGroup), gc, h.tb.rng().fork()));
+    instances.back()->start();
+  }
+  h.tb.run_for(8 * sim::kMinute);
+
+  std::vector<OverlayKey> keys;
+  for (WhisperNode* m : h.members) keys.push_back(overlay_key_of(m->id()));
+  std::sort(keys.begin(), keys.end());
+
+  Rng rng(42);
+  int answered = 0, correct = 0;
+  for (int q = 0; q < 12; ++q) {
+    auto& querier = instances[rng.pick_index(instances)];
+    const OverlayKey target = rng.next_u64();
+    // True owner: smallest key >= target, wrapping to the smallest overall.
+    auto it = std::lower_bound(keys.begin(), keys.end(), target);
+    const OverlayKey expected = it == keys.end() ? keys.front() : *it;
+    querier->search(target, [&, expected](std::optional<GosSkip::SearchResult> res) {
+      if (!res) return;
+      ++answered;
+      if (res->owner.key == expected) ++correct;
+    });
+    h.tb.run_for(30 * sim::kSecond);
+  }
+  EXPECT_GE(answered, 9);
+  EXPECT_GE(correct, answered * 7 / 10);
+}
+
+TEST(BroadcastDissemination, ReachesEveryMember) {
+  GroupHarness h(12, 3004);
+  BroadcastConfig bc;
+  std::vector<std::unique_ptr<Broadcast>> casts;
+  std::vector<int> received(h.members.size(), 0);
+  for (std::size_t i = 0; i < h.members.size(); ++i) {
+    casts.push_back(std::make_unique<Broadcast>(*h.members[i]->group(kGroup), bc,
+                                                h.tb.rng().fork()));
+    casts[i]->on_deliver = [&received, i](NodeId, BytesView) { ++received[i]; };
+  }
+  casts[0]->publish(to_bytes("hello everyone"));
+  h.tb.run_for(2 * sim::kMinute);
+
+  std::size_t reached = 0;
+  for (int r : received) reached += r > 0 ? 1 : 0;
+  EXPECT_GE(reached, h.members.size() - 1);  // near-full coverage
+  // Exactly-once delivery everywhere.
+  for (int r : received) EXPECT_LE(r, 1);
+}
+
+TEST(BroadcastDissemination, DuplicatesSuppressed) {
+  GroupHarness h(8, 3005);
+  BroadcastConfig bc;
+  bc.fanout = 4;
+  std::vector<std::unique_ptr<Broadcast>> casts;
+  for (WhisperNode* m : h.members) {
+    casts.push_back(std::make_unique<Broadcast>(*m->group(kGroup), bc, h.tb.rng().fork()));
+  }
+  casts[0]->publish(to_bytes("dup test"));
+  casts[0]->publish(to_bytes("dup test 2"));
+  h.tb.run_for(2 * sim::kMinute);
+  std::uint64_t duplicates = 0, delivered = 0;
+  for (auto& c : casts) {
+    duplicates += c->stats().duplicates;
+    delivered += c->stats().delivered;
+  }
+  // With fanout 4 in an 8-member group, duplicates must occur and be eaten.
+  EXPECT_GT(duplicates, 0u);
+  EXPECT_LE(delivered, 2u * casts.size());
+}
+
+TEST(BroadcastDissemination, OriginAttributedCorrectly) {
+  GroupHarness h(6, 3006);
+  BroadcastConfig bc;
+  std::vector<std::unique_ptr<Broadcast>> casts;
+  NodeId seen_origin;
+  for (WhisperNode* m : h.members) {
+    casts.push_back(std::make_unique<Broadcast>(*m->group(kGroup), bc, h.tb.rng().fork()));
+  }
+  casts[2]->on_deliver = [&](NodeId origin, BytesView) { seen_origin = origin; };
+  casts[1]->publish(to_bytes("whodunit"));
+  h.tb.run_for(2 * sim::kMinute);
+  EXPECT_EQ(seen_origin, h.members[1]->id());
+}
+
+TEST(MultiApp, ChordAndBroadcastShareOneGroup) {
+  // Several protocols multiplexed over one PPSS instance via app ids.
+  GroupHarness h(8, 3007);
+  BroadcastConfig bc;
+  std::vector<std::unique_ptr<Broadcast>> casts;
+  for (WhisperNode* m : h.members) {
+    casts.push_back(std::make_unique<Broadcast>(*m->group(kGroup), bc, h.tb.rng().fork()));
+  }
+  chord::TChordConfig tc;
+  tc.cycle = 20 * sim::kSecond;
+  std::vector<std::unique_ptr<chord::TChord>> rings;
+  for (WhisperNode* m : h.members) {
+    rings.push_back(std::make_unique<chord::TChord>(h.tb.simulator(), *m->group(kGroup), tc,
+                                                    h.tb.rng().fork()));
+    rings.back()->start();
+  }
+  int broadcast_got = 0;
+  casts[3]->on_deliver = [&](NodeId, BytesView) { ++broadcast_got; };
+  casts[0]->publish(to_bytes("both at once"));
+  h.tb.run_for(8 * sim::kMinute);
+  EXPECT_EQ(broadcast_got, 1);
+  // The ring converged despite sharing the group with broadcast traffic.
+  std::size_t with_successor = 0;
+  for (auto& r : rings) with_successor += r->successor().has_value() ? 1 : 0;
+  EXPECT_EQ(with_successor, rings.size());
+}
+
+}  // namespace
+}  // namespace whisper::overlay

@@ -1,0 +1,108 @@
+#include "ppss/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::ppss {
+namespace {
+
+const crypto::RsaKeyPair& group_key() {
+  static const crypto::RsaKeyPair kp = [] {
+    crypto::Drbg d(55);
+    return crypto::RsaKeyPair::generate(512, d);
+  }();
+  return kp;
+}
+
+const GroupId kGroup{77};
+
+TEST(Passport, IssueAndVerify) {
+  GroupKeyring ring(kGroup);
+  ring.add_epoch(1, group_key().pub);
+  Passport p = issue_passport(kGroup, 1, NodeId{5}, group_key());
+  EXPECT_TRUE(ring.verify_passport(p));
+}
+
+TEST(Passport, WrongNodeRejected) {
+  GroupKeyring ring(kGroup);
+  ring.add_epoch(1, group_key().pub);
+  Passport p = issue_passport(kGroup, 1, NodeId{5}, group_key());
+  p.node = NodeId{6};  // forged holder
+  EXPECT_FALSE(ring.verify_passport(p));
+}
+
+TEST(Passport, UnknownEpochRejected) {
+  GroupKeyring ring(kGroup);
+  ring.add_epoch(1, group_key().pub);
+  Passport p = issue_passport(kGroup, 2, NodeId{5}, group_key());
+  EXPECT_FALSE(ring.verify_passport(p));
+}
+
+TEST(Passport, WrongGroupKeyRejected) {
+  GroupKeyring ring(kGroup);
+  crypto::Drbg d(66);
+  auto other = crypto::RsaKeyPair::generate(512, d);
+  ring.add_epoch(1, other.pub);
+  Passport p = issue_passport(kGroup, 1, NodeId{5}, group_key());
+  EXPECT_FALSE(ring.verify_passport(p));
+}
+
+TEST(Passport, SerializeRoundTrip) {
+  Passport p = issue_passport(kGroup, 3, NodeId{5}, group_key());
+  Writer w;
+  p.serialize(w);
+  Reader r(w.data());
+  auto back = Passport::deserialize(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node, p.node);
+  EXPECT_EQ(back->epoch, p.epoch);
+  EXPECT_EQ(back->signature, p.signature);
+}
+
+TEST(Accreditation, IssueAndVerify) {
+  GroupKeyring ring(kGroup);
+  ring.add_epoch(1, group_key().pub);
+  Accreditation a = issue_accreditation(kGroup, 1, NodeId{8}, group_key());
+  EXPECT_TRUE(ring.verify_accreditation(a));
+}
+
+TEST(Accreditation, WrongGroupRejected) {
+  GroupKeyring ring(kGroup);
+  ring.add_epoch(1, group_key().pub);
+  Accreditation a = issue_accreditation(GroupId{123}, 1, NodeId{8}, group_key());
+  EXPECT_FALSE(ring.verify_accreditation(a));
+}
+
+TEST(Accreditation, AccreditationIsNotAPassport) {
+  // The signed messages use distinct domain prefixes, so one cannot stand
+  // in for the other even for the same node and epoch.
+  GroupKeyring ring(kGroup);
+  ring.add_epoch(1, group_key().pub);
+  Accreditation a = issue_accreditation(kGroup, 1, NodeId{8}, group_key());
+  Passport forged;
+  forged.node = a.node;
+  forged.epoch = a.epoch;
+  forged.signature = a.signature;
+  EXPECT_FALSE(ring.verify_passport(forged));
+}
+
+TEST(GroupKeyring, EpochHistory) {
+  GroupKeyring ring(kGroup);
+  EXPECT_EQ(ring.latest_epoch(), 0u);
+  ring.add_epoch(1, group_key().pub);
+  crypto::Drbg d(67);
+  auto second = crypto::RsaKeyPair::generate(512, d);
+  ring.add_epoch(2, second.pub);
+  EXPECT_EQ(ring.latest_epoch(), 2u);
+  EXPECT_EQ(ring.epochs(), 2u);
+  // Passports from both epochs verify.
+  EXPECT_TRUE(ring.verify_passport(issue_passport(kGroup, 1, NodeId{5}, group_key())));
+  EXPECT_TRUE(ring.verify_passport(issue_passport(kGroup, 2, NodeId{5}, second)));
+}
+
+TEST(GroupKeyring, KeyForMissingEpoch) {
+  GroupKeyring ring(kGroup);
+  EXPECT_FALSE(ring.key_for(9).has_value());
+}
+
+}  // namespace
+}  // namespace whisper::ppss

@@ -1,0 +1,87 @@
+#include "pss/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::pss {
+namespace {
+
+NodeId n(std::uint64_t v) { return NodeId{v}; }
+
+TEST(Metrics, TriangleHasFullClustering) {
+  OverlayGraph g;
+  g[n(1)] = {n(2), n(3)};
+  g[n(2)] = {n(1), n(3)};
+  g[n(3)] = {n(1), n(2)};
+  Samples c = clustering_coefficients(g);
+  EXPECT_EQ(c.count(), 3u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.0);
+}
+
+TEST(Metrics, StarHasZeroClustering) {
+  OverlayGraph g;
+  g[n(1)] = {n(2), n(3), n(4)};
+  g[n(2)] = {};
+  g[n(3)] = {};
+  g[n(4)] = {};
+  Samples c = clustering_coefficients(g);
+  EXPECT_DOUBLE_EQ(c.mean(), 0.0);
+}
+
+TEST(Metrics, PartialClustering) {
+  OverlayGraph g;
+  // 1 -> {2,3,4}; only 2-3 connected: 1 of 3 pairs.
+  g[n(1)] = {n(2), n(3), n(4)};
+  g[n(2)] = {n(3)};
+  g[n(3)] = {};
+  g[n(4)] = {};
+  Samples c = clustering_coefficients(g);
+  std::vector<double> vals = c.values();
+  std::sort(vals.begin(), vals.end());
+  EXPECT_DOUBLE_EQ(vals.back(), 1.0 / 3.0);
+}
+
+TEST(Metrics, EdgeEitherDirectionCounts) {
+  OverlayGraph g;
+  g[n(1)] = {n(2), n(3)};
+  g[n(2)] = {};
+  g[n(3)] = {n(2)};  // 3 -> 2 closes the pair
+  Samples c = clustering_coefficients(g);
+  std::vector<double> vals = c.values();
+  std::sort(vals.begin(), vals.end());
+  EXPECT_DOUBLE_EQ(vals.back(), 1.0);
+}
+
+TEST(Metrics, InDegreesCounted) {
+  OverlayGraph g;
+  g[n(1)] = {n(2), n(3)};
+  g[n(2)] = {n(3)};
+  g[n(3)] = {};
+  auto deg = in_degrees(g);
+  EXPECT_EQ(deg[n(1)], 0);
+  EXPECT_EQ(deg[n(2)], 1);
+  EXPECT_EQ(deg[n(3)], 2);
+}
+
+TEST(Metrics, ReachableFractionFullRing) {
+  OverlayGraph g;
+  for (std::uint64_t i = 0; i < 10; ++i) g[n(i)] = {n((i + 1) % 10)};
+  EXPECT_DOUBLE_EQ(reachable_fraction(g, n(0)), 1.0);
+}
+
+TEST(Metrics, ReachableFractionPartitioned) {
+  OverlayGraph g;
+  g[n(1)] = {n(2)};
+  g[n(2)] = {n(1)};
+  g[n(3)] = {n(4)};
+  g[n(4)] = {n(3)};
+  EXPECT_DOUBLE_EQ(reachable_fraction(g, n(1)), 0.5);
+}
+
+TEST(Metrics, EmptyGraphSafe) {
+  OverlayGraph g;
+  EXPECT_DOUBLE_EQ(reachable_fraction(g, n(1)), 0.0);
+  EXPECT_TRUE(clustering_coefficients(g).empty());
+}
+
+}  // namespace
+}  // namespace whisper::pss

@@ -1,0 +1,190 @@
+#include "pss/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nylon/pss.hpp"  // PssEntry, the canonical Entry type
+
+namespace whisper::pss {
+namespace {
+
+using nylon::PssEntry;
+
+PssEntry entry(std::uint64_t id, bool is_public, std::uint32_t age) {
+  PssEntry e;
+  e.card.id = NodeId{id};
+  e.card.is_public = is_public;
+  e.card.addr = Endpoint{static_cast<std::uint32_t>(id), 5000};
+  e.age = age;
+  return e;
+}
+
+Rng& test_rng() {
+  static Rng rng(12321);
+  return rng;
+}
+
+TEST(View, InsertAndFind) {
+  View<PssEntry> v(5);
+  v.insert(entry(1, true, 0));
+  EXPECT_TRUE(v.contains(NodeId{1}));
+  EXPECT_FALSE(v.contains(NodeId{2}));
+  ASSERT_NE(v.find(NodeId{1}), nullptr);
+  EXPECT_EQ(v.find(NodeId{1})->age, 0u);
+}
+
+TEST(View, InsertDedupesKeepingYounger) {
+  View<PssEntry> v(5);
+  v.insert(entry(1, true, 5));
+  v.insert(entry(1, true, 2));
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.find(NodeId{1})->age, 2u);
+  v.insert(entry(1, true, 9));  // older: ignored
+  EXPECT_EQ(v.find(NodeId{1})->age, 2u);
+}
+
+TEST(View, AgeAllIncrements) {
+  View<PssEntry> v(5);
+  v.insert(entry(1, true, 0));
+  v.insert(entry(2, false, 3));
+  v.age_all();
+  EXPECT_EQ(v.find(NodeId{1})->age, 1u);
+  EXPECT_EQ(v.find(NodeId{2})->age, 4u);
+}
+
+TEST(View, OldestSelectsHighestAge) {
+  View<PssEntry> v(5);
+  EXPECT_EQ(v.oldest(), nullptr);
+  v.insert(entry(1, true, 2));
+  v.insert(entry(2, false, 7));
+  v.insert(entry(3, false, 4));
+  EXPECT_EQ(v.oldest()->id(), NodeId{2});
+}
+
+TEST(View, RemoveErasesEntry) {
+  View<PssEntry> v(5);
+  v.insert(entry(1, true, 0));
+  v.remove(NodeId{1});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(View, RandomSubsetSizeAndMembership) {
+  View<PssEntry> v(10);
+  for (std::uint64_t i = 1; i <= 8; ++i) v.insert(entry(i, false, 0));
+  Rng rng(1);
+  auto subset = v.random_subset(4, rng);
+  EXPECT_EQ(subset.size(), 4u);
+  for (const auto& e : subset) EXPECT_TRUE(v.contains(e.id()));
+  // Requesting more than available returns everything.
+  EXPECT_EQ(v.random_subset(100, rng).size(), 8u);
+}
+
+TEST(View, MergeExcludesSelf) {
+  View<PssEntry> v(5);
+  std::vector<PssEntry> received{entry(1, true, 0), entry(42, false, 0)};
+  v.merge(received, NodeId{42}, 0, test_rng());
+  EXPECT_TRUE(v.contains(NodeId{1}));
+  EXPECT_FALSE(v.contains(NodeId{42}));
+}
+
+TEST(View, UnbiasedTruncationHealsOldestThenEvictsRandomly) {
+  View<PssEntry> v(3);
+  std::vector<PssEntry> received;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    received.push_back(entry(i, false, static_cast<std::uint32_t>(i)));
+  }
+  v.merge(received, NodeId{999}, 0, test_rng());
+  EXPECT_EQ(v.size(), 3u);
+  // Healing drops the kHealing (= 2) oldest entries deterministically...
+  EXPECT_FALSE(v.contains(NodeId{6}));
+  EXPECT_FALSE(v.contains(NodeId{5}));
+  // ...and the remaining eviction is uniform over the rest.
+  std::size_t survivors = 0;
+  for (std::uint64_t i = 1; i <= 4; ++i) survivors += v.contains(NodeId{i}) ? 1 : 0;
+  EXPECT_EQ(survivors, 3u);
+}
+
+TEST(View, BiasedTruncationProtectsFreshestPublics) {
+  View<PssEntry> v(3);
+  std::vector<PssEntry> received{
+      entry(1, false, 1), entry(2, false, 2), entry(3, false, 3),
+      entry(10, true, 50),  // old P-node: unbiased policy would discard it
+      entry(11, true, 60),
+  };
+  v.merge(received, NodeId{999}, /*pi=*/2, test_rng());
+  EXPECT_EQ(v.size(), 3u);
+  // Both P-nodes survive despite their age.
+  EXPECT_TRUE(v.contains(NodeId{10}));
+  EXPECT_TRUE(v.contains(NodeId{11}));
+  // Youngest N-node fills the remaining slot.
+  EXPECT_TRUE(v.contains(NodeId{1}));
+}
+
+TEST(View, BiasedTruncationPiZeroIsUnbiased) {
+  View<PssEntry> v(2);
+  std::vector<PssEntry> received{entry(1, true, 50), entry(2, false, 1), entry(3, false, 2)};
+  v.merge(received, NodeId{999}, 0, test_rng());
+  EXPECT_FALSE(v.contains(NodeId{1}));  // old P-node discarded, no protection
+}
+
+TEST(View, BiasedTruncationDiscardsExcessPublicFirstOnTies) {
+  View<PssEntry> v(2);
+  // Same age: the P-node above Π loses to the N-node.
+  std::vector<PssEntry> received{entry(1, true, 5), entry(2, false, 5), entry(3, true, 5)};
+  v.merge(received, NodeId{999}, /*pi=*/1, test_rng());
+  EXPECT_EQ(v.count_public(), 1u);
+  EXPECT_TRUE(v.contains(NodeId{2}));
+}
+
+TEST(View, BiasedTruncationWithFewerPublicsThanPi) {
+  View<PssEntry> v(3);
+  std::vector<PssEntry> received{entry(1, true, 9), entry(2, false, 1), entry(3, false, 2),
+                                 entry(4, false, 3)};
+  v.merge(received, NodeId{999}, /*pi=*/3, test_rng());
+  // Only one P-node exists; it is kept, rest filled with youngest N-nodes.
+  EXPECT_TRUE(v.contains(NodeId{1}));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(View, CapacityNeverExceeded) {
+  View<PssEntry> v(4);
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<PssEntry> received;
+    for (int i = 0; i < 10; ++i) {
+      received.push_back(entry(rng.next_below(100) + 1, rng.next_bool(0.3),
+                               static_cast<std::uint32_t>(rng.next_below(20))));
+    }
+    v.merge(received, NodeId{999}, 2, test_rng());
+    EXPECT_LE(v.size(), 4u);
+  }
+}
+
+TEST(View, PiInvariantHoldsWhenPublicsAvailable) {
+  View<PssEntry> v(5);
+  Rng rng(8);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<PssEntry> received;
+    // Always include at least 2 P-nodes among candidates.
+    received.push_back(entry(200 + rng.next_below(5), true,
+                             static_cast<std::uint32_t>(rng.next_below(30))));
+    received.push_back(entry(210 + rng.next_below(5), true,
+                             static_cast<std::uint32_t>(rng.next_below(30))));
+    for (int i = 0; i < 8; ++i) {
+      received.push_back(
+          entry(rng.next_below(100) + 1, false, static_cast<std::uint32_t>(rng.next_below(5))));
+    }
+    v.merge(received, NodeId{999}, 2, test_rng());
+    EXPECT_GE(v.count_public(), 2u) << "round " << round;
+  }
+}
+
+TEST(View, CountPublic) {
+  View<PssEntry> v(5);
+  v.insert(entry(1, true, 0));
+  v.insert(entry(2, false, 0));
+  v.insert(entry(3, true, 0));
+  EXPECT_EQ(v.count_public(), 2u);
+}
+
+}  // namespace
+}  // namespace whisper::pss

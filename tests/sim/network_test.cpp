@@ -1,0 +1,139 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::sim {
+namespace {
+
+Endpoint ep(std::uint32_t ip) { return Endpoint{ip, 5000}; }
+
+struct NetFixture : ::testing::Test {
+  Simulator sim{1};
+  Network net{sim, std::make_unique<FixedLatency>(kMillisecond)};
+};
+
+TEST_F(NetFixture, DeliversToAttachedHandler) {
+  std::vector<Bytes> received;
+  net.attach(ep(1), [&](const Datagram& d) { received.push_back(d.payload); });
+  net.send(ep(2), ep(1), Bytes{1, 2, 3}, Proto::kApp);
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], (Bytes{1, 2, 3}));
+}
+
+TEST_F(NetFixture, DeliveryDelayedByLatency) {
+  bool got = false;
+  net.attach(ep(1), [&](const Datagram&) { got = true; });
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run_until(kMillisecond - 1);
+  EXPECT_FALSE(got);
+  sim.run_until(kMillisecond);
+  EXPECT_TRUE(got);
+}
+
+TEST_F(NetFixture, DetachedNodeDropsPackets) {
+  bool got = false;
+  net.attach(ep(1), [&](const Datagram&) { got = true; });
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  net.detach(ep(1));
+  sim.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(net.packets_dropped(), 1u);
+}
+
+TEST_F(NetFixture, SrcEndpointVisibleToReceiver) {
+  Endpoint seen_src{};
+  net.attach(ep(1), [&](const Datagram& d) { seen_src = d.src; });
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run();
+  EXPECT_EQ(seen_src, ep(2));
+}
+
+TEST_F(NetFixture, UploadCountedAtSender) {
+  net.attach(ep(1), [](const Datagram&) {});
+  net.send(ep(2), ep(1), Bytes(100, 0), Proto::kPss);
+  sim.run();
+  EXPECT_EQ(net.counters(ep(2)).up_for(Proto::kPss), 100u);
+  EXPECT_EQ(net.counters(ep(2)).total_up(), 100u);
+  EXPECT_EQ(net.counters(ep(2)).total_down(), 0u);
+}
+
+TEST_F(NetFixture, DownloadCountedAtReceiver) {
+  net.attach(ep(1), [](const Datagram&) {});
+  net.send(ep(2), ep(1), Bytes(64, 0), Proto::kWcl);
+  sim.run();
+  EXPECT_EQ(net.counters(ep(1)).down_for(Proto::kWcl), 64u);
+}
+
+TEST_F(NetFixture, PerProtocolAccountingSeparated) {
+  net.attach(ep(1), [](const Datagram&) {});
+  net.send(ep(2), ep(1), Bytes(10, 0), Proto::kPss);
+  net.send(ep(2), ep(1), Bytes(20, 0), Proto::kKeys);
+  sim.run();
+  EXPECT_EQ(net.counters(ep(2)).up_for(Proto::kPss), 10u);
+  EXPECT_EQ(net.counters(ep(2)).up_for(Proto::kKeys), 20u);
+  EXPECT_EQ(net.counters(ep(2)).total_up(), 30u);
+}
+
+TEST_F(NetFixture, ResetCountersClearsEverything) {
+  net.attach(ep(1), [](const Datagram&) {});
+  net.send(ep(2), ep(1), Bytes(10, 0), Proto::kPss);
+  sim.run();
+  net.reset_counters();
+  EXPECT_EQ(net.counters(ep(2)).total_up(), 0u);
+  EXPECT_EQ(net.packets_sent(), 0u);
+}
+
+TEST_F(NetFixture, TranslatorOutboundRewrite) {
+  struct Xlat : AddressTranslator {
+    std::optional<Endpoint> outbound(Endpoint, Endpoint) override {
+      return Endpoint{99, 99};
+    }
+    std::optional<Endpoint> inbound(Endpoint dst, Endpoint) override { return dst; }
+  } xlat;
+  net.set_translator(&xlat);
+  Endpoint seen_src{};
+  net.attach(ep(1), [&](const Datagram& d) { seen_src = d.src; });
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run();
+  EXPECT_EQ(seen_src, (Endpoint{99, 99}));
+}
+
+TEST_F(NetFixture, TranslatorInboundFilterDropsPacket) {
+  struct Xlat : AddressTranslator {
+    std::optional<Endpoint> outbound(Endpoint src, Endpoint) override { return src; }
+    std::optional<Endpoint> inbound(Endpoint, Endpoint) override { return std::nullopt; }
+  } xlat;
+  net.set_translator(&xlat);
+  bool got = false;
+  net.attach(ep(1), [&](const Datagram&) { got = true; });
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run();
+  EXPECT_FALSE(got);
+}
+
+TEST_F(NetFixture, TranslatorOutboundRefusalBlocksSend) {
+  struct Xlat : AddressTranslator {
+    std::optional<Endpoint> outbound(Endpoint, Endpoint) override { return std::nullopt; }
+    std::optional<Endpoint> inbound(Endpoint dst, Endpoint) override { return dst; }
+  } xlat;
+  net.set_translator(&xlat);
+  EXPECT_FALSE(net.send(ep(2), ep(1), Bytes{1}, Proto::kApp));
+}
+
+TEST(NetworkLoss, LostPacketsNeverDeliver) {
+  // A latency model that drops everything.
+  struct AlwaysLost : LatencyModel {
+    std::optional<Time> sample(Endpoint, Endpoint, Rng&) override { return std::nullopt; }
+  };
+  Simulator sim(1);
+  Network net(sim, std::make_unique<AlwaysLost>());
+  bool got = false;
+  net.attach(Endpoint{1, 5000}, [&](const Datagram&) { got = true; });
+  EXPECT_TRUE(net.send(Endpoint{2, 5000}, Endpoint{1, 5000}, Bytes{1}, Proto::kApp));
+  sim.run();
+  EXPECT_FALSE(got);
+}
+
+}  // namespace
+}  // namespace whisper::sim

@@ -1,0 +1,124 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whisper::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, SameTimeEventsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  Time seen = 0;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  TimerId id = s.schedule_at(10, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  bool ran = false;
+  TimerId id = s.schedule_at(10, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+  s.cancel(id);  // must not blow up or affect future events
+  bool ran2 = false;
+  s.schedule_at(20, [&] { ran2 = true; });
+  s.run();
+  EXPECT_TRUE(ran2);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(30, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20u);
+  s.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator s;
+  s.schedule_at(1, [] {});
+  TimerId id = s.schedule_at(2, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(id);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, PeriodicSelfRescheduling) {
+  Simulator s;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    s.schedule_after(10, tick);
+  };
+  s.schedule_at(0, tick);
+  s.run_until(95);
+  EXPECT_EQ(fires, 10);  // t = 0,10,...,90
+}
+
+}  // namespace
+}  // namespace whisper::sim

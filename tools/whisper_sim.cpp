@@ -1,0 +1,142 @@
+// whisper_sim — scenario runner for the full stack.
+//
+// Boots a deployment, optionally sets up private groups and churn, and
+// prints per-minute health plus a final summary. The knobs mirror the
+// paper's experimental parameters.
+//
+//   whisper_sim --nodes=300 --natted=0.7 --latency=cluster --pi=3
+//               --groups=10 --churn=1.0 --minutes=30 [--seed=42]
+#include <cstdio>
+#include <string>
+
+#include "churn/churn.hpp"
+#include "pss/metrics.hpp"
+#include "whisper/testbed.hpp"
+
+using namespace whisper;
+
+namespace {
+
+double arg_double(int argc, char** argv, const std::string& key, double fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return std::stod(a.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+std::string arg_string(int argc, char** argv, const std::string& key,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TestbedConfig cfg;
+  cfg.initial_nodes = static_cast<std::size_t>(arg_double(argc, argv, "nodes", 200));
+  cfg.natted_fraction = arg_double(argc, argv, "natted", 0.7);
+  cfg.latency = arg_string(argc, argv, "latency", "cluster");
+  cfg.node.pss.pi_min_public = static_cast<std::size_t>(arg_double(argc, argv, "pi", 3));
+  cfg.node.wcl.pi = cfg.node.pss.pi_min_public;
+  cfg.seed = static_cast<std::uint64_t>(arg_double(argc, argv, "seed", 42));
+  const std::size_t n_groups = static_cast<std::size_t>(arg_double(argc, argv, "groups", 0));
+  const double churn_pct = arg_double(argc, argv, "churn", 0.0);
+  const int minutes = static_cast<int>(arg_double(argc, argv, "minutes", 20));
+
+  std::printf("whisper_sim: %zu nodes, %.0f%% natted, latency=%s, Pi=%zu, %zu groups, "
+              "churn=%.1f%%/min, %d minutes, seed=%llu\n\n",
+              cfg.initial_nodes, cfg.natted_fraction * 100, cfg.latency.c_str(),
+              cfg.node.pss.pi_min_public, n_groups, churn_pct, minutes,
+              static_cast<unsigned long long>(cfg.seed));
+
+  WhisperTestbed tb(cfg);
+  Rng rng(cfg.seed ^ 0x51b);
+  tb.run_for(5 * sim::kMinute);
+
+  // Optional groups: leaders on P-nodes, every node one membership.
+  std::vector<ppss::Ppss*> leaders;
+  std::vector<GroupId> gids;
+  if (n_groups > 0) {
+    auto publics = tb.alive_public_nodes();
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      crypto::Drbg d(cfg.seed + g);
+      leaders.push_back(&publics[g % publics.size()]->create_group(
+          GroupId{5000 + g}, crypto::RsaKeyPair::generate(512, d)));
+      gids.push_back(GroupId{5000 + g});
+    }
+    for (WhisperNode* node : tb.alive_nodes()) {
+      const std::size_t g = rng.pick_index(gids);
+      if (node->id() == leaders[g]->self()) continue;
+      if (auto accr = leaders[g]->invite(node->id())) {
+        node->join_group(gids[g], *accr, leaders[g]->self_descriptor());
+      }
+    }
+    tb.run_for(3 * sim::kMinute);
+  }
+
+  // Optional churn for the whole observation window.
+  churn::ChurnEngine engine(
+      tb.simulator(),
+      [&](std::size_t n) {
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!tb.kill_random_node().is_nil()) ++k;
+        }
+        return k;
+      },
+      [&](std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) tb.spawn_node();
+      },
+      [&] { return tb.alive_count(); });
+  if (churn_pct > 0) {
+    churn::ChurnPhase phase;
+    phase.start = tb.simulator().now();
+    phase.end = phase.start + static_cast<sim::Time>(minutes) * sim::kMinute;
+    phase.leave_fraction = churn_pct / 100.0;
+    engine.schedule(phase);
+  }
+
+  std::printf("%-5s %-6s %-9s %-7s %-7s %-9s %-9s %-10s\n", "min", "alive", "exch/min",
+              "fill", "clust", "wcl-ok", "wcl-fail", "traffic");
+  std::uint64_t prev_done = 0;
+  for (int minute = 1; minute <= minutes; ++minute) {
+    tb.run_for(sim::kMinute);
+    std::uint64_t done = 0, wcl_ok = 0, wcl_fail = 0, up_bytes = 0;
+    double fill = 0;
+    for (WhisperNode* n : tb.all_nodes()) {
+      done += n->pss().exchanges_completed();
+      wcl_ok += n->wcl().stats().first_try_success + n->wcl().stats().alternative_success;
+      wcl_fail += n->wcl().stats().no_alternative;
+    }
+    for (WhisperNode* n : tb.alive_nodes()) {
+      fill += static_cast<double>(n->pss().view().size());
+      up_bytes += tb.network().counters(n->internal_endpoint()).total_up();
+    }
+    auto graph = tb.overlay_snapshot();
+    Samples clust = pss::clustering_coefficients(graph);
+    std::printf("%-5d %-6zu %-9llu %-7.1f %-7.3f %-9llu %-9llu %-7.1f MB\n", minute,
+                tb.alive_count(), static_cast<unsigned long long>(done - prev_done),
+                fill / static_cast<double>(tb.alive_count()), clust.mean(),
+                static_cast<unsigned long long>(wcl_ok),
+                static_cast<unsigned long long>(wcl_fail),
+                static_cast<double>(up_bytes) / (1024.0 * 1024.0));
+    prev_done = done;
+  }
+
+  std::printf("\nsummary: killed=%zu spawned=%zu packets=%llu delivered=%llu\n",
+              engine.total_killed(), engine.total_spawned(),
+              static_cast<unsigned long long>(tb.network().packets_sent()),
+              static_cast<unsigned long long>(tb.network().packets_delivered()));
+  const double reach =
+      pss::reachable_fraction(tb.overlay_snapshot(), tb.alive_nodes()[0]->id());
+  std::printf("overlay reachability from %s: %.1f%%\n",
+              tb.alive_nodes()[0]->id().str().c_str(), reach * 100.0);
+  return 0;
+}
