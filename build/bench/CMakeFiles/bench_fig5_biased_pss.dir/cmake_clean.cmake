@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_biased_pss.dir/bench_fig5_biased_pss.cpp.o"
+  "CMakeFiles/bench_fig5_biased_pss.dir/bench_fig5_biased_pss.cpp.o.d"
+  "bench_fig5_biased_pss"
+  "bench_fig5_biased_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_biased_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_key_mgmt.dir/bench_fig6_key_mgmt.cpp.o"
+  "CMakeFiles/bench_fig6_key_mgmt.dir/bench_fig6_key_mgmt.cpp.o.d"
+  "bench_fig6_key_mgmt"
+  "bench_fig6_key_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_key_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

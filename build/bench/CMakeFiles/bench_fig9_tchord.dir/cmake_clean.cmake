@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tchord.dir/bench_fig9_tchord.cpp.o"
+  "CMakeFiles/bench_fig9_tchord.dir/bench_fig9_tchord.cpp.o.d"
+  "bench_fig9_tchord"
+  "bench_fig9_tchord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tchord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pss_micro.dir/bench_pss_micro.cpp.o"
+  "CMakeFiles/bench_pss_micro.dir/bench_pss_micro.cpp.o.d"
+  "bench_pss_micro"
+  "bench_pss_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pss_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

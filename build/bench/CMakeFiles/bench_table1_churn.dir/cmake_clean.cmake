@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_churn.dir/bench_table1_churn.cpp.o"
+  "CMakeFiles/bench_table1_churn.dir/bench_table1_churn.cpp.o.d"
+  "bench_table1_churn"
+  "bench_table1_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_index.dir/private_index.cpp.o"
+  "CMakeFiles/private_index.dir/private_index.cpp.o.d"
+  "private_index"
+  "private_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpn_emulation.dir/vpn_emulation.cpp.o"
+  "CMakeFiles/vpn_emulation.dir/vpn_emulation.cpp.o.d"
+  "vpn_emulation"
+  "vpn_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpn_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("sim")
+subdirs("nat")
+subdirs("pss")
+subdirs("nylon")
+subdirs("keysvc")
+subdirs("wcl")
+subdirs("ppss")
+subdirs("chord")
+subdirs("overlay")
+subdirs("churn")
+subdirs("whisper")

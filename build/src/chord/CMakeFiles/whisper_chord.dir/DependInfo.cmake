@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chord/tchord.cpp" "src/chord/CMakeFiles/whisper_chord.dir/tchord.cpp.o" "gcc" "src/chord/CMakeFiles/whisper_chord.dir/tchord.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppss/CMakeFiles/whisper_ppss.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcl/CMakeFiles/whisper_wcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/keysvc/CMakeFiles/whisper_keysvc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nylon/CMakeFiles/whisper_nylon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/whisper_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whisper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/whisper_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_chord.dir/tchord.cpp.o"
+  "CMakeFiles/whisper_chord.dir/tchord.cpp.o.d"
+  "libwhisper_chord.a"
+  "libwhisper_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_churn.dir/churn.cpp.o"
+  "CMakeFiles/whisper_churn.dir/churn.cpp.o.d"
+  "libwhisper_churn.a"
+  "libwhisper_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

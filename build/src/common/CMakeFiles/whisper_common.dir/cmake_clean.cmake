@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_common.dir/log.cpp.o"
+  "CMakeFiles/whisper_common.dir/log.cpp.o.d"
+  "CMakeFiles/whisper_common.dir/rng.cpp.o"
+  "CMakeFiles/whisper_common.dir/rng.cpp.o.d"
+  "CMakeFiles/whisper_common.dir/serialize.cpp.o"
+  "CMakeFiles/whisper_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/whisper_common.dir/stats.cpp.o"
+  "CMakeFiles/whisper_common.dir/stats.cpp.o.d"
+  "CMakeFiles/whisper_common.dir/table.cpp.o"
+  "CMakeFiles/whisper_common.dir/table.cpp.o.d"
+  "libwhisper_common.a"
+  "libwhisper_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

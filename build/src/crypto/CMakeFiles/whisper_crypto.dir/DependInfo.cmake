@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/envelope.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/envelope.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/envelope.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/onion.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/onion.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/onion.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/random.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/random.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/whisper_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/whisper_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

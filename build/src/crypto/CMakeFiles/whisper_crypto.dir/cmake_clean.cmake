@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/whisper_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/whisper_crypto.dir/envelope.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/envelope.cpp.o.d"
+  "CMakeFiles/whisper_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/whisper_crypto.dir/onion.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/onion.cpp.o.d"
+  "CMakeFiles/whisper_crypto.dir/random.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/random.cpp.o.d"
+  "CMakeFiles/whisper_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/whisper_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/whisper_crypto.dir/sha256.cpp.o.d"
+  "libwhisper_crypto.a"
+  "libwhisper_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_keysvc.dir/keyservice.cpp.o"
+  "CMakeFiles/whisper_keysvc.dir/keyservice.cpp.o.d"
+  "libwhisper_keysvc.a"
+  "libwhisper_keysvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_keysvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

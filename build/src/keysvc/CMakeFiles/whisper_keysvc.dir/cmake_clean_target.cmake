@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwhisper_keysvc.a"
+)

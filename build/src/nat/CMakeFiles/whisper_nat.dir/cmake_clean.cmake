@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_nat.dir/nat.cpp.o"
+  "CMakeFiles/whisper_nat.dir/nat.cpp.o.d"
+  "libwhisper_nat.a"
+  "libwhisper_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

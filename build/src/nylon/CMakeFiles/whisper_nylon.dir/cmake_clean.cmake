@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_nylon.dir/pss.cpp.o"
+  "CMakeFiles/whisper_nylon.dir/pss.cpp.o.d"
+  "CMakeFiles/whisper_nylon.dir/transport.cpp.o"
+  "CMakeFiles/whisper_nylon.dir/transport.cpp.o.d"
+  "libwhisper_nylon.a"
+  "libwhisper_nylon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_nylon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_overlay.dir/aggregation.cpp.o"
+  "CMakeFiles/whisper_overlay.dir/aggregation.cpp.o.d"
+  "CMakeFiles/whisper_overlay.dir/broadcast.cpp.o"
+  "CMakeFiles/whisper_overlay.dir/broadcast.cpp.o.d"
+  "CMakeFiles/whisper_overlay.dir/gosskip.cpp.o"
+  "CMakeFiles/whisper_overlay.dir/gosskip.cpp.o.d"
+  "CMakeFiles/whisper_overlay.dir/tman.cpp.o"
+  "CMakeFiles/whisper_overlay.dir/tman.cpp.o.d"
+  "libwhisper_overlay.a"
+  "libwhisper_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

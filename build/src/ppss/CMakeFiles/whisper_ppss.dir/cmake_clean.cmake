@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_ppss.dir/group.cpp.o"
+  "CMakeFiles/whisper_ppss.dir/group.cpp.o.d"
+  "CMakeFiles/whisper_ppss.dir/ppss.cpp.o"
+  "CMakeFiles/whisper_ppss.dir/ppss.cpp.o.d"
+  "libwhisper_ppss.a"
+  "libwhisper_ppss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_ppss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_pss.dir/metrics.cpp.o"
+  "CMakeFiles/whisper_pss.dir/metrics.cpp.o.d"
+  "libwhisper_pss.a"
+  "libwhisper_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

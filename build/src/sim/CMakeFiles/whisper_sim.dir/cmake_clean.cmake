@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_sim.dir/latency.cpp.o"
+  "CMakeFiles/whisper_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/whisper_sim.dir/network.cpp.o"
+  "CMakeFiles/whisper_sim.dir/network.cpp.o.d"
+  "CMakeFiles/whisper_sim.dir/simulator.cpp.o"
+  "CMakeFiles/whisper_sim.dir/simulator.cpp.o.d"
+  "libwhisper_sim.a"
+  "libwhisper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

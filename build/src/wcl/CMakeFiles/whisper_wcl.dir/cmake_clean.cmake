@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_wcl.dir/backlog.cpp.o"
+  "CMakeFiles/whisper_wcl.dir/backlog.cpp.o.d"
+  "CMakeFiles/whisper_wcl.dir/wcl.cpp.o"
+  "CMakeFiles/whisper_wcl.dir/wcl.cpp.o.d"
+  "libwhisper_wcl.a"
+  "libwhisper_wcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_wcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

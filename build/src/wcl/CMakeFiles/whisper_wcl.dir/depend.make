@@ -1,0 +1,2 @@
+# Empty dependencies file for whisper_wcl.
+# This may be replaced when dependencies are built.

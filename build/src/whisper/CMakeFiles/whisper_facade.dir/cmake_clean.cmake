@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_facade.dir/keypool.cpp.o"
+  "CMakeFiles/whisper_facade.dir/keypool.cpp.o.d"
+  "CMakeFiles/whisper_facade.dir/node.cpp.o"
+  "CMakeFiles/whisper_facade.dir/node.cpp.o.d"
+  "CMakeFiles/whisper_facade.dir/testbed.cpp.o"
+  "CMakeFiles/whisper_facade.dir/testbed.cpp.o.d"
+  "libwhisper_facade.a"
+  "libwhisper_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

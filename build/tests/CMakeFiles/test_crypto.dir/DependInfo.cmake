@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes128_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/aes128_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/aes128_test.cpp.o.d"
+  "/root/repo/tests/crypto/bigint_reference_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/bigint_reference_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/bigint_reference_test.cpp.o.d"
+  "/root/repo/tests/crypto/bigint_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/bigint_test.cpp.o.d"
+  "/root/repo/tests/crypto/crypto_properties_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/crypto_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/crypto_properties_test.cpp.o.d"
+  "/root/repo/tests/crypto/envelope_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/envelope_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/envelope_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/onion_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/onion_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/onion_test.cpp.o.d"
+  "/root/repo/tests/crypto/rsa_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/whisper_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/bigint_reference_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/bigint_reference_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/bigint_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/bigint_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/crypto_properties_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/crypto_properties_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/envelope_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/envelope_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/onion_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/onion_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

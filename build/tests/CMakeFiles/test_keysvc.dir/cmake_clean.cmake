@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keysvc.dir/keysvc/keyservice_test.cpp.o"
+  "CMakeFiles/test_keysvc.dir/keysvc/keyservice_test.cpp.o.d"
+  "test_keysvc"
+  "test_keysvc.pdb"
+  "test_keysvc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keysvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

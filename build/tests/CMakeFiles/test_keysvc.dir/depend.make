@@ -1,0 +1,2 @@
+# Empty dependencies file for test_keysvc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nylon.dir/nylon/nat_matrix_test.cpp.o"
+  "CMakeFiles/test_nylon.dir/nylon/nat_matrix_test.cpp.o.d"
+  "CMakeFiles/test_nylon.dir/nylon/pss_protocol_test.cpp.o"
+  "CMakeFiles/test_nylon.dir/nylon/pss_protocol_test.cpp.o.d"
+  "CMakeFiles/test_nylon.dir/nylon/transport_test.cpp.o"
+  "CMakeFiles/test_nylon.dir/nylon/transport_test.cpp.o.d"
+  "test_nylon"
+  "test_nylon.pdb"
+  "test_nylon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nylon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppss.dir/ppss/group_test.cpp.o"
+  "CMakeFiles/test_ppss.dir/ppss/group_test.cpp.o.d"
+  "CMakeFiles/test_ppss.dir/ppss/ppss_edge_test.cpp.o"
+  "CMakeFiles/test_ppss.dir/ppss/ppss_edge_test.cpp.o.d"
+  "CMakeFiles/test_ppss.dir/ppss/ppss_test.cpp.o"
+  "CMakeFiles/test_ppss.dir/ppss/ppss_test.cpp.o.d"
+  "test_ppss"
+  "test_ppss.pdb"
+  "test_ppss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pss/metrics_test.cpp" "tests/CMakeFiles/test_pss.dir/pss/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_pss.dir/pss/metrics_test.cpp.o.d"
+  "/root/repo/tests/pss/view_test.cpp" "tests/CMakeFiles/test_pss.dir/pss/view_test.cpp.o" "gcc" "tests/CMakeFiles/test_pss.dir/pss/view_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pss/CMakeFiles/whisper_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/nylon/CMakeFiles/whisper_nylon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/whisper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/whisper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

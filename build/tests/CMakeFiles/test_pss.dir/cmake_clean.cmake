@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pss.dir/pss/metrics_test.cpp.o"
+  "CMakeFiles/test_pss.dir/pss/metrics_test.cpp.o.d"
+  "CMakeFiles/test_pss.dir/pss/view_test.cpp.o"
+  "CMakeFiles/test_pss.dir/pss/view_test.cpp.o.d"
+  "test_pss"
+  "test_pss.pdb"
+  "test_pss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wcl.dir/wcl/backlog_test.cpp.o"
+  "CMakeFiles/test_wcl.dir/wcl/backlog_test.cpp.o.d"
+  "CMakeFiles/test_wcl.dir/wcl/wcl_test.cpp.o"
+  "CMakeFiles/test_wcl.dir/wcl/wcl_test.cpp.o.d"
+  "test_wcl"
+  "test_wcl.pdb"
+  "test_wcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

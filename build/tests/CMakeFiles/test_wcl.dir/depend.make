@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wcl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_nat[1]_include.cmake")
+include("/root/repo/build/tests/test_pss[1]_include.cmake")
+include("/root/repo/build/tests/test_nylon[1]_include.cmake")
+include("/root/repo/build/tests/test_keysvc[1]_include.cmake")
+include("/root/repo/build/tests/test_wcl[1]_include.cmake")
+include("/root/repo/build/tests/test_ppss[1]_include.cmake")
+include("/root/repo/build/tests/test_chord[1]_include.cmake")
+include("/root/repo/build/tests/test_churn[1]_include.cmake")
+include("/root/repo/build/tests/test_whisper[1]_include.cmake")
+include("/root/repo/build/tests/test_security[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_wire_fuzz[1]_include.cmake")

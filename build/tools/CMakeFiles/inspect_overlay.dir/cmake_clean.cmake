@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_overlay.dir/inspect_overlay.cpp.o"
+  "CMakeFiles/inspect_overlay.dir/inspect_overlay.cpp.o.d"
+  "inspect_overlay"
+  "inspect_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_sim_cli.dir/whisper_sim.cpp.o"
+  "CMakeFiles/whisper_sim_cli.dir/whisper_sim.cpp.o.d"
+  "whisper_sim_cli"
+  "whisper_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
