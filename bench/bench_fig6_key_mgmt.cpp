@@ -36,15 +36,22 @@ Fig6Row run_config(std::size_t n_nodes, double natted_fraction, std::size_t pi,
   const std::size_t cycles = 30;
   tb.run_for(cycles * cfg.node.pss.cycle);
 
+  // Bandwidth comes straight off the telemetry registry: the network books
+  // every byte into per-node "net.node.bytes" counters labeled by
+  // node/proto/direction.
+  const telemetry::Registry& reg = tb.registry();
+  const auto node_bytes = [&](Endpoint ep, sim::Proto proto, const char* dir) {
+    return reg.counter_value("net.node.bytes", sim::Network::traffic_labels(ep, proto, dir));
+  };
   Samples n_up, n_down, p_up, p_down;
   for (WhisperNode* node : tb.alive_nodes()) {
-    const auto& c = tb.network().counters(node->internal_endpoint());
-    const double up =
-        static_cast<double>(c.up_for(sim::Proto::kPss) + c.up_for(sim::Proto::kKeys)) /
-        static_cast<double>(cycles) / 1024.0;
-    const double down =
-        static_cast<double>(c.down_for(sim::Proto::kPss) + c.down_for(sim::Proto::kKeys)) /
-        static_cast<double>(cycles) / 1024.0;
+    const Endpoint ep = node->internal_endpoint();
+    const double up = static_cast<double>(node_bytes(ep, sim::Proto::kPss, "up") +
+                                          node_bytes(ep, sim::Proto::kKeys, "up")) /
+                      static_cast<double>(cycles) / 1024.0;
+    const double down = static_cast<double>(node_bytes(ep, sim::Proto::kPss, "down") +
+                                            node_bytes(ep, sim::Proto::kKeys, "down")) /
+                        static_cast<double>(cycles) / 1024.0;
     if (node->is_public()) {
       p_up.add(up);
       p_down.add(down);

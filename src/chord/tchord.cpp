@@ -39,7 +39,17 @@ std::optional<ChordDescriptor> ChordDescriptor::deserialize(Reader& r) {
 TChord::TChord(sim::Simulator& sim, ppss::Ppss& ppss, TChordConfig config, Rng rng)
     : sim_(sim), ppss_(ppss), config_(config), rng_(rng),
       self_key_(chord_key_of(ppss.self())),
-      next_lookup_id_(ppss.self().value << 16) {
+      next_lookup_id_(ppss.self().value << 16),
+      tel_(ppss.telemetry()),
+      m_sent_(tel_.counter("chord.lookups.sent")),
+      m_answered_(tel_.counter("chord.lookups.answered")),
+      m_timed_out_(tel_.counter("chord.lookups.timed_out")),
+      m_served_(tel_.counter("chord.lookups.served")),
+      m_forwards_(tel_.counter("chord.lookups.forwards")),
+      m_hops_(tel_.histogram("chord.lookup.hops",
+                             telemetry::BucketSpec::linear(0, 33, 33))),
+      m_rtt_(tel_.histogram("chord.lookup.rtt_us",
+                            telemetry::BucketSpec::log_spaced(1'000, 60'000'000))) {
   ppss_.register_app(kChordAppId, [this](const wcl::RemotePeer& from, BytesView p) {
     handle_app(from, p);
   });
@@ -255,6 +265,7 @@ void TChord::lookup(ChordKey key, LookupCallback callback) {
   pending_lookups_[lookup_id] = std::move(pending);
   arm_lookup_timer(lookup_id);
   ++stats_.lookups_sent;
+  m_sent_.add(1);
   route_or_serve(key, lookup_id, self_descriptor(), 0);
 }
 
@@ -275,6 +286,8 @@ void TChord::arm_lookup_timer(std::uint64_t lookup_id) {
     auto cb = std::move(it->second.callback);
     pending_lookups_.erase(it);
     ++stats_.lookups_timed_out;
+    m_timed_out_.add(1);
+    tel_.instant("chord.lookup.timeout", "chord", sim_.now());
     cb(std::nullopt);
   });
 }
@@ -293,12 +306,16 @@ void TChord::route_or_serve(ChordKey key, std::uint64_t lookup_id,
       const sim::Time rtt = sim_.now() - it->second.started_at;
       pending_lookups_.erase(it);
       ++stats_.lookups_answered;
+      m_answered_.add(1);
+      m_hops_.observe(static_cast<double>(hops));
+      m_rtt_.observe(static_cast<double>(rtt));
       cb(LookupResult{self_descriptor(), hops, rtt});
       return;
     }
     // We are the owner: answer the origin directly with one WCL path (its
     // descriptor, including helpers, travelled with the query).
     ++stats_.lookups_served;
+    m_served_.add(1);
     Writer w;
     w.u8(kKindLookupResp);
     w.u64(lookup_id);
@@ -322,6 +339,7 @@ void TChord::route_or_serve(ChordKey key, std::uint64_t lookup_id,
   w.u32(hops + 1);
   origin.serialize(w);
   ++stats_.forwards;
+  m_forwards_.add(1);
   // Prefer the PPSS private view's descriptor when it knows the hop: its
   // helper set is refreshed every PPSS cycle, while ring candidates can
   // carry helpers from several cycles ago.
@@ -353,6 +371,12 @@ void TChord::handle_lookup_response(Reader& r) {
   const sim::Time rtt = sim_.now() - it->second.started_at;
   pending_lookups_.erase(it);
   ++stats_.lookups_answered;
+  m_answered_.add(1);
+  m_hops_.observe(static_cast<double>(hops));
+  m_rtt_.observe(static_cast<double>(rtt));
+  // One trace row per resolved lookup, spanning dispatch->answer.
+  tel_.complete("chord.lookup", "chord", sim_.now() - rtt, rtt,
+                {{"hops", std::to_string(hops)}});
   cb(LookupResult{*owner, hops, rtt});
 }
 

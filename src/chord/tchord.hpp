@@ -129,6 +129,16 @@ class TChord {
   std::uint64_t next_lookup_id_;
 
   Stats stats_;
+
+  // Inherited from the underlying PPSS instance (same node, same group).
+  telemetry::Scope tel_;
+  telemetry::Counter& m_sent_;
+  telemetry::Counter& m_answered_;
+  telemetry::Counter& m_timed_out_;
+  telemetry::Counter& m_served_;
+  telemetry::Counter& m_forwards_;
+  telemetry::Histogram& m_hops_;
+  telemetry::Histogram& m_rtt_;
 };
 
 }  // namespace whisper::chord

@@ -9,9 +9,19 @@ constexpr std::uint8_t kKindRequest = 1;
 constexpr std::uint8_t kKindResponse = 2;
 }  // namespace
 
-NylonPss::NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng)
+NylonPss::NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng,
+                   telemetry::Scope telemetry)
     : sim_(sim), transport_(transport), config_(config), rng_(rng),
-      view_(config.view_size) {
+      view_(config.view_size), tel_(telemetry),
+      m_initiated_(tel_.counter("pss.exchanges.initiated")),
+      m_completed_(tel_.counter("pss.exchanges.completed")),
+      m_timed_out_(tel_.counter("pss.exchanges.timed_out")),
+      // Exchange RTT spans one-hop cluster latencies to multi-second
+      // relayed paths under load.
+      m_rtt_(tel_.histogram("pss.exchange.rtt_us",
+                            telemetry::BucketSpec::log_spaced(100, 20'000'000))),
+      m_view_size_(tel_.histogram("pss.view.size",
+                                  telemetry::BucketSpec::linear(0, 64, 64))) {
   transport_.register_handler(kTagPss,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
 }
@@ -73,12 +83,14 @@ void NylonPss::on_cycle() {
 
   repair_relay();
   view_.age_all();
+  m_view_size_.observe(static_cast<double>(view_.size()));
   const PssEntry* partner = view_.oldest();
   if (partner == nullptr) return;
 
   const std::uint32_t seq = next_seq_++;
   const pss::ContactCard partner_card = partner->card;
   ++exchanges_initiated_;
+  m_initiated_.add(1);
 
   // Swap the partner out of the view: it comes back fresh via the self-entry
   // of its response, and stays out if it is dead. Keeping it would pin the
@@ -90,6 +102,7 @@ void NylonPss::on_cycle() {
 
   PendingExchange pending;
   pending.partner = partner_card.id;
+  pending.started_at = sim_.now();
   pending.timeout_timer = sim_.schedule_after(config_.response_timeout, [this, seq] {
     auto it = pending_.find(seq);
     if (it == pending_.end()) return;
@@ -97,6 +110,8 @@ void NylonPss::on_cycle() {
     view_.remove(it->second.partner);
     pending_.erase(it);
     ++exchanges_timed_out_;
+    m_timed_out_.add(1);
+    tel_.instant("pss.exchange.timeout", "pss", sim_.now());
   });
   pending_[seq] = pending;
 }
@@ -129,9 +144,14 @@ void NylonPss::handle_message(NodeId from, BytesView payload) {
     auto it = pending_.find(seq);
     if (it == pending_.end() || it->second.partner != from) return;
     if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+    const sim::Time rtt = sim_.now() - it->second.started_at;
     pending_.erase(it);
     view_.merge(received, transport_.self(), config_.pi_min_public, rng_);
     ++exchanges_completed_;
+    m_completed_.add(1);
+    m_rtt_.observe(static_cast<double>(rtt));
+    // One trace row per completed view exchange, spanning request->response.
+    tel_.complete("pss.exchange", "pss", sim_.now() - rtt, rtt);
     if (on_exchange) on_exchange(sender_card);
   }
 }

@@ -20,6 +20,7 @@
 #include "nylon/transport.hpp"
 #include "pss/view.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/scope.hpp"
 
 namespace whisper::nylon {
 
@@ -53,7 +54,8 @@ struct PssEntry {
 
 class NylonPss {
  public:
-  NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng);
+  NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng,
+           telemetry::Scope telemetry = {});
   ~NylonPss();
 
   NylonPss(const NylonPss&) = delete;
@@ -99,12 +101,20 @@ class NylonPss {
   struct PendingExchange {
     NodeId partner;
     sim::TimerId timeout_timer = 0;
+    sim::Time started_at = 0;
   };
   std::unordered_map<std::uint32_t, PendingExchange> pending_;
 
   std::uint64_t exchanges_initiated_ = 0;
   std::uint64_t exchanges_completed_ = 0;
   std::uint64_t exchanges_timed_out_ = 0;
+
+  telemetry::Scope tel_;
+  telemetry::Counter& m_initiated_;
+  telemetry::Counter& m_completed_;
+  telemetry::Counter& m_timed_out_;
+  telemetry::Histogram& m_rtt_;
+  telemetry::Histogram& m_view_size_;
 };
 
 }  // namespace whisper::nylon

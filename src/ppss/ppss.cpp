@@ -41,9 +41,21 @@ std::optional<PrivateEntry> PrivateEntry::deserialize(Reader& r) {
 }
 
 Ppss::Ppss(sim::Simulator& sim, wcl::Wcl& wcl, NodeId self, GroupId group, sim::CpuMeter& cpu,
-           PpssConfig config, Rng rng)
+           PpssConfig config, Rng rng, telemetry::Scope telemetry)
     : sim_(sim), wcl_(wcl), self_(self), group_(group), cpu_(cpu), config_(config), rng_(rng),
-      drbg_(rng_.next_u64()), keyring_(group), view_(config.view_size) {}
+      drbg_(rng_.next_u64()), keyring_(group), view_(config.view_size), tel_(telemetry),
+      m_initiated_(tel_.counter("ppss.exchanges.initiated")),
+      m_completed_(tel_.counter("ppss.exchanges.completed")),
+      m_timed_out_(tel_.counter("ppss.exchanges.timed_out")),
+      m_passport_checks_(tel_.counter("ppss.passport.checks")),
+      m_passport_bad_(tel_.counter("ppss.passport.bad")),
+      m_joins_served_(tel_.counter("ppss.joins.served")),
+      // PPSS exchanges ride multi-hop WCL routes: RTTs from tens of ms up
+      // to the paper's multi-second Fig. 7 tail.
+      m_rtt_(tel_.histogram("ppss.exchange.rtt_us",
+                            telemetry::BucketSpec::log_spaced(1'000, 60'000'000))),
+      m_view_size_(tel_.histogram("ppss.view.size",
+                                  telemetry::BucketSpec::linear(0, 64, 64))) {}
 
 Ppss::~Ppss() { stop(); }
 
@@ -263,6 +275,8 @@ void Ppss::on_cycle() {
   maybe_elect();
   view_.age_all();
   view_.expire_older_than(config_.max_entry_age);
+  // Private-view health: the fill distribution over cycles and members.
+  m_view_size_.observe(static_cast<double>(view_.size()));
   const PrivateEntry* partner = view_.oldest();
   if (partner == nullptr) return;
 
@@ -277,6 +291,7 @@ void Ppss::on_cycle() {
   buffer.insert(buffer.end(), subset.begin(), subset.end());
 
   ++stats_.exchanges_initiated;
+  m_initiated_.add(1);
   wcl_.send_confidential(partner_peer, encode_gossip(kKindGossipReq, seq, buffer));
 
   PendingExchange pending;
@@ -288,11 +303,14 @@ void Ppss::on_cycle() {
     view_.remove(it->second.partner);
     pending_.erase(it);
     ++stats_.exchanges_timed_out;
+    m_timed_out_.add(1);
+    tel_.instant("ppss.exchange.timeout", "ppss", sim_.now());
   });
   pending_[seq] = pending;
 }
 
 bool Ppss::verify_passport_cached(const Passport& p) {
+  m_passport_checks_.add(1);
   if (p.signature.empty()) return false;
   Writer w;
   w.node_id(p.node);
@@ -355,6 +373,7 @@ void Ppss::handle_gossip(std::uint8_t kind, Reader& r) {
   absorb_meta(meta);
   if (!verify_passport_cached(*passport)) {
     ++stats_.bad_passports;
+    m_passport_bad_.add(1);
     return;  // silently ignore, never reveal membership
   }
   const wcl::RemotePeer sender = received.front().peer;
@@ -375,6 +394,9 @@ void Ppss::handle_gossip(std::uint8_t kind, Reader& r) {
     pending_.erase(it);
     view_.merge(received, self_, /*pi_min_public=*/0, rng_);
     ++stats_.exchanges_completed;
+    m_completed_.add(1);
+    m_rtt_.observe(static_cast<double>(rtt));
+    tel_.complete("ppss.exchange", "ppss", sim_.now() - rtt, rtt);
     if (on_exchange_rtt) on_exchange_rtt(rtt);
   }
 }
@@ -396,6 +418,7 @@ void Ppss::handle_join_request(Reader& r) {
   if (!ok || accreditation->node != joiner->card.id) return;
 
   ++stats_.joins_served;
+  m_joins_served_.add(1);
   Passport passport;
   cpu_.charge(sim::CpuCategory::kRsaSign, [&] {
     passport = issue_passport(group_, keyring_.latest_epoch(), joiner->card.id, *group_key_);
@@ -470,6 +493,7 @@ void Ppss::handle_ping(std::uint8_t kind, Reader& r) {
   if (!joined()) return;
   if (!verify_passport_cached(*passport) || passport->node != entry->id()) {
     ++stats_.bad_passports;
+    m_passport_bad_.add(1);
     return;
   }
 
@@ -505,6 +529,7 @@ void Ppss::handle_app(Reader& r) {
   if (!joined()) return;
   if (!verify_passport_cached(*passport) || passport->node != sender->card.id) {
     ++stats_.bad_passports;
+    m_passport_bad_.add(1);
     return;
   }
   if (app_id == 0) {

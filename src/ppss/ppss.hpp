@@ -27,6 +27,7 @@
 #include "ppss/group.hpp"
 #include "pss/view.hpp"
 #include "sim/cpumeter.hpp"
+#include "telemetry/scope.hpp"
 #include "wcl/wcl.hpp"
 
 namespace whisper::ppss {
@@ -64,7 +65,7 @@ struct PrivateEntry {
 class Ppss {
  public:
   Ppss(sim::Simulator& sim, wcl::Wcl& wcl, NodeId self, GroupId group, sim::CpuMeter& cpu,
-       PpssConfig config, Rng rng);
+       PpssConfig config, Rng rng, telemetry::Scope telemetry = {});
   ~Ppss();
 
   Ppss(const Ppss&) = delete;
@@ -140,6 +141,9 @@ class Ppss {
   /// Callback fired when an exchange completes, with the round-trip time —
   /// the data source for Fig. 7.
   std::function<void(sim::Time rtt)> on_exchange_rtt;
+
+  /// Telemetry handle (layers stacked on PPSS — e.g. T-Chord — inherit it).
+  const telemetry::Scope& telemetry() const { return tel_; }
 
  private:
   struct GossipMeta {
@@ -228,6 +232,16 @@ class Ppss {
   std::unordered_map<std::uint8_t, AppHandler> app_handlers_;
 
   Stats stats_;
+
+  telemetry::Scope tel_;
+  telemetry::Counter& m_initiated_;
+  telemetry::Counter& m_completed_;
+  telemetry::Counter& m_timed_out_;
+  telemetry::Counter& m_passport_checks_;
+  telemetry::Counter& m_passport_bad_;
+  telemetry::Counter& m_joins_served_;
+  telemetry::Histogram& m_rtt_;
+  telemetry::Histogram& m_view_size_;
 };
 
 }  // namespace whisper::ppss

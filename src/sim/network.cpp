@@ -1,19 +1,52 @@
 #include "sim/network.hpp"
 
-#include <numeric>
-
 namespace whisper::sim {
 
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::kPss: return "pss";
+    case Proto::kKeys: return "keys";
+    case Proto::kWcl: return "wcl";
+    case Proto::kPpss: return "ppss";
+    case Proto::kControl: return "control";
+    case Proto::kApp: return "app";
+    case Proto::kCount: break;
+  }
+  return "unknown";
+}
+
 std::uint64_t TrafficCounters::total_up() const {
-  return std::accumulate(std::begin(up), std::end(up), std::uint64_t{0});
+  std::uint64_t total = 0;
+  for (const auto* c : up) total += c != nullptr ? c->value() : 0;
+  return total;
 }
 
 std::uint64_t TrafficCounters::total_down() const {
-  return std::accumulate(std::begin(down), std::end(down), std::uint64_t{0});
+  std::uint64_t total = 0;
+  for (const auto* c : down) total += c != nullptr ? c->value() : 0;
+  return total;
 }
 
-Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency)
-    : sim_(sim), latency_(std::move(latency)), rng_(sim.rng().fork()) {}
+telemetry::Labels Network::traffic_labels(Endpoint internal_ep, Proto proto,
+                                          const char* dir) {
+  return {{"node", internal_ep.str()}, {"proto", proto_name(proto)}, {"dir", dir}};
+}
+
+Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
+                 telemetry::Registry* registry)
+    : sim_(sim), latency_(std::move(latency)),
+      owned_registry_(registry == nullptr ? std::make_unique<telemetry::Registry>()
+                                          : nullptr),
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
+      rng_(sim.rng().fork()) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Proto::kCount); ++i) {
+    const char* proto = proto_name(static_cast<Proto>(i));
+    agg_up_[i] = &registry_->counter("net.bytes", {{"proto", proto}, {"dir", "up"}});
+    agg_down_[i] = &registry_->counter("net.bytes", {{"proto", proto}, {"dir", "down"}});
+  }
+  packets_sent_c_ = &registry_->counter("net.packets.sent");
+  packets_delivered_c_ = &registry_->counter("net.packets.delivered");
+}
 
 void Network::attach(Endpoint internal_ep, Handler handler) {
   handlers_[internal_ep] = std::move(handler);
@@ -22,6 +55,19 @@ void Network::attach(Endpoint internal_ep, Handler handler) {
 void Network::detach(Endpoint internal_ep) { handlers_.erase(internal_ep); }
 
 bool Network::attached(Endpoint internal_ep) const { return handlers_.contains(internal_ep); }
+
+TrafficCounters& Network::counters_for(Endpoint internal_ep) {
+  auto it = counters_.find(internal_ep);
+  if (it != counters_.end()) return it->second;
+  TrafficCounters tc;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Proto::kCount); ++i) {
+    const Proto p = static_cast<Proto>(i);
+    tc.up[i] = &registry_->counter("net.node.bytes", traffic_labels(internal_ep, p, "up"));
+    tc.down[i] =
+        &registry_->counter("net.node.bytes", traffic_labels(internal_ep, p, "down"));
+  }
+  return counters_.emplace(internal_ep, tc).first->second;
+}
 
 bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Proto proto) {
   Endpoint wire_src = internal_src;
@@ -33,8 +79,10 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
 
   // Account upload at the sender regardless of eventual delivery: bytes
   // leave the sender's uplink either way.
-  counters_[internal_src].up[static_cast<std::size_t>(proto)] += payload.size();
-  ++packets_sent_;
+  const std::size_t pi = static_cast<std::size_t>(proto);
+  counters_for(internal_src).up[pi]->add(payload.size());
+  agg_up_[pi]->add(payload.size());
+  packets_sent_c_->add(1);
 
   if (tap_) tap_(Datagram{wire_src, public_dst, payload, proto});
 
@@ -58,8 +106,10 @@ void Network::deliver(Datagram dgram) {
   auto it = handlers_.find(internal_dst);
   if (it == handlers_.end()) return;  // node departed
 
-  counters_[internal_dst].down[static_cast<std::size_t>(dgram.proto)] += dgram.payload.size();
-  ++packets_delivered_;
+  const std::size_t pi = static_cast<std::size_t>(dgram.proto);
+  counters_for(internal_dst).down[pi]->add(dgram.payload.size());
+  agg_down_[pi]->add(dgram.payload.size());
+  packets_delivered_c_->add(1);
   it->second(dgram);
 }
 
@@ -69,10 +119,6 @@ const TrafficCounters& Network::counters(Endpoint internal_ep) const {
   return it == counters_.end() ? kEmpty : it->second;
 }
 
-void Network::reset_counters() {
-  counters_.clear();
-  packets_sent_ = 0;
-  packets_delivered_ = 0;
-}
+void Network::reset_counters() { registry_->reset("net."); }
 
 }  // namespace whisper::sim

@@ -3,9 +3,13 @@
 // Nodes bind a handler to their *internal* endpoint. When a datagram is
 // sent, the installed AddressTranslator (the NAT emulation, see src/nat)
 // rewrites the source to its external mapping and decides whether the
-// destination's device lets the packet in. Per-node up/down byte counters
-// are kept per protocol tag — these counters are the data source for the
-// paper's bandwidth figures (Fig. 6 and Fig. 8).
+// destination's device lets the packet in.
+//
+// Traffic accounting lives in the telemetry registry: per-node up/down byte
+// counters keyed by protocol tag ("net.node.bytes"), plus system-wide
+// aggregates ("net.bytes", "net.packets.*"). These are the data source for
+// the paper's bandwidth figures (Fig. 6 and Fig. 8); TrafficCounters is a
+// per-node view over the registry entries kept for ergonomic access.
 #pragma once
 
 #include <functional>
@@ -17,6 +21,7 @@
 #include "common/ids.hpp"
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
 
 namespace whisper::sim {
 
@@ -55,21 +60,35 @@ class AddressTranslator {
   virtual std::optional<Endpoint> inbound(Endpoint public_dst, Endpoint public_src) = 0;
 };
 
-/// Per-node traffic counters in bytes.
+/// Telemetry label value for a protocol tag ("pss", "keys", ...).
+const char* proto_name(Proto p);
+
+/// Per-node traffic accounting in bytes: a view over the registry-backed
+/// "net.node.bytes" counters (labels: node, proto, dir). Null slots (node
+/// never seen) read as zero.
 struct TrafficCounters {
-  std::uint64_t up[static_cast<std::size_t>(Proto::kCount)] = {};
-  std::uint64_t down[static_cast<std::size_t>(Proto::kCount)] = {};
+  telemetry::Counter* up[static_cast<std::size_t>(Proto::kCount)] = {};
+  telemetry::Counter* down[static_cast<std::size_t>(Proto::kCount)] = {};
 
   std::uint64_t total_up() const;
   std::uint64_t total_down() const;
-  std::uint64_t up_for(Proto p) const { return up[static_cast<std::size_t>(p)]; }
-  std::uint64_t down_for(Proto p) const { return down[static_cast<std::size_t>(p)]; }
+  std::uint64_t up_for(Proto p) const {
+    const auto* c = up[static_cast<std::size_t>(p)];
+    return c != nullptr ? c->value() : 0;
+  }
+  std::uint64_t down_for(Proto p) const {
+    const auto* c = down[static_cast<std::size_t>(p)];
+    return c != nullptr ? c->value() : 0;
+  }
 };
 
 /// The simulated network. Nodes are identified by their internal endpoint.
 class Network {
  public:
-  Network(Simulator& sim, std::unique_ptr<LatencyModel> latency);
+  /// `registry` hosts the traffic metrics; when null the network owns a
+  /// private one, so counters are always registry-backed.
+  Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
+          telemetry::Registry* registry = nullptr);
 
   using Handler = std::function<void(const Datagram&)>;
 
@@ -97,26 +116,43 @@ class Network {
   bool send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Proto proto);
 
   const TrafficCounters& counters(Endpoint internal_ep) const;
+  /// Zero every "net."-prefixed metric (per-node, aggregates, packet
+  /// counts) — benches call this after warm-up to open a measurement
+  /// window.
   void reset_counters();
 
   /// Total datagrams handed to the latency model / delivered to handlers.
-  std::uint64_t packets_sent() const { return packets_sent_; }
-  std::uint64_t packets_delivered() const { return packets_delivered_; }
-  std::uint64_t packets_dropped() const { return packets_sent_ - packets_delivered_; }
+  std::uint64_t packets_sent() const { return packets_sent_c_->value(); }
+  std::uint64_t packets_delivered() const { return packets_delivered_c_->value(); }
+  std::uint64_t packets_dropped() const { return packets_sent() - packets_delivered(); }
 
   Simulator& simulator() { return sim_; }
+  /// The registry hosting the traffic metrics (external or owned).
+  telemetry::Registry& registry() { return *registry_; }
+  const telemetry::Registry& registry() const { return *registry_; }
+
+  /// Label set of the per-node byte counter ("net.node.bytes") for one
+  /// node/proto/direction — the key benches use to read bandwidth straight
+  /// off the registry. `dir` is "up" or "down".
+  static telemetry::Labels traffic_labels(Endpoint internal_ep, Proto proto,
+                                          const char* dir);
 
  private:
   void deliver(Datagram dgram);
+  TrafficCounters& counters_for(Endpoint internal_ep);
 
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   AddressTranslator* translator_ = nullptr;
   Tap tap_;
   std::unordered_map<Endpoint, Handler> handlers_;
+  std::unique_ptr<telemetry::Registry> owned_registry_;  // when none injected
+  telemetry::Registry* registry_;                        // never null
   std::unordered_map<Endpoint, TrafficCounters> counters_;
-  std::uint64_t packets_sent_ = 0;
-  std::uint64_t packets_delivered_ = 0;
+  telemetry::Counter* agg_up_[static_cast<std::size_t>(Proto::kCount)] = {};
+  telemetry::Counter* agg_down_[static_cast<std::size_t>(Proto::kCount)] = {};
+  telemetry::Counter* packets_sent_c_;
+  telemetry::Counter* packets_delivered_c_;
   Rng rng_;
 };
 

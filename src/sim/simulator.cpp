@@ -6,10 +6,17 @@ namespace whisper::sim {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
+void Simulator::attach_telemetry(telemetry::Registry& registry) {
+  executed_counter_ = &registry.counter("sim.events.executed");
+  cancelled_counter_ = &registry.counter("sim.events.cancelled");
+  depth_gauge_ = &registry.gauge("sim.queue.depth");
+}
+
 TimerId Simulator::schedule_at(Time at, std::function<void()> fn) {
   assert(at >= now_);
   const TimerId id = next_id_++;
   queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  live_ids_.insert(id);
   return id;
 }
 
@@ -17,7 +24,16 @@ TimerId Simulator::schedule_after(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(TimerId id) { cancelled_.insert(id); }
+void Simulator::cancel(TimerId id) {
+  // Only ids still in the queue can be cancelled; anything else (already
+  // fired, already cancelled, never scheduled) is a no-op. This keeps
+  // `cancelled_` in exact sync with the queue, so pending_events() cannot
+  // drift.
+  if (live_ids_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  ++cancelled_total_;
+  if (cancelled_counter_ != nullptr) cancelled_counter_->add(1);
+}
 
 bool Simulator::step() {
   while (!queue_.empty()) {
@@ -27,8 +43,13 @@ bool Simulator::step() {
       cancelled_.erase(it);
       continue;
     }
+    live_ids_.erase(ev.id);
     now_ = ev.at;
     ++executed_;
+    if (executed_counter_ != nullptr) executed_counter_->add(1);
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(pending_events()));
+    }
     ev.fn();
     return true;
   }

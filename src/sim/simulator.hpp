@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "telemetry/registry.hpp"
 
 namespace whisper::sim {
 
@@ -51,6 +52,13 @@ class Simulator {
 
   std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+  std::uint64_t cancelled_events() const { return cancelled_total_; }
+
+  /// Register event-loop metrics on `registry` (sim.events.executed,
+  /// sim.events.cancelled counters; sim.queue.depth gauge updated per
+  /// step). Telemetry reads never influence scheduling, so attaching it
+  /// cannot perturb determinism.
+  void attach_telemetry(telemetry::Registry& registry);
 
  private:
   struct Event {
@@ -70,9 +78,17 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   TimerId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_total_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids still in the queue. cancel() consults this so a cancel of an
+  // already-fired (or never-scheduled) id cannot linger in `cancelled_`
+  // and skew pending_events().
+  std::unordered_set<TimerId> live_ids_;
   std::unordered_set<TimerId> cancelled_;
   Rng rng_;
+  telemetry::Counter* executed_counter_ = nullptr;
+  telemetry::Counter* cancelled_counter_ = nullptr;
+  telemetry::Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace whisper::sim

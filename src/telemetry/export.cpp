@@ -1,0 +1,187 @@
+#include "telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace whisper::telemetry {
+
+namespace {
+
+/// Shortest round-trippable decimal; integral values print without ".0"
+/// noise. %.17g is deterministic for a given libc, which is all the golden
+/// tests (same binary, two runs) require.
+std::string fmt_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void append_labels(std::string& out, const Labels& labels) {
+  out += "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(labels[i].first);
+    out += "\":\"";
+    out += json_escape(labels[i].second);
+    out += '"';
+  }
+  out += "}";
+}
+
+void append_args(std::string& out,
+                 const std::vector<std::pair<std::string, std::string>>& args) {
+  out += "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(args[i].first);
+    out += "\":\"";
+    out += json_escape(args[i].second);
+    out += '"';
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const Registry& registry) {
+  std::string out;
+  for (const auto& [key, entry] : registry.entries()) {
+    out += "{\"name\":\"";
+    out += json_escape(entry.name);
+    out += "\",\"labels\":";
+    append_labels(out, entry.labels);
+    if (const auto* c = std::get_if<Counter>(&entry.metric)) {
+      out += ",\"type\":\"counter\",\"value\":";
+      out += fmt_u64(c->value());
+    } else if (const auto* g = std::get_if<Gauge>(&entry.metric)) {
+      out += ",\"type\":\"gauge\",\"value\":";
+      out += fmt_double(g->value());
+    } else if (const auto* h = std::get_if<Histogram>(&entry.metric)) {
+      out += ",\"type\":\"histogram\",\"count\":";
+      out += fmt_u64(h->count());
+      out += ",\"sum\":";
+      out += fmt_double(h->sum());
+      out += ",\"min\":";
+      out += fmt_double(h->min());
+      out += ",\"max\":";
+      out += fmt_double(h->max());
+      out += ",\"p50\":";
+      out += fmt_double(h->percentile(50));
+      out += ",\"p90\":";
+      out += fmt_double(h->percentile(90));
+      out += ",\"p99\":";
+      out += fmt_double(h->percentile(99));
+      out += ",\"bounds\":[";
+      const auto& bounds = h->spec().bounds;
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (i) out += ',';
+        out += fmt_double(bounds[i]);
+      }
+      out += "],\"buckets\":[";
+      const auto& counts = h->bucket_counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i) out += ',';
+        out += fmt_u64(counts[i]);
+      }
+      out += "]";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string to_jsonl(const TimeSeriesRecorder& recorder) {
+  std::string out;
+  for (const SamplePoint& p : recorder.series()) {
+    out += "{\"ts\":";
+    out += fmt_u64(p.ts);
+    out += ",\"values\":{";
+    for (std::size_t i = 0; i < p.values.size(); ++i) {
+      if (i) out += ',';
+      out += '"';
+      out += json_escape(p.values[i].first);
+      out += "\":";
+      out += fmt_double(p.values[i].second);
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : tracer.events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    out += json_escape(ev.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(ev.category);
+    out += "\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"ts\":";
+    out += fmt_u64(ev.ts);
+    if (ev.phase == 'X') {
+      out += ",\"dur\":";
+      out += fmt_u64(ev.dur);
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":1,\"tid\":";
+    out += fmt_u64(ev.tid);
+    if (!ev.args.empty()) {
+      out += ",\"args\":";
+      append_args(out, ev.args);
+    }
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  return ok;
+}
+
+}  // namespace whisper::telemetry

@@ -1,0 +1,38 @@
+// Exporters: registry and time-series state as JSONL (one JSON object per
+// line, trivially grep/jq-able), and the tracer's events as Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing.
+//
+// Determinism contract: output depends only on registry/tracer *content*
+// (itself deterministic under the virtual clock) — iteration is ordered,
+// numbers are printed with fixed formats, nothing derives from pointers or
+// wall-clock time. Golden tests diff two same-seed runs byte-for-byte.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/timeseries.hpp"
+#include "telemetry/trace.hpp"
+
+namespace whisper::telemetry {
+
+/// One line per metric:
+///   {"name":"net.bytes","labels":{"dir":"up"},"type":"counter","value":123}
+/// Histogram lines add count/sum/min/max/p50/p90/p99 and bucket arrays.
+std::string to_jsonl(const Registry& registry);
+
+/// One line per sample point: {"ts":60000000,"values":{"key":1,...}}
+std::string to_jsonl(const TimeSeriesRecorder& recorder);
+
+/// {"displayTimeUnit":"ms","traceEvents":[...]} — the trace-event JSON
+/// object form. ts/dur are virtual microseconds; tid is the node id.
+std::string to_chrome_trace(const Tracer& tracer);
+
+/// JSON string escaping for the exporters (exposed for tests).
+std::string json_escape(std::string_view s);
+
+/// Write `content` to `path`; false on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace whisper::telemetry

@@ -1,0 +1,106 @@
+#include "telemetry/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whisper::telemetry {
+
+BucketSpec BucketSpec::log_spaced(double lo, double hi, std::size_t per_decade) {
+  BucketSpec spec;
+  if (lo <= 0 || hi <= lo || per_decade == 0) return spec;
+  const double ratio = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  // Generate bounds multiplicatively from lo; regenerate each bound from an
+  // integer exponent so two specs with equal (lo, hi, per_decade) are
+  // bit-identical regardless of accumulated rounding.
+  for (std::size_t i = 0;; ++i) {
+    const double b = lo * std::pow(ratio, static_cast<double>(i));
+    spec.bounds.push_back(b);
+    if (b >= hi) break;
+    if (spec.bounds.size() > 4096) break;  // runaway guard
+  }
+  return spec;
+}
+
+BucketSpec BucketSpec::linear(double lo, double hi, std::size_t buckets) {
+  BucketSpec spec;
+  if (buckets == 0 || hi <= lo) return spec;
+  const double step = (hi - lo) / static_cast<double>(buckets);
+  for (std::size_t i = 0; i <= buckets; ++i) {
+    spec.bounds.push_back(lo + step * static_cast<double>(i));
+  }
+  return spec;
+}
+
+Histogram::Histogram(BucketSpec spec)
+    : spec_(std::move(spec)), counts_(spec_.bounds.size() + 1, 0) {}
+
+void Histogram::observe(double v) { observe_n(v, 1); }
+
+void Histogram::observe_n(double v, std::uint64_t n) {
+  if (n == 0) return;
+  const auto it = std::lower_bound(spec_.bounds.begin(), spec_.bounds.end(), v);
+  counts_[static_cast<std::size_t>(it - spec_.bounds.begin())] += n;
+  count_ += n;
+  sum_ += v * static_cast<double>(n);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank in [0, count-1], matching Samples' linear interpolation between
+  // order statistics.
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double bucket_lo = static_cast<double>(seen);
+    seen += counts_[b];
+    if (rank >= static_cast<double>(seen)) continue;
+    // The rank falls in bucket b: interpolate between its bounds.
+    const double lower = b == 0 ? min() : spec_.bounds[b - 1];
+    const double upper = b < spec_.bounds.size() ? spec_.bounds[b] : max();
+    const double frac = counts_[b] == 1
+                            ? 0.5
+                            : (rank - bucket_lo) / static_cast<double>(counts_[b]);
+    const double v = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    return std::clamp(v, min(), max());
+  }
+  return max();
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (spec_.bounds != other.spec_.bounds) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return true;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Counter& noop_counter() {
+  static Counter c;
+  return c;
+}
+
+Gauge& noop_gauge() {
+  static Gauge g;
+  return g;
+}
+
+Histogram& noop_histogram() {
+  static Histogram h{BucketSpec::log_spaced(1, 10)};
+  return h;
+}
+
+}  // namespace whisper::telemetry

@@ -1,0 +1,105 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+namespace whisper::telemetry {
+
+std::string metric_key(std::string_view name, const Labels& labels) {
+  std::string key{name};
+  if (labels.empty()) return key;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+namespace {
+
+Labels sorted_labels(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  auto [it, inserted] = entries_.try_emplace(
+      metric_key(name, labels), Entry{std::string{name}, sorted_labels(labels), Counter{}});
+  if (auto* c = std::get_if<Counter>(&it->second.metric)) return *c;
+  ++mismatches_;
+  return noop_counter();
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  auto [it, inserted] = entries_.try_emplace(
+      metric_key(name, labels), Entry{std::string{name}, sorted_labels(labels), Gauge{}});
+  if (auto* g = std::get_if<Gauge>(&it->second.metric)) return *g;
+  ++mismatches_;
+  return noop_gauge();
+}
+
+Histogram& Registry::histogram(std::string_view name, const BucketSpec& spec,
+                               const Labels& labels) {
+  auto [it, inserted] =
+      entries_.try_emplace(metric_key(name, labels),
+                           Entry{std::string{name}, sorted_labels(labels), Histogram{spec}});
+  if (auto* h = std::get_if<Histogram>(&it->second.metric)) return *h;
+  ++mismatches_;
+  return noop_histogram();
+}
+
+const Registry::Entry* Registry::find(std::string_view name, const Labels& labels) const {
+  auto it = entries_.find(metric_key(name, labels));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name, const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  if (e == nullptr) return 0;
+  const auto* c = std::get_if<Counter>(&e->metric);
+  return c ? c->value() : 0;
+}
+
+std::optional<double> Registry::gauge_value(std::string_view name, const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  if (e == nullptr) return std::nullopt;
+  const auto* g = std::get_if<Gauge>(&e->metric);
+  return g ? std::optional<double>{g->value()} : std::nullopt;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name, const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  return e == nullptr ? nullptr : std::get_if<Histogram>(&e->metric);
+}
+
+std::uint64_t Registry::counter_sum(std::string_view name) const {
+  std::uint64_t total = 0;
+  // Keys sharing a name are contiguous: "name" < "name{...}" < next name,
+  // because '{' sorts above most identifier characters — but a *longer*
+  // plain name ("net.bytes.total") can interleave, so match exactly.
+  for (auto it = entries_.lower_bound(std::string{name}); it != entries_.end(); ++it) {
+    if (it->second.name != name) {
+      if (it->second.name.compare(0, name.size(), name) > 0) break;
+      continue;
+    }
+    if (const auto* c = std::get_if<Counter>(&it->second.metric)) total += c->value();
+  }
+  return total;
+}
+
+void Registry::reset(std::string_view prefix) {
+  for (auto& [key, entry] : entries_) {
+    if (!prefix.empty() && key.compare(0, prefix.size(), prefix) != 0) continue;
+    std::visit([](auto& m) { m.reset(); }, entry.metric);
+  }
+}
+
+}  // namespace whisper::telemetry

@@ -1,0 +1,75 @@
+// The metric registry: named, label-tagged counters/gauges/histograms with
+// stable addresses and *ordered* iteration (std::map keyed by the canonical
+// "name{k=v,...}" string), so exports are byte-identical across same-seed
+// runs regardless of metric creation order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+
+namespace whisper::telemetry {
+
+/// Label set of a metric instance. Order given by the caller is irrelevant:
+/// the registry canonicalises by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical identity of a metric: "name{k1=v1,k2=v2}" with labels sorted
+/// by key ("name" alone when unlabeled).
+std::string metric_key(std::string_view name, const Labels& labels);
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. The returned reference stays valid for the registry's
+  /// lifetime (std::map nodes never move). Requesting an existing key as a
+  /// different metric kind returns the no-op sink of the requested kind —
+  /// a naming bug, surfaced by the `mismatches()` counter, never UB.
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  Histogram& histogram(std::string_view name, const BucketSpec& spec,
+                       const Labels& labels = {});
+
+  /// Read-only lookup; 0 / nullopt when the metric does not exist.
+  std::uint64_t counter_value(std::string_view name, const Labels& labels = {}) const;
+  std::optional<double> gauge_value(std::string_view name, const Labels& labels = {}) const;
+  const Histogram* find_histogram(std::string_view name, const Labels& labels = {}) const;
+
+  /// Sum of every counter whose *name* (not full key) equals `name` —
+  /// aggregates across label sets, e.g. total bytes over all protocols.
+  std::uint64_t counter_sum(std::string_view name) const;
+
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::variant<Counter, Gauge, Histogram> metric;
+  };
+
+  /// Ordered traversal (ascending canonical key).
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Zero every metric whose canonical key starts with `prefix` (all of
+  /// them when empty). Metrics stay registered; only values reset.
+  void reset(std::string_view prefix = {});
+
+  std::uint64_t mismatches() const { return mismatches_; }
+
+ private:
+  const Entry* find(std::string_view name, const Labels& labels) const;
+
+  std::map<std::string, Entry> entries_;
+  std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace whisper::telemetry

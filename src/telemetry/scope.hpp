@@ -1,0 +1,76 @@
+// telemetry::Scope — the handle protocol layers hold. Bundles the registry
+// and tracer with the owning node's id (the trace timeline row) and falls
+// back to shared no-op sinks when telemetry is not wired, so a layer
+// constructed stand-alone in a unit test instruments itself unconditionally
+// at zero setup cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace whisper::telemetry {
+
+/// What a testbed (or tool) hands to each node at construction.
+struct Sinks {
+  Registry* registry = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+class Scope {
+ public:
+  Scope() = default;
+  Scope(Sinks sinks, std::uint64_t tid)
+      : registry_(sinks.registry), tracer_(sinks.tracer), tid_(tid) {}
+
+  bool enabled() const { return registry_ != nullptr; }
+  Registry* registry() const { return registry_; }
+  Tracer* tracer() const { return tracer_; }
+  std::uint64_t tid() const { return tid_; }
+  /// Node label for per-node metric instances ("n<id>").
+  std::string node_label() const { return "n" + std::to_string(tid_); }
+
+  Counter& counter(std::string_view name, const Labels& labels = {}) const {
+    return registry_ ? registry_->counter(name, labels) : noop_counter();
+  }
+  Gauge& gauge(std::string_view name, const Labels& labels = {}) const {
+    return registry_ ? registry_->gauge(name, labels) : noop_gauge();
+  }
+  Histogram& histogram(std::string_view name, const BucketSpec& spec,
+                       const Labels& labels = {}) const {
+    return registry_ ? registry_->histogram(name, spec, labels) : noop_histogram();
+  }
+
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+  /// Emit a complete event on this node's timeline. `ts` is the event's
+  /// virtual start time; `dur` its virtual duration (often the processing
+  /// cost charged to the clock, or a measured round-trip).
+  void complete(std::string name, std::string category, std::uint64_t ts, std::uint64_t dur,
+                std::vector<std::pair<std::string, std::string>> args = {}) const {
+    if (tracing()) {
+      tracer_->complete(std::move(name), std::move(category), tid_, ts, dur, std::move(args));
+    }
+  }
+  void instant(std::string name, std::string category, std::uint64_t ts,
+               std::vector<std::pair<std::string, std::string>> args = {}) const {
+    if (tracing()) {
+      tracer_->instant(std::move(name), std::move(category), tid_, ts, std::move(args));
+    }
+  }
+
+  /// RAII span on this node's timeline (no-op when tracing is off).
+  Span span(std::string name, std::string category) const {
+    return Span(tracer_, std::move(name), std::move(category), tid_);
+  }
+
+ private:
+  Registry* registry_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::uint64_t tid_ = 0;
+};
+
+}  // namespace whisper::telemetry

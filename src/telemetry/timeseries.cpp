@@ -1,0 +1,48 @@
+#include "telemetry/timeseries.hpp"
+
+namespace whisper::telemetry {
+
+bool TimeSeriesRecorder::wanted(const std::string& key) const {
+  if (prefixes_.empty()) return true;
+  for (const std::string& p : prefixes_) {
+    if (key.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+void TimeSeriesRecorder::sample(std::uint64_t ts) {
+  SamplePoint point;
+  point.ts = ts;
+  for (const auto& [key, entry] : registry_->entries()) {
+    if (!wanted(key)) continue;
+    double v = 0;
+    if (const auto* c = std::get_if<Counter>(&entry.metric)) {
+      v = static_cast<double>(c->value());
+    } else if (const auto* g = std::get_if<Gauge>(&entry.metric)) {
+      v = g->value();
+    } else if (const auto* h = std::get_if<Histogram>(&entry.metric)) {
+      v = static_cast<double>(h->count());
+    }
+    point.values.emplace_back(key, v);
+  }
+  samples_.push_back(std::move(point));
+}
+
+std::vector<std::pair<std::uint64_t, double>> TimeSeriesRecorder::deltas(
+    const std::string& key) const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  double prev = 0;
+  bool have_prev = false;
+  for (const SamplePoint& p : samples_) {
+    for (const auto& [k, v] : p.values) {
+      if (k != key) continue;
+      if (have_prev) out.emplace_back(p.ts, v - prev);
+      prev = v;
+      have_prev = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace whisper::telemetry

@@ -1,0 +1,27 @@
+#include "telemetry/trace.hpp"
+
+namespace whisper::telemetry {
+
+void Tracer::push(TraceEvent ev) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::complete(std::string name, std::string category, std::uint64_t tid,
+                      std::uint64_t ts, std::uint64_t dur,
+                      std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  push(TraceEvent{std::move(name), std::move(category), 'X', ts, dur, tid, std::move(args)});
+}
+
+void Tracer::instant(std::string name, std::string category, std::uint64_t tid,
+                     std::uint64_t ts,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  push(TraceEvent{std::move(name), std::move(category), 'i', ts, 0, tid, std::move(args)});
+}
+
+}  // namespace whisper::telemetry

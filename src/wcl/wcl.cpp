@@ -48,10 +48,18 @@ std::optional<RemotePeer> RemotePeer::deserialize(Reader& r) {
 }
 
 Wcl::Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& keys,
-         nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng)
+         nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng,
+         telemetry::Scope telemetry)
     : sim_(sim), transport_(transport), keys_(keys), pss_(pss), cpu_(cpu), config_(config),
       rng_(rng), drbg_(rng_.next_u64()), cb_(config.cb_capacity),
-      next_msg_id_(transport.self().value << 20) {
+      next_msg_id_(transport.self().value << 20), tel_(telemetry),
+      m_first_try_(tel_.counter("wcl.sends.first_try")),
+      m_alternative_(tel_.counter("wcl.sends.alternative")),
+      m_no_alternative_(tel_.counter("wcl.sends.no_alternative")),
+      m_forwarded_(tel_.counter("wcl.onions.forwarded")),
+      m_delivered_(tel_.counter("wcl.onions.delivered")),
+      m_forward_failures_(tel_.counter("wcl.forward.failures")),
+      m_backlog_depth_(tel_.gauge("wcl.backlog.depth", {{"node", tel_.node_label()}})) {
   transport_.register_handler(nylon::kTagWcl,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
 }
@@ -66,6 +74,7 @@ void Wcl::on_gossip_exchange(const pss::ContactCard& partner) {
   auto key = keys_.key_of(partner.id);
   if (!key) return;  // key not piggybacked yet; the next exchange will carry it
   cb_.push(CbEntry{partner, *key});
+  m_backlog_depth_.set(static_cast<double>(cb_.size()));
   ensure_pi();
 }
 
@@ -83,6 +92,7 @@ void Wcl::ensure_pi() {
       pnode_fetches_.erase(card.id);
       if (key) {
         cb_.push(CbEntry{card, *key});
+        m_backlog_depth_.set(static_cast<double>(cb_.size()));
       } else {
         ensure_pi();  // try another candidate
       }
@@ -121,6 +131,8 @@ bool Wcl::send_confidential(const RemotePeer& dest, BytesView payload, SendCallb
     const NodeId dest_id = it->second.dest.card.id;
     pending_sends_.erase(it);
     ++stats_.no_alternative;
+    m_no_alternative_.add(1);
+    tel_.instant("wcl.send.no_path", "wcl", sim_.now());
     if (outcome_probe) outcome_probe(dest_id, SendOutcome::kNoAlternative);
     if (cb) cb(SendOutcome::kNoAlternative);
     return false;
@@ -223,6 +235,10 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
   cpu_.charge(sim::CpuCategory::kRsaEncrypt, [&] {
     packet.header = crypto::onion_build_header(path, keys, drbg_);
   });
+  // The build occupies the virtual clock for `crypto_time`; emit the span
+  // with that charged duration (RAII would see zero virtual elapsed time).
+  tel_.complete("wcl.onion.build", "wcl", sim_.now(), crypto_time,
+                {{"hops", std::to_string(path.size())}});
 
   Writer w;
   w.u8(kKindOnion);
@@ -255,12 +271,15 @@ void Wcl::finish(std::uint64_t msg_id, SendOutcome outcome) {
   switch (outcome) {
     case SendOutcome::kSuccessFirstTry:
       ++stats_.first_try_success;
+      m_first_try_.add(1);
       break;
     case SendOutcome::kSuccessAlternative:
       ++stats_.alternative_success;
+      m_alternative_.add(1);
       break;
     case SendOutcome::kNoAlternative:
       ++stats_.no_alternative;
+      m_no_alternative_.add(1);
       break;
   }
   if (cb) cb(outcome);
@@ -355,6 +374,8 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
       return;
     }
     ++stats_.onions_delivered;
+    m_delivered_.add(1);
+    tel_.complete("wcl.onion.open", "wcl", sim_.now(), crypto_time);
     // Deliver (and ack) after the measured decryption time has elapsed on
     // the virtual clock.
     sim_.schedule_after(crypto_time,
@@ -393,6 +414,7 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
   }
 
   const NodeId next_hop = peel->next_hop;
+  tel_.complete("wcl.onion.relay", "wcl", sim_.now(), crypto_time);
   sim_.schedule_after(
       crypto_time,
       [this, predecessor, msg_id, next_hop, next_card, data = std::move(w).take()] {
@@ -402,12 +424,14 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
                 : transport_.send_by_id(next_hop, nylon::kTagWcl, data, sim::Proto::kWcl);
         if (!sent) {
           ++stats_.forward_failures;
+          m_forward_failures_.add(1);
           send_signal(predecessor, /*success=*/false, msg_id);
           return;
         }
         pending_forwards_[msg_id] =
             PendingForward{predecessor, sim_.now() + config_.pending_forward_ttl};
         ++stats_.onions_forwarded;
+        m_forwarded_.add(1);
       });
 }
 

@@ -26,6 +26,7 @@
 #include "nylon/pss.hpp"
 #include "nylon/transport.hpp"
 #include "sim/cpumeter.hpp"
+#include "telemetry/scope.hpp"
 #include "wcl/backlog.hpp"
 
 namespace whisper::wcl {
@@ -85,7 +86,8 @@ struct WclConfig {
 class Wcl {
  public:
   Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& keys,
-      nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng);
+      nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng,
+      telemetry::Scope telemetry = {});
   ~Wcl();
 
   Wcl(const Wcl&) = delete;
@@ -176,6 +178,15 @@ class Wcl {
   std::unordered_set<NodeId> pnode_fetches_;
 
   Stats stats_;
+
+  telemetry::Scope tel_;
+  telemetry::Counter& m_first_try_;
+  telemetry::Counter& m_alternative_;
+  telemetry::Counter& m_no_alternative_;
+  telemetry::Counter& m_forwarded_;
+  telemetry::Counter& m_delivered_;
+  telemetry::Counter& m_forward_failures_;
+  telemetry::Gauge& m_backlog_depth_;
 };
 
 }  // namespace whisper::wcl

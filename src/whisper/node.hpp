@@ -17,6 +17,7 @@
 #include "nylon/transport.hpp"
 #include "ppss/ppss.hpp"
 #include "sim/cpumeter.hpp"
+#include "telemetry/scope.hpp"
 #include "wcl/wcl.hpp"
 
 namespace whisper {
@@ -33,8 +34,11 @@ struct NodeConfig {
 class WhisperNode {
  public:
   /// `keypair` must outlive the node (typically from the key pool).
+  /// `sinks` (optional) routes every layer's metrics/trace events into the
+  /// testbed's registry and tracer, on this node's timeline.
   WhisperNode(sim::Simulator& sim, sim::Network& net, NodeId id, Endpoint internal_ep,
-              bool is_public, const crypto::RsaKeyPair& keypair, NodeConfig config, Rng rng);
+              bool is_public, const crypto::RsaKeyPair& keypair, NodeConfig config, Rng rng,
+              telemetry::Sinks sinks = {});
   ~WhisperNode();
 
   WhisperNode(const WhisperNode&) = delete;
@@ -75,6 +79,7 @@ class WhisperNode {
   const crypto::RsaKeyPair& keypair_;
   NodeConfig config_;
   Rng rng_;
+  telemetry::Scope tel_;
   sim::CpuMeter cpu_;
   nylon::Transport transport_;
   nylon::NylonPss pss_;

@@ -7,11 +7,24 @@
 namespace whisper {
 
 WhisperTestbed::WhisperTestbed(TestbedConfig config)
-    : config_(std::move(config)), rng_(config_.seed), sim_(config_.seed ^ 0x5eed) {
+    : config_(std::move(config)), rng_(config_.seed), sim_(config_.seed ^ 0x5eed),
+      recorder_(registry_) {
+  sim_.attach_telemetry(registry_);
+  tracer_.set_clock([this] { return sim_.now(); });
+  tracer_.set_enabled(config_.trace);
   fabric_ = std::make_unique<nat::NatFabric>(sim_);
-  net_ = std::make_unique<sim::Network>(sim_, sim::make_latency_model(config_.latency));
+  net_ = std::make_unique<sim::Network>(sim_, sim::make_latency_model(config_.latency),
+                                        &registry_);
   net_->set_translator(fabric_.get());
+  if (config_.telemetry_sample_every > 0) schedule_telemetry_sample();
   for (std::size_t i = 0; i < config_.initial_nodes; ++i) spawn_node();
+}
+
+void WhisperTestbed::schedule_telemetry_sample() {
+  sim_.schedule_after(config_.telemetry_sample_every, [this] {
+    recorder_.sample(sim_.now());
+    schedule_telemetry_sample();
+  });
 }
 
 WhisperNode& WhisperTestbed::spawn_node() {
@@ -29,7 +42,7 @@ WhisperNode& WhisperTestbed::spawn_node() {
   auto node = std::make_unique<WhisperNode>(sim_, *net_, id, ep, is_public,
                                             pooled_keypair(next_key_index_++,
                                                            config_.node.rsa_bits),
-                                            config_.node, rng_.fork());
+                                            config_.node, rng_.fork(), sinks());
 
   // Bootstrap contacts: a random sample of live nodes, always including at
   // least one public node (required as a relay for N-nodes).

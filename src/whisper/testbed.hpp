@@ -13,6 +13,8 @@
 #include "nat/nat.hpp"
 #include "pss/metrics.hpp"
 #include "sim/network.hpp"
+#include "telemetry/timeseries.hpp"
+#include "telemetry/trace.hpp"
 #include "whisper/node.hpp"
 
 namespace whisper {
@@ -25,6 +27,12 @@ struct TestbedConfig {
   std::uint64_t seed = 42;
   /// How many existing node cards a booting node receives.
   std::size_t bootstrap_contacts = 5;
+  /// Record trace events (spans/instants) on the tracer. Metrics are always
+  /// on; tracing is opt-in because event buffers grow with run length.
+  bool trace = false;
+  /// Snapshot every registry metric into the time-series recorder at this
+  /// virtual-time interval (0 = no sampling).
+  sim::Time telemetry_sample_every = 0;
 };
 
 class WhisperTestbed {
@@ -65,10 +73,23 @@ class WhisperTestbed {
   /// Pick a random live node.
   WhisperNode* random_node();
 
+  // --- Telemetry. ---
+  telemetry::Registry& registry() { return registry_; }
+  const telemetry::Registry& registry() const { return registry_; }
+  telemetry::Tracer& tracer() { return tracer_; }
+  telemetry::TimeSeriesRecorder& recorder() { return recorder_; }
+  /// The sinks handed to every spawned node.
+  telemetry::Sinks sinks() { return telemetry::Sinks{&registry_, &tracer_}; }
+
  private:
+  void schedule_telemetry_sample();
+
   TestbedConfig config_;
   Rng rng_;
   sim::Simulator sim_;
+  telemetry::Registry registry_;
+  telemetry::Tracer tracer_;
+  telemetry::TimeSeriesRecorder recorder_;
   std::unique_ptr<nat::NatFabric> fabric_;
   std::unique_ptr<sim::Network> net_;
   std::vector<std::unique_ptr<WhisperNode>> nodes_;  // includes stopped ones

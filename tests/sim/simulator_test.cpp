@@ -108,6 +108,53 @@ TEST(Simulator, PendingEventsExcludesCancelled) {
   EXPECT_EQ(s.pending_events(), 1u);
 }
 
+// Regression: cancelling an id that already fired used to park the id in
+// the cancelled set forever, making pending_events() under-count every
+// event scheduled afterwards (queue size minus a stale cancelled count).
+TEST(Simulator, CancelOfFiredIdDoesNotSkewPendingCount) {
+  Simulator s;
+  TimerId id = s.schedule_at(10, [] {});
+  s.run();
+  s.cancel(id);  // already fired: must be a no-op
+  EXPECT_EQ(s.cancelled_events(), 0u);
+  s.schedule_at(20, [] {});
+  s.schedule_at(30, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator s;
+  TimerId id = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  s.cancel(id);
+  s.cancel(id);  // second cancel of a live-then-cancelled id: no-op
+  EXPECT_EQ(s.cancelled_events(), 1u);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Simulator, CancelOfUnknownIdIsNoop) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.cancel(424242);  // never scheduled
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_EQ(s.cancelled_events(), 0u);
+}
+
+TEST(Simulator, TelemetryCountersTrackEventLoop) {
+  Simulator s;
+  telemetry::Registry reg;
+  s.attach_telemetry(reg);
+  s.schedule_at(10, [] {});
+  TimerId id = s.schedule_at(20, [] {});
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(reg.counter_value("sim.events.executed"), 1u);
+  EXPECT_EQ(reg.counter_value("sim.events.cancelled"), 1u);
+  EXPECT_EQ(reg.gauge_value("sim.queue.depth"), 0.0);
+}
+
 TEST(Simulator, PeriodicSelfRescheduling) {
   Simulator s;
   int fires = 0;

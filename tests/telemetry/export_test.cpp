@@ -1,0 +1,105 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace whisper::telemetry {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ExportJsonl, OneLinePerMetricWithLabels) {
+  Registry reg;
+  reg.counter("net.bytes", {{"dir", "up"}}).add(123);
+  reg.gauge("depth").set(2.5);
+  const std::string out = to_jsonl(reg);
+  std::istringstream in(out);
+  std::string line1, line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_EQ(line1, R"({"name":"depth","labels":{},"type":"gauge","value":2.5})");
+  EXPECT_EQ(line2,
+            R"({"name":"net.bytes","labels":{"dir":"up"},"type":"counter","value":123})");
+}
+
+TEST(ExportJsonl, HistogramLineCarriesDistribution) {
+  Registry reg;
+  Histogram& h = reg.histogram("rtt", BucketSpec::linear(0, 2, 2));
+  h.observe(1);
+  h.observe(2);
+  const std::string out = to_jsonl(reg);
+  EXPECT_NE(out.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(out.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"sum\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(out.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(out.find("\"bounds\":[0,1,2]"), std::string::npos);
+  EXPECT_NE(out.find("\"buckets\":[0,1,1,0]"), std::string::npos);
+}
+
+TEST(ExportJsonl, TimeSeriesRows) {
+  Registry reg;
+  reg.counter("c").add(4);
+  TimeSeriesRecorder rec(reg);
+  rec.sample(60'000'000);
+  const std::string out = to_jsonl(rec);
+  EXPECT_EQ(out, "{\"ts\":60000000,\"values\":{\"c\":4}}\n");
+}
+
+TEST(ExportChromeTrace, WellFormedEventObjects) {
+  Tracer t;
+  t.set_clock([] { return std::uint64_t{0}; });
+  t.set_enabled(true);
+  t.complete("pss.exchange", "pss", 3, 100, 250, {{"hops", "2"}});
+  t.instant("timeout", "wcl", 4, 500);
+  const std::string out = to_chrome_trace(t);
+  EXPECT_NE(out.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(
+      out.find(R"({"name":"pss.exchange","cat":"pss","ph":"X","ts":100,"dur":250,)"
+               R"("pid":1,"tid":3,"args":{"hops":"2"}})"),
+      std::string::npos);
+  // Instants carry thread scope, no dur.
+  EXPECT_NE(out.find(R"("ph":"i")"), std::string::npos);
+  EXPECT_NE(out.find(R"("s":"t")"), std::string::npos);
+  // Valid JSON shape: closes the array and the object.
+  EXPECT_EQ(out.substr(out.size() - 3), "]}\n");
+}
+
+TEST(ExportChromeTrace, EmptyTracerYieldsValidDocument) {
+  Tracer t;
+  EXPECT_EQ(to_chrome_trace(t), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+// Determinism: two identically-fed registries/tracers export byte-identical
+// documents (ordered iteration, fixed number formats). The full-stack
+// same-seed variant lives in tests/integration/telemetry_determinism_test.
+TEST(Export, ByteIdenticalAcrossIdenticalFeeds) {
+  auto feed = [] {
+    auto reg = std::make_unique<Registry>();
+    reg->counter("b.total", {{"node", "n3"}}).add(11);
+    reg->counter("a.total").add(7);
+    reg->histogram("h", BucketSpec::log_spaced(100, 1'000'000)).observe(1234);
+    reg->gauge("g").set(0.125);
+    return reg;
+  };
+  auto r1 = feed();
+  auto r2 = feed();
+  EXPECT_EQ(to_jsonl(*r1), to_jsonl(*r2));
+}
+
+TEST(Export, WriteTextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "whisper_export_test.json";
+  ASSERT_TRUE(write_text_file(path, "{\"ok\":1}\n"));
+  EXPECT_FALSE(write_text_file("/nonexistent-dir/x/y.json", "x"));
+}
+
+}  // namespace
+}  // namespace whisper::telemetry

@@ -1,0 +1,166 @@
+#include "telemetry/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace whisper::telemetry {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(BucketSpec, LogSpacedCoversRangeAscending) {
+  BucketSpec spec = BucketSpec::log_spaced(100, 1'000'000, 10);
+  ASSERT_FALSE(spec.bounds.empty());
+  // Bounds start at or below lo, end at or above hi, strictly ascending.
+  EXPECT_LE(spec.bounds.front(), 100.0);
+  EXPECT_GE(spec.bounds.back(), 1'000'000.0);
+  for (std::size_t i = 1; i < spec.bounds.size(); ++i) {
+    EXPECT_LT(spec.bounds[i - 1], spec.bounds[i]);
+  }
+  // 10 per decade over 4 decades: the ratio between consecutive bounds is
+  // 10^(1/10) everywhere.
+  const double ratio = std::pow(10.0, 0.1);
+  for (std::size_t i = 1; i < spec.bounds.size(); ++i) {
+    EXPECT_NEAR(spec.bounds[i] / spec.bounds[i - 1], ratio, 1e-9);
+  }
+}
+
+TEST(BucketSpec, LogSpacedIsReproducible) {
+  // Bit-identical across invocations (bounds derive from integer exponents,
+  // not accumulated multiplication).
+  BucketSpec a = BucketSpec::log_spaced(100, 20'000'000);
+  BucketSpec b = BucketSpec::log_spaced(100, 20'000'000);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BucketSpec, LinearLayout) {
+  BucketSpec spec = BucketSpec::linear(0, 10, 10);
+  ASSERT_EQ(spec.bounds.size(), 11u);  // 0,1,...,10
+  for (std::size_t i = 0; i < spec.bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(spec.bounds[i], static_cast<double>(i));
+  }
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h(BucketSpec::linear(0, 3, 3));  // bounds 0,1,2,3 + overflow
+  h.observe(0.0);   // bucket 0 (v <= 0)
+  h.observe(0.5);   // bucket 1 (0 < v <= 1)
+  h.observe(1.0);   // bucket 1 (upper bound inclusive)
+  h.observe(2.5);   // bucket 3
+  h.observe(99.0);  // overflow
+  const auto& counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 1u);  // overflow bucket
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, SummaryStats) {
+  Histogram h(BucketSpec::linear(0, 100, 10));
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(10);
+  h.observe(30);
+  h.observe_n(50, 2);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 140.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 35.0);
+}
+
+TEST(Histogram, PercentileMatchesExactSamplesWithinBucketWidth) {
+  // The contract: histogram percentiles agree with whisper::Samples
+  // order-statistic percentiles up to one bucket width.
+  BucketSpec spec = BucketSpec::log_spaced(100, 10'000'000, 10);
+  Histogram h(spec);
+  Samples exact;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    // Latency-shaped data spanning several decades.
+    const double v = 200.0 + static_cast<double>(rng.next_below(2'000'000));
+    h.observe(v);
+    exact.add(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double approx = h.percentile(p);
+    const double truth = exact.percentile(p);
+    // One log-spaced bucket is a factor of 10^(1/10) ~ 1.26 wide; allow one
+    // full bucket of slack either way.
+    EXPECT_LE(approx, truth * 1.26) << "p" << p;
+    EXPECT_GE(approx, truth / 1.26) << "p" << p;
+  }
+}
+
+TEST(Histogram, PercentileExtremesClampToMinMax) {
+  Histogram h(BucketSpec::linear(0, 1000, 10));
+  h.observe(250);
+  h.observe(450);
+  h.observe(650);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 650.0);
+  EXPECT_DOUBLE_EQ(Histogram(BucketSpec::linear(0, 1, 1)).percentile(50), 0.0);
+}
+
+TEST(Histogram, MergeRequiresIdenticalLayout) {
+  Histogram a(BucketSpec::linear(0, 10, 10));
+  Histogram b(BucketSpec::linear(0, 10, 10));
+  Histogram other(BucketSpec::linear(0, 20, 10));
+  a.observe(2);
+  b.observe(8);
+  b.observe(4);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  EXPECT_FALSE(a.merge(other));
+  EXPECT_EQ(a.count(), 3u);  // untouched on mismatch
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(BucketSpec::linear(0, 10, 10));
+  h.observe(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  for (auto c : h.bucket_counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(NoopSinks, AreSharedAndHarmless) {
+  Counter& c1 = noop_counter();
+  Counter& c2 = noop_counter();
+  EXPECT_EQ(&c1, &c2);
+  c1.add(5);  // accumulates garbage nobody reads; must not crash
+  noop_gauge().set(1.0);
+  noop_histogram().observe(42);
+}
+
+}  // namespace
+}  // namespace whisper::telemetry

@@ -1,0 +1,139 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/timeseries.hpp"
+
+namespace whisper::telemetry {
+namespace {
+
+TEST(MetricKey, UnlabeledIsBareName) {
+  EXPECT_EQ(metric_key("net.bytes", {}), "net.bytes");
+}
+
+TEST(MetricKey, LabelsAreSortedByKey) {
+  // Caller label order is irrelevant: both spellings address one metric.
+  EXPECT_EQ(metric_key("net.bytes", {{"proto", "pss"}, {"dir", "up"}}),
+            "net.bytes{dir=up,proto=pss}");
+  EXPECT_EQ(metric_key("net.bytes", {{"dir", "up"}, {"proto", "pss"}}),
+            "net.bytes{dir=up,proto=pss}");
+}
+
+TEST(Registry, GetOrCreateReturnsStableInstance) {
+  Registry reg;
+  Counter& a = reg.counter("x.total");
+  a.add(3);
+  Counter& b = reg.counter("x.total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.counter_value("x.total"), 3u);
+}
+
+TEST(Registry, LabelSetsAreDistinctInstances) {
+  Registry reg;
+  reg.counter("bytes", {{"dir", "up"}}).add(10);
+  reg.counter("bytes", {{"dir", "down"}}).add(4);
+  EXPECT_EQ(reg.counter_value("bytes", {{"dir", "up"}}), 10u);
+  EXPECT_EQ(reg.counter_value("bytes", {{"dir", "down"}}), 4u);
+  EXPECT_EQ(reg.counter_value("bytes"), 0u);  // unlabeled never created
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, CounterSumAggregatesAcrossLabelSetsOnly) {
+  Registry reg;
+  reg.counter("net.bytes", {{"proto", "pss"}}).add(7);
+  reg.counter("net.bytes", {{"proto", "wcl"}}).add(5);
+  reg.counter("net.bytes");  // unlabeled instance of the same name
+  reg.counter("net.bytes").add(1);
+  // Lexicographic neighbours with a different *name* must not be included.
+  reg.counter("net.bytes.total").add(100);
+  reg.counter("net.byte").add(100);
+  EXPECT_EQ(reg.counter_sum("net.bytes"), 13u);
+}
+
+TEST(Registry, KindMismatchYieldsNoopNotUb) {
+  Registry reg;
+  reg.counter("depth").add(2);
+  // Same key requested as a gauge: a naming bug. The caller gets a working
+  // (no-op) gauge, the real counter is untouched, and the mishap is counted.
+  Gauge& g = reg.gauge("depth");
+  g.set(99);
+  EXPECT_EQ(reg.counter_value("depth"), 2u);
+  EXPECT_EQ(reg.mismatches(), 1u);
+  EXPECT_EQ(&g, &noop_gauge());
+}
+
+TEST(Registry, HistogramRoundTrip) {
+  Registry reg;
+  Histogram& h = reg.histogram("rtt", BucketSpec::log_spaced(100, 1'000'000));
+  h.observe(500);
+  h.observe(1500);
+  const Histogram* found = reg.find_histogram("rtt");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count(), 2u);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+}
+
+TEST(Registry, EntriesIterateInCanonicalOrder) {
+  Registry reg;
+  // Created out of order; iteration must be sorted on the canonical key.
+  reg.counter("zeta");
+  reg.counter("alpha", {{"n", "2"}});
+  reg.counter("alpha", {{"n", "1"}});
+  std::vector<std::string> keys;
+  for (const auto& [key, entry] : reg.entries()) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha{n=1}", "alpha{n=2}", "zeta"}));
+}
+
+TEST(Registry, ResetByPrefix) {
+  Registry reg;
+  reg.counter("net.bytes").add(9);
+  reg.gauge("net.depth").set(3);
+  reg.counter("pss.exchanges").add(5);
+  reg.reset("net.");
+  EXPECT_EQ(reg.counter_value("net.bytes"), 0u);
+  EXPECT_EQ(reg.gauge_value("net.depth"), 0.0);
+  EXPECT_EQ(reg.counter_value("pss.exchanges"), 5u);  // untouched
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("pss.exchanges"), 0u);
+}
+
+TEST(TimeSeries, SamplesRegistryStateAtInstants) {
+  Registry reg;
+  TimeSeriesRecorder rec(reg);
+  Counter& c = reg.counter("net.bytes");
+  Gauge& g = reg.gauge("queue.depth");
+  c.add(10);
+  g.set(2);
+  rec.sample(1'000'000);
+  c.add(30);
+  g.set(5);
+  rec.sample(2'000'000);
+
+  ASSERT_EQ(rec.series().size(), 2u);
+  EXPECT_EQ(rec.series()[0].ts, 1'000'000u);
+  ASSERT_EQ(rec.series()[0].values.size(), 2u);
+  EXPECT_EQ(rec.series()[0].values[0].first, "net.bytes");
+  EXPECT_DOUBLE_EQ(rec.series()[0].values[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(rec.series()[1].values[0].second, 40.0);
+  EXPECT_DOUBLE_EQ(rec.series()[1].values[1].second, 5.0);
+
+  auto deltas = rec.deltas("net.bytes");
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].first, 2'000'000u);
+  EXPECT_DOUBLE_EQ(deltas[0].second, 30.0);
+}
+
+TEST(TimeSeries, PrefixFilterRestrictsColumns) {
+  Registry reg;
+  reg.counter("net.bytes").add(1);
+  reg.counter("pss.exchanges").add(1);
+  TimeSeriesRecorder rec(reg);
+  rec.set_prefix_filter({"pss."});
+  rec.sample(5);
+  ASSERT_EQ(rec.series().size(), 1u);
+  ASSERT_EQ(rec.series()[0].values.size(), 1u);
+  EXPECT_EQ(rec.series()[0].values[0].first, "pss.exchanges");
+}
+
+}  // namespace
+}  // namespace whisper::telemetry

@@ -1,0 +1,116 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/scope.hpp"
+
+namespace whisper::telemetry {
+namespace {
+
+TEST(Tracer, DisabledUntilClockAndEnableFlag) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.set_enabled(true);
+  EXPECT_FALSE(t.enabled());  // no clock yet
+  t.set_clock([] { return std::uint64_t{7}; });
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(t.now(), 7u);
+  t.set_enabled(false);
+  t.complete("x", "c", 1, 0, 5);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, RecordsCompleteAndInstantEvents) {
+  Tracer t;
+  t.set_clock([] { return std::uint64_t{0}; });
+  t.set_enabled(true);
+  t.complete("pss.exchange", "pss", 3, 100, 250, {{"hops", "2"}});
+  t.instant("timeout", "wcl", 4, 500);
+  ASSERT_EQ(t.events().size(), 2u);
+  const TraceEvent& x = t.events()[0];
+  EXPECT_EQ(x.name, "pss.exchange");
+  EXPECT_EQ(x.phase, 'X');
+  EXPECT_EQ(x.ts, 100u);
+  EXPECT_EQ(x.dur, 250u);
+  EXPECT_EQ(x.tid, 3u);
+  ASSERT_EQ(x.args.size(), 1u);
+  EXPECT_EQ(x.args[0].first, "hops");
+  const TraceEvent& i = t.events()[1];
+  EXPECT_EQ(i.phase, 'i');
+  EXPECT_EQ(i.ts, 500u);
+}
+
+TEST(Tracer, CapacityBoundsRetainedEvents) {
+  Tracer t;
+  t.set_clock([] { return std::uint64_t{0}; });
+  t.set_enabled(true);
+  t.set_capacity(3);
+  for (int i = 0; i < 5; ++i) t.instant("e", "c", 0, static_cast<std::uint64_t>(i));
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.dropped(), 2u);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Span, EmitsCompleteEventCoveringScope) {
+  Tracer t;
+  std::uint64_t clock = 1000;
+  t.set_clock([&clock] { return clock; });
+  t.set_enabled(true);
+  {
+    Span s(&t, "work", "test", 9);
+    s.annotate("k", "v");
+    clock = 1400;
+  }
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].ts, 1000u);
+  EXPECT_EQ(t.events()[0].dur, 400u);
+  EXPECT_EQ(t.events()[0].tid, 9u);
+  ASSERT_EQ(t.events()[0].args.size(), 1u);
+}
+
+TEST(Span, MovedFromSpanEmitsOnce) {
+  Tracer t;
+  t.set_clock([] { return std::uint64_t{0}; });
+  t.set_enabled(true);
+  {
+    Span a(&t, "once", "test", 1);
+    Span b = std::move(a);
+  }
+  EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(Span, NullOrDisabledTracerIsNoop) {
+  { Span s(nullptr, "x", "c", 0); }
+  Tracer off;
+  { Span s(&off, "x", "c", 0); }
+  EXPECT_TRUE(off.events().empty());
+}
+
+TEST(Scope, DisabledScopeHandsOutNoopSinks) {
+  Scope scope;  // default: no registry, no tracer
+  EXPECT_FALSE(scope.enabled());
+  EXPECT_FALSE(scope.tracing());
+  EXPECT_EQ(&scope.counter("a"), &noop_counter());
+  EXPECT_EQ(&scope.gauge("b"), &noop_gauge());
+  scope.complete("x", "c", 0, 1);  // must not crash
+  scope.instant("y", "c", 0);
+}
+
+TEST(Scope, RoutesToSinksWithNodeTimeline) {
+  Registry reg;
+  Tracer tracer;
+  tracer.set_clock([] { return std::uint64_t{50}; });
+  tracer.set_enabled(true);
+  Scope scope(Sinks{&reg, &tracer}, 17);
+  EXPECT_EQ(scope.node_label(), "n17");
+  scope.counter("hits").add(2);
+  EXPECT_EQ(reg.counter_value("hits"), 2u);
+  scope.complete("op", "cat", 10, 5);
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].tid, 17u);
+}
+
+}  // namespace
+}  // namespace whisper::telemetry

@@ -6,11 +6,19 @@
 //
 //   whisper_sim --nodes=300 --natted=0.7 --latency=cluster --pi=3
 //               --groups=10 --churn=1.0 --minutes=30 [--seed=42]
+//               [--trace=out.trace.json] [--metrics=out.jsonl]
+//               [--sample-secs=60]
+//
+// --trace dumps a Chrome trace-event file (load in Perfetto / about:tracing;
+// one timeline row per node, timestamps are virtual microseconds).
+// --metrics dumps the final metric registry as JSONL; with --sample-secs
+// the per-interval time series of every metric is appended too.
 #include <cstdio>
 #include <string>
 
 #include "churn/churn.hpp"
 #include "pss/metrics.hpp"
+#include "telemetry/export.hpp"
 #include "whisper/testbed.hpp"
 
 using namespace whisper;
@@ -49,6 +57,11 @@ int main(int argc, char** argv) {
   const std::size_t n_groups = static_cast<std::size_t>(arg_double(argc, argv, "groups", 0));
   const double churn_pct = arg_double(argc, argv, "churn", 0.0);
   const int minutes = static_cast<int>(arg_double(argc, argv, "minutes", 20));
+  const std::string trace_path = arg_string(argc, argv, "trace", "");
+  const std::string metrics_path = arg_string(argc, argv, "metrics", "");
+  const double sample_secs = arg_double(argc, argv, "sample-secs", 0);
+  cfg.trace = !trace_path.empty();
+  cfg.telemetry_sample_every = static_cast<sim::Time>(sample_secs * sim::kSecond);
 
   std::printf("whisper_sim: %zu nodes, %.0f%% natted, latency=%s, Pi=%zu, %zu groups, "
               "churn=%.1f%%/min, %d minutes, seed=%llu\n\n",
@@ -138,5 +151,26 @@ int main(int argc, char** argv) {
       pss::reachable_fraction(tb.overlay_snapshot(), tb.alive_nodes()[0]->id());
   std::printf("overlay reachability from %s: %.1f%%\n",
               tb.alive_nodes()[0]->id().str().c_str(), reach * 100.0);
+
+  if (!trace_path.empty()) {
+    if (telemetry::write_text_file(trace_path, telemetry::to_chrome_trace(tb.tracer()))) {
+      std::printf("trace: %zu events -> %s (%llu dropped)\n", tb.tracer().events().size(),
+                  trace_path.c_str(), static_cast<unsigned long long>(tb.tracer().dropped()));
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::string out = telemetry::to_jsonl(tb.registry());
+    if (cfg.telemetry_sample_every > 0) out += telemetry::to_jsonl(tb.recorder());
+    if (telemetry::write_text_file(metrics_path, out)) {
+      std::printf("metrics: %zu series -> %s\n", tb.registry().entries().size(),
+                  metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
