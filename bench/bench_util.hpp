@@ -1,8 +1,14 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "whisper/testbed.hpp"
 
@@ -15,26 +21,110 @@ inline void banner(const std::string& title, const std::string& paper_shape) {
   std::printf("==========================================================\n");
 }
 
-/// Parse "--nodes=200"-style overrides (small defaults keep CI fast; pass
-/// the paper-scale values to reproduce the original experiment sizes).
-inline std::size_t arg_size(int argc, char** argv, const std::string& key,
-                            std::size_t fallback) {
-  const std::string prefix = "--" + key + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) return static_cast<std::size_t>(std::stoull(arg.substr(prefix.size())));
-  }
-  return fallback;
-}
-
-inline std::string arg_str(int argc, char** argv, const std::string& key,
-                           const std::string& fallback) {
+/// Shared "--key=value" scanner backing arg_size/arg_str; returns the value
+/// of the first matching argument.
+inline std::optional<std::string> find_arg(int argc, char** argv, const std::string& key) {
   const std::string prefix = "--" + key + "=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
-  return fallback;
+  return std::nullopt;
+}
+
+/// Bare "--key" flag (no value), e.g. --quick.
+inline bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Parse "--nodes=200"-style overrides (small defaults keep CI fast; pass
+/// the paper-scale values to reproduce the original experiment sizes).
+/// Malformed values exit with a usage message instead of throwing.
+inline std::size_t arg_size(int argc, char** argv, const std::string& key,
+                            std::size_t fallback) {
+  const std::optional<std::string> value = find_arg(argc, argv, key);
+  if (!value) return fallback;
+  if (value->empty() || value->find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "usage: --%s=<non-negative integer>, got --%s=%s\n", key.c_str(),
+                 key.c_str(), value->c_str());
+    std::exit(2);
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(*value));
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "usage: --%s=<non-negative integer>, got --%s=%s (out of range)\n",
+                 key.c_str(), key.c_str(), value->c_str());
+    std::exit(2);
+  }
+}
+
+inline std::string arg_str(int argc, char** argv, const std::string& key,
+                           const std::string& fallback) {
+  return find_arg(argc, argv, key).value_or(fallback);
+}
+
+/// Minimal insertion-ordered JSON object builder for the machine-readable
+/// bench outputs (BENCH_*.json). Keys and string values are plain
+/// identifiers/paths, so no escaping is performed.
+class Json {
+ public:
+  Json& put(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  Json& put(const std::string& key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  Json& put(const std::string& key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  Json& put(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+  Json& put(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + v + "\"");
+    return *this;
+  }
+  Json& put(const std::string& key, const char* v) { return put(key, std::string(v)); }
+  Json& put(const std::string& key, const Json& v) {
+    fields_.emplace_back(key, v.dump(1));
+    return *this;
+  }
+
+  std::string dump(int depth = 0) const {
+    const std::string pad(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += pad + "\"" + fields_[i].first + "\": " + fields_[i].second;
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += std::string(static_cast<std::size_t>(depth) * 2, ' ') + "}";
+    return out;
+  }
+
+ private:
+  // (key, pre-rendered value); nested objects are re-indented via dump(1),
+  // which keeps two-level documents readable — deeper nesting would need
+  // real recursive indentation.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write a JSON document (trailing newline added). Returns success.
+inline bool write_json_file(const std::string& path, const Json& json) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json.dump() << "\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace whisper::bench

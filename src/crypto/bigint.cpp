@@ -120,25 +120,41 @@ BigInt BigInt::operator-(const BigInt& o) const {
 }
 
 BigInt BigInt::operator*(const BigInt& o) const {
-  if (limbs_.empty() || o.limbs_.empty()) return {};
-  std::vector<u64> out(limbs_.size() + o.limbs_.size(), 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+  BigInt out;
+  mul_into(*this, o, out);
+  return out;
+}
+
+void BigInt::mul_into(const BigInt& a, const BigInt& b, BigInt& out) {
+  assert(&out != &a && &out != &b);
+  if (a.limbs_.empty() || b.limbs_.empty()) {
+    out.limbs_.clear();
+    return;
+  }
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  std::vector<u64>& prod = out.limbs_;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
     u128 carry = 0;
-    const u64 a = limbs_[i];
-    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
-      u128 cur = static_cast<u128>(a) * o.limbs_[j] + out[i + j] + carry;
-      out[i + j] = static_cast<u64>(cur);
+    const u64 ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(ai) * b.limbs_[j] + prod[i + j] + carry;
+      prod[i + j] = static_cast<u64>(cur);
       carry = cur >> 64;
     }
-    std::size_t k = i + o.limbs_.size();
+    std::size_t k = i + b.limbs_.size();
     while (carry) {
-      u128 cur = static_cast<u128>(out[k]) + carry;
-      out[k] = static_cast<u64>(cur);
+      u128 cur = static_cast<u128>(prod[k]) + carry;
+      prod[k] = static_cast<u64>(cur);
       carry = cur >> 64;
       ++k;
     }
   }
-  return from_limbs(std::move(out));
+  out.trim();
+}
+
+void BigInt::mod_assign(const BigInt& m) {
+  if (compare(m) < 0) return;
+  *this = divmod(m).second;
 }
 
 BigInt BigInt::operator<<(std::size_t bits) const {
@@ -265,133 +281,156 @@ u64 BigInt::mod_u64(u64 m) const {
   return static_cast<u64>(rem);
 }
 
-namespace {
+MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : modulus_(modulus) {
+  assert(modulus.is_odd() && !modulus.is_zero());
+  n_ = modulus.limbs_;
+  const std::size_t k = n_.size();
+  // n' = -n[0]^{-1} mod 2^64, via Newton iteration.
+  u64 inv = n_[0];  // correct to 3 bits for odd n[0]
+  for (int i = 0; i < 5; ++i) inv *= 2 - n_[0] * inv;
+  n_prime_ = ~inv + 1;  // -inv
+  // R^2 mod n (one full-width division — the expensive precompute).
+  BigInt r = (BigInt{1} << (64 * k)) % modulus;
+  BigInt r2b;
+  BigInt::mul_into(r, r, r2b);
+  r2b.mod_assign(modulus);
+  r2_ = r2b.limbs_;
+  r2_.resize(k, 0);
+  // Montgomery form of 1: mul(1, R^2) = R mod n.
+  one_mont_.assign(k, 0);
+  std::vector<u64> one(k, 0);
+  one[0] = 1;
+  scratch_.assign(k + 2, 0);
+  mul(one.data(), r2_.data(), one_mont_.data());
+}
 
-// Montgomery context for an odd modulus n of `k` limbs.
-struct MontCtx {
-  std::vector<u64> n;   // modulus limbs
-  u64 n_prime;          // -n^{-1} mod 2^64
-  std::vector<u64> r2;  // R^2 mod n, R = 2^(64k)
+void MontgomeryCtx::mul(const u64* a, const u64* b, u64* out) const {
+  const std::size_t k = n_.size();
+  std::vector<u64>& t = scratch_;
+  std::fill(t.begin(), t.end(), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    u128 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = cur >> 64;
+    }
+    u128 cur = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(cur);
+    t[k + 1] = static_cast<u64>(cur >> 64);
 
-  explicit MontCtx(const BigInt& modulus) {
-    n = modulus.limbs();
-    // n_prime = -n[0]^{-1} mod 2^64, via Newton iteration.
-    u64 inv = n[0];  // correct to 3 bits for odd n[0]
-    for (int i = 0; i < 5; ++i) inv *= 2 - n[0] * inv;
-    n_prime = ~inv + 1;  // -inv
-    // R^2 mod n by repeated doubling: start from R mod n.
-    const std::size_t k = n.size();
-    BigInt r = (BigInt{1} << (64 * k)) % modulus;
-    BigInt r2b = (r * r) % modulus;
-    r2 = r2b.limbs();
-    r2.resize(k, 0);
+    // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+    const u64 m = t[0] * n_prime_;
+    carry = 0;
+    {
+      u128 c0 = static_cast<u128>(m) * n_[0] + t[0];
+      carry = c0 >> 64;
+    }
+    for (std::size_t j = 1; j < k; ++j) {
+      u128 c = static_cast<u128>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(c);
+      carry = c >> 64;
+    }
+    u128 c = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(c);
+    t[k] = t[k + 1] + static_cast<u64>(c >> 64);
+    t[k + 1] = 0;
   }
-
-  std::size_t k() const { return n.size(); }
-
-  // CIOS Montgomery multiplication: out = a*b*R^{-1} mod n.
-  // a, b, out are k-limb arrays (out may alias neither input).
-  void mul(const u64* a, const u64* b, u64* out) const {
-    const std::size_t k_ = n.size();
-    std::vector<u64> t(k_ + 2, 0);
-    for (std::size_t i = 0; i < k_; ++i) {
-      // t += a[i] * b
-      u128 carry = 0;
-      for (std::size_t j = 0; j < k_; ++j) {
-        u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
-        t[j] = static_cast<u64>(cur);
-        carry = cur >> 64;
+  // Conditional subtraction if t >= n.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
       }
-      u128 cur = static_cast<u128>(t[k_]) + carry;
-      t[k_] = static_cast<u64>(cur);
-      t[k_ + 1] = static_cast<u64>(cur >> 64);
-
-      // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
-      const u64 m = t[0] * n_prime;
-      carry = 0;
-      {
-        u128 c0 = static_cast<u128>(m) * n[0] + t[0];
-        carry = c0 >> 64;
-      }
-      for (std::size_t j = 1; j < k_; ++j) {
-        u128 c = static_cast<u128>(m) * n[j] + t[j] + carry;
-        t[j - 1] = static_cast<u64>(c);
-        carry = c >> 64;
-      }
-      u128 c = static_cast<u128>(t[k_]) + carry;
-      t[k_ - 1] = static_cast<u64>(c);
-      t[k_] = t[k_ + 1] + static_cast<u64>(c >> 64);
-      t[k_ + 1] = 0;
-    }
-    // Conditional subtraction if t >= n.
-    bool ge = t[k_] != 0;
-    if (!ge) {
-      ge = true;
-      for (std::size_t i = k_; i-- > 0;) {
-        if (t[i] != n[i]) {
-          ge = t[i] > n[i];
-          break;
-        }
-      }
-    }
-    if (ge) {
-      u64 borrow = 0;
-      for (std::size_t i = 0; i < k_; ++i) {
-        const u64 lhs = t[i];
-        u64 diff = lhs - n[i];
-        u64 b = lhs < n[i] ? 1 : 0;
-        const u64 diff2 = diff - borrow;
-        b |= diff < borrow ? 1 : 0;
-        out[i] = diff2;
-        borrow = b;
-      }
-    } else {
-      for (std::size_t i = 0; i < k_; ++i) out[i] = t[i];
     }
   }
-};
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const u64 lhs = t[i];
+      u64 diff = lhs - n_[i];
+      u64 b2 = lhs < n_[i] ? 1 : 0;
+      const u64 diff2 = diff - borrow;
+      b2 |= diff < borrow ? 1 : 0;
+      out[i] = diff2;
+      borrow = b2;
+    }
+  } else {
+    for (std::size_t i = 0; i < k; ++i) out[i] = t[i];
+  }
+}
 
-}  // namespace
-
-BigInt BigInt::modexp(const BigInt& exp, const BigInt& m) const {
-  assert(m.is_odd() && !m.is_zero());
-  if (m.is_one()) return {};
-  const MontCtx ctx(m);
-  const std::size_t k = ctx.k();
+BigInt MontgomeryCtx::modexp(const BigInt& base, const BigInt& exp) const {
+  if (modulus_.is_one()) return {};
+  const std::size_t k = n_.size();
 
   // base (reduced) in Montgomery form.
-  BigInt base = *this % m;
+  BigInt b = base;
+  b.mod_assign(modulus_);
   std::vector<u64> x(k, 0);
   {
-    std::vector<u64> b = base.limbs();
-    b.resize(k, 0);
-    ctx.mul(b.data(), ctx.r2.data(), x.data());  // x = base * R mod n
+    std::vector<u64> breg = b.limbs_;
+    breg.resize(k, 0);
+    mul(breg.data(), r2_.data(), x.data());  // x = base * R mod n
   }
 
-  // acc = 1 in Montgomery form = R mod n.
-  std::vector<u64> acc(k, 0);
-  {
-    std::vector<u64> one(k, 0);
-    one[0] = 1;
-    ctx.mul(one.data(), ctx.r2.data(), acc.data());
-  }
-
+  std::vector<u64> acc = one_mont_;  // acc = 1 in Montgomery form
   std::vector<u64> tmp(k, 0);
   const std::size_t bits = exp.bit_length();
-  for (std::size_t i = bits; i-- > 0;) {
-    ctx.mul(acc.data(), acc.data(), tmp.data());
-    std::swap(acc, tmp);
-    if (exp.bit(i)) {
-      ctx.mul(acc.data(), x.data(), tmp.data());
+
+  if (bits <= 20) {
+    // Short exponents (RSA public e = 65537): plain left-to-right binary;
+    // a window table's 14 extra multiplies would outweigh the savings.
+    for (std::size_t i = bits; i-- > 0;) {
+      mul(acc.data(), acc.data(), tmp.data());
       std::swap(acc, tmp);
+      if (exp.bit(i)) {
+        mul(acc.data(), x.data(), tmp.data());
+        std::swap(acc, tmp);
+      }
+    }
+  } else {
+    // Fixed 4-bit windows: table[w] = base^w in Montgomery form.
+    std::vector<u64> table(16 * k, 0);
+    std::copy(one_mont_.begin(), one_mont_.end(), table.begin());
+    std::copy(x.begin(), x.end(), table.begin() + static_cast<std::ptrdiff_t>(k));
+    for (std::size_t w = 2; w < 16; ++w) {
+      mul(&table[(w - 1) * k], x.data(), &table[w * k]);
+    }
+    const std::size_t windows = (bits + 3) / 4;
+    for (std::size_t w = windows; w-- > 0;) {
+      if (w + 1 != windows) {
+        for (int s = 0; s < 4; ++s) {
+          mul(acc.data(), acc.data(), tmp.data());
+          std::swap(acc, tmp);
+        }
+      }
+      unsigned win = 0;
+      for (int bit_idx = 3; bit_idx >= 0; --bit_idx) {
+        win = (win << 1) | static_cast<unsigned>(exp.bit(4 * w + static_cast<std::size_t>(bit_idx)));
+      }
+      if (win != 0) {
+        mul(acc.data(), &table[win * k], tmp.data());
+        std::swap(acc, tmp);
+      }
     }
   }
 
   // Convert out of Montgomery form: acc * 1 * R^{-1}.
   std::vector<u64> one(k, 0);
   one[0] = 1;
-  ctx.mul(acc.data(), one.data(), tmp.data());
-  return from_limbs(std::move(tmp));
+  mul(acc.data(), one.data(), tmp.data());
+  return BigInt::from_limbs(std::move(tmp));
+}
+
+BigInt BigInt::modexp(const BigInt& exp, const BigInt& m) const {
+  assert(m.is_odd() && !m.is_zero());
+  if (m.is_one()) return {};
+  return MontgomeryCtx(m).modexp(*this, exp);
 }
 
 BigInt BigInt::modinv(const BigInt& m) const {

@@ -69,13 +69,71 @@ class BigInt {
 
   static BigInt gcd(BigInt a, BigInt b);
 
+  /// In-place product: out = a * b, reusing out's limb storage (no
+  /// allocation once its capacity suffices). out must not alias a or b.
+  static void mul_into(const BigInt& a, const BigInt& b, BigInt& out);
+
+  /// In-place reduction: *this %= m. Values already below m return without
+  /// touching storage, so tight multiply-reduce loops can call this
+  /// unconditionally.
+  void mod_assign(const BigInt& m);
+
   const std::vector<std::uint64_t>& limbs() const { return limbs_; }
 
  private:
+  friend class MontgomeryCtx;
+
   void trim();
   static BigInt from_limbs(std::vector<std::uint64_t> limbs);
 
   std::vector<std::uint64_t> limbs_;
+};
+
+/// Reusable Montgomery machinery for one odd modulus.
+///
+/// Construction precomputes the CIOS constants (n', R^2 mod n, R mod n),
+/// which cost a full-width division — by far the most expensive part of a
+/// from-scratch modexp call. Callers that repeatedly exponentiate against
+/// the same modulus (every RSA operation on a given key) should build one
+/// context per modulus and reuse it; `RsaPublicKey::mont()` and
+/// `RsaKeyPair::mont_p()/mont_q()` cache exactly that.
+///
+/// modexp() uses fixed 4-bit windows: a 16-entry power table is built per
+/// call (it depends on the base), then the main loop does 4 squarings plus
+/// at most one table multiply per window. The inner loop runs entirely on
+/// preallocated limb buffers — the CIOS accumulator is a context-owned
+/// scratch vector, so no limb storage is allocated per multiplication.
+/// Results are bit-identical to the square-and-multiply path: both compute
+/// plain (base ^ exp) mod n.
+///
+/// Thread-compatible, not thread-safe: the shared scratch buffer means one
+/// context must not be used from two threads at once (the simulator is
+/// single-threaded throughout).
+class MontgomeryCtx {
+ public:
+  /// `modulus` must be odd and non-zero.
+  explicit MontgomeryCtx(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+  std::size_t limb_count() const { return n_.size(); }
+
+  /// (base ^ exp) mod modulus. Fixed-window for large exponents, plain
+  /// left-to-right binary for short ones (e.g. e = 65537), where building
+  /// the window table would cost more than it saves.
+  BigInt modexp(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  /// CIOS Montgomery multiplication: out = a*b*R^{-1} mod n on raw k-limb
+  /// buffers. Uses the context scratch; out may alias a or b (all reads of
+  /// a/b happen before out is written).
+  void mul(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out) const;
+
+  BigInt modulus_;
+  std::vector<std::uint64_t> n_;         // modulus limbs
+  std::uint64_t n_prime_ = 0;            // -n^{-1} mod 2^64
+  std::vector<std::uint64_t> r2_;        // R^2 mod n, R = 2^(64k)
+  std::vector<std::uint64_t> one_mont_;  // R mod n = Montgomery form of 1
+  mutable std::vector<std::uint64_t> scratch_;  // CIOS accumulator, reused
 };
 
 }  // namespace whisper::crypto

@@ -47,8 +47,11 @@ bool is_probable_prime(const BigInt& n, Drbg& drbg, int rounds) {
     BigInt x = a.modexp(d, n);
     if (x.is_one() || x == n_minus_1) continue;
     bool composite = true;
+    BigInt sq;
     for (std::size_t i = 0; i + 1 < r; ++i) {
-      x = (x * x) % n;
+      BigInt::mul_into(x, x, sq);
+      sq.mod_assign(n);
+      std::swap(x, sq);
       if (x == n_minus_1) {
         composite = false;
         break;
@@ -89,8 +92,49 @@ RsaKeyPair RsaKeyPair::generate(std::size_t bits, Drbg& drbg) {
     if (BigInt::gcd(e, phi) != BigInt{1}) continue;
     const BigInt d = e.modinv(phi);
     if (d.is_zero()) continue;
-    return RsaKeyPair{RsaPublicKey{n, e}, d};
+    RsaKeyPair key{RsaPublicKey{n, e}, d};
+    key.p = p;
+    key.q = q;
+    key.dp = d % (p - BigInt{1});
+    key.dq = d % (q - BigInt{1});
+    key.qinv = q.modinv(p);
+    return key;
   }
+}
+
+const MontgomeryCtx& RsaPublicKey::mont() const {
+  if (!mont_cache) mont_cache = std::make_shared<const MontgomeryCtx>(n);
+  return *mont_cache;
+}
+
+const MontgomeryCtx& RsaKeyPair::mont_p() const {
+  if (!mont_p_cache) mont_p_cache = std::make_shared<const MontgomeryCtx>(p);
+  return *mont_p_cache;
+}
+
+const MontgomeryCtx& RsaKeyPair::mont_q() const {
+  if (!mont_q_cache) mont_q_cache = std::make_shared<const MontgomeryCtx>(q);
+  return *mont_q_cache;
+}
+
+void RsaKeyPair::warm_cache() const {
+  pub.mont();
+  if (has_crt()) {
+    mont_p();
+    mont_q();
+  }
+}
+
+BigInt rsa_private_op(const RsaKeyPair& key, const BigInt& c) {
+  if (!key.has_crt()) return c.modexp(key.d, key.pub.n);
+  // Two half-size exponentiations (modexp reduces the base internally)...
+  const BigInt m1 = key.mont_p().modexp(c, key.dp);
+  const BigInt m2 = key.mont_q().modexp(c, key.dq);
+  // ...recombined with Garner: m = m2 + q * (qinv * (m1 - m2) mod p).
+  BigInt diff = (m1 + key.p) - m2 % key.p;  // keep the subtraction non-negative
+  diff.mod_assign(key.p);
+  const BigInt h = (key.qinv * diff) % key.p;
+  return m2 + h * key.q;
 }
 
 Bytes RsaPublicKey::serialize() const {
@@ -125,16 +169,17 @@ Bytes rsa_encrypt(const RsaPublicKey& pub, BytesView msg, Drbg& drbg) {
   Bytes block(k, 0);
   block[1] = 0x02;
   const std::size_t ps_len = k - 3 - msg.size();
+  // Batch-fill the PS region, then resample only the (rare) zero bytes:
+  // PKCS#1 requires every padding byte to be nonzero.
+  drbg.fill(block.data() + 2, ps_len);
   for (std::size_t i = 0; i < ps_len; ++i) {
-    std::uint8_t b = 0;
-    while (b == 0) drbg.fill(&b, 1);
-    block[2 + i] = b;
+    while (block[2 + i] == 0) drbg.fill(&block[2 + i], 1);
   }
   block[2 + ps_len] = 0x00;
   std::copy(msg.begin(), msg.end(), block.begin() + static_cast<std::ptrdiff_t>(3 + ps_len));
 
   const BigInt m = BigInt::from_bytes(block);
-  const BigInt c = m.modexp(pub.e, pub.n);
+  const BigInt c = pub.mont().modexp(m, pub.e);
   return c.to_bytes_padded(k);
 }
 
@@ -143,7 +188,7 @@ std::optional<Bytes> rsa_decrypt(const RsaKeyPair& key, BytesView ciphertext) {
   if (ciphertext.size() != k) return std::nullopt;
   const BigInt c = BigInt::from_bytes(ciphertext);
   if (c >= key.pub.n) return std::nullopt;
-  const BigInt m = c.modexp(key.d, key.pub.n);
+  const BigInt m = rsa_private_op(key, c);
   const Bytes block = m.to_bytes_padded(k);
   if (block[0] != 0x00 || block[1] != 0x02) return std::nullopt;
   std::size_t i = 2;
@@ -162,7 +207,7 @@ Bytes rsa_sign(const RsaKeyPair& key, BytesView msg) {
   block[k - 33] = 0x00;
   std::copy(digest.begin(), digest.end(), block.begin() + static_cast<std::ptrdiff_t>(k - 32));
   const BigInt m = BigInt::from_bytes(block);
-  const BigInt s = m.modexp(key.d, key.pub.n);
+  const BigInt s = rsa_private_op(key, m);
   return s.to_bytes_padded(k);
 }
 
@@ -171,7 +216,7 @@ bool rsa_verify(const RsaPublicKey& pub, BytesView msg, BytesView signature) {
   if (signature.size() != k || k < 35) return false;
   const BigInt s = BigInt::from_bytes(signature);
   if (s >= pub.n) return false;
-  const BigInt m = s.modexp(pub.e, pub.n);
+  const BigInt m = pub.mont().modexp(s, pub.e);
   const Bytes block = m.to_bytes_padded(k);
   if (block[0] != 0x00 || block[1] != 0x01) return false;
   for (std::size_t i = 2; i < k - 33; ++i) {

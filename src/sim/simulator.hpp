@@ -7,8 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -24,11 +22,19 @@ inline constexpr Time kMillisecond = 1000;
 inline constexpr Time kSecond = 1'000'000;
 inline constexpr Time kMinute = 60 * kSecond;
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Encodes (generation << 32 |
+/// slot); generations start at 1, so a valid id is never 0 — protocol code
+/// uses 0 as a "no timer armed" sentinel.
 using TimerId = std::uint64_t;
 
 /// Event-loop with a virtual clock. Events scheduled for the same instant
 /// fire in scheduling order (stable), which keeps runs deterministic.
+///
+/// Cancellation bookkeeping is a slot/generation scheme rather than hash
+/// sets: each pending event owns a slot in a pooled table, and its TimerId
+/// carries the slot's generation at scheduling time. cancel() is an O(1)
+/// array probe (the heap entry is dropped lazily when it surfaces), step()
+/// is pure O(log n) heap work — no hashing on either path.
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
@@ -50,7 +56,7 @@ class Simulator {
   /// Run until the event queue drains.
   void run();
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return live_count_; }
   std::uint64_t executed_events() const { return executed_; }
   std::uint64_t cancelled_events() const { return cancelled_total_; }
 
@@ -67,6 +73,8 @@ class Simulator {
     TimerId id;
     std::function<void()> fn;
   };
+  /// Min-heap order on (at, seq) for std::push_heap/pop_heap (which build
+  /// max-heaps, hence the inverted comparison).
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -74,17 +82,34 @@ class Simulator {
     }
   };
 
+  /// One entry per event slot. `gen` is bumped every time the slot retires
+  /// (fire or cancel), so TimerIds minted for earlier occupants go stale.
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  static TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<TimerId>(gen) << 32) | slot;
+  }
+
+  std::uint32_t claim_slot();
+  /// Free a slot and invalidate outstanding ids for it.
+  void retire_slot(std::uint32_t slot);
+  /// True if `id` no longer names a pending event (fired/cancelled/unknown).
+  bool stale(TimerId id) const;
+  /// Drop cancelled entries sitting at the heap front so callers can trust
+  /// events_.front() to be a pending event.
+  void drop_stale_front();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_total_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids still in the queue. cancel() consults this so a cancel of an
-  // already-fired (or never-scheduled) id cannot linger in `cancelled_`
-  // and skew pending_events().
-  std::unordered_set<TimerId> live_ids_;
-  std::unordered_set<TimerId> cancelled_;
+  std::vector<Event> events_;  // binary heap, storage reserved up front
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
   Rng rng_;
   telemetry::Counter* executed_counter_ = nullptr;
   telemetry::Counter* cancelled_counter_ = nullptr;

@@ -14,6 +14,9 @@ const crypto::RsaKeyPair& pooled_keypair(std::size_t idx, std::size_t bits) {
     // Seed derived from (bits, index) so pools are stable across runs.
     crypto::Drbg drbg(0x57A7 + bits * 1'000'003 + pool.size());
     pool.push_back(crypto::RsaKeyPair::generate(bits, drbg));
+    // CRT params are computed by generate(); warm the Montgomery caches too,
+    // so every copy of a pooled key (node cards, onion hops) shares them.
+    pool.back().warm_cache();
   }
   return pool[idx];
 }

@@ -155,6 +155,88 @@ TEST(Simulator, TelemetryCountersTrackEventLoop) {
   EXPECT_EQ(reg.gauge_value("sim.queue.depth"), 0.0);
 }
 
+// --- Slot/generation bookkeeping (the hash-set-free cancel scheme). ---
+
+TEST(Simulator, TimerIdsAreNeverZero) {
+  // Protocol code uses TimerId 0 as a "no timer armed" sentinel; a real id
+  // equal to 0 would make that timer uncancellable.
+  Simulator s;
+  for (int i = 0; i < 100; ++i) EXPECT_NE(s.schedule_at(1, [] {}), 0u);
+}
+
+TEST(Simulator, StaleCancelOfRecycledSlotIsNoop) {
+  // Cancel an id whose slot has since been recycled for a newer event: the
+  // generation check must protect the new occupant.
+  Simulator s;
+  TimerId old_id = s.schedule_at(10, [] {});
+  s.cancel(old_id);
+  bool ran = false;
+  TimerId new_id = s.schedule_at(20, [&] { ran = true; });  // may reuse the slot
+  s.cancel(old_id);  // stale: must not cancel the new event
+  EXPECT_EQ(s.cancelled_events(), 1u);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_TRUE(ran);
+  s.cancel(new_id);  // fired: no-op
+  EXPECT_EQ(s.cancelled_events(), 1u);
+}
+
+TEST(Simulator, SlotReuseKeepsCountsExact) {
+  // Hammer schedule/cancel/fire so slots recycle many times; every counter
+  // must stay exact (this is the regression net for the slot-generation
+  // rewrite of the live/cancelled hash sets).
+  Simulator s;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  for (int round = 0; round < 50; ++round) {
+    TimerId keep = s.schedule_after(1, [&] { ++fired; });
+    TimerId drop = s.schedule_after(2, [&] { ++fired; });
+    EXPECT_EQ(s.pending_events(), 2u);
+    s.cancel(drop);
+    ++cancelled;
+    EXPECT_EQ(s.pending_events(), 1u);
+    s.run();
+    s.cancel(keep);   // already fired
+    s.cancel(drop);   // already cancelled
+    EXPECT_EQ(s.pending_events(), 0u);
+  }
+  EXPECT_EQ(fired, 50u);
+  EXPECT_EQ(s.executed_events(), 50u);
+  EXPECT_EQ(s.cancelled_events(), cancelled);
+}
+
+TEST(Simulator, RunUntilIgnoresCancelledHeadAndHoldsBoundary) {
+  // A cancelled event at the heap front inside the window must not drag a
+  // later-than-t event into run_until(t) (the pre-slot-rewrite loop peeked
+  // at the raw heap top and could overshoot).
+  Simulator s;
+  TimerId id = s.schedule_at(5, [] {});
+  bool late_ran = false;
+  s.schedule_at(100, [&] { late_ran = true; });
+  s.cancel(id);
+  s.run_until(10);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(s.now(), 10u);
+  s.run_until(100);
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulator, MassCancellation) {
+  Simulator s;
+  std::vector<TimerId> ids;
+  int ran = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(s.schedule_at(static_cast<Time>(i + 1), [&] { ++ran; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+  EXPECT_EQ(s.pending_events(), 500u);
+  s.run();
+  EXPECT_EQ(ran, 500);
+  EXPECT_EQ(s.executed_events(), 500u);
+  EXPECT_EQ(s.cancelled_events(), 500u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
 TEST(Simulator, PeriodicSelfRescheduling) {
   Simulator s;
   int fires = 0;
