@@ -1,0 +1,267 @@
+#include "faults/faults.hpp"
+
+#include <algorithm>
+
+namespace whisper::faults {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kPause: return "pause";
+    case FaultKind::kNatReset: return "natreset";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_oneshot(FaultKind k) {
+  return k == FaultKind::kNatReset || k == FaultKind::kCrash;
+}
+
+/// Deterministic order for set-valued state (unordered containers iterate in
+/// hash order, which must never leak into scheduling decisions).
+std::vector<Endpoint> sorted(std::vector<Endpoint> eps) {
+  std::sort(eps.begin(), eps.end());
+  return eps;
+}
+
+}  // namespace
+
+FaultFabric::FaultFabric(sim::Simulator& sim, sim::Network& net, Environment env, Rng rng,
+                         telemetry::Scope telemetry)
+    : sim_(sim), net_(net), env_(std::move(env)), rng_(rng), tel_(telemetry),
+      m_dropped_(tel_.counter("faults.packets.dropped")),
+      m_delayed_(tel_.counter("faults.packets.delayed")),
+      m_duplicated_(tel_.counter("faults.packets.duplicated")),
+      m_corrupted_(tel_.counter("faults.packets.corrupted")),
+      m_queued_(tel_.counter("faults.packets.queued")),
+      m_flushed_(tel_.counter("faults.packets.flushed")),
+      m_crashes_(tel_.counter("faults.nodes.crashed")),
+      m_nat_resets_(tel_.counter("faults.nat.resets")),
+      m_activations_(tel_.counter("faults.activations")) {
+  net_.set_fault_interposer(this);
+}
+
+FaultFabric::~FaultFabric() {
+  for (sim::TimerId t : timers_) sim_.cancel(t);
+  net_.set_fault_interposer(nullptr);
+}
+
+void FaultFabric::schedule(const FaultSpec& spec) {
+  timers_.push_back(sim_.schedule_at(spec.start, [this, spec] {
+    if (is_oneshot(spec.kind)) {
+      fire_oneshot(spec);
+    } else {
+      activate(spec);
+    }
+  }));
+}
+
+void FaultFabric::schedule_all(const std::vector<FaultSpec>& specs) {
+  for (const auto& s : specs) schedule(s);
+}
+
+std::vector<Endpoint> FaultFabric::pick_victims(const FaultSpec& spec,
+                                                std::vector<Endpoint> pool) {
+  if (!spec.targets_a.empty()) return spec.targets_a;
+  pool = sorted(std::move(pool));
+  rng_.shuffle(pool);
+  if (pool.size() > spec.count) pool.resize(spec.count);
+  return pool;
+}
+
+void FaultFabric::activate(FaultSpec spec) {
+  ActiveFault f;
+  f.id = next_id_++;
+  f.spec = spec;
+
+  if (spec.kind == FaultKind::kPartition && spec.targets_a.empty()) {
+    // Bisection: deterministic split of the live population at activation
+    // time. Nodes joining mid-window land in neither side (unaffected).
+    std::vector<Endpoint> pool =
+        sorted(env_.live_endpoints ? env_.live_endpoints() : std::vector<Endpoint>{});
+    rng_.shuffle(pool);
+    const std::size_t cut =
+        static_cast<std::size_t>(static_cast<double>(pool.size()) * spec.fraction);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      (i < cut ? f.side_a : f.side_b).insert(pool[i]);
+    }
+  } else if (spec.kind == FaultKind::kPause) {
+    for (Endpoint ep :
+         pick_victims(spec, env_.live_endpoints ? env_.live_endpoints()
+                                                : std::vector<Endpoint>{})) {
+      f.side_a.insert(ep);
+      pause(ep);
+    }
+  } else {
+    f.side_a.insert(spec.targets_a.begin(), spec.targets_a.end());
+    f.side_b.insert(spec.targets_b.begin(), spec.targets_b.end());
+  }
+
+  m_activations_.add(1);
+  tel_.instant("fault.activate", "faults", sim_.now(),
+               {{"kind", fault_kind_name(spec.kind)}});
+
+  const std::uint64_t id = f.id;
+  active_.push_back(std::move(f));
+  if (spec.end > spec.start) {
+    timers_.push_back(sim_.schedule_at(spec.end, [this, id] { deactivate(id); }));
+  }
+}
+
+void FaultFabric::deactivate(std::uint64_t id) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [&](const ActiveFault& f) { return f.id == id; });
+  if (it == active_.end()) return;
+  if (it->spec.kind == FaultKind::kPause) {
+    for (Endpoint ep : sorted({it->side_a.begin(), it->side_a.end()})) resume(ep);
+  }
+  tel_.instant("fault.deactivate", "faults", sim_.now(),
+               {{"kind", fault_kind_name(it->spec.kind)}});
+  active_.erase(it);
+}
+
+void FaultFabric::fire_oneshot(const FaultSpec& spec) {
+  m_activations_.add(1);
+  tel_.instant("fault.activate", "faults", sim_.now(),
+               {{"kind", fault_kind_name(spec.kind)}});
+  if (spec.kind == FaultKind::kCrash) {
+    if (!env_.crash_node) return;
+    // Crash relays in priority: the nodes whose loss actually exercises
+    // failover. Fall back to arbitrary live nodes when none relay yet.
+    std::vector<Endpoint> pool =
+        env_.relay_endpoints ? env_.relay_endpoints() : std::vector<Endpoint>{};
+    if (pool.empty() && env_.live_endpoints) pool = env_.live_endpoints();
+    for (Endpoint ep : pick_victims(spec, std::move(pool))) {
+      env_.crash_node(ep);
+      ++stats_.nodes_crashed;
+      m_crashes_.add(1);
+    }
+  } else if (spec.kind == FaultKind::kNatReset) {
+    if (!env_.reset_nat) return;
+    for (Endpoint ep : pick_victims(spec, env_.live_endpoints
+                                              ? env_.live_endpoints()
+                                              : std::vector<Endpoint>{})) {
+      env_.reset_nat(ep);
+      ++stats_.nat_resets;
+      m_nat_resets_.add(1);
+    }
+  }
+}
+
+void FaultFabric::pause(Endpoint ep) {
+  if (paused_.insert(ep).second) ++stats_.nodes_paused;
+}
+
+void FaultFabric::resume(Endpoint ep) {
+  if (paused_.erase(ep) == 0) return;
+  auto it = pause_queues_.find(ep);
+  if (it == pause_queues_.end()) return;
+  // Flush in arrival order: the node processes its backlog on recovery.
+  std::deque<QueuedPacket> queue = std::move(it->second);
+  pause_queues_.erase(it);
+  for (auto& q : queue) {
+    ++stats_.packets_flushed;
+    m_flushed_.add(1);
+    net_.redeliver(q.internal_dst, std::move(q.dgram));
+  }
+}
+
+bool FaultFabric::matches(const ActiveFault& f, Endpoint src, Endpoint dst) {
+  const bool src_a = f.side_a.empty() || f.side_a.contains(src);
+  const bool dst_b = f.side_b.empty() || f.side_b.contains(dst);
+  if (src_a && dst_b) return true;
+  if (!f.spec.symmetric) return false;
+  const bool src_b = f.side_b.empty() || f.side_b.contains(src);
+  const bool dst_a = f.side_a.empty() || f.side_a.contains(dst);
+  return src_b && dst_a;
+}
+
+FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, sim::Datagram& dgram) {
+  WireVerdict verdict;
+  if (active_.empty()) return verdict;
+  for (const ActiveFault& f : active_) {
+    // Wire-stage kinds target the *sender* side (side_a; empty = any):
+    // congestion, duplication and corruption happen on the uplink.
+    if (!f.side_a.empty() && !f.side_a.contains(internal_src)) continue;
+    switch (f.spec.kind) {
+      case FaultKind::kDelay:
+        if (rng_.next_bool(f.spec.probability)) {
+          verdict.extra_delay += f.spec.delay;
+          ++stats_.packets_delayed;
+          m_delayed_.add(1);
+        }
+        break;
+      case FaultKind::kReorder:
+        // Random extra delay reorders packets relative to later sends.
+        if (f.spec.delay > 0 && rng_.next_bool(f.spec.probability)) {
+          verdict.extra_delay += rng_.next_below(f.spec.delay);
+          ++stats_.packets_delayed;
+          m_delayed_.add(1);
+        }
+        break;
+      case FaultKind::kDuplicate:
+        if (rng_.next_bool(f.spec.probability)) {
+          ++verdict.copies;
+          ++stats_.packets_duplicated;
+          m_duplicated_.add(1);
+        }
+        break;
+      case FaultKind::kCorrupt:
+        if (!dgram.payload.empty() && rng_.next_bool(f.spec.probability)) {
+          const std::uint64_t bit = rng_.next_below(dgram.payload.size() * 8);
+          dgram.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+          ++stats_.packets_corrupted;
+          m_corrupted_.add(1);
+        }
+        break;
+      default:
+        break;  // partition/loss/pause act at delivery; oneshots never here
+    }
+  }
+  return verdict;
+}
+
+FaultFabric::Gate FaultFabric::on_deliver(Endpoint internal_src, Endpoint internal_dst,
+                                          const sim::Datagram& dgram) {
+  if (paused_.contains(internal_dst)) {
+    pause_queues_[internal_dst].push_back(QueuedPacket{internal_dst, dgram});
+    ++stats_.packets_queued;
+    m_queued_.add(1);
+    return Gate::kQueue;
+  }
+  for (const ActiveFault& f : active_) {
+    switch (f.spec.kind) {
+      case FaultKind::kPartition:
+        // Cut both directions between the two sides. A bisection fills both
+        // sides; a pairwise cut lists the exact endpoints.
+        if ((f.side_a.contains(internal_src) && f.side_b.contains(internal_dst)) ||
+            (f.side_a.contains(internal_dst) && f.side_b.contains(internal_src))) {
+          ++stats_.packets_dropped;
+          m_dropped_.add(1);
+          return Gate::kDrop;
+        }
+        break;
+      case FaultKind::kLoss:
+        if (matches(f, internal_src, internal_dst) &&
+            rng_.next_bool(f.spec.probability)) {
+          ++stats_.packets_dropped;
+          m_dropped_.add(1);
+          return Gate::kDrop;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Gate::kDeliver;
+}
+
+}  // namespace whisper::faults

@@ -1,0 +1,184 @@
+// Deterministic fault-injection fabric.
+//
+// The paper's headline claims are about behaviour under adversity (route
+// success under churn, NAT-constrained reachability, lossy PlanetLab
+// links). The churn engine scripts only population turnover; this module
+// scripts *everything else that goes wrong in real deployments*:
+//
+//   partition   bisection or explicit-pair link cuts (both directions)
+//   loss        loss episodes on matching links, optionally asymmetric
+//   delay       delay-spike windows (congestion, bufferbloat)
+//   duplicate   duplicated datagrams (retransmitting middleboxes)
+//   reorder     random extra per-packet delay (path flaps)
+//   corrupt     single-bit payload corruption on the wire
+//   pause       gray failure: node attached but not processing; inbound
+//               packets queue and flush on resume
+//   natreset    NAT device reboot: all mappings and filter state dropped
+//   crash       kill nodes currently acting as relays (churn the exact
+//               nodes the WCL depends on)
+//
+// The fabric interposes on sim::Network through the FaultInterposer hook
+// (same shape as the NAT AddressTranslator) and targets nodes by their
+// *internal* endpoints, so NATted nodes are addressable. All randomness
+// flows from one forked Rng: same seed, same script => byte-identical runs.
+// Faults are scripted as FaultSpec phases, like churn::ChurnPhase.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/scope.hpp"
+
+namespace whisper::faults {
+
+enum class FaultKind : std::uint8_t {
+  kPartition = 0,
+  kLoss = 1,
+  kDelay = 2,
+  kDuplicate = 3,
+  kReorder = 4,
+  kCorrupt = 5,
+  kPause = 6,
+  kNatReset = 7,
+  kCrash = 8,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One scripted fault. Windowed kinds are active in [start, end); kNatReset
+/// and kCrash are one-shots firing at `start`. When `targets_a`/`targets_b`
+/// are empty the affected nodes are drawn deterministically from the live
+/// population at activation time (bisection split / random sample).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLoss;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  /// Bisection: fraction of live nodes on side A (kPartition with empty
+  /// targets).
+  double fraction = 0.5;
+  /// Per-packet probability (kLoss, kDuplicate, kReorder, kCorrupt).
+  double probability = 1.0;
+  /// Extra one-way delay added per packet (kDelay), or the jitter ceiling
+  /// for kReorder's uniform extra delay.
+  sim::Time delay = 0;
+  /// Nodes affected (kPause, kNatReset, kCrash).
+  std::size_t count = 1;
+  /// kLoss only: when false, only A->B packets are affected (asymmetric
+  /// episode); partitions always cut both directions.
+  bool symmetric = true;
+  /// Explicit targets. For kPartition: side A vs side B (pairwise cuts).
+  /// For kLoss/kDelay/kDuplicate/kReorder/kCorrupt: restrict to packets
+  /// from A to B (empty set = any). For kPause/kNatReset/kCrash: the exact
+  /// victims (targets_a).
+  std::vector<Endpoint> targets_a;
+  std::vector<Endpoint> targets_b;
+};
+
+class FaultFabric : public sim::FaultInterposer {
+ public:
+  /// Deployment hooks the fabric drives; all optional (a missing hook turns
+  /// the corresponding fault kind into a no-op).
+  struct Environment {
+    /// Internal endpoints of all live nodes.
+    std::function<std::vector<Endpoint>()> live_endpoints;
+    /// Internal endpoints of live nodes currently relaying for others.
+    std::function<std::vector<Endpoint>()> relay_endpoints;
+    /// Churn-kill the node bound at this endpoint.
+    std::function<void(Endpoint)> crash_node;
+    /// Reset the NAT device in front of this endpoint.
+    std::function<void(Endpoint)> reset_nat;
+  };
+
+  FaultFabric(sim::Simulator& sim, sim::Network& net, Environment env, Rng rng,
+              telemetry::Scope telemetry = {});
+  ~FaultFabric() override;
+
+  FaultFabric(const FaultFabric&) = delete;
+  FaultFabric& operator=(const FaultFabric&) = delete;
+
+  /// Schedule one fault (activation/deactivation timers on the simulator).
+  void schedule(const FaultSpec& spec);
+  void schedule_all(const std::vector<FaultSpec>& specs);
+
+  /// Immediate pause/resume of a node (also reachable via kPause specs).
+  void pause(Endpoint ep);
+  void resume(Endpoint ep);
+  bool paused(Endpoint ep) const { return paused_.contains(ep); }
+
+  /// True when no fault window is active and nothing is queued — the
+  /// steady-state fast path consulted on every packet.
+  bool idle() const { return active_.empty() && paused_.empty(); }
+
+  struct Stats {
+    std::uint64_t packets_dropped = 0;    // partitions + loss episodes
+    std::uint64_t packets_delayed = 0;    // delay spikes + reordering
+    std::uint64_t packets_duplicated = 0;
+    std::uint64_t packets_corrupted = 0;
+    std::uint64_t packets_queued = 0;     // held for paused nodes
+    std::uint64_t packets_flushed = 0;    // re-injected on resume
+    std::uint64_t nodes_paused = 0;
+    std::uint64_t nodes_crashed = 0;
+    std::uint64_t nat_resets = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // sim::FaultInterposer:
+  WireVerdict on_wire(Endpoint internal_src, sim::Datagram& dgram) override;
+  Gate on_deliver(Endpoint internal_src, Endpoint internal_dst,
+                  const sim::Datagram& dgram) override;
+
+ private:
+  struct ActiveFault {
+    std::uint64_t id = 0;
+    FaultSpec spec;
+    // Resolved membership at activation time (bisection snapshot / sampled
+    // victims); explicit targets copied through.
+    std::unordered_set<Endpoint> side_a;
+    std::unordered_set<Endpoint> side_b;
+  };
+
+  void activate(FaultSpec spec);
+  void deactivate(std::uint64_t id);
+  void fire_oneshot(const FaultSpec& spec);
+  /// Deterministic victim sample: explicit targets if given, else `count`
+  /// nodes drawn from `pool` after a seeded shuffle.
+  std::vector<Endpoint> pick_victims(const FaultSpec& spec, std::vector<Endpoint> pool);
+  static bool matches(const ActiveFault& f, Endpoint src, Endpoint dst);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  Environment env_;
+  Rng rng_;
+
+  std::vector<ActiveFault> active_;
+  std::uint64_t next_id_ = 1;
+  /// Activation/deactivation timers, cancelled on destruction so no pending
+  /// simulator event can touch a dead fabric.
+  std::vector<sim::TimerId> timers_;
+
+  std::unordered_set<Endpoint> paused_;
+  struct QueuedPacket {
+    Endpoint internal_dst;
+    sim::Datagram dgram;
+  };
+  std::unordered_map<Endpoint, std::deque<QueuedPacket>> pause_queues_;
+
+  Stats stats_;
+
+  telemetry::Scope tel_;
+  telemetry::Counter& m_dropped_;
+  telemetry::Counter& m_delayed_;
+  telemetry::Counter& m_duplicated_;
+  telemetry::Counter& m_corrupted_;
+  telemetry::Counter& m_queued_;
+  telemetry::Counter& m_flushed_;
+  telemetry::Counter& m_crashes_;
+  telemetry::Counter& m_nat_resets_;
+  telemetry::Counter& m_activations_;
+};
+
+}  // namespace whisper::faults

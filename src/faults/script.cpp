@@ -1,0 +1,147 @@
+#include "faults/script.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace whisper::faults {
+
+namespace {
+
+bool parse_kind(std::string_view token, FaultKind& out) {
+  for (int i = 0; i <= static_cast<int>(FaultKind::kCrash); ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (token == fault_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  // std::from_chars<double> is still spotty across stdlibs; go through stod.
+  try {
+    std::size_t used = 0;
+    out = std::stod(std::string(token), &used);
+    return used == token.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_size(std::string_view token, std::size_t& out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+bool parse_duration(std::string_view token, sim::Time& out) {
+  if (!token.empty() && token.front() == '+') token.remove_prefix(1);
+  if (token.empty()) return false;
+
+  std::size_t digits = 0;
+  while (digits < token.size() &&
+         (std::isdigit(static_cast<unsigned char>(token[digits])) != 0 ||
+          token[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0) return false;
+
+  double value = 0;
+  if (!parse_double(token.substr(0, digits), value)) return false;
+
+  const std::string_view unit = token.substr(digits);
+  double scale = sim::kSecond;  // bare numbers are seconds
+  if (unit == "us") scale = sim::kMicrosecond;
+  else if (unit == "ms") scale = sim::kMillisecond;
+  else if (unit == "s" || unit.empty()) scale = sim::kSecond;
+  else if (unit == "m") scale = sim::kMinute;
+  else return false;
+
+  out = static_cast<sim::Time>(value * scale);
+  return true;
+}
+
+ScriptParseResult parse_script(std::string_view text) {
+  ScriptParseResult result;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  int line_no = 0;
+
+  auto fail = [&](const std::string& what) {
+    result.error = "line " + std::to_string(line_no) + ": " + what;
+    result.specs.clear();
+    return result;
+  };
+
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+
+    std::istringstream fields{line};
+    std::string kind_tok, start_tok, end_tok;
+    if (!(fields >> kind_tok)) continue;  // blank / comment-only line
+    if (!(fields >> start_tok >> end_tok)) return fail("expected: <kind> <start> <end>");
+
+    FaultSpec spec;
+    if (!parse_kind(kind_tok, spec.kind)) return fail("unknown kind '" + kind_tok + "'");
+    if (!parse_duration(start_tok, spec.start)) {
+      return fail("bad start time '" + start_tok + "'");
+    }
+    if (end_tok == "-" || end_tok == "0") {
+      spec.end = 0;
+    } else if (end_tok.front() == '+') {
+      sim::Time dur = 0;
+      if (!parse_duration(end_tok, dur)) return fail("bad duration '" + end_tok + "'");
+      spec.end = spec.start + dur;
+    } else {
+      if (!parse_duration(end_tok, spec.end)) return fail("bad end time '" + end_tok + "'");
+      if (spec.end <= spec.start) return fail("end must be after start");
+    }
+
+    std::string kv;
+    while (fields >> kv) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) return fail("expected key=value, got '" + kv + "'");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      bool ok = false;
+      if (key == "fraction") {
+        ok = parse_double(value, spec.fraction) && spec.fraction >= 0 &&
+             spec.fraction <= 1;
+      } else if (key == "probability") {
+        ok = parse_double(value, spec.probability) && spec.probability >= 0 &&
+             spec.probability <= 1;
+      } else if (key == "delay") {
+        ok = parse_duration(value, spec.delay);
+      } else if (key == "count") {
+        ok = parse_size(value, spec.count);
+      } else if (key == "symmetric") {
+        spec.symmetric = value != "0" && value != "false";
+        ok = true;
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+      if (!ok) return fail("bad value for '" + key + "': '" + value + "'");
+    }
+    result.specs.push_back(spec);
+  }
+  return result;
+}
+
+ScriptParseResult parse_script_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ScriptParseResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_script(buf.str());
+}
+
+}  // namespace whisper::faults

@@ -1,0 +1,49 @@
+// Text format for fault scripts (the `--faults <file>` tool flag).
+//
+// One fault per line:
+//
+//   <kind> <start> <end-or-duration> [key=value ...]
+//
+//   # 2-minute network bisection starting at t=5min
+//   partition 5m +2m fraction=0.5
+//   # asymmetric 30% loss episode
+//   loss 8m +1m probability=0.3 symmetric=0
+//   # 200ms delay spike on every packet
+//   delay 10m +30s delay=200ms probability=1.0
+//   # crash 3 relay nodes (one-shot: no end field, use "-")
+//   crash 12m - count=3
+//   natreset 14m - count=5
+//   pause 16m +45s count=2
+//
+// Times accept suffixes us/ms/s/m (default: seconds). An end field of "-"
+// or "0" means a one-shot / open window; "+<dur>" is relative to start.
+// Keys: fraction, probability, delay, count, symmetric (0/1). Lines
+// starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/faults.hpp"
+
+namespace whisper::faults {
+
+struct ScriptParseResult {
+  std::vector<FaultSpec> specs;
+  /// Empty on success; otherwise "line N: <what>".
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse a script from text.
+ScriptParseResult parse_script(std::string_view text);
+
+/// Parse a script file; error is set if the file cannot be read.
+ScriptParseResult parse_script_file(const std::string& path);
+
+/// Parse one duration/time token ("150ms", "2m", "30", "+45s"). Returns
+/// false on malformed input. A leading '+' is accepted and ignored (callers
+/// handle relative semantics).
+bool parse_duration(std::string_view token, sim::Time& out);
+
+}  // namespace whisper::faults

@@ -88,6 +88,8 @@ std::optional<Endpoint> NatDevice::inbound(std::uint16_t external_port, Endpoint
   return m->internal;
 }
 
+void NatDevice::reset() { mappings_.clear(); }
+
 std::size_t NatDevice::active_mappings() const {
   std::size_t n = 0;
   for (const auto& [key, m] : mappings_) {
@@ -120,6 +122,13 @@ void NatFabric::remove_node(Endpoint internal_ep) {
   // bookkeeping goes away.
   node_device_.erase(internal_ep);
   node_type_.erase(internal_ep);
+}
+
+bool NatFabric::reset_mappings(Endpoint internal_ep) {
+  auto it = node_device_.find(internal_ep);
+  if (it == node_device_.end()) return false;
+  devices_[it->second]->reset();
+  return true;
 }
 
 bool NatFabric::is_public(Endpoint internal_ep) const {

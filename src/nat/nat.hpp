@@ -69,6 +69,12 @@ class NatDevice {
   /// Number of live (unexpired) mappings.
   std::size_t active_mappings() const;
 
+  /// Drop every mapping and its filter state (device reboot / power cycle).
+  /// In-flight inbound packets to old external ports are filtered out; the
+  /// node must re-open mappings with outbound traffic — the fault the
+  /// fabric's "natreset" kind injects.
+  void reset();
+
  private:
   struct Mapping {
     Endpoint internal;
@@ -109,6 +115,10 @@ class NatFabric : public sim::AddressTranslator {
 
   /// Remove a node's addressing state (churn departure).
   void remove_node(Endpoint internal_ep);
+
+  /// Reset the NAT device in front of `internal_ep` (no-op for public
+  /// nodes). Returns true if a device was reset.
+  bool reset_mappings(Endpoint internal_ep);
 
   bool is_public(Endpoint internal_ep) const;
   NatType type_of(Endpoint internal_ep) const;

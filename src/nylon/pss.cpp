@@ -16,6 +16,8 @@ NylonPss::NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, 
       m_initiated_(tel_.counter("pss.exchanges.initiated")),
       m_completed_(tel_.counter("pss.exchanges.completed")),
       m_timed_out_(tel_.counter("pss.exchanges.timed_out")),
+      m_quarantined_(tel_.counter("pss.peers.quarantined")),
+      m_rejoined_(tel_.counter("pss.peers.rejoined")),
       // Exchange RTT spans one-hop cluster latencies to multi-second
       // relayed paths under load.
       m_rtt_(tel_.histogram("pss.exchange.rtt_us",
@@ -24,9 +26,17 @@ NylonPss::NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, 
                                   telemetry::BucketSpec::linear(0, 64, 64))) {
   transport_.register_handler(kTagPss,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
+  // Failover the moment the transport declares the relay lost, rather than
+  // waiting (up to a full cycle) for the next repair_relay() pass.
+  transport_.on_relay_lost = [this] { repair_relay(); };
 }
 
-NylonPss::~NylonPss() { stop(); }
+NylonPss::~NylonPss() {
+  stop();
+  // The PSS dies before its transport (member order in WhisperNode); the
+  // hook must not outlive us.
+  transport_.on_relay_lost = nullptr;
+}
 
 void NylonPss::bootstrap(const std::vector<pss::ContactCard>& cards) {
   for (const auto& card : cards) {
@@ -77,18 +87,85 @@ Bytes NylonPss::encode(std::uint8_t kind, std::uint32_t seq,
   return std::move(w).take();
 }
 
+bool NylonPss::quarantined(NodeId id) const {
+  auto it = quarantine_.find(id);
+  return it != quarantine_.end() && it->second > sim_.now();
+}
+
+void NylonPss::note_failure(NodeId id) {
+  if (++suspicion_[id] < config_.suspicion_threshold) return;
+  suspicion_.erase(id);
+  quarantine_[id] = sim_.now() + config_.quarantine_ttl;
+  ++peers_quarantined_;
+  m_quarantined_.add(1);
+  tel_.instant("pss.peer.quarantine", "pss", sim_.now());
+}
+
+void NylonPss::note_success(NodeId id) {
+  suspicion_.erase(id);
+  quarantine_.erase(id);
+  // Proof of life: the peer no longer needs a healing re-probe.
+  std::erase_if(reserve_, [&](const ReserveEntry& e) { return e.card.id == id; });
+}
+
+void NylonPss::remember(const pss::ContactCard& card, int attempts) {
+  if (config_.reserve_retry_cycles <= 0) return;
+  if (attempts >= config_.reserve_max_attempts) return;
+  if (card.id == transport_.self()) return;
+  for (auto& e : reserve_) {
+    if (e.card.id == card.id) {
+      e.card = card;
+      e.attempts = std::max(e.attempts, attempts);
+      return;
+    }
+  }
+  if (reserve_.size() >= config_.reserve_capacity) reserve_.pop_front();
+  reserve_.push_back(ReserveEntry{card, attempts});
+}
+
+void NylonPss::retry_reserved() {
+  // Rotate past quarantined entries: their TTL has to lapse before a probe
+  // can be answered with anything we would accept.
+  for (std::size_t i = 0; i < reserve_.size(); ++i) {
+    ReserveEntry e = reserve_.front();
+    reserve_.pop_front();
+    if (quarantined(e.card.id)) {
+      reserve_.push_back(e);
+      continue;
+    }
+    start_exchange(e.card, /*from_reserve=*/true, e.attempts);
+    return;
+  }
+}
+
+void NylonPss::purge_quarantine() {
+  const sim::Time now = sim_.now();
+  for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+    it = it->second <= now ? quarantine_.erase(it) : std::next(it);
+  }
+}
+
 void NylonPss::on_cycle() {
   if (!running_) return;
   cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
 
   repair_relay();
+  purge_quarantine();
   view_.age_all();
   m_view_size_.observe(static_cast<double>(view_.size()));
-  const PssEntry* partner = view_.oldest();
-  if (partner == nullptr) return;
+  ++cycle_count_;
+  if (const PssEntry* partner = view_.oldest(); partner != nullptr) {
+    start_exchange(partner->card, /*from_reserve=*/false, 0);
+  }
+  if (config_.reserve_retry_cycles > 0 && !reserve_.empty() &&
+      cycle_count_ % static_cast<std::uint64_t>(config_.reserve_retry_cycles) == 0) {
+    retry_reserved();
+  }
+}
 
+void NylonPss::start_exchange(const pss::ContactCard& partner_card, bool from_reserve,
+                              int reserve_attempts) {
   const std::uint32_t seq = next_seq_++;
-  const pss::ContactCard partner_card = partner->card;
   ++exchanges_initiated_;
   m_initiated_.add(1);
 
@@ -102,12 +179,20 @@ void NylonPss::on_cycle() {
 
   PendingExchange pending;
   pending.partner = partner_card.id;
+  pending.partner_card = partner_card;
+  pending.from_reserve = from_reserve;
+  pending.reserve_attempts = reserve_attempts;
   pending.started_at = sim_.now();
   pending.timeout_timer = sim_.schedule_after(config_.response_timeout, [this, seq] {
     auto it = pending_.find(seq);
     if (it == pending_.end()) return;
-    // No response: treat the partner as failed and heal the view.
+    // No response: treat the partner as failed and heal the view — but
+    // remember the card, so a peer cut off by a partition (rather than
+    // dead) can be re-probed once the network heals.
     view_.remove(it->second.partner);
+    note_failure(it->second.partner);
+    remember(it->second.partner_card,
+             it->second.from_reserve ? it->second.reserve_attempts + 1 : 0);
     pending_.erase(it);
     ++exchanges_timed_out_;
     m_timed_out_.add(1);
@@ -134,6 +219,12 @@ void NylonPss::handle_message(NodeId from, BytesView payload) {
 
   if (extra_consumer) extra_consumer(sender_card, extra);
 
+  // A message from a quarantined peer is proof of life; otherwise drop its
+  // quarantined descriptors so dead cards stop recirculating via gossip.
+  note_success(from);
+  std::erase_if(received, [&](const PssEntry& e) { return quarantined(e.card.id); });
+  if (received.empty()) return;
+
   if (kind == kKindRequest) {
     // Respond with our buffer (selected before merging), then merge.
     transport_.send(sender_card, kTagPss, encode(kKindResponse, seq, make_buffer()),
@@ -145,6 +236,12 @@ void NylonPss::handle_message(NodeId from, BytesView payload) {
     if (it == pending_.end() || it->second.partner != from) return;
     if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
     const sim::Time rtt = sim_.now() - it->second.started_at;
+    if (it->second.from_reserve) {
+      // A healing probe came back: the evicted peer is reachable again.
+      ++peers_rejoined_;
+      m_rejoined_.add(1);
+      tel_.instant("pss.peer.rejoin", "pss", sim_.now());
+    }
     pending_.erase(it);
     view_.merge(received, transport_.self(), config_.pi_min_public, rng_);
     ++exchanges_completed_;
@@ -163,6 +260,7 @@ void NylonPss::repair_relay() {
   for (const auto& e : view_.entries()) {
     if (!e.is_public()) continue;
     if (e.card.id == transport_.relay_id()) continue;  // the one that just died
+    if (quarantined(e.card.id)) continue;
     if (best == nullptr || e.age < best->age) best = &e;
   }
   if (best != nullptr) transport_.set_relay(best->card);

@@ -13,6 +13,7 @@
 // P-node from the view.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -30,6 +31,21 @@ struct PssConfig {
   std::size_t pi_min_public = 0;    // Π
   sim::Time cycle = 10 * sim::kSecond;
   sim::Time response_timeout = 5 * sim::kSecond;
+  /// Consecutive failed exchanges before a peer is quarantined. Quarantined
+  /// descriptors are refused on merge, so a dead node's card stops
+  /// recirculating through gossip instead of being re-learned every cycle.
+  int suspicion_threshold = 2;
+  sim::Time quarantine_ttl = 2 * sim::kMinute;
+  /// Healing reserve: peers evicted by exchange timeout are remembered and
+  /// one is re-probed every `reserve_retry_cycles` cycles (0 disables). A
+  /// network partition turns the entire view over to same-side peers, so
+  /// without this a healed partition leaves the overlay permanently
+  /// bisected — the reserve re-seeds the first cross-side edge and gossip
+  /// re-blends from there. Entries are dropped for good after
+  /// `reserve_max_attempts` failed probes.
+  std::size_t reserve_capacity = 8;
+  int reserve_retry_cycles = 3;
+  int reserve_max_attempts = 8;
 };
 
 /// View entry of the system-wide PSS: contact card + gossip age.
@@ -81,11 +97,30 @@ class NylonPss {
   std::uint64_t exchanges_initiated() const { return exchanges_initiated_; }
   std::uint64_t exchanges_completed() const { return exchanges_completed_; }
   std::uint64_t exchanges_timed_out() const { return exchanges_timed_out_; }
+  std::uint64_t peers_quarantined() const { return peers_quarantined_; }
+  std::uint64_t peers_rejoined() const { return peers_rejoined_; }
+  std::size_t reserve_size() const { return reserve_.size(); }
+
+  /// True while `id` sits in quarantine (its descriptors are refused).
+  bool quarantined(NodeId id) const;
 
  private:
   void on_cycle();
   void handle_message(NodeId from, BytesView payload);
   void repair_relay();
+  /// Initiate one exchange toward `partner_card`. Reserve probes carry
+  /// their failure count so repeat offenders age out of the reserve.
+  void start_exchange(const pss::ContactCard& partner_card, bool from_reserve,
+                      int reserve_attempts);
+  /// Remember an evicted peer for later re-probing (healing reserve).
+  void remember(const pss::ContactCard& card, int attempts);
+  /// Probe the oldest non-quarantined reserve entry, if any.
+  void retry_reserved();
+  /// Record a failed exchange with `id`; quarantines after the threshold.
+  void note_failure(NodeId id);
+  /// A live exchange with `id` clears all suspicion.
+  void note_success(NodeId id);
+  void purge_quarantine();
   std::vector<PssEntry> make_buffer();
   Bytes encode(std::uint8_t kind, std::uint32_t seq, const std::vector<PssEntry>& buffer);
 
@@ -100,6 +135,9 @@ class NylonPss {
 
   struct PendingExchange {
     NodeId partner;
+    pss::ContactCard partner_card;
+    bool from_reserve = false;
+    int reserve_attempts = 0;
     sim::TimerId timeout_timer = 0;
     sim::Time started_at = 0;
   };
@@ -108,11 +146,28 @@ class NylonPss {
   std::uint64_t exchanges_initiated_ = 0;
   std::uint64_t exchanges_completed_ = 0;
   std::uint64_t exchanges_timed_out_ = 0;
+  std::uint64_t peers_quarantined_ = 0;
+  std::uint64_t peers_rejoined_ = 0;
+  std::uint64_t cycle_count_ = 0;
+
+  // Healing reserve: FIFO of evicted peers awaiting a re-probe.
+  struct ReserveEntry {
+    pss::ContactCard card;
+    int attempts = 0;
+  };
+  std::deque<ReserveEntry> reserve_;
+
+  // Failure suspicion: consecutive failed exchanges per peer, and the
+  // quarantine (peer -> expiry) entered at the threshold.
+  std::unordered_map<NodeId, int> suspicion_;
+  std::unordered_map<NodeId, sim::Time> quarantine_;
 
   telemetry::Scope tel_;
   telemetry::Counter& m_initiated_;
   telemetry::Counter& m_completed_;
   telemetry::Counter& m_timed_out_;
+  telemetry::Counter& m_quarantined_;
+  telemetry::Counter& m_rejoined_;
   telemetry::Histogram& m_rtt_;
   telemetry::Histogram& m_view_size_;
 };

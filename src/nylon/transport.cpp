@@ -1,5 +1,6 @@
 #include "nylon/transport.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -94,8 +95,20 @@ void Transport::send_keepalive() {
   w.node_id(self_);
   net_.send(internal_ep_, relay_.addr, std::move(w).take(), sim::Proto::kControl);
   ++unanswered_keepalives_;
-  keepalive_timer_ =
-      sim_.schedule_after(config_.keepalive_period, [this] { send_keepalive(); });
+  // Full rate while the relay still counts as alive (fast detection); after
+  // the loss threshold, back off exponentially — failover owns recovery,
+  // these keepalives only cover the relay coming back.
+  sim::Time delay = config_.keepalive_period;
+  if (unanswered_keepalives_ >= config_.relay_loss_threshold) {
+    const int over = unanswered_keepalives_ - config_.relay_loss_threshold;
+    for (int i = 0; i <= over && delay < config_.keepalive_backoff_max; ++i) delay *= 2;
+    delay = std::min(delay, config_.keepalive_backoff_max);
+  }
+  keepalive_timer_ = sim_.schedule_after(delay, [this] { send_keepalive(); });
+  if (unanswered_keepalives_ == config_.relay_loss_threshold) {
+    ++relays_lost_;
+    if (on_relay_lost) on_relay_lost();  // may re-enter set_relay()
+  }
 }
 
 void Transport::register_handler(std::uint8_t tag, Handler handler) {
@@ -245,7 +258,16 @@ void Transport::handle_register(const sim::Datagram& dgram, Reader& r) {
 void Transport::handle_register_ack(Reader& r) {
   const NodeId from = r.node_id();
   if (!r.ok()) return;
-  if (from == relay_.id) unanswered_keepalives_ = 0;
+  if (from != relay_.id) return;
+  const bool was_backed_off = unanswered_keepalives_ >= config_.relay_loss_threshold;
+  unanswered_keepalives_ = 0;
+  if (was_backed_off && attached_) {
+    // The relay answered after all: drop the backed-off timer and resume
+    // the normal cadence immediately.
+    if (keepalive_timer_ != 0) sim_.cancel(keepalive_timer_);
+    keepalive_timer_ =
+        sim_.schedule_after(config_.keepalive_period, [this] { send_keepalive(); });
+  }
 }
 
 void Transport::consider_probe(NodeId peer, Endpoint candidate) {

@@ -45,6 +45,10 @@ struct TransportConfig {
   sim::Time probe_min_interval = 5 * sim::kSecond;
   /// After this many unanswered keepalives the relay is declared lost.
   int relay_loss_threshold = 3;
+  /// Once the relay is declared lost, keepalives back off exponentially up
+  /// to this ceiling (the relay may return, and failover may need time to
+  /// find a replacement — but hammering a dead address helps nobody).
+  sim::Time keepalive_backoff_max = 5 * sim::kMinute;
 };
 
 class Transport {
@@ -69,6 +73,15 @@ class Transport {
   /// unanswered): the node is unreachable and should pick a new relay.
   bool relay_lost() const;
   NodeId relay_id() const { return relay_.id; }
+
+  /// Fired once each time the relay crosses the loss threshold (keepalives
+  /// unanswered). The PSS wires this to its relay repair so failover starts
+  /// the moment loss is detected instead of waiting for the next gossip
+  /// cycle. Re-registering via set_relay() re-arms the trigger.
+  std::function<void()> on_relay_lost;
+
+  /// How many times this node's relay has been declared lost.
+  std::uint64_t relays_lost() const { return relays_lost_; }
 
   using Handler = std::function<void(NodeId from, BytesView payload)>;
   void register_handler(std::uint8_t tag, Handler handler);
@@ -131,6 +144,7 @@ class Transport {
   pss::ContactCard relay_;  // nil id when unset
   int unanswered_keepalives_ = 0;
   sim::TimerId keepalive_timer_ = 0;
+  std::uint64_t relays_lost_ = 0;
 
   // Verified direct routes to peers.
   struct DirectRoute {

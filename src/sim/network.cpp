@@ -15,6 +15,17 @@ const char* proto_name(Proto p) {
   return "unknown";
 }
 
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kLoss: return "loss";
+    case DropReason::kFilter: return "filter";
+    case DropReason::kDetach: return "detach";
+    case DropReason::kFault: return "fault";
+    case DropReason::kCount: break;
+  }
+  return "unknown";
+}
+
 std::uint64_t TrafficCounters::total_up() const {
   std::uint64_t total = 0;
   for (const auto* c : up) total += c != nullptr ? c->value() : 0;
@@ -46,6 +57,30 @@ Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
   }
   packets_sent_c_ = &registry_->counter("net.packets.sent");
   packets_delivered_c_ = &registry_->counter("net.packets.delivered");
+  packets_duplicated_c_ = &registry_->counter("net.packets.duplicated");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(DropReason::kCount); ++i) {
+    packets_dropped_c_[i] = &registry_->counter(
+        "net.packets.dropped",
+        {{"reason", drop_reason_name(static_cast<DropReason>(i))}});
+  }
+}
+
+void Network::count_drop(DropReason reason) {
+  packets_dropped_c_[static_cast<std::size_t>(reason)]->add(1);
+}
+
+std::uint64_t Network::packets_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto* c : packets_dropped_c_) total += c->value();
+  return total;
+}
+
+std::uint64_t Network::packets_dropped(DropReason reason) const {
+  return packets_dropped_c_[static_cast<std::size_t>(reason)]->value();
+}
+
+std::uint64_t Network::packets_in_flight() const {
+  return packets_sent() + packets_duplicated() - packets_delivered() - packets_dropped();
 }
 
 void Network::attach(Endpoint internal_ep, Handler handler) {
@@ -84,27 +119,74 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
   agg_up_[pi]->add(payload.size());
   packets_sent_c_->add(1);
 
-  if (tap_) tap_(Datagram{wire_src, public_dst, payload, proto});
-
-  auto delay = latency_->sample(wire_src, public_dst, rng_);
-  if (!delay) return true;  // lost in transit
-
   Datagram dgram{wire_src, public_dst, std::move(payload), proto};
-  sim_.schedule_after(*delay, [this, dgram = std::move(dgram)]() mutable {
-    deliver(std::move(dgram));
-  });
+  std::size_t copies = 1;
+  Time extra_delay = 0;
+  if (faults_ != nullptr) {
+    const auto verdict = faults_->on_wire(internal_src, dgram);
+    copies = verdict.copies;
+    extra_delay = verdict.extra_delay;
+  }
+  if (copies == 0) {
+    count_drop(DropReason::kFault);
+    return true;  // the sender's uplink emitted it; it died on the wire
+  }
+
+  // The wiretap observes the (possibly corrupted) wire bytes, once per
+  // emission regardless of fault duplication.
+  if (tap_) tap_(dgram);
+
+  for (std::size_t i = 0; i < copies; ++i) {
+    auto delay = latency_->sample(wire_src, public_dst, rng_);
+    if (i > 0) packets_duplicated_c_->add(1);
+    if (!delay) {
+      count_drop(DropReason::kLoss);  // lost in transit
+      continue;
+    }
+    // Copy only for fault-injected duplicates; the final copy moves.
+    Datagram scheduled = (i + 1 == copies) ? std::move(dgram) : dgram;
+    sim_.schedule_after(*delay + extra_delay,
+                        [this, internal_src, dgram = std::move(scheduled)]() mutable {
+                          deliver(internal_src, std::move(dgram));
+                        });
+  }
   return true;
 }
 
-void Network::deliver(Datagram dgram) {
+void Network::deliver(Endpoint internal_src, Datagram dgram) {
   Endpoint internal_dst = dgram.dst;
   if (translator_ != nullptr) {
     auto mapped = translator_->inbound(dgram.dst, dgram.src);
-    if (!mapped) return;  // filtered by the destination's NAT device
+    if (!mapped) {
+      count_drop(DropReason::kFilter);  // filtered by the destination's NAT
+      return;
+    }
     internal_dst = *mapped;
   }
+  if (faults_ != nullptr) {
+    switch (faults_->on_deliver(internal_src, internal_dst, dgram)) {
+      case FaultInterposer::Gate::kDrop:
+        count_drop(DropReason::kFault);
+        return;
+      case FaultInterposer::Gate::kQueue:
+        return;  // interposer owns it; counts on redeliver()
+      case FaultInterposer::Gate::kDeliver:
+        break;
+    }
+  }
+  finish_delivery(internal_dst, std::move(dgram));
+}
+
+void Network::redeliver(Endpoint internal_dst, Datagram dgram) {
+  finish_delivery(internal_dst, std::move(dgram));
+}
+
+void Network::finish_delivery(Endpoint internal_dst, Datagram dgram) {
   auto it = handlers_.find(internal_dst);
-  if (it == handlers_.end()) return;  // node departed
+  if (it == handlers_.end()) {
+    count_drop(DropReason::kDetach);  // node departed
+    return;
+  }
 
   const std::size_t pi = static_cast<std::size_t>(dgram.proto);
   counters_for(internal_dst).down[pi]->add(dgram.payload.size());

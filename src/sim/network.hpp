@@ -60,8 +60,49 @@ class AddressTranslator {
   virtual std::optional<Endpoint> inbound(Endpoint public_dst, Endpoint public_src) = 0;
 };
 
+/// Fault interposition hook (implemented by faults::FaultFabric); same hook
+/// shape as AddressTranslator. Consulted on the sender side after NAT source
+/// rewriting (wire vantage point) and again on the receiver side after NAT
+/// inbound translation, so fault targeting works on *internal* endpoints —
+/// stable node identities — while corruption mutates the wire bytes.
+class FaultInterposer {
+ public:
+  virtual ~FaultInterposer() = default;
+
+  /// Sender-side verdict. `copies == 0` drops the packet before it reaches
+  /// the latency model (counted as a fault drop); `copies > 1` injects
+  /// duplicates, each with an independently sampled network delay.
+  /// `extra_delay` is added to every copy's delay (delay spikes, reordering).
+  /// The payload may be mutated in place (single-bit corruption).
+  struct WireVerdict {
+    std::size_t copies = 1;
+    Time extra_delay = 0;
+  };
+  virtual WireVerdict on_wire(Endpoint internal_src, Datagram& dgram) = 0;
+
+  /// Receiver-side gate, after NAT resolution but before the handler runs.
+  enum class Gate {
+    kDeliver,  // pass through
+    kDrop,     // drop (partition / loss episode): counted as a fault drop
+    kQueue,    // consumed: destination is paused, interposer queued the packet
+  };
+  virtual Gate on_deliver(Endpoint internal_src, Endpoint internal_dst,
+                          const Datagram& dgram) = 0;
+};
+
 /// Telemetry label value for a protocol tag ("pss", "keys", ...).
 const char* proto_name(Proto p);
+
+/// Why a packet never reached its destination handler. Labels the
+/// "net.packets.dropped" counter instances.
+enum class DropReason : std::uint8_t {
+  kLoss = 0,    // latency model declared it lost in transit
+  kFilter = 1,  // destination NAT device filtered it out
+  kDetach = 2,  // destination departed (no handler bound)
+  kFault = 3,   // fault fabric dropped it (partition, loss episode, ...)
+  kCount = 4,
+};
+const char* drop_reason_name(DropReason r);
 
 /// Per-node traffic accounting in bytes: a view over the registry-backed
 /// "net.node.bytes" counters (labels: node, proto, dir). Null slots (node
@@ -102,6 +143,15 @@ class Network {
   /// Install the NAT fabric. May be null (all endpoints public).
   void set_translator(AddressTranslator* translator) { translator_ = translator; }
 
+  /// Install the fault fabric. May be null (no faults; zero overhead).
+  void set_fault_interposer(FaultInterposer* faults) { faults_ = faults; }
+
+  /// Re-inject a datagram previously consumed by the fault interposer (the
+  /// paused-node queue flush on resume). NAT was already resolved when the
+  /// packet was queued; it goes straight to the handler — or to the detach
+  /// drop counter if the node departed while paused.
+  void redeliver(Endpoint internal_dst, Datagram dgram);
+
   /// Wiretap: observes every datagram as it appears on the wire (after NAT
   /// source rewriting, before destination filtering) — the vantage point of
   /// the paper's link-observing attacker. Used by security tests and the
@@ -124,7 +174,15 @@ class Network {
   /// Total datagrams handed to the latency model / delivered to handlers.
   std::uint64_t packets_sent() const { return packets_sent_c_->value(); }
   std::uint64_t packets_delivered() const { return packets_delivered_c_->value(); }
-  std::uint64_t packets_dropped() const { return packets_sent() - packets_delivered(); }
+  /// Extra copies injected by the fault fabric (each also delivers or drops).
+  std::uint64_t packets_duplicated() const { return packets_duplicated_c_->value(); }
+  /// Packets positively known to be gone, by reason — NOT sent−delivered,
+  /// which would misread packets still in flight as dropped.
+  std::uint64_t packets_dropped() const;
+  std::uint64_t packets_dropped(DropReason reason) const;
+  /// Packets on the wire (scheduled or queued by a paused-node fault) that
+  /// have neither delivered nor dropped yet.
+  std::uint64_t packets_in_flight() const;
 
   Simulator& simulator() { return sim_; }
   /// The registry hosting the traffic metrics (external or owned).
@@ -138,12 +196,15 @@ class Network {
                                           const char* dir);
 
  private:
-  void deliver(Datagram dgram);
+  void deliver(Endpoint internal_src, Datagram dgram);
+  void finish_delivery(Endpoint internal_dst, Datagram dgram);
+  void count_drop(DropReason reason);
   TrafficCounters& counters_for(Endpoint internal_ep);
 
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   AddressTranslator* translator_ = nullptr;
+  FaultInterposer* faults_ = nullptr;
   Tap tap_;
   std::unordered_map<Endpoint, Handler> handlers_;
   std::unique_ptr<telemetry::Registry> owned_registry_;  // when none injected
@@ -153,6 +214,8 @@ class Network {
   telemetry::Counter* agg_down_[static_cast<std::size_t>(Proto::kCount)] = {};
   telemetry::Counter* packets_sent_c_;
   telemetry::Counter* packets_delivered_c_;
+  telemetry::Counter* packets_duplicated_c_;
+  telemetry::Counter* packets_dropped_c_[static_cast<std::size_t>(DropReason::kCount)] = {};
   Rng rng_;
 };
 

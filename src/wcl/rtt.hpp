@@ -1,0 +1,56 @@
+// Jacobson/Karels round-trip estimation (RFC 6298 constants).
+//
+// The seed's WCL used one fixed ack_timeout for every destination. Under
+// fault injection (delay spikes, loss episodes) that is the worst of both
+// worlds: too short for far/slow paths (spurious retries burn the Π
+// alternatives) and too long for near paths (a lost onion stalls the send
+// for seconds). Each source therefore tracks SRTT/RTTVAR per destination
+// from end-to-end ACK round-trips and times out at RTO = SRTT + 4·RTTVAR,
+// doubled per retry (exponential backoff). Karn's algorithm applies: only
+// first-attempt round-trips are sampled, since a retried send's ACK cannot
+// be attributed to one attempt.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+
+namespace whisper::wcl {
+
+class RttEstimator {
+ public:
+  /// Feed one round-trip measurement.
+  void sample(sim::Time rtt) {
+    if (!has_sample_) {
+      // RFC 6298 §2.2: first measurement.
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      has_sample_ = true;
+      return;
+    }
+    // §2.3 with alpha = 1/8, beta = 1/4, in integer microseconds.
+    const sim::Time err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+
+  bool has_sample() const { return has_sample_; }
+  sim::Time srtt() const { return srtt_; }
+  sim::Time rttvar() const { return rttvar_; }
+
+  /// Retransmission timeout, clamped to [min_rto, max_rto]. Before any
+  /// sample exists, returns `initial`.
+  sim::Time rto(sim::Time initial, sim::Time min_rto, sim::Time max_rto) const {
+    if (!has_sample_) return initial;
+    const sim::Time raw = srtt_ + std::max<sim::Time>(4 * rttvar_, sim::kMillisecond);
+    return std::clamp(raw, min_rto, max_rto);
+  }
+
+ private:
+  bool has_sample_ = false;
+  sim::Time srtt_ = 0;
+  sim::Time rttvar_ = 0;
+};
+
+}  // namespace whisper::wcl

@@ -59,15 +59,58 @@ Wcl::Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& k
       m_forwarded_(tel_.counter("wcl.onions.forwarded")),
       m_delivered_(tel_.counter("wcl.onions.delivered")),
       m_forward_failures_(tel_.counter("wcl.forward.failures")),
-      m_backlog_depth_(tel_.gauge("wcl.backlog.depth", {{"node", tel_.node_label()}})) {
+      m_forwards_expired_(tel_.counter("wcl.forwards.expired")),
+      m_backlog_depth_(tel_.gauge("wcl.backlog.depth", {{"node", tel_.node_label()}})),
+      m_srtt_(tel_.gauge("wcl.rtt.srtt_us", {{"node", tel_.node_label()}})) {
   transport_.register_handler(nylon::kTagWcl,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
+  if (config_.sweep_interval > 0) {
+    sweep_timer_ = sim_.schedule_after(config_.sweep_interval, [this] { sweep(); });
+  }
 }
 
 Wcl::~Wcl() {
   for (auto& [id, pending] : pending_sends_) {
     if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
   }
+  if (sweep_timer_ != 0) sim_.cancel(sweep_timer_);
+}
+
+void Wcl::sweep() {
+  const sim::Time now = sim_.now();
+  for (auto it = pending_forwards_.begin(); it != pending_forwards_.end();) {
+    if (it->second.expires <= now) {
+      it = pending_forwards_.erase(it);
+      ++stats_.forwards_expired;
+      m_forwards_expired_.add(1);
+    } else {
+      ++it;
+    }
+  }
+  sweep_timer_ = sim_.schedule_after(config_.sweep_interval, [this] { sweep(); });
+}
+
+const RttEstimator& Wcl::rtt_of(NodeId dest) const {
+  static const RttEstimator kEmpty{};
+  auto it = rtt_.find(dest);
+  return it == rtt_.end() ? kEmpty : it->second;
+}
+
+sim::Time Wcl::current_rto(NodeId dest) const {
+  return rtt_of(dest).rto(config_.ack_timeout, config_.min_rto, config_.max_rto);
+}
+
+sim::Time Wcl::attempt_timeout(const PendingSend& pending) {
+  const sim::Time base = current_rto(pending.dest.card.id);
+  // Exponential backoff across this send's attempts, capped so the shift
+  // cannot overflow and the wait stays within max_rto.
+  const std::size_t backoffs = std::min<std::size_t>(pending.attempts, 16);
+  sim::Time timeout = base;
+  for (std::size_t i = 1; i < backoffs && timeout < config_.max_rto; ++i) timeout *= 2;
+  timeout = std::min(timeout, config_.max_rto);
+  // Deterministic jitter (seeded rng) de-synchronises retry storms after a
+  // partition heals.
+  return timeout + rng_.next_below(timeout / 4 + 1);
 }
 
 void Wcl::on_gossip_exchange(const pss::ContactCard& partner) {
@@ -253,10 +296,12 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
                         transport_.send(card, nylon::kTagWcl, data, sim::Proto::kWcl);
                       });
 
+  pending.sent_at = sim_.now() + crypto_time;
   if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
-  pending.timeout_timer = sim_.schedule_after(config_.ack_timeout, [this, msg_id] {
-    handle_ack(msg_id, /*success=*/false);
-  });
+  pending.timeout_timer =
+      sim_.schedule_after(crypto_time + attempt_timeout(pending), [this, msg_id] {
+        handle_ack(msg_id, /*success=*/false);
+      });
   return true;
 }
 
@@ -290,6 +335,13 @@ void Wcl::handle_ack(std::uint64_t msg_id, bool success) {
   if (it == pending_sends_.end()) return;
   PendingSend& pending = it->second;
   if (success) {
+    // Karn's algorithm: only unambiguous (first-attempt) round-trips feed
+    // the estimator — a retried send's ACK could belong to any attempt.
+    if (pending.attempts == 1 && pending.sent_at != 0 && sim_.now() >= pending.sent_at) {
+      RttEstimator& est = rtt_[pending.dest.card.id];
+      est.sample(sim_.now() - pending.sent_at);
+      m_srtt_.set(static_cast<double>(est.srtt()));
+    }
     finish(msg_id, pending.attempts <= 1 ? SendOutcome::kSuccessFirstTry
                                          : SendOutcome::kSuccessAlternative);
     return;

@@ -28,6 +28,7 @@
 #include "sim/cpumeter.hpp"
 #include "telemetry/scope.hpp"
 #include "wcl/backlog.hpp"
+#include "wcl/rtt.hpp"
 
 namespace whisper::wcl {
 
@@ -66,8 +67,19 @@ struct WclConfig {
   /// P-node mixes between A and B. Must be >= 1.
   std::size_t mixes = 2;
   std::size_t max_retries = 3;                 // alternatives tried after the first attempt
-  sim::Time ack_timeout = 5 * sim::kSecond;    // per attempt
+  /// Initial per-attempt timeout, used until an RTT sample exists for the
+  /// destination. After that the adaptive RTO (SRTT + 4·RTTVAR) governs,
+  /// clamped to [min_rto, max_rto], doubling per retry with deterministic
+  /// jitter.
+  sim::Time ack_timeout = 5 * sim::kSecond;
+  sim::Time min_rto = 200 * sim::kMillisecond;
+  sim::Time max_rto = 30 * sim::kSecond;
   sim::Time pending_forward_ttl = 60 * sim::kSecond;
+  /// Period of the mix-state sweep evicting expired pending_forwards_
+  /// entries (0 disables). Without it a mix that never sees the ACK/NACK
+  /// for a forwarded onion leaks an entry per loss — unbounded growth under
+  /// sustained fault injection.
+  sim::Time sweep_interval = 30 * sim::kSecond;
   /// Encrypt-then-MAC the content body (AES-CTR + HMAC-SHA256, +32 bytes).
   /// The paper uses plain AES (its model excludes active tampering), so the
   /// default reproduces that; enable for integrity-protected deployments.
@@ -133,8 +145,16 @@ class Wcl {
     std::uint64_t total_attempts = 0;
     /// Authenticated bodies whose MAC failed (tampering detected).
     std::uint64_t bodies_rejected = 0;
+    /// Mix-state entries evicted by the sweep (ACK/NACK never came back).
+    std::uint64_t forwards_expired = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Per-destination RTT state (empty estimator if none yet).
+  const RttEstimator& rtt_of(NodeId dest) const;
+  /// The timeout the next first attempt towards `dest` would use.
+  sim::Time current_rto(NodeId dest) const;
+  std::size_t pending_forward_count() const { return pending_forwards_.size(); }
 
  private:
   struct PendingSend {
@@ -144,6 +164,8 @@ class Wcl {
     std::size_t attempts = 0;
     std::unordered_set<NodeId> tried_helpers;
     sim::TimerId timeout_timer = 0;
+    /// When the latest attempt's onion hit the wire (for RTT sampling).
+    sim::Time sent_at = 0;
   };
 
   void handle_message(NodeId from, BytesView payload);
@@ -153,6 +175,10 @@ class Wcl {
   void finish(std::uint64_t msg_id, SendOutcome outcome);
   void ensure_pi();
   void send_signal(const pss::ContactCard& to, bool success, std::uint64_t msg_id);
+  /// Timeout for the next attempt of `pending`: adaptive RTO doubled per
+  /// prior attempt, plus deterministic jitter.
+  sim::Time attempt_timeout(const PendingSend& pending);
+  void sweep();
 
   sim::Simulator& sim_;
   nylon::Transport& transport_;
@@ -173,6 +199,10 @@ class Wcl {
     sim::Time expires = 0;
   };
   std::unordered_map<std::uint64_t, PendingForward> pending_forwards_;
+  sim::TimerId sweep_timer_ = 0;
+
+  // Per-destination RTT estimators, fed by first-attempt ACK round-trips.
+  std::unordered_map<NodeId, RttEstimator> rtt_;
 
   // P-nodes currently being fetched to restore the Π invariant.
   std::unordered_set<NodeId> pnode_fetches_;
@@ -186,7 +216,9 @@ class Wcl {
   telemetry::Counter& m_forwarded_;
   telemetry::Counter& m_delivered_;
   telemetry::Counter& m_forward_failures_;
+  telemetry::Counter& m_forwards_expired_;
   telemetry::Gauge& m_backlog_depth_;
+  telemetry::Gauge& m_srtt_;
 };
 
 }  // namespace whisper::wcl

@@ -144,4 +144,39 @@ WhisperNode* WhisperTestbed::random_node() {
   return alive[rng_.pick_index(alive)];
 }
 
+std::vector<Endpoint> WhisperTestbed::relay_endpoints() {
+  std::vector<Endpoint> out;
+  for (auto& n : nodes_) {
+    if (!n->running() || !n->is_public()) continue;
+    if (n->transport().relayed_registrations() == 0) continue;
+    out.push_back(n->internal_endpoint());
+  }
+  return out;
+}
+
+faults::FaultFabric& WhisperTestbed::install_fault_fabric() {
+  if (faults_ != nullptr) return *faults_;
+  faults::FaultFabric::Environment env;
+  env.live_endpoints = [this] {
+    std::vector<Endpoint> out;
+    for (auto& n : nodes_) {
+      if (n->running()) out.push_back(n->internal_endpoint());
+    }
+    return out;
+  };
+  env.relay_endpoints = [this] { return relay_endpoints(); };
+  env.crash_node = [this](Endpoint ep) {
+    for (auto& n : nodes_) {
+      if (n->running() && n->internal_endpoint() == ep) {
+        kill_node(n->id());
+        return;
+      }
+    }
+  };
+  env.reset_nat = [this](Endpoint ep) { fabric_->reset_mappings(ep); };
+  faults_ = std::make_unique<faults::FaultFabric>(
+      sim_, *net_, std::move(env), rng_.fork(), telemetry::Scope(sinks(), 0));
+  return *faults_;
+}
+
 }  // namespace whisper

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "nat/nat.hpp"
 #include "pss/metrics.hpp"
 #include "sim/network.hpp"
@@ -73,6 +74,17 @@ class WhisperTestbed {
   /// Pick a random live node.
   WhisperNode* random_node();
 
+  /// Install (once) the fault-injection fabric, wired to this testbed's
+  /// population: live/relay endpoint resolution, churn-kill for crashes,
+  /// NAT-device resets. Idempotent — returns the existing fabric if called
+  /// again.
+  faults::FaultFabric& install_fault_fabric();
+  faults::FaultFabric* fault_fabric() { return faults_.get(); }
+
+  /// Internal endpoints of live public nodes currently relaying for others
+  /// (the relay-crash fault's victim pool).
+  std::vector<Endpoint> relay_endpoints();
+
   // --- Telemetry. ---
   telemetry::Registry& registry() { return registry_; }
   const telemetry::Registry& registry() const { return registry_; }
@@ -92,6 +104,9 @@ class WhisperTestbed {
   telemetry::TimeSeriesRecorder recorder_;
   std::unique_ptr<nat::NatFabric> fabric_;
   std::unique_ptr<sim::Network> net_;
+  // Declared after net_: the fabric detaches from the network on
+  // destruction, so it must die first.
+  std::unique_ptr<faults::FaultFabric> faults_;
   std::vector<std::unique_ptr<WhisperNode>> nodes_;  // includes stopped ones
   std::uint64_t next_node_id_ = 1;
   std::size_t next_key_index_ = 0;

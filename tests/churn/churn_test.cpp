@@ -107,6 +107,56 @@ TEST_F(ChurnFixture, ZeroRatePhaseIgnored) {
   EXPECT_EQ(killed, 0u);
 }
 
+TEST_F(ChurnFixture, FractionalCarryNeverLosesLeavers) {
+  // Property: over any phase, the carry mechanism makes total kills land
+  // within one node of exact_rate * ticks — fractions accumulate, they are
+  // neither dropped (rounding down every tick) nor double-counted.
+  const double fractions[] = {0.0004, 0.0017, 0.003, 0.0049, 0.0101};
+  for (const double f : fractions) {
+    killed = spawned = 0;
+    population = 1000;
+    ChurnEngine engine(
+        sim, [this](std::size_t n) { killed += n; return n; },
+        [this](std::size_t n) { spawned += n; }, [this] { return population; });
+    ChurnPhase phase;
+    phase.start = sim.now();
+    phase.end = phase.start + 200 * sim::kMinute;
+    phase.interval = sim::kMinute;
+    phase.leave_fraction = f;
+    // Population held constant by the lambdas above, so the expected total
+    // is exactly fraction * 1000 * 200 ticks.
+    engine.schedule(phase);
+    sim.run();
+    const double expected = f * 1000.0 * 200.0;
+    EXPECT_NEAR(static_cast<double>(engine.total_killed()), expected, 1.0)
+        << "fraction=" << f;
+  }
+}
+
+TEST_F(ChurnFixture, ReplacementRatioScalesJoiners) {
+  // Property: spawned ~= killed * ratio for sub- and super-unity ratios.
+  const double ratios[] = {0.0, 0.5, 1.0, 1.5};
+  for (const double r : ratios) {
+    killed = spawned = 0;
+    population = 1000;
+    ChurnEngine engine = make_engine();
+    ChurnPhase phase;
+    phase.start = sim.now();
+    phase.end = phase.start + 50 * sim::kMinute;
+    phase.interval = sim::kMinute;
+    phase.leave_fraction = 0.01;
+    phase.replacement_ratio = r;
+    engine.schedule(phase);
+    sim.run_until(phase.end);
+    ASSERT_GT(engine.total_killed(), 100u);
+    // Per-tick llround wobbles by at most half a node per tick.
+    EXPECT_NEAR(static_cast<double>(engine.total_spawned()),
+                static_cast<double>(engine.total_killed()) * r,
+                0.5 * 50 + 1)
+        << "ratio=" << r;
+  }
+}
+
 TEST_F(ChurnFixture, TotalsTracked) {
   ChurnEngine engine = make_engine();
   ChurnPhase phase;

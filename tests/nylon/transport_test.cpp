@@ -203,5 +203,90 @@ TEST_F(TransportFixture, RelayServesItsOwnRegistrants) {
   ASSERT_EQ(inbox(n).size(), 1u);
 }
 
+TEST_F(TransportFixture, RelayCrashDetectedWithinThresholdKeepalives) {
+  // Regression for relay failover: a crashed relay must be declared lost
+  // (and on_relay_lost fired) within relay_loss_threshold keepalive periods
+  // of the crash — detection must not be slowed by the backoff logic.
+  Transport& relay = add_public(1);
+  Transport& n = add_natted(2, nat::NatType::kFullCone);
+  n.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  ASSERT_FALSE(n.relay_lost());
+
+  sim::Time detected_at = 0;
+  n.on_relay_lost = [&] { detected_at = sim.now(); };
+  const sim::Time crash_at = sim.now();
+  relay.shutdown();
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+
+  ASSERT_NE(detected_at, 0u) << "on_relay_lost never fired";
+  const TransportConfig cfg{};  // defaults match what add_natted built
+  EXPECT_LE(detected_at - crash_at,
+            static_cast<sim::Time>(cfg.relay_loss_threshold) * cfg.keepalive_period +
+                sim::kSecond);
+  EXPECT_EQ(n.relays_lost(), 1u);
+}
+
+TEST_F(TransportFixture, RelayFailoverReRegistersAndRestoresDelivery) {
+  Transport& dead_relay = add_public(1);
+  Transport& backup = add_public(2);
+  Transport& n = add_natted(3, nat::NatType::kSymmetric);  // relay is the only path
+  Transport& sender = add_public(4);
+  n.set_relay(dead_relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+
+  // Failover hook the PSS would install: promote the backup on loss.
+  n.on_relay_lost = [&] { n.set_relay(backup.self_card()); };
+  dead_relay.shutdown();
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+
+  EXPECT_FALSE(n.relay_lost());
+  EXPECT_EQ(n.relay_id(), NodeId{2});
+  EXPECT_EQ(backup.relayed_registrations(), 1u);
+  collect(n);
+  EXPECT_TRUE(sender.send(n.self_card(), kTagApp, Bytes{8}, sim::Proto::kApp));
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_EQ(inbox(n).size(), 1u);
+  EXPECT_EQ(inbox(n)[0].second, Bytes{8});
+}
+
+TEST_F(TransportFixture, KeepalivesBackOffAfterRelayLoss) {
+  Transport& relay = add_public(1);
+  Transport& n = add_natted(2, nat::NatType::kFullCone);
+  n.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  relay.shutdown();
+  sim.run_until(sim.now() + 5 * sim::kMinute);  // loss declared, backoff engaged
+  ASSERT_TRUE(n.relay_lost());
+
+  // With no failover wired, keepalives must decay towards the backoff
+  // ceiling instead of hammering the dead address at full cadence.
+  const std::uint64_t before = net.packets_sent();
+  sim.run_until(sim.now() + 20 * sim::kMinute);
+  const std::uint64_t pings = net.packets_sent() - before;
+  const TransportConfig cfg{};
+  const std::uint64_t full_cadence = 20 * sim::kMinute / cfg.keepalive_period;  // 40
+  EXPECT_LT(pings, full_cadence / 3);
+  EXPECT_GE(pings, 2u);  // but it keeps probing: the relay may come back
+}
+
+TEST_F(TransportFixture, RelayRecoveryResumesNormalKeepaliveCadence) {
+  // If the "lost" relay answers again (e.g. a healed partition), the
+  // backed-off keepalive timer must snap back to the normal period.
+  Transport& relay = add_public(1);
+  Transport& n = add_natted(2, nat::NatType::kFullCone);
+  n.set_relay(relay.self_card());
+  sim.run_until(sim.now() + sim::kSecond);
+  relay.shutdown();
+  sim.run_until(sim.now() + 5 * sim::kMinute);
+  ASSERT_TRUE(n.relay_lost());
+
+  // "Reboot" the relay at the same endpoint: re-attach a fresh transport.
+  Transport relay2(sim, net, NodeId{1}, relay.internal_endpoint(), true);
+  sim.run_until(sim.now() + 15 * sim::kMinute);  // next backed-off ping gets acked
+  EXPECT_FALSE(n.relay_lost());
+  EXPECT_EQ(relay2.relayed_registrations(), 1u);
+}
+
 }  // namespace
 }  // namespace whisper::nylon

@@ -121,6 +121,99 @@ TEST_F(NetFixture, TranslatorOutboundRefusalBlocksSend) {
   EXPECT_FALSE(net.send(ep(2), ep(1), Bytes{1}, Proto::kApp));
 }
 
+TEST_F(NetFixture, InFlightPacketsAreNotDropped) {
+  // The seed's packets_dropped() was sent - delivered, so a packet still in
+  // flight read as dropped. The explicit counters must not have that bug.
+  net.attach(ep(1), [](const Datagram&) {});
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  EXPECT_EQ(net.packets_in_flight(), 1u);
+  EXPECT_EQ(net.packets_dropped(), 0u);
+  sim.run();
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+  EXPECT_EQ(net.packets_dropped(), 0u);
+  EXPECT_EQ(net.packets_delivered(), 1u);
+}
+
+TEST_F(NetFixture, DropReasonsCountedSeparately) {
+  struct Xlat : AddressTranslator {
+    std::optional<Endpoint> outbound(Endpoint src, Endpoint) override { return src; }
+    std::optional<Endpoint> inbound(Endpoint, Endpoint) override { return std::nullopt; }
+  } xlat;
+  // One detach drop...
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run();
+  EXPECT_EQ(net.packets_dropped(DropReason::kDetach), 1u);
+  // ...and one filter drop.
+  net.set_translator(&xlat);
+  net.attach(ep(1), [](const Datagram&) {});
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run();
+  EXPECT_EQ(net.packets_dropped(DropReason::kFilter), 1u);
+  EXPECT_EQ(net.packets_dropped(DropReason::kLoss), 0u);
+  EXPECT_EQ(net.packets_dropped(), 2u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+}
+
+TEST_F(NetFixture, FaultInterposerCanDropOnWire) {
+  struct Faults : FaultInterposer {
+    WireVerdict on_wire(Endpoint, Datagram&) override { return WireVerdict{0, 0}; }
+    Gate on_deliver(Endpoint, Endpoint, const Datagram&) override {
+      return Gate::kDeliver;
+    }
+  } faults;
+  net.set_fault_interposer(&faults);
+  bool got = false;
+  net.attach(ep(1), [&](const Datagram&) { got = true; });
+  EXPECT_TRUE(net.send(ep(2), ep(1), Bytes{1}, Proto::kApp));
+  sim.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(net.packets_dropped(DropReason::kFault), 1u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+}
+
+TEST_F(NetFixture, FaultInterposerDuplicationAccounted) {
+  struct Faults : FaultInterposer {
+    WireVerdict on_wire(Endpoint, Datagram&) override { return WireVerdict{2, 0}; }
+    Gate on_deliver(Endpoint, Endpoint, const Datagram&) override {
+      return Gate::kDeliver;
+    }
+  } faults;
+  net.set_fault_interposer(&faults);
+  int got = 0;
+  net.attach(ep(1), [&](const Datagram&) { ++got; });
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net.packets_sent(), 1u);
+  EXPECT_EQ(net.packets_duplicated(), 1u);
+  EXPECT_EQ(net.packets_delivered(), 2u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+}
+
+TEST_F(NetFixture, FaultInterposerQueueAndRedeliver) {
+  struct Faults : FaultInterposer {
+    bool queueing = true;
+    std::vector<std::pair<Endpoint, Datagram>> held;
+    WireVerdict on_wire(Endpoint, Datagram&) override { return {}; }
+    Gate on_deliver(Endpoint, Endpoint dst, const Datagram& d) override {
+      if (!queueing) return Gate::kDeliver;
+      held.emplace_back(dst, d);
+      return Gate::kQueue;
+    }
+  } faults;
+  net.set_fault_interposer(&faults);
+  int got = 0;
+  net.attach(ep(1), [&](const Datagram&) { ++got; });
+  net.send(ep(2), ep(1), Bytes{1}, Proto::kApp);
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.packets_in_flight(), 1u);  // queued counts as in flight
+  faults.queueing = false;
+  for (auto& [dst, d] : faults.held) net.redeliver(dst, std::move(d));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+}
+
 TEST(NetworkLoss, LostPacketsNeverDeliver) {
   // A latency model that drops everything.
   struct AlwaysLost : LatencyModel {
@@ -133,6 +226,8 @@ TEST(NetworkLoss, LostPacketsNeverDeliver) {
   EXPECT_TRUE(net.send(Endpoint{2, 5000}, Endpoint{1, 5000}, Bytes{1}, Proto::kApp));
   sim.run();
   EXPECT_FALSE(got);
+  EXPECT_EQ(net.packets_dropped(DropReason::kLoss), 1u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
 }
 
 }  // namespace

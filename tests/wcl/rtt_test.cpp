@@ -1,0 +1,60 @@
+#include "wcl/rtt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::wcl {
+namespace {
+
+constexpr sim::Time kInitial = 5 * sim::kSecond;
+constexpr sim::Time kMin = 200 * sim::kMillisecond;
+constexpr sim::Time kMax = 30 * sim::kSecond;
+
+TEST(RttEstimator, NoSampleReturnsInitialRto) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(kInitial, kMin, kMax), kInitial);
+}
+
+TEST(RttEstimator, FirstSampleSeedsSrttAndVar) {
+  RttEstimator est;
+  est.sample(80 * sim::kMillisecond);
+  EXPECT_EQ(est.srtt(), 80 * sim::kMillisecond);
+  EXPECT_EQ(est.rttvar(), 40 * sim::kMillisecond);
+  // RTO = srtt + 4*rttvar = 240 ms.
+  EXPECT_EQ(est.rto(kInitial, kMin, kMax), 240 * sim::kMillisecond);
+}
+
+TEST(RttEstimator, ConvergesToStableRtt) {
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) est.sample(100 * sim::kMillisecond);
+  EXPECT_NEAR(static_cast<double>(est.srtt()), 100.0 * sim::kMillisecond,
+              1.0 * sim::kMillisecond);
+  // Variance decays towards zero on a steady path; RTO approaches SRTT
+  // (plus the RFC 6298 granularity floor) and the min clamp keeps it sane.
+  EXPECT_LT(est.rttvar(), 5 * sim::kMillisecond);
+  EXPECT_LT(est.rto(kInitial, kMin, kMax), 150 * sim::kMillisecond + kMin);
+}
+
+TEST(RttEstimator, SpikesInflateRtoThenDecay) {
+  RttEstimator est;
+  for (int i = 0; i < 20; ++i) est.sample(50 * sim::kMillisecond);
+  const sim::Time calm = est.rto(kInitial, kMin, kMax);
+  est.sample(1 * sim::kSecond);  // delay spike
+  const sim::Time spiked = est.rto(kInitial, kMin, kMax);
+  EXPECT_GT(spiked, calm);
+  for (int i = 0; i < 40; ++i) est.sample(50 * sim::kMillisecond);
+  EXPECT_LT(est.rto(kInitial, kMin, kMax), spiked / 2);
+}
+
+TEST(RttEstimator, RtoClampedToBounds) {
+  RttEstimator fast;
+  fast.sample(10);  // 10 us path: raw RTO would be 30 us
+  EXPECT_EQ(fast.rto(kInitial, kMin, kMax), kMin);
+
+  RttEstimator slow;
+  slow.sample(100 * sim::kSecond);
+  EXPECT_EQ(slow.rto(kInitial, kMin, kMax), kMax);
+}
+
+}  // namespace
+}  // namespace whisper::wcl

@@ -271,5 +271,66 @@ TEST(RemotePeerWire, DeserializeGarbageFails) {
   EXPECT_FALSE(RemotePeer::deserialize(r).has_value());
 }
 
+TEST(WclAdaptive, SuccessfulSendsSeedTheRttEstimator) {
+  TestbedConfig cfg = config(30, /*seed=*/360);
+  WhisperTestbed tb(cfg);
+  tb.run_for(6 * sim::kMinute);
+  auto nodes = tb.alive_nodes();
+  WhisperNode* src = nodes[1];
+  WhisperNode* dst = nodes[2];
+
+  // No samples yet: the retransmit timer falls back to the conservative
+  // configured ack_timeout.
+  EXPECT_FALSE(src->wcl().rtt_of(dst->id()).has_sample());
+  EXPECT_EQ(src->wcl().current_rto(dst->id()), cfg.node.wcl.ack_timeout);
+
+  int deliveries = 0;
+  dst->wcl().on_deliver = [&](Bytes) { ++deliveries; };
+  src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("time me"));
+  tb.run_for(30 * sim::kSecond);
+  ASSERT_EQ(deliveries, 1);
+
+  // The ack round-trip produced a sample; the adaptive RTO is now far
+  // below the 5 s fixed timeout (cluster paths are millisecond-scale).
+  ASSERT_TRUE(src->wcl().rtt_of(dst->id()).has_sample());
+  EXPECT_LT(src->wcl().current_rto(dst->id()), cfg.node.wcl.ack_timeout);
+  EXPECT_GE(src->wcl().current_rto(dst->id()), cfg.node.wcl.min_rto);
+}
+
+TEST(WclSweep, ExpiredPendingForwardsAreSwept) {
+  TestbedConfig cfg = config(30, /*seed=*/361);
+  WhisperTestbed tb(cfg);
+  tb.run_for(6 * sim::kMinute);
+  auto nodes = tb.alive_nodes();
+  WhisperNode* src = nodes[1];
+  WhisperNode* dst = nodes[2];
+
+  // Capture the destination descriptor, then kill the destination: mixes
+  // that forward the onion will never see an ack come back, leaving
+  // pending-forward state behind on every hop.
+  RemotePeer stale = dst->wcl().self_peer();
+  tb.kill_node(dst->id());
+  src->wcl().send_confidential(stale, to_bytes("to the void"));
+  tb.run_for(30 * sim::kSecond);
+
+  std::size_t lingering = 0;
+  for (WhisperNode* n : tb.alive_nodes()) {
+    lingering += n->wcl().pending_forward_count();
+  }
+  ASSERT_GT(lingering, 0u) << "dead-destination send left no mix state";
+
+  // Past pending_forward_ttl (+ one sweep interval), the periodic sweep
+  // reclaims the state and counts each expiry.
+  tb.run_for(cfg.node.wcl.pending_forward_ttl + 2 * cfg.node.wcl.sweep_interval);
+  std::size_t after = 0;
+  std::uint64_t expired = 0;
+  for (WhisperNode* n : tb.alive_nodes()) {
+    after += n->wcl().pending_forward_count();
+    expired += n->wcl().stats().forwards_expired;
+  }
+  EXPECT_EQ(after, 0u);
+  EXPECT_GE(expired, lingering);
+}
+
 }  // namespace
 }  // namespace whisper::wcl

@@ -7,7 +7,12 @@
 //   whisper_sim --nodes=300 --natted=0.7 --latency=cluster --pi=3
 //               --groups=10 --churn=1.0 --minutes=30 [--seed=42]
 //               [--trace=out.trace.json] [--metrics=out.jsonl]
-//               [--sample-secs=60]
+//               [--sample-secs=60] [--faults=script.txt]
+//
+// --faults loads a fault-injection script (see src/faults/script.hpp for
+// the line format: partitions, loss/delay episodes, relay crashes, NAT
+// resets, node pauses). Times in the script are relative to the end of the
+// warm-up, i.e. to the start of the observation window.
 //
 // --trace dumps a Chrome trace-event file (load in Perfetto / about:tracing;
 // one timeline row per node, timestamps are virtual microseconds).
@@ -17,6 +22,7 @@
 #include <string>
 
 #include "churn/churn.hpp"
+#include "faults/script.hpp"
 #include "pss/metrics.hpp"
 #include "telemetry/export.hpp"
 #include "whisper/testbed.hpp"
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   const int minutes = static_cast<int>(arg_double(argc, argv, "minutes", 20));
   const std::string trace_path = arg_string(argc, argv, "trace", "");
   const std::string metrics_path = arg_string(argc, argv, "metrics", "");
+  const std::string faults_path = arg_string(argc, argv, "faults", "");
   const double sample_secs = arg_double(argc, argv, "sample-secs", 0);
   cfg.trace = !trace_path.empty();
   cfg.telemetry_sample_every = static_cast<sim::Time>(sample_secs * sim::kSecond);
@@ -116,6 +123,23 @@ int main(int argc, char** argv) {
     engine.schedule(phase);
   }
 
+  if (!faults_path.empty()) {
+    auto parsed = faults::parse_script_file(faults_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "faults: %s: %s\n", faults_path.c_str(), parsed.error.c_str());
+      return 1;
+    }
+    // Script times are relative to the observation window, which starts now.
+    const sim::Time t0 = tb.simulator().now();
+    for (auto& spec : parsed.specs) {
+      spec.start += t0;
+      if (spec.end > 0) spec.end += t0;
+    }
+    tb.install_fault_fabric().schedule_all(parsed.specs);
+    std::printf("faults: %zu scripted from %s\n\n", parsed.specs.size(),
+                faults_path.c_str());
+  }
+
   std::printf("%-5s %-6s %-9s %-7s %-7s %-9s %-9s %-10s\n", "min", "alive", "exch/min",
               "fill", "clust", "wcl-ok", "wcl-fail", "traffic");
   std::uint64_t prev_done = 0;
@@ -147,6 +171,20 @@ int main(int argc, char** argv) {
               engine.total_killed(), engine.total_spawned(),
               static_cast<unsigned long long>(tb.network().packets_sent()),
               static_cast<unsigned long long>(tb.network().packets_delivered()));
+  if (const faults::FaultFabric* ff = tb.fault_fabric()) {
+    const auto& fs = ff->stats();
+    std::printf("faults: dropped=%llu delayed=%llu duplicated=%llu corrupted=%llu "
+                "queued=%llu flushed=%llu paused=%llu crashed=%llu natresets=%llu\n",
+                static_cast<unsigned long long>(fs.packets_dropped),
+                static_cast<unsigned long long>(fs.packets_delayed),
+                static_cast<unsigned long long>(fs.packets_duplicated),
+                static_cast<unsigned long long>(fs.packets_corrupted),
+                static_cast<unsigned long long>(fs.packets_queued),
+                static_cast<unsigned long long>(fs.packets_flushed),
+                static_cast<unsigned long long>(fs.nodes_paused),
+                static_cast<unsigned long long>(fs.nodes_crashed),
+                static_cast<unsigned long long>(fs.nat_resets));
+  }
   const double reach =
       pss::reachable_fraction(tb.overlay_snapshot(), tb.alive_nodes()[0]->id());
   std::printf("overlay reachability from %s: %.1f%%\n",
