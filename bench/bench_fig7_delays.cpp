@@ -76,6 +76,15 @@ void run_testbed(const std::string& latency, std::size_t n_nodes, std::size_t n_
   std::printf("  build WCL path (ms):  %s\n", format_stacked_percentiles(build_ms).c_str());
   std::printf("  RSA decrypt/hop (ms): %s\n", format_stacked_percentiles(decrypt_ms).c_str());
   std::printf("  total rtt (s):        %s\n", format_stacked_percentiles(rtt_samples).c_str());
+
+  // Tail latency from the live registry histogram (the same p50/p95/p99 the
+  // JSONL exporter emits), cross-checking the callback-collected samples.
+  const telemetry::Histogram& h = tb.registry().histogram(
+      "ppss.exchange.rtt_us", telemetry::BucketSpec::log_spaced(1'000, 60'000'000));
+  std::printf("  rtt tail (s):         p50=%.3f p95=%.3f p99=%.3f (histogram, %llu obs)\n",
+              h.percentile(50) / sim::kSecond, h.percentile(95) / sim::kSecond,
+              h.percentile(99) / sim::kSecond,
+              static_cast<unsigned long long>(h.count()));
   std::printf("  rtt CDF:\n%s", format_cdf(rtt_samples, 12, "rtt(s)").c_str());
   const double ratio = build_samples.mean() > 0 ? rtt_samples.mean() / build_samples.mean() : 0;
   std::printf("  shape-check: rtt/build ratio = %.0fx (paper: ~2 orders of magnitude)\n",

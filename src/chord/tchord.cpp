@@ -262,10 +262,19 @@ void TChord::lookup(ChordKey key, LookupCallback callback) {
   pending.callback = std::move(callback);
   pending.started_at = sim_.now();
   pending.attempts = 1;
+  if (telemetry::FlightRecorder* fr = tel_.flight(); fr != nullptr && fr->enabled()) {
+    pending.trace_root =
+        fr->new_root(telemetry::TraceLayer::kChord, ppss_.self().value,
+                     "key=" + std::to_string(key));
+  }
+  const std::uint64_t trace_root = pending.trace_root;
   pending_lookups_[lookup_id] = std::move(pending);
   arm_lookup_timer(lookup_id);
   ++stats_.lookups_sent;
   m_sent_.add(1);
+  telemetry::TraceContext root_ctx;
+  root_ctx.root = trace_root;
+  telemetry::ScopedTraceContext guard(tel_.flight(), root_ctx);
   route_or_serve(key, lookup_id, self_descriptor(), 0);
 }
 
@@ -279,11 +288,20 @@ void TChord::arm_lookup_timer(std::uint64_t lookup_id) {
       // dispatch often routes around the stale hop.
       ++it->second.attempts;
       const ChordKey key = it->second.key;
+      const std::uint64_t trace_root = it->second.trace_root;
       arm_lookup_timer(lookup_id);
+      telemetry::TraceContext root_ctx;
+      root_ctx.root = trace_root;
+      telemetry::ScopedTraceContext guard(tel_.flight(), root_ctx);
       route_or_serve(key, lookup_id, self_descriptor(), 0);
       return;
     }
     auto cb = std::move(it->second.callback);
+    if (telemetry::FlightRecorder* fr = tel_.flight();
+        fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
+      fr->end(it->second.trace_root, ppss_.self().value, sim_.now(), "timeout",
+              static_cast<std::uint16_t>(it->second.attempts), 0);
+    }
     pending_lookups_.erase(it);
     ++stats_.lookups_timed_out;
     m_timed_out_.add(1);
@@ -304,6 +322,11 @@ void TChord::route_or_serve(ChordKey key, std::uint64_t lookup_id,
       if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
       auto cb = std::move(it->second.callback);
       const sim::Time rtt = sim_.now() - it->second.started_at;
+      if (telemetry::FlightRecorder* fr = tel_.flight();
+          fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
+        fr->end(it->second.trace_root, ppss_.self().value, sim_.now(), "completed",
+                static_cast<std::uint16_t>(it->second.attempts), rtt);
+      }
       pending_lookups_.erase(it);
       ++stats_.lookups_answered;
       m_answered_.add(1);
@@ -369,6 +392,11 @@ void TChord::handle_lookup_response(Reader& r) {
   if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
   auto cb = std::move(it->second.callback);
   const sim::Time rtt = sim_.now() - it->second.started_at;
+  if (telemetry::FlightRecorder* fr = tel_.flight();
+      fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
+    fr->end(it->second.trace_root, ppss_.self().value, sim_.now(), "completed",
+            static_cast<std::uint16_t>(it->second.attempts), rtt);
+  }
   pending_lookups_.erase(it);
   ++stats_.lookups_answered;
   m_answered_.add(1);

@@ -123,6 +123,8 @@ class TChord {
     sim::Time started_at = 0;
     sim::TimerId timeout_timer = 0;
     std::size_t attempts = 0;
+    /// Flight-record root spanning dispatch, retries, and the answer.
+    std::uint64_t trace_root = 0;
   };
   void arm_lookup_timer(std::uint64_t lookup_id);
   std::unordered_map<std::uint64_t, PendingLookup> pending_lookups_;

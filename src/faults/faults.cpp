@@ -174,6 +174,12 @@ void FaultFabric::resume(Endpoint ep) {
   }
 }
 
+void FaultFabric::note_fault(const sim::Datagram& dgram, Endpoint node, FaultKind kind) {
+  telemetry::FlightRecorder* fr = tel_.flight();
+  if (fr == nullptr || !fr->enabled() || !dgram.trace.valid()) return;
+  fr->fault(dgram.trace, fr->node_of(node), sim_.now(), fault_kind_name(kind));
+}
+
 bool FaultFabric::matches(const ActiveFault& f, Endpoint src, Endpoint dst) {
   const bool src_a = f.side_a.empty() || f.side_a.contains(src);
   const bool dst_b = f.side_b.empty() || f.side_b.contains(dst);
@@ -197,6 +203,7 @@ FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, sim::Datagr
           verdict.extra_delay += f.spec.delay;
           ++stats_.packets_delayed;
           m_delayed_.add(1);
+          note_fault(dgram, internal_src, FaultKind::kDelay);
         }
         break;
       case FaultKind::kReorder:
@@ -205,6 +212,7 @@ FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, sim::Datagr
           verdict.extra_delay += rng_.next_below(f.spec.delay);
           ++stats_.packets_delayed;
           m_delayed_.add(1);
+          note_fault(dgram, internal_src, FaultKind::kReorder);
         }
         break;
       case FaultKind::kDuplicate:
@@ -212,6 +220,7 @@ FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, sim::Datagr
           ++verdict.copies;
           ++stats_.packets_duplicated;
           m_duplicated_.add(1);
+          note_fault(dgram, internal_src, FaultKind::kDuplicate);
         }
         break;
       case FaultKind::kCorrupt:
@@ -220,6 +229,7 @@ FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, sim::Datagr
           dgram.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
           ++stats_.packets_corrupted;
           m_corrupted_.add(1);
+          note_fault(dgram, internal_src, FaultKind::kCorrupt);
         }
         break;
       default:
@@ -235,6 +245,7 @@ FaultFabric::Gate FaultFabric::on_deliver(Endpoint internal_src, Endpoint intern
     pause_queues_[internal_dst].push_back(QueuedPacket{internal_dst, dgram});
     ++stats_.packets_queued;
     m_queued_.add(1);
+    note_fault(dgram, internal_dst, FaultKind::kPause);
     return Gate::kQueue;
   }
   for (const ActiveFault& f : active_) {
@@ -246,6 +257,7 @@ FaultFabric::Gate FaultFabric::on_deliver(Endpoint internal_src, Endpoint intern
             (f.side_a.contains(internal_dst) && f.side_b.contains(internal_src))) {
           ++stats_.packets_dropped;
           m_dropped_.add(1);
+          note_fault(dgram, internal_dst, FaultKind::kPartition);
           return Gate::kDrop;
         }
         break;
@@ -254,6 +266,7 @@ FaultFabric::Gate FaultFabric::on_deliver(Endpoint internal_src, Endpoint intern
             rng_.next_bool(f.spec.probability)) {
           ++stats_.packets_dropped;
           m_dropped_.add(1);
+          note_fault(dgram, internal_dst, FaultKind::kLoss);
           return Gate::kDrop;
         }
         break;

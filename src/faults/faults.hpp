@@ -148,6 +148,10 @@ class FaultFabric : public sim::FaultInterposer {
   /// nodes drawn from `pool` after a seeded shuffle.
   std::vector<Endpoint> pick_victims(const FaultSpec& spec, std::vector<Endpoint> pool);
   static bool matches(const ActiveFault& f, Endpoint src, Endpoint dst);
+  /// Attribute an injection to the packet's flight record (no-op when the
+  /// packet is untraced or the recorder is off) — this is what lets
+  /// `whisper_trace faults` say *which* fault killed or delayed a message.
+  void note_fault(const sim::Datagram& dgram, Endpoint node, FaultKind kind);
 
   sim::Simulator& sim_;
   sim::Network& net_;

@@ -91,7 +91,17 @@ void Ppss::send_join_request() {
   pj.accreditation.serialize(w);
   wcl::RemotePeer self_desc = wcl_.self_peer();
   self_desc.serialize(w);
-  wcl_.send_confidential(pj.entry_point, w.data());
+  if (telemetry::FlightRecorder* fr = tel_.flight();
+      fr != nullptr && fr->enabled() && pj.trace_root == 0) {
+    pj.trace_root =
+        fr->new_root(telemetry::TraceLayer::kPpss, self_.value, "group=" + group_.str());
+  }
+  {
+    telemetry::TraceContext root_ctx;
+    root_ctx.root = pj.trace_root;
+    telemetry::ScopedTraceContext guard(tel_.flight(), root_ctx);
+    wcl_.send_confidential(pj.entry_point, w.data());
+  }
 
   pj.retry_timer = sim_.schedule_after(config_.response_timeout, [this] {
     if (pending_join_) send_join_request();
@@ -292,14 +302,32 @@ void Ppss::on_cycle() {
 
   ++stats_.exchanges_initiated;
   m_initiated_.add(1);
-  wcl_.send_confidential(partner_peer, encode_gossip(kKindGossipReq, seq, buffer));
+  // Root trace of the whole exchange; arming just the root id (no message
+  // trace yet) makes the request — and, via the delivered context at the
+  // partner, the response — children of this root.
+  std::uint64_t trace_root = 0;
+  if (telemetry::FlightRecorder* fr = tel_.flight(); fr != nullptr && fr->enabled()) {
+    trace_root =
+        fr->new_root(telemetry::TraceLayer::kPpss, self_.value, "group=" + group_.str());
+  }
+  {
+    telemetry::TraceContext root_ctx;
+    root_ctx.root = trace_root;
+    telemetry::ScopedTraceContext guard(tel_.flight(), root_ctx);
+    wcl_.send_confidential(partner_peer, encode_gossip(kKindGossipReq, seq, buffer));
+  }
 
   PendingExchange pending;
   pending.partner = partner_peer.card.id;
   pending.started_at = sim_.now();
+  pending.trace_root = trace_root;
   pending.timeout_timer = sim_.schedule_after(config_.response_timeout, [this, seq] {
     auto it = pending_.find(seq);
     if (it == pending_.end()) return;
+    if (telemetry::FlightRecorder* fr = tel_.flight();
+        fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
+      fr->end(it->second.trace_root, self_.value, sim_.now(), "timeout", 1, 0);
+    }
     view_.remove(it->second.partner);
     pending_.erase(it);
     ++stats_.exchanges_timed_out;
@@ -391,6 +419,10 @@ void Ppss::handle_gossip(std::uint8_t kind, Reader& r) {
     if (it == pending_.end() || it->second.partner != sender.card.id) return;
     if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
     const sim::Time rtt = sim_.now() - it->second.started_at;
+    if (telemetry::FlightRecorder* fr = tel_.flight();
+        fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
+      fr->end(it->second.trace_root, self_.value, sim_.now(), "completed", 1, rtt);
+    }
     pending_.erase(it);
     view_.merge(received, self_, /*pi_min_public=*/0, rng_);
     ++stats_.exchanges_completed;
@@ -475,6 +507,11 @@ void Ppss::handle_join_response(Reader& r) {
   if (!keyring_.verify_passport(*passport)) return;
   passport_ = *passport;
   if (pending_join_->retry_timer != 0) sim_.cancel(pending_join_->retry_timer);
+  if (telemetry::FlightRecorder* fr = tel_.flight();
+      fr != nullptr && fr->enabled() && pending_join_->trace_root != 0) {
+    fr->end(pending_join_->trace_root, self_.value, sim_.now(), "joined",
+            static_cast<std::uint16_t>(pending_join_->attempts), 0);
+  }
   pending_join_.reset();
   last_heartbeat_seen_ = sim_.now();
 

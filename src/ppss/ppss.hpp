@@ -198,6 +198,8 @@ class Ppss {
     NodeId partner;
     sim::TimerId timeout_timer = 0;
     sim::Time started_at = 0;
+    /// Flight-record root of this exchange (0 while tracing is off).
+    std::uint64_t trace_root = 0;
   };
   std::unordered_map<std::uint32_t, PendingExchange> pending_;
   std::uint32_t next_seq_ = 1;
@@ -208,6 +210,8 @@ class Ppss {
     wcl::RemotePeer entry_point;
     std::size_t attempts = 0;
     sim::TimerId retry_timer = 0;
+    /// Flight-record root spanning every join attempt (0 = untraced).
+    std::uint64_t trace_root = 0;
   };
   std::optional<PendingJoin> pending_join_;
 

@@ -15,6 +15,17 @@ const char* proto_name(Proto p) {
   return "unknown";
 }
 
+namespace {
+
+/// Flow id for the Chrome-trace arrow of one wire traversal: unique per
+/// (trace, wire copy). Seqs are recorder-global, so 20 bits of seq under the
+/// trace id keeps ids collision-free for any plausible run length.
+std::uint64_t flow_id_of(const telemetry::TraceContext& ctx) {
+  return (ctx.trace_id << 20) ^ ctx.seq;
+}
+
+}  // namespace
+
 const char* drop_reason_name(DropReason r) {
   switch (r) {
     case DropReason::kLoss: return "loss";
@@ -120,6 +131,8 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
   packets_sent_c_->add(1);
 
   Datagram dgram{wire_src, public_dst, std::move(payload), proto};
+  const bool tracing_flight = flight_ != nullptr && flight_->enabled();
+  if (tracing_flight) dgram.trace = flight_->context();
   std::size_t copies = 1;
   Time extra_delay = 0;
   if (faults_ != nullptr) {
@@ -129,6 +142,9 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
   }
   if (copies == 0) {
     count_drop(DropReason::kFault);
+    if (tracing_flight && dgram.trace.valid()) {
+      flight_->drop(dgram.trace, flight_->node_of(internal_src), sim_.now(), "fault");
+    }
     return true;  // the sender's uplink emitted it; it died on the wire
   }
 
@@ -137,14 +153,28 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
   if (tap_) tap_(dgram);
 
   for (std::size_t i = 0; i < copies; ++i) {
-    auto delay = latency_->sample(wire_src, public_dst, rng_);
     if (i > 0) packets_duplicated_c_->add(1);
-    if (!delay) {
-      count_drop(DropReason::kLoss);  // lost in transit
-      continue;
-    }
     // Copy only for fault-injected duplicates; the final copy moves.
     Datagram scheduled = (i + 1 == copies) ? std::move(dgram) : dgram;
+    if (tracing_flight && scheduled.trace.valid()) {
+      // One seq per wire copy, so duplicated packets pair their own
+      // wire_out/wire_in events in the assembled record.
+      scheduled.trace.seq = flight_->next_wire_seq();
+      const std::uint64_t src_node = flight_->node_of(internal_src);
+      flight_->wire_out(scheduled.trace, src_node, sim_.now(), extra_delay);
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->flow_begin("net.hop", "net", src_node, sim_.now(),
+                            flow_id_of(scheduled.trace));
+      }
+    }
+    auto delay = latency_->sample(wire_src, public_dst, rng_);
+    if (!delay) {
+      count_drop(DropReason::kLoss);  // lost in transit
+      if (tracing_flight && scheduled.trace.valid()) {
+        flight_->drop(scheduled.trace, flight_->node_of(internal_src), sim_.now(), "loss");
+      }
+      continue;
+    }
     sim_.schedule_after(*delay + extra_delay,
                         [this, internal_src, dgram = std::move(scheduled)]() mutable {
                           deliver(internal_src, std::move(dgram));
@@ -154,11 +184,16 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
 }
 
 void Network::deliver(Endpoint internal_src, Datagram dgram) {
+  const bool traced =
+      flight_ != nullptr && flight_->enabled() && dgram.trace.valid();
   Endpoint internal_dst = dgram.dst;
   if (translator_ != nullptr) {
     auto mapped = translator_->inbound(dgram.dst, dgram.src);
     if (!mapped) {
       count_drop(DropReason::kFilter);  // filtered by the destination's NAT
+      if (traced) {
+        flight_->drop(dgram.trace, flight_->node_of(dgram.dst), sim_.now(), "filter");
+      }
       return;
     }
     internal_dst = *mapped;
@@ -167,9 +202,18 @@ void Network::deliver(Endpoint internal_src, Datagram dgram) {
     switch (faults_->on_deliver(internal_src, internal_dst, dgram)) {
       case FaultInterposer::Gate::kDrop:
         count_drop(DropReason::kFault);
+        if (traced) {
+          flight_->drop(dgram.trace, flight_->node_of(internal_dst), sim_.now(), "fault");
+        }
         return;
       case FaultInterposer::Gate::kQueue:
-        return;  // interposer owns it; counts on redeliver()
+        // Interposer owns it; counts on redeliver(). The queued event marks
+        // the hold start so assembly can split queueing from propagation.
+        if (traced) {
+          flight_->queued(dgram.trace, flight_->node_of(internal_dst), sim_.now(),
+                          "pause");
+        }
+        return;
       case FaultInterposer::Gate::kDeliver:
         break;
     }
@@ -182,9 +226,14 @@ void Network::redeliver(Endpoint internal_dst, Datagram dgram) {
 }
 
 void Network::finish_delivery(Endpoint internal_dst, Datagram dgram) {
+  const bool traced =
+      flight_ != nullptr && flight_->enabled() && dgram.trace.valid();
   auto it = handlers_.find(internal_dst);
   if (it == handlers_.end()) {
     count_drop(DropReason::kDetach);  // node departed
+    if (traced) {
+      flight_->drop(dgram.trace, flight_->node_of(internal_dst), sim_.now(), "detach");
+    }
     return;
   }
 
@@ -192,6 +241,18 @@ void Network::finish_delivery(Endpoint internal_dst, Datagram dgram) {
   counters_for(internal_dst).down[pi]->add(dgram.payload.size());
   agg_down_[pi]->add(dgram.payload.size());
   packets_delivered_c_->add(1);
+  if (!traced) {
+    it->second(dgram);
+    return;
+  }
+  const std::uint64_t dst_node = flight_->node_of(internal_dst);
+  flight_->wire_in(dgram.trace, dst_node, sim_.now());
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->flow_end("net.hop", "net", dst_node, sim_.now(), flow_id_of(dgram.trace));
+  }
+  // Arm the context — advanced one hop — around the handler, so any send the
+  // handler performs (an onion forward, an ACK) extends this causal chain.
+  telemetry::ScopedTraceContext guard(flight_, dgram.trace.next_hop());
   it->second(dgram);
 }
 

@@ -21,7 +21,9 @@
 #include "common/ids.hpp"
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace whisper::sim {
 
@@ -38,11 +40,16 @@ enum class Proto : std::uint8_t {
 
 /// A datagram as observed on the wire (addresses are *public* ones when NAT
 /// devices are on the path).
+///
+/// `trace` is simulator-side metadata only — it never serializes into
+/// `payload`, so the wire bytes an attacker (or the wiretap) sees are
+/// byte-identical with tracing on or off.
 struct Datagram {
   Endpoint src;
   Endpoint dst;
   Bytes payload;
   Proto proto = Proto::kApp;
+  telemetry::TraceContext trace;
 };
 
 /// NAT interposition hook; implemented by nat::NatFabric.
@@ -146,6 +153,17 @@ class Network {
   /// Install the fault fabric. May be null (no faults; zero overhead).
   void set_fault_interposer(FaultInterposer* faults) { faults_ = faults; }
 
+  /// Install the flight recorder for causal tracing. While installed and
+  /// enabled, outbound datagrams are stamped with the sender's ambient
+  /// TraceContext (one unique seq per wire copy), wire events are logged,
+  /// and the context — advanced one hop — is armed around the destination
+  /// handler. Null or disabled costs one branch per packet.
+  void set_flight(telemetry::FlightRecorder* flight) { flight_ = flight; }
+
+  /// Install a tracer for cross-node flow events ('s' at emission, 'f' at
+  /// delivery, one pair per traced wire traversal).
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
   /// Re-inject a datagram previously consumed by the fault interposer (the
   /// paused-node queue flush on resume). NAT was already resolved when the
   /// packet was queued; it goes straight to the handler — or to the detach
@@ -205,6 +223,8 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   AddressTranslator* translator_ = nullptr;
   FaultInterposer* faults_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
   Tap tap_;
   std::unordered_map<Endpoint, Handler> handlers_;
   std::unique_ptr<telemetry::Registry> owned_registry_;  // when none injected

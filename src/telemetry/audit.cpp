@@ -1,0 +1,343 @@
+#include "telemetry/audit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace whisper::telemetry {
+namespace {
+
+// Splits "a,b,c" and calls fn on each non-empty piece.
+template <typename Fn>
+bool for_each_piece(std::string_view list, Fn fn) {
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view piece = list.substr(pos, comma - pos);
+    if (!piece.empty() && !fn(piece)) return false;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+std::string fmt_u64_list(const std::set<std::uint64_t>& s) {
+  std::string out;
+  for (std::uint64_t v : s) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+// One audited transmission of the forward path.
+struct Transmission {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::uint64_t sent_ts = 0;
+};
+
+// Forward-path transmissions of the final attempt, in send order. The
+// forward path ends at the first arrival at the true destination; later
+// hops are the ACK retracing the route.
+std::vector<Transmission> forward_path(const FlightRecord& rec) {
+  std::vector<Transmission> out;
+  std::uint16_t final_attempt = 0;
+  for (const FlightHop& h : rec.hops) final_attempt = std::max(final_attempt, h.attempt);
+  for (const FlightHop& h : rec.hops) {
+    if (h.attempt != final_attempt) continue;
+    if (h.status != "ok") continue;
+    if (h.from == 0 || h.to == 0) continue;
+    out.push_back({h.from, h.to, h.sent_ts});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Transmission& a, const Transmission& b) {
+                     return a.sent_ts < b.sent_ts;
+                   });
+  auto arrive = std::find_if(out.begin(), out.end(), [&](const Transmission& t) {
+    return t.to == rec.dst;
+  });
+  if (arrive != out.end()) out.erase(arrive + 1, out.end());
+  return out;
+}
+
+MessageAudit audit_message(const FlightRecord& rec, const std::vector<Transmission>& path,
+                           const Vantage& v, std::size_t total_nodes) {
+  MessageAudit ma;
+  ma.trace_id = rec.trace_id;
+  ma.sender = rec.src;
+  ma.receiver = rec.dst;
+  ma.hops_total = path.size();
+
+  // Which transmissions does the vantage see, and who do they involve?
+  std::set<std::uint64_t> participants;  // endpoints of observed transmissions
+  std::size_t first_seen = path.size(), last_seen = path.size();
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!v.observes_link(path[i].from, path[i].to)) continue;
+    ++ma.hops_observed;
+    participants.insert(path[i].from);
+    participants.insert(path[i].to);
+    if (first_seen == path.size()) first_seen = i;
+    last_seen = i;
+  }
+
+  // Attacker-controlled nodes rule themselves out as endpoints.
+  std::set<std::uint64_t> attacker = v.relays;
+  attacker.insert(v.taps.begin(), v.taps.end());
+
+  // Sender. Pinned only when the source's first emission is visibly
+  // un-preceded: the attacker sees *all* of the source's links (tap,
+  // compromise, or global view). A mere link observer or a downstream HbC
+  // relay sees an emitter but cannot exclude an earlier inbound hop.
+  ma.sender_pinned = v.global || v.taps.contains(rec.src) || v.relays.contains(rec.src);
+  if (ma.sender_pinned) {
+    ma.sender_set = 1;
+  } else {
+    // Candidate senders: everyone except attacker nodes (they know they did
+    // not send) and observed participants strictly downstream of the first
+    // observed emitter (they visibly *received* the message).
+    std::set<std::uint64_t> excluded = attacker;
+    if (first_seen < path.size()) {
+      for (std::uint64_t p : participants) {
+        if (p != path[first_seen].from) excluded.insert(p);
+      }
+    }
+    excluded.erase(rec.src);  // ground truth stays a candidate by construction
+    ma.sender_set = total_nodes > excluded.size() ? total_nodes - excluded.size() : 1;
+  }
+
+  // Receiver, mirrored at the tail of the forward path.
+  ma.receiver_pinned = v.global || v.taps.contains(rec.dst) || v.relays.contains(rec.dst);
+  if (ma.receiver_pinned) {
+    ma.receiver_set = 1;
+  } else {
+    std::set<std::uint64_t> excluded = attacker;
+    if (last_seen < path.size()) {
+      for (std::uint64_t p : participants) {
+        if (p != path[last_seen].to) excluded.insert(p);
+      }
+    }
+    excluded.erase(rec.dst);
+    ma.receiver_set = total_nodes > excluded.size() ? total_nodes - excluded.size() : 1;
+  }
+
+  ma.linkable = ma.sender_pinned && ma.receiver_pinned;
+  return ma;
+}
+
+}  // namespace
+
+bool Vantage::parse(std::string_view spec, Vantage* out, std::string* err) {
+  Vantage v;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    std::string_view clause = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (clause.empty()) continue;
+    if (clause == "global") {
+      v.global = true;
+      continue;
+    }
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      if (err) *err = "bad clause (want key=values or 'global'): " + std::string(clause);
+      return false;
+    }
+    const std::string_view key = clause.substr(0, eq);
+    const std::string_view val = clause.substr(eq + 1);
+    bool ok = true;
+    if (key == "relays" || key == "taps") {
+      ok = for_each_piece(val, [&](std::string_view piece) {
+        std::uint64_t n = 0;
+        if (!parse_u64(piece, &n)) return false;
+        (key == "relays" ? v.relays : v.taps).insert(n);
+        return true;
+      });
+    } else if (key == "links") {
+      ok = for_each_piece(val, [&](std::string_view piece) {
+        const std::size_t dash = piece.find('-');
+        std::uint64_t a = 0, b = 0;
+        if (dash == std::string_view::npos || !parse_u64(piece.substr(0, dash), &a) ||
+            !parse_u64(piece.substr(dash + 1), &b)) {
+          return false;
+        }
+        v.links.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+        return true;
+      });
+    } else {
+      if (err) *err = "unknown vantage key: " + std::string(key);
+      return false;
+    }
+    if (!ok) {
+      if (err) *err = "bad value list in clause: " + std::string(clause);
+      return false;
+    }
+  }
+  *out = std::move(v);
+  return true;
+}
+
+std::string Vantage::str() const {
+  if (global) return "global";
+  std::string out;
+  auto clause = [&](const char* key, const std::string& val) {
+    if (val.empty()) return;
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += val;
+  };
+  clause("relays", fmt_u64_list(relays));
+  clause("taps", fmt_u64_list(taps));
+  std::string link_list;
+  for (const auto& [a, b] : links) {
+    if (!link_list.empty()) link_list += ',';
+    link_list += std::to_string(a) + "-" + std::to_string(b);
+  }
+  clause("links", link_list);
+  return out.empty() ? "(none)" : out;
+}
+
+AuditReport audit(const std::vector<FlightRecord>& records, const Vantage& vantage,
+                  std::size_t total_nodes) {
+  AuditReport report;
+
+  // Universe and ground-truth group membership come from the full record
+  // set (the auditor is allowed to know the deployment; the *vantage* is
+  // what the attacker knows).
+  std::set<std::uint64_t> universe;
+  std::map<std::uint64_t, std::string> root_group;  // root trace id -> group
+  for (const FlightRecord& rec : records) {
+    if (rec.src != 0) universe.insert(rec.src);
+    if (rec.dst != 0) universe.insert(rec.dst);
+    for (const FlightHop& h : rec.hops) {
+      if (h.from != 0) universe.insert(h.from);
+      if (h.to != 0) universe.insert(h.to);
+    }
+    if (!rec.group.empty()) root_group[rec.trace_id] = rec.group;
+  }
+  report.total_nodes = total_nodes != 0 ? total_nodes : universe.size();
+
+  std::map<std::string, std::set<std::uint64_t>> group_members;
+  std::map<std::string, std::set<std::uint64_t>> group_leaked;
+  std::map<std::uint64_t, RelayAudit> per_relay;
+  for (std::uint64_t r : vantage.relays) per_relay[r].relay = r;
+
+  double sender_sets = 0, receiver_sets = 0;
+  for (const FlightRecord& rec : records) {
+    // Only WCL messages move through the network; PPSS/Chord roots are
+    // control-plane parents with no hops of their own.
+    if (rec.layer != TraceLayer::kWcl || rec.src == 0 || rec.dst == 0) continue;
+    const std::vector<Transmission> path = forward_path(rec);
+    if (path.empty()) continue;
+
+    MessageAudit ma = audit_message(rec, path, vantage, report.total_nodes);
+    ++report.messages_total;
+    if (ma.hops_observed > 0) ++report.messages_observed;
+    if (ma.linkable) ++report.linkable_count;
+    sender_sets += static_cast<double>(ma.sender_set);
+    receiver_sets += static_cast<double>(ma.receiver_set);
+
+    // Per-relay single-vantage audit: what would relay r alone learn?
+    for (auto& [r, ra] : per_relay) {
+      const bool on_path = std::any_of(path.begin(), path.end(), [&, rr = r](const Transmission& t) {
+        return t.from == rr || t.to == rr;
+      });
+      if (!on_path) continue;
+      ++ra.messages_seen;
+      Vantage solo;
+      solo.relays.insert(r);
+      const MessageAudit solo_ma = audit_message(rec, path, solo, report.total_nodes);
+      if (solo_ma.sender_pinned) ++ra.sender_pinned;
+      if (solo_ma.receiver_pinned) ++ra.receiver_pinned;
+      if (solo_ma.linkable) ++ra.linkable;
+    }
+
+    // Group leakage: find the message's group via its PPSS root (worst-case
+    // message->group oracle).
+    auto git = root_group.find(rec.root);
+    if (git != root_group.end()) {
+      group_members[git->second].insert(rec.src);
+      group_members[git->second].insert(rec.dst);
+      if (ma.sender_pinned) group_leaked[git->second].insert(rec.src);
+      if (ma.receiver_pinned) group_leaked[git->second].insert(rec.dst);
+    }
+
+    report.messages.push_back(std::move(ma));
+  }
+
+  if (report.messages_total > 0) {
+    report.mean_sender_set = sender_sets / static_cast<double>(report.messages_total);
+    report.mean_receiver_set = receiver_sets / static_cast<double>(report.messages_total);
+  }
+  for (auto& [r, ra] : per_relay) report.relays.push_back(ra);
+  for (auto& [g, members] : group_members) {
+    GroupAudit ga;
+    ga.group = g;
+    ga.members = members.size();
+    ga.leaked = group_leaked[g].size();
+    report.groups.push_back(std::move(ga));
+  }
+  return report;
+}
+
+std::string format_report(const AuditReport& report, bool verbose) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "nodes=%zu messages=%zu observed=%zu linkable=%zu\n",
+                report.total_nodes, report.messages_total, report.messages_observed,
+                report.linkable_count);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "mean anonymity set: sender=%.1f receiver=%.1f (of %zu)\n",
+                report.mean_sender_set, report.mean_receiver_set, report.total_nodes);
+  out += buf;
+  if (!report.relays.empty()) {
+    out += "per-relay (audited as sole honest-but-curious vantage):\n";
+    out += "  relay        seen  sender_pinned  receiver_pinned  linkable\n";
+    for (const RelayAudit& ra : report.relays) {
+      std::snprintf(buf, sizeof(buf), "  %-10llu %6zu %14zu %16zu %9zu\n",
+                    static_cast<unsigned long long>(ra.relay), ra.messages_seen,
+                    ra.sender_pinned, ra.receiver_pinned, ra.linkable);
+      out += buf;
+    }
+  }
+  if (!report.groups.empty()) {
+    out += "group membership leakage:\n";
+    for (const GroupAudit& ga : report.groups) {
+      std::snprintf(buf, sizeof(buf), "  %-24s members=%zu leaked=%zu\n", ga.group.c_str(),
+                    ga.members, ga.leaked);
+      out += buf;
+    }
+  }
+  if (verbose && !report.messages.empty()) {
+    out += "per-message:\n";
+    out += "  trace      sender     receiver   hops  seen  s_set  r_set  linkable\n";
+    for (const MessageAudit& ma : report.messages) {
+      std::snprintf(buf, sizeof(buf), "  %-10llu %-10llu %-10llu %4zu  %4zu  %5zu  %5zu  %s\n",
+                    static_cast<unsigned long long>(ma.trace_id),
+                    static_cast<unsigned long long>(ma.sender),
+                    static_cast<unsigned long long>(ma.receiver), ma.hops_total,
+                    ma.hops_observed, ma.sender_set, ma.receiver_set,
+                    ma.linkable ? "YES" : "no");
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace whisper::telemetry

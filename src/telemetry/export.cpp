@@ -106,6 +106,8 @@ std::string to_jsonl(const Registry& registry) {
       out += fmt_double(h->percentile(50));
       out += ",\"p90\":";
       out += fmt_double(h->percentile(90));
+      out += ",\"p95\":";
+      out += fmt_double(h->percentile(95));
       out += ",\"p99\":";
       out += fmt_double(h->percentile(99));
       out += ",\"bounds\":[";
@@ -164,6 +166,13 @@ std::string to_chrome_trace(const Tracer& tracer) {
       out += fmt_u64(ev.dur);
     }
     if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    if (ev.phase == 's' || ev.phase == 'f') {
+      out += ",\"id\":";
+      out += fmt_u64(ev.flow);
+      // "bp":"e" binds the finish to the enclosing slice so Perfetto draws
+      // the arrow even when the slices don't overlap in time.
+      if (ev.phase == 'f') out += ",\"bp\":\"e\"";
+    }
     out += ",\"pid\":1,\"tid\":";
     out += fmt_u64(ev.tid);
     if (!ev.args.empty()) {

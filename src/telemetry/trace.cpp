@@ -14,14 +14,26 @@ void Tracer::complete(std::string name, std::string category, std::uint64_t tid,
                       std::uint64_t ts, std::uint64_t dur,
                       std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled()) return;
-  push(TraceEvent{std::move(name), std::move(category), 'X', ts, dur, tid, std::move(args)});
+  push(TraceEvent{std::move(name), std::move(category), 'X', ts, dur, tid, 0, std::move(args)});
 }
 
 void Tracer::instant(std::string name, std::string category, std::uint64_t tid,
                      std::uint64_t ts,
                      std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled()) return;
-  push(TraceEvent{std::move(name), std::move(category), 'i', ts, 0, tid, std::move(args)});
+  push(TraceEvent{std::move(name), std::move(category), 'i', ts, 0, tid, 0, std::move(args)});
+}
+
+void Tracer::flow_begin(std::string name, std::string category, std::uint64_t tid,
+                        std::uint64_t ts, std::uint64_t flow_id) {
+  if (!enabled()) return;
+  push(TraceEvent{std::move(name), std::move(category), 's', ts, 0, tid, flow_id, {}});
+}
+
+void Tracer::flow_end(std::string name, std::string category, std::uint64_t tid,
+                      std::uint64_t ts, std::uint64_t flow_id) {
+  if (!enabled()) return;
+  push(TraceEvent{std::move(name), std::move(category), 'f', ts, 0, tid, flow_id, {}});
 }
 
 }  // namespace whisper::telemetry

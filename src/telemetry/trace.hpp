@@ -17,10 +17,11 @@ namespace whisper::telemetry {
 struct TraceEvent {
   std::string name;
   std::string category;
-  char phase = 'X';          // 'X' complete, 'i' instant
+  char phase = 'X';          // 'X' complete, 'i' instant, 's'/'f' flow
   std::uint64_t ts = 0;      // virtual microseconds
   std::uint64_t dur = 0;     // 'X' only
   std::uint64_t tid = 0;     // node id: one timeline row per node
+  std::uint64_t flow = 0;    // flow id ('s'/'f' only): links spans across tids
   /// Free-form key/value annotations, rendered into "args".
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -43,6 +44,15 @@ class Tracer {
                 std::vector<std::pair<std::string, std::string>> args = {});
   void instant(std::string name, std::string category, std::uint64_t tid, std::uint64_t ts,
                std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Flow events ('s' start / 'f' finish) draw an arrow between the enclosing
+  /// slices on two timeline rows in Perfetto — one pair per wire traversal
+  /// links send -> relay -> deliver across nodes. `flow_id` must match on
+  /// both ends and be unique per arrow.
+  void flow_begin(std::string name, std::string category, std::uint64_t tid,
+                  std::uint64_t ts, std::uint64_t flow_id);
+  void flow_end(std::string name, std::string category, std::uint64_t tid,
+                std::uint64_t ts, std::uint64_t flow_id);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::uint64_t dropped() const { return dropped_; }

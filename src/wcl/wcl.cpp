@@ -167,11 +167,26 @@ bool Wcl::send_confidential(const RemotePeer& dest, BytesView payload, SendCallb
   pending.dest = dest;
   pending.payload.assign(payload.begin(), payload.end());
   pending.callback = std::move(callback);
+  if (telemetry::FlightRecorder* fr = tel_.flight(); fr != nullptr && fr->enabled()) {
+    // Adopt the ambient root (a PPSS exchange or T-Chord lookup this message
+    // serves); 0 when the message is itself the top-level operation.
+    pending.trace.root = fr->context().root;
+    pending.trace.trace_id = fr->new_trace(telemetry::TraceLayer::kWcl,
+                                           transport_.self().value, pending.trace.root,
+                                           dest.card.id.value);
+    pending.trace.layer = telemetry::TraceLayer::kWcl;
+    pending.trace_begin = sim_.now();
+  }
   auto [it, inserted] = pending_sends_.emplace(msg_id, std::move(pending));
   if (!attempt(msg_id, it->second)) {
     // Not a single path could be constructed.
     auto cb = std::move(it->second.callback);
     const NodeId dest_id = it->second.dest.card.id;
+    if (telemetry::FlightRecorder* fr = tel_.flight();
+        fr != nullptr && fr->enabled() && it->second.trace.valid()) {
+      fr->end(it->second.trace.trace_id, transport_.self().value, sim_.now(), "no_path",
+              static_cast<std::uint16_t>(it->second.attempts), 0);
+    }
     pending_sends_.erase(it);
     ++stats_.no_alternative;
     m_no_alternative_.add(1);
@@ -227,6 +242,12 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
 
   ++pending.attempts;
   ++stats_.total_attempts;
+  telemetry::FlightRecorder* fr = tel_.flight();
+  const bool traced = fr != nullptr && fr->enabled() && pending.trace.valid();
+  if (traced) {
+    pending.trace.attempt = static_cast<std::uint16_t>(pending.attempts);
+    fr->retry(pending.trace.trace_id, self.value, sim_.now(), pending.trace.attempt);
+  }
 
   // Build the onion S -> A [-> M...] -> B -> D. Mixes after A must be
   // P-nodes (reachable without setup) and get explicit address hints; D's
@@ -282,6 +303,7 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
   // with that charged duration (RAII would see zero virtual elapsed time).
   tel_.complete("wcl.onion.build", "wcl", sim_.now(), crypto_time,
                 {{"hops", std::to_string(path.size())}});
+  if (traced) fr->crypto(pending.trace, self.value, sim_.now(), crypto_time, "build");
 
   Writer w;
   w.u8(kKindOnion);
@@ -289,10 +311,13 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
   transport_.self_card().serialize(w);
   w.raw(packet.serialize());
   // Charge the measured crypto time to the virtual clock: the packet leaves
-  // only after the onion has been built.
+  // only after the onion has been built. The deferred lambda re-arms this
+  // message's trace context so the network stamps the outbound datagram.
   const pss::ContactCard first_hop = config_.mixes >= 2 ? a.card : b.card;
   sim_.schedule_after(crypto_time,
-                      [this, card = first_hop, data = std::move(w).take()] {
+                      [this, card = first_hop, data = std::move(w).take(),
+                       ctx = traced ? pending.trace : telemetry::TraceContext{}] {
+                        telemetry::ScopedTraceContext guard(tel_.flight(), ctx);
                         transport_.send(card, nylon::kTagWcl, data, sim::Proto::kWcl);
                       });
 
@@ -300,6 +325,14 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
   if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
   pending.timeout_timer =
       sim_.schedule_after(crypto_time + attempt_timeout(pending), [this, msg_id] {
+        if (telemetry::FlightRecorder* rec = tel_.flight();
+            rec != nullptr && rec->enabled()) {
+          if (auto it = pending_sends_.find(msg_id);
+              it != pending_sends_.end() && it->second.trace.valid()) {
+            rec->timeout(it->second.trace.trace_id, transport_.self().value, sim_.now(),
+                         static_cast<std::uint16_t>(it->second.attempts));
+          }
+        }
         handle_ack(msg_id, /*success=*/false);
       });
   return true;
@@ -311,6 +344,15 @@ void Wcl::finish(std::uint64_t msg_id, SendOutcome outcome) {
   if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
   auto cb = std::move(it->second.callback);
   const NodeId dest = it->second.dest.card.id;
+  if (telemetry::FlightRecorder* fr = tel_.flight();
+      fr != nullptr && fr->enabled() && it->second.trace.valid()) {
+    const bool ok = outcome != SendOutcome::kNoAlternative;
+    const std::uint64_t rtt =
+        ok && sim_.now() >= it->second.trace_begin ? sim_.now() - it->second.trace_begin : 0;
+    fr->end(it->second.trace.trace_id, transport_.self().value, sim_.now(),
+            ok ? "delivered" : "no_route",
+            static_cast<std::uint16_t>(it->second.attempts), rtt);
+  }
   pending_sends_.erase(it);
   if (outcome_probe) outcome_probe(dest, outcome);
   switch (outcome) {
@@ -377,6 +419,13 @@ void Wcl::handle_message(NodeId from, BytesView payload) {
     pending_forwards_.erase(fw);
     return;
   }
+  if (telemetry::FlightRecorder* fr = tel_.flight(); fr != nullptr && fr->enabled()) {
+    if (auto ps = pending_sends_.find(msg_id);
+        ps != pending_sends_.end() && ps->second.trace.valid()) {
+      fr->ack(ps->second.trace.trace_id, transport_.self().value, sim_.now(),
+              kind == kKindAck);
+    }
+  }
   handle_ack(msg_id, kind == kKindAck);
   (void)from;
 }
@@ -428,10 +477,18 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
     ++stats_.onions_delivered;
     m_delivered_.add(1);
     tel_.complete("wcl.onion.open", "wcl", sim_.now(), crypto_time);
+    telemetry::FlightRecorder* fr = tel_.flight();
+    const telemetry::TraceContext ctx =
+        fr != nullptr && fr->enabled() ? fr->context() : telemetry::TraceContext{};
+    if (ctx.valid()) fr->crypto(ctx, transport_.self().value, sim_.now(), crypto_time, "open");
     // Deliver (and ack) after the measured decryption time has elapsed on
-    // the virtual clock.
+    // the virtual clock. Re-arm the inbound trace context so the ACK chain
+    // and whatever the payload triggers (a PPSS response) stay causally
+    // linked to this message.
     sim_.schedule_after(crypto_time,
-                        [this, predecessor, msg_id, content = std::move(content)]() mutable {
+                        [this, predecessor, msg_id, ctx,
+                         content = std::move(content)]() mutable {
+                          telemetry::ScopedTraceContext guard(tel_.flight(), ctx);
                           send_signal(predecessor, /*success=*/true, msg_id);
                           if (on_deliver) on_deliver(std::move(content));
                         });
@@ -467,9 +524,14 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
 
   const NodeId next_hop = peel->next_hop;
   tel_.complete("wcl.onion.relay", "wcl", sim_.now(), crypto_time);
+  telemetry::FlightRecorder* fr = tel_.flight();
+  const telemetry::TraceContext ctx =
+      fr != nullptr && fr->enabled() ? fr->context() : telemetry::TraceContext{};
+  if (ctx.valid()) fr->crypto(ctx, transport_.self().value, sim_.now(), crypto_time, "peel");
   sim_.schedule_after(
       crypto_time,
-      [this, predecessor, msg_id, next_hop, next_card, data = std::move(w).take()] {
+      [this, predecessor, msg_id, next_hop, next_card, ctx, data = std::move(w).take()] {
+        telemetry::ScopedTraceContext guard(tel_.flight(), ctx);
         const bool sent =
             next_card.has_value()
                 ? transport_.send(*next_card, nylon::kTagWcl, data, sim::Proto::kWcl)
@@ -477,6 +539,10 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
         if (!sent) {
           ++stats_.forward_failures;
           m_forward_failures_.add(1);
+          if (telemetry::FlightRecorder* rec = tel_.flight();
+              rec != nullptr && rec->enabled() && ctx.valid()) {
+            rec->drop(ctx, transport_.self().value, sim_.now(), "no_forward");
+          }
           send_signal(predecessor, /*success=*/false, msg_id);
           return;
         }

@@ -166,6 +166,12 @@ class Wcl {
     sim::TimerId timeout_timer = 0;
     /// When the latest attempt's onion hit the wire (for RTT sampling).
     sim::Time sent_at = 0;
+    /// Causal trace of this message (invalid while tracing is off). `hop`
+    /// stays 0 at the source; `attempt` tracks the current try.
+    telemetry::TraceContext trace;
+    /// Virtual time of send_confidential() — the flight record's RTT is
+    /// measured from here so decomposition includes the first build.
+    sim::Time trace_begin = 0;
   };
 
   void handle_message(NodeId from, BytesView payload);

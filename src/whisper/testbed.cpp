@@ -12,10 +12,18 @@ WhisperTestbed::WhisperTestbed(TestbedConfig config)
   sim_.attach_telemetry(registry_);
   tracer_.set_clock([this] { return sim_.now(); });
   tracer_.set_enabled(config_.trace);
+  flight_.set_clock([this] { return sim_.now(); });
+  flight_.set_enabled(config_.flight);
+  flight_.set_node_resolver([this](Endpoint ep) {
+    auto it = endpoint_ids_.find(ep);
+    return it != endpoint_ids_.end() ? it->second : 0ull;
+  });
   fabric_ = std::make_unique<nat::NatFabric>(sim_);
   net_ = std::make_unique<sim::Network>(sim_, sim::make_latency_model(config_.latency),
                                         &registry_);
   net_->set_translator(fabric_.get());
+  net_->set_flight(&flight_);
+  net_->set_tracer(&tracer_);
   if (config_.telemetry_sample_every > 0) schedule_telemetry_sample();
   for (std::size_t i = 0; i < config_.initial_nodes; ++i) spawn_node();
 }
@@ -38,6 +46,7 @@ WhisperNode& WhisperTestbed::spawn_node() {
   const bool is_public = type == nat::NatType::kNone;
   const Endpoint ep =
       is_public ? fabric_->add_public_node() : fabric_->add_natted_node(type);
+  endpoint_ids_[ep] = id.value;
 
   auto node = std::make_unique<WhisperNode>(sim_, *net_, id, ep, is_public,
                                             pooled_keypair(next_key_index_++,

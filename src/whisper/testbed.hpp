@@ -8,12 +8,14 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "faults/faults.hpp"
 #include "nat/nat.hpp"
 #include "pss/metrics.hpp"
 #include "sim/network.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 #include "whisper/node.hpp"
@@ -31,6 +33,9 @@ struct TestbedConfig {
   /// Record trace events (spans/instants) on the tracer. Metrics are always
   /// on; tracing is opt-in because event buffers grow with run length.
   bool trace = false;
+  /// Record causal flight events (per-message traces with per-hop latency
+  /// decomposition). Opt-in for the same reason.
+  bool flight = false;
   /// Snapshot every registry metric into the time-series recorder at this
   /// virtual-time interval (0 = no sampling).
   sim::Time telemetry_sample_every = 0;
@@ -89,9 +94,11 @@ class WhisperTestbed {
   telemetry::Registry& registry() { return registry_; }
   const telemetry::Registry& registry() const { return registry_; }
   telemetry::Tracer& tracer() { return tracer_; }
+  telemetry::FlightRecorder& flight() { return flight_; }
+  const telemetry::FlightRecorder& flight() const { return flight_; }
   telemetry::TimeSeriesRecorder& recorder() { return recorder_; }
   /// The sinks handed to every spawned node.
-  telemetry::Sinks sinks() { return telemetry::Sinks{&registry_, &tracer_}; }
+  telemetry::Sinks sinks() { return telemetry::Sinks{&registry_, &tracer_, &flight_}; }
 
  private:
   void schedule_telemetry_sample();
@@ -101,6 +108,10 @@ class WhisperTestbed {
   sim::Simulator sim_;
   telemetry::Registry registry_;
   telemetry::Tracer tracer_;
+  telemetry::FlightRecorder flight_;
+  /// Internal endpoint -> node id, for the flight recorder's node resolver
+  /// (covers departed nodes too: packets in flight outlive their sender).
+  std::unordered_map<Endpoint, std::uint64_t> endpoint_ids_;
   telemetry::TimeSeriesRecorder recorder_;
   std::unique_ptr<nat::NatFabric> fabric_;
   std::unique_ptr<sim::Network> net_;

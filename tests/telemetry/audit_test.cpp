@@ -1,0 +1,174 @@
+#include "telemetry/audit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whisper::telemetry {
+namespace {
+
+// A delivered WCL record S -> A -> B -> D with the ACK retracing the route.
+FlightRecord make_record(std::uint64_t trace, std::uint64_t s, std::uint64_t a,
+                         std::uint64_t b, std::uint64_t d, std::uint64_t root = 0) {
+  FlightRecord rec;
+  rec.trace_id = trace;
+  rec.root = root;
+  rec.layer = TraceLayer::kWcl;
+  rec.src = s;
+  rec.dst = d;
+  rec.outcome = "delivered";
+  rec.attempts = 1;
+  const std::uint64_t path[4] = {s, a, b, d};
+  std::uint64_t ts = trace * 10000;
+  for (int i = 0; i < 3; ++i) {
+    FlightHop h;
+    h.attempt = 1;
+    h.hop = static_cast<std::uint32_t>(i);
+    h.seq = static_cast<std::uint32_t>(i + 1);
+    h.from = path[i];
+    h.to = path[i + 1];
+    h.sent_ts = ts;
+    h.recv_ts = ts + 100;
+    h.status = "ok";
+    ts += 100;
+    rec.hops.push_back(h);
+  }
+  for (int i = 3; i > 0; --i) {  // ACK path D -> B -> A -> S
+    FlightHop h;
+    h.attempt = 1;
+    h.hop = static_cast<std::uint32_t>(6 - i);
+    h.seq = static_cast<std::uint32_t>(10 - i);
+    h.from = path[i];
+    h.to = path[i - 1];
+    h.sent_ts = ts;
+    h.recv_ts = ts + 100;
+    h.status = "ok";
+    ts += 100;
+    rec.hops.push_back(h);
+  }
+  return rec;
+}
+
+TEST(Vantage, ParsesSpecClauses) {
+  Vantage v;
+  std::string err;
+  ASSERT_TRUE(Vantage::parse("relays=3,5;links=1-2,4-7;taps=9", &v, &err)) << err;
+  EXPECT_TRUE(v.relays.contains(3) && v.relays.contains(5));
+  EXPECT_TRUE(v.taps.contains(9));
+  EXPECT_TRUE(v.observes_link(1, 2));
+  EXPECT_TRUE(v.observes_link(7, 4));  // normalized, order-independent
+  EXPECT_FALSE(v.observes_link(1, 4));
+  EXPECT_TRUE(v.observes_link(3, 8));  // relay endpoint sees its links
+  EXPECT_TRUE(v.observes_link(9, 8));  // tapped endpoint too
+  EXPECT_FALSE(v.global);
+  EXPECT_EQ(v.str(), "relays=3,5;taps=9;links=1-2,4-7");
+
+  ASSERT_TRUE(Vantage::parse("global", &v, &err));
+  EXPECT_TRUE(v.global);
+  EXPECT_TRUE(v.observes_link(100, 200));
+
+  EXPECT_FALSE(Vantage::parse("bogus=1", &v, &err));
+  EXPECT_FALSE(Vantage::parse("links=1", &v, &err));
+  EXPECT_FALSE(Vantage::parse("relays=x", &v, &err));
+}
+
+// The paper's core claim: one honest-but-curious relay must link nothing.
+TEST(Audit, SingleHbcRelayLinksNothing) {
+  std::vector<FlightRecord> recs;
+  // Ten messages, all through mixes 2 and 3, disjoint endpoints.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recs.push_back(make_record(i + 1, 10 + i, 2, 3, 30 + i));
+  }
+  Vantage v;
+  v.relays.insert(2);
+  const AuditReport report = audit(recs, v, 100);
+  EXPECT_EQ(report.total_nodes, 100u);
+  EXPECT_EQ(report.messages_total, 10u);
+  EXPECT_EQ(report.messages_observed, 10u);  // the relay is on every path
+  EXPECT_EQ(report.linkable_count, 0u);
+  ASSERT_EQ(report.relays.size(), 1u);
+  EXPECT_EQ(report.relays[0].messages_seen, 10u);
+  EXPECT_EQ(report.relays[0].linkable, 0u);
+  for (const MessageAudit& ma : report.messages) {
+    EXPECT_FALSE(ma.sender_pinned);
+    EXPECT_FALSE(ma.receiver_pinned);
+    // Relay 2 saw S->2, 2->3 (and the ACK mirror): it can exclude itself
+    // and 3 as senders, nothing else.
+    EXPECT_EQ(ma.sender_set, 98u);
+    EXPECT_GT(ma.receiver_set, 1u);
+  }
+}
+
+TEST(Audit, TappedEndpointsPinAndLink) {
+  std::vector<FlightRecord> recs;
+  recs.push_back(make_record(1, 10, 2, 3, 30));
+  recs.push_back(make_record(2, 11, 2, 3, 31));
+  Vantage v;
+  v.taps.insert(10);  // sender of message 1 tapped
+  AuditReport report = audit(recs, v, 50);
+  EXPECT_EQ(report.linkable_count, 0u);  // receiver still hidden
+  EXPECT_TRUE(report.messages[0].sender_pinned);
+  EXPECT_EQ(report.messages[0].sender_set, 1u);
+  EXPECT_FALSE(report.messages[1].sender_pinned);
+
+  v.taps.insert(30);  // now both endpoints of message 1
+  report = audit(recs, v, 50);
+  EXPECT_EQ(report.linkable_count, 1u);
+  EXPECT_TRUE(report.messages[0].linkable);
+  EXPECT_FALSE(report.messages[1].linkable);
+}
+
+TEST(Audit, GlobalObserverLinksEverything) {
+  std::vector<FlightRecord> recs;
+  recs.push_back(make_record(1, 10, 2, 3, 30));
+  recs.push_back(make_record(2, 11, 3, 2, 31));
+  Vantage v;
+  v.global = true;
+  const AuditReport report = audit(recs, v, 50);
+  EXPECT_EQ(report.linkable_count, 2u);
+  EXPECT_EQ(report.mean_sender_set, 1.0);
+  EXPECT_EQ(report.mean_receiver_set, 1.0);
+}
+
+TEST(Audit, UnobservedTrafficStaysAnonymous) {
+  std::vector<FlightRecord> recs;
+  recs.push_back(make_record(1, 10, 2, 3, 30));
+  Vantage v;
+  v.links.insert({40, 41});  // a link nowhere near the path
+  const AuditReport report = audit(recs, v, 50);
+  EXPECT_EQ(report.messages_observed, 0u);
+  EXPECT_EQ(report.linkable_count, 0u);
+  // Nothing observed: everyone is a candidate.
+  EXPECT_EQ(report.messages[0].sender_set, 50u);
+  EXPECT_EQ(report.messages[0].receiver_set, 50u);
+}
+
+TEST(Audit, GroupLeakageCountsPinnedMembers) {
+  std::vector<FlightRecord> recs;
+  FlightRecord root;  // PPSS root carrying the group label
+  root.trace_id = 100;
+  root.layer = TraceLayer::kPpss;
+  root.src = 10;
+  root.group = "g7000";
+  recs.push_back(root);
+  recs.push_back(make_record(1, 10, 2, 3, 30, /*root=*/100));
+  recs.push_back(make_record(2, 30, 3, 2, 11, /*root=*/100));
+
+  Vantage v;
+  v.taps.insert(10);
+  const AuditReport report = audit(recs, v, 50);
+  ASSERT_EQ(report.groups.size(), 1u);
+  EXPECT_EQ(report.groups[0].group, "g7000");
+  EXPECT_EQ(report.groups[0].members, 3u);  // 10, 30, 11
+  EXPECT_EQ(report.groups[0].leaked, 1u);   // only the tapped sender
+}
+
+TEST(Audit, UniverseDerivedFromRecordsWhenUnspecified) {
+  std::vector<FlightRecord> recs;
+  recs.push_back(make_record(1, 10, 2, 3, 30));
+  Vantage v;
+  v.relays.insert(2);
+  const AuditReport report = audit(recs, v, 0);
+  EXPECT_EQ(report.total_nodes, 4u);  // 10, 2, 3, 30
+}
+
+}  // namespace
+}  // namespace whisper::telemetry

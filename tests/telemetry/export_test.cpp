@@ -39,6 +39,7 @@ TEST(ExportJsonl, HistogramLineCarriesDistribution) {
   EXPECT_NE(out.find("\"count\":2"), std::string::npos);
   EXPECT_NE(out.find("\"sum\":3"), std::string::npos);
   EXPECT_NE(out.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(out.find("\"p95\":"), std::string::npos);
   EXPECT_NE(out.find("\"p99\":"), std::string::npos);
   EXPECT_NE(out.find("\"bounds\":[0,1,2]"), std::string::npos);
   EXPECT_NE(out.find("\"buckets\":[0,1,1,0]"), std::string::npos);
@@ -71,6 +72,22 @@ TEST(ExportChromeTrace, WellFormedEventObjects) {
   EXPECT_NE(out.find(R"("s":"t")"), std::string::npos);
   // Valid JSON shape: closes the array and the object.
   EXPECT_EQ(out.substr(out.size() - 3), "]}\n");
+}
+
+TEST(ExportChromeTrace, FlowEventsCarryIdAndBindingPoint) {
+  Tracer t;
+  t.set_clock([] { return std::uint64_t{0}; });
+  t.set_enabled(true);
+  t.flow_begin("net.hop", "net", 3, 100, 0xbeef);
+  t.flow_end("net.hop", "net", 5, 400, 0xbeef);
+  const std::string out = to_chrome_trace(t);
+  // Perfetto links the 's' and 'f' events through the shared flow id; the
+  // terminator binds to the enclosing slice ("bp":"e").
+  EXPECT_NE(out.find(R"({"name":"net.hop","cat":"net","ph":"s","ts":100,)"
+                     R"("id":48879,"pid":1,"tid":3})"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("ph":"f")"), std::string::npos);
+  EXPECT_NE(out.find(R"("bp":"e")"), std::string::npos);
 }
 
 TEST(ExportChromeTrace, EmptyTracerYieldsValidDocument) {

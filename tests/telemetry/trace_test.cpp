@@ -40,6 +40,25 @@ TEST(Tracer, RecordsCompleteAndInstantEvents) {
   EXPECT_EQ(i.ts, 500u);
 }
 
+TEST(Tracer, FlowEventsPairThroughSharedId) {
+  Tracer t;
+  t.set_clock([] { return std::uint64_t{0}; });
+  t.set_enabled(true);
+  t.flow_begin("net.hop", "net", 2, 100, 77);
+  t.flow_end("net.hop", "net", 9, 450, 77);
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].phase, 's');
+  EXPECT_EQ(t.events()[0].tid, 2u);
+  EXPECT_EQ(t.events()[0].flow, 77u);
+  EXPECT_EQ(t.events()[1].phase, 'f');
+  EXPECT_EQ(t.events()[1].tid, 9u);
+  EXPECT_EQ(t.events()[1].flow, 77u);
+  // Disabled tracer records nothing.
+  t.set_enabled(false);
+  t.flow_begin("x", "c", 0, 0, 1);
+  EXPECT_EQ(t.events().size(), 2u);
+}
+
 TEST(Tracer, CapacityBoundsRetainedEvents) {
   Tracer t;
   t.set_clock([] { return std::uint64_t{0}; });

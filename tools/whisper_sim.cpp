@@ -8,6 +8,7 @@
 //               --groups=10 --churn=1.0 --minutes=30 [--seed=42]
 //               [--trace=out.trace.json] [--metrics=out.jsonl]
 //               [--sample-secs=60] [--faults=script.txt]
+//               [--flight=out.flight.jsonl] [--audit=relays=3;links=1-2]
 //
 // --faults loads a fault-injection script (see src/faults/script.hpp for
 // the line format: partitions, loss/delay episodes, relay crashes, NAT
@@ -18,12 +19,19 @@
 // one timeline row per node, timestamps are virtual microseconds).
 // --metrics dumps the final metric registry as JSONL; with --sample-secs
 // the per-interval time series of every metric is appended too.
+//
+// --flight records per-message causal flight records (per-hop latency
+// decomposition, retries, fault attribution) and dumps them as JSONL —
+// feed the file to whisper_trace. --audit additionally runs the
+// adversary's-view anonymity audit at the given vantage before exiting
+// (implies flight recording even without --flight).
 #include <cstdio>
 #include <string>
 
 #include "churn/churn.hpp"
 #include "faults/script.hpp"
 #include "pss/metrics.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/export.hpp"
 #include "whisper/testbed.hpp"
 
@@ -66,9 +74,21 @@ int main(int argc, char** argv) {
   const std::string trace_path = arg_string(argc, argv, "trace", "");
   const std::string metrics_path = arg_string(argc, argv, "metrics", "");
   const std::string faults_path = arg_string(argc, argv, "faults", "");
+  const std::string flight_path = arg_string(argc, argv, "flight", "");
+  const std::string audit_spec = arg_string(argc, argv, "audit", "");
   const double sample_secs = arg_double(argc, argv, "sample-secs", 0);
   cfg.trace = !trace_path.empty();
+  cfg.flight = !flight_path.empty() || !audit_spec.empty();
   cfg.telemetry_sample_every = static_cast<sim::Time>(sample_secs * sim::kSecond);
+
+  telemetry::Vantage vantage;
+  if (!audit_spec.empty()) {
+    std::string err;
+    if (!telemetry::Vantage::parse(audit_spec, &vantage, &err)) {
+      std::fprintf(stderr, "audit: bad vantage spec: %s\n", err.c_str());
+      return 1;
+    }
+  }
 
   std::printf("whisper_sim: %zu nodes, %.0f%% natted, latency=%s, Pi=%zu, %zu groups, "
               "churn=%.1f%%/min, %d minutes, seed=%llu\n\n",
@@ -198,6 +218,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
       return 1;
     }
+  }
+  std::vector<telemetry::FlightRecord> flights;
+  if (cfg.flight) flights = tb.flight().assemble();
+  if (!flight_path.empty()) {
+    if (telemetry::write_text_file(flight_path, telemetry::to_jsonl(flights))) {
+      std::printf("flight: %zu records -> %s (%llu events dropped)\n", flights.size(),
+                  flight_path.c_str(),
+                  static_cast<unsigned long long>(tb.flight().dropped()));
+    } else {
+      std::fprintf(stderr, "flight: cannot write %s\n", flight_path.c_str());
+      return 1;
+    }
+  }
+  if (!audit_spec.empty()) {
+    const telemetry::AuditReport report =
+        telemetry::audit(flights, vantage, tb.all_nodes().size());
+    std::printf("\naudit vantage %s:\n%s", vantage.str().c_str(),
+                telemetry::format_report(report).c_str());
   }
   if (!metrics_path.empty()) {
     std::string out = telemetry::to_jsonl(tb.registry());

@@ -1,0 +1,255 @@
+// whisper_trace — offline analysis of flight-record dumps.
+//
+// Operates on the JSONL emitted by `whisper_sim --flight=out.jsonl` (or any
+// FlightRecorder export):
+//
+//   whisper_trace summary out.jsonl
+//       Outcome counts, per-hop latency decomposition totals, digest.
+//   whisper_trace show <trace_id> out.jsonl
+//       Full per-hop breakdown of one message.
+//   whisper_trace audit out.jsonl [--observe-relays=3,5] [--observe-links=1-2,4-7]
+//                       [--observe-taps=9] [--global] [--nodes=N] [--verbose]
+//       Adversary's-view anonymity audit: anonymity-set sizes, per-relay
+//       sender/receiver unlinkability, group-membership leakage.
+//   whisper_trace faults out.jsonl [--fault=kind]
+//       Messages the fault fabric touched, filterable by fault kind.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/audit.hpp"
+#include "telemetry/flight.hpp"
+
+using namespace whisper;
+
+namespace {
+
+std::string arg_string(int argc, char** argv, const std::string& key,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+// First non-option argument after `skip` positionals (argv[0] + command...).
+std::string positional(int argc, char** argv, int index) {
+  int seen = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) continue;
+    if (seen == index) return a;
+    ++seen;
+  }
+  return {};
+}
+
+bool load_records(const std::string& path, std::vector<telemetry::FlightRecord>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  if (!telemetry::parse_flight_jsonl(ss.str(), out, &err)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_summary(const std::string& path) {
+  std::vector<telemetry::FlightRecord> recs;
+  if (!load_records(path, &recs)) return 1;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  std::map<std::string, std::size_t> outcomes;
+  std::map<std::string, std::size_t> layers;
+  std::uint64_t rtt = 0, crypto = 0, prop = 0, queue = 0, retry = 0;
+  std::size_t delivered = 0, karn = 0, faulted = 0;
+  for (const auto& r : recs) {
+    outcomes[r.outcome.empty() ? "(unresolved)" : r.outcome]++;
+    layers[telemetry::trace_layer_name(r.layer)]++;
+    if (r.karn_ambiguous) ++karn;
+    if (!r.faults.empty()) ++faulted;
+    if (r.outcome == "delivered") {
+      ++delivered;
+      rtt += r.rtt_us;
+      crypto += r.crypto_us;
+      prop += r.prop_us;
+      queue += r.queue_us;
+      retry += r.retry_us;
+    }
+  }
+  std::printf("%zu records (digest %016llx)\n", recs.size(),
+              static_cast<unsigned long long>(telemetry::flight_digest(ss.str())));
+  std::printf("layers:");
+  for (const auto& [l, n] : layers) std::printf(" %s=%zu", l.c_str(), n);
+  std::printf("\noutcomes:");
+  for (const auto& [o, n] : outcomes) std::printf(" %s=%zu", o.c_str(), n);
+  std::printf("\nkarn-ambiguous=%zu fault-touched=%zu\n", karn, faulted);
+  if (delivered > 0) {
+    const double d = static_cast<double>(delivered);
+    std::printf("delivered mean decomposition (us): rtt=%.0f = crypto %.0f + prop %.0f "
+                "+ queue %.0f + retry %.0f\n",
+                static_cast<double>(rtt) / d, static_cast<double>(crypto) / d,
+                static_cast<double>(prop) / d, static_cast<double>(queue) / d,
+                static_cast<double>(retry) / d);
+  }
+  return 0;
+}
+
+int cmd_show(std::uint64_t trace_id, const std::string& path) {
+  std::vector<telemetry::FlightRecord> recs;
+  if (!load_records(path, &recs)) return 1;
+  for (const auto& r : recs) {
+    if (r.trace_id != trace_id) continue;
+    std::printf("trace %llu (%s) root=%llu %llu -> %llu\n",
+                static_cast<unsigned long long>(r.trace_id),
+                telemetry::trace_layer_name(r.layer),
+                static_cast<unsigned long long>(r.root),
+                static_cast<unsigned long long>(r.src),
+                static_cast<unsigned long long>(r.dst));
+    std::printf("  outcome=%s attempts=%u karn=%s rtt=%lluus (crypto %llu + prop %llu + "
+                "queue %llu + retry %llu)\n",
+                r.outcome.c_str(), r.attempts, r.karn_ambiguous ? "yes" : "no",
+                static_cast<unsigned long long>(r.rtt_us),
+                static_cast<unsigned long long>(r.crypto_us),
+                static_cast<unsigned long long>(r.prop_us),
+                static_cast<unsigned long long>(r.queue_us),
+                static_cast<unsigned long long>(r.retry_us));
+    if (!r.group.empty()) std::printf("  group=%s\n", r.group.c_str());
+    for (const std::string& f : r.faults) std::printf("  fault: %s\n", f.c_str());
+    for (const auto& h : r.hops) {
+      std::printf("  attempt %u hop %u: %llu -> %llu sent=%llu recv=%llu prop=%lluus "
+                  "queue=%lluus status=%s%s%s\n",
+                  h.attempt, h.hop, static_cast<unsigned long long>(h.from),
+                  static_cast<unsigned long long>(h.to),
+                  static_cast<unsigned long long>(h.sent_ts),
+                  static_cast<unsigned long long>(h.recv_ts),
+                  static_cast<unsigned long long>(h.prop_us),
+                  static_cast<unsigned long long>(h.queue_us), h.status.c_str(),
+                  h.fault.empty() ? "" : " fault=", h.fault.c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "trace %llu not found in %s\n",
+               static_cast<unsigned long long>(trace_id), path.c_str());
+  return 1;
+}
+
+int cmd_audit(int argc, char** argv, const std::string& path) {
+  std::vector<telemetry::FlightRecord> recs;
+  if (!load_records(path, &recs)) return 1;
+
+  // Assemble the vantage spec from the --observe-* convenience flags.
+  std::string spec;
+  auto add = [&](const char* key, const std::string& val) {
+    if (val.empty()) return;
+    if (!spec.empty()) spec += ';';
+    spec += key;
+    spec += '=';
+    spec += val;
+  };
+  add("relays", arg_string(argc, argv, "observe-relays", ""));
+  add("links", arg_string(argc, argv, "observe-links", ""));
+  add("taps", arg_string(argc, argv, "observe-taps", ""));
+  if (arg_flag(argc, argv, "global")) spec = spec.empty() ? "global" : spec + ";global";
+
+  telemetry::Vantage vantage;
+  std::string err;
+  if (!telemetry::Vantage::parse(spec, &vantage, &err)) {
+    std::fprintf(stderr, "bad vantage: %s\n", err.c_str());
+    return 1;
+  }
+  if (vantage.empty()) {
+    std::fprintf(stderr, "audit: give the attacker something to see "
+                         "(--observe-relays/--observe-links/--observe-taps/--global)\n");
+    return 1;
+  }
+  const std::size_t nodes =
+      static_cast<std::size_t>(std::strtoull(arg_string(argc, argv, "nodes", "0").c_str(),
+                                             nullptr, 10));
+  const telemetry::AuditReport report = telemetry::audit(recs, vantage, nodes);
+  std::printf("vantage %s:\n%s", vantage.str().c_str(),
+              telemetry::format_report(report, arg_flag(argc, argv, "verbose")).c_str());
+  return report.linkable_count > 0 ? 2 : 0;  // distinct exit for leakage gates
+}
+
+int cmd_faults(int argc, char** argv, const std::string& path) {
+  std::vector<telemetry::FlightRecord> recs;
+  if (!load_records(path, &recs)) return 1;
+  const std::string want = arg_string(argc, argv, "fault", "");
+  std::size_t shown = 0;
+  for (const auto& r : recs) {
+    if (r.faults.empty()) continue;
+    if (!want.empty() &&
+        std::find(r.faults.begin(), r.faults.end(), want) == r.faults.end()) {
+      continue;
+    }
+    std::string kinds;
+    for (const auto& f : r.faults) {
+      if (!kinds.empty()) kinds += ',';
+      kinds += f;
+    }
+    std::printf("trace %-10llu %-10s %llu -> %llu attempts=%u outcome=%-10s faults=%s\n",
+                static_cast<unsigned long long>(r.trace_id),
+                telemetry::trace_layer_name(r.layer),
+                static_cast<unsigned long long>(r.src),
+                static_cast<unsigned long long>(r.dst), r.attempts,
+                r.outcome.empty() ? "(unresolved)" : r.outcome.c_str(), kinds.c_str());
+    ++shown;
+  }
+  std::printf("%zu fault-touched record(s)%s%s\n", shown, want.empty() ? "" : " matching ",
+              want.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = positional(argc, argv, 0);
+  if (cmd == "summary") {
+    const std::string path = positional(argc, argv, 1);
+    if (!path.empty()) return cmd_summary(path);
+  } else if (cmd == "show") {
+    const std::string id = positional(argc, argv, 1);
+    const std::string path = positional(argc, argv, 2);
+    if (!id.empty() && !path.empty()) {
+      return cmd_show(std::strtoull(id.c_str(), nullptr, 10), path);
+    }
+  } else if (cmd == "audit") {
+    const std::string path = positional(argc, argv, 1);
+    if (!path.empty()) return cmd_audit(argc, argv, path);
+  } else if (cmd == "faults") {
+    const std::string path = positional(argc, argv, 1);
+    if (!path.empty()) return cmd_faults(argc, argv, path);
+  }
+  std::fprintf(stderr,
+               "usage: whisper_trace summary <flight.jsonl>\n"
+               "       whisper_trace show <trace_id> <flight.jsonl>\n"
+               "       whisper_trace audit <flight.jsonl> [--observe-relays=a,b]\n"
+               "                     [--observe-links=a-b,...] [--observe-taps=a,b]\n"
+               "                     [--global] [--nodes=N] [--verbose]\n"
+               "       whisper_trace faults <flight.jsonl> [--fault=kind]\n");
+  return 1;
+}
