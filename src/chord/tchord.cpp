@@ -46,6 +46,7 @@ TChord::TChord(sim::Simulator& sim, ppss::Ppss& ppss, TChordConfig config, Rng r
       m_timed_out_(tel_.counter("chord.lookups.timed_out")),
       m_served_(tel_.counter("chord.lookups.served")),
       m_forwards_(tel_.counter("chord.lookups.forwards")),
+      m_decode_rejects_(tel_.counter("chord.decode.rejects")),
       m_hops_(tel_.histogram("chord.lookup.hops",
                              telemetry::BucketSpec::linear(0, 33, 33))),
       m_rtt_(tel_.histogram("chord.lookup.rtt_us",
@@ -185,10 +186,21 @@ void TChord::on_cycle() {
   ppss_.send_app_to(partner->peer, w.data(), kChordAppId);
 }
 
+void TChord::reject_frame(Reader& r) {
+  DecodeError err = r.reject_reason();
+  if (err == DecodeError::kNone) err = DecodeError::kBadValue;
+  ++stats_.decode_rejects;
+  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+                  std::string("decode:") + decode_error_name(err));
+}
+
 void TChord::handle_app(const wcl::RemotePeer& from, BytesView payload) {
   Reader r(payload);
   const std::uint8_t kind = r.u8();
-  if (!r.ok()) return;
+  if (!r.ok()) {
+    reject_frame(r);
+    return;
+  }
   switch (kind) {
     case kKindGossipReq:
     case kKindGossipResp:
@@ -201,19 +213,24 @@ void TChord::handle_app(const wcl::RemotePeer& from, BytesView payload) {
       handle_lookup_response(r);
       break;
     default:
+      r.fail(DecodeError::kBadValue);
+      reject_frame(r);
       break;
   }
 }
 
 void TChord::handle_gossip(std::uint8_t kind, const wcl::RemotePeer& from, Reader& r) {
-  const std::uint16_t count = r.u16();
+  const std::uint16_t count = r.count16(config_.max_wire_descriptors);
   std::vector<ChordDescriptor> received;
-  for (std::uint16_t i = 0; i < count; ++i) {
+  for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
     auto d = ChordDescriptor::deserialize(r);
-    if (!d) return;
+    if (!d) break;
     received.push_back(std::move(*d));
   }
-  if (!r.ok()) return;
+  if (!r.ok() || received.size() != count || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
 
   // The sender itself is a candidate too.
   absorb(ChordDescriptor{chord_key_of(from.card.id), from});
@@ -378,7 +395,10 @@ void TChord::handle_lookup_request(Reader& r) {
   const ChordKey key = r.u64();
   const std::uint32_t hops = r.u32();
   auto origin = ChordDescriptor::deserialize(r);
-  if (!r.ok() || !origin) return;
+  if (!origin || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
   route_or_serve(key, lookup_id, *origin, hops);
 }
 
@@ -386,7 +406,10 @@ void TChord::handle_lookup_response(Reader& r) {
   const std::uint64_t lookup_id = r.u64();
   const std::uint32_t hops = r.u32();
   auto owner = ChordDescriptor::deserialize(r);
-  if (!r.ok() || !owner) return;
+  if (!owner || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
   auto it = pending_lookups_.find(lookup_id);
   if (it == pending_lookups_.end()) return;
   if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);

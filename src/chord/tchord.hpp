@@ -50,6 +50,9 @@ struct TChordConfig {
   /// Re-dispatches after a timeout before reporting failure (stale
   /// descriptors along the path heal as gossip refreshes them).
   std::size_t lookup_retries = 1;
+  /// Cap on descriptors accepted from one gossip frame (hostile frames
+  /// cannot force unbounded parsing; well above gossip_descriptors).
+  std::size_t max_wire_descriptors = 32;
 };
 
 class TChord {
@@ -88,6 +91,7 @@ class TChord {
     std::uint64_t lookups_timed_out = 0;
     std::uint64_t lookups_served = 0;  // we were the owner
     std::uint64_t forwards = 0;
+    std::uint64_t decode_rejects = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -97,6 +101,9 @@ class TChord {
   void handle_gossip(std::uint8_t kind, const wcl::RemotePeer& from, Reader& r);
   void handle_lookup_request(Reader& r);
   void handle_lookup_response(Reader& r);
+  /// Count a malformed app frame (already passport-authenticated by PPSS,
+  /// so rejects are counted and flight-attributed, not quarantined).
+  void reject_frame(Reader& r);
   void absorb(const ChordDescriptor& d);
   std::vector<ChordDescriptor> best_for(ChordKey target_key) const;
   /// True if this node owns `key` (key in (predecessor, self]).
@@ -139,6 +146,7 @@ class TChord {
   telemetry::Counter& m_timed_out_;
   telemetry::Counter& m_served_;
   telemetry::Counter& m_forwards_;
+  telemetry::Counter& m_decode_rejects_;
   telemetry::Histogram& m_hops_;
   telemetry::Histogram& m_rtt_;
 };

@@ -5,16 +5,54 @@
 // in-memory objects. Encoding is little-endian, length-prefixed for
 // variable-size fields. Reader is non-throwing: failed reads set an error
 // flag and return zero values; callers check ok() once at the end.
+//
+// Hostile-input hardening: every failure is classified by a DecodeError so
+// protocol layers can reject malformed frames deterministically and count
+// them by reason. Length prefixes are validated against both the remaining
+// input (kBadLength) and the caller-declared protocol bound (kOversized),
+// so a forged prefix can never drive an oversized allocation. Frame
+// handlers finish with expect_done(): a valid frame followed by trailing
+// garbage is rejected (kTrailingBytes), not silently accepted.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 
 namespace whisper {
+
+/// Why an inbound frame failed to decode. First failure wins: a Reader
+/// records the error of the first read that went wrong and zero-fills
+/// everything after it, so one frame maps to exactly one reason.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  /// A fixed-width read ran past the end of the input.
+  kTruncated = 1,
+  /// A length prefix exceeded the bytes actually present.
+  kBadLength = 2,
+  /// A length or element count exceeded the declared protocol bound.
+  kOversized = 3,
+  /// Input continued after a complete frame.
+  kTrailingBytes = 4,
+  /// A field decoded but was semantically invalid (flagged by the caller).
+  kBadValue = 5,
+};
+
+inline const char* decode_error_name(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kBadLength: return "badlength";
+    case DecodeError::kOversized: return "oversized";
+    case DecodeError::kTrailingBytes: return "trailing";
+    case DecodeError::kBadValue: return "badvalue";
+  }
+  return "unknown";
+}
 
 class Writer {
  public:
@@ -101,10 +139,17 @@ class Reader {
     return ep;
   }
 
-  Bytes bytes() {
+  /// Length-prefixed byte string, bounded by `max_len` (protocol limit).
+  /// The prefix is validated before any allocation happens.
+  Bytes bytes(std::size_t max_len = std::numeric_limits<std::uint32_t>::max()) {
     std::uint32_t n = u32();
+    if (!ok_) return {};
+    if (n > max_len) {
+      fail(DecodeError::kOversized);
+      return {};
+    }
     if (n > remaining()) {
-      ok_ = false;
+      fail(DecodeError::kBadLength);
       return {};
     }
     Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
@@ -113,9 +158,21 @@ class Reader {
     return out;
   }
 
-  std::string str() {
-    Bytes b = bytes();
+  std::string str(std::size_t max_len = std::numeric_limits<std::uint32_t>::max()) {
+    Bytes b = bytes(max_len);
     return std::string(b.begin(), b.end());
+  }
+
+  /// u16 element count validated against a protocol bound. Returns 0 on
+  /// failure so `for (i < count)` loops are safe without extra checks.
+  std::uint32_t count16(std::size_t max_count) {
+    const std::uint32_t n = u16();
+    if (!ok_) return 0;
+    if (n > max_count) {
+      fail(DecodeError::kOversized);
+      return 0;
+    }
+    return n;
   }
 
   /// Consume all remaining bytes.
@@ -125,15 +182,38 @@ class Reader {
     return out;
   }
 
+  /// Record a semantic failure spotted by the caller (bad kind byte,
+  /// id mismatch, invalid flag...). First error wins.
+  void fail(DecodeError e) {
+    if (error_ == DecodeError::kNone) error_ = e;
+    ok_ = false;
+  }
+
+  /// Frame-final check: every read succeeded AND the input is fully
+  /// consumed. Trailing bytes after a valid frame are a decode error —
+  /// handlers must call this (or done()) before acting on the frame.
+  bool expect_done() {
+    if (ok_ && pos_ != data_.size()) fail(DecodeError::kTrailingBytes);
+    return ok_;
+  }
+
   std::size_t remaining() const { return data_.size() - pos_; }
   bool ok() const { return ok_; }
   /// True iff all input was consumed and no read failed.
   bool done() const { return ok_ && pos_ == data_.size(); }
+  /// Why the first failed read failed (kNone while ok()).
+  DecodeError error() const { return error_; }
+  /// Like error(), but reports kTrailingBytes for an unconsumed tail even
+  /// before expect_done() has stamped it — for counters at reject sites.
+  DecodeError reject_reason() const {
+    if (error_ != DecodeError::kNone) return error_;
+    return pos_ != data_.size() ? DecodeError::kTrailingBytes : DecodeError::kNone;
+  }
 
  private:
   void extract(void* p, std::size_t n) {
     if (pos_ + n > data_.size()) {
-      ok_ = false;
+      fail(DecodeError::kTruncated);
       std::memset(p, 0, n);
       return;
     }
@@ -144,6 +224,7 @@ class Reader {
   BytesView data_;
   std::size_t pos_ = 0;
   bool ok_ = true;
+  DecodeError error_ = DecodeError::kNone;
 };
 
 }  // namespace whisper

@@ -17,9 +17,9 @@ Bytes OnionPacket::serialize() const {
 std::optional<OnionPacket> OnionPacket::deserialize(BytesView data) {
   Reader r(data);
   OnionPacket p;
-  p.header = r.bytes();
-  p.body = r.bytes();
-  if (!r.ok()) return std::nullopt;
+  p.header = r.bytes(kMaxOnionHeader);
+  p.body = r.bytes(kMaxOnionBody);
+  if (!r.expect_done()) return std::nullopt;
   return p;
 }
 

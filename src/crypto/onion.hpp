@@ -36,6 +36,13 @@ struct OnionHop {
   Endpoint addr;
 };
 
+/// Wire caps for onion frames. Headers hold one envelope per hop (a few
+/// hundred bytes each at the paper's key sizes); bodies carry application
+/// payloads. A forged length prefix beyond these is rejected before any
+/// allocation happens.
+inline constexpr std::size_t kMaxOnionHeader = 16 * 1024;
+inline constexpr std::size_t kMaxOnionBody = 1024 * 1024;
+
 /// A fully built onion message: the layered header plus the content body.
 struct OnionPacket {
   Bytes header;

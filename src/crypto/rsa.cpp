@@ -146,9 +146,15 @@ Bytes RsaPublicKey::serialize() const {
 
 std::optional<RsaPublicKey> RsaPublicKey::deserialize(BytesView data) {
   Reader r(data);
-  Bytes nb = r.bytes();
-  Bytes eb = r.bytes();
+  Bytes nb = r.bytes(kMaxKeyComponentBytes);
+  Bytes eb = r.bytes(kMaxKeyComponentBytes);
   if (!r.ok()) return std::nullopt;
+  // Trailing bytes must be all-zero padding: serialize_padded() pads keys to
+  // a fixed width for the key-sampling piggyback, and that padding is the
+  // only tail a well-formed encoding can carry.
+  for (const std::uint8_t b : r.rest()) {
+    if (b != 0) return std::nullopt;
+  }
   RsaPublicKey key{BigInt::from_bytes(nb), BigInt::from_bytes(eb)};
   if (key.n.is_zero() || key.e.is_zero()) return std::nullopt;
   return key;

@@ -23,6 +23,14 @@
 
 namespace whisper::crypto {
 
+/// Wire cap on each serialized key component (n, e): 1024 bytes covers
+/// 8192-bit moduli, far above anything the stack generates. A forged length
+/// prefix cannot allocate (or modexp) beyond it.
+inline constexpr std::size_t kMaxKeyComponentBytes = 1024;
+/// Cap on a whole serialized public key blob (two components + prefixes,
+/// plus fixed-width piggyback padding).
+inline constexpr std::size_t kMaxKeyWireBytes = 4096;
+
 struct RsaPublicKey {
   BigInt n;
   BigInt e;

@@ -45,9 +45,24 @@ enum class FaultKind : std::uint8_t {
   kPause = 6,
   kNatReset = 7,
   kCrash = 8,
+  // --- Byzantine peer behaviours. ---
+  // The targeted nodes *misbehave* instead of failing: their outbound
+  // traffic is mutated, captured and replayed, or they originate hostile
+  // traffic of their own. Windowed like the benign kinds; actors are drawn
+  // deterministically from the live population (count, or fraction when
+  // count=0). Same seed, same script => byte-identical runs.
+  kByzTruncate = 9,    // emit truncated frames (strict prefixes)
+  kByzOversize = 10,   // append junk / forge length prefixes
+  kByzBitflip = 11,    // flip 1-8 payload bits (deliberate malformation)
+  kByzReplay = 12,     // capture own frames, re-inject them periodically
+  kByzFlood = 13,      // blast garbage at relays at `rate` pkts/s/actor
+  kByzFabricate = 14,  // rewrite own PSS gossip with invented members
 };
 
 const char* fault_kind_name(FaultKind k);
+
+/// True for the kByz* kinds (misbehaving-peer model).
+bool is_byzantine(FaultKind k);
 
 /// One scripted fault. Windowed kinds are active in [start, end); kNatReset
 /// and kCrash are one-shots firing at `start`. When `targets_a`/`targets_b`
@@ -70,6 +85,10 @@ struct FaultSpec {
   /// kLoss only: when false, only A->B packets are affected (asymmetric
   /// episode); partitions always cut both directions.
   bool symmetric = true;
+  /// Byzantine actors only: injected packets per second per actor
+  /// (kByzReplay re-injection and kByzFlood garbage). <= 0 disables the
+  /// periodic injection (mutation kinds are unaffected).
+  double rate = 10.0;
   /// Explicit targets. For kPartition: side A vs side B (pairwise cuts).
   /// For kLoss/kDelay/kDuplicate/kReorder/kCorrupt: restrict to packets
   /// from A to B (empty set = any). For kPause/kNatReset/kCrash: the exact
@@ -123,6 +142,14 @@ class FaultFabric : public sim::FaultInterposer {
     std::uint64_t nodes_paused = 0;
     std::uint64_t nodes_crashed = 0;
     std::uint64_t nat_resets = 0;
+    // Byzantine-actor activity.
+    std::uint64_t byz_truncated = 0;
+    std::uint64_t byz_oversized = 0;
+    std::uint64_t byz_bitflipped = 0;
+    std::uint64_t byz_captured = 0;    // frames recorded in replay rings
+    std::uint64_t byz_replayed = 0;
+    std::uint64_t byz_flooded = 0;
+    std::uint64_t byz_fabricated = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -132,6 +159,14 @@ class FaultFabric : public sim::FaultInterposer {
                   const sim::Datagram& dgram) override;
 
  private:
+  /// A frame recorded by a kByzReplay actor, re-injectable verbatim.
+  struct CapturedFrame {
+    Endpoint src;
+    Endpoint dst;
+    Bytes payload;
+    sim::Proto proto = sim::Proto::kApp;
+  };
+
   struct ActiveFault {
     std::uint64_t id = 0;
     FaultSpec spec;
@@ -139,11 +174,18 @@ class FaultFabric : public sim::FaultInterposer {
     // victims); explicit targets copied through.
     std::unordered_set<Endpoint> side_a;
     std::unordered_set<Endpoint> side_b;
+    /// kByzReplay: bounded ring of captured frames (oldest overwritten).
+    std::vector<CapturedFrame> ring;
+    std::size_t ring_next = 0;
+    /// kByzReplay / kByzFlood periodic injection timer.
+    sim::TimerId tick_timer = 0;
   };
 
   void activate(FaultSpec spec);
   void deactivate(std::uint64_t id);
   void fire_oneshot(const FaultSpec& spec);
+  /// Periodic injection for kByzReplay / kByzFlood actors.
+  void byz_tick(std::uint64_t id);
   /// Deterministic victim sample: explicit targets if given, else `count`
   /// nodes drawn from `pool` after a seeded shuffle.
   std::vector<Endpoint> pick_victims(const FaultSpec& spec, std::vector<Endpoint> pool);
@@ -183,6 +225,10 @@ class FaultFabric : public sim::FaultInterposer {
   telemetry::Counter& m_crashes_;
   telemetry::Counter& m_nat_resets_;
   telemetry::Counter& m_activations_;
+  telemetry::Counter& m_byz_mutated_;
+  telemetry::Counter& m_byz_replayed_;
+  telemetry::Counter& m_byz_flooded_;
+  telemetry::Counter& m_byz_fabricated_;
 };
 
 }  // namespace whisper::faults

@@ -10,7 +10,7 @@ namespace whisper::faults {
 namespace {
 
 bool parse_kind(std::string_view token, FaultKind& out) {
-  for (int i = 0; i <= static_cast<int>(FaultKind::kCrash); ++i) {
+  for (int i = 0; i <= static_cast<int>(FaultKind::kByzFabricate); ++i) {
     const auto k = static_cast<FaultKind>(i);
     if (token == fault_kind_name(k)) {
       out = k;
@@ -122,6 +122,8 @@ ScriptParseResult parse_script(std::string_view text) {
       } else if (key == "symmetric") {
         spec.symmetric = value != "0" && value != "false";
         ok = true;
+      } else if (key == "rate") {
+        ok = parse_double(value, spec.rate) && spec.rate >= 0;
       } else {
         return fail("unknown key '" + key + "'");
       }

@@ -14,11 +14,20 @@
 //   crash 12m - count=3
 //   natreset 14m - count=5
 //   pause 16m +45s count=2
+//   # 10% of the deployment truncates its own frames for 5 minutes
+//   byztruncate 5m +5m fraction=0.1 probability=0.5 count=0
+//   # 3 actors capture and replay their own traffic at 5 pkts/s each
+//   byzreplay 5m +5m count=3 rate=5
+//   # 2 actors flood the relays with garbage at 20 pkts/s each
+//   byzflood 6m +2m count=2 rate=20
+//   byzfabricate 8m +4m fraction=0.15 count=0
 //
 // Times accept suffixes us/ms/s/m (default: seconds). An end field of "-"
 // or "0" means a one-shot / open window; "+<dur>" is relative to start.
-// Keys: fraction, probability, delay, count, symmetric (0/1). Lines
-// starting with '#' and blank lines are ignored.
+// Keys: fraction, probability, delay, count, symmetric (0/1), rate
+// (Byzantine injection packets/sec/actor; count=0 means fraction-sized
+// actor sets for byz kinds). Lines starting with '#' and blank lines are
+// ignored.
 #pragma once
 
 #include <string>

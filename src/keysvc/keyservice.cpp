@@ -33,7 +33,22 @@ void KeyService::consume(const pss::ContactCard& from, BytesView extra) {
   if (key) store(from.id, *key);
 }
 
-void KeyService::store(NodeId id, const crypto::RsaPublicKey& key) { cache_[id] = key; }
+void KeyService::store(NodeId id, const crypto::RsaPublicKey& key) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    it->second = key;
+    return;
+  }
+  if (config_.max_cached_keys > 0) {
+    while (cache_.size() >= config_.max_cached_keys && !cache_order_.empty()) {
+      cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+      ++cache_evictions_;
+    }
+  }
+  cache_order_.push_back(id);
+  cache_.emplace(id, key);
+}
 
 std::optional<crypto::RsaPublicKey> KeyService::key_of(NodeId id) const {
   auto it = cache_.find(id);
@@ -73,11 +88,17 @@ void KeyService::handle_message(NodeId from, BytesView payload) {
   Reader r(payload);
   const std::uint8_t kind = r.u8();
   const std::uint32_t seq = r.u32();
-  if (!r.ok()) return;
+  if (!r.ok() || (kind != kKindRequest && kind != kKindResponse)) {
+    ++decode_rejects_;
+    return;
+  }
 
   if (kind == kKindRequest) {
     pss::ContactCard requester = pss::ContactCard::deserialize(r);
-    if (!r.ok() || requester.id != from) return;
+    if (!r.expect_done() || requester.id != from) {
+      ++decode_rejects_;
+      return;
+    }
     Writer w;
     w.u8(kKindResponse);
     w.u32(seq);
@@ -88,8 +109,11 @@ void KeyService::handle_message(NodeId from, BytesView payload) {
   if (kind == kKindResponse) {
     auto it = pending_.find(seq);
     if (it == pending_.end() || it->second.target != from) return;
-    Bytes key_bytes = r.bytes();
-    if (!r.ok()) return;
+    Bytes key_bytes = r.bytes(crypto::kMaxKeyWireBytes);
+    if (!r.expect_done()) {
+      ++decode_rejects_;
+      return;
+    }
     auto key = crypto::RsaPublicKey::deserialize(key_bytes);
     if (key) store(from, *key);
     auto cb = std::move(it->second.callback);

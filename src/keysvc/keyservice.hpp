@@ -11,6 +11,7 @@
 // paper uses for its bandwidth accounting).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -26,6 +27,8 @@ struct KeyServiceConfig {
   /// key). 0 disables piggybacking entirely (Fig. 6's no-KS baseline).
   std::size_t key_wire_size = 1024;
   sim::Time request_timeout = 5 * sim::kSecond;
+  /// Hard cap on cached peer keys (peer-driven state; FIFO eviction).
+  std::size_t max_cached_keys = 4096;
 };
 
 class KeyService {
@@ -47,6 +50,8 @@ class KeyService {
   void store(NodeId id, const crypto::RsaPublicKey& key);
   std::optional<crypto::RsaPublicKey> key_of(NodeId id) const;
   std::size_t cache_size() const { return cache_.size(); }
+  std::uint64_t decode_rejects() const { return decode_rejects_; }
+  std::uint64_t cache_evictions() const { return cache_evictions_; }
 
   /// Explicitly fetch `target`'s public key (request/response over the
   /// transport). The callback fires exactly once: with the key, or with
@@ -62,6 +67,9 @@ class KeyService {
   const crypto::RsaKeyPair& own_;
   KeyServiceConfig config_;
   std::unordered_map<NodeId, crypto::RsaPublicKey> cache_;
+  std::deque<NodeId> cache_order_;  // insertion order, for FIFO eviction
+  std::uint64_t decode_rejects_ = 0;
+  std::uint64_t cache_evictions_ = 0;
 
   struct PendingRequest {
     NodeId target;

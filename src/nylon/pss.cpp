@@ -18,12 +18,21 @@ NylonPss::NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, 
       m_timed_out_(tel_.counter("pss.exchanges.timed_out")),
       m_quarantined_(tel_.counter("pss.peers.quarantined")),
       m_rejoined_(tel_.counter("pss.peers.rejoined")),
+      m_decode_rejects_(tel_.counter("pss.decode.rejects")),
+      m_rate_limited_(tel_.counter("pss.rate.limited")),
+      m_misbehavior_(tel_.counter("pss.misbehavior.reports")),
       // Exchange RTT spans one-hop cluster latencies to multi-second
       // relayed paths under load.
       m_rtt_(tel_.histogram("pss.exchange.rtt_us",
                             telemetry::BucketSpec::log_spaced(100, 20'000'000))),
       m_view_size_(tel_.histogram("pss.view.size",
                                   telemetry::BucketSpec::linear(0, 64, 64))) {
+  PeerGuardConfig gc;
+  gc.rate_per_sec = config_.peer_rate_per_sec;
+  gc.burst = config_.peer_rate_burst;
+  gc.decode_fail_threshold = config_.decode_fail_threshold;
+  gc.max_peers = config_.guard_max_peers;
+  guard_ = PeerGuard(gc);
   transport_.register_handler(kTagPss,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
   // Failover the moment the transport declares the relay lost, rather than
@@ -93,12 +102,48 @@ bool NylonPss::quarantined(NodeId id) const {
 }
 
 void NylonPss::note_failure(NodeId id) {
-  if (++suspicion_[id] < config_.suspicion_threshold) return;
-  suspicion_.erase(id);
+  auto it = suspicion_.find(id);
+  if (it == suspicion_.end()) {
+    // Suspicion is peer-driven state: cap it, evicting the oldest tracked
+    // peer (lazily skipping entries already cleared by success/threshold).
+    while (suspicion_.size() >= config_.max_suspects && !suspicion_order_.empty()) {
+      const NodeId victim = suspicion_order_.front();
+      suspicion_order_.pop_front();
+      suspicion_.erase(victim);
+    }
+    suspicion_order_.push_back(id);
+    it = suspicion_.emplace(id, 0).first;
+  }
+  if (++it->second < config_.suspicion_threshold) return;
+  suspicion_.erase(it);
+  if (quarantine_.size() >= config_.max_quarantined && quarantine_.count(id) == 0) {
+    // Evict the entry closest to expiry rather than refusing the new one.
+    auto victim = quarantine_.begin();
+    for (auto q = quarantine_.begin(); q != quarantine_.end(); ++q) {
+      if (q->second < victim->second) victim = q;
+    }
+    quarantine_.erase(victim);
+  }
   quarantine_[id] = sim_.now() + config_.quarantine_ttl;
   ++peers_quarantined_;
   m_quarantined_.add(1);
   tel_.instant("pss.peer.quarantine", "pss", sim_.now());
+}
+
+void NylonPss::report_misbehavior(NodeId id) {
+  if (id.is_nil() || id == transport_.self()) return;
+  ++misbehavior_reports_;
+  m_misbehavior_.add(1);
+  note_failure(id);
+}
+
+void NylonPss::reject_frame(NodeId from, Reader& r) {
+  DecodeError err = r.reject_reason();
+  if (err == DecodeError::kNone) err = DecodeError::kBadValue;
+  ++decode_rejects_;
+  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+                  std::string("decode:") + decode_error_name(err));
+  if (guard_.note_decode_failure(from, sim_.now())) report_misbehavior(from);
 }
 
 void NylonPss::note_success(NodeId id) {
@@ -202,20 +247,31 @@ void NylonPss::start_exchange(const pss::ContactCard& partner_card, bool from_re
 }
 
 void NylonPss::handle_message(NodeId from, BytesView payload) {
+  if (!guard_.admit(from, sim_.now())) {
+    tel_.drop_frame(m_rate_limited_, sim_.now(), "ratelimit");
+    return;
+  }
   Reader r(payload);
   const std::uint8_t kind = r.u8();
   const std::uint32_t seq = r.u32();
-  const std::uint16_t count = r.u16();
+  const std::uint32_t count = r.count16(config_.max_gossip_entries);
   std::vector<PssEntry> received;
   received.reserve(count);
-  for (std::uint16_t i = 0; i < count; ++i) received.push_back(PssEntry::deserialize(r));
-  const Bytes extra = r.bytes();
-  if (!r.ok()) return;
-  if (received.empty()) return;
-
-  // The first buffer entry is the sender's own fresh card.
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    received.push_back(PssEntry::deserialize(r));
+  }
+  const Bytes extra = r.bytes(config_.max_extra_bytes);
+  if (kind != kKindRequest && kind != kKindResponse) r.fail(DecodeError::kBadValue);
+  if (r.ok() && received.empty()) r.fail(DecodeError::kBadValue);
+  // The first buffer entry is the sender's own fresh card; a mismatch is a
+  // spoofed frame, rejected like any other malformed input.
+  if (r.ok() && received.front().card.id != from) r.fail(DecodeError::kBadValue);
+  if (!r.expect_done()) {
+    reject_frame(from, r);
+    return;
+  }
+  guard_.note_ok(from);
   const pss::ContactCard sender_card = received.front().card;
-  if (sender_card.id != from) return;
 
   if (extra_consumer) extra_consumer(sender_card, extra);
 

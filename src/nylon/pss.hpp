@@ -18,6 +18,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/guard.hpp"
 #include "nylon/transport.hpp"
 #include "pss/view.hpp"
 #include "sim/simulator.hpp"
@@ -46,6 +47,26 @@ struct PssConfig {
   std::size_t reserve_capacity = 8;
   int reserve_retry_cycles = 3;
   int reserve_max_attempts = 8;
+
+  // --- Hostile-input defenses (generous defaults: honest traffic never
+  // trips them, but a misbehaving peer is bounded and eventually reported
+  // into the quarantine path). ---
+  /// Wire cap on gossip entries per frame (honest buffers carry
+  /// `gossip_size` ≈ 5; a forged count can never drive the allocation).
+  std::size_t max_gossip_entries = 64;
+  /// Wire cap on the key-sampling piggyback blob.
+  std::size_t max_extra_bytes = 4096;
+  /// Per-peer inbound frame budget (frames/sec; 0 disables).
+  double peer_rate_per_sec = 20;
+  double peer_rate_burst = 60;
+  /// Consecutive malformed frames from one peer before it is reported as
+  /// misbehaving (which counts as a suspicion strike).
+  int decode_fail_threshold = 3;
+  /// Hard caps on peer-driven tracking state (FIFO / earliest-expiry
+  /// eviction beyond them).
+  std::size_t guard_max_peers = 1024;
+  std::size_t max_suspects = 1024;
+  std::size_t max_quarantined = 1024;
 };
 
 /// View entry of the system-wide PSS: contact card + gossip age.
@@ -104,6 +125,15 @@ class NylonPss {
   /// True while `id` sits in quarantine (its descriptors are refused).
   bool quarantined(NodeId id) const;
 
+  /// Misbehavior report from a higher layer (WCL decode scoring, PPSS via
+  /// the node): counts as a suspicion strike, so repeat offenders land in
+  /// quarantine exactly like peers that fail exchanges.
+  void report_misbehavior(NodeId id);
+
+  std::uint64_t decode_rejects() const { return decode_rejects_; }
+  std::uint64_t rate_limited() const { return guard_.rate_limited(); }
+  std::uint64_t misbehavior_reports() const { return misbehavior_reports_; }
+
  private:
   void on_cycle();
   void handle_message(NodeId from, BytesView payload);
@@ -118,6 +148,9 @@ class NylonPss {
   void retry_reserved();
   /// Record a failed exchange with `id`; quarantines after the threshold.
   void note_failure(NodeId id);
+  /// Count a malformed frame from `id` (decode counter + flight drop +
+  /// guard scoring; threshold crossings become misbehavior reports).
+  void reject_frame(NodeId from, Reader& r);
   /// A live exchange with `id` clears all suspicion.
   void note_success(NodeId id);
   void purge_quarantine();
@@ -158,9 +191,17 @@ class NylonPss {
   std::deque<ReserveEntry> reserve_;
 
   // Failure suspicion: consecutive failed exchanges per peer, and the
-  // quarantine (peer -> expiry) entered at the threshold.
+  // quarantine (peer -> expiry) entered at the threshold. Both are
+  // peer-driven, so both are hard-capped (suspicion evicts oldest-tracked
+  // via the FIFO below; quarantine evicts the earliest expiry).
   std::unordered_map<NodeId, int> suspicion_;
+  std::deque<NodeId> suspicion_order_;
   std::unordered_map<NodeId, sim::Time> quarantine_;
+
+  // Per-peer admission + decode scoring.
+  PeerGuard guard_;
+  std::uint64_t decode_rejects_ = 0;
+  std::uint64_t misbehavior_reports_ = 0;
 
   telemetry::Scope tel_;
   telemetry::Counter& m_initiated_;
@@ -168,6 +209,9 @@ class NylonPss {
   telemetry::Counter& m_timed_out_;
   telemetry::Counter& m_quarantined_;
   telemetry::Counter& m_rejoined_;
+  telemetry::Counter& m_decode_rejects_;
+  telemetry::Counter& m_rate_limited_;
+  telemetry::Counter& m_misbehavior_;
   telemetry::Histogram& m_rtt_;
   telemetry::Histogram& m_view_size_;
 };

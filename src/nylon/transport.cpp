@@ -180,7 +180,10 @@ bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, sim::
 void Transport::on_datagram(const sim::Datagram& dgram) {
   Reader r(dgram.payload);
   const auto type = static_cast<MsgType>(r.u8());
-  if (!r.ok()) return;
+  if (!r.ok()) {
+    ++decode_rejects_;
+    return;
+  }
   switch (type) {
     case MsgType::kData:
       handle_data(dgram, r);
@@ -200,12 +203,18 @@ void Transport::on_datagram(const sim::Datagram& dgram) {
     case MsgType::kProbeAck:
       handle_probe_ack(dgram, r);
       break;
+    default:
+      ++decode_rejects_;  // unknown frame type
+      break;
   }
 }
 
 void Transport::handle_data(const sim::Datagram& dgram, Reader& r) {
   auto msg = DataMsg::parse(r);
-  if (!msg) return;
+  if (!msg || msg->from.is_nil()) {
+    ++decode_rejects_;
+    return;
+  }
 
   if (!msg->relayed) {
     // Direct packet: the peer can reach us; probe back so that we can
@@ -225,8 +234,11 @@ void Transport::handle_data(const sim::Datagram& dgram, Reader& r) {
 void Transport::handle_forward(const sim::Datagram& dgram, Reader& r) {
   if (!is_public_) return;  // only P-nodes relay
   const NodeId dst = r.node_id();
-  Bytes inner = r.bytes();
-  if (!r.ok()) return;
+  Bytes inner = r.bytes(config_.max_forward_bytes);
+  if (!r.expect_done()) {
+    ++decode_rejects_;
+    return;
+  }
 
   auto it = registrations_.find(dst);
   if (it == registrations_.end() || it->second.expires <= sim_.now()) return;
@@ -235,9 +247,15 @@ void Transport::handle_forward(const sim::Datagram& dgram, Reader& r) {
   // the receiver can attempt hole punching (the RV role of Nylon).
   Reader ir(inner);
   const auto type = static_cast<MsgType>(ir.u8());
-  if (type != MsgType::kData) return;
+  if (type != MsgType::kData) {
+    ++decode_rejects_;
+    return;
+  }
   auto msg = DataMsg::parse(ir);
-  if (!msg) return;
+  if (!msg || msg->from.is_nil()) {
+    ++decode_rejects_;
+    return;
+  }
   msg->observed_src = dgram.src;
   // Keep the original accounting class for forwarded traffic.
   net_.send(internal_ep_, it->second.external, msg->serialize(), dgram.proto);
@@ -246,7 +264,21 @@ void Transport::handle_forward(const sim::Datagram& dgram, Reader& r) {
 void Transport::handle_register(const sim::Datagram& dgram, Reader& r) {
   if (!is_public_) return;
   const NodeId who = r.node_id();
-  if (!r.ok()) return;
+  if (!r.expect_done() || who.is_nil()) {
+    ++decode_rejects_;
+    return;
+  }
+  if (registrations_.count(who) == 0 &&
+      registrations_.size() >= config_.max_registrations) {
+    // Table full: evict the registration closest to expiry so an id-spraying
+    // peer can't grow relay state without bound.
+    auto victim = registrations_.begin();
+    for (auto it = registrations_.begin(); it != registrations_.end(); ++it) {
+      if (it->second.expires < victim->second.expires) victim = it;
+    }
+    registrations_.erase(victim);
+    ++cap_evictions_;
+  }
   registrations_[who] = Registration{dgram.src, sim_.now() + config_.registration_ttl};
 
   Writer w;
@@ -257,7 +289,10 @@ void Transport::handle_register(const sim::Datagram& dgram, Reader& r) {
 
 void Transport::handle_register_ack(Reader& r) {
   const NodeId from = r.node_id();
-  if (!r.ok()) return;
+  if (!r.expect_done()) {
+    ++decode_rejects_;
+    return;
+  }
   if (from != relay_.id) return;
   const bool was_backed_off = unanswered_keepalives_ >= config_.relay_loss_threshold;
   unanswered_keepalives_ = 0;
@@ -272,6 +307,15 @@ void Transport::handle_register_ack(Reader& r) {
 
 void Transport::consider_probe(NodeId peer, Endpoint candidate) {
   if (peer == self_ || candidate.is_nil()) return;
+  if (probes_.count(peer) == 0 && probes_.size() >= config_.max_probes) {
+    // Evict the stalest in-flight probe (peer-driven state, hard-capped).
+    auto victim = probes_.begin();
+    for (auto it = probes_.begin(); it != probes_.end(); ++it) {
+      if (it->second.sent_at < victim->second.sent_at) victim = it;
+    }
+    probes_.erase(victim);
+    ++cap_evictions_;
+  }
   auto& pending = probes_[peer];
   if (pending.sent_at != 0 && pending.sent_at + config_.probe_min_interval > sim_.now()) return;
   pending.seq = next_probe_seq_++;
@@ -288,7 +332,10 @@ void Transport::consider_probe(NodeId peer, Endpoint candidate) {
 void Transport::handle_probe(const sim::Datagram& dgram, Reader& r) {
   const NodeId from = r.node_id();
   const std::uint32_t seq = r.u32();
-  if (!r.ok()) return;
+  if (!r.expect_done()) {
+    ++decode_rejects_;
+    return;
+  }
   // The probe reached us directly: answering to its wire source both
   // confirms reachability to the peer and opens our own mapping toward it.
   Writer w;
@@ -302,7 +349,10 @@ void Transport::handle_probe(const sim::Datagram& dgram, Reader& r) {
 void Transport::handle_probe_ack(const sim::Datagram& dgram, Reader& r) {
   const NodeId from = r.node_id();
   const std::uint32_t seq = r.u32();
-  if (!r.ok()) return;
+  if (!r.expect_done()) {
+    ++decode_rejects_;
+    return;
+  }
   auto it = probes_.find(from);
   if (it == probes_.end() || it->second.seq != seq) return;
   // Our probe went through and the ack came back: the probed endpoint is a
@@ -312,6 +362,16 @@ void Transport::handle_probe_ack(const sim::Datagram& dgram, Reader& r) {
 }
 
 void Transport::note_direct_route(NodeId peer, Endpoint ep) {
+  if (direct_routes_.count(peer) == 0 &&
+      direct_routes_.size() >= config_.max_direct_routes) {
+    // Evict the least recently verified route.
+    auto victim = direct_routes_.begin();
+    for (auto it = direct_routes_.begin(); it != direct_routes_.end(); ++it) {
+      if (it->second.verified_at < victim->second.verified_at) victim = it;
+    }
+    direct_routes_.erase(victim);
+    ++cap_evictions_;
+  }
   direct_routes_[peer] = DirectRoute{ep, sim_.now()};
 }
 

@@ -49,6 +49,17 @@ struct TransportConfig {
   /// to this ceiling (the relay may return, and failover may need time to
   /// find a replacement — but hammering a dead address helps nobody).
   sim::Time keepalive_backoff_max = 5 * sim::kMinute;
+
+  // --- Hostile-input bounds. All relay/punch state is peer-driven, so all
+  // of it is hard-capped; overflow evicts the stalest entry. ---
+  /// Wire cap on a relayed (kForward) inner frame.
+  std::size_t max_forward_bytes = 64 * 1024;
+  /// Max relay registrations held for N-nodes (P-nodes only).
+  std::size_t max_registrations = 512;
+  /// Max verified punched routes remembered.
+  std::size_t max_direct_routes = 1024;
+  /// Max punch probes tracked.
+  std::size_t max_probes = 256;
 };
 
 class Transport {
@@ -107,6 +118,12 @@ class Transport {
 
   /// Number of live registrations this node is relaying for (P-nodes).
   std::size_t relayed_registrations() const;
+
+  /// Malformed frames rejected at this layer (bad type byte, truncated
+  /// fields, trailing garbage, oversized forward payloads).
+  std::uint64_t decode_rejects() const { return decode_rejects_; }
+  /// Entries evicted from peer-driven tables to enforce the hard caps.
+  std::uint64_t cap_evictions() const { return cap_evictions_; }
 
  private:
   struct DataMsg {
@@ -170,6 +187,9 @@ class Transport {
   std::unordered_map<NodeId, Registration> registrations_;
 
   std::unordered_map<std::uint8_t, Handler> handlers_;
+
+  std::uint64_t decode_rejects_ = 0;
+  std::uint64_t cap_evictions_ = 0;
 };
 
 }  // namespace whisper::nylon

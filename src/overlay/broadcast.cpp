@@ -1,5 +1,7 @@
 #include "overlay/broadcast.hpp"
 
+#include <algorithm>
+
 namespace whisper::overlay {
 
 Broadcast::Broadcast(ppss::Ppss& ppss, BroadcastConfig config, Rng rng)
@@ -55,8 +57,11 @@ void Broadcast::handle_app(const wcl::RemotePeer& from, BytesView payload) {
   const std::uint64_t msg_id = r.u64();
   const NodeId origin = r.node_id();
   const std::uint32_t hops_left = r.u32();
-  const Bytes body = r.bytes();
-  if (!r.ok()) return;
+  const Bytes body = r.bytes(config_.max_payload);
+  if (!r.expect_done()) {
+    ++stats_.decode_rejects;
+    return;
+  }
 
   if (!mark_seen(msg_id)) {
     ++stats_.duplicates;
@@ -64,7 +69,9 @@ void Broadcast::handle_app(const wcl::RemotePeer& from, BytesView payload) {
   }
   ++stats_.delivered;
   if (on_deliver) on_deliver(origin, body);
-  forward(msg_id, origin, hops_left, body, from.card.id);
+  // Clamp the remaining budget: a forged frame cannot amplify itself past
+  // the locally configured hop budget.
+  forward(msg_id, origin, std::min(hops_left, config_.hop_budget), body, from.card.id);
 }
 
 }  // namespace whisper::overlay

@@ -21,6 +21,8 @@ struct BroadcastConfig {
   /// Cap on the duplicate-suppression cache.
   std::size_t seen_capacity = 4096;
   std::uint8_t app_id = 4;
+  /// Cap on a broadcast body accepted off the wire.
+  std::size_t max_payload = 64 * 1024;
 };
 
 class Broadcast {
@@ -42,6 +44,7 @@ class Broadcast {
     std::uint64_t delivered = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t forwarded = 0;
+    std::uint64_t decode_rejects = 0;
   };
   const Stats& stats() const { return stats_; }
 

@@ -117,13 +117,19 @@ void GosSkip::route_or_answer(OverlayKey key, std::uint64_t search_id,
 void GosSkip::handle_search(const wcl::RemotePeer& from, BytesView payload) {
   Reader r(payload);
   const std::uint8_t kind = r.u8();
-  if (!r.ok()) return;
+  if (!r.ok() || (kind != kKindSearchReq && kind != kKindSearchResp)) {
+    ++decode_rejects_;
+    return;
+  }
   if (kind == kKindSearchReq) {
     const std::uint64_t search_id = r.u64();
     const OverlayKey key = r.u64();
     const std::uint32_t hops = r.u32();
     auto origin = OverlayDescriptor::deserialize(r);
-    if (!r.ok() || !origin) return;
+    if (!origin || !r.expect_done()) {
+      ++decode_rejects_;
+      return;
+    }
     route_or_answer(key, search_id, *origin, hops);
     return;
   }
@@ -131,7 +137,10 @@ void GosSkip::handle_search(const wcl::RemotePeer& from, BytesView payload) {
     const std::uint64_t search_id = r.u64();
     const std::uint32_t hops = r.u32();
     auto owner = OverlayDescriptor::deserialize(r);
-    if (!r.ok() || !owner) return;
+    if (!owner || !r.expect_done()) {
+      ++decode_rejects_;
+      return;
+    }
     auto it = pending_.find(search_id);
     if (it == pending_.end()) return;
     if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);

@@ -49,6 +49,8 @@ class GosSkip {
   /// sorted line, wrapping at the top).
   void search(OverlayKey key, SearchCallback callback);
 
+  std::uint64_t decode_rejects() const { return decode_rejects_; }
+
  private:
   void handle_search(const wcl::RemotePeer& from, BytesView payload);
   void route_or_answer(OverlayKey key, std::uint64_t search_id,
@@ -68,6 +70,7 @@ class GosSkip {
   };
   std::unordered_map<std::uint64_t, PendingSearch> pending_;
   std::uint64_t next_search_id_;
+  std::uint64_t decode_rejects_ = 0;
 };
 
 }  // namespace whisper::overlay

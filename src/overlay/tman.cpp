@@ -147,14 +147,18 @@ void TMan::handle_app(const wcl::RemotePeer& from, BytesView payload) {
   Reader r(payload);
   const std::uint8_t kind = r.u8();
   const OverlayKey sender_key = r.u64();
-  const std::uint16_t count = r.u16();
+  const std::uint16_t count = r.count16(config_.max_wire_descriptors);
   std::vector<OverlayDescriptor> received;
-  for (std::uint16_t i = 0; i < count; ++i) {
+  for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
     auto d = OverlayDescriptor::deserialize(r);
-    if (!d) return;
+    if (!d) break;
     received.push_back(std::move(*d));
   }
-  if (!r.ok()) return;
+  if (!r.ok() || received.size() != count || !r.expect_done() ||
+      (kind != kKindReq && kind != kKindResp)) {
+    ++decode_rejects_;
+    return;
+  }
 
   absorb(OverlayDescriptor{sender_key, from});
   for (const auto& d : received) absorb(d);

@@ -39,6 +39,8 @@ struct TManConfig {
   double proximity_bias = 0.5;
   /// PPSS application channel id this instance listens on.
   std::uint8_t app_id = 2;
+  /// Cap on descriptors accepted from one gossip frame.
+  std::size_t max_wire_descriptors = 32;
 };
 
 /// Proximity function: lower = more relevant to `self`. T-Man ranks
@@ -79,6 +81,7 @@ class TMan {
   void absorb(const OverlayDescriptor& d);
 
   std::uint64_t exchanges() const { return exchanges_; }
+  std::uint64_t decode_rejects() const { return decode_rejects_; }
 
  private:
   void on_cycle();
@@ -96,6 +99,7 @@ class TMan {
   sim::TimerId cycle_timer_ = 0;
   std::map<OverlayKey, OverlayDescriptor> candidates_;
   std::uint64_t exchanges_ = 0;
+  std::uint64_t decode_rejects_ = 0;
 };
 
 /// A node's key on the sorted overlay (hash of its id, distinct domain from

@@ -14,7 +14,7 @@ std::optional<Passport> Passport::deserialize(Reader& r) {
   Passport p;
   p.node = r.node_id();
   p.epoch = r.u64();
-  p.signature = r.bytes();
+  p.signature = r.bytes(kMaxSignatureBytes);
   if (!r.ok()) return std::nullopt;
   return p;
 }
@@ -31,7 +31,7 @@ std::optional<Accreditation> Accreditation::deserialize(Reader& r) {
   a.group = r.group_id();
   a.node = r.node_id();
   a.epoch = r.u64();
-  a.signature = r.bytes();
+  a.signature = r.bytes(kMaxSignatureBytes);
   if (!r.ok()) return std::nullopt;
   return a;
 }

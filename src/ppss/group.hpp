@@ -22,6 +22,11 @@
 
 namespace whisper::ppss {
 
+/// Wire cap on a passport/accreditation signature. A signature is one RSA
+/// block, so 512 bytes covers 4096-bit group keys; a hostile length prefix
+/// cannot force a larger allocation.
+inline constexpr std::size_t kMaxSignatureBytes = 512;
+
 /// A member's proof of group membership: its node id signed with the group
 /// private key of some epoch.
 struct Passport {

@@ -16,6 +16,21 @@ constexpr std::uint8_t kKindPing = 5;
 constexpr std::uint8_t kKindPong = 6;
 constexpr std::uint8_t kKindApp = 7;
 
+/// Largest rotation announcement a gossip frame may carry: group id +
+/// epoch + serialized public key + announcer id, with headroom.
+constexpr std::size_t kMaxRotationBytes = crypto::kMaxKeyWireBytes + 64;
+
+/// Fingerprint of a frame for replay suppression: the claimed sender, the
+/// frame kind, and its sequence number / nonce. Join frames never go
+/// through this (retries resend identical bytes on purpose).
+std::uint64_t frame_fingerprint(NodeId node, std::uint8_t kind, std::uint64_t seq) {
+  Writer w;
+  w.node_id(node);
+  w.u8(kind);
+  w.u64(seq);
+  return crypto::fingerprint64(w.data());
+}
+
 std::uint64_t election_hash(NodeId node, std::uint64_t epoch) {
   Writer w;
   w.node_id(node);
@@ -43,13 +58,20 @@ std::optional<PrivateEntry> PrivateEntry::deserialize(Reader& r) {
 Ppss::Ppss(sim::Simulator& sim, wcl::Wcl& wcl, NodeId self, GroupId group, sim::CpuMeter& cpu,
            PpssConfig config, Rng rng, telemetry::Scope telemetry)
     : sim_(sim), wcl_(wcl), self_(self), group_(group), cpu_(cpu), config_(config), rng_(rng),
-      drbg_(rng_.next_u64()), keyring_(group), view_(config.view_size), tel_(telemetry),
+      drbg_(rng_.next_u64()), keyring_(group), view_(config.view_size),
+      verified_passports_(config.passport_cache), replay_window_(config.replay_window),
+      guard_(PeerGuardConfig{config.peer_rate_per_sec, config.peer_rate_burst,
+                             /*decode_fail_threshold=*/3, config.guard_max_peers}),
+      tel_(telemetry),
       m_initiated_(tel_.counter("ppss.exchanges.initiated")),
       m_completed_(tel_.counter("ppss.exchanges.completed")),
       m_timed_out_(tel_.counter("ppss.exchanges.timed_out")),
       m_passport_checks_(tel_.counter("ppss.passport.checks")),
       m_passport_bad_(tel_.counter("ppss.passport.bad")),
       m_joins_served_(tel_.counter("ppss.joins.served")),
+      m_decode_rejects_(tel_.counter("ppss.decode.rejects")),
+      m_replays_(tel_.counter("ppss.replay.suppressed")),
+      m_rate_limited_(tel_.counter("ppss.rate.limited")),
       // PPSS exchanges ride multi-hop WCL routes: RTTs from tens of ms up
       // to the paper's multi-second Fig. 7 tail.
       m_rtt_(tel_.histogram("ppss.exchange.rtt_us",
@@ -190,14 +212,23 @@ void Ppss::absorb_meta(const GossipMeta& meta) {
   const sim::Time implied = sim_.now() - std::min<std::uint64_t>(meta.heartbeat_age_us, sim_.now());
   last_heartbeat_seen_ = std::max(last_heartbeat_seen_, implied);
 
+  // Election aggregation: keep the max proposal.
+  if (meta.proposal_hash > election_proposal_hash_) {
+    election_proposal_hash_ = meta.proposal_hash;
+    election_proposal_node_ = meta.proposal_node;
+    election_stable_count_ = 0;
+  }
+}
+
+void Ppss::absorb_rotation(const GossipMeta& meta) {
   // Key rotation: adopt newer epochs.
   if (!meta.rotation.empty() && meta.leader_epoch > keyring_.latest_epoch()) {
     Reader r(meta.rotation);
     const GroupId g = r.group_id();
     const std::uint64_t epoch = r.u64();
-    auto key = crypto::RsaPublicKey::deserialize(r.bytes());
+    auto key = crypto::RsaPublicKey::deserialize(r.bytes(crypto::kMaxKeyWireBytes));
     const NodeId announcer = r.node_id();
-    if (r.ok() && g == group_ && key && epoch == meta.leader_epoch) {
+    if (r.expect_done() && g == group_ && key && epoch == meta.leader_epoch) {
       keyring_.add_epoch(epoch, *key);
       last_heartbeat_seen_ = sim_.now();
       election_proposal_hash_ = 0;
@@ -205,13 +236,6 @@ void Ppss::absorb_meta(const GossipMeta& meta) {
       election_stable_count_ = 0;
       (void)announcer;
     }
-  }
-
-  // Election aggregation: keep the max proposal.
-  if (meta.proposal_hash > election_proposal_hash_) {
-    election_proposal_hash_ = meta.proposal_hash;
-    election_proposal_node_ = meta.proposal_node;
-    election_stable_count_ = 0;
   }
 }
 
@@ -348,14 +372,39 @@ bool Ppss::verify_passport_cached(const Passport& p) {
   if (verified_passports_.contains(fp)) return true;
   bool ok = false;
   cpu_.charge(sim::CpuCategory::kRsaSign, [&] { ok = keyring_.verify_passport(p); });
-  if (ok) verified_passports_.insert(fp);
+  if (ok) verified_passports_.seen_or_insert(fp);
   return ok;
+}
+
+void Ppss::reject_frame(Reader& r) {
+  DecodeError err = r.reject_reason();
+  if (err == DecodeError::kNone) err = DecodeError::kBadValue;
+  ++stats_.decode_rejects;
+  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+                  std::string("decode:") + decode_error_name(err));
+}
+
+bool Ppss::suppress_or_limit(NodeId sender, std::uint8_t kind, std::uint64_t seq) {
+  if (replay_window_.seen_or_insert(frame_fingerprint(sender, kind, seq))) {
+    ++stats_.replays_suppressed;
+    tel_.drop_frame(m_replays_, sim_.now(), "replay");
+    return true;
+  }
+  if (!guard_.admit(sender, sim_.now())) {
+    ++stats_.rate_limited;
+    tel_.drop_frame(m_rate_limited_, sim_.now(), "ratelimit");
+    return true;
+  }
+  return false;
 }
 
 void Ppss::handle_payload(BytesView payload) {
   Reader r(payload);
   const std::uint8_t kind = r.u8();
-  if (!r.ok()) return;
+  if (!r.ok()) {
+    reject_frame(r);
+    return;
+  }
   switch (kind) {
     case kKindGossipReq:
     case kKindGossipResp:
@@ -375,6 +424,8 @@ void Ppss::handle_payload(BytesView payload) {
       handle_app(r);
       break;
     default:
+      r.fail(DecodeError::kBadValue);
+      reject_frame(r);
       break;
   }
 }
@@ -387,25 +438,39 @@ void Ppss::handle_gossip(std::uint8_t kind, Reader& r) {
   meta.heartbeat_age_us = r.u64();
   meta.proposal_hash = r.u64();
   meta.proposal_node = r.node_id();
-  meta.rotation = r.bytes();
-  const std::uint16_t count = r.u16();
+  meta.rotation = r.bytes(kMaxRotationBytes);
+  const std::uint16_t count = r.count16(config_.max_gossip_entries);
   std::vector<PrivateEntry> received;
-  for (std::uint16_t i = 0; i < count; ++i) {
+  for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
     auto e = PrivateEntry::deserialize(r);
-    if (!e) return;
+    if (!e) break;
     received.push_back(std::move(*e));
   }
-  if (!r.ok() || !passport || received.empty()) return;
+  if (!r.ok() || !passport || received.empty() || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
+  if (received.front().peer.card.id != passport->node) {
+    r.fail(DecodeError::kBadValue);
+    reject_frame(r);
+    return;
+  }
   if (!joined()) return;
 
-  absorb_meta(meta);
+  // Rotation announcements must be absorbed before passport verification:
+  // after an election the winner's passport is signed with the very epoch
+  // key the announcement delivers. The announcement only takes effect for
+  // a strictly newer epoch, so replays are no-ops. Heartbeat and election
+  // fields are absorbed only after the passport verifies.
+  absorb_rotation(meta);
   if (!verify_passport_cached(*passport)) {
     ++stats_.bad_passports;
     m_passport_bad_.add(1);
     return;  // silently ignore, never reveal membership
   }
   const wcl::RemotePeer sender = received.front().peer;
-  if (sender.card.id != passport->node) return;
+  if (suppress_or_limit(sender.card.id, kind, seq)) return;
+  absorb_meta(meta);
 
   if (kind == kKindGossipReq) {
     std::vector<PrivateEntry> buffer;
@@ -436,7 +501,10 @@ void Ppss::handle_gossip(std::uint8_t kind, Reader& r) {
 void Ppss::handle_join_request(Reader& r) {
   auto accreditation = Accreditation::deserialize(r);
   auto joiner = wcl::RemotePeer::deserialize(r);
-  if (!accreditation || !joiner) return;
+  if (!accreditation || !joiner || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
   if (!joined()) return;
 
   if (!is_leader()) {
@@ -486,22 +554,33 @@ void Ppss::handle_join_request(Reader& r) {
 void Ppss::handle_join_response(Reader& r) {
   if (!pending_join_) return;
   auto passport = Passport::deserialize(r);
-  if (!passport || passport->node != self_) return;
-  const std::uint16_t n_keys = r.u16();
-  for (std::uint16_t i = 0; i < n_keys; ++i) {
-    const std::uint64_t epoch = r.u64();
-    auto key = crypto::RsaPublicKey::deserialize(r.bytes());
-    if (!r.ok() || !key) return;
-    keyring_.add_epoch(epoch, *key);
+  if (!passport) {
+    reject_frame(r);
+    return;
   }
-  const std::uint16_t n_entries = r.u16();
+  if (passport->node != self_) return;
+  // Parse the full key history and bootstrap view before mutating anything:
+  // a frame that fails partway through must leave the keyring untouched.
+  const std::uint16_t n_keys = r.count16(config_.max_key_epochs);
+  std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>> keys;
+  for (std::uint16_t i = 0; i < n_keys && r.ok(); ++i) {
+    const std::uint64_t epoch = r.u64();
+    auto key = crypto::RsaPublicKey::deserialize(r.bytes(crypto::kMaxKeyWireBytes));
+    if (!r.ok() || !key) break;
+    keys.emplace_back(epoch, std::move(*key));
+  }
+  const std::uint16_t n_entries = r.count16(config_.max_gossip_entries);
   std::vector<PrivateEntry> boot;
-  for (std::uint16_t i = 0; i < n_entries; ++i) {
+  for (std::uint16_t i = 0; i < n_entries && r.ok(); ++i) {
     auto e = PrivateEntry::deserialize(r);
-    if (!e) return;
+    if (!e) break;
     boot.push_back(std::move(*e));
   }
-  if (!r.ok()) return;
+  if (!r.ok() || keys.size() != n_keys || boot.size() != n_entries || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
+  for (auto& [epoch, key] : keys) keyring_.add_epoch(epoch, std::move(key));
 
   // Validate our own passport before trusting it.
   if (!keyring_.verify_passport(*passport)) return;
@@ -526,13 +605,17 @@ void Ppss::handle_ping(std::uint8_t kind, Reader& r) {
   const std::uint32_t seq = r.u32();
   auto passport = Passport::deserialize(r);
   auto entry = PrivateEntry::deserialize(r);
-  if (!r.ok() || !passport || !entry) return;
+  if (!r.ok() || !passport || !entry || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
   if (!joined()) return;
   if (!verify_passport_cached(*passport) || passport->node != entry->id()) {
     ++stats_.bad_passports;
     m_passport_bad_.add(1);
     return;
   }
+  if (suppress_or_limit(entry->id(), kind, seq)) return;
 
   if (kind == kKindPing) {
     // Refresh our knowledge of the pinger and answer with our fresh entry.
@@ -560,15 +643,20 @@ void Ppss::handle_ping(std::uint8_t kind, Reader& r) {
 void Ppss::handle_app(Reader& r) {
   auto passport = Passport::deserialize(r);
   auto sender = wcl::RemotePeer::deserialize(r);
+  const std::uint64_t nonce = r.u64();
   const std::uint8_t app_id = r.u8();
-  Bytes payload = r.bytes();
-  if (!r.ok() || !passport || !sender) return;
+  Bytes payload = r.bytes(config_.max_app_payload);
+  if (!r.ok() || !passport || !sender || !r.expect_done()) {
+    reject_frame(r);
+    return;
+  }
   if (!joined()) return;
   if (!verify_passport_cached(*passport) || passport->node != sender->card.id) {
     ++stats_.bad_passports;
     m_passport_bad_.add(1);
     return;
   }
+  if (suppress_or_limit(sender->card.id, kKindApp, nonce)) return;
   if (app_id == 0) {
     if (on_app_message) on_app_message(*sender, payload);
     return;
@@ -614,6 +702,9 @@ bool Ppss::send_app_to(const wcl::RemotePeer& to, BytesView payload, std::uint8_
   w.u8(kKindApp);
   passport_.serialize(w);
   wcl_.self_peer().serialize(w);
+  // Fresh nonce per frame: receivers suppress replayed (sender, nonce)
+  // pairs, so a captured app frame cannot be re-injected.
+  w.u64(next_app_nonce_++);
   w.u8(app_id);
   w.bytes(payload);
   return wcl_.send_confidential(to, w.data());

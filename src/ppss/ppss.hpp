@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/guard.hpp"
 #include "ppss/group.hpp"
 #include "pss/view.hpp"
 #include "sim/cpumeter.hpp"
@@ -48,6 +49,25 @@ struct PpssConfig {
   /// this many consecutive cycles.
   int election_stable_cycles = 3;
   std::size_t join_max_retries = 3;
+
+  // --- Hostile-input hardening. ---
+  /// Cap on gossip/bootstrap entries per frame (well above gossip_size).
+  std::size_t max_gossip_entries = 32;
+  /// Cap on key-history epochs accepted in a join response.
+  std::size_t max_key_epochs = 256;
+  /// Cap on an application payload carried in a kApp frame.
+  std::size_t max_app_payload = 64 * 1024;
+  /// Replay-suppression window: distinct (sender, kind, seq/nonce)
+  /// fingerprints remembered per instance; 0 disables suppression. Join
+  /// frames are deliberately exempt — retries resend identical bytes.
+  std::size_t replay_window = 1024;
+  /// Bound on the verified-passport signature cache.
+  std::size_t passport_cache = 1024;
+  /// Per-member inbound budget, applied only after the sender's passport
+  /// verifies (frames/sec and burst; 0 disables).
+  double peer_rate_per_sec = 20.0;
+  double peer_rate_burst = 60.0;
+  std::size_t guard_max_peers = 1024;
 };
 
 /// Entry of a private view: a reachable member descriptor plus gossip age.
@@ -135,6 +155,9 @@ class Ppss {
     std::uint64_t joins_served = 0;
     std::uint64_t elections_won = 0;
     std::uint64_t elections_observed = 0;
+    std::uint64_t decode_rejects = 0;
+    std::uint64_t replays_suppressed = 0;
+    std::uint64_t rate_limited = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -165,12 +188,22 @@ class Ppss {
   void handle_ping(std::uint8_t kind, Reader& r);
   void handle_app(Reader& r);
 
+  /// Count (and flight-attribute) a malformed frame. PPSS frames arrive
+  /// over anonymized WCL routes, so decode failures cannot be pinned on a
+  /// network peer — they are counted, never fed to quarantine (blaming the
+  /// claimed sender would let an attacker frame honest members).
+  void reject_frame(Reader& r);
+  /// True when the already-verified sender is over budget or the frame's
+  /// (sender, kind, seq) fingerprint is a replay; counts the drop.
+  bool suppress_or_limit(NodeId sender, std::uint8_t kind, std::uint64_t seq);
+
   bool verify_passport_cached(const Passport& p);
   PrivateEntry self_entry();
   Bytes encode_gossip(std::uint8_t kind, std::uint32_t seq,
                       const std::vector<PrivateEntry>& buffer);
   GossipMeta current_meta();
   void absorb_meta(const GossipMeta& meta);
+  void absorb_rotation(const GossipMeta& meta);
   void maybe_elect();
   Bytes make_rotation_announcement();
   void send_join_request();
@@ -229,8 +262,15 @@ class Ppss {
   NodeId election_proposal_node_;
   int election_stable_count_ = 0;
 
-  // Passport verification cache (verified signature fingerprints).
-  std::unordered_set<std::uint64_t> verified_passports_;
+  // Passport verification cache (verified signature fingerprints), bounded
+  // so hostile passport floods cannot grow it.
+  ReplayWindow verified_passports_;
+  // Replay suppression over (sender, kind, seq/nonce) fingerprints.
+  ReplayWindow replay_window_;
+  // Per-verified-member admission control.
+  PeerGuard guard_;
+  // Nonce source for our own outgoing app frames.
+  std::uint64_t next_app_nonce_ = 1;
 
   // Registered application channels (app id 1..255).
   std::unordered_map<std::uint8_t, AppHandler> app_handlers_;
@@ -244,6 +284,9 @@ class Ppss {
   telemetry::Counter& m_passport_checks_;
   telemetry::Counter& m_passport_bad_;
   telemetry::Counter& m_joins_served_;
+  telemetry::Counter& m_decode_rejects_;
+  telemetry::Counter& m_replays_;
+  telemetry::Counter& m_rate_limited_;
   telemetry::Histogram& m_rtt_;
   telemetry::Histogram& m_view_size_;
 };

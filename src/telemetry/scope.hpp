@@ -76,6 +76,17 @@ class Scope {
     }
   }
 
+  /// Attribute a rejected inbound frame (decode error, rate limit, replay)
+  /// to the ambient flight context so whisper_trace can explain the drop,
+  /// and bump the caller's per-layer counter. `reason` becomes the drop
+  /// detail in the flight record ("decode:truncated", "ratelimit", ...).
+  void drop_frame(Counter& counter, std::uint64_t ts, std::string reason) const {
+    counter.add(1);
+    if (flight_enabled() && flight_->context().valid()) {
+      flight_->drop(flight_->context(), tid_, ts, std::move(reason));
+    }
+  }
+
   /// RAII span on this node's timeline (no-op when tracing is off). When an
   /// ambient flight context is armed, the span carries the trace id so
   /// Perfetto queries can join spans to flight records (parent linkage).

@@ -4,10 +4,15 @@
 
 namespace whisper::wcl {
 
-void ConnectionBacklog::push(CbEntry entry) {
+std::size_t ConnectionBacklog::push(CbEntry entry) {
   remove(entry.card.id);
   entries_.push_front(std::move(entry));
-  while (entries_.size() > capacity_) entries_.pop_back();
+  std::size_t evicted = 0;
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++evicted;
+  }
+  return evicted;
 }
 
 bool ConnectionBacklog::contains(NodeId id) const { return find(id) != nullptr; }

@@ -33,8 +33,9 @@ class ConnectionBacklog {
   const std::deque<CbEntry>& entries() const { return entries_; }
 
   /// Insert at the head (most recent). An existing entry for the same node
-  /// is refreshed and moved to the head; overflow evicts the tail.
-  void push(CbEntry entry);
+  /// is refreshed and moved to the head; overflow evicts the tail. Returns
+  /// the number of entries evicted by the overflow (telemetry).
+  std::size_t push(CbEntry entry);
 
   bool contains(NodeId id) const;
   const CbEntry* find(NodeId id) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/sha256.hpp"
+
 namespace whisper::wcl {
 
 namespace {
@@ -18,8 +20,11 @@ void Helper::serialize(Writer& w) const {
 std::optional<Helper> Helper::deserialize(Reader& r) {
   Helper h;
   h.card = pss::ContactCard::deserialize(r);
-  auto key = crypto::RsaPublicKey::deserialize(r.bytes());
-  if (!r.ok() || !key) return std::nullopt;
+  auto key = crypto::RsaPublicKey::deserialize(r.bytes(crypto::kMaxKeyWireBytes));
+  if (!r.ok() || !key) {
+    if (r.ok()) r.fail(DecodeError::kBadValue);
+    return std::nullopt;
+  }
   h.key = *key;
   return h;
 }
@@ -34,11 +39,18 @@ void RemotePeer::serialize(Writer& w) const {
 std::optional<RemotePeer> RemotePeer::deserialize(Reader& r) {
   RemotePeer p;
   p.card = pss::ContactCard::deserialize(r);
-  auto key = crypto::RsaPublicKey::deserialize(r.bytes());
-  if (!r.ok() || !key) return std::nullopt;
+  auto key = crypto::RsaPublicKey::deserialize(r.bytes(crypto::kMaxKeyWireBytes));
+  if (!r.ok() || !key) {
+    if (r.ok()) r.fail(DecodeError::kBadValue);
+    return std::nullopt;
+  }
   p.key = *key;
   const std::uint8_t n = r.u8();
   if (!r.ok()) return std::nullopt;
+  if (n > kMaxWireHelpers) {
+    r.fail(DecodeError::kOversized);
+    return std::nullopt;
+  }
   for (std::uint8_t i = 0; i < n; ++i) {
     auto h = Helper::deserialize(r);
     if (!h) return std::nullopt;
@@ -60,8 +72,20 @@ Wcl::Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& k
       m_delivered_(tel_.counter("wcl.onions.delivered")),
       m_forward_failures_(tel_.counter("wcl.forward.failures")),
       m_forwards_expired_(tel_.counter("wcl.forwards.expired")),
+      m_decode_rejects_(tel_.counter("wcl.decode.rejects")),
+      m_rate_limited_(tel_.counter("wcl.rate.limited")),
+      m_replays_(tel_.counter("wcl.replay.suppressed")),
+      m_forwards_evicted_(tel_.counter("wcl.forwards.evicted")),
+      m_backlog_evicted_(tel_.counter("wcl.backlog.evicted")),
       m_backlog_depth_(tel_.gauge("wcl.backlog.depth", {{"node", tel_.node_label()}})),
       m_srtt_(tel_.gauge("wcl.rtt.srtt_us", {{"node", tel_.node_label()}})) {
+  PeerGuardConfig gc;
+  gc.rate_per_sec = config_.peer_rate_per_sec;
+  gc.burst = config_.peer_rate_burst;
+  gc.decode_fail_threshold = config_.decode_fail_threshold;
+  gc.max_peers = config_.guard_max_peers;
+  guard_ = PeerGuard(gc);
+  replay_window_ = ReplayWindow(config_.replay_window);
   transport_.register_handler(nylon::kTagWcl,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
   if (config_.sweep_interval > 0) {
@@ -87,7 +111,35 @@ void Wcl::sweep() {
       ++it;
     }
   }
+  // Compact the insertion-order index: drop ids whose entries were acked
+  // away or expired, so the deque cannot outgrow the map.
+  std::erase_if(forward_order_,
+                [&](std::uint64_t id) { return pending_forwards_.count(id) == 0; });
   sweep_timer_ = sim_.schedule_after(config_.sweep_interval, [this] { sweep(); });
+}
+
+void Wcl::evict_forwards() {
+  while (pending_forwards_.size() >= config_.max_pending_forwards &&
+         !forward_order_.empty()) {
+    const std::uint64_t victim = forward_order_.front();
+    forward_order_.pop_front();
+    if (pending_forwards_.erase(victim) != 0) {
+      ++stats_.forwards_evicted;
+      m_forwards_evicted_.add(1);
+    }
+  }
+}
+
+void Wcl::reject_frame(NodeId from, Reader& r) {
+  DecodeError err = r.reject_reason();
+  if (err == DecodeError::kNone) err = DecodeError::kBadValue;
+  ++stats_.decode_rejects;
+  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+                  std::string("decode:") + decode_error_name(err));
+  if (guard_.note_decode_failure(from, sim_.now())) {
+    ++stats_.misbehavior_reports;
+    pss_.report_misbehavior(from);
+  }
 }
 
 const RttEstimator& Wcl::rtt_of(NodeId dest) const {
@@ -116,7 +168,11 @@ sim::Time Wcl::attempt_timeout(const PendingSend& pending) {
 void Wcl::on_gossip_exchange(const pss::ContactCard& partner) {
   auto key = keys_.key_of(partner.id);
   if (!key) return;  // key not piggybacked yet; the next exchange will carry it
-  cb_.push(CbEntry{partner, *key});
+  const std::size_t evicted = cb_.push(CbEntry{partner, *key});
+  if (evicted > 0) {
+    stats_.backlog_evicted += evicted;
+    m_backlog_evicted_.add(static_cast<std::uint64_t>(evicted));
+  }
   m_backlog_depth_.set(static_cast<double>(cb_.size()));
   ensure_pi();
 }
@@ -134,7 +190,11 @@ void Wcl::ensure_pi() {
     keys_.request_key(card, [this, card](std::optional<crypto::RsaPublicKey> key) {
       pnode_fetches_.erase(card.id);
       if (key) {
-        cb_.push(CbEntry{card, *key});
+        const std::size_t evicted = cb_.push(CbEntry{card, *key});
+        if (evicted > 0) {
+          stats_.backlog_evicted += evicted;
+          m_backlog_evicted_.add(static_cast<std::uint64_t>(evicted));
+        }
         m_backlog_depth_.set(static_cast<double>(cb_.size()));
       } else {
         ensure_pi();  // try another candidate
@@ -380,7 +440,18 @@ void Wcl::handle_ack(std::uint64_t msg_id, bool success) {
     // Karn's algorithm: only unambiguous (first-attempt) round-trips feed
     // the estimator — a retried send's ACK could belong to any attempt.
     if (pending.attempts == 1 && pending.sent_at != 0 && sim_.now() >= pending.sent_at) {
-      RttEstimator& est = rtt_[pending.dest.card.id];
+      const NodeId dest = pending.dest.card.id;
+      if (rtt_.count(dest) == 0) {
+        // Estimators are per-destination state: cap them, evicting the
+        // oldest-tracked destination (entries are never erased elsewhere,
+        // so the FIFO front is always live).
+        while (rtt_.size() >= config_.max_rtt_peers && !rtt_order_.empty()) {
+          rtt_.erase(rtt_order_.front());
+          rtt_order_.pop_front();
+        }
+        rtt_order_.push_back(dest);
+      }
+      RttEstimator& est = rtt_[dest];
       est.sample(sim_.now() - pending.sent_at);
       m_srtt_.set(static_cast<double>(est.srtt()));
     }
@@ -402,16 +473,29 @@ void Wcl::send_signal(const pss::ContactCard& to, bool success, std::uint64_t ms
 }
 
 void Wcl::handle_message(NodeId from, BytesView payload) {
+  if (!guard_.admit(from, sim_.now())) {
+    ++stats_.rate_limited;
+    tel_.drop_frame(m_rate_limited_, sim_.now(), "ratelimit");
+    return;
+  }
   Reader r(payload);
   const std::uint8_t kind = r.u8();
-  if (!r.ok()) return;
+  if (!r.ok() || kind < kKindOnion || kind > kKindNack) {
+    if (r.ok()) r.fail(DecodeError::kBadValue);
+    reject_frame(from, r);
+    return;
+  }
   if (kind == kKindOnion) {
     handle_onion(from, r);
     return;
   }
   // ACK/NACK: either meant for one of our sends, or backtracking through us.
   const std::uint64_t msg_id = r.u64();
-  if (!r.ok()) return;
+  if (!r.expect_done()) {
+    reject_frame(from, r);
+    return;
+  }
+  guard_.note_ok(from);
   if (auto fw = pending_forwards_.find(msg_id); fw != pending_forwards_.end()) {
     if (fw->second.expires > sim_.now()) {
       send_signal(fw->second.predecessor, kind == kKindAck, msg_id);
@@ -434,7 +518,25 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
   const std::uint64_t msg_id = r.u64();
   const pss::ContactCard predecessor = pss::ContactCard::deserialize(r);
   auto packet = crypto::OnionPacket::deserialize(r.rest());
-  if (!r.ok() || !packet || predecessor.id != from) return;
+  if (!r.ok() || !packet || predecessor.id != from) {
+    if (r.ok()) r.fail(DecodeError::kBadValue);
+    reject_frame(from, r);
+    return;
+  }
+  guard_.note_ok(from);
+
+  // Replay window: a header we have already seen (a captured onion
+  // re-injected by a misbehaving peer, or a network duplicate) is dropped
+  // without peeling. Retries always carry a freshly built header, so this
+  // never suppresses a legitimate attempt.
+  if (config_.replay_window > 0) {
+    const std::uint64_t fp = crypto::fingerprint64(packet->header);
+    if (replay_window_.seen_or_insert(fp)) {
+      ++stats_.replays_suppressed;
+      tel_.drop_frame(m_replays_, sim_.now(), "replay");
+      return;
+    }
+  }
 
   std::optional<crypto::OnionPeel> peel;
   sim::Time crypto_time = config_.virtual_rsa_peel_cost;
@@ -545,6 +647,10 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
           }
           send_signal(predecessor, /*success=*/false, msg_id);
           return;
+        }
+        if (pending_forwards_.count(msg_id) == 0) {
+          evict_forwards();
+          forward_order_.push_back(msg_id);
         }
         pending_forwards_[msg_id] =
             PendingForward{predecessor, sim_.now() + config_.pending_forward_ttl};

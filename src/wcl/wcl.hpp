@@ -16,10 +16,12 @@
 // that no alternative route exists.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/guard.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/onion.hpp"
 #include "keysvc/keyservice.hpp"
@@ -93,7 +95,28 @@ struct WclConfig {
   sim::Time virtual_rsa_seal_cost = 15;      // us per onion layer sealed
   sim::Time virtual_rsa_peel_cost = 160;     // us per layer peeled
   sim::Time virtual_aes_cost_per_kb = 30;    // us per KB of body
+
+  // --- Hostile-input defenses (defaults generous enough that honest
+  // traffic never trips them). ---
+  /// Hard cap on mix forward-state entries; overflow evicts the oldest
+  /// (FIFO — entries expire in insertion order, so FIFO == earliest-expiry).
+  std::size_t max_pending_forwards = 4096;
+  /// Hard cap on per-destination RTT estimators (FIFO eviction).
+  std::size_t max_rtt_peers = 512;
+  /// Onion-header replay window: fingerprints of recently seen headers;
+  /// a repeat is dropped without peeling (0 disables).
+  std::size_t replay_window = 1024;
+  /// Per-peer inbound WCL frame budget (frames/sec; 0 disables).
+  double peer_rate_per_sec = 200;
+  double peer_rate_burst = 400;
+  /// Consecutive malformed frames from one peer before it is reported to
+  /// the PSS suspicion/quarantine path.
+  int decode_fail_threshold = 3;
+  std::size_t guard_max_peers = 1024;
 };
+
+/// Wire cap on helpers per RemotePeer descriptor (honest peers ship Π ≈ 3).
+inline constexpr std::size_t kMaxWireHelpers = 16;
 
 class Wcl {
  public:
@@ -147,6 +170,18 @@ class Wcl {
     std::uint64_t bodies_rejected = 0;
     /// Mix-state entries evicted by the sweep (ACK/NACK never came back).
     std::uint64_t forwards_expired = 0;
+    /// Malformed inbound frames rejected (typed DecodeError taxonomy).
+    std::uint64_t decode_rejects = 0;
+    /// Frames dropped by the per-peer token bucket.
+    std::uint64_t rate_limited = 0;
+    /// Onions dropped by the header replay window.
+    std::uint64_t replays_suppressed = 0;
+    /// Mix-state entries evicted by the hard cap (not the TTL sweep).
+    std::uint64_t forwards_evicted = 0;
+    /// Backlog entries evicted by capacity overflow.
+    std::uint64_t backlog_evicted = 0;
+    /// Peers reported to the PSS quarantine path for repeated garbage.
+    std::uint64_t misbehavior_reports = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -176,6 +211,11 @@ class Wcl {
 
   void handle_message(NodeId from, BytesView payload);
   void handle_onion(NodeId from, Reader& r);
+  /// Count a malformed frame from `from` (counter + flight drop + guard
+  /// scoring; threshold crossings are reported to the PSS quarantine path).
+  void reject_frame(NodeId from, Reader& r);
+  /// Enforce the pending_forwards_ hard cap before an insert.
+  void evict_forwards();
   void handle_ack(std::uint64_t msg_id, bool success);
   bool attempt(std::uint64_t msg_id, PendingSend& pending);
   void finish(std::uint64_t msg_id, SendOutcome outcome);
@@ -205,10 +245,21 @@ class Wcl {
     sim::Time expires = 0;
   };
   std::unordered_map<std::uint64_t, PendingForward> pending_forwards_;
+  /// Insertion order of pending_forwards_ (expiry is monotone in insertion
+  /// time, so the front is always the earliest-expiring live entry). May
+  /// hold ids already acked away — eviction skips those lazily, and the
+  /// sweep compacts it.
+  std::deque<std::uint64_t> forward_order_;
   sim::TimerId sweep_timer_ = 0;
 
   // Per-destination RTT estimators, fed by first-attempt ACK round-trips.
+  // Capped: peer-driven (one estimator per destination ever talked to).
   std::unordered_map<NodeId, RttEstimator> rtt_;
+  std::deque<NodeId> rtt_order_;
+
+  // Per-peer admission + decode scoring, and the onion replay window.
+  PeerGuard guard_;
+  ReplayWindow replay_window_;
 
   // P-nodes currently being fetched to restore the Π invariant.
   std::unordered_set<NodeId> pnode_fetches_;
@@ -223,6 +274,11 @@ class Wcl {
   telemetry::Counter& m_delivered_;
   telemetry::Counter& m_forward_failures_;
   telemetry::Counter& m_forwards_expired_;
+  telemetry::Counter& m_decode_rejects_;
+  telemetry::Counter& m_rate_limited_;
+  telemetry::Counter& m_replays_;
+  telemetry::Counter& m_forwards_evicted_;
+  telemetry::Counter& m_backlog_evicted_;
   telemetry::Gauge& m_backlog_depth_;
   telemetry::Gauge& m_srtt_;
 };

@@ -107,5 +107,82 @@ TEST(Serialize, HexRoundTrip) {
   EXPECT_EQ(from_hex("00ff12ab"), b);
 }
 
+// --- DecodeError taxonomy. ---
+
+TEST(DecodeErrors, TruncatedFixedWidthRead) {
+  Bytes b{0x01, 0x02};
+  Reader r(b);
+  EXPECT_EQ(r.u32(), 0u);  // zero-filled
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), DecodeError::kTruncated);
+}
+
+TEST(DecodeErrors, LengthPrefixBeyondInputIsBadLength) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes; none follow
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_EQ(r.error(), DecodeError::kBadLength);
+}
+
+TEST(DecodeErrors, LengthPrefixOverProtocolBoundIsOversized) {
+  Writer w;
+  w.u32(1 << 20);
+  w.raw(Bytes(8, 0xaa));
+  Reader r(w.data());
+  // The bound is checked before the remaining-input check and before any
+  // allocation: a forged prefix cannot drive memory growth.
+  EXPECT_TRUE(r.bytes(/*max_len=*/256).empty());
+  EXPECT_EQ(r.error(), DecodeError::kOversized);
+}
+
+TEST(DecodeErrors, Count16OverBoundIsOversizedAndReturnsZero) {
+  Writer w;
+  w.u16(5000);
+  Reader r(w.data());
+  EXPECT_EQ(r.count16(/*max_count=*/32), 0u);
+  EXPECT_EQ(r.error(), DecodeError::kOversized);
+}
+
+TEST(DecodeErrors, ExpectDoneStampsTrailingBytes) {
+  Writer w;
+  w.u16(7);
+  w.u8(0xcc);  // trailing garbage after a complete frame
+  Reader r(w.data());
+  EXPECT_EQ(r.u16(), 7u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.reject_reason(), DecodeError::kTrailingBytes);  // pre-stamp view
+  EXPECT_FALSE(r.expect_done());
+  EXPECT_EQ(r.error(), DecodeError::kTrailingBytes);
+}
+
+TEST(DecodeErrors, FirstErrorWins) {
+  Bytes b{0x01};
+  Reader r(b);
+  (void)r.u32();                   // kTruncated
+  r.fail(DecodeError::kBadValue);  // later failure must not overwrite it
+  EXPECT_EQ(r.error(), DecodeError::kTruncated);
+}
+
+TEST(DecodeErrors, CallerFlaggedBadValue) {
+  Writer w;
+  w.u8(99);
+  Reader r(w.data());
+  (void)r.u8();
+  r.fail(DecodeError::kBadValue);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), DecodeError::kBadValue);
+}
+
+TEST(DecodeErrors, NamesAreStableTelemetryKeys) {
+  // drop_frame() reasons embed these names; renaming breaks dashboards.
+  EXPECT_STREQ(decode_error_name(DecodeError::kNone), "none");
+  EXPECT_STREQ(decode_error_name(DecodeError::kTruncated), "truncated");
+  EXPECT_STREQ(decode_error_name(DecodeError::kBadLength), "badlength");
+  EXPECT_STREQ(decode_error_name(DecodeError::kOversized), "oversized");
+  EXPECT_STREQ(decode_error_name(DecodeError::kTrailingBytes), "trailing");
+  EXPECT_STREQ(decode_error_name(DecodeError::kBadValue), "badvalue");
+}
+
 }  // namespace
 }  // namespace whisper

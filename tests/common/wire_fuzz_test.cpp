@@ -2,6 +2,8 @@
 // round-trip its own encoding and reject (never crash on) random garbage.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "chord/tchord.hpp"
 #include "common/rng.hpp"
 #include "nylon/pss.hpp"
@@ -182,6 +184,157 @@ TEST(WireFuzz, GarbageNeverCrashesDeserializers) {
     }
     (void)crypto::RsaPublicKey::deserialize(garbage);
     (void)crypto::OnionPacket::deserialize(garbage);
+  }
+}
+
+// --- Table-driven hostile-input coverage: every codec, every prefix. ---
+//
+// Each entry pairs a valid encoding with an `accepts` predicate that runs
+// the real deserializer and applies the same acceptance rule the protocol
+// handlers use: parse OK *and* input fully consumed.
+
+struct CodecCase {
+  const char* name;
+  Bytes valid;
+  std::function<bool(BytesView)> accepts;
+};
+
+std::vector<CodecCase> codec_table() {
+  Rng rng(99);
+  std::vector<CodecCase> table;
+
+  auto framed = [](auto decode) {
+    return [decode](BytesView b) {
+      Reader r(b);
+      decode(r);
+      return r.expect_done();
+    };
+  };
+
+  {
+    Writer w;
+    random_card(rng).serialize(w);
+    table.push_back({"ContactCard", w.data(),
+                     framed([](Reader& r) { (void)pss::ContactCard::deserialize(r); })});
+  }
+  {
+    nylon::PssEntry e;
+    e.card = random_card(rng);
+    e.age = 17;
+    Writer w;
+    e.serialize(w);
+    table.push_back({"PssEntry", w.data(),
+                     framed([](Reader& r) { (void)nylon::PssEntry::deserialize(r); })});
+  }
+  {
+    ppss::PrivateEntry e;
+    e.peer = random_peer(rng, 3);
+    e.age = 4;
+    Writer w;
+    e.serialize(w);
+    table.push_back({"PrivateEntry", w.data(), framed([](Reader& r) {
+                       if (!ppss::PrivateEntry::deserialize(r)) r.fail(DecodeError::kBadValue);
+                     })});
+  }
+  {
+    Writer w;
+    random_peer(rng, 2).serialize(w);
+    table.push_back({"RemotePeer", w.data(), framed([](Reader& r) {
+                       if (!wcl::RemotePeer::deserialize(r)) r.fail(DecodeError::kBadValue);
+                     })});
+  }
+  {
+    chord::ChordDescriptor d;
+    d.key = rng.next_u64();
+    d.peer = random_peer(rng, 2);
+    Writer w;
+    d.serialize(w);
+    table.push_back({"ChordDescriptor", w.data(), framed([](Reader& r) {
+                       if (!chord::ChordDescriptor::deserialize(r)) {
+                         r.fail(DecodeError::kBadValue);
+                       }
+                     })});
+  }
+  {
+    overlay::OverlayDescriptor d;
+    d.key = rng.next_u64();
+    d.peer = random_peer(rng, 1);
+    Writer w;
+    d.serialize(w);
+    table.push_back({"OverlayDescriptor", w.data(), framed([](Reader& r) {
+                       if (!overlay::OverlayDescriptor::deserialize(r)) {
+                         r.fail(DecodeError::kBadValue);
+                       }
+                     })});
+  }
+  {
+    ppss::Passport p;
+    p.node = NodeId{7};
+    p.epoch = 3;
+    p.signature = Bytes(48, 0x5a);
+    Writer w;
+    p.serialize(w);
+    table.push_back({"Passport", w.data(), framed([](Reader& r) {
+                       if (!ppss::Passport::deserialize(r)) r.fail(DecodeError::kBadValue);
+                     })});
+  }
+  {
+    ppss::Accreditation a;
+    a.group = GroupId{9};
+    a.node = NodeId{11};
+    a.epoch = 2;
+    a.signature = Bytes(48, 0xa5);
+    Writer w;
+    a.serialize(w);
+    table.push_back({"Accreditation", w.data(), framed([](Reader& r) {
+                       if (!ppss::Accreditation::deserialize(r)) {
+                         r.fail(DecodeError::kBadValue);
+                       }
+                     })});
+  }
+  table.push_back({"RsaPublicKey", some_key().serialize(), [](BytesView b) {
+                     return crypto::RsaPublicKey::deserialize(b).has_value();
+                   }});
+  {
+    crypto::OnionPacket pkt;
+    pkt.header = Bytes(40, 0x11);
+    pkt.body = Bytes(60, 0x22);
+    table.push_back({"OnionPacket", pkt.serialize(), [](BytesView b) {
+                       return crypto::OnionPacket::deserialize(b).has_value();
+                     }});
+  }
+  return table;
+}
+
+TEST(WireFuzz, EveryCodecAcceptsItsOwnEncoding) {
+  for (const CodecCase& c : codec_table()) {
+    EXPECT_TRUE(c.accepts(c.valid)) << c.name;
+  }
+}
+
+// Satellite: every strict prefix of a valid encoding (0..len-1 bytes) must
+// be rejected cleanly — every field is fixed-width or length-prefixed, so a
+// cut frame can never parse to completion.
+TEST(WireFuzz, EveryCodecRejectsEveryTruncation) {
+  for (const CodecCase& c : codec_table()) {
+    for (std::size_t cut = 0; cut < c.valid.size(); ++cut) {
+      EXPECT_FALSE(c.accepts(BytesView(c.valid.data(), cut)))
+          << c.name << " accepted a " << cut << "-byte prefix of "
+          << c.valid.size() << " bytes";
+    }
+  }
+}
+
+// Satellite: a valid frame followed by trailing garbage must be rejected at
+// every deserialize call site (kTrailingBytes), not silently accepted.
+TEST(WireFuzz, EveryCodecRejectsTrailingGarbage) {
+  for (const CodecCase& c : codec_table()) {
+    for (std::size_t extra = 1; extra <= 8; ++extra) {
+      Bytes padded = c.valid;
+      padded.insert(padded.end(), extra, 0xa5);
+      EXPECT_FALSE(c.accepts(padded)) << c.name << " accepted " << extra
+                                      << " trailing bytes";
+    }
   }
 }
 

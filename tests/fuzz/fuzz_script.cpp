@@ -1,0 +1,24 @@
+// libFuzzer harness for the fault-script parser — the one codec that takes
+// operator-supplied *text* rather than peer-supplied bytes. Any input must
+// either parse into FaultSpecs or produce a "line N:" diagnostic; never
+// crash, hang, or read out of bounds.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "faults/script.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto result = whisper::faults::parse_script(text);
+  if (result.ok()) {
+    // Parsed specs must at least be self-consistent enough to print.
+    for (const auto& spec : result.specs) {
+      (void)whisper::faults::fault_kind_name(spec.kind);
+    }
+  }
+  // The duration tokenizer is also reachable with raw text directly.
+  whisper::sim::Time t = 0;
+  (void)whisper::faults::parse_duration(text, t);
+  return 0;
+}

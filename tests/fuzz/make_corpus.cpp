@@ -1,0 +1,147 @@
+// Regenerates the committed seed corpus under tests/fuzz/corpus/.
+//
+//   ./fuzz_make_corpus <repo>/tests/fuzz/corpus
+//
+// One seed per codec selector: a valid encoding prefixed with its dispatch
+// byte, so coverage-guided mutation starts from the deepest paths of every
+// deserializer instead of having to discover the framing from scratch.
+// Deterministic (fixed Drbg/Rng seeds) — rerunning produces identical files.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "chord/tchord.hpp"
+#include "common/rng.hpp"
+#include "crypto/onion.hpp"
+#include "crypto/rsa.hpp"
+#include "nylon/pss.hpp"
+#include "overlay/tman.hpp"
+#include "ppss/group.hpp"
+#include "ppss/ppss.hpp"
+#include "wcl/wcl.hpp"
+
+namespace whisper {
+namespace {
+
+pss::ContactCard sample_card(Rng& rng) {
+  pss::ContactCard c;
+  c.id = NodeId{rng.next_u64() | 1};
+  c.addr = Endpoint{static_cast<std::uint32_t>(rng.next_u64()),
+                    static_cast<std::uint16_t>(rng.next_u64())};
+  c.is_public = rng.next_bool(0.5);
+  c.relay_id = NodeId{rng.next_u64()};
+  return c;
+}
+
+wcl::RemotePeer sample_peer(Rng& rng, const crypto::RsaPublicKey& key,
+                            std::size_t helpers) {
+  wcl::RemotePeer p;
+  p.card = sample_card(rng);
+  p.key = key;
+  for (std::size_t i = 0; i < helpers; ++i) {
+    wcl::Helper h;
+    h.card = sample_card(rng);
+    h.key = key;
+    p.helpers.push_back(std::move(h));
+  }
+  return p;
+}
+
+void emit(const std::filesystem::path& dir, const char* name,
+          std::uint8_t selector, const Bytes& body) {
+  Bytes seed;
+  seed.push_back(selector);
+  seed.insert(seed.end(), body.begin(), body.end());
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(seed.data()),
+            static_cast<std::streamsize>(seed.size()));
+  std::printf("wrote %s (%zu bytes)\n", (dir / name).string().c_str(), seed.size());
+}
+
+}  // namespace
+}  // namespace whisper
+
+int main(int argc, char** argv) {
+  using namespace whisper;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 1;
+  }
+  const std::filesystem::path root(argv[1]);
+  const std::filesystem::path codecs = root / "codecs";
+  std::filesystem::create_directories(codecs);
+
+  Rng rng(2718);
+  crypto::Drbg drbg(31415);
+  const crypto::RsaPublicKey key = crypto::RsaKeyPair::generate(512, drbg).pub;
+
+  {
+    Writer w;
+    sample_card(rng).serialize(w);
+    emit(codecs, "contact_card", 0, w.data());
+  }
+  {
+    nylon::PssEntry e;
+    e.card = sample_card(rng);
+    e.age = 17;
+    Writer w;
+    e.serialize(w);
+    emit(codecs, "pss_entry", 1, w.data());
+  }
+  {
+    ppss::PrivateEntry e;
+    e.peer = sample_peer(rng, key, 3);
+    e.age = 4;
+    Writer w;
+    e.serialize(w);
+    emit(codecs, "private_entry", 2, w.data());
+  }
+  {
+    Writer w;
+    sample_peer(rng, key, 2).serialize(w);
+    emit(codecs, "remote_peer", 3, w.data());
+  }
+  {
+    chord::ChordDescriptor d;
+    d.key = rng.next_u64();
+    d.peer = sample_peer(rng, key, 2);
+    Writer w;
+    d.serialize(w);
+    emit(codecs, "chord_descriptor", 4, w.data());
+  }
+  {
+    overlay::OverlayDescriptor d;
+    d.key = rng.next_u64();
+    d.peer = sample_peer(rng, key, 1);
+    Writer w;
+    d.serialize(w);
+    emit(codecs, "overlay_descriptor", 5, w.data());
+  }
+  {
+    ppss::Passport p;
+    p.node = NodeId{7};
+    p.epoch = 3;
+    p.signature = Bytes(48, 0x5a);
+    Writer w;
+    p.serialize(w);
+    emit(codecs, "passport", 6, w.data());
+  }
+  {
+    ppss::Accreditation a;
+    a.group = GroupId{9};
+    a.node = NodeId{11};
+    a.epoch = 2;
+    a.signature = Bytes(48, 0xa5);
+    Writer w;
+    a.serialize(w);
+    emit(codecs, "accreditation", 7, w.data());
+  }
+  emit(codecs, "rsa_public_key", 8, key.serialize());
+  {
+    crypto::OnionPacket pkt;
+    pkt.header = Bytes(40, 0x11);
+    pkt.body = Bytes(60, 0x22);
+    emit(codecs, "onion_packet", 9, pkt.serialize());
+  }
+  return 0;
+}

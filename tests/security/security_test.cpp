@@ -192,7 +192,8 @@ TEST_F(SecurityFixture, ForgedPassportRejectedAndIgnored) {
   mallory_desc.card = mallory->transport().self_card();
   mallory_desc.key = mallory->keypair().pub;
   mallory_desc.serialize(w);
-  w.u8(0);  // app channel 0
+  w.u64(1);  // app-frame nonce
+  w.u8(0);   // app channel 0
   w.bytes(to_bytes("let me in"));
 
   bool bob_heard = false;

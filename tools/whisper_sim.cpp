@@ -8,12 +8,19 @@
 //               --groups=10 --churn=1.0 --minutes=30 [--seed=42]
 //               [--trace=out.trace.json] [--metrics=out.jsonl]
 //               [--sample-secs=60] [--faults=script.txt]
+//               [--byzantine=0.1]
 //               [--flight=out.flight.jsonl] [--audit=relays=3;links=1-2]
 //
 // --faults loads a fault-injection script (see src/faults/script.hpp for
 // the line format: partitions, loss/delay episodes, relay crashes, NAT
-// resets, node pauses). Times in the script are relative to the end of the
-// warm-up, i.e. to the start of the observation window.
+// resets, node pauses, Byzantine actor windows). Times in the script are
+// relative to the end of the warm-up, i.e. to the start of the observation
+// window.
+//
+// --byzantine=<fraction> is a shortcut for a standing adversary: that
+// fraction of the deployment misbehaves for the whole observation window,
+// split evenly across truncation, oversizing, bit-flipping, replay,
+// flooding and gossip fabrication.
 //
 // --trace dumps a Chrome trace-event file (load in Perfetto / about:tracing;
 // one timeline row per node, timestamps are virtual microseconds).
@@ -160,6 +167,31 @@ int main(int argc, char** argv) {
                 faults_path.c_str());
   }
 
+  const double byz_fraction = arg_double(argc, argv, "byzantine", 0.0);
+  if (byz_fraction > 0) {
+    // Standing adversary for the whole observation window: one window per
+    // misbehaviour, each claiming an equal slice of the hostile fraction.
+    const std::vector<faults::FaultKind> kinds = {
+        faults::FaultKind::kByzTruncate, faults::FaultKind::kByzOversize,
+        faults::FaultKind::kByzBitflip,  faults::FaultKind::kByzReplay,
+        faults::FaultKind::kByzFlood,    faults::FaultKind::kByzFabricate};
+    std::vector<faults::FaultSpec> specs;
+    for (faults::FaultKind kind : kinds) {
+      faults::FaultSpec spec;
+      spec.kind = kind;
+      spec.start = tb.simulator().now();
+      spec.end = spec.start + static_cast<sim::Time>(minutes) * sim::kMinute;
+      spec.fraction = byz_fraction / static_cast<double>(kinds.size());
+      spec.count = 0;  // fraction-sized actor set
+      spec.probability = 0.5;
+      spec.rate = 5.0;
+      specs.push_back(spec);
+    }
+    tb.install_fault_fabric().schedule_all(specs);
+    std::printf("byzantine: %.0f%% of the deployment misbehaving (%zu windows)\n\n",
+                byz_fraction * 100.0, specs.size());
+  }
+
   std::printf("%-5s %-6s %-9s %-7s %-7s %-9s %-9s %-10s\n", "min", "alive", "exch/min",
               "fill", "clust", "wcl-ok", "wcl-fail", "traffic");
   std::uint64_t prev_done = 0;
@@ -204,6 +236,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fs.nodes_paused),
                 static_cast<unsigned long long>(fs.nodes_crashed),
                 static_cast<unsigned long long>(fs.nat_resets));
+    if (fs.byz_truncated + fs.byz_oversized + fs.byz_bitflipped + fs.byz_captured +
+            fs.byz_replayed + fs.byz_flooded + fs.byz_fabricated >
+        0) {
+      std::printf("byzantine: truncated=%llu oversized=%llu bitflipped=%llu "
+                  "captured=%llu replayed=%llu flooded=%llu fabricated=%llu\n",
+                  static_cast<unsigned long long>(fs.byz_truncated),
+                  static_cast<unsigned long long>(fs.byz_oversized),
+                  static_cast<unsigned long long>(fs.byz_bitflipped),
+                  static_cast<unsigned long long>(fs.byz_captured),
+                  static_cast<unsigned long long>(fs.byz_replayed),
+                  static_cast<unsigned long long>(fs.byz_flooded),
+                  static_cast<unsigned long long>(fs.byz_fabricated));
+    }
   }
   const double reach =
       pss::reachable_fraction(tb.overlay_snapshot(), tb.alive_nodes()[0]->id());
