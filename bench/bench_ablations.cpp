@@ -49,18 +49,18 @@ SendStats measure_sends(WhisperTestbed& tb, std::size_t count, Rng& rng) {
     WhisperNode* src = nodes[rng.pick_index(nodes)];
     WhisperNode* dst = nodes[rng.pick_index(nodes)];
     if (src == dst || !src->running() || !dst->running()) continue;
-    const sim::Time sent_at = tb.simulator().now();
+    const net::Time sent_at = tb.clock().now();
     bool done = false;
     dst->wcl().on_deliver = [&](Bytes) {
       if (!done) {
         ++delivered;
-        latencies.add(static_cast<double>(tb.simulator().now() - sent_at) /
-                      sim::kSecond);
+        latencies.add(static_cast<double>(tb.clock().now() - sent_at) /
+                      net::kSecond);
         done = true;
       }
     };
     src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("ablation probe"));
-    tb.run_for(20 * sim::kSecond);
+    tb.run_for(20 * net::kSecond);
     dst->wcl().on_deliver = nullptr;
   }
 
@@ -82,7 +82,7 @@ void ablation_path_length() {
     TestbedConfig cfg = base_config(2000 + mixes);
     cfg.node.wcl.mixes = mixes;
     WhisperTestbed tb(cfg);
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     Rng rng(cfg.seed);
     SendStats s = measure_sends(tb, 40, rng);
     t.add_row({std::to_string(mixes), Table::pct(s.success),
@@ -98,7 +98,7 @@ void ablation_mix_selection() {
   // WHISPER selection.
   TestbedConfig cfg = base_config(2100);
   WhisperTestbed tb(cfg);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   Rng rng(2101);
   SendStats guided = measure_sends(tb, 40, rng);
 
@@ -125,7 +125,7 @@ void ablation_mix_selection() {
     bool done = false;
     dst->wcl().on_deliver = [&](Bytes) { done = true; };
     src->wcl().send_confidential(blind, to_bytes("blind probe"));
-    tb.run_for(20 * sim::kSecond);
+    tb.run_for(20 * net::kSecond);
     dst->wcl().on_deliver = nullptr;
     if (done) ++delivered;
   }
@@ -147,7 +147,7 @@ void ablation_retry_budget() {
     cfg.node.wcl.max_retries = retries;
     WhisperTestbed tb(cfg);
     Rng rng(cfg.seed ^ 1);
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     churn::ChurnEngine engine(
         tb.simulator(), [&](std::size_t n) {
           std::size_t k = 0;
@@ -161,11 +161,11 @@ void ablation_retry_budget() {
         },
         [&] { return tb.alive_count(); });
     churn::ChurnPhase phase;
-    phase.start = tb.simulator().now();
-    phase.end = phase.start + 30 * sim::kMinute;
+    phase.start = tb.clock().now();
+    phase.end = phase.start + 30 * net::kMinute;
     phase.leave_fraction = 0.05;
     engine.schedule(phase);
-    tb.run_for(3 * sim::kMinute);  // let churn bite
+    tb.run_for(3 * net::kMinute);  // let churn bite
     SendStats s = measure_sends(tb, 40, rng);
     t.add_row({std::to_string(retries), Table::pct(s.success)});
   }
@@ -185,10 +185,10 @@ void ablation_lease_regime() {
     TestbedConfig cfg = base_config(2300 + (udp ? 1 : 0));
     cfg.latency = "cluster";
     if (udp) {
-      cfg.node.transport.route_ttl = 2 * sim::kMinute;  // < 5 min UDP lease
+      cfg.node.transport.route_ttl = 2 * net::kMinute;  // < 5 min UDP lease
     }
     WhisperTestbed tb(cfg);
-    tb.run_for(8 * sim::kMinute);
+    tb.run_for(8 * net::kMinute);
     Rng rng(cfg.seed ^ 2);
 
     // Snapshot destination descriptors now...
@@ -200,7 +200,7 @@ void ablation_lease_regime() {
       dests.emplace_back(dst, dst->wcl().self_peer());
     }
     // ...age them by 6 minutes of protocol time...
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     // ...then open paths using the stale snapshots.
     std::size_t delivered = 0;
     for (auto& [dst, peer] : dests) {
@@ -209,7 +209,7 @@ void ablation_lease_regime() {
       bool done = false;
       dst->wcl().on_deliver = [&](Bytes) { done = true; };
       src->wcl().send_confidential(peer, to_bytes("stale descriptor probe"));
-      tb.run_for(20 * sim::kSecond);
+      tb.run_for(20 * net::kSecond);
       dst->wcl().on_deliver = nullptr;
       if (done) ++delivered;
     }

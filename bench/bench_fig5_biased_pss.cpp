@@ -37,7 +37,7 @@ Fig5Row run_config(std::size_t n_nodes, std::size_t pi) {
   cfg.seed = 500 + pi;
   WhisperTestbed tb(cfg);
   // PSS cycle is 10 s; let the overlay converge for 60 cycles.
-  tb.run_for(10 * sim::kMinute);
+  tb.run_for(10 * net::kMinute);
 
   auto graph = tb.overlay_snapshot();
   Samples clustering = pss::clustering_coefficients(graph);

@@ -31,7 +31,7 @@ Fig6Row run_config(std::size_t n_nodes, double natted_fraction, std::size_t pi,
   WhisperTestbed tb(cfg);
 
   // Warm-up, then measure over a window.
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   tb.network().reset_counters();
   const std::size_t cycles = 30;
   tb.run_for(cycles * cfg.node.pss.cycle);
@@ -40,17 +40,17 @@ Fig6Row run_config(std::size_t n_nodes, double natted_fraction, std::size_t pi,
   // every byte into per-node "net.node.bytes" counters labeled by
   // node/proto/direction.
   const telemetry::Registry& reg = tb.registry();
-  const auto node_bytes = [&](Endpoint ep, sim::Proto proto, const char* dir) {
+  const auto node_bytes = [&](Endpoint ep, net::Proto proto, const char* dir) {
     return reg.counter_value("net.node.bytes", sim::Network::traffic_labels(ep, proto, dir));
   };
   Samples n_up, n_down, p_up, p_down;
   for (WhisperNode* node : tb.alive_nodes()) {
     const Endpoint ep = node->internal_endpoint();
-    const double up = static_cast<double>(node_bytes(ep, sim::Proto::kPss, "up") +
-                                          node_bytes(ep, sim::Proto::kKeys, "up")) /
+    const double up = static_cast<double>(node_bytes(ep, net::Proto::kPss, "up") +
+                                          node_bytes(ep, net::Proto::kKeys, "up")) /
                       static_cast<double>(cycles) / 1024.0;
-    const double down = static_cast<double>(node_bytes(ep, sim::Proto::kPss, "down") +
-                                            node_bytes(ep, sim::Proto::kKeys, "down")) /
+    const double down = static_cast<double>(node_bytes(ep, net::Proto::kPss, "down") +
+                                            node_bytes(ep, net::Proto::kKeys, "down")) /
                         static_cast<double>(cycles) / 1024.0;
     if (node->is_public()) {
       p_up.add(up);

@@ -26,7 +26,7 @@ void run_testbed(const std::string& latency, std::size_t n_nodes, std::size_t n_
   WhisperTestbed tb(cfg);
   Rng rng(cfg.seed ^ 0xf16);
 
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   std::vector<ppss::Ppss*> leaders;
   std::vector<GroupId> gids;
   auto publics = tb.alive_public_nodes();
@@ -43,27 +43,27 @@ void run_testbed(const std::string& latency, std::size_t n_nodes, std::size_t n_
     auto accr = leaders[g]->invite(node->id());
     if (accr) node->join_group(gids[g], *accr, leaders[g]->self_descriptor());
   }
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Collect: per-op crypto samples via CPU probes, RTT via PPSS callback.
   Samples build_samples, decrypt_samples, rtt_samples;
   for (WhisperNode* node : tb.alive_nodes()) {
-    node->cpu().set_probe([&](sim::CpuCategory cat, sim::Time t) {
-      const double sec = static_cast<double>(t) / sim::kSecond;
-      if (cat == sim::CpuCategory::kRsaEncrypt) build_samples.add(sec);
-      if (cat == sim::CpuCategory::kRsaDecrypt) decrypt_samples.add(sec);
+    node->cpu().set_probe([&](net::CpuCategory cat, net::Time t) {
+      const double sec = static_cast<double>(t) / net::kSecond;
+      if (cat == net::CpuCategory::kRsaEncrypt) build_samples.add(sec);
+      if (cat == net::CpuCategory::kRsaDecrypt) decrypt_samples.add(sec);
     });
     for (const GroupId gid : gids) {
       if (auto* g = node->group(gid)) {
-        g->on_exchange_rtt = [&](sim::Time rtt) {
-          rtt_samples.add(static_cast<double>(rtt) / sim::kSecond);
+        g->on_exchange_rtt = [&](net::Time rtt) {
+          rtt_samples.add(static_cast<double>(rtt) / net::kSecond);
         };
       }
     }
   }
   while (rtt_samples.count() < target_exchanges) {
-    tb.run_for(sim::kMinute);
-    if (tb.simulator().now() > 4ull * 3600 * sim::kSecond) break;  // safety valve
+    tb.run_for(net::kMinute);
+    if (tb.clock().now() > 4ull * 3600 * net::kSecond) break;  // safety valve
   }
 
   // Crypto operations are sub-millisecond: report them in ms.
@@ -82,8 +82,8 @@ void run_testbed(const std::string& latency, std::size_t n_nodes, std::size_t n_
   const telemetry::Histogram& h = tb.registry().histogram(
       "ppss.exchange.rtt_us", telemetry::BucketSpec::log_spaced(1'000, 60'000'000));
   std::printf("  rtt tail (s):         p50=%.3f p95=%.3f p99=%.3f (histogram, %llu obs)\n",
-              h.percentile(50) / sim::kSecond, h.percentile(95) / sim::kSecond,
-              h.percentile(99) / sim::kSecond,
+              h.percentile(50) / net::kSecond, h.percentile(95) / net::kSecond,
+              h.percentile(99) / net::kSecond,
               static_cast<unsigned long long>(h.count()));
   std::printf("  rtt CDF:\n%s", format_cdf(rtt_samples, 12, "rtt(s)").c_str());
   const double ratio = build_samples.mean() > 0 ? rtt_samples.mean() / build_samples.mean() : 0;

@@ -31,7 +31,7 @@ Fig8Row run_config(std::size_t n_nodes, std::size_t n_groups, std::size_t subs) 
   WhisperTestbed tb(cfg);
   Rng rng(cfg.seed ^ 0xabc);
 
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   // Every P-node leads one group (up to n_groups).
   std::vector<ppss::Ppss*> leaders;
   std::vector<GroupId> gids;
@@ -59,14 +59,14 @@ Fig8Row run_config(std::size_t n_nodes, std::size_t n_groups, std::size_t subs) 
       }
     }
   }
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Measure across complete PPSS cycles.
   tb.network().reset_counters();
   const std::size_t cycles = 5;
   tb.run_for(cycles * cfg.node.ppss.cycle);
   const double window_s =
-      static_cast<double>(cycles * cfg.node.ppss.cycle) / sim::kSecond;
+      static_cast<double>(cycles * cfg.node.ppss.cycle) / net::kSecond;
 
   Samples n_up, n_down, p_up, p_down;
   for (WhisperNode* node : tb.alive_nodes()) {

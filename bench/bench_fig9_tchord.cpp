@@ -32,12 +32,12 @@ int main(int argc, char** argv) {
   cfg.latency = "cluster";
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = 1200;
   WhisperTestbed tb(cfg);
   Rng rng(1201);
 
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   const GroupId gid{4242};
   auto nodes_alive = tb.alive_nodes();
   crypto::Drbg d(4242);
@@ -47,19 +47,19 @@ int main(int argc, char** argv) {
     auto accr = founder_ppss.invite(nodes_alive[i]->id());
     nodes_alive[i]->join_group(gid, *accr, founder_ppss.self_descriptor());
     group_members.push_back(nodes_alive[i]);
-    tb.run_for(3 * sim::kSecond);
+    tb.run_for(3 * net::kSecond);
   }
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   chord::TChordConfig tc;
-  tc.cycle = 20 * sim::kSecond;
+  tc.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<chord::TChord>> rings;
   for (WhisperNode* m : group_members) {
     rings.push_back(std::make_unique<chord::TChord>(tb.simulator(), *m->group(gid), tc,
                                                     tb.rng().fork()));
     rings.back()->start();
   }
-  tb.run_for(10 * sim::kMinute);  // T-Chord converges in a few cycles
+  tb.run_for(10 * net::kMinute);  // T-Chord converges in a few cycles
 
   // Global ring for correctness checking.
   std::map<chord::ChordKey, NodeId> ring;
@@ -78,12 +78,12 @@ int main(int argc, char** argv) {
       if (!result) return;
       ++answered;
       if (result->owner.id() == expected) ++correct;
-      delays.add(static_cast<double>(result->rtt) / sim::kSecond);
+      delays.add(static_cast<double>(result->rtt) / net::kSecond);
       hop_counts.push_back(result->hops);
     });
-    tb.run_for(5 * sim::kSecond);
+    tb.run_for(5 * net::kSecond);
   }
-  tb.run_for(90 * sim::kSecond);  // drain stragglers (incl. one retry round)
+  tb.run_for(90 * net::kSecond);  // drain stragglers (incl. one retry round)
 
   std::printf("queries answered: %zu / %zu (correct owner: %zu)\n", answered, queries, correct);
   std::printf("routing delay (s): %s\n", format_stacked_percentiles(delays).c_str());

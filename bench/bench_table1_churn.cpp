@@ -38,7 +38,7 @@ Table1Row run_config(std::size_t n_nodes, std::size_t n_groups, double churn_pct
   // Warm the substrate, then set up groups: leaders are P-nodes (protected
   // from churn so joins of replacement nodes keep working — the paper keeps
   // at least one leader reachable too).
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   std::vector<ppss::Ppss*> leaders;
   std::vector<GroupId> groups;
   auto publics = tb.alive_public_nodes();
@@ -60,7 +60,7 @@ Table1Row run_config(std::size_t n_nodes, std::size_t n_groups, double churn_pct
     if (accr) node->join_group(groups[g], *accr, leaders[g]->self_descriptor());
   };
   for (WhisperNode* node : tb.alive_nodes()) subscribe(node);
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Count outcomes through the probe, applying the paper's accounting
   // (footnote 3): failures whose destination is itself dead are destination
@@ -122,13 +122,13 @@ Table1Row run_config(std::size_t n_nodes, std::size_t n_groups, double churn_pct
       [&] { return tb.alive_count(); });
 
   churn::ChurnPhase phase;
-  phase.start = tb.simulator().now();
-  phase.end = phase.start + 15 * sim::kMinute;
-  phase.interval = sim::kMinute;
+  phase.start = tb.clock().now();
+  phase.end = phase.start + 15 * net::kMinute;
+  phase.interval = net::kMinute;
   phase.leave_fraction = churn_pct_per_min / 100.0;
   engine.schedule(phase);
   measuring = true;
-  tb.run_for(15 * sim::kMinute);
+  tb.run_for(15 * net::kMinute);
   measuring = false;
 
   const std::uint64_t total = counts.first + counts.alt + counts.noalt;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   WhisperTestbed tb(cfg);
   Rng rng(801);
 
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   // Group setup: leaders on P-nodes, every node subscribes to one group.
   std::vector<ppss::Ppss*> leaders;
   std::vector<GroupId> gids;
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     auto accr = leaders[g]->invite(node->id());
     if (accr) node->join_group(gids[g], *accr, leaders[g]->self_descriptor());
   }
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Measurement window: reset meters, run whole PPSS cycles.
   for (WhisperNode* node : tb.alive_nodes()) node->cpu().reset();
@@ -62,10 +62,10 @@ int main(int argc, char** argv) {
   } n_acc, p_acc;
   for (WhisperNode* node : tb.alive_nodes()) {
     Acc& acc = node->is_public() ? p_acc : n_acc;
-    acc.aes_us += static_cast<double>(node->cpu().spent(sim::CpuCategory::kAes));
-    acc.rsa_enc_us += static_cast<double>(node->cpu().spent(sim::CpuCategory::kRsaEncrypt));
-    acc.rsa_dec_us += static_cast<double>(node->cpu().spent(sim::CpuCategory::kRsaDecrypt));
-    acc.rsa_sign_us += static_cast<double>(node->cpu().spent(sim::CpuCategory::kRsaSign));
+    acc.aes_us += static_cast<double>(node->cpu().spent(net::CpuCategory::kAes));
+    acc.rsa_enc_us += static_cast<double>(node->cpu().spent(net::CpuCategory::kRsaEncrypt));
+    acc.rsa_dec_us += static_cast<double>(node->cpu().spent(net::CpuCategory::kRsaDecrypt));
+    acc.rsa_sign_us += static_cast<double>(node->cpu().spent(net::CpuCategory::kRsaSign));
     ++acc.count;
   }
 

@@ -40,7 +40,7 @@ class ChatMember {
     w.str(text);
     seen_.insert(last_id_);
     std::printf("[%6.1fs] %s says: \"%s\"\n",
-                static_cast<double>(tb_.simulator().now()) / sim::kSecond, name_.c_str(),
+                static_cast<double>(tb_.clock().now()) / net::kSecond, name_.c_str(),
                 text.c_str());
     broadcast(w.data());
   }
@@ -70,7 +70,7 @@ class ChatMember {
     seen_.insert(id);
     ++heard_;
     std::printf("[%6.1fs]   %s hears %s: \"%s\"\n",
-                static_cast<double>(tb_.simulator().now()) / sim::kSecond, name_.c_str(),
+                static_cast<double>(tb_.clock().now()) / net::kSecond, name_.c_str(),
                 who.c_str(), text.c_str());
     broadcast(payload);  // flood once
   }
@@ -93,12 +93,12 @@ int main() {
   cfg.natted_fraction = 0.7;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
-  cfg.node.ppss.leader_timeout = 3 * sim::kMinute;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
+  cfg.node.ppss.leader_timeout = 3 * net::kMinute;
   cfg.seed = 99;
   WhisperTestbed tb(cfg);
   std::printf("booting 50-node network (70%% natted)...\n");
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   const GroupId room{1};
   auto nodes = tb.alive_nodes();
@@ -113,26 +113,26 @@ int main() {
   for (int i = 1; i < 6; ++i) {
     nodes[i]->join_group(room, *mod.invite(nodes[i]->id()), mod.self_descriptor());
     members.emplace_back(tb, nodes[i], room, names[i]);
-    tb.run_for(10 * sim::kSecond);
+    tb.run_for(10 * net::kSecond);
   }
-  tb.run_for(4 * sim::kMinute);  // private views converge
+  tb.run_for(4 * net::kMinute);  // private views converge
   for (auto& m : members) m.attach();
 
   std::printf("\n--- chat begins ---\n");
   members[1].say("is this thing on?");
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   members[2].say("loud and clear, and nobody outside can tell we're talking");
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
 
   std::printf("\n--- dave's machine crashes ---\n");
   tb.kill_node(nodes[4]->id());
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   members[3].say("dave dropped, carry on");
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
 
   std::printf("\n--- the moderator crashes; leader election kicks in ---\n");
   tb.kill_node(nodes[0]->id());
-  tb.run_for(12 * sim::kMinute);
+  tb.run_for(12 * net::kMinute);
   std::size_t leaders = 0;
   for (int i = 1; i < 6; ++i) {
     if (i == 4) continue;  // dave is gone
@@ -143,7 +143,7 @@ int main() {
     }
   }
   members[5].say("room survives its founder");
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
 
   std::printf("\n--- summary ---\n");
   for (auto& m : members) {

@@ -30,11 +30,11 @@ int main() {
   cfg.natted_fraction = 0.7;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = 123;
   WhisperTestbed tb(cfg);
   std::printf("booting 80-node network; 16 nodes will run a private index...\n");
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   // Found the group and enroll 16 members.
   const GroupId group{7};
@@ -45,13 +45,13 @@ int main() {
   for (std::size_t i = 1; i < 16; ++i) {
     nodes[i]->join_group(group, *founder.invite(nodes[i]->id()), founder.self_descriptor());
     members.push_back(nodes[i]);
-    tb.run_for(5 * sim::kSecond);
+    tb.run_for(5 * net::kSecond);
   }
-  tb.run_for(4 * sim::kMinute);
+  tb.run_for(4 * net::kMinute);
 
   // Bootstrap T-Chord on every member.
   chord::TChordConfig tc;
-  tc.cycle = 20 * sim::kSecond;
+  tc.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<chord::TChord>> rings;
   for (WhisperNode* m : members) {
     rings.push_back(std::make_unique<chord::TChord>(tb.simulator(), *m->group(group), tc,
@@ -59,7 +59,7 @@ int main() {
     rings.back()->start();
   }
   std::printf("converging the private Chord ring...\n");
-  tb.run_for(8 * sim::kMinute);
+  tb.run_for(8 * net::kMinute);
 
   // Check ring health against global knowledge.
   std::map<chord::ChordKey, NodeId> global;
@@ -93,10 +93,10 @@ int main() {
       ++resolved;
       std::printf("  %-18s -> owner %-5s (%u hops, %.0f ms)%s\n", doc,
                   res->owner.id().str().c_str(), res->hops,
-                  static_cast<double>(res->rtt) / sim::kMillisecond,
+                  static_cast<double>(res->rtt) / net::kMillisecond,
                   res->owner.id() == expected ? "" : "  [stale owner]");
     });
-    tb.run_for(45 * sim::kSecond);  // leaves room for one lookup retry
+    tb.run_for(45 * net::kSecond);  // leaves room for one lookup retry
   }
 
   std::printf("\n%d/5 documents resolved — every hop travelled over onion-encrypted\n"

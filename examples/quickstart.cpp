@@ -26,7 +26,7 @@ int main() {
   // 2. Let the substrate converge: peer sampling fills views, keys spread,
   //    connection backlogs fill with NAT-valid routes.
   std::printf("warming up the overlay (peer sampling + key sampling)...\n");
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   WhisperNode* alice = tb.alive_nodes()[0];
   WhisperNode* bob = tb.alive_nodes()[1];
@@ -46,7 +46,7 @@ int main() {
   //    delivered out-of-band: email, chat, ...), gets his passport back.
   auto invitation = alice_group.invite(bob->id());
   ppss::Ppss& bob_group = bob->join_group(group, *invitation, alice_group.self_descriptor());
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   std::printf("bob joined: %s (passport verified: %s)\n", bob_group.joined() ? "yes" : "no",
               bob_group.keyring().verify_passport(bob_group.passport()) ? "yes" : "no");
 
@@ -62,7 +62,7 @@ int main() {
                 to_string(payload).c_str());
   };
   alice_group.send_app_to(bob_group.self_descriptor(), to_bytes("meet at the usual place"));
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
 
   // 6. What did it cost? WCL statistics from Alice's node.
   const auto& stats = alice->wcl().stats();

@@ -71,11 +71,11 @@ int main() {
   cfg.natted_fraction = 0.7;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = 2026;
   WhisperTestbed tb(cfg);
   std::printf("booting a 60-node internet (70%% of hosts behind NATs)...\n");
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   // The company VPN: headquarters founds the group, branches join.
   const GroupId vpn{100};
@@ -92,7 +92,7 @@ int main() {
                              hq_group.self_descriptor());
     sites.emplace_back(nodes[10 * (i + 1)], vpn, branches[i], static_cast<std::uint32_t>(i + 2));
   }
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
 
   std::map<std::uint32_t, VpnSite*> routing_table;
   for (auto& s : sites) s.attach(routing_table);
@@ -106,14 +106,14 @@ int main() {
   std::unordered_set<std::uint64_t> wcl_senders_seen;
   const Bytes payroll = to_bytes("payroll-2026.xlsx");
   bool payroll_leaked = false;
-  tb.network().set_tap([&](const sim::Datagram& d) {
+  tb.network().set_tap([&](const net::Datagram& d) {
     ++tapped_packets;
     tapped_bytes += d.payload.size();
     if (std::search(d.payload.begin(), d.payload.end(), payroll.begin(), payroll.end()) !=
         d.payload.end()) {
       payroll_leaked = true;
     }
-    if (d.proto == sim::Proto::kWcl) {
+    if (d.proto == net::Proto::kWcl) {
       Reader r(d.payload);
       if (r.u8() == 1) wcl_senders_seen.insert(r.node_id().value);
     }
@@ -121,11 +121,11 @@ int main() {
 
   std::printf("\n--- virtual network traffic (eavesdropper on every link) ---\n");
   sites[0].send_frame(routing_table, 2, "payroll-2026.xlsx -> berlin");
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   sites[1].send_frame(routing_table, 3, "forwarding payroll-2026.xlsx to osaka");
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   sites[3].send_frame(routing_table, 1, "recife quarterly numbers to hq");
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   tb.network().set_tap(nullptr);
 
   std::printf("\n--- what the eavesdropper got ---\n");

@@ -36,8 +36,8 @@ std::optional<ChordDescriptor> ChordDescriptor::deserialize(Reader& r) {
   return d;
 }
 
-TChord::TChord(sim::Simulator& sim, ppss::Ppss& ppss, TChordConfig config, Rng rng)
-    : sim_(sim), ppss_(ppss), config_(config), rng_(rng),
+TChord::TChord(net::Clock& clock, ppss::Ppss& ppss, TChordConfig config, Rng rng)
+    : clock_(clock), ppss_(ppss), config_(config), rng_(rng),
       self_key_(chord_key_of(ppss.self())),
       next_lookup_id_(ppss.self().value << 16),
       tel_(ppss.telemetry()),
@@ -61,15 +61,15 @@ TChord::~TChord() { stop(); }
 void TChord::start() {
   if (running_) return;
   running_ = true;
-  cycle_timer_ = sim_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
 }
 
 void TChord::stop() {
   if (!running_) return;
   running_ = false;
-  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
+  if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
   for (auto& [id, p] : pending_lookups_) {
-    if (p.timeout_timer != 0) sim_.cancel(p.timeout_timer);
+    if (p.timeout_timer != 0) clock_.cancel(p.timeout_timer);
   }
   pending_lookups_.clear();
 }
@@ -156,7 +156,7 @@ std::vector<ChordDescriptor> TChord::best_for(ChordKey target_key) const {
 
 void TChord::on_cycle() {
   if (!running_) return;
-  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(config_.cycle, [this] { on_cycle(); });
 
   // Seed candidates from the PPSS private view.
   for (const auto& e : ppss_.private_view().entries()) {
@@ -190,7 +190,7 @@ void TChord::reject_frame(Reader& r) {
   DecodeError err = r.reject_reason();
   if (err == DecodeError::kNone) err = DecodeError::kBadValue;
   ++stats_.decode_rejects;
-  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+  tel_.drop_frame(m_decode_rejects_, clock_.now(),
                   std::string("decode:") + decode_error_name(err));
 }
 
@@ -277,7 +277,7 @@ void TChord::lookup(ChordKey key, LookupCallback callback) {
   PendingLookup pending;
   pending.key = key;
   pending.callback = std::move(callback);
-  pending.started_at = sim_.now();
+  pending.started_at = clock_.now();
   pending.attempts = 1;
   if (telemetry::FlightRecorder* fr = tel_.flight(); fr != nullptr && fr->enabled()) {
     pending.trace_root =
@@ -297,7 +297,7 @@ void TChord::lookup(ChordKey key, LookupCallback callback) {
 
 void TChord::arm_lookup_timer(std::uint64_t lookup_id) {
   auto& pending = pending_lookups_[lookup_id];
-  pending.timeout_timer = sim_.schedule_after(config_.lookup_timeout, [this, lookup_id] {
+  pending.timeout_timer = clock_.schedule_after(config_.lookup_timeout, [this, lookup_id] {
     auto it = pending_lookups_.find(lookup_id);
     if (it == pending_lookups_.end()) return;
     if (it->second.attempts <= config_.lookup_retries) {
@@ -316,13 +316,13 @@ void TChord::arm_lookup_timer(std::uint64_t lookup_id) {
     auto cb = std::move(it->second.callback);
     if (telemetry::FlightRecorder* fr = tel_.flight();
         fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
-      fr->end(it->second.trace_root, ppss_.self().value, sim_.now(), "timeout",
+      fr->end(it->second.trace_root, ppss_.self().value, clock_.now(), "timeout",
               static_cast<std::uint16_t>(it->second.attempts), 0);
     }
     pending_lookups_.erase(it);
     ++stats_.lookups_timed_out;
     m_timed_out_.add(1);
-    tel_.instant("chord.lookup.timeout", "chord", sim_.now());
+    tel_.instant("chord.lookup.timeout", "chord", clock_.now());
     cb(std::nullopt);
   });
 }
@@ -336,12 +336,12 @@ void TChord::route_or_serve(ChordKey key, std::uint64_t lookup_id,
       // Local hit: we own the key ourselves; complete immediately.
       auto it = pending_lookups_.find(lookup_id);
       if (it == pending_lookups_.end()) return;
-      if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+      if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
       auto cb = std::move(it->second.callback);
-      const sim::Time rtt = sim_.now() - it->second.started_at;
+      const net::Time rtt = clock_.now() - it->second.started_at;
       if (telemetry::FlightRecorder* fr = tel_.flight();
           fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
-        fr->end(it->second.trace_root, ppss_.self().value, sim_.now(), "completed",
+        fr->end(it->second.trace_root, ppss_.self().value, clock_.now(), "completed",
                 static_cast<std::uint16_t>(it->second.attempts), rtt);
       }
       pending_lookups_.erase(it);
@@ -412,12 +412,12 @@ void TChord::handle_lookup_response(Reader& r) {
   }
   auto it = pending_lookups_.find(lookup_id);
   if (it == pending_lookups_.end()) return;
-  if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+  if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
   auto cb = std::move(it->second.callback);
-  const sim::Time rtt = sim_.now() - it->second.started_at;
+  const net::Time rtt = clock_.now() - it->second.started_at;
   if (telemetry::FlightRecorder* fr = tel_.flight();
       fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
-    fr->end(it->second.trace_root, ppss_.self().value, sim_.now(), "completed",
+    fr->end(it->second.trace_root, ppss_.self().value, clock_.now(), "completed",
             static_cast<std::uint16_t>(it->second.attempts), rtt);
   }
   pending_lookups_.erase(it);
@@ -426,7 +426,7 @@ void TChord::handle_lookup_response(Reader& r) {
   m_hops_.observe(static_cast<double>(hops));
   m_rtt_.observe(static_cast<double>(rtt));
   // One trace row per resolved lookup, spanning dispatch->answer.
-  tel_.complete("chord.lookup", "chord", sim_.now() - rtt, rtt,
+  tel_.complete("chord.lookup", "chord", clock_.now() - rtt, rtt,
                 {{"hops", std::to_string(hops)}});
   cb(LookupResult{*owner, hops, rtt});
 }

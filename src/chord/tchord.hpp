@@ -40,13 +40,13 @@ struct ChordDescriptor {
 };
 
 struct TChordConfig {
-  sim::Time cycle = 30 * sim::kSecond;
+  net::Time cycle = 30 * net::kSecond;
   std::size_t candidate_capacity = 32;
   std::size_t gossip_descriptors = 8;
   std::size_t successor_list = 4;
   std::size_t finger_bits = 64;
   std::size_t lookup_hop_limit = 32;
-  sim::Time lookup_timeout = 20 * sim::kSecond;
+  net::Time lookup_timeout = 20 * net::kSecond;
   /// Re-dispatches after a timeout before reporting failure (stale
   /// descriptors along the path heal as gossip refreshes them).
   std::size_t lookup_retries = 1;
@@ -57,7 +57,7 @@ struct TChordConfig {
 
 class TChord {
  public:
-  TChord(sim::Simulator& sim, ppss::Ppss& ppss, TChordConfig config, Rng rng);
+  TChord(net::Clock& clock, ppss::Ppss& ppss, TChordConfig config, Rng rng);
   ~TChord();
 
   TChord(const TChord&) = delete;
@@ -77,7 +77,7 @@ class TChord {
   struct LookupResult {
     ChordDescriptor owner;
     std::uint32_t hops = 0;
-    sim::Time rtt = 0;
+    net::Time rtt = 0;
   };
   using LookupCallback = std::function<void(std::optional<LookupResult>)>;
 
@@ -113,13 +113,13 @@ class TChord {
                       const ChordDescriptor& origin, std::uint32_t hops);
   ChordDescriptor self_descriptor();
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   ppss::Ppss& ppss_;
   TChordConfig config_;
   Rng rng_;
   ChordKey self_key_;
   bool running_ = false;
-  sim::TimerId cycle_timer_ = 0;
+  net::TimerId cycle_timer_ = 0;
 
   /// Candidate set ordered by ring position (key -> descriptor).
   std::map<ChordKey, ChordDescriptor> candidates_;
@@ -127,8 +127,8 @@ class TChord {
   struct PendingLookup {
     ChordKey key = 0;
     LookupCallback callback;
-    sim::Time started_at = 0;
-    sim::TimerId timeout_timer = 0;
+    net::Time started_at = 0;
+    net::TimerId timeout_timer = 0;
     std::size_t attempts = 0;
     /// Flight-record root spanning dispatch, retries, and the answer.
     std::uint64_t trace_root = 0;

@@ -4,18 +4,18 @@
 
 namespace whisper::churn {
 
-ChurnEngine::ChurnEngine(sim::Simulator& sim, KillFn kill, SpawnFn spawn,
+ChurnEngine::ChurnEngine(net::Clock& clock, KillFn kill, SpawnFn spawn,
                          PopulationFn population)
-    : sim_(sim), kill_(std::move(kill)), spawn_(std::move(spawn)),
+    : clock_(clock), kill_(std::move(kill)), spawn_(std::move(spawn)),
       population_(std::move(population)) {}
 
 void ChurnEngine::schedule(const ChurnPhase& phase) {
   if (phase.leave_fraction <= 0.0 || phase.end <= phase.start) return;
-  sim_.schedule_at(phase.start, [this, phase] { tick(phase); });
+  clock_.schedule_at(phase.start, [this, phase] { tick(phase); });
 }
 
 void ChurnEngine::tick(ChurnPhase phase) {
-  if (sim_.now() >= phase.end) return;
+  if (clock_.now() >= phase.end) return;
 
   const double exact = static_cast<double>(population_()) * phase.leave_fraction + leave_carry_;
   const std::size_t leavers = static_cast<std::size_t>(exact);
@@ -30,17 +30,17 @@ void ChurnEngine::tick(ChurnPhase phase) {
     total_spawned_ += joiners;
   }
 
-  const sim::Time next = sim_.now() + phase.interval;
+  const net::Time next = clock_.now() + phase.interval;
   if (next < phase.end) {
-    sim_.schedule_at(next, [this, phase] { tick(phase); });
+    clock_.schedule_at(next, [this, phase] { tick(phase); });
   }
 }
 
-void ChurnEngine::schedule_join(sim::Time start, sim::Time duration, std::size_t count) {
+void ChurnEngine::schedule_join(net::Time start, net::Time duration, std::size_t count) {
   if (count == 0) return;
-  const sim::Time step = duration > 0 ? duration / count : 0;
+  const net::Time step = duration > 0 ? duration / count : 0;
   for (std::size_t i = 0; i < count; ++i) {
-    sim_.schedule_at(start + step * i, [this] {
+    clock_.schedule_at(start + step * i, [this] {
       spawn_(1);
       ++total_spawned_;
     });

@@ -12,14 +12,14 @@
 
 #include <functional>
 
-#include "sim/simulator.hpp"
+#include "net/spi.hpp"
 
 namespace whisper::churn {
 
 struct ChurnPhase {
-  sim::Time start = 0;
-  sim::Time end = 0;
-  sim::Time interval = 60 * sim::kSecond;
+  net::Time start = 0;
+  net::Time end = 0;
+  net::Time interval = 60 * net::kSecond;
   /// Fraction of the *current network size* leaving per interval.
   double leave_fraction = 0.0;
   /// Joiners per leaver (1.0 = the paper's 100% replacement ratio).
@@ -34,14 +34,14 @@ class ChurnEngine {
   using SpawnFn = std::function<void(std::size_t)>;
   using PopulationFn = std::function<std::size_t()>;
 
-  ChurnEngine(sim::Simulator& sim, KillFn kill, SpawnFn spawn, PopulationFn population);
+  ChurnEngine(net::Clock& clock, KillFn kill, SpawnFn spawn, PopulationFn population);
 
   /// Schedule a churn phase. Multiple phases may be scheduled.
   void schedule(const ChurnPhase& phase);
 
   /// Schedule a one-shot mass join of `count` nodes spread over
   /// [start, start+duration).
-  void schedule_join(sim::Time start, sim::Time duration, std::size_t count);
+  void schedule_join(net::Time start, net::Time duration, std::size_t count);
 
   std::size_t total_killed() const { return total_killed_; }
   std::size_t total_spawned() const { return total_spawned_; }
@@ -49,7 +49,7 @@ class ChurnEngine {
  private:
   void tick(ChurnPhase phase);
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   KillFn kill_;
   SpawnFn spawn_;
   PopulationFn population_;

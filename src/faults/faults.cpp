@@ -111,9 +111,9 @@ std::vector<Endpoint> sorted(std::vector<Endpoint> eps) {
 
 }  // namespace
 
-FaultFabric::FaultFabric(sim::Simulator& sim, sim::Network& net, Environment env, Rng rng,
+FaultFabric::FaultFabric(net::Clock& clock, net::Stack& net, Environment env, Rng rng,
                          telemetry::Scope telemetry)
-    : sim_(sim), net_(net), env_(std::move(env)), rng_(rng), tel_(telemetry),
+    : clock_(clock), net_(net), env_(std::move(env)), rng_(rng), tel_(telemetry),
       m_dropped_(tel_.counter("faults.packets.dropped")),
       m_delayed_(tel_.counter("faults.packets.delayed")),
       m_duplicated_(tel_.counter("faults.packets.duplicated")),
@@ -131,15 +131,15 @@ FaultFabric::FaultFabric(sim::Simulator& sim, sim::Network& net, Environment env
 }
 
 FaultFabric::~FaultFabric() {
-  for (sim::TimerId t : timers_) sim_.cancel(t);
+  for (net::TimerId t : timers_) clock_.cancel(t);
   for (ActiveFault& f : active_) {
-    if (f.tick_timer != 0) sim_.cancel(f.tick_timer);
+    if (f.tick_timer != 0) clock_.cancel(f.tick_timer);
   }
   net_.set_fault_interposer(nullptr);
 }
 
 void FaultFabric::schedule(const FaultSpec& spec) {
-  timers_.push_back(sim_.schedule_at(spec.start, [this, spec] {
+  timers_.push_back(clock_.schedule_at(spec.start, [this, spec] {
     if (is_oneshot(spec.kind)) {
       fire_oneshot(spec);
     } else {
@@ -204,22 +204,22 @@ void FaultFabric::activate(FaultSpec spec) {
   }
 
   m_activations_.add(1);
-  tel_.instant("fault.activate", "faults", sim_.now(),
+  tel_.instant("fault.activate", "faults", clock_.now(),
                {{"kind", fault_kind_name(spec.kind)}});
 
   const std::uint64_t id = f.id;
   active_.push_back(std::move(f));
   if (spec.end > spec.start) {
-    timers_.push_back(sim_.schedule_at(spec.end, [this, id] { deactivate(id); }));
+    timers_.push_back(clock_.schedule_at(spec.end, [this, id] { deactivate(id); }));
   }
   // Actors that *originate* traffic (replay re-injection, garbage floods)
   // run on a per-fault periodic timer derived from spec.rate.
   if ((spec.kind == FaultKind::kByzReplay || spec.kind == FaultKind::kByzFlood) &&
       spec.rate > 0) {
-    const auto interval = std::max<sim::Time>(
-        1, static_cast<sim::Time>(static_cast<double>(sim::kSecond) / spec.rate));
+    const auto interval = std::max<net::Time>(
+        1, static_cast<net::Time>(static_cast<double>(net::kSecond) / spec.rate));
     active_.back().tick_timer =
-        sim_.schedule_after(interval, [this, id] { byz_tick(id); });
+        clock_.schedule_after(interval, [this, id] { byz_tick(id); });
   }
 }
 
@@ -230,8 +230,8 @@ void FaultFabric::deactivate(std::uint64_t id) {
   if (it->spec.kind == FaultKind::kPause) {
     for (Endpoint ep : sorted({it->side_a.begin(), it->side_a.end()})) resume(ep);
   }
-  if (it->tick_timer != 0) sim_.cancel(it->tick_timer);
-  tel_.instant("fault.deactivate", "faults", sim_.now(),
+  if (it->tick_timer != 0) clock_.cancel(it->tick_timer);
+  tel_.instant("fault.deactivate", "faults", clock_.now(),
                {{"kind", fault_kind_name(it->spec.kind)}});
   active_.erase(it);
 }
@@ -257,7 +257,7 @@ void FaultFabric::byz_tick(std::uint64_t id) {
       if (target == actor) continue;
       Bytes garbage(64 + rng_.next_below(1337));
       rng_.fill_bytes(garbage.data(), garbage.size());
-      net_.send(actor, target, std::move(garbage), sim::Proto::kWcl);
+      net_.send(actor, target, std::move(garbage), net::Proto::kWcl);
       ++stats_.byz_flooded;
       m_byz_flooded_.add(1);
     } else if (f.spec.kind == FaultKind::kByzReplay) {
@@ -270,15 +270,15 @@ void FaultFabric::byz_tick(std::uint64_t id) {
   }
 
   if (f.spec.rate > 0) {
-    const auto interval = std::max<sim::Time>(
-        1, static_cast<sim::Time>(static_cast<double>(sim::kSecond) / f.spec.rate));
-    f.tick_timer = sim_.schedule_after(interval, [this, id] { byz_tick(id); });
+    const auto interval = std::max<net::Time>(
+        1, static_cast<net::Time>(static_cast<double>(net::kSecond) / f.spec.rate));
+    f.tick_timer = clock_.schedule_after(interval, [this, id] { byz_tick(id); });
   }
 }
 
 void FaultFabric::fire_oneshot(const FaultSpec& spec) {
   m_activations_.add(1);
-  tel_.instant("fault.activate", "faults", sim_.now(),
+  tel_.instant("fault.activate", "faults", clock_.now(),
                {{"kind", fault_kind_name(spec.kind)}});
   if (spec.kind == FaultKind::kCrash) {
     if (!env_.crash_node) return;
@@ -322,10 +322,10 @@ void FaultFabric::resume(Endpoint ep) {
   }
 }
 
-void FaultFabric::note_fault(const sim::Datagram& dgram, Endpoint node, FaultKind kind) {
+void FaultFabric::note_fault(const net::Datagram& dgram, Endpoint node, FaultKind kind) {
   telemetry::FlightRecorder* fr = tel_.flight();
   if (fr == nullptr || !fr->enabled() || !dgram.trace.valid()) return;
-  fr->fault(dgram.trace, fr->node_of(node), sim_.now(), fault_kind_name(kind));
+  fr->fault(dgram.trace, fr->node_of(node), clock_.now(), fault_kind_name(kind));
 }
 
 bool FaultFabric::matches(const ActiveFault& f, Endpoint src, Endpoint dst) {
@@ -338,7 +338,7 @@ bool FaultFabric::matches(const ActiveFault& f, Endpoint src, Endpoint dst) {
   return src_b && dst_a;
 }
 
-FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, sim::Datagram& dgram) {
+FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, net::Datagram& dgram) {
   WireVerdict verdict;
   if (active_.empty()) return verdict;
   for (ActiveFault& f : active_) {
@@ -453,7 +453,7 @@ FaultFabric::WireVerdict FaultFabric::on_wire(Endpoint internal_src, sim::Datagr
 }
 
 FaultFabric::Gate FaultFabric::on_deliver(Endpoint internal_src, Endpoint internal_dst,
-                                          const sim::Datagram& dgram) {
+                                          const net::Datagram& dgram) {
   if (paused_.contains(internal_dst)) {
     pause_queues_[internal_dst].push_back(QueuedPacket{internal_dst, dgram});
     ++stats_.packets_queued;

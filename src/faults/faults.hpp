@@ -29,8 +29,8 @@
 #include <unordered_set>
 #include <vector>
 
-#include "sim/network.hpp"
-#include "sim/simulator.hpp"
+#include "common/rng.hpp"
+#include "net/spi.hpp"
 #include "telemetry/scope.hpp"
 
 namespace whisper::faults {
@@ -70,8 +70,8 @@ bool is_byzantine(FaultKind k);
 /// population at activation time (bisection split / random sample).
 struct FaultSpec {
   FaultKind kind = FaultKind::kLoss;
-  sim::Time start = 0;
-  sim::Time end = 0;
+  net::Time start = 0;
+  net::Time end = 0;
   /// Bisection: fraction of live nodes on side A (kPartition with empty
   /// targets).
   double fraction = 0.5;
@@ -79,7 +79,7 @@ struct FaultSpec {
   double probability = 1.0;
   /// Extra one-way delay added per packet (kDelay), or the jitter ceiling
   /// for kReorder's uniform extra delay.
-  sim::Time delay = 0;
+  net::Time delay = 0;
   /// Nodes affected (kPause, kNatReset, kCrash).
   std::size_t count = 1;
   /// kLoss only: when false, only A->B packets are affected (asymmetric
@@ -97,7 +97,7 @@ struct FaultSpec {
   std::vector<Endpoint> targets_b;
 };
 
-class FaultFabric : public sim::FaultInterposer {
+class FaultFabric : public net::FaultInterposer {
  public:
   /// Deployment hooks the fabric drives; all optional (a missing hook turns
   /// the corresponding fault kind into a no-op).
@@ -112,7 +112,7 @@ class FaultFabric : public sim::FaultInterposer {
     std::function<void(Endpoint)> reset_nat;
   };
 
-  FaultFabric(sim::Simulator& sim, sim::Network& net, Environment env, Rng rng,
+  FaultFabric(net::Clock& clock, net::Stack& net, Environment env, Rng rng,
               telemetry::Scope telemetry = {});
   ~FaultFabric() override;
 
@@ -153,10 +153,10 @@ class FaultFabric : public sim::FaultInterposer {
   };
   const Stats& stats() const { return stats_; }
 
-  // sim::FaultInterposer:
-  WireVerdict on_wire(Endpoint internal_src, sim::Datagram& dgram) override;
+  // net::FaultInterposer:
+  WireVerdict on_wire(Endpoint internal_src, net::Datagram& dgram) override;
   Gate on_deliver(Endpoint internal_src, Endpoint internal_dst,
-                  const sim::Datagram& dgram) override;
+                  const net::Datagram& dgram) override;
 
  private:
   /// A frame recorded by a kByzReplay actor, re-injectable verbatim.
@@ -164,7 +164,7 @@ class FaultFabric : public sim::FaultInterposer {
     Endpoint src;
     Endpoint dst;
     Bytes payload;
-    sim::Proto proto = sim::Proto::kApp;
+    net::Proto proto = net::Proto::kApp;
   };
 
   struct ActiveFault {
@@ -178,7 +178,7 @@ class FaultFabric : public sim::FaultInterposer {
     std::vector<CapturedFrame> ring;
     std::size_t ring_next = 0;
     /// kByzReplay / kByzFlood periodic injection timer.
-    sim::TimerId tick_timer = 0;
+    net::TimerId tick_timer = 0;
   };
 
   void activate(FaultSpec spec);
@@ -193,10 +193,10 @@ class FaultFabric : public sim::FaultInterposer {
   /// Attribute an injection to the packet's flight record (no-op when the
   /// packet is untraced or the recorder is off) — this is what lets
   /// `whisper_trace faults` say *which* fault killed or delayed a message.
-  void note_fault(const sim::Datagram& dgram, Endpoint node, FaultKind kind);
+  void note_fault(const net::Datagram& dgram, Endpoint node, FaultKind kind);
 
-  sim::Simulator& sim_;
-  sim::Network& net_;
+  net::Clock& clock_;
+  net::Stack& net_;
   Environment env_;
   Rng rng_;
 
@@ -204,12 +204,12 @@ class FaultFabric : public sim::FaultInterposer {
   std::uint64_t next_id_ = 1;
   /// Activation/deactivation timers, cancelled on destruction so no pending
   /// simulator event can touch a dead fabric.
-  std::vector<sim::TimerId> timers_;
+  std::vector<net::TimerId> timers_;
 
   std::unordered_set<Endpoint> paused_;
   struct QueuedPacket {
     Endpoint internal_dst;
-    sim::Datagram dgram;
+    net::Datagram dgram;
   };
   std::unordered_map<Endpoint, std::deque<QueuedPacket>> pause_queues_;
 

@@ -38,7 +38,7 @@ bool parse_size(std::string_view token, std::size_t& out) {
 
 }  // namespace
 
-bool parse_duration(std::string_view token, sim::Time& out) {
+bool parse_duration(std::string_view token, net::Time& out) {
   if (!token.empty() && token.front() == '+') token.remove_prefix(1);
   if (token.empty()) return false;
 
@@ -54,14 +54,14 @@ bool parse_duration(std::string_view token, sim::Time& out) {
   if (!parse_double(token.substr(0, digits), value)) return false;
 
   const std::string_view unit = token.substr(digits);
-  double scale = sim::kSecond;  // bare numbers are seconds
-  if (unit == "us") scale = sim::kMicrosecond;
-  else if (unit == "ms") scale = sim::kMillisecond;
-  else if (unit == "s" || unit.empty()) scale = sim::kSecond;
-  else if (unit == "m") scale = sim::kMinute;
+  double scale = net::kSecond;  // bare numbers are seconds
+  if (unit == "us") scale = net::kMicrosecond;
+  else if (unit == "ms") scale = net::kMillisecond;
+  else if (unit == "s" || unit.empty()) scale = net::kSecond;
+  else if (unit == "m") scale = net::kMinute;
   else return false;
 
-  out = static_cast<sim::Time>(value * scale);
+  out = static_cast<net::Time>(value * scale);
   return true;
 }
 
@@ -94,7 +94,7 @@ ScriptParseResult parse_script(std::string_view text) {
     if (end_tok == "-" || end_tok == "0") {
       spec.end = 0;
     } else if (end_tok.front() == '+') {
-      sim::Time dur = 0;
+      net::Time dur = 0;
       if (!parse_duration(end_tok, dur)) return fail("bad duration '" + end_tok + "'");
       spec.end = spec.start + dur;
     } else {

@@ -53,6 +53,6 @@ ScriptParseResult parse_script_file(const std::string& path);
 /// Parse one duration/time token ("150ms", "2m", "30", "+45s"). Returns
 /// false on malformed input. A leading '+' is accepted and ignored (callers
 /// handle relative semantics).
-bool parse_duration(std::string_view token, sim::Time& out);
+bool parse_duration(std::string_view token, net::Time& out);
 
 }  // namespace whisper::faults

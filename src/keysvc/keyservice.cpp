@@ -7,16 +7,16 @@ constexpr std::uint8_t kKindRequest = 1;
 constexpr std::uint8_t kKindResponse = 2;
 }  // namespace
 
-KeyService::KeyService(sim::Simulator& sim, nylon::Transport& transport,
+KeyService::KeyService(net::Clock& clock, nylon::Transport& transport,
                        const crypto::RsaKeyPair& own, KeyServiceConfig config)
-    : sim_(sim), transport_(transport), own_(own), config_(config) {
+    : clock_(clock), transport_(transport), own_(own), config_(config) {
   transport_.register_handler(nylon::kTagKeys,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
 }
 
 KeyService::~KeyService() {
   for (auto& [seq, pending] : pending_) {
-    if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
+    if (pending.timeout_timer != 0) clock_.cancel(pending.timeout_timer);
   }
 }
 
@@ -69,12 +69,12 @@ void KeyService::request_key(
   w.u8(kKindRequest);
   w.u32(seq);
   transport_.self_card().serialize(w);  // so a natted requester can be answered
-  transport_.send(target, nylon::kTagKeys, w.data(), sim::Proto::kKeys);
+  transport_.send(target, nylon::kTagKeys, w.data(), net::Proto::kKeys);
 
   PendingRequest pending;
   pending.target = target.id;
   pending.callback = std::move(callback);
-  pending.timeout_timer = sim_.schedule_after(config_.request_timeout, [this, seq] {
+  pending.timeout_timer = clock_.schedule_after(config_.request_timeout, [this, seq] {
     auto it = pending_.find(seq);
     if (it == pending_.end()) return;
     auto cb = std::move(it->second.callback);
@@ -103,7 +103,7 @@ void KeyService::handle_message(NodeId from, BytesView payload) {
     w.u8(kKindResponse);
     w.u32(seq);
     w.bytes(piggyback());
-    transport_.send(requester, nylon::kTagKeys, w.data(), sim::Proto::kKeys);
+    transport_.send(requester, nylon::kTagKeys, w.data(), net::Proto::kKeys);
     return;
   }
   if (kind == kKindResponse) {
@@ -117,7 +117,7 @@ void KeyService::handle_message(NodeId from, BytesView payload) {
     auto key = crypto::RsaPublicKey::deserialize(key_bytes);
     if (key) store(from, *key);
     auto cb = std::move(it->second.callback);
-    if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+    if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
     pending_.erase(it);
     cb(key);
   }

@@ -18,7 +18,7 @@
 
 #include "crypto/rsa.hpp"
 #include "nylon/transport.hpp"
-#include "sim/simulator.hpp"
+#include "net/spi.hpp"
 
 namespace whisper::keysvc {
 
@@ -26,14 +26,14 @@ struct KeyServiceConfig {
   /// Wire size each public key is padded to (the paper accounts 1 KB per
   /// key). 0 disables piggybacking entirely (Fig. 6's no-KS baseline).
   std::size_t key_wire_size = 1024;
-  sim::Time request_timeout = 5 * sim::kSecond;
+  net::Time request_timeout = 5 * net::kSecond;
   /// Hard cap on cached peer keys (peer-driven state; FIFO eviction).
   std::size_t max_cached_keys = 4096;
 };
 
 class KeyService {
  public:
-  KeyService(sim::Simulator& sim, nylon::Transport& transport, const crypto::RsaKeyPair& own,
+  KeyService(net::Clock& clock, nylon::Transport& transport, const crypto::RsaKeyPair& own,
              KeyServiceConfig config = {});
   ~KeyService();
 
@@ -62,7 +62,7 @@ class KeyService {
  private:
   void handle_message(NodeId from, BytesView payload);
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   nylon::Transport& transport_;
   const crypto::RsaKeyPair& own_;
   KeyServiceConfig config_;
@@ -74,7 +74,7 @@ class KeyService {
   struct PendingRequest {
     NodeId target;
     std::function<void(std::optional<crypto::RsaPublicKey>)> callback;
-    sim::TimerId timeout_timer = 0;
+    net::TimerId timeout_timer = 0;
   };
   std::unordered_map<std::uint32_t, PendingRequest> pending_;
   std::uint32_t next_seq_ = 1;

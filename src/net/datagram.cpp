@@ -1,0 +1,29 @@
+#include "net/datagram.hpp"
+
+namespace whisper::net {
+
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::kPss: return "pss";
+    case Proto::kKeys: return "keys";
+    case Proto::kWcl: return "wcl";
+    case Proto::kPpss: return "ppss";
+    case Proto::kControl: return "control";
+    case Proto::kApp: return "app";
+    case Proto::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kLoss: return "loss";
+    case DropReason::kFilter: return "filter";
+    case DropReason::kDetach: return "detach";
+    case DropReason::kFault: return "fault";
+    case DropReason::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace whisper::net

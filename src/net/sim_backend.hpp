@@ -1,0 +1,37 @@
+// SimBackend: the deterministic simulator presented through the transport
+// SPI. sim::Simulator is-a net::Clock and sim::Network is-a net::Stack, so
+// this wrapper adds no state and no indirection — protocol stacks built
+// against the SPI run on the exact code paths the pre-SPI stack ran on,
+// which is what keeps same-seed telemetry byte-identical to the golden
+// digests.
+//
+// Header-only on purpose: the net core library must not link against sim
+// (sim links against net for the shared Time/Datagram types); anything
+// constructing a SimBackend already links both.
+#pragma once
+
+#include "net/spi.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace whisper::net {
+
+class SimBackend {
+ public:
+  SimBackend(sim::Simulator& sim, sim::Network& net) : sim_(sim), net_(net) {}
+
+  Clock& clock() { return sim_; }
+  Stack& stack() { return net_; }
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return net_; }
+
+  /// Advance virtual time (the simulator runs to the horizon instantly;
+  /// the UDP backend's equivalent pumps epoll for the same wall duration).
+  void run_for(Time duration) { sim_.run_until(sim_.now() + duration); }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+};
+
+}  // namespace whisper::net

@@ -1,0 +1,327 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "telemetry/flight.hpp"
+#include "telemetry/trace.hpp"
+
+namespace whisper::net {
+
+namespace {
+
+// Frame header on every UDP datagram: magic "WP", version, proto tag.
+constexpr std::uint8_t kMagic0 = 0x57;  // 'W'
+constexpr std::uint8_t kMagic1 = 0x50;  // 'P'
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderLen = 4;
+
+constexpr int kMaxEpollEvents = 64;
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+sockaddr_in to_sockaddr(Endpoint ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ep.ip);
+  sa.sin_port = htons(ep.port);
+  return sa;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& sa) {
+  return Endpoint{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+UdpBackend::UdpBackend(Config config) : config_(config) {
+  epoch_ns_ = monotonic_ns();
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) last_error_ = std::string("epoll_create1: ") + std::strerror(errno);
+}
+
+UdpBackend::~UdpBackend() {
+  for (auto& [ep, sock] : sockets_) {
+    if (sock.fd >= 0) ::close(sock.fd);
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Time UdpBackend::now() const {
+  return (monotonic_ns() - epoch_ns_) / 1000;
+}
+
+TimerId UdpBackend::schedule_at(Time at, std::function<void()> fn) {
+  return wheel_.schedule(at, std::move(fn));
+}
+
+TimerId UdpBackend::schedule_after(Time delay, std::function<void()> fn) {
+  return wheel_.schedule(now() + delay, std::move(fn));
+}
+
+void UdpBackend::cancel(TimerId id) { wheel_.cancel(id); }
+
+std::optional<Endpoint> UdpBackend::open_socket(Endpoint ep) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  sockaddr_in sa = to_sockaddr(ep);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    last_error_ = "bind " + ep.str() + ": " + std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  // Learn the OS-assigned port when the caller asked for port 0.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    last_error_ = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  const Endpoint actual = from_sockaddr(bound);
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    last_error_ = std::string("epoll_ctl(ADD): ") + std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  sockets_[actual] = SocketState{fd, actual, nullptr};
+  fd_to_ep_[fd] = actual;
+  return actual;
+}
+
+std::optional<Endpoint> UdpBackend::reserve_endpoint() {
+  return open_socket(Endpoint{config_.bind_ip, 0});
+}
+
+void UdpBackend::attach(Endpoint internal_ep, Handler handler) {
+  auto it = sockets_.find(internal_ep);
+  if (it == sockets_.end()) {
+    if (!open_socket(internal_ep)) return;  // last_error() has the reason
+    it = sockets_.find(internal_ep);
+  }
+  it->second.handler = std::move(handler);
+}
+
+void UdpBackend::close_socket(Endpoint ep) {
+  auto it = sockets_.find(ep);
+  if (it == sockets_.end()) return;
+  if (it->second.fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    fd_to_ep_.erase(it->second.fd);
+    ::close(it->second.fd);
+  }
+  sockets_.erase(it);
+}
+
+void UdpBackend::detach(Endpoint internal_ep) { close_socket(internal_ep); }
+
+bool UdpBackend::attached(Endpoint internal_ep) const {
+  auto it = sockets_.find(internal_ep);
+  return it != sockets_.end() && it->second.handler != nullptr;
+}
+
+void UdpBackend::emit(int fd, Endpoint src, Endpoint dst, const Bytes& payload,
+                      Proto proto) {
+  Bytes frame;
+  frame.reserve(kHeaderLen + payload.size());
+  frame.push_back(kMagic0);
+  frame.push_back(kMagic1);
+  frame.push_back(kVersion);
+  frame.push_back(static_cast<std::uint8_t>(proto));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  const sockaddr_in sa = to_sockaddr(dst);
+  const ssize_t n = ::sendto(fd, frame.data(), frame.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (n < 0) {
+    // Best-effort datagram semantics: a full socket buffer or a transient
+    // kernel refusal is indistinguishable from in-flight loss, and the
+    // protocol stack's retry machinery (WCL RTO, PSS cycles) already covers
+    // it. EINTR on sendto is likewise counted as loss rather than retried:
+    // one lost datagram is cheaper than a blocking loop in the hot path.
+    count_drop(DropReason::kLoss);
+    return;
+  }
+  bytes_sent_ += static_cast<std::uint64_t>(n);
+  (void)src;
+}
+
+bool UdpBackend::send(Endpoint internal_src, Endpoint public_dst, Bytes payload,
+                      Proto proto) {
+  auto it = sockets_.find(internal_src);
+  if (it == sockets_.end()) return false;
+  const int fd = it->second.fd;
+  ++packets_sent_;
+
+  Datagram dgram{internal_src, public_dst, std::move(payload), proto, {}};
+  const bool tracing_flight = flight_ != nullptr && flight_->enabled();
+  if (tracing_flight) dgram.trace = flight_->context();
+
+  std::size_t copies = 1;
+  Time extra_delay = 0;
+  if (faults_ != nullptr) {
+    const auto verdict = faults_->on_wire(internal_src, dgram);
+    copies = verdict.copies;
+    extra_delay = verdict.extra_delay;
+  }
+  if (copies == 0) {
+    count_drop(DropReason::kFault);
+    return true;  // the sender emitted it; it died on the wire
+  }
+
+  for (std::size_t i = 0; i < copies; ++i) {
+    if (i > 0) ++packets_duplicated_;
+    if (tracing_flight && dgram.trace.valid()) {
+      // The context cannot travel inside the datagram (zero wire bytes), so
+      // on this backend a flight records the sender's side of each hop.
+      dgram.trace.seq = flight_->next_wire_seq();
+      const std::uint64_t src_node = flight_->node_of(internal_src);
+      flight_->wire_out(dgram.trace, src_node, now(), extra_delay);
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->flow_begin("net.hop", "net", src_node, now(),
+                            dgram.trace.trace_id ^ (static_cast<std::uint64_t>(dgram.trace.seq) << 32));
+      }
+    }
+    if (extra_delay == 0) {
+      emit(fd, internal_src, public_dst, dgram.payload, proto);
+    } else {
+      // Fault-injected delay: hold the bytes on the wheel, then emit. The
+      // socket may be gone by then (detach); that drop is the same loss the
+      // real network would produce.
+      schedule_after(extra_delay, [this, internal_src, public_dst,
+                                   payload = dgram.payload, proto] {
+        auto sit = sockets_.find(internal_src);
+        if (sit == sockets_.end()) {
+          count_drop(DropReason::kLoss);
+          return;
+        }
+        emit(sit->second.fd, internal_src, public_dst, payload, proto);
+      });
+    }
+  }
+  return true;
+}
+
+void UdpBackend::redeliver(Endpoint internal_dst, Datagram dgram) {
+  auto it = sockets_.find(internal_dst);
+  if (it == sockets_.end() || it->second.handler == nullptr) {
+    count_drop(DropReason::kDetach);
+    return;
+  }
+  ++packets_delivered_;
+  it->second.handler(dgram);
+}
+
+void UdpBackend::deliver(SocketState& sock, Datagram dgram) {
+  if (faults_ != nullptr) {
+    switch (faults_->on_deliver(dgram.src, sock.ep, dgram)) {
+      case FaultInterposer::Gate::kDrop:
+        count_drop(DropReason::kFault);
+        return;
+      case FaultInterposer::Gate::kQueue:
+        return;  // interposer owns it now
+      case FaultInterposer::Gate::kDeliver:
+        break;
+    }
+  }
+  if (sock.handler == nullptr) {
+    count_drop(DropReason::kDetach);
+    return;
+  }
+  ++packets_delivered_;
+  sock.handler(dgram);
+}
+
+void UdpBackend::drain_socket(int fd) {
+  std::vector<std::uint8_t> buf(config_.max_datagram);
+  for (;;) {
+    // The socket may have been detached by a handler run earlier in this
+    // drain; stop touching the fd the moment it leaves the table.
+    auto eit = fd_to_ep_.find(fd);
+    if (eit == fd_to_ep_.end()) return;
+    const Endpoint ep = eit->second;
+
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n = ::recvfrom(fd, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN/EWOULDBLOCK: drained
+    }
+    bytes_received_ += static_cast<std::uint64_t>(n);
+    if (static_cast<std::size_t>(n) < kHeaderLen || buf[0] != kMagic0 ||
+        buf[1] != kMagic1 || buf[2] != kVersion ||
+        buf[3] >= static_cast<std::uint8_t>(Proto::kCount)) {
+      ++frame_rejects_;  // stray or hostile datagram; not ours
+      continue;
+    }
+    auto sit = sockets_.find(ep);
+    if (sit == sockets_.end()) return;
+    Datagram dgram;
+    dgram.src = from_sockaddr(from);
+    dgram.dst = ep;
+    dgram.proto = static_cast<Proto>(buf[3]);
+    dgram.payload.assign(buf.begin() + kHeaderLen, buf.begin() + n);
+    deliver(sit->second, std::move(dgram));
+  }
+}
+
+void UdpBackend::poll(Time max_wait) {
+  const Time start = now();
+  Time budget = std::min(max_wait, config_.max_poll_wait);
+  if (auto deadline = wheel_.next_deadline()) {
+    budget = *deadline > start ? std::min(budget, *deadline - start) : 0;
+  }
+  const int timeout_ms = static_cast<int>(std::min<Time>(budget / 1000, 60'000));
+
+  epoll_event events[kMaxEpollEvents];
+  const int n = epoll_wait(epoll_fd_, events, kMaxEpollEvents, timeout_ms);
+  if (n < 0) {
+    if (errno != EINTR) {
+      last_error_ = std::string("epoll_wait: ") + std::strerror(errno);
+    }
+    // EINTR: a signal woke us (request_stop from a handler, SIGALRM, ...).
+    // Fall through to the timer pass — due timers must still fire.
+  }
+  for (int i = 0; i < std::max(n, 0); ++i) {
+    drain_socket(events[i].data.fd);
+  }
+  wheel_.advance(now());
+}
+
+void UdpBackend::run_for(Time duration) {
+  const Time deadline = now() + duration;
+  while (!stop_requested()) {
+    const Time t = now();
+    if (t >= deadline) break;
+    poll(deadline - t);
+  }
+}
+
+void UdpBackend::run() {
+  while (!stop_requested()) {
+    poll(config_.max_poll_wait);
+  }
+}
+
+}  // namespace whisper::net

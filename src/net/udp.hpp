@@ -1,0 +1,149 @@
+// Real-network backend: non-blocking UDP sockets on a level-triggered
+// epoll loop, timers on a monotonic-clock wheel.
+//
+// One UdpBackend is one single-threaded event loop, exactly like the
+// simulator: it can host a single node (whisper_noded) or a whole
+// in-process mesh with one socket per node on distinct loopback ports
+// (the cross-backend equivalence test, bench_throughput --backend=udp).
+// Handlers and timer callbacks run on the thread inside poll()/run_for()/
+// run(); the backend is not thread-safe and does not need to be.
+//
+// Wire format: each protocol datagram travels as one UDP datagram with a
+// 4-byte frame header [0x57 'W', 0x50 'P', version, proto] so the receiver
+// can restore the traffic-accounting tag and discard stray packets. The
+// causal TraceContext does NOT travel — flight tracing keeps its zero-
+// wire-bytes contract, so on this backend each process records its own
+// side of a flight (sends, retries, acks, outcomes) and wire_in hop
+// pairing is a sim-only luxury.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/spi.hpp"
+#include "net/wheel.hpp"
+
+namespace whisper::telemetry {
+class Tracer;
+class FlightRecorder;
+}  // namespace whisper::telemetry
+
+namespace whisper::net {
+
+struct UdpConfig {
+  /// Address new sockets bind to when reserve_endpoint() picks the port.
+  std::uint32_t bind_ip = (127u << 24) | 1;  // 127.0.0.1
+  /// Largest datagram accepted off the wire (frame header included).
+  std::size_t max_datagram = 64 * 1024 + 64;
+  /// Ceiling on one epoll_wait sleep, so stop requests and run_for
+  /// deadlines are honored promptly even with no timers armed.
+  Time max_poll_wait = 250 * kMillisecond;
+};
+
+class UdpBackend final : public Clock, public Stack {
+ public:
+  using Config = UdpConfig;
+
+  explicit UdpBackend(Config config = {});
+  ~UdpBackend() override;
+
+  UdpBackend(const UdpBackend&) = delete;
+  UdpBackend& operator=(const UdpBackend&) = delete;
+
+  // --- Clock (monotonic, microseconds since backend construction). ---
+  Time now() const override;
+  TimerId schedule_at(Time at, std::function<void()> fn) override;
+  TimerId schedule_after(Time delay, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+
+  // --- Stack. ---
+  /// Bind a socket at `internal_ep` (or claim one previously handed out by
+  /// reserve_endpoint()) and deliver its datagrams to `handler`. On bind
+  /// failure the endpoint stays unattached (attached() == false) and
+  /// last_error() describes why.
+  void attach(Endpoint internal_ep, Handler handler) override;
+  void detach(Endpoint internal_ep) override;
+  bool attached(Endpoint internal_ep) const override;
+  bool send(Endpoint internal_src, Endpoint public_dst, Bytes payload,
+            Proto proto) override;
+  void redeliver(Endpoint internal_dst, Datagram dgram) override;
+  std::uint64_t packets_sent() const override { return packets_sent_; }
+  std::uint64_t packets_delivered() const override { return packets_delivered_; }
+  void set_fault_interposer(FaultInterposer* faults) override { faults_ = faults; }
+  void set_flight(telemetry::FlightRecorder* flight) override { flight_ = flight; }
+  void set_tracer(telemetry::Tracer* tracer) override { tracer_ = tracer; }
+
+  /// Bind a fresh socket on an OS-assigned loopback port and return its
+  /// endpoint without installing a handler yet; a later attach() with the
+  /// same endpoint claims the already-bound socket. This is how tools and
+  /// tests get collision-free ports: the endpoint that goes into a node's
+  /// ContactCard is the port the OS actually assigned. Returns nullopt on
+  /// socket/bind failure (see last_error()).
+  std::optional<Endpoint> reserve_endpoint();
+
+  // --- Event loop. ---
+  /// One iteration: sleep until I/O, the next timer deadline, or
+  /// `max_wait` (whichever is earliest), drain ready sockets, fire due
+  /// timers. EINTR is absorbed (treated as a zero-event wakeup).
+  void poll(Time max_wait);
+  /// Pump the loop for `duration` of wall time.
+  void run_for(Time duration);
+  /// Pump the loop until request_stop() is called.
+  void run();
+  /// Make run() return at the next loop iteration. Safe to call from a
+  /// signal handler (a lock-free atomic store; the signal's EINTR wakes
+  /// the epoll sleep).
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const { return stop_requested_.load(std::memory_order_relaxed); }
+
+  // --- Introspection. ---
+  std::uint64_t packets_dropped(DropReason r) const {
+    return packets_dropped_[static_cast<std::size_t>(r)];
+  }
+  /// Stray/garbage datagrams rejected by the frame-header check.
+  std::uint64_t frame_rejects() const { return frame_rejects_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::size_t pending_timers() const { return wheel_.pending(); }
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  struct SocketState {
+    int fd = -1;
+    Endpoint ep;
+    Handler handler;  // null while only reserved
+  };
+
+  /// Create + bind a non-blocking socket at `ep` (port 0 = OS-assigned) and
+  /// register it with epoll. Returns the bound endpoint, nullopt on error.
+  std::optional<Endpoint> open_socket(Endpoint ep);
+  void close_socket(Endpoint ep);
+  void drain_socket(int fd);
+  void deliver(SocketState& sock, Datagram dgram);
+  /// Emit one framed UDP datagram; counts and classifies failures.
+  void emit(int fd, Endpoint src, Endpoint dst, const Bytes& payload, Proto proto);
+  void count_drop(DropReason r) { ++packets_dropped_[static_cast<std::size_t>(r)]; }
+
+  Config config_;
+  int epoll_fd_ = -1;
+  std::uint64_t epoch_ns_ = 0;  // CLOCK_MONOTONIC at construction
+  TimerWheel wheel_;
+  std::unordered_map<Endpoint, SocketState> sockets_;
+  std::unordered_map<int, Endpoint> fd_to_ep_;
+  FaultInterposer* faults_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::atomic<bool> stop_requested_{false};
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t packets_duplicated_ = 0;
+  std::uint64_t packets_dropped_[static_cast<std::size_t>(DropReason::kCount)] = {};
+  std::uint64_t frame_rejects_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace whisper::net

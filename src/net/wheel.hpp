@@ -1,0 +1,92 @@
+// Monotonic-clock timer wheel for the UDP/epoll backend.
+//
+// Reuses the slot/generation cancellation design from the simulator's
+// event loop (PR 2): each pending timer owns a slot in a pooled table and
+// its TimerId carries the slot's generation at arm time, so cancel() is an
+// O(1) array probe with no hashing, and ids for retired occupants go stale
+// automatically. Expiry order is total and deterministic given the same
+// sequence of arms: (deadline, insertion seq) — FIFO among timers due at
+// the same microsecond, exactly like the simulator, so protocol code
+// observes the same firing discipline on both backends.
+//
+// Unlike the simulator the wheel does not own a clock: the epoll loop
+// feeds it the current monotonic time (`advance`) and asks how long it may
+// sleep (`next_deadline`), which keeps the wheel a pure data structure —
+// trivially unit-testable without sockets or real sleeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace whisper::net {
+
+class TimerWheel {
+ public:
+  TimerWheel();
+
+  /// Arm `fn` to fire once `advance(now)` is called with now >= `at`.
+  /// Returns a non-zero id usable with cancel().
+  TimerId schedule(Time at, std::function<void()> fn);
+  /// Disarm a pending timer; no-op for fired/cancelled/unknown ids.
+  void cancel(TimerId id);
+
+  /// Pending (armed, not yet fired or cancelled) timers.
+  std::size_t pending() const { return live_count_; }
+  std::uint64_t fired() const { return fired_; }
+  std::uint64_t cancelled() const { return cancelled_; }
+
+  /// Earliest pending deadline, or nullopt when idle — the epoll wait
+  /// budget. Prunes cancelled entries from the heap front as a side effect.
+  std::optional<Time> next_deadline();
+
+  /// Fire every timer with deadline <= `now`, in (deadline, arm-order).
+  /// Callbacks may arm and cancel timers freely, including ones that
+  /// become due within this same call. Returns the number fired.
+  std::size_t advance(Time now);
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-deadline timers
+    TimerId id;
+    std::function<void()> fn;
+  };
+  /// Min-heap order on (at, seq) for std::push_heap/pop_heap (which build
+  /// max-heaps, hence the inverted comparison).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// One entry per timer slot. `gen` is bumped every time the slot retires
+  /// (fire or cancel), so TimerIds minted for earlier occupants go stale.
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  static TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<TimerId>(gen) << 32) | slot;
+  }
+
+  std::uint32_t claim_slot();
+  void retire_slot(std::uint32_t slot);
+  bool stale(TimerId id) const;
+  void drop_stale_front();
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
+};
+
+}  // namespace whisper::net

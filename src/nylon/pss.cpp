@@ -9,9 +9,9 @@ constexpr std::uint8_t kKindRequest = 1;
 constexpr std::uint8_t kKindResponse = 2;
 }  // namespace
 
-NylonPss::NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng,
+NylonPss::NylonPss(net::Clock& clock, Transport& transport, PssConfig config, Rng rng,
                    telemetry::Scope telemetry)
-    : sim_(sim), transport_(transport), config_(config), rng_(rng),
+    : clock_(clock), transport_(transport), config_(config), rng_(rng),
       view_(config.view_size), tel_(telemetry),
       m_initiated_(tel_.counter("pss.exchanges.initiated")),
       m_completed_(tel_.counter("pss.exchanges.completed")),
@@ -59,16 +59,16 @@ void NylonPss::bootstrap(const std::vector<pss::ContactCard>& cards) {
 void NylonPss::start() {
   if (running_) return;
   running_ = true;
-  const sim::Time offset = rng_.next_below(config_.cycle);
-  cycle_timer_ = sim_.schedule_after(offset, [this] { on_cycle(); });
+  const net::Time offset = rng_.next_below(config_.cycle);
+  cycle_timer_ = clock_.schedule_after(offset, [this] { on_cycle(); });
 }
 
 void NylonPss::stop() {
   if (!running_) return;
   running_ = false;
-  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
+  if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
   for (auto& [seq, pending] : pending_) {
-    if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
+    if (pending.timeout_timer != 0) clock_.cancel(pending.timeout_timer);
   }
   pending_.clear();
 }
@@ -98,7 +98,7 @@ Bytes NylonPss::encode(std::uint8_t kind, std::uint32_t seq,
 
 bool NylonPss::quarantined(NodeId id) const {
   auto it = quarantine_.find(id);
-  return it != quarantine_.end() && it->second > sim_.now();
+  return it != quarantine_.end() && it->second > clock_.now();
 }
 
 void NylonPss::note_failure(NodeId id) {
@@ -124,10 +124,10 @@ void NylonPss::note_failure(NodeId id) {
     }
     quarantine_.erase(victim);
   }
-  quarantine_[id] = sim_.now() + config_.quarantine_ttl;
+  quarantine_[id] = clock_.now() + config_.quarantine_ttl;
   ++peers_quarantined_;
   m_quarantined_.add(1);
-  tel_.instant("pss.peer.quarantine", "pss", sim_.now());
+  tel_.instant("pss.peer.quarantine", "pss", clock_.now());
 }
 
 void NylonPss::report_misbehavior(NodeId id) {
@@ -141,9 +141,9 @@ void NylonPss::reject_frame(NodeId from, Reader& r) {
   DecodeError err = r.reject_reason();
   if (err == DecodeError::kNone) err = DecodeError::kBadValue;
   ++decode_rejects_;
-  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+  tel_.drop_frame(m_decode_rejects_, clock_.now(),
                   std::string("decode:") + decode_error_name(err));
-  if (guard_.note_decode_failure(from, sim_.now())) report_misbehavior(from);
+  if (guard_.note_decode_failure(from, clock_.now())) report_misbehavior(from);
 }
 
 void NylonPss::note_success(NodeId id) {
@@ -184,7 +184,7 @@ void NylonPss::retry_reserved() {
 }
 
 void NylonPss::purge_quarantine() {
-  const sim::Time now = sim_.now();
+  const net::Time now = clock_.now();
   for (auto it = quarantine_.begin(); it != quarantine_.end();) {
     it = it->second <= now ? quarantine_.erase(it) : std::next(it);
   }
@@ -192,7 +192,7 @@ void NylonPss::purge_quarantine() {
 
 void NylonPss::on_cycle() {
   if (!running_) return;
-  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(config_.cycle, [this] { on_cycle(); });
 
   repair_relay();
   purge_quarantine();
@@ -220,15 +220,15 @@ void NylonPss::start_exchange(const pss::ContactCard& partner_card, bool from_re
   view_.remove(partner_card.id);
 
   transport_.send(partner_card, kTagPss, encode(kKindRequest, seq, make_buffer()),
-                  sim::Proto::kPss);
+                  net::Proto::kPss);
 
   PendingExchange pending;
   pending.partner = partner_card.id;
   pending.partner_card = partner_card;
   pending.from_reserve = from_reserve;
   pending.reserve_attempts = reserve_attempts;
-  pending.started_at = sim_.now();
-  pending.timeout_timer = sim_.schedule_after(config_.response_timeout, [this, seq] {
+  pending.started_at = clock_.now();
+  pending.timeout_timer = clock_.schedule_after(config_.response_timeout, [this, seq] {
     auto it = pending_.find(seq);
     if (it == pending_.end()) return;
     // No response: treat the partner as failed and heal the view — but
@@ -241,14 +241,14 @@ void NylonPss::start_exchange(const pss::ContactCard& partner_card, bool from_re
     pending_.erase(it);
     ++exchanges_timed_out_;
     m_timed_out_.add(1);
-    tel_.instant("pss.exchange.timeout", "pss", sim_.now());
+    tel_.instant("pss.exchange.timeout", "pss", clock_.now());
   });
   pending_[seq] = pending;
 }
 
 void NylonPss::handle_message(NodeId from, BytesView payload) {
-  if (!guard_.admit(from, sim_.now())) {
-    tel_.drop_frame(m_rate_limited_, sim_.now(), "ratelimit");
+  if (!guard_.admit(from, clock_.now())) {
+    tel_.drop_frame(m_rate_limited_, clock_.now(), "ratelimit");
     return;
   }
   Reader r(payload);
@@ -284,19 +284,19 @@ void NylonPss::handle_message(NodeId from, BytesView payload) {
   if (kind == kKindRequest) {
     // Respond with our buffer (selected before merging), then merge.
     transport_.send(sender_card, kTagPss, encode(kKindResponse, seq, make_buffer()),
-                    sim::Proto::kPss);
+                    net::Proto::kPss);
     view_.merge(received, transport_.self(), config_.pi_min_public, rng_);
     if (on_exchange) on_exchange(sender_card);
   } else if (kind == kKindResponse) {
     auto it = pending_.find(seq);
     if (it == pending_.end() || it->second.partner != from) return;
-    if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
-    const sim::Time rtt = sim_.now() - it->second.started_at;
+    if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
+    const net::Time rtt = clock_.now() - it->second.started_at;
     if (it->second.from_reserve) {
       // A healing probe came back: the evicted peer is reachable again.
       ++peers_rejoined_;
       m_rejoined_.add(1);
-      tel_.instant("pss.peer.rejoin", "pss", sim_.now());
+      tel_.instant("pss.peer.rejoin", "pss", clock_.now());
     }
     pending_.erase(it);
     view_.merge(received, transport_.self(), config_.pi_min_public, rng_);
@@ -304,7 +304,7 @@ void NylonPss::handle_message(NodeId from, BytesView payload) {
     m_completed_.add(1);
     m_rtt_.observe(static_cast<double>(rtt));
     // One trace row per completed view exchange, spanning request->response.
-    tel_.complete("pss.exchange", "pss", sim_.now() - rtt, rtt);
+    tel_.complete("pss.exchange", "pss", clock_.now() - rtt, rtt);
     if (on_exchange) on_exchange(sender_card);
   }
 }

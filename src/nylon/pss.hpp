@@ -21,7 +21,7 @@
 #include "common/guard.hpp"
 #include "nylon/transport.hpp"
 #include "pss/view.hpp"
-#include "sim/simulator.hpp"
+#include "net/spi.hpp"
 #include "telemetry/scope.hpp"
 
 namespace whisper::nylon {
@@ -30,13 +30,13 @@ struct PssConfig {
   std::size_t view_size = 10;       // c
   std::size_t gossip_size = 5;      // entries per buffer, including self
   std::size_t pi_min_public = 0;    // Π
-  sim::Time cycle = 10 * sim::kSecond;
-  sim::Time response_timeout = 5 * sim::kSecond;
+  net::Time cycle = 10 * net::kSecond;
+  net::Time response_timeout = 5 * net::kSecond;
   /// Consecutive failed exchanges before a peer is quarantined. Quarantined
   /// descriptors are refused on merge, so a dead node's card stops
   /// recirculating through gossip instead of being re-learned every cycle.
   int suspicion_threshold = 2;
-  sim::Time quarantine_ttl = 2 * sim::kMinute;
+  net::Time quarantine_ttl = 2 * net::kMinute;
   /// Healing reserve: peers evicted by exchange timeout are remembered and
   /// one is re-probed every `reserve_retry_cycles` cycles (0 disables). A
   /// network partition turns the entire view over to same-side peers, so
@@ -91,7 +91,7 @@ struct PssEntry {
 
 class NylonPss {
  public:
-  NylonPss(sim::Simulator& sim, Transport& transport, PssConfig config, Rng rng,
+  NylonPss(net::Clock& clock, Transport& transport, PssConfig config, Rng rng,
            telemetry::Scope telemetry = {});
   ~NylonPss();
 
@@ -157,13 +157,13 @@ class NylonPss {
   std::vector<PssEntry> make_buffer();
   Bytes encode(std::uint8_t kind, std::uint32_t seq, const std::vector<PssEntry>& buffer);
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   Transport& transport_;
   PssConfig config_;
   Rng rng_;
   pss::View<PssEntry> view_;
   bool running_ = false;
-  sim::TimerId cycle_timer_ = 0;
+  net::TimerId cycle_timer_ = 0;
   std::uint32_t next_seq_ = 1;
 
   struct PendingExchange {
@@ -171,8 +171,8 @@ class NylonPss {
     pss::ContactCard partner_card;
     bool from_reserve = false;
     int reserve_attempts = 0;
-    sim::TimerId timeout_timer = 0;
-    sim::Time started_at = 0;
+    net::TimerId timeout_timer = 0;
+    net::Time started_at = 0;
   };
   std::unordered_map<std::uint32_t, PendingExchange> pending_;
 
@@ -196,7 +196,7 @@ class NylonPss {
   // via the FIFO below; quarantine evicts the earliest expiry).
   std::unordered_map<NodeId, int> suspicion_;
   std::deque<NodeId> suspicion_order_;
-  std::unordered_map<NodeId, sim::Time> quarantine_;
+  std::unordered_map<NodeId, net::Time> quarantine_;
 
   // Per-peer admission + decode scoring.
   PeerGuard guard_;

@@ -42,11 +42,11 @@ std::optional<Transport::DataMsg> Transport::DataMsg::parse(Reader& r) {
   return m;
 }
 
-Transport::Transport(sim::Simulator& sim, sim::Network& net, NodeId self, Endpoint internal_ep,
+Transport::Transport(net::Clock& clock, net::Stack& net, NodeId self, Endpoint internal_ep,
                      bool is_public, TransportConfig config)
-    : sim_(sim), net_(net), self_(self), internal_ep_(internal_ep), is_public_(is_public),
+    : clock_(clock), net_(net), self_(self), internal_ep_(internal_ep), is_public_(is_public),
       config_(config) {
-  net_.attach(internal_ep_, [this](const sim::Datagram& d) { on_datagram(d); });
+  net_.attach(internal_ep_, [this](const net::Datagram& d) { on_datagram(d); });
   attached_ = true;
 }
 
@@ -55,7 +55,7 @@ Transport::~Transport() { shutdown(); }
 void Transport::shutdown() {
   if (!attached_) return;
   net_.detach(internal_ep_);
-  if (keepalive_timer_ != 0) sim_.cancel(keepalive_timer_);
+  if (keepalive_timer_ != 0) clock_.cancel(keepalive_timer_);
   keepalive_timer_ = 0;
   attached_ = false;
 }
@@ -78,7 +78,7 @@ void Transport::set_relay(const pss::ContactCard& relay) {
   assert(relay.is_public);
   relay_ = relay;
   unanswered_keepalives_ = 0;
-  if (keepalive_timer_ != 0) sim_.cancel(keepalive_timer_);
+  if (keepalive_timer_ != 0) clock_.cancel(keepalive_timer_);
   send_keepalive();
 }
 
@@ -93,18 +93,18 @@ void Transport::send_keepalive() {
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegister));
   w.node_id(self_);
-  net_.send(internal_ep_, relay_.addr, std::move(w).take(), sim::Proto::kControl);
+  net_.send(internal_ep_, relay_.addr, std::move(w).take(), net::Proto::kControl);
   ++unanswered_keepalives_;
   // Full rate while the relay still counts as alive (fast detection); after
   // the loss threshold, back off exponentially — failover owns recovery,
   // these keepalives only cover the relay coming back.
-  sim::Time delay = config_.keepalive_period;
+  net::Time delay = config_.keepalive_period;
   if (unanswered_keepalives_ >= config_.relay_loss_threshold) {
     const int over = unanswered_keepalives_ - config_.relay_loss_threshold;
     for (int i = 0; i <= over && delay < config_.keepalive_backoff_max; ++i) delay *= 2;
     delay = std::min(delay, config_.keepalive_backoff_max);
   }
-  keepalive_timer_ = sim_.schedule_after(delay, [this] { send_keepalive(); });
+  keepalive_timer_ = clock_.schedule_after(delay, [this] { send_keepalive(); });
   if (unanswered_keepalives_ == config_.relay_loss_threshold) {
     ++relays_lost_;
     if (on_relay_lost) on_relay_lost();  // may re-enter set_relay()
@@ -118,11 +118,11 @@ void Transport::register_handler(std::uint8_t tag, Handler handler) {
 bool Transport::can_send_direct(NodeId peer) const {
   auto it = direct_routes_.find(peer);
   return it != direct_routes_.end() &&
-         it->second.verified_at + config_.route_ttl > sim_.now();
+         it->second.verified_at + config_.route_ttl > clock_.now();
 }
 
 bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView payload,
-                     sim::Proto proto) {
+                     net::Proto proto) {
   if (!attached_ || card.id.is_nil()) return false;
 
   DataMsg msg;
@@ -132,7 +132,7 @@ bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView p
 
   // 1. Verified punched route.
   if (auto it = direct_routes_.find(card.id);
-      it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > sim_.now()) {
+      it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > clock_.now()) {
     return net_.send(internal_ep_, it->second.endpoint, msg.serialize(), proto);
   }
   // 2. P-node: its address is globally reachable.
@@ -142,7 +142,7 @@ bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView p
   // 3. We are the target's relay: forward from our own registration table.
   if (card.relay_id == self_) {
     auto it = registrations_.find(card.id);
-    if (it == registrations_.end() || it->second.expires <= sim_.now()) return false;
+    if (it == registrations_.end() || it->second.expires <= clock_.now()) return false;
     msg.relayed = true;
     msg.observed_src = internal_ep_;  // we are public; peers see this address
     return net_.send(internal_ep_, it->second.external, msg.serialize(), proto);
@@ -157,7 +157,7 @@ bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView p
   return net_.send(internal_ep_, card.addr, std::move(w).take(), proto);
 }
 
-bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, sim::Proto proto) {
+bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, net::Proto proto) {
   if (!attached_ || to.is_nil()) return false;
   DataMsg msg;
   msg.from = self_;
@@ -165,11 +165,11 @@ bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, sim::
   msg.payload.assign(payload.begin(), payload.end());
 
   if (auto it = direct_routes_.find(to);
-      it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > sim_.now()) {
+      it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > clock_.now()) {
     return net_.send(internal_ep_, it->second.endpoint, msg.serialize(), proto);
   }
   if (auto it = registrations_.find(to);
-      it != registrations_.end() && it->second.expires > sim_.now()) {
+      it != registrations_.end() && it->second.expires > clock_.now()) {
     msg.relayed = true;
     msg.observed_src = internal_ep_;
     return net_.send(internal_ep_, it->second.external, msg.serialize(), proto);
@@ -177,7 +177,7 @@ bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, sim::
   return false;
 }
 
-void Transport::on_datagram(const sim::Datagram& dgram) {
+void Transport::on_datagram(const net::Datagram& dgram) {
   Reader r(dgram.payload);
   const auto type = static_cast<MsgType>(r.u8());
   if (!r.ok()) {
@@ -209,7 +209,7 @@ void Transport::on_datagram(const sim::Datagram& dgram) {
   }
 }
 
-void Transport::handle_data(const sim::Datagram& dgram, Reader& r) {
+void Transport::handle_data(const net::Datagram& dgram, Reader& r) {
   auto msg = DataMsg::parse(r);
   if (!msg || msg->from.is_nil()) {
     ++decode_rejects_;
@@ -231,7 +231,7 @@ void Transport::handle_data(const sim::Datagram& dgram, Reader& r) {
   if (it != handlers_.end()) it->second(msg->from, msg->payload);
 }
 
-void Transport::handle_forward(const sim::Datagram& dgram, Reader& r) {
+void Transport::handle_forward(const net::Datagram& dgram, Reader& r) {
   if (!is_public_) return;  // only P-nodes relay
   const NodeId dst = r.node_id();
   Bytes inner = r.bytes(config_.max_forward_bytes);
@@ -241,7 +241,7 @@ void Transport::handle_forward(const sim::Datagram& dgram, Reader& r) {
   }
 
   auto it = registrations_.find(dst);
-  if (it == registrations_.end() || it->second.expires <= sim_.now()) return;
+  if (it == registrations_.end() || it->second.expires <= clock_.now()) return;
 
   // Stamp the sender's observed external endpoint into the data message so
   // the receiver can attempt hole punching (the RV role of Nylon).
@@ -261,7 +261,7 @@ void Transport::handle_forward(const sim::Datagram& dgram, Reader& r) {
   net_.send(internal_ep_, it->second.external, msg->serialize(), dgram.proto);
 }
 
-void Transport::handle_register(const sim::Datagram& dgram, Reader& r) {
+void Transport::handle_register(const net::Datagram& dgram, Reader& r) {
   if (!is_public_) return;
   const NodeId who = r.node_id();
   if (!r.expect_done() || who.is_nil()) {
@@ -279,12 +279,12 @@ void Transport::handle_register(const sim::Datagram& dgram, Reader& r) {
     registrations_.erase(victim);
     ++cap_evictions_;
   }
-  registrations_[who] = Registration{dgram.src, sim_.now() + config_.registration_ttl};
+  registrations_[who] = Registration{dgram.src, clock_.now() + config_.registration_ttl};
 
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegisterAck));
   w.node_id(self_);
-  net_.send(internal_ep_, dgram.src, std::move(w).take(), sim::Proto::kControl);
+  net_.send(internal_ep_, dgram.src, std::move(w).take(), net::Proto::kControl);
 }
 
 void Transport::handle_register_ack(Reader& r) {
@@ -299,9 +299,9 @@ void Transport::handle_register_ack(Reader& r) {
   if (was_backed_off && attached_) {
     // The relay answered after all: drop the backed-off timer and resume
     // the normal cadence immediately.
-    if (keepalive_timer_ != 0) sim_.cancel(keepalive_timer_);
+    if (keepalive_timer_ != 0) clock_.cancel(keepalive_timer_);
     keepalive_timer_ =
-        sim_.schedule_after(config_.keepalive_period, [this] { send_keepalive(); });
+        clock_.schedule_after(config_.keepalive_period, [this] { send_keepalive(); });
   }
 }
 
@@ -317,19 +317,19 @@ void Transport::consider_probe(NodeId peer, Endpoint candidate) {
     ++cap_evictions_;
   }
   auto& pending = probes_[peer];
-  if (pending.sent_at != 0 && pending.sent_at + config_.probe_min_interval > sim_.now()) return;
+  if (pending.sent_at != 0 && pending.sent_at + config_.probe_min_interval > clock_.now()) return;
   pending.seq = next_probe_seq_++;
   pending.target = candidate;
-  pending.sent_at = sim_.now();
+  pending.sent_at = clock_.now();
 
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kProbe));
   w.node_id(self_);
   w.u32(pending.seq);
-  net_.send(internal_ep_, candidate, std::move(w).take(), sim::Proto::kControl);
+  net_.send(internal_ep_, candidate, std::move(w).take(), net::Proto::kControl);
 }
 
-void Transport::handle_probe(const sim::Datagram& dgram, Reader& r) {
+void Transport::handle_probe(const net::Datagram& dgram, Reader& r) {
   const NodeId from = r.node_id();
   const std::uint32_t seq = r.u32();
   if (!r.expect_done()) {
@@ -342,11 +342,11 @@ void Transport::handle_probe(const sim::Datagram& dgram, Reader& r) {
   w.u8(static_cast<std::uint8_t>(MsgType::kProbeAck));
   w.node_id(self_);
   w.u32(seq);
-  net_.send(internal_ep_, dgram.src, std::move(w).take(), sim::Proto::kControl);
+  net_.send(internal_ep_, dgram.src, std::move(w).take(), net::Proto::kControl);
   (void)from;
 }
 
-void Transport::handle_probe_ack(const sim::Datagram& dgram, Reader& r) {
+void Transport::handle_probe_ack(const net::Datagram& dgram, Reader& r) {
   const NodeId from = r.node_id();
   const std::uint32_t seq = r.u32();
   if (!r.expect_done()) {
@@ -372,13 +372,13 @@ void Transport::note_direct_route(NodeId peer, Endpoint ep) {
     direct_routes_.erase(victim);
     ++cap_evictions_;
   }
-  direct_routes_[peer] = DirectRoute{ep, sim_.now()};
+  direct_routes_[peer] = DirectRoute{ep, clock_.now()};
 }
 
 std::size_t Transport::relayed_registrations() const {
   std::size_t n = 0;
   for (const auto& [id, reg] : registrations_) {
-    if (reg.expires > sim_.now()) ++n;
+    if (reg.expires > clock_.now()) ++n;
   }
   return n;
 }

@@ -21,8 +21,8 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "pss/contact.hpp"
-#include "sim/network.hpp"
-#include "sim/simulator.hpp"
+#include "net/spi.hpp"
+#include "net/spi.hpp"
 
 namespace whisper::nylon {
 
@@ -34,21 +34,21 @@ inline constexpr std::uint8_t kTagApp = 4;
 
 struct TransportConfig {
   /// Relay registration refresh period (also refreshes the NAT mapping).
-  sim::Time keepalive_period = 30 * sim::kSecond;
+  net::Time keepalive_period = 30 * net::kSecond;
   /// Registrations at a relay expire after this long without a keepalive.
-  sim::Time registration_ttl = 2 * sim::kMinute;
+  net::Time registration_ttl = 2 * net::kMinute;
   /// Verified direct routes are trusted for this long after verification
   /// (must stay below the NAT lease, which keeps the hole open; the default
   /// matches TCP-style hour-scale leases).
-  sim::Time route_ttl = 30 * sim::kMinute;
+  net::Time route_ttl = 30 * net::kMinute;
   /// Minimum interval between punch probes to the same peer.
-  sim::Time probe_min_interval = 5 * sim::kSecond;
+  net::Time probe_min_interval = 5 * net::kSecond;
   /// After this many unanswered keepalives the relay is declared lost.
   int relay_loss_threshold = 3;
   /// Once the relay is declared lost, keepalives back off exponentially up
   /// to this ceiling (the relay may return, and failover may need time to
   /// find a replacement — but hammering a dead address helps nobody).
-  sim::Time keepalive_backoff_max = 5 * sim::kMinute;
+  net::Time keepalive_backoff_max = 5 * net::kMinute;
 
   // --- Hostile-input bounds. All relay/punch state is peer-driven, so all
   // of it is hard-capped; overflow evicts the stalest entry. ---
@@ -64,7 +64,7 @@ struct TransportConfig {
 
 class Transport {
  public:
-  Transport(sim::Simulator& sim, sim::Network& net, NodeId self, Endpoint internal_ep,
+  Transport(net::Clock& clock, net::Stack& net, NodeId self, Endpoint internal_ep,
             bool is_public, TransportConfig config = {});
   ~Transport();
 
@@ -101,7 +101,7 @@ class Transport {
   /// direct route, then the card's address (direct for P-nodes, via relay
   /// for N-nodes). Returns false if no send was possible at all.
   bool send(const pss::ContactCard& card, std::uint8_t tag, BytesView payload,
-            sim::Proto proto);
+            net::Proto proto);
 
   /// True if a verified, fresh direct route to `peer` exists.
   bool can_send_direct(NodeId peer) const;
@@ -110,7 +110,7 @@ class Transport {
   /// our own relay registration for the peer. Used by the WCL when a mix
   /// must reach the next hop without a contact card (the onion carries only
   /// the node id). Returns false when no such state exists.
-  bool send_by_id(NodeId to, std::uint8_t tag, BytesView payload, sim::Proto proto);
+  bool send_by_id(NodeId to, std::uint8_t tag, BytesView payload, net::Proto proto);
 
   /// Stop timers and detach from the network (node shutdown/churn).
   void shutdown();
@@ -137,20 +137,20 @@ class Transport {
     static std::optional<DataMsg> parse(Reader& r);
   };
 
-  void on_datagram(const sim::Datagram& dgram);
-  void handle_data(const sim::Datagram& dgram, Reader& r);
-  void handle_forward(const sim::Datagram& dgram, Reader& r);
-  void handle_register(const sim::Datagram& dgram, Reader& r);
+  void on_datagram(const net::Datagram& dgram);
+  void handle_data(const net::Datagram& dgram, Reader& r);
+  void handle_forward(const net::Datagram& dgram, Reader& r);
+  void handle_register(const net::Datagram& dgram, Reader& r);
   void handle_register_ack(Reader& r);
-  void handle_probe(const sim::Datagram& dgram, Reader& r);
-  void handle_probe_ack(const sim::Datagram& dgram, Reader& r);
+  void handle_probe(const net::Datagram& dgram, Reader& r);
+  void handle_probe_ack(const net::Datagram& dgram, Reader& r);
 
   void send_keepalive();
   void consider_probe(NodeId peer, Endpoint candidate);
   void note_direct_route(NodeId peer, Endpoint ep);
 
-  sim::Simulator& sim_;
-  sim::Network& net_;
+  net::Clock& clock_;
+  net::Stack& net_;
   NodeId self_;
   Endpoint internal_ep_;
   bool is_public_;
@@ -160,13 +160,13 @@ class Transport {
   // Relay state (N-nodes).
   pss::ContactCard relay_;  // nil id when unset
   int unanswered_keepalives_ = 0;
-  sim::TimerId keepalive_timer_ = 0;
+  net::TimerId keepalive_timer_ = 0;
   std::uint64_t relays_lost_ = 0;
 
   // Verified direct routes to peers.
   struct DirectRoute {
     Endpoint endpoint;
-    sim::Time verified_at = 0;
+    net::Time verified_at = 0;
   };
   std::unordered_map<NodeId, DirectRoute> direct_routes_;
 
@@ -174,7 +174,7 @@ class Transport {
   struct PendingProbe {
     std::uint32_t seq = 0;
     Endpoint target;
-    sim::Time sent_at = 0;
+    net::Time sent_at = 0;
   };
   std::unordered_map<NodeId, PendingProbe> probes_;
   std::uint32_t next_probe_seq_ = 1;
@@ -182,7 +182,7 @@ class Transport {
   // Relay-side registrations (P-nodes).
   struct Registration {
     Endpoint external;
-    sim::Time expires = 0;
+    net::Time expires = 0;
   };
   std::unordered_map<NodeId, Registration> registrations_;
 

@@ -9,9 +9,9 @@ constexpr std::uint8_t kKindPush = 1;
 constexpr std::uint8_t kKindPull = 2;
 }  // namespace
 
-Aggregation::Aggregation(sim::Simulator& sim, ppss::Ppss& ppss, double initial_value,
+Aggregation::Aggregation(net::Clock& clock, ppss::Ppss& ppss, double initial_value,
                          AggregationConfig config, Rng rng)
-    : sim_(sim), ppss_(ppss), config_(config), rng_(rng), value_(initial_value) {
+    : clock_(clock), ppss_(ppss), config_(config), rng_(rng), value_(initial_value) {
   ppss_.register_app(config_.app_id, [this](const wcl::RemotePeer& from, BytesView p) {
     handle_app(from, p);
   });
@@ -22,13 +22,13 @@ Aggregation::~Aggregation() { stop(); }
 void Aggregation::start() {
   if (running_) return;
   running_ = true;
-  cycle_timer_ = sim_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
 }
 
 void Aggregation::stop() {
   if (!running_) return;
   running_ = false;
-  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
+  if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
 }
 
 double Aggregation::combine(double mine, double theirs) const {
@@ -45,7 +45,7 @@ double Aggregation::combine(double mine, double theirs) const {
 
 void Aggregation::on_cycle() {
   if (!running_) return;
-  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(config_.cycle, [this] { on_cycle(); });
 
   const auto& view = ppss_.private_view();
   if (view.empty()) return;

@@ -24,14 +24,14 @@ enum class AggregateKind : std::uint8_t {
 };
 
 struct AggregationConfig {
-  sim::Time cycle = 30 * sim::kSecond;
+  net::Time cycle = 30 * net::kSecond;
   AggregateKind kind = AggregateKind::kAverage;
   std::uint8_t app_id = 5;
 };
 
 class Aggregation {
  public:
-  Aggregation(sim::Simulator& sim, ppss::Ppss& ppss, double initial_value,
+  Aggregation(net::Clock& clock, ppss::Ppss& ppss, double initial_value,
               AggregationConfig config, Rng rng);
   ~Aggregation();
 
@@ -54,13 +54,13 @@ class Aggregation {
   void handle_app(const wcl::RemotePeer& from, BytesView payload);
   double combine(double mine, double theirs) const;
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   ppss::Ppss& ppss_;
   AggregationConfig config_;
   Rng rng_;
   double value_;
   bool running_ = false;
-  sim::TimerId cycle_timer_ = 0;
+  net::TimerId cycle_timer_ = 0;
   std::uint64_t exchanges_ = 0;
 };
 

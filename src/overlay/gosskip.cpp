@@ -7,9 +7,9 @@ constexpr std::uint8_t kKindSearchReq = 1;
 constexpr std::uint8_t kKindSearchResp = 2;
 }  // namespace
 
-GosSkip::GosSkip(sim::Simulator& sim, ppss::Ppss& ppss, GosSkipConfig config, Rng rng)
-    : sim_(sim), ppss_(ppss), config_(config), rng_(rng),
-      tman_(sim, ppss, overlay_key_of(ppss.self()), rank::line, config.tman, rng_.fork()),
+GosSkip::GosSkip(net::Clock& clock, ppss::Ppss& ppss, GosSkipConfig config, Rng rng)
+    : clock_(clock), ppss_(ppss), config_(config), rng_(rng),
+      tman_(clock, ppss, overlay_key_of(ppss.self()), rank::line, config.tman, rng_.fork()),
       next_search_id_(ppss.self().value << 16) {
   ppss_.register_app(config_.search_app_id,
                      [this](const wcl::RemotePeer& from, BytesView p) {
@@ -24,7 +24,7 @@ void GosSkip::start() { tman_.start(); }
 void GosSkip::stop() {
   tman_.stop();
   for (auto& [id, p] : pending_) {
-    if (p.timeout_timer != 0) sim_.cancel(p.timeout_timer);
+    if (p.timeout_timer != 0) clock_.cancel(p.timeout_timer);
   }
   pending_.clear();
 }
@@ -66,8 +66,8 @@ void GosSkip::search(OverlayKey key, SearchCallback callback) {
   const std::uint64_t search_id = next_search_id_++;
   PendingSearch pending;
   pending.callback = std::move(callback);
-  pending.started_at = sim_.now();
-  pending.timeout_timer = sim_.schedule_after(config_.search_timeout, [this, search_id] {
+  pending.started_at = clock_.now();
+  pending.timeout_timer = clock_.schedule_after(config_.search_timeout, [this, search_id] {
     auto it = pending_.find(search_id);
     if (it == pending_.end()) return;
     auto cb = std::move(it->second.callback);
@@ -85,9 +85,9 @@ void GosSkip::route_or_answer(OverlayKey key, std::uint64_t search_id,
     if (we_are_origin) {
       auto it = pending_.find(search_id);
       if (it == pending_.end()) return;
-      if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+      if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
       auto cb = std::move(it->second.callback);
-      const sim::Time rtt = sim_.now() - it->second.started_at;
+      const net::Time rtt = clock_.now() - it->second.started_at;
       pending_.erase(it);
       cb(SearchResult{OverlayDescriptor{self_key(), ppss_.self_descriptor()}, hops, rtt});
       return;
@@ -143,9 +143,9 @@ void GosSkip::handle_search(const wcl::RemotePeer& from, BytesView payload) {
     }
     auto it = pending_.find(search_id);
     if (it == pending_.end()) return;
-    if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+    if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
     auto cb = std::move(it->second.callback);
-    const sim::Time rtt = sim_.now() - it->second.started_at;
+    const net::Time rtt = clock_.now() - it->second.started_at;
     pending_.erase(it);
     cb(SearchResult{*owner, hops, rtt});
   }

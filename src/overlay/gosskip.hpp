@@ -13,7 +13,7 @@ namespace whisper::overlay {
 struct GosSkipConfig {
   TManConfig tman{};
   std::size_t search_hop_limit = 32;
-  sim::Time search_timeout = 20 * sim::kSecond;
+  net::Time search_timeout = 20 * net::kSecond;
   /// PPSS app channel for search traffic (the TMan instance uses
   /// tman.app_id for construction gossip).
   std::uint8_t search_app_id = 3;
@@ -21,7 +21,7 @@ struct GosSkipConfig {
 
 class GosSkip {
  public:
-  GosSkip(sim::Simulator& sim, ppss::Ppss& ppss, GosSkipConfig config, Rng rng);
+  GosSkip(net::Clock& clock, ppss::Ppss& ppss, GosSkipConfig config, Rng rng);
   ~GosSkip();
 
   GosSkip(const GosSkip&) = delete;
@@ -41,7 +41,7 @@ class GosSkip {
   struct SearchResult {
     OverlayDescriptor owner;  // the member with the smallest key >= target
     std::uint32_t hops = 0;
-    sim::Time rtt = 0;
+    net::Time rtt = 0;
   };
   using SearchCallback = std::function<void(std::optional<SearchResult>)>;
 
@@ -57,7 +57,7 @@ class GosSkip {
                        const OverlayDescriptor& origin, std::uint32_t hops);
   bool owns(OverlayKey key) const;
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   ppss::Ppss& ppss_;
   GosSkipConfig config_;
   Rng rng_;
@@ -65,8 +65,8 @@ class GosSkip {
 
   struct PendingSearch {
     SearchCallback callback;
-    sim::Time started_at = 0;
-    sim::TimerId timeout_timer = 0;
+    net::Time started_at = 0;
+    net::TimerId timeout_timer = 0;
   };
   std::unordered_map<std::uint64_t, PendingSearch> pending_;
   std::uint64_t next_search_id_;

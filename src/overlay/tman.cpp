@@ -46,9 +46,9 @@ OverlayKey overlay_key_of(NodeId id) {
   return crypto::fingerprint64(w.data());
 }
 
-TMan::TMan(sim::Simulator& sim, ppss::Ppss& ppss, OverlayKey self_key, RankFn rank,
+TMan::TMan(net::Clock& clock, ppss::Ppss& ppss, OverlayKey self_key, RankFn rank,
            TManConfig config, Rng rng)
-    : sim_(sim), ppss_(ppss), self_key_(self_key), rank_(std::move(rank)), config_(config),
+    : clock_(clock), ppss_(ppss), self_key_(self_key), rank_(std::move(rank)), config_(config),
       rng_(rng) {
   ppss_.register_app(config_.app_id, [this](const wcl::RemotePeer& from, BytesView p) {
     handle_app(from, p);
@@ -60,13 +60,13 @@ TMan::~TMan() { stop(); }
 void TMan::start() {
   if (running_) return;
   running_ = true;
-  cycle_timer_ = sim_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
 }
 
 void TMan::stop() {
   if (!running_) return;
   running_ = false;
-  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
+  if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
 }
 
 void TMan::absorb(const OverlayDescriptor& d) {
@@ -114,7 +114,7 @@ std::vector<OverlayDescriptor> TMan::candidates_sorted() const {
 
 void TMan::on_cycle() {
   if (!running_) return;
-  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(config_.cycle, [this] { on_cycle(); });
 
   // Seed from the PPSS private view (keeps descriptors fresh too).
   for (const auto& e : ppss_.private_view().entries()) {

@@ -31,7 +31,7 @@ struct OverlayDescriptor {
 };
 
 struct TManConfig {
-  sim::Time cycle = 30 * sim::kSecond;
+  net::Time cycle = 30 * net::kSecond;
   std::size_t candidate_capacity = 32;
   std::size_t gossip_descriptors = 8;
   /// Fraction of cycles gossiping with the closest candidate (the rest go
@@ -57,7 +57,7 @@ std::uint64_t line(OverlayKey self, OverlayKey candidate);
 
 class TMan {
  public:
-  TMan(sim::Simulator& sim, ppss::Ppss& ppss, OverlayKey self_key, RankFn rank,
+  TMan(net::Clock& clock, ppss::Ppss& ppss, OverlayKey self_key, RankFn rank,
        TManConfig config, Rng rng);
   ~TMan();
 
@@ -89,14 +89,14 @@ class TMan {
   std::vector<OverlayDescriptor> best_for(OverlayKey target, std::size_t n) const;
   void trim();
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   ppss::Ppss& ppss_;
   OverlayKey self_key_;
   RankFn rank_;
   TManConfig config_;
   Rng rng_;
   bool running_ = false;
-  sim::TimerId cycle_timer_ = 0;
+  net::TimerId cycle_timer_ = 0;
   std::map<OverlayKey, OverlayDescriptor> candidates_;
   std::uint64_t exchanges_ = 0;
   std::uint64_t decode_rejects_ = 0;

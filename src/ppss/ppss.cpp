@@ -55,9 +55,9 @@ std::optional<PrivateEntry> PrivateEntry::deserialize(Reader& r) {
   return e;
 }
 
-Ppss::Ppss(sim::Simulator& sim, wcl::Wcl& wcl, NodeId self, GroupId group, sim::CpuMeter& cpu,
+Ppss::Ppss(net::Clock& clock, wcl::Wcl& wcl, NodeId self, GroupId group, net::CpuMeter& cpu,
            PpssConfig config, Rng rng, telemetry::Scope telemetry)
-    : sim_(sim), wcl_(wcl), self_(self), group_(group), cpu_(cpu), config_(config), rng_(rng),
+    : clock_(clock), wcl_(wcl), self_(self), group_(group), cpu_(cpu), config_(config), rng_(rng),
       drbg_(rng_.next_u64()), keyring_(group), view_(config.view_size),
       verified_passports_(config.passport_cache), replay_window_(config.replay_window),
       guard_(PeerGuardConfig{config.peer_rate_per_sec, config.peer_rate_burst,
@@ -85,7 +85,7 @@ void Ppss::found_group(crypto::RsaKeyPair group_key) {
   keyring_.add_epoch(1, group_key.pub);
   passport_ = issue_passport(group_, 1, self_, group_key);
   group_key_ = std::move(group_key);
-  last_heartbeat_seen_ = sim_.now();
+  last_heartbeat_seen_ = clock_.now();
 }
 
 std::optional<Accreditation> Ppss::invite(NodeId node) const {
@@ -125,7 +125,7 @@ void Ppss::send_join_request() {
     wcl_.send_confidential(pj.entry_point, w.data());
   }
 
-  pj.retry_timer = sim_.schedule_after(config_.response_timeout, [this] {
+  pj.retry_timer = clock_.schedule_after(config_.response_timeout, [this] {
     if (pending_join_) send_join_request();
   });
 }
@@ -133,14 +133,14 @@ void Ppss::send_join_request() {
 void Ppss::start() {
   if (running_) return;
   running_ = true;
-  last_heartbeat_seen_ = sim_.now();
-  cycle_timer_ = sim_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
-  pcp_timer_ = sim_.schedule_after(config_.pcp_refresh, [this] { on_pcp_refresh(); });
+  last_heartbeat_seen_ = clock_.now();
+  cycle_timer_ = clock_.schedule_after(rng_.next_below(config_.cycle), [this] { on_cycle(); });
+  pcp_timer_ = clock_.schedule_after(config_.pcp_refresh, [this] { on_pcp_refresh(); });
 }
 
 void Ppss::on_pcp_refresh() {
   if (!running_) return;
-  pcp_timer_ = sim_.schedule_after(config_.pcp_refresh, [this] { on_pcp_refresh(); });
+  pcp_timer_ = clock_.schedule_after(config_.pcp_refresh, [this] { on_pcp_refresh(); });
   // Ping every pinned peer to refresh the helper sets used to reach it.
   for (auto& [id, pinned] : pcp_) {
     const std::uint32_t seq = next_seq_++;
@@ -161,14 +161,14 @@ void Ppss::on_pcp_refresh() {
 void Ppss::stop() {
   if (!running_) return;
   running_ = false;
-  if (cycle_timer_ != 0) sim_.cancel(cycle_timer_);
-  if (pcp_timer_ != 0) sim_.cancel(pcp_timer_);
+  if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
+  if (pcp_timer_ != 0) clock_.cancel(pcp_timer_);
   for (auto& [seq, p] : pending_) {
-    if (p.timeout_timer != 0) sim_.cancel(p.timeout_timer);
+    if (p.timeout_timer != 0) clock_.cancel(p.timeout_timer);
   }
   pending_.clear();
   if (pending_join_ && pending_join_->retry_timer != 0) {
-    sim_.cancel(pending_join_->retry_timer);
+    clock_.cancel(pending_join_->retry_timer);
   }
   pending_join_.reset();
 }
@@ -185,9 +185,9 @@ Ppss::GossipMeta Ppss::current_meta() {
   meta.leader_epoch = keyring_.latest_epoch();
   if (is_leader()) {
     meta.heartbeat_age_us = 0;
-    last_heartbeat_seen_ = sim_.now();
+    last_heartbeat_seen_ = clock_.now();
   } else {
-    meta.heartbeat_age_us = sim_.now() - std::min(last_heartbeat_seen_, sim_.now());
+    meta.heartbeat_age_us = clock_.now() - std::min(last_heartbeat_seen_, clock_.now());
   }
   meta.proposal_hash = election_proposal_hash_;
   meta.proposal_node = election_proposal_node_;
@@ -209,7 +209,7 @@ Bytes Ppss::make_rotation_announcement() {
 
 void Ppss::absorb_meta(const GossipMeta& meta) {
   // Heartbeat freshness: the sender saw a leader heartbeat_age_us ago.
-  const sim::Time implied = sim_.now() - std::min<std::uint64_t>(meta.heartbeat_age_us, sim_.now());
+  const net::Time implied = clock_.now() - std::min<std::uint64_t>(meta.heartbeat_age_us, clock_.now());
   last_heartbeat_seen_ = std::max(last_heartbeat_seen_, implied);
 
   // Election aggregation: keep the max proposal.
@@ -230,7 +230,7 @@ void Ppss::absorb_rotation(const GossipMeta& meta) {
     const NodeId announcer = r.node_id();
     if (r.expect_done() && g == group_ && key && epoch == meta.leader_epoch) {
       keyring_.add_epoch(epoch, *key);
-      last_heartbeat_seen_ = sim_.now();
+      last_heartbeat_seen_ = clock_.now();
       election_proposal_hash_ = 0;
       election_proposal_node_ = NodeId{};
       election_stable_count_ = 0;
@@ -241,7 +241,7 @@ void Ppss::absorb_rotation(const GossipMeta& meta) {
 
 void Ppss::maybe_elect() {
   if (is_leader()) return;
-  if (sim_.now() < last_heartbeat_seen_ + config_.leader_timeout) {
+  if (clock_.now() < last_heartbeat_seen_ + config_.leader_timeout) {
     // Leader alive: no election.
     election_proposal_hash_ = 0;
     election_proposal_node_ = NodeId{};
@@ -270,7 +270,7 @@ void Ppss::maybe_elect() {
     keyring_.add_epoch(new_epoch, new_key.pub);
     passport_ = issue_passport(group_, new_epoch, self_, new_key);
     group_key_ = std::move(new_key);
-    last_heartbeat_seen_ = sim_.now();
+    last_heartbeat_seen_ = clock_.now();
     election_proposal_hash_ = 0;
     election_proposal_node_ = NodeId{};
     election_stable_count_ = 0;
@@ -303,7 +303,7 @@ Bytes Ppss::encode_gossip(std::uint8_t kind, std::uint32_t seq,
 
 void Ppss::on_cycle() {
   if (!running_) return;
-  cycle_timer_ = sim_.schedule_after(config_.cycle, [this] { on_cycle(); });
+  cycle_timer_ = clock_.schedule_after(config_.cycle, [this] { on_cycle(); });
   if (!joined()) return;
 
   maybe_elect();
@@ -343,20 +343,20 @@ void Ppss::on_cycle() {
 
   PendingExchange pending;
   pending.partner = partner_peer.card.id;
-  pending.started_at = sim_.now();
+  pending.started_at = clock_.now();
   pending.trace_root = trace_root;
-  pending.timeout_timer = sim_.schedule_after(config_.response_timeout, [this, seq] {
+  pending.timeout_timer = clock_.schedule_after(config_.response_timeout, [this, seq] {
     auto it = pending_.find(seq);
     if (it == pending_.end()) return;
     if (telemetry::FlightRecorder* fr = tel_.flight();
         fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
-      fr->end(it->second.trace_root, self_.value, sim_.now(), "timeout", 1, 0);
+      fr->end(it->second.trace_root, self_.value, clock_.now(), "timeout", 1, 0);
     }
     view_.remove(it->second.partner);
     pending_.erase(it);
     ++stats_.exchanges_timed_out;
     m_timed_out_.add(1);
-    tel_.instant("ppss.exchange.timeout", "ppss", sim_.now());
+    tel_.instant("ppss.exchange.timeout", "ppss", clock_.now());
   });
   pending_[seq] = pending;
 }
@@ -371,7 +371,7 @@ bool Ppss::verify_passport_cached(const Passport& p) {
   const std::uint64_t fp = crypto::fingerprint64(w.data());
   if (verified_passports_.contains(fp)) return true;
   bool ok = false;
-  cpu_.charge(sim::CpuCategory::kRsaSign, [&] { ok = keyring_.verify_passport(p); });
+  cpu_.charge(net::CpuCategory::kRsaSign, [&] { ok = keyring_.verify_passport(p); });
   if (ok) verified_passports_.seen_or_insert(fp);
   return ok;
 }
@@ -380,19 +380,19 @@ void Ppss::reject_frame(Reader& r) {
   DecodeError err = r.reject_reason();
   if (err == DecodeError::kNone) err = DecodeError::kBadValue;
   ++stats_.decode_rejects;
-  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+  tel_.drop_frame(m_decode_rejects_, clock_.now(),
                   std::string("decode:") + decode_error_name(err));
 }
 
 bool Ppss::suppress_or_limit(NodeId sender, std::uint8_t kind, std::uint64_t seq) {
   if (replay_window_.seen_or_insert(frame_fingerprint(sender, kind, seq))) {
     ++stats_.replays_suppressed;
-    tel_.drop_frame(m_replays_, sim_.now(), "replay");
+    tel_.drop_frame(m_replays_, clock_.now(), "replay");
     return true;
   }
-  if (!guard_.admit(sender, sim_.now())) {
+  if (!guard_.admit(sender, clock_.now())) {
     ++stats_.rate_limited;
-    tel_.drop_frame(m_rate_limited_, sim_.now(), "ratelimit");
+    tel_.drop_frame(m_rate_limited_, clock_.now(), "ratelimit");
     return true;
   }
   return false;
@@ -482,18 +482,18 @@ void Ppss::handle_gossip(std::uint8_t kind, Reader& r) {
   } else {
     auto it = pending_.find(seq);
     if (it == pending_.end() || it->second.partner != sender.card.id) return;
-    if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
-    const sim::Time rtt = sim_.now() - it->second.started_at;
+    if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
+    const net::Time rtt = clock_.now() - it->second.started_at;
     if (telemetry::FlightRecorder* fr = tel_.flight();
         fr != nullptr && fr->enabled() && it->second.trace_root != 0) {
-      fr->end(it->second.trace_root, self_.value, sim_.now(), "completed", 1, rtt);
+      fr->end(it->second.trace_root, self_.value, clock_.now(), "completed", 1, rtt);
     }
     pending_.erase(it);
     view_.merge(received, self_, /*pi_min_public=*/0, rng_);
     ++stats_.exchanges_completed;
     m_completed_.add(1);
     m_rtt_.observe(static_cast<double>(rtt));
-    tel_.complete("ppss.exchange", "ppss", sim_.now() - rtt, rtt);
+    tel_.complete("ppss.exchange", "ppss", clock_.now() - rtt, rtt);
     if (on_exchange_rtt) on_exchange_rtt(rtt);
   }
 }
@@ -513,14 +513,14 @@ void Ppss::handle_join_request(Reader& r) {
     return;
   }
   bool ok = false;
-  cpu_.charge(sim::CpuCategory::kRsaSign,
+  cpu_.charge(net::CpuCategory::kRsaSign,
               [&] { ok = keyring_.verify_accreditation(*accreditation); });
   if (!ok || accreditation->node != joiner->card.id) return;
 
   ++stats_.joins_served;
   m_joins_served_.add(1);
   Passport passport;
-  cpu_.charge(sim::CpuCategory::kRsaSign, [&] {
+  cpu_.charge(net::CpuCategory::kRsaSign, [&] {
     passport = issue_passport(group_, keyring_.latest_epoch(), joiner->card.id, *group_key_);
   });
 
@@ -585,14 +585,14 @@ void Ppss::handle_join_response(Reader& r) {
   // Validate our own passport before trusting it.
   if (!keyring_.verify_passport(*passport)) return;
   passport_ = *passport;
-  if (pending_join_->retry_timer != 0) sim_.cancel(pending_join_->retry_timer);
+  if (pending_join_->retry_timer != 0) clock_.cancel(pending_join_->retry_timer);
   if (telemetry::FlightRecorder* fr = tel_.flight();
       fr != nullptr && fr->enabled() && pending_join_->trace_root != 0) {
-    fr->end(pending_join_->trace_root, self_.value, sim_.now(), "joined",
+    fr->end(pending_join_->trace_root, self_.value, clock_.now(), "joined",
             static_cast<std::uint16_t>(pending_join_->attempts), 0);
   }
   pending_join_.reset();
-  last_heartbeat_seen_ = sim_.now();
+  last_heartbeat_seen_ = clock_.now();
 
   for (auto& e : boot) {
     if (e.id() == self_) continue;

@@ -27,7 +27,7 @@
 #include "common/guard.hpp"
 #include "ppss/group.hpp"
 #include "pss/view.hpp"
-#include "sim/cpumeter.hpp"
+#include "net/cpumeter.hpp"
 #include "telemetry/scope.hpp"
 #include "wcl/wcl.hpp"
 
@@ -39,12 +39,12 @@ struct PpssConfig {
   /// Entries older than this many cycles are dropped: their Π helper sets
   /// are too stale to open WCL paths reliably.
   std::uint32_t max_entry_age = 8;
-  sim::Time cycle = 1 * sim::kMinute;
-  sim::Time response_timeout = 15 * sim::kSecond;
-  sim::Time pcp_refresh = 2 * sim::kMinute;
+  net::Time cycle = 1 * net::kMinute;
+  net::Time response_timeout = 15 * net::kSecond;
+  net::Time pcp_refresh = 2 * net::kMinute;
   /// A leader is presumed dead when no heartbeat has been observed for this
   /// long; an election then starts.
-  sim::Time leader_timeout = 5 * sim::kMinute;
+  net::Time leader_timeout = 5 * net::kMinute;
   /// Election converges after the max-hash proposal has been stable for
   /// this many consecutive cycles.
   int election_stable_cycles = 3;
@@ -84,7 +84,7 @@ struct PrivateEntry {
 
 class Ppss {
  public:
-  Ppss(sim::Simulator& sim, wcl::Wcl& wcl, NodeId self, GroupId group, sim::CpuMeter& cpu,
+  Ppss(net::Clock& clock, wcl::Wcl& wcl, NodeId self, GroupId group, net::CpuMeter& cpu,
        PpssConfig config, Rng rng, telemetry::Scope telemetry = {});
   ~Ppss();
 
@@ -163,7 +163,7 @@ class Ppss {
 
   /// Callback fired when an exchange completes, with the round-trip time —
   /// the data source for Fig. 7.
-  std::function<void(sim::Time rtt)> on_exchange_rtt;
+  std::function<void(net::Time rtt)> on_exchange_rtt;
 
   /// Telemetry handle (layers stacked on PPSS — e.g. T-Chord — inherit it).
   const telemetry::Scope& telemetry() const { return tel_; }
@@ -208,11 +208,11 @@ class Ppss {
   Bytes make_rotation_announcement();
   void send_join_request();
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   wcl::Wcl& wcl_;
   NodeId self_;
   GroupId group_;
-  sim::CpuMeter& cpu_;
+  net::CpuMeter& cpu_;
   PpssConfig config_;
   Rng rng_;
   crypto::Drbg drbg_;
@@ -223,14 +223,14 @@ class Ppss {
 
   pss::View<PrivateEntry> view_;
   bool running_ = false;
-  sim::TimerId cycle_timer_ = 0;
-  sim::TimerId pcp_timer_ = 0;
+  net::TimerId cycle_timer_ = 0;
+  net::TimerId pcp_timer_ = 0;
 
   // Pending gossip exchanges (seq -> partner/timer/start time).
   struct PendingExchange {
     NodeId partner;
-    sim::TimerId timeout_timer = 0;
-    sim::Time started_at = 0;
+    net::TimerId timeout_timer = 0;
+    net::Time started_at = 0;
     /// Flight-record root of this exchange (0 while tracing is off).
     std::uint64_t trace_root = 0;
   };
@@ -242,7 +242,7 @@ class Ppss {
     Accreditation accreditation;
     wcl::RemotePeer entry_point;
     std::size_t attempts = 0;
-    sim::TimerId retry_timer = 0;
+    net::TimerId retry_timer = 0;
     /// Flight-record root spanning every join attempt (0 = untraced).
     std::uint64_t trace_root = 0;
   };
@@ -257,7 +257,7 @@ class Ppss {
   std::unordered_map<std::uint32_t, NodeId> pending_pings_;
 
   // Leader liveness & election.
-  sim::Time last_heartbeat_seen_ = 0;
+  net::Time last_heartbeat_seen_ = 0;
   std::uint64_t election_proposal_hash_ = 0;
   NodeId election_proposal_node_;
   int election_stable_count_ = 0;

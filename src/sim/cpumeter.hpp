@@ -1,65 +1,15 @@
-// Per-node CPU accounting with wall-clock measurement of crypto work.
-//
-// The paper's Table II reports average CPU time per PPSS cycle spent in AES
-// vs RSA, split by node class. Because our AES/RSA are real implementations,
-// we measure actual wall-clock time per operation, accumulate it per node
-// and category, and also charge it to the virtual clock so that latency
-// distributions (Fig. 7) include processing time.
+// Compatibility shim: CpuMeter moved to net/cpumeter.hpp when the
+// transport SPI was split out (it never depended on the simulator — it
+// measures real wall-clock crypto cost on any backend). sim:: spellings
+// keep working via these aliases.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <functional>
-
-#include "sim/simulator.hpp"
+#include "net/cpumeter.hpp"
 
 namespace whisper::sim {
 
-enum class CpuCategory : std::uint8_t {
-  kAes = 0,        // symmetric content encryption/decryption
-  kRsaEncrypt = 1, // onion path preparation (seal operations)
-  kRsaDecrypt = 2, // onion peeling / envelope opening
-  kRsaSign = 3,    // passport issuance & verification
-  kCount = 4,
-};
-
-class CpuMeter {
- public:
-  /// Run `fn`, measure its wall-clock duration, account it under `cat`, and
-  /// return the elapsed time as virtual microseconds (>= 1).
-  template <typename Fn>
-  Time charge(CpuCategory cat, Fn&& fn) {
-    const auto start = std::chrono::steady_clock::now();
-    fn();
-    const auto end = std::chrono::steady_clock::now();
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(end - start).count();
-    const Time t = us > 0 ? static_cast<Time>(us) : 1;
-    spent_[static_cast<std::size_t>(cat)] += t;
-    ++ops_[static_cast<std::size_t>(cat)];
-    if (probe_) probe_(cat, t);
-    return t;
-  }
-
-  /// Optional per-operation sample sink (used by the Fig. 7 bench to build
-  /// distributions of individual crypto-operation durations).
-  void set_probe(std::function<void(CpuCategory, Time)> probe) { probe_ = std::move(probe); }
-
-  Time spent(CpuCategory cat) const { return spent_[static_cast<std::size_t>(cat)]; }
-  std::uint64_t ops(CpuCategory cat) const { return ops_[static_cast<std::size_t>(cat)]; }
-  Time total() const {
-    Time t = 0;
-    for (auto v : spent_) t += v;
-    return t;
-  }
-  void reset() {
-    for (auto& v : spent_) v = 0;
-    for (auto& v : ops_) v = 0;
-  }
-
- private:
-  Time spent_[static_cast<std::size_t>(CpuCategory::kCount)] = {};
-  std::uint64_t ops_[static_cast<std::size_t>(CpuCategory::kCount)] = {};
-  std::function<void(CpuCategory, Time)> probe_;
-};
+using Time = net::Time;  // same alias as sim/simulator.hpp declares
+using CpuCategory = net::CpuCategory;
+using CpuMeter = net::CpuMeter;
 
 }  // namespace whisper::sim

@@ -2,18 +2,7 @@
 
 namespace whisper::sim {
 
-const char* proto_name(Proto p) {
-  switch (p) {
-    case Proto::kPss: return "pss";
-    case Proto::kKeys: return "keys";
-    case Proto::kWcl: return "wcl";
-    case Proto::kPpss: return "ppss";
-    case Proto::kControl: return "control";
-    case Proto::kApp: return "app";
-    case Proto::kCount: break;
-  }
-  return "unknown";
-}
+// proto_name/drop_reason_name moved to net/datagram.cpp with the SPI split.
 
 namespace {
 
@@ -25,17 +14,6 @@ std::uint64_t flow_id_of(const telemetry::TraceContext& ctx) {
 }
 
 }  // namespace
-
-const char* drop_reason_name(DropReason r) {
-  switch (r) {
-    case DropReason::kLoss: return "loss";
-    case DropReason::kFilter: return "filter";
-    case DropReason::kDetach: return "detach";
-    case DropReason::kFault: return "fault";
-    case DropReason::kCount: break;
-  }
-  return "unknown";
-}
 
 std::uint64_t TrafficCounters::total_up() const {
   std::uint64_t total = 0;
@@ -130,7 +108,7 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
   agg_up_[pi]->add(payload.size());
   packets_sent_c_->add(1);
 
-  Datagram dgram{wire_src, public_dst, std::move(payload), proto};
+  Datagram dgram{wire_src, public_dst, std::move(payload), proto, {}};
   const bool tracing_flight = flight_ != nullptr && flight_->enabled();
   if (tracing_flight) dgram.trace = flight_->context();
   std::size_t copies = 1;

@@ -19,6 +19,8 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "net/datagram.hpp"
+#include "net/spi.hpp"
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/flight.hpp"
@@ -27,30 +29,11 @@
 
 namespace whisper::sim {
 
-/// Protocol tags for traffic accounting.
-enum class Proto : std::uint8_t {
-  kPss = 0,      // peer sampling gossip
-  kKeys = 1,     // public key piggyback share
-  kWcl = 2,      // onion-routed confidential traffic
-  kPpss = 3,     // private peer sampling payloads (inside WCL accounting)
-  kControl = 4,  // NAT rendezvous / hole punching control traffic
-  kApp = 5,      // application traffic
-  kCount = 6,
-};
-
-/// A datagram as observed on the wire (addresses are *public* ones when NAT
-/// devices are on the path).
-///
-/// `trace` is simulator-side metadata only — it never serializes into
-/// `payload`, so the wire bytes an attacker (or the wiretap) sees are
-/// byte-identical with tracing on or off.
-struct Datagram {
-  Endpoint src;
-  Endpoint dst;
-  Bytes payload;
-  Proto proto = Proto::kApp;
-  telemetry::TraceContext trace;
-};
+/// The wire-level types moved to net/ with the transport SPI split; sim::
+/// keeps the historical spellings.
+using Proto = net::Proto;
+using Datagram = net::Datagram;
+using net::proto_name;
 
 /// NAT interposition hook; implemented by nat::NatFabric.
 class AddressTranslator {
@@ -67,49 +50,14 @@ class AddressTranslator {
   virtual std::optional<Endpoint> inbound(Endpoint public_dst, Endpoint public_src) = 0;
 };
 
-/// Fault interposition hook (implemented by faults::FaultFabric); same hook
-/// shape as AddressTranslator. Consulted on the sender side after NAT source
-/// rewriting (wire vantage point) and again on the receiver side after NAT
-/// inbound translation, so fault targeting works on *internal* endpoints —
-/// stable node identities — while corruption mutates the wire bytes.
-class FaultInterposer {
- public:
-  virtual ~FaultInterposer() = default;
-
-  /// Sender-side verdict. `copies == 0` drops the packet before it reaches
-  /// the latency model (counted as a fault drop); `copies > 1` injects
-  /// duplicates, each with an independently sampled network delay.
-  /// `extra_delay` is added to every copy's delay (delay spikes, reordering).
-  /// The payload may be mutated in place (single-bit corruption).
-  struct WireVerdict {
-    std::size_t copies = 1;
-    Time extra_delay = 0;
-  };
-  virtual WireVerdict on_wire(Endpoint internal_src, Datagram& dgram) = 0;
-
-  /// Receiver-side gate, after NAT resolution but before the handler runs.
-  enum class Gate {
-    kDeliver,  // pass through
-    kDrop,     // drop (partition / loss episode): counted as a fault drop
-    kQueue,    // consumed: destination is paused, interposer queued the packet
-  };
-  virtual Gate on_deliver(Endpoint internal_src, Endpoint internal_dst,
-                          const Datagram& dgram) = 0;
-};
-
-/// Telemetry label value for a protocol tag ("pss", "keys", ...).
-const char* proto_name(Proto p);
+/// Fault interposition hook: now part of the transport SPI (net/spi.hpp),
+/// implemented by faults::FaultFabric and consulted by any backend.
+using FaultInterposer = net::FaultInterposer;
 
 /// Why a packet never reached its destination handler. Labels the
 /// "net.packets.dropped" counter instances.
-enum class DropReason : std::uint8_t {
-  kLoss = 0,    // latency model declared it lost in transit
-  kFilter = 1,  // destination NAT device filtered it out
-  kDetach = 2,  // destination departed (no handler bound)
-  kFault = 3,   // fault fabric dropped it (partition, loss episode, ...)
-  kCount = 4,
-};
-const char* drop_reason_name(DropReason r);
+using DropReason = net::DropReason;
+using net::drop_reason_name;
 
 /// Per-node traffic accounting in bytes: a view over the registry-backed
 /// "net.node.bytes" counters (labels: node, proto, dir). Null slots (node
@@ -130,45 +78,46 @@ struct TrafficCounters {
   }
 };
 
-/// The simulated network. Nodes are identified by their internal endpoint.
-class Network {
+/// The simulated network: the whole virtual internet behind one net::Stack.
+/// Nodes are identified by their internal endpoint.
+class Network final : public net::Stack {
  public:
   /// `registry` hosts the traffic metrics; when null the network owns a
   /// private one, so counters are always registry-backed.
   Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
           telemetry::Registry* registry = nullptr);
 
-  using Handler = std::function<void(const Datagram&)>;
+  using Handler = net::Stack::Handler;
 
   /// Bind a node's receive handler at its internal endpoint.
-  void attach(Endpoint internal_ep, Handler handler);
+  void attach(Endpoint internal_ep, Handler handler) override;
   /// Remove a node (e.g. churn departure). Packets in flight are dropped on
   /// arrival.
-  void detach(Endpoint internal_ep);
-  bool attached(Endpoint internal_ep) const;
+  void detach(Endpoint internal_ep) override;
+  bool attached(Endpoint internal_ep) const override;
 
   /// Install the NAT fabric. May be null (all endpoints public).
   void set_translator(AddressTranslator* translator) { translator_ = translator; }
 
   /// Install the fault fabric. May be null (no faults; zero overhead).
-  void set_fault_interposer(FaultInterposer* faults) { faults_ = faults; }
+  void set_fault_interposer(FaultInterposer* faults) override { faults_ = faults; }
 
   /// Install the flight recorder for causal tracing. While installed and
   /// enabled, outbound datagrams are stamped with the sender's ambient
   /// TraceContext (one unique seq per wire copy), wire events are logged,
   /// and the context — advanced one hop — is armed around the destination
   /// handler. Null or disabled costs one branch per packet.
-  void set_flight(telemetry::FlightRecorder* flight) { flight_ = flight; }
+  void set_flight(telemetry::FlightRecorder* flight) override { flight_ = flight; }
 
   /// Install a tracer for cross-node flow events ('s' at emission, 'f' at
   /// delivery, one pair per traced wire traversal).
-  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(telemetry::Tracer* tracer) override { tracer_ = tracer; }
 
   /// Re-inject a datagram previously consumed by the fault interposer (the
   /// paused-node queue flush on resume). NAT was already resolved when the
   /// packet was queued; it goes straight to the handler — or to the detach
   /// drop counter if the node departed while paused.
-  void redeliver(Endpoint internal_dst, Datagram dgram);
+  void redeliver(Endpoint internal_dst, Datagram dgram) override;
 
   /// Wiretap: observes every datagram as it appears on the wire (after NAT
   /// source rewriting, before destination filtering) — the vantage point of
@@ -181,7 +130,8 @@ class Network {
   /// destination endpoint. Returns false if the sender could not even emit
   /// the packet (no NAT mapping possible). Delivery itself is asynchronous
   /// and silently subject to loss and filtering.
-  bool send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Proto proto);
+  bool send(Endpoint internal_src, Endpoint public_dst, Bytes payload,
+            Proto proto) override;
 
   const TrafficCounters& counters(Endpoint internal_ep) const;
   /// Zero every "net."-prefixed metric (per-node, aggregates, packet
@@ -190,8 +140,10 @@ class Network {
   void reset_counters();
 
   /// Total datagrams handed to the latency model / delivered to handlers.
-  std::uint64_t packets_sent() const { return packets_sent_c_->value(); }
-  std::uint64_t packets_delivered() const { return packets_delivered_c_->value(); }
+  std::uint64_t packets_sent() const override { return packets_sent_c_->value(); }
+  std::uint64_t packets_delivered() const override {
+    return packets_delivered_c_->value();
+  }
   /// Extra copies injected by the fault fabric (each also delivers or drops).
   std::uint64_t packets_duplicated() const { return packets_duplicated_c_->value(); }
   /// Packets positively known to be gone, by reason — NOT sent−delivered,

@@ -10,44 +10,49 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/spi.hpp"
 #include "telemetry/registry.hpp"
 
 namespace whisper::sim {
 
-/// Virtual time in microseconds.
-using Time = std::uint64_t;
+/// Virtual time in microseconds. The canonical types live in net/time.hpp
+/// (shared with the real-network backend); sim:: keeps the historical
+/// spellings.
+using Time = net::Time;
 
-inline constexpr Time kMicrosecond = 1;
-inline constexpr Time kMillisecond = 1000;
-inline constexpr Time kSecond = 1'000'000;
-inline constexpr Time kMinute = 60 * kSecond;
+inline constexpr Time kMicrosecond = net::kMicrosecond;
+inline constexpr Time kMillisecond = net::kMillisecond;
+inline constexpr Time kSecond = net::kSecond;
+inline constexpr Time kMinute = net::kMinute;
 
 /// Handle for cancelling a scheduled event. Encodes (generation << 32 |
 /// slot); generations start at 1, so a valid id is never 0 — protocol code
 /// uses 0 as a "no timer armed" sentinel.
-using TimerId = std::uint64_t;
+using TimerId = net::TimerId;
 
-/// Event-loop with a virtual clock. Events scheduled for the same instant
-/// fire in scheduling order (stable), which keeps runs deterministic.
+/// Event-loop with a virtual clock, and the simulator-side implementation
+/// of the transport SPI's timer service (net::Clock). Events scheduled for
+/// the same instant fire in scheduling order (stable), which keeps runs
+/// deterministic.
 ///
 /// Cancellation bookkeeping is a slot/generation scheme rather than hash
 /// sets: each pending event owns a slot in a pooled table, and its TimerId
 /// carries the slot's generation at scheduling time. cancel() is an O(1)
 /// array probe (the heap entry is dropped lazily when it surfaces), step()
 /// is pure O(log n) heap work — no hashing on either path.
-class Simulator {
+class Simulator : public net::Clock {
  public:
   explicit Simulator(std::uint64_t seed = 1);
 
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
   Rng& rng() { return rng_; }
 
   /// Schedule `fn` to run at absolute virtual time `at` (>= now).
-  TimerId schedule_at(Time at, std::function<void()> fn);
+  TimerId schedule_at(Time at, std::function<void()> fn) override;
   /// Schedule `fn` to run `delay` from now.
-  TimerId schedule_after(Time delay, std::function<void()> fn);
+  TimerId schedule_after(Time delay, std::function<void()> fn) override;
   /// Cancel a pending event; no-op if already fired or cancelled.
-  void cancel(TimerId id);
+  void cancel(TimerId id) override;
 
   /// Run the next event; false if the queue is empty.
   bool step();

@@ -14,14 +14,14 @@
 #include <algorithm>
 #include <cstdint>
 
-#include "sim/simulator.hpp"
+#include "net/spi.hpp"
 
 namespace whisper::wcl {
 
 class RttEstimator {
  public:
   /// Feed one round-trip measurement.
-  void sample(sim::Time rtt) {
+  void sample(net::Time rtt) {
     if (!has_sample_) {
       // RFC 6298 §2.2: first measurement.
       srtt_ = rtt;
@@ -30,27 +30,27 @@ class RttEstimator {
       return;
     }
     // §2.3 with alpha = 1/8, beta = 1/4, in integer microseconds.
-    const sim::Time err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    const net::Time err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
     rttvar_ = (3 * rttvar_ + err) / 4;
     srtt_ = (7 * srtt_ + rtt) / 8;
   }
 
   bool has_sample() const { return has_sample_; }
-  sim::Time srtt() const { return srtt_; }
-  sim::Time rttvar() const { return rttvar_; }
+  net::Time srtt() const { return srtt_; }
+  net::Time rttvar() const { return rttvar_; }
 
   /// Retransmission timeout, clamped to [min_rto, max_rto]. Before any
   /// sample exists, returns `initial`.
-  sim::Time rto(sim::Time initial, sim::Time min_rto, sim::Time max_rto) const {
+  net::Time rto(net::Time initial, net::Time min_rto, net::Time max_rto) const {
     if (!has_sample_) return initial;
-    const sim::Time raw = srtt_ + std::max<sim::Time>(4 * rttvar_, sim::kMillisecond);
+    const net::Time raw = srtt_ + std::max<net::Time>(4 * rttvar_, net::kMillisecond);
     return std::clamp(raw, min_rto, max_rto);
   }
 
  private:
   bool has_sample_ = false;
-  sim::Time srtt_ = 0;
-  sim::Time rttvar_ = 0;
+  net::Time srtt_ = 0;
+  net::Time rttvar_ = 0;
 };
 
 }  // namespace whisper::wcl

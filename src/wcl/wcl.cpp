@@ -59,10 +59,10 @@ std::optional<RemotePeer> RemotePeer::deserialize(Reader& r) {
   return p;
 }
 
-Wcl::Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& keys,
-         nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng,
+Wcl::Wcl(net::Clock& clock, nylon::Transport& transport, keysvc::KeyService& keys,
+         nylon::NylonPss& pss, net::CpuMeter& cpu, WclConfig config, Rng rng,
          telemetry::Scope telemetry)
-    : sim_(sim), transport_(transport), keys_(keys), pss_(pss), cpu_(cpu), config_(config),
+    : clock_(clock), transport_(transport), keys_(keys), pss_(pss), cpu_(cpu), config_(config),
       rng_(rng), drbg_(rng_.next_u64()), cb_(config.cb_capacity),
       next_msg_id_(transport.self().value << 20), tel_(telemetry),
       m_first_try_(tel_.counter("wcl.sends.first_try")),
@@ -89,19 +89,19 @@ Wcl::Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& k
   transport_.register_handler(nylon::kTagWcl,
                               [this](NodeId from, BytesView p) { handle_message(from, p); });
   if (config_.sweep_interval > 0) {
-    sweep_timer_ = sim_.schedule_after(config_.sweep_interval, [this] { sweep(); });
+    sweep_timer_ = clock_.schedule_after(config_.sweep_interval, [this] { sweep(); });
   }
 }
 
 Wcl::~Wcl() {
   for (auto& [id, pending] : pending_sends_) {
-    if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
+    if (pending.timeout_timer != 0) clock_.cancel(pending.timeout_timer);
   }
-  if (sweep_timer_ != 0) sim_.cancel(sweep_timer_);
+  if (sweep_timer_ != 0) clock_.cancel(sweep_timer_);
 }
 
 void Wcl::sweep() {
-  const sim::Time now = sim_.now();
+  const net::Time now = clock_.now();
   for (auto it = pending_forwards_.begin(); it != pending_forwards_.end();) {
     if (it->second.expires <= now) {
       it = pending_forwards_.erase(it);
@@ -115,7 +115,7 @@ void Wcl::sweep() {
   // away or expired, so the deque cannot outgrow the map.
   std::erase_if(forward_order_,
                 [&](std::uint64_t id) { return pending_forwards_.count(id) == 0; });
-  sweep_timer_ = sim_.schedule_after(config_.sweep_interval, [this] { sweep(); });
+  sweep_timer_ = clock_.schedule_after(config_.sweep_interval, [this] { sweep(); });
 }
 
 void Wcl::evict_forwards() {
@@ -134,9 +134,9 @@ void Wcl::reject_frame(NodeId from, Reader& r) {
   DecodeError err = r.reject_reason();
   if (err == DecodeError::kNone) err = DecodeError::kBadValue;
   ++stats_.decode_rejects;
-  tel_.drop_frame(m_decode_rejects_, sim_.now(),
+  tel_.drop_frame(m_decode_rejects_, clock_.now(),
                   std::string("decode:") + decode_error_name(err));
-  if (guard_.note_decode_failure(from, sim_.now())) {
+  if (guard_.note_decode_failure(from, clock_.now())) {
     ++stats_.misbehavior_reports;
     pss_.report_misbehavior(from);
   }
@@ -148,16 +148,16 @@ const RttEstimator& Wcl::rtt_of(NodeId dest) const {
   return it == rtt_.end() ? kEmpty : it->second;
 }
 
-sim::Time Wcl::current_rto(NodeId dest) const {
+net::Time Wcl::current_rto(NodeId dest) const {
   return rtt_of(dest).rto(config_.ack_timeout, config_.min_rto, config_.max_rto);
 }
 
-sim::Time Wcl::attempt_timeout(const PendingSend& pending) {
-  const sim::Time base = current_rto(pending.dest.card.id);
+net::Time Wcl::attempt_timeout(const PendingSend& pending) {
+  const net::Time base = current_rto(pending.dest.card.id);
   // Exponential backoff across this send's attempts, capped so the shift
   // cannot overflow and the wait stays within max_rto.
   const std::size_t backoffs = std::min<std::size_t>(pending.attempts, 16);
-  sim::Time timeout = base;
+  net::Time timeout = base;
   for (std::size_t i = 1; i < backoffs && timeout < config_.max_rto; ++i) timeout *= 2;
   timeout = std::min(timeout, config_.max_rto);
   // Deterministic jitter (seeded rng) de-synchronises retry storms after a
@@ -235,7 +235,7 @@ bool Wcl::send_confidential(const RemotePeer& dest, BytesView payload, SendCallb
                                            transport_.self().value, pending.trace.root,
                                            dest.card.id.value);
     pending.trace.layer = telemetry::TraceLayer::kWcl;
-    pending.trace_begin = sim_.now();
+    pending.trace_begin = clock_.now();
   }
   auto [it, inserted] = pending_sends_.emplace(msg_id, std::move(pending));
   if (!attempt(msg_id, it->second)) {
@@ -244,13 +244,13 @@ bool Wcl::send_confidential(const RemotePeer& dest, BytesView payload, SendCallb
     const NodeId dest_id = it->second.dest.card.id;
     if (telemetry::FlightRecorder* fr = tel_.flight();
         fr != nullptr && fr->enabled() && it->second.trace.valid()) {
-      fr->end(it->second.trace.trace_id, transport_.self().value, sim_.now(), "no_path",
+      fr->end(it->second.trace.trace_id, transport_.self().value, clock_.now(), "no_path",
               static_cast<std::uint16_t>(it->second.attempts), 0);
     }
     pending_sends_.erase(it);
     ++stats_.no_alternative;
     m_no_alternative_.add(1);
-    tel_.instant("wcl.send.no_path", "wcl", sim_.now());
+    tel_.instant("wcl.send.no_path", "wcl", clock_.now());
     if (outcome_probe) outcome_probe(dest_id, SendOutcome::kNoAlternative);
     if (cb) cb(SendOutcome::kNoAlternative);
     return false;
@@ -306,7 +306,7 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
   const bool traced = fr != nullptr && fr->enabled() && pending.trace.valid();
   if (traced) {
     pending.trace.attempt = static_cast<std::uint16_t>(pending.attempts);
-    fr->retry(pending.trace.trace_id, self.value, sim_.now(), pending.trace.attempt);
+    fr->retry(pending.trace.trace_id, self.value, clock_.now(), pending.trace.attempt);
   }
 
   // Build the onion S -> A [-> M...] -> B -> D. Mixes after A must be
@@ -343,10 +343,10 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
   crypto::OnionPacket packet;
   // Deterministic virtual processing cost (measured wall time is recorded
   // separately by the CPU meter and must not perturb event ordering).
-  const sim::Time crypto_time =
+  const net::Time crypto_time =
       config_.virtual_rsa_seal_cost * path.size() +
       config_.virtual_aes_cost_per_kb * (pending.payload.size() / 1024 + 1);
-  cpu_.charge(sim::CpuCategory::kAes, [&] {
+  cpu_.charge(net::CpuCategory::kAes, [&] {
     // One cleartext mode byte tells the destination how to open the body.
     if (config_.authenticated_bodies) {
       packet.body = crypto::seal_authenticated(keys.k, keys.iv, pending.payload);
@@ -356,14 +356,14 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
       packet.body.insert(packet.body.begin(), 0);
     }
   });
-  cpu_.charge(sim::CpuCategory::kRsaEncrypt, [&] {
+  cpu_.charge(net::CpuCategory::kRsaEncrypt, [&] {
     packet.header = crypto::onion_build_header(path, keys, drbg_);
   });
   // The build occupies the virtual clock for `crypto_time`; emit the span
   // with that charged duration (RAII would see zero virtual elapsed time).
-  tel_.complete("wcl.onion.build", "wcl", sim_.now(), crypto_time,
+  tel_.complete("wcl.onion.build", "wcl", clock_.now(), crypto_time,
                 {{"hops", std::to_string(path.size())}});
-  if (traced) fr->crypto(pending.trace, self.value, sim_.now(), crypto_time, "build");
+  if (traced) fr->crypto(pending.trace, self.value, clock_.now(), crypto_time, "build");
 
   Writer w;
   w.u8(kKindOnion);
@@ -374,22 +374,22 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
   // only after the onion has been built. The deferred lambda re-arms this
   // message's trace context so the network stamps the outbound datagram.
   const pss::ContactCard first_hop = config_.mixes >= 2 ? a.card : b.card;
-  sim_.schedule_after(crypto_time,
+  clock_.schedule_after(crypto_time,
                       [this, card = first_hop, data = std::move(w).take(),
                        ctx = traced ? pending.trace : telemetry::TraceContext{}] {
                         telemetry::ScopedTraceContext guard(tel_.flight(), ctx);
-                        transport_.send(card, nylon::kTagWcl, data, sim::Proto::kWcl);
+                        transport_.send(card, nylon::kTagWcl, data, net::Proto::kWcl);
                       });
 
-  pending.sent_at = sim_.now() + crypto_time;
-  if (pending.timeout_timer != 0) sim_.cancel(pending.timeout_timer);
+  pending.sent_at = clock_.now() + crypto_time;
+  if (pending.timeout_timer != 0) clock_.cancel(pending.timeout_timer);
   pending.timeout_timer =
-      sim_.schedule_after(crypto_time + attempt_timeout(pending), [this, msg_id] {
+      clock_.schedule_after(crypto_time + attempt_timeout(pending), [this, msg_id] {
         if (telemetry::FlightRecorder* rec = tel_.flight();
             rec != nullptr && rec->enabled()) {
           if (auto it = pending_sends_.find(msg_id);
               it != pending_sends_.end() && it->second.trace.valid()) {
-            rec->timeout(it->second.trace.trace_id, transport_.self().value, sim_.now(),
+            rec->timeout(it->second.trace.trace_id, transport_.self().value, clock_.now(),
                          static_cast<std::uint16_t>(it->second.attempts));
           }
         }
@@ -401,15 +401,15 @@ bool Wcl::attempt(std::uint64_t msg_id, PendingSend& pending) {
 void Wcl::finish(std::uint64_t msg_id, SendOutcome outcome) {
   auto it = pending_sends_.find(msg_id);
   if (it == pending_sends_.end()) return;
-  if (it->second.timeout_timer != 0) sim_.cancel(it->second.timeout_timer);
+  if (it->second.timeout_timer != 0) clock_.cancel(it->second.timeout_timer);
   auto cb = std::move(it->second.callback);
   const NodeId dest = it->second.dest.card.id;
   if (telemetry::FlightRecorder* fr = tel_.flight();
       fr != nullptr && fr->enabled() && it->second.trace.valid()) {
     const bool ok = outcome != SendOutcome::kNoAlternative;
     const std::uint64_t rtt =
-        ok && sim_.now() >= it->second.trace_begin ? sim_.now() - it->second.trace_begin : 0;
-    fr->end(it->second.trace.trace_id, transport_.self().value, sim_.now(),
+        ok && clock_.now() >= it->second.trace_begin ? clock_.now() - it->second.trace_begin : 0;
+    fr->end(it->second.trace.trace_id, transport_.self().value, clock_.now(),
             ok ? "delivered" : "no_route",
             static_cast<std::uint16_t>(it->second.attempts), rtt);
   }
@@ -439,7 +439,7 @@ void Wcl::handle_ack(std::uint64_t msg_id, bool success) {
   if (success) {
     // Karn's algorithm: only unambiguous (first-attempt) round-trips feed
     // the estimator — a retried send's ACK could belong to any attempt.
-    if (pending.attempts == 1 && pending.sent_at != 0 && sim_.now() >= pending.sent_at) {
+    if (pending.attempts == 1 && pending.sent_at != 0 && clock_.now() >= pending.sent_at) {
       const NodeId dest = pending.dest.card.id;
       if (rtt_.count(dest) == 0) {
         // Estimators are per-destination state: cap them, evicting the
@@ -452,7 +452,7 @@ void Wcl::handle_ack(std::uint64_t msg_id, bool success) {
         rtt_order_.push_back(dest);
       }
       RttEstimator& est = rtt_[dest];
-      est.sample(sim_.now() - pending.sent_at);
+      est.sample(clock_.now() - pending.sent_at);
       m_srtt_.set(static_cast<double>(est.srtt()));
     }
     finish(msg_id, pending.attempts <= 1 ? SendOutcome::kSuccessFirstTry
@@ -469,13 +469,13 @@ void Wcl::send_signal(const pss::ContactCard& to, bool success, std::uint64_t ms
   Writer w;
   w.u8(success ? kKindAck : kKindNack);
   w.u64(msg_id);
-  transport_.send(to, nylon::kTagWcl, w.data(), sim::Proto::kWcl);
+  transport_.send(to, nylon::kTagWcl, w.data(), net::Proto::kWcl);
 }
 
 void Wcl::handle_message(NodeId from, BytesView payload) {
-  if (!guard_.admit(from, sim_.now())) {
+  if (!guard_.admit(from, clock_.now())) {
     ++stats_.rate_limited;
-    tel_.drop_frame(m_rate_limited_, sim_.now(), "ratelimit");
+    tel_.drop_frame(m_rate_limited_, clock_.now(), "ratelimit");
     return;
   }
   Reader r(payload);
@@ -497,7 +497,7 @@ void Wcl::handle_message(NodeId from, BytesView payload) {
   }
   guard_.note_ok(from);
   if (auto fw = pending_forwards_.find(msg_id); fw != pending_forwards_.end()) {
-    if (fw->second.expires > sim_.now()) {
+    if (fw->second.expires > clock_.now()) {
       send_signal(fw->second.predecessor, kind == kKindAck, msg_id);
     }
     pending_forwards_.erase(fw);
@@ -506,7 +506,7 @@ void Wcl::handle_message(NodeId from, BytesView payload) {
   if (telemetry::FlightRecorder* fr = tel_.flight(); fr != nullptr && fr->enabled()) {
     if (auto ps = pending_sends_.find(msg_id);
         ps != pending_sends_.end() && ps->second.trace.valid()) {
-      fr->ack(ps->second.trace.trace_id, transport_.self().value, sim_.now(),
+      fr->ack(ps->second.trace.trace_id, transport_.self().value, clock_.now(),
               kind == kKindAck);
     }
   }
@@ -533,14 +533,14 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
     const std::uint64_t fp = crypto::fingerprint64(packet->header);
     if (replay_window_.seen_or_insert(fp)) {
       ++stats_.replays_suppressed;
-      tel_.drop_frame(m_replays_, sim_.now(), "replay");
+      tel_.drop_frame(m_replays_, clock_.now(), "replay");
       return;
     }
   }
 
   std::optional<crypto::OnionPeel> peel;
-  sim::Time crypto_time = config_.virtual_rsa_peel_cost;
-  cpu_.charge(sim::CpuCategory::kRsaDecrypt, [&] {
+  net::Time crypto_time = config_.virtual_rsa_peel_cost;
+  cpu_.charge(net::CpuCategory::kRsaDecrypt, [&] {
     peel = crypto::onion_peel_header(keys_.own_pair(), *packet);
   });
   if (!peel) {
@@ -559,7 +559,7 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
     Bytes content;
     bool body_ok = true;
     crypto_time += config_.virtual_aes_cost_per_kb * (body.size() / 1024 + 1);
-    cpu_.charge(sim::CpuCategory::kAes, [&] {
+    cpu_.charge(net::CpuCategory::kAes, [&] {
       if (mode == 1) {
         auto opened = crypto::open_authenticated(peel->keys.k, peel->keys.iv, body);
         if (opened) {
@@ -578,16 +578,16 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
     }
     ++stats_.onions_delivered;
     m_delivered_.add(1);
-    tel_.complete("wcl.onion.open", "wcl", sim_.now(), crypto_time);
+    tel_.complete("wcl.onion.open", "wcl", clock_.now(), crypto_time);
     telemetry::FlightRecorder* fr = tel_.flight();
     const telemetry::TraceContext ctx =
         fr != nullptr && fr->enabled() ? fr->context() : telemetry::TraceContext{};
-    if (ctx.valid()) fr->crypto(ctx, transport_.self().value, sim_.now(), crypto_time, "open");
+    if (ctx.valid()) fr->crypto(ctx, transport_.self().value, clock_.now(), crypto_time, "open");
     // Deliver (and ack) after the measured decryption time has elapsed on
     // the virtual clock. Re-arm the inbound trace context so the ACK chain
     // and whatever the payload triggers (a PPSS response) stay causally
     // linked to this message.
-    sim_.schedule_after(crypto_time,
+    clock_.schedule_after(crypto_time,
                         [this, predecessor, msg_id, ctx,
                          content = std::move(content)]() mutable {
                           telemetry::ScopedTraceContext guard(tel_.flight(), ctx);
@@ -625,25 +625,25 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
   }
 
   const NodeId next_hop = peel->next_hop;
-  tel_.complete("wcl.onion.relay", "wcl", sim_.now(), crypto_time);
+  tel_.complete("wcl.onion.relay", "wcl", clock_.now(), crypto_time);
   telemetry::FlightRecorder* fr = tel_.flight();
   const telemetry::TraceContext ctx =
       fr != nullptr && fr->enabled() ? fr->context() : telemetry::TraceContext{};
-  if (ctx.valid()) fr->crypto(ctx, transport_.self().value, sim_.now(), crypto_time, "peel");
-  sim_.schedule_after(
+  if (ctx.valid()) fr->crypto(ctx, transport_.self().value, clock_.now(), crypto_time, "peel");
+  clock_.schedule_after(
       crypto_time,
       [this, predecessor, msg_id, next_hop, next_card, ctx, data = std::move(w).take()] {
         telemetry::ScopedTraceContext guard(tel_.flight(), ctx);
         const bool sent =
             next_card.has_value()
-                ? transport_.send(*next_card, nylon::kTagWcl, data, sim::Proto::kWcl)
-                : transport_.send_by_id(next_hop, nylon::kTagWcl, data, sim::Proto::kWcl);
+                ? transport_.send(*next_card, nylon::kTagWcl, data, net::Proto::kWcl)
+                : transport_.send_by_id(next_hop, nylon::kTagWcl, data, net::Proto::kWcl);
         if (!sent) {
           ++stats_.forward_failures;
           m_forward_failures_.add(1);
           if (telemetry::FlightRecorder* rec = tel_.flight();
               rec != nullptr && rec->enabled() && ctx.valid()) {
-            rec->drop(ctx, transport_.self().value, sim_.now(), "no_forward");
+            rec->drop(ctx, transport_.self().value, clock_.now(), "no_forward");
           }
           send_signal(predecessor, /*success=*/false, msg_id);
           return;
@@ -653,7 +653,7 @@ void Wcl::handle_onion(NodeId from, Reader& r) {
           forward_order_.push_back(msg_id);
         }
         pending_forwards_[msg_id] =
-            PendingForward{predecessor, sim_.now() + config_.pending_forward_ttl};
+            PendingForward{predecessor, clock_.now() + config_.pending_forward_ttl};
         ++stats_.onions_forwarded;
         m_forwarded_.add(1);
       });

@@ -27,7 +27,7 @@
 #include "keysvc/keyservice.hpp"
 #include "nylon/pss.hpp"
 #include "nylon/transport.hpp"
-#include "sim/cpumeter.hpp"
+#include "net/cpumeter.hpp"
 #include "telemetry/scope.hpp"
 #include "wcl/backlog.hpp"
 #include "wcl/rtt.hpp"
@@ -73,15 +73,15 @@ struct WclConfig {
   /// destination. After that the adaptive RTO (SRTT + 4·RTTVAR) governs,
   /// clamped to [min_rto, max_rto], doubling per retry with deterministic
   /// jitter.
-  sim::Time ack_timeout = 5 * sim::kSecond;
-  sim::Time min_rto = 200 * sim::kMillisecond;
-  sim::Time max_rto = 30 * sim::kSecond;
-  sim::Time pending_forward_ttl = 60 * sim::kSecond;
+  net::Time ack_timeout = 5 * net::kSecond;
+  net::Time min_rto = 200 * net::kMillisecond;
+  net::Time max_rto = 30 * net::kSecond;
+  net::Time pending_forward_ttl = 60 * net::kSecond;
   /// Period of the mix-state sweep evicting expired pending_forwards_
   /// entries (0 disables). Without it a mix that never sees the ACK/NACK
   /// for a forwarded onion leaks an entry per loss — unbounded growth under
   /// sustained fault injection.
-  sim::Time sweep_interval = 30 * sim::kSecond;
+  net::Time sweep_interval = 30 * net::kSecond;
   /// Encrypt-then-MAC the content body (AES-CTR + HMAC-SHA256, +32 bytes).
   /// The paper uses plain AES (its model excludes active tampering), so the
   /// default reproduces that; enable for integrity-protected deployments.
@@ -92,9 +92,9 @@ struct WclConfig {
   /// Fig. 7, but folding *measured* time into event ordering would make
   /// runs irreproducible). Defaults calibrated from bench_crypto_micro at
   /// 512-bit keys.
-  sim::Time virtual_rsa_seal_cost = 15;      // us per onion layer sealed
-  sim::Time virtual_rsa_peel_cost = 160;     // us per layer peeled
-  sim::Time virtual_aes_cost_per_kb = 30;    // us per KB of body
+  net::Time virtual_rsa_seal_cost = 15;      // us per onion layer sealed
+  net::Time virtual_rsa_peel_cost = 160;     // us per layer peeled
+  net::Time virtual_aes_cost_per_kb = 30;    // us per KB of body
 
   // --- Hostile-input defenses (defaults generous enough that honest
   // traffic never trips them). ---
@@ -120,8 +120,8 @@ inline constexpr std::size_t kMaxWireHelpers = 16;
 
 class Wcl {
  public:
-  Wcl(sim::Simulator& sim, nylon::Transport& transport, keysvc::KeyService& keys,
-      nylon::NylonPss& pss, sim::CpuMeter& cpu, WclConfig config, Rng rng,
+  Wcl(net::Clock& clock, nylon::Transport& transport, keysvc::KeyService& keys,
+      nylon::NylonPss& pss, net::CpuMeter& cpu, WclConfig config, Rng rng,
       telemetry::Scope telemetry = {});
   ~Wcl();
 
@@ -188,7 +188,7 @@ class Wcl {
   /// Per-destination RTT state (empty estimator if none yet).
   const RttEstimator& rtt_of(NodeId dest) const;
   /// The timeout the next first attempt towards `dest` would use.
-  sim::Time current_rto(NodeId dest) const;
+  net::Time current_rto(NodeId dest) const;
   std::size_t pending_forward_count() const { return pending_forwards_.size(); }
 
  private:
@@ -198,15 +198,15 @@ class Wcl {
     SendCallback callback;
     std::size_t attempts = 0;
     std::unordered_set<NodeId> tried_helpers;
-    sim::TimerId timeout_timer = 0;
+    net::TimerId timeout_timer = 0;
     /// When the latest attempt's onion hit the wire (for RTT sampling).
-    sim::Time sent_at = 0;
+    net::Time sent_at = 0;
     /// Causal trace of this message (invalid while tracing is off). `hop`
     /// stays 0 at the source; `attempt` tracks the current try.
     telemetry::TraceContext trace;
     /// Virtual time of send_confidential() — the flight record's RTT is
     /// measured from here so decomposition includes the first build.
-    sim::Time trace_begin = 0;
+    net::Time trace_begin = 0;
   };
 
   void handle_message(NodeId from, BytesView payload);
@@ -223,14 +223,14 @@ class Wcl {
   void send_signal(const pss::ContactCard& to, bool success, std::uint64_t msg_id);
   /// Timeout for the next attempt of `pending`: adaptive RTO doubled per
   /// prior attempt, plus deterministic jitter.
-  sim::Time attempt_timeout(const PendingSend& pending);
+  net::Time attempt_timeout(const PendingSend& pending);
   void sweep();
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   nylon::Transport& transport_;
   keysvc::KeyService& keys_;
   nylon::NylonPss& pss_;
-  sim::CpuMeter& cpu_;
+  net::CpuMeter& cpu_;
   WclConfig config_;
   Rng rng_;
   crypto::Drbg drbg_;
@@ -242,7 +242,7 @@ class Wcl {
   // Mix state: where an in-flight onion came from, for ACK/NACK backtracking.
   struct PendingForward {
     pss::ContactCard predecessor;
-    sim::Time expires = 0;
+    net::Time expires = 0;
   };
   std::unordered_map<std::uint64_t, PendingForward> pending_forwards_;
   /// Insertion order of pending_forwards_ (expiry is monotone in insertion
@@ -250,7 +250,7 @@ class Wcl {
   /// hold ids already acked away — eviction skips those lazily, and the
   /// sweep compacts it.
   std::deque<std::uint64_t> forward_order_;
-  sim::TimerId sweep_timer_ = 0;
+  net::TimerId sweep_timer_ = 0;
 
   // Per-destination RTT estimators, fed by first-attempt ACK round-trips.
   // Capped: peer-driven (one estimator per destination ever talked to).

@@ -2,16 +2,16 @@
 
 namespace whisper {
 
-WhisperNode::WhisperNode(sim::Simulator& sim, sim::Network& net, NodeId id,
+WhisperNode::WhisperNode(net::Clock& clock, net::Stack& net, NodeId id,
                          Endpoint internal_ep, bool is_public,
                          const crypto::RsaKeyPair& keypair, NodeConfig config, Rng rng,
                          telemetry::Sinks sinks)
-    : sim_(sim), id_(id), keypair_(keypair), config_(config), rng_(rng),
+    : clock_(clock), id_(id), keypair_(keypair), config_(config), rng_(rng),
       tel_(sinks, id.value),
-      transport_(sim, net, id, internal_ep, is_public, config.transport),
-      pss_(sim, transport_, config.pss, rng_.fork(), tel_),
-      keys_(sim, transport_, keypair_, config.keys),
-      wcl_(sim, transport_, keys_, pss_, cpu_, config.wcl, rng_.fork(), tel_) {
+      transport_(clock, net, id, internal_ep, is_public, config.transport),
+      pss_(clock, transport_, config.pss, rng_.fork(), tel_),
+      keys_(clock, transport_, keypair_, config.keys),
+      wcl_(clock, transport_, keys_, pss_, cpu_, config.wcl, rng_.fork(), tel_) {
   // Public key sampling rides on the PSS gossip (§III-B-2)...
   pss_.extra_provider = [this] { return keys_.piggyback(); };
   pss_.extra_consumer = [this](const pss::ContactCard& from, BytesView extra) {
@@ -51,7 +51,7 @@ void WhisperNode::stop() {
 ppss::Ppss& WhisperNode::make_group_instance(GroupId group) {
   auto it = groups_.find(group);
   if (it == groups_.end()) {
-    auto instance = std::make_unique<ppss::Ppss>(sim_, wcl_, id_, group, cpu_, config_.ppss,
+    auto instance = std::make_unique<ppss::Ppss>(clock_, wcl_, id_, group, cpu_, config_.ppss,
                                                  rng_.fork(), tel_);
     it = groups_.emplace(group, std::move(instance)).first;
   }

@@ -16,7 +16,7 @@
 #include "nylon/pss.hpp"
 #include "nylon/transport.hpp"
 #include "ppss/ppss.hpp"
-#include "sim/cpumeter.hpp"
+#include "net/cpumeter.hpp"
 #include "telemetry/scope.hpp"
 #include "wcl/wcl.hpp"
 
@@ -36,7 +36,7 @@ class WhisperNode {
   /// `keypair` must outlive the node (typically from the key pool).
   /// `sinks` (optional) routes every layer's metrics/trace events into the
   /// testbed's registry and tracer, on this node's timeline.
-  WhisperNode(sim::Simulator& sim, sim::Network& net, NodeId id, Endpoint internal_ep,
+  WhisperNode(net::Clock& clock, net::Stack& net, NodeId id, Endpoint internal_ep,
               bool is_public, const crypto::RsaKeyPair& keypair, NodeConfig config, Rng rng,
               telemetry::Sinks sinks = {});
   ~WhisperNode();
@@ -58,7 +58,7 @@ class WhisperNode {
   nylon::NylonPss& pss() { return pss_; }
   keysvc::KeyService& keys() { return keys_; }
   wcl::Wcl& wcl() { return wcl_; }
-  sim::CpuMeter& cpu() { return cpu_; }
+  net::CpuMeter& cpu() { return cpu_; }
   const crypto::RsaKeyPair& keypair() const { return keypair_; }
 
   /// Found a new private group led by this node.
@@ -74,13 +74,13 @@ class WhisperNode {
   ppss::Ppss& make_group_instance(GroupId group);
   void dispatch_wcl(Bytes payload);
 
-  sim::Simulator& sim_;
+  net::Clock& clock_;
   NodeId id_;
   const crypto::RsaKeyPair& keypair_;
   NodeConfig config_;
   Rng rng_;
   telemetry::Scope tel_;
-  sim::CpuMeter cpu_;
+  net::CpuMeter cpu_;
   nylon::Transport transport_;
   nylon::NylonPss pss_;
   keysvc::KeyService keys_;

@@ -10,9 +10,9 @@ WhisperTestbed::WhisperTestbed(TestbedConfig config)
     : config_(std::move(config)), rng_(config_.seed), sim_(config_.seed ^ 0x5eed),
       recorder_(registry_) {
   sim_.attach_telemetry(registry_);
-  tracer_.set_clock([this] { return sim_.now(); });
+  tracer_.set_clock(net::clock_fn(sim_));
   tracer_.set_enabled(config_.trace);
-  flight_.set_clock([this] { return sim_.now(); });
+  flight_.set_clock(net::clock_fn(sim_));
   flight_.set_enabled(config_.flight);
   flight_.set_node_resolver([this](Endpoint ep) {
     auto it = endpoint_ids_.find(ep);
@@ -134,7 +134,7 @@ std::size_t WhisperTestbed::alive_count() const {
                     [](const std::unique_ptr<WhisperNode>& n) { return n->running(); }));
 }
 
-void WhisperTestbed::run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+void WhisperTestbed::run_for(net::Time duration) { sim_.run_until(sim_.now() + duration); }
 
 pss::OverlayGraph WhisperTestbed::overlay_snapshot() {
   pss::OverlayGraph graph;

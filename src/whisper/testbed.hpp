@@ -38,7 +38,7 @@ struct TestbedConfig {
   bool flight = false;
   /// Snapshot every registry metric into the time-series recorder at this
   /// virtual-time interval (0 = no sampling).
-  sim::Time telemetry_sample_every = 0;
+  net::Time telemetry_sample_every = 0;
 };
 
 class WhisperTestbed {
@@ -50,6 +50,16 @@ class WhisperTestbed {
   WhisperTestbed(const WhisperTestbed&) = delete;
   WhisperTestbed& operator=(const WhisperTestbed&) = delete;
 
+  /// Backend-agnostic transport handles. New code should reach the clock
+  /// and the wire through these: everything the protocol stack needs is on
+  /// the SPI, and code written against it runs unmodified on the UDP
+  /// backend.
+  net::Clock& clock() { return sim_; }
+  net::Stack& stack() { return *net_; }
+
+  /// Deprecated sim-specific escape hatches — prefer clock()/stack().
+  /// Legitimate remaining uses are the simulation-only facilities:
+  /// executed_events(), run_until determinism, wiretaps, NAT counters.
   sim::Simulator& simulator() { return sim_; }
   sim::Network& network() { return *net_; }
   nat::NatFabric& fabric() { return *fabric_; }
@@ -71,7 +81,7 @@ class WhisperTestbed {
   std::size_t alive_count() const;
 
   /// Advance virtual time.
-  void run_for(sim::Time duration);
+  void run_for(net::Time duration);
 
   /// Snapshot of the system-wide PSS out-views.
   pss::OverlayGraph overlay_snapshot();

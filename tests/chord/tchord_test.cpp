@@ -16,7 +16,7 @@ TestbedConfig config(std::size_t n, std::uint64_t seed) {
   cfg.initial_nodes = n;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   return cfg;
 }
@@ -28,7 +28,7 @@ struct RingFixture {
 
   RingFixture(std::size_t n_nodes, std::size_t n_members, std::uint64_t seed = 91)
       : tb(config(n_nodes, seed)) {
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     auto nodes = tb.alive_nodes();
     WhisperNode* founder = nodes[0];
     auto& fg = founder->create_group(kGroup, [&] {
@@ -39,12 +39,12 @@ struct RingFixture {
     for (std::size_t i = 1; i < n_members; ++i) {
       nodes[i]->join_group(kGroup, *fg.invite(nodes[i]->id()), fg.self_descriptor());
       members.push_back(nodes[i]);
-      tb.run_for(5 * sim::kSecond);
+      tb.run_for(5 * net::kSecond);
     }
-    tb.run_for(5 * sim::kMinute);  // private views converge
+    tb.run_for(5 * net::kMinute);  // private views converge
 
     TChordConfig tc;
-    tc.cycle = 20 * sim::kSecond;
+    tc.cycle = 20 * net::kSecond;
     for (WhisperNode* m : members) {
       rings.push_back(
           std::make_unique<TChord>(tb.simulator(), *m->group(kGroup), tc, tb.rng().fork()));
@@ -62,7 +62,7 @@ struct RingFixture {
 
 TEST(TChord, RingConvergesToCorrectSuccessors) {
   RingFixture f(35, 10);
-  f.tb.run_for(10 * sim::kMinute);
+  f.tb.run_for(10 * net::kMinute);
   auto ring = f.global_ring();
   std::size_t correct = 0;
   for (std::size_t i = 0; i < f.rings.size(); ++i) {
@@ -79,7 +79,7 @@ TEST(TChord, RingConvergesToCorrectSuccessors) {
 
 TEST(TChord, PredecessorsConsistent) {
   RingFixture f(35, 8, 92);
-  f.tb.run_for(10 * sim::kMinute);
+  f.tb.run_for(10 * net::kMinute);
   auto ring = f.global_ring();
   std::size_t correct = 0;
   for (auto& r : f.rings) {
@@ -95,7 +95,7 @@ TEST(TChord, PredecessorsConsistent) {
 
 TEST(TChord, FingersPopulated) {
   RingFixture f(35, 10, 93);
-  f.tb.run_for(10 * sim::kMinute);
+  f.tb.run_for(10 * net::kMinute);
   for (auto& r : f.rings) {
     EXPECT_GE(r->fingers().size(), 2u);
     EXPECT_GT(r->candidate_count(), 3u);
@@ -104,7 +104,7 @@ TEST(TChord, FingersPopulated) {
 
 TEST(TChord, LookupFindsCorrectOwner) {
   RingFixture f(35, 10, 94);
-  f.tb.run_for(12 * sim::kMinute);
+  f.tb.run_for(12 * net::kMinute);
   auto ring = f.global_ring();
 
   int answered = 0, correct = 0;
@@ -123,7 +123,7 @@ TEST(TChord, LookupFindsCorrectOwner) {
       }
       if (result->owner.id() == expected) ++correct;
     });
-    f.tb.run_for(30 * sim::kSecond);
+    f.tb.run_for(30 * net::kSecond);
   }
   EXPECT_GE(answered, 16);
   EXPECT_GE(correct, answered * 8 / 10);
@@ -131,19 +131,19 @@ TEST(TChord, LookupFindsCorrectOwner) {
 
 TEST(TChord, LookupDelaysReasonable) {
   RingFixture f(35, 10, 95);
-  f.tb.run_for(12 * sim::kMinute);
-  std::vector<sim::Time> rtts;
+  f.tb.run_for(12 * net::kMinute);
+  std::vector<net::Time> rtts;
   Rng rng(777);
   for (int q = 0; q < 15; ++q) {
     auto& querier = f.rings[rng.pick_index(f.rings)];
     querier->lookup(rng.next_u64(), [&](std::optional<TChord::LookupResult> result) {
       if (result) rtts.push_back(result->rtt);
     });
-    f.tb.run_for(30 * sim::kSecond);
+    f.tb.run_for(30 * net::kSecond);
   }
   ASSERT_GE(rtts.size(), 10u);
-  for (sim::Time rtt : rtts) {
-    EXPECT_LT(rtt, 20 * sim::kSecond);
+  for (net::Time rtt : rtts) {
+    EXPECT_LT(rtt, 20 * net::kSecond);
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
+
 namespace whisper::churn {
 namespace {
 
@@ -32,8 +34,8 @@ TEST_F(ChurnFixture, ConstantChurnKillsExpectedFraction) {
   ChurnEngine engine = make_engine();
   ChurnPhase phase;
   phase.start = 0;
-  phase.end = 15 * sim::kMinute;
-  phase.interval = sim::kMinute;
+  phase.end = 15 * net::kMinute;
+  phase.interval = net::kMinute;
   phase.leave_fraction = 0.01;  // 1% per minute
   engine.schedule(phase);
   sim.run();
@@ -47,8 +49,8 @@ TEST_F(ChurnFixture, ReplacementRatioZeroShrinksNetwork) {
   ChurnEngine engine = make_engine();
   ChurnPhase phase;
   phase.start = 0;
-  phase.end = 10 * sim::kMinute;
-  phase.interval = sim::kMinute;
+  phase.end = 10 * net::kMinute;
+  phase.interval = net::kMinute;
   phase.leave_fraction = 0.1;
   phase.replacement_ratio = 0.0;
   engine.schedule(phase);
@@ -60,12 +62,12 @@ TEST_F(ChurnFixture, ReplacementRatioZeroShrinksNetwork) {
 TEST_F(ChurnFixture, PhaseWindowRespected) {
   ChurnEngine engine = make_engine();
   ChurnPhase phase;
-  phase.start = 5 * sim::kMinute;
-  phase.end = 8 * sim::kMinute;
-  phase.interval = sim::kMinute;
+  phase.start = 5 * net::kMinute;
+  phase.end = 8 * net::kMinute;
+  phase.interval = net::kMinute;
   phase.leave_fraction = 0.01;
   engine.schedule(phase);
-  sim.run_until(4 * sim::kMinute);
+  sim.run_until(4 * net::kMinute);
   EXPECT_EQ(killed, 0u);
   sim.run();
   // Ticks at 5, 6, 7 minutes only.
@@ -77,8 +79,8 @@ TEST_F(ChurnFixture, FractionalRatesAccumulate) {
   ChurnEngine engine = make_engine();
   ChurnPhase phase;
   phase.start = 0;
-  phase.end = 100 * sim::kMinute;
-  phase.interval = sim::kMinute;
+  phase.end = 100 * net::kMinute;
+  phase.interval = net::kMinute;
   phase.leave_fraction = 0.002;  // 0.2 nodes/tick: relies on carry
   engine.schedule(phase);
   sim.run();
@@ -88,8 +90,8 @@ TEST_F(ChurnFixture, FractionalRatesAccumulate) {
 
 TEST_F(ChurnFixture, MassJoinSpreadsOverWindow) {
   ChurnEngine engine = make_engine();
-  engine.schedule_join(0, 30 * sim::kSecond, 100);
-  sim.run_until(15 * sim::kSecond);
+  engine.schedule_join(0, 30 * net::kSecond, 100);
+  sim.run_until(15 * net::kSecond);
   EXPECT_GT(spawned, 30u);
   EXPECT_LT(spawned, 70u);
   sim.run();
@@ -100,7 +102,7 @@ TEST_F(ChurnFixture, ZeroRatePhaseIgnored) {
   ChurnEngine engine = make_engine();
   ChurnPhase phase;
   phase.start = 0;
-  phase.end = 10 * sim::kMinute;
+  phase.end = 10 * net::kMinute;
   phase.leave_fraction = 0.0;
   engine.schedule(phase);
   sim.run();
@@ -120,8 +122,8 @@ TEST_F(ChurnFixture, FractionalCarryNeverLosesLeavers) {
         [this](std::size_t n) { spawned += n; }, [this] { return population; });
     ChurnPhase phase;
     phase.start = sim.now();
-    phase.end = phase.start + 200 * sim::kMinute;
-    phase.interval = sim::kMinute;
+    phase.end = phase.start + 200 * net::kMinute;
+    phase.interval = net::kMinute;
     phase.leave_fraction = f;
     // Population held constant by the lambdas above, so the expected total
     // is exactly fraction * 1000 * 200 ticks.
@@ -142,8 +144,8 @@ TEST_F(ChurnFixture, ReplacementRatioScalesJoiners) {
     ChurnEngine engine = make_engine();
     ChurnPhase phase;
     phase.start = sim.now();
-    phase.end = phase.start + 50 * sim::kMinute;
-    phase.interval = sim::kMinute;
+    phase.end = phase.start + 50 * net::kMinute;
+    phase.interval = net::kMinute;
     phase.leave_fraction = 0.01;
     phase.replacement_ratio = r;
     engine.schedule(phase);
@@ -161,8 +163,8 @@ TEST_F(ChurnFixture, TotalsTracked) {
   ChurnEngine engine = make_engine();
   ChurnPhase phase;
   phase.start = 0;
-  phase.end = 5 * sim::kMinute;
-  phase.interval = sim::kMinute;
+  phase.end = 5 * net::kMinute;
+  phase.interval = net::kMinute;
   phase.leave_fraction = 0.01;
   engine.schedule(phase);
   sim.run();

@@ -54,12 +54,12 @@ std::uint64_t total_decode_rejects(WhisperTestbed& tb) {
 
 TEST(Byzantine, TruncatedFramesAreRejectedNotFatal) {
   WhisperTestbed tb(small_config(101));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   fabric.schedule(byz_spec(tb, faults::FaultKind::kByzTruncate,
                            {tb.alive_nodes()[1]->internal_endpoint()}));
   const std::uint64_t rejects_before = total_decode_rejects(tb);
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
 
   EXPECT_GT(fabric.stats().byz_truncated, 0u);
   // Receivers classified the mangled frames instead of acting on them.
@@ -69,12 +69,12 @@ TEST(Byzantine, TruncatedFramesAreRejectedNotFatal) {
 
 TEST(Byzantine, OversizedFramesAreRejectedNotFatal) {
   WhisperTestbed tb(small_config(102));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   fabric.schedule(byz_spec(tb, faults::FaultKind::kByzOversize,
                            {tb.alive_nodes()[1]->internal_endpoint()}));
   const std::uint64_t rejects_before = total_decode_rejects(tb);
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
 
   EXPECT_GT(fabric.stats().byz_oversized, 0u);
   EXPECT_GT(total_decode_rejects(tb), rejects_before);
@@ -83,11 +83,11 @@ TEST(Byzantine, OversizedFramesAreRejectedNotFatal) {
 
 TEST(Byzantine, BitflippedFramesAreRejectedNotFatal) {
   WhisperTestbed tb(small_config(103));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   fabric.schedule(byz_spec(tb, faults::FaultKind::kByzBitflip,
                            {tb.alive_nodes()[1]->internal_endpoint()}));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
 
   EXPECT_GT(fabric.stats().byz_bitflipped, 0u);
   EXPECT_EQ(tb.alive_count(), 40u);
@@ -99,12 +99,12 @@ TEST(Byzantine, BitflippedFramesAreRejectedNotFatal) {
 
 TEST(Byzantine, ReplayActorCapturesAndReinjects) {
   WhisperTestbed tb(small_config(104));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   fabric.schedule(byz_spec(tb, faults::FaultKind::kByzReplay,
                            {tb.alive_nodes()[1]->internal_endpoint()},
                            /*probability=*/1.0, /*rate=*/20.0));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
 
   EXPECT_GT(fabric.stats().byz_captured, 0u);
   EXPECT_GT(fabric.stats().byz_replayed, 0u);
@@ -113,13 +113,13 @@ TEST(Byzantine, ReplayActorCapturesAndReinjects) {
 
 TEST(Byzantine, FloodIsAbsorbedByDecodeAndRateDefenses) {
   WhisperTestbed tb(small_config(105));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   fabric.schedule(byz_spec(tb, faults::FaultKind::kByzFlood,
                            {tb.alive_nodes()[1]->internal_endpoint()},
                            /*probability=*/1.0, /*rate=*/50.0));
   const std::uint64_t rejects_before = total_decode_rejects(tb);
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
 
   EXPECT_GT(fabric.stats().byz_flooded, 100u);  // ~50/s for 3 minutes
   // Garbage at the WCL port is classified and dropped at the codec wall.
@@ -129,11 +129,11 @@ TEST(Byzantine, FloodIsAbsorbedByDecodeAndRateDefenses) {
 
 TEST(Byzantine, FabricatedGossipDoesNotPoisonTheOverlay) {
   WhisperTestbed tb(small_config(106));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   fabric.schedule(byz_spec(tb, faults::FaultKind::kByzFabricate,
                            {tb.alive_nodes()[1]->internal_endpoint()}));
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   EXPECT_GT(fabric.stats().byz_fabricated, 0u);
   // Fabricated ids live in 0x8000...-space no honest deployment allocates;
@@ -178,7 +178,7 @@ TEST(Byzantine, ScriptParsesByzKindsAndRate) {
 // Fire confidential sends between deterministically-picked honest pairs and
 // report the acknowledged fraction.
 double honest_delivery(WhisperTestbed& tb, const std::vector<WhisperNode*>& honest,
-                       std::size_t pairs, std::size_t salt, sim::Time window) {
+                       std::size_t pairs, std::size_t salt, net::Time window) {
   auto ok = std::make_shared<int>(0);
   int sent = 0;
   for (std::size_t k = 0; k < pairs; ++k) {
@@ -213,7 +213,7 @@ ByzOutcome run_byzantine(std::uint64_t seed) {
   cfg.node.wcl.pi = 3;
   cfg.seed = seed;
   WhisperTestbed tb(cfg);
-  tb.run_for(8 * sim::kMinute);
+  tb.run_for(8 * net::kMinute);
 
   // 10% of the deployment misbehaves; the test picks the actors so the
   // probe set can be restricted to honest pairs ("honest delivery").
@@ -229,7 +229,7 @@ ByzOutcome run_byzantine(std::uint64_t seed) {
   }
 
   ByzOutcome out;
-  out.baseline_delivery = honest_delivery(tb, honest, 30, /*salt=*/5, sim::kMinute);
+  out.baseline_delivery = honest_delivery(tb, honest, 30, /*salt=*/5, net::kMinute);
   out.baseline_reach =
       pss::reachable_fraction(tb.overlay_snapshot(), honest[0]->id());
 
@@ -255,8 +255,8 @@ ByzOutcome run_byzantine(std::uint64_t seed) {
   fabric.schedule_all(specs);
 
   // Let the adversary soak, then measure the honest side of the network.
-  tb.run_for(6 * sim::kMinute);
-  out.adversarial_delivery = honest_delivery(tb, honest, 30, /*salt=*/97, sim::kMinute);
+  tb.run_for(6 * net::kMinute);
+  out.adversarial_delivery = honest_delivery(tb, honest, 30, /*salt=*/97, net::kMinute);
   out.adversarial_reach =
       pss::reachable_fraction(tb.overlay_snapshot(), honest[0]->id());
 

@@ -16,7 +16,7 @@ namespace {
 // Fire `pairs` confidential sends between deterministically-picked node
 // pairs and report the fraction acknowledged by the end of `window`.
 double route_success(WhisperTestbed& tb, std::size_t pairs, std::size_t salt,
-                     sim::Time window) {
+                     net::Time window) {
   auto nodes = tb.alive_nodes();
   auto ok = std::make_shared<int>(0);
   int sent = 0;
@@ -52,37 +52,37 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   cfg.node.wcl.pi = 3;
   cfg.seed = seed;
   WhisperTestbed tb(cfg);
-  tb.run_for(8 * sim::kMinute);
+  tb.run_for(8 * net::kMinute);
 
   ChaosOutcome out;
-  out.baseline = route_success(tb, /*pairs=*/30, /*salt=*/3, sim::kMinute);
+  out.baseline = route_success(tb, /*pairs=*/30, /*salt=*/3, net::kMinute);
 
   // Script the incident: a 30%-bisection partition lasting four minutes,
   // with two relay crashes one minute in (the partition hides the loss
   // from half the clients until it heals — the nasty ordering).
   faults::FaultFabric& fabric = tb.install_fault_fabric();
-  const sim::Time t0 = tb.simulator().now() + 30 * sim::kSecond;
+  const net::Time t0 = tb.simulator().now() + 30 * net::kSecond;
   faults::FaultSpec partition;
   partition.kind = faults::FaultKind::kPartition;
   partition.start = t0;
-  partition.end = t0 + 4 * sim::kMinute;
+  partition.end = t0 + 4 * net::kMinute;
   partition.fraction = 0.3;
   faults::FaultSpec crash;
   crash.kind = faults::FaultKind::kCrash;
-  crash.start = t0 + sim::kMinute;
+  crash.start = t0 + net::kMinute;
   crash.count = 2;
   fabric.schedule_all({partition, crash});
 
   // Probe while the cut is live: every cross-cut route must fail.
-  tb.run_for(sim::kMinute);  // 30s into the partition window
-  out.during_fault = route_success(tb, 30, /*salt=*/101, 90 * sim::kSecond);
+  tb.run_for(net::kMinute);  // 30s into the partition window
+  out.during_fault = route_success(tb, 30, /*salt=*/101, 90 * net::kSecond);
 
   // Ride out the window, then give the stack its recovery budget: relay
   // failover needs the keepalive loss threshold (3 x 30s), the PSS needs a
   // quarantine TTL (2 min) to forgive peers cut off by the partition.
-  tb.run_for(2 * sim::kMinute);  // to the heal
-  tb.run_for(5 * sim::kMinute);  // recovery budget
-  out.recovered = route_success(tb, 30, /*salt=*/211, sim::kMinute);
+  tb.run_for(2 * net::kMinute);  // to the heal
+  tb.run_for(5 * net::kMinute);  // recovery budget
+  out.recovered = route_success(tb, 30, /*salt=*/211, net::kMinute);
 
   out.fault_stats = fabric.stats();
   for (WhisperNode* n : tb.all_nodes()) {
@@ -125,18 +125,18 @@ TEST(PartitionRejoin, OverlayRemergesAfterFullViewTurnover) {
   cfg.node.wcl.pi = 3;
   cfg.seed = 913;
   WhisperTestbed tb(cfg);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   faults::FaultSpec cut;
   cut.kind = faults::FaultKind::kPartition;
   cut.start = tb.simulator().now();
-  cut.end = cut.start + 150 * sim::kSecond;
+  cut.end = cut.start + 150 * net::kSecond;
   cut.fraction = 0.5;
   fabric.schedule(cut);
-  tb.run_for(150 * sim::kSecond);
+  tb.run_for(150 * net::kSecond);
 
-  tb.run_for(5 * sim::kMinute);  // healing time (quarantine TTL + re-probes)
+  tb.run_for(5 * net::kMinute);  // healing time (quarantine TTL + re-probes)
 
   const double reachable =
       pss::reachable_fraction(tb.overlay_snapshot(), tb.alive_nodes()[0]->id());

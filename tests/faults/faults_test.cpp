@@ -9,6 +9,7 @@
 #include <set>
 
 #include "faults/script.hpp"
+#include "sim/network.hpp"
 
 namespace whisper::faults {
 namespace {
@@ -17,7 +18,7 @@ Endpoint ep(std::uint32_t ip) { return Endpoint{ip, 4000}; }
 
 struct FaultsFixture : ::testing::Test {
   sim::Simulator sim{7};
-  sim::Network net{sim, std::make_unique<sim::FixedLatency>(sim::kMillisecond)};
+  sim::Network net{sim, std::make_unique<sim::FixedLatency>(net::kMillisecond)};
   std::vector<Endpoint> live;
   std::vector<Endpoint> relays;
   std::vector<Endpoint> crashed;
@@ -41,7 +42,7 @@ struct FaultsFixture : ::testing::Test {
   int& sink(Endpoint e) {
     auto counter = std::make_shared<int>(0);
     counts_.push_back(counter);
-    net.attach(e, [counter](const sim::Datagram&) { ++*counter; });
+    net.attach(e, [counter](const net::Datagram&) { ++*counter; });
     return *counter;
   }
 
@@ -52,7 +53,7 @@ TEST_F(FaultsFixture, IdleFabricPassesPacketsUntouched) {
   FaultFabric& f = install();
   EXPECT_TRUE(f.idle());
   int& got = sink(ep(1));
-  net.send(ep(2), ep(1), Bytes{1, 2, 3}, sim::Proto::kApp);
+  net.send(ep(2), ep(1), Bytes{1, 2, 3}, net::Proto::kApp);
   sim.run();
   EXPECT_EQ(got, 1);
   EXPECT_EQ(f.stats().packets_dropped, 0u);
@@ -64,8 +65,8 @@ TEST_F(FaultsFixture, PairwisePartitionCutsBothDirectionsThenHeals) {
   FaultFabric& f = install();
   FaultSpec spec;
   spec.kind = FaultKind::kPartition;
-  spec.start = sim::kSecond;
-  spec.end = 3 * sim::kSecond;
+  spec.start = net::kSecond;
+  spec.end = 3 * net::kSecond;
   spec.targets_a = {ep(1)};
   spec.targets_b = {ep(2)};
   f.schedule(spec);
@@ -75,25 +76,25 @@ TEST_F(FaultsFixture, PairwisePartitionCutsBothDirectionsThenHeals) {
   int& at3 = sink(ep(3));
 
   // Before the window: delivered.
-  net.send(ep(1), ep(2), Bytes{0}, sim::Proto::kApp);
-  sim.run_until(sim::kSecond / 2);
+  net.send(ep(1), ep(2), Bytes{0}, net::Proto::kApp);
+  sim.run_until(net::kSecond / 2);
   EXPECT_EQ(at2, 1);
 
   // Inside the window: cut in both directions, third parties unaffected.
-  sim.run_until(2 * sim::kSecond);
+  sim.run_until(2 * net::kSecond);
   EXPECT_FALSE(f.idle());
-  net.send(ep(1), ep(2), Bytes{0}, sim::Proto::kApp);
-  net.send(ep(2), ep(1), Bytes{0}, sim::Proto::kApp);
-  net.send(ep(1), ep(3), Bytes{0}, sim::Proto::kApp);
-  sim.run_until(2 * sim::kSecond + 10 * sim::kMillisecond);
+  net.send(ep(1), ep(2), Bytes{0}, net::Proto::kApp);
+  net.send(ep(2), ep(1), Bytes{0}, net::Proto::kApp);
+  net.send(ep(1), ep(3), Bytes{0}, net::Proto::kApp);
+  sim.run_until(2 * net::kSecond + 10 * net::kMillisecond);
   EXPECT_EQ(at2, 1);
   EXPECT_EQ(at1, 0);
   EXPECT_EQ(at3, 1);
   EXPECT_EQ(f.stats().packets_dropped, 2u);
 
   // After the window: healed.
-  sim.run_until(3 * sim::kSecond + sim::kMillisecond);
-  net.send(ep(1), ep(2), Bytes{0}, sim::Proto::kApp);
+  sim.run_until(3 * net::kSecond + net::kMillisecond);
+  net.send(ep(1), ep(2), Bytes{0}, net::Proto::kApp);
   sim.run();
   EXPECT_EQ(at2, 2);
   EXPECT_TRUE(f.idle());
@@ -104,7 +105,7 @@ TEST_F(FaultsFixture, AsymmetricLossOnlyCutsOneDirection) {
   FaultSpec spec;
   spec.kind = FaultKind::kLoss;
   spec.start = 0;
-  spec.end = sim::kMinute;
+  spec.end = net::kMinute;
   spec.probability = 1.0;
   spec.symmetric = false;
   spec.targets_a = {ep(1)};
@@ -113,10 +114,10 @@ TEST_F(FaultsFixture, AsymmetricLossOnlyCutsOneDirection) {
 
   int& at1 = sink(ep(1));
   int& at2 = sink(ep(2));
-  sim.run_until(sim::kSecond);
-  net.send(ep(1), ep(2), Bytes{0}, sim::Proto::kApp);  // A->B: lost
-  net.send(ep(2), ep(1), Bytes{0}, sim::Proto::kApp);  // B->A: delivered
-  sim.run_until(2 * sim::kSecond);
+  sim.run_until(net::kSecond);
+  net.send(ep(1), ep(2), Bytes{0}, net::Proto::kApp);  // A->B: lost
+  net.send(ep(2), ep(1), Bytes{0}, net::Proto::kApp);  // B->A: delivered
+  sim.run_until(2 * net::kSecond);
   EXPECT_EQ(at2, 0);
   EXPECT_EQ(at1, 1);
   EXPECT_EQ(f.stats().packets_dropped, 1u);
@@ -127,18 +128,18 @@ TEST_F(FaultsFixture, DelaySpikeAddsConfiguredDelay) {
   FaultSpec spec;
   spec.kind = FaultKind::kDelay;
   spec.start = 0;
-  spec.end = sim::kMinute;
-  spec.delay = 50 * sim::kMillisecond;
+  spec.end = net::kMinute;
+  spec.delay = 50 * net::kMillisecond;
   spec.probability = 1.0;
   f.schedule(spec);
 
   int& got = sink(ep(1));
-  sim.run_until(sim::kSecond);
-  net.send(ep(2), ep(1), Bytes{0}, sim::Proto::kApp);
+  sim.run_until(net::kSecond);
+  net.send(ep(2), ep(1), Bytes{0}, net::Proto::kApp);
   // Base latency 1ms + 50ms spike: not there at +50ms, there at +51ms.
-  sim.run_until(sim::kSecond + 50 * sim::kMillisecond);
+  sim.run_until(net::kSecond + 50 * net::kMillisecond);
   EXPECT_EQ(got, 0);
-  sim.run_until(sim::kSecond + 51 * sim::kMillisecond);
+  sim.run_until(net::kSecond + 51 * net::kMillisecond);
   EXPECT_EQ(got, 1);
   EXPECT_EQ(f.stats().packets_delayed, 1u);
 }
@@ -148,14 +149,14 @@ TEST_F(FaultsFixture, DuplicationDeliversTwoCopies) {
   FaultSpec spec;
   spec.kind = FaultKind::kDuplicate;
   spec.start = 0;
-  spec.end = sim::kMinute;
+  spec.end = net::kMinute;
   spec.probability = 1.0;
   f.schedule(spec);
 
   int& got = sink(ep(1));
-  sim.run_until(sim::kSecond);
-  net.send(ep(2), ep(1), Bytes{9}, sim::Proto::kApp);
-  sim.run_until(2 * sim::kSecond);
+  sim.run_until(net::kSecond);
+  net.send(ep(2), ep(1), Bytes{9}, net::Proto::kApp);
+  sim.run_until(2 * net::kSecond);
   EXPECT_EQ(got, 2);
   EXPECT_EQ(f.stats().packets_duplicated, 1u);
   EXPECT_EQ(net.packets_duplicated(), 1u);
@@ -166,16 +167,16 @@ TEST_F(FaultsFixture, CorruptionFlipsExactlyOneBit) {
   FaultSpec spec;
   spec.kind = FaultKind::kCorrupt;
   spec.start = 0;
-  spec.end = sim::kMinute;
+  spec.end = net::kMinute;
   spec.probability = 1.0;
   f.schedule(spec);
 
   const Bytes original(32, 0xA5);
   Bytes received;
-  net.attach(ep(1), [&](const sim::Datagram& d) { received = d.payload; });
-  sim.run_until(sim::kSecond);
-  net.send(ep(2), ep(1), original, sim::Proto::kApp);
-  sim.run_until(2 * sim::kSecond);
+  net.attach(ep(1), [&](const net::Datagram& d) { received = d.payload; });
+  sim.run_until(net::kSecond);
+  net.send(ep(2), ep(1), original, net::Proto::kApp);
+  sim.run_until(2 * net::kSecond);
 
   ASSERT_EQ(received.size(), original.size());
   int flipped_bits = 0;
@@ -190,13 +191,13 @@ TEST_F(FaultsFixture, CorruptionFlipsExactlyOneBit) {
 TEST_F(FaultsFixture, PauseQueuesInboundAndFlushesInOrderOnResume) {
   FaultFabric& f = install();
   std::vector<Bytes> received;
-  net.attach(ep(1), [&](const sim::Datagram& d) { received.push_back(d.payload); });
+  net.attach(ep(1), [&](const net::Datagram& d) { received.push_back(d.payload); });
 
   f.pause(ep(1));
   EXPECT_TRUE(f.paused(ep(1)));
-  net.send(ep(2), ep(1), Bytes{1}, sim::Proto::kApp);
-  net.send(ep(2), ep(1), Bytes{2}, sim::Proto::kApp);
-  net.send(ep(2), ep(1), Bytes{3}, sim::Proto::kApp);
+  net.send(ep(2), ep(1), Bytes{1}, net::Proto::kApp);
+  net.send(ep(2), ep(1), Bytes{2}, net::Proto::kApp);
+  net.send(ep(2), ep(1), Bytes{3}, net::Proto::kApp);
   sim.run();
   EXPECT_TRUE(received.empty());
   EXPECT_EQ(f.stats().packets_queued, 3u);
@@ -219,19 +220,19 @@ TEST_F(FaultsFixture, ScheduledPauseWindowResumesAutomatically) {
   FaultFabric& f = install();
   FaultSpec spec;
   spec.kind = FaultKind::kPause;
-  spec.start = sim::kSecond;
-  spec.end = 2 * sim::kSecond;
+  spec.start = net::kSecond;
+  spec.end = 2 * net::kSecond;
   spec.count = 1;
   spec.targets_a = {ep(1)};
   f.schedule(spec);
 
   int& got = sink(ep(1));
-  sim.run_until(sim::kSecond + sim::kMillisecond);
+  sim.run_until(net::kSecond + net::kMillisecond);
   EXPECT_TRUE(f.paused(ep(1)));
-  net.send(ep(2), ep(1), Bytes{7}, sim::Proto::kApp);
-  sim.run_until(2 * sim::kSecond - sim::kMillisecond);
+  net.send(ep(2), ep(1), Bytes{7}, net::Proto::kApp);
+  sim.run_until(2 * net::kSecond - net::kMillisecond);
   EXPECT_EQ(got, 0);
-  sim.run_until(2 * sim::kSecond + sim::kMillisecond);
+  sim.run_until(2 * net::kSecond + net::kMillisecond);
   EXPECT_FALSE(f.paused(ep(1)));
   EXPECT_EQ(got, 1);
   EXPECT_EQ(f.stats().nodes_paused, 1u);
@@ -243,7 +244,7 @@ TEST_F(FaultsFixture, CrashDrawsVictimsFromRelayPool) {
   FaultFabric& f = install();
   FaultSpec spec;
   spec.kind = FaultKind::kCrash;
-  spec.start = sim::kSecond;
+  spec.start = net::kSecond;
   spec.end = 0;  // one-shot
   spec.count = 1;
   f.schedule(spec);
@@ -258,7 +259,7 @@ TEST_F(FaultsFixture, NatResetFiresCallbackPerVictim) {
   FaultFabric& f = install();
   FaultSpec spec;
   spec.kind = FaultKind::kNatReset;
-  spec.start = sim::kSecond;
+  spec.start = net::kSecond;
   spec.end = 0;
   spec.count = 2;
   f.schedule(spec);
@@ -273,7 +274,7 @@ TEST_F(FaultsFixture, NatResetFiresCallbackPerVictim) {
 std::set<std::pair<std::uint32_t, std::uint32_t>> bisection_survivors(
     std::uint64_t seed, std::uint32_t n) {
   sim::Simulator sim{7};
-  sim::Network net{sim, std::make_unique<sim::FixedLatency>(sim::kMillisecond)};
+  sim::Network net{sim, std::make_unique<sim::FixedLatency>(net::kMillisecond)};
   std::vector<Endpoint> live;
   for (std::uint32_t i = 1; i <= n; ++i) live.push_back(ep(i));
   FaultFabric::Environment env;
@@ -282,24 +283,24 @@ std::set<std::pair<std::uint32_t, std::uint32_t>> bisection_survivors(
 
   FaultSpec spec;
   spec.kind = FaultKind::kPartition;
-  spec.start = sim::kSecond;
-  spec.end = sim::kMinute;
+  spec.start = net::kSecond;
+  spec.end = net::kMinute;
   spec.fraction = 0.5;
   fabric.schedule(spec);
 
   std::set<std::pair<std::uint32_t, std::uint32_t>> survivors;
   for (std::uint32_t i = 1; i <= n; ++i) {
-    net.attach(ep(i), [&survivors, i](const sim::Datagram& d) {
+    net.attach(ep(i), [&survivors, i](const net::Datagram& d) {
       survivors.emplace(d.src.ip, i);
     });
   }
-  sim.run_until(2 * sim::kSecond);
+  sim.run_until(2 * net::kSecond);
   for (std::uint32_t i = 1; i <= n; ++i) {
     for (std::uint32_t j = 1; j <= n; ++j) {
-      if (i != j) net.send(ep(i), ep(j), Bytes{0}, sim::Proto::kApp);
+      if (i != j) net.send(ep(i), ep(j), Bytes{0}, net::Proto::kApp);
     }
   }
-  sim.run_until(3 * sim::kSecond);
+  sim.run_until(3 * net::kSecond);
   return survivors;
 }
 
@@ -337,8 +338,8 @@ TEST(FaultScript, ParsesKindsTimesAndKeys) {
 
   const FaultSpec& part = result.specs[0];
   EXPECT_EQ(part.kind, FaultKind::kPartition);
-  EXPECT_EQ(part.start, 5 * sim::kMinute);
-  EXPECT_EQ(part.end, 7 * sim::kMinute);
+  EXPECT_EQ(part.start, 5 * net::kMinute);
+  EXPECT_EQ(part.end, 7 * net::kMinute);
   EXPECT_DOUBLE_EQ(part.fraction, 0.25);
 
   const FaultSpec& loss = result.specs[1];
@@ -348,8 +349,8 @@ TEST(FaultScript, ParsesKindsTimesAndKeys) {
 
   const FaultSpec& delay = result.specs[2];
   EXPECT_EQ(delay.kind, FaultKind::kDelay);
-  EXPECT_EQ(delay.delay, 200 * sim::kMillisecond);
-  EXPECT_EQ(delay.end, 10 * sim::kMinute + 30 * sim::kSecond);
+  EXPECT_EQ(delay.delay, 200 * net::kMillisecond);
+  EXPECT_EQ(delay.end, 10 * net::kMinute + 30 * net::kSecond);
 
   const FaultSpec& crash = result.specs[3];
   EXPECT_EQ(crash.kind, FaultKind::kCrash);
@@ -358,22 +359,22 @@ TEST(FaultScript, ParsesKindsTimesAndKeys) {
 
   const FaultSpec& natreset = result.specs[4];
   EXPECT_EQ(natreset.kind, FaultKind::kNatReset);
-  EXPECT_EQ(natreset.start, 90 * sim::kSecond);  // bare number = seconds
+  EXPECT_EQ(natreset.start, 90 * net::kSecond);  // bare number = seconds
   EXPECT_EQ(natreset.count, 5u);
 }
 
 TEST(FaultScript, ParseDurationUnits) {
-  sim::Time t = 0;
+  net::Time t = 0;
   EXPECT_TRUE(parse_duration("150ms", t));
-  EXPECT_EQ(t, 150 * sim::kMillisecond);
+  EXPECT_EQ(t, 150 * net::kMillisecond);
   EXPECT_TRUE(parse_duration("2m", t));
-  EXPECT_EQ(t, 2 * sim::kMinute);
+  EXPECT_EQ(t, 2 * net::kMinute);
   EXPECT_TRUE(parse_duration("45us", t));
   EXPECT_EQ(t, 45u);
   EXPECT_TRUE(parse_duration("30", t));
-  EXPECT_EQ(t, 30 * sim::kSecond);
+  EXPECT_EQ(t, 30 * net::kSecond);
   EXPECT_TRUE(parse_duration("+45s", t));
-  EXPECT_EQ(t, 45 * sim::kSecond);
+  EXPECT_EQ(t, 45 * net::kSecond);
   EXPECT_FALSE(parse_duration("abc", t));
   EXPECT_FALSE(parse_duration("", t));
   EXPECT_FALSE(parse_duration("12kg", t));

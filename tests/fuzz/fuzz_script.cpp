@@ -18,7 +18,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
     }
   }
   // The duration tokenizer is also reachable with raw text directly.
-  whisper::sim::Time t = 0;
+  whisper::net::Time t = 0;
   (void)whisper::faults::parse_duration(text, t);
   return 0;
 }

@@ -24,10 +24,10 @@ RunDigest run_once(std::uint64_t seed) {
   cfg.initial_nodes = 40;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   WhisperTestbed tb(cfg);
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Group activity on top.
   auto nodes = tb.alive_nodes();
@@ -37,7 +37,7 @@ RunDigest run_once(std::uint64_t seed) {
     nodes[static_cast<std::size_t>(i)]->join_group(
         kGroup, *fg.invite(nodes[static_cast<std::size_t>(i)]->id()), fg.self_descriptor());
   }
-  tb.run_for(8 * sim::kMinute);
+  tb.run_for(8 * net::kMinute);
 
   RunDigest digest;
   for (WhisperNode* n : tb.alive_nodes()) {

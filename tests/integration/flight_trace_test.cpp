@@ -20,7 +20,7 @@ TestbedConfig base_config(std::uint64_t seed) {
   cfg.initial_nodes = 30;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   cfg.flight = true;
   return cfg;
@@ -39,9 +39,9 @@ void form_group(WhisperTestbed& tb, std::uint64_t seed, int members) {
 TEST(FlightTrace, PerHopLatenciesSumToMeasuredRtt) {
   TestbedConfig cfg = base_config(9001);
   WhisperTestbed tb(cfg);
-  tb.run_for(4 * sim::kMinute);
+  tb.run_for(4 * net::kMinute);
   form_group(tb, cfg.seed, 5);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   const auto records = tb.flight().assemble();
   std::size_t delivered = 0;
@@ -70,9 +70,9 @@ TEST(FlightTrace, SameSeedRunsExportByteIdenticalRecords) {
   auto run = [] {
     TestbedConfig cfg = base_config(9002);
     WhisperTestbed tb(cfg);
-    tb.run_for(4 * sim::kMinute);
+    tb.run_for(4 * net::kMinute);
     form_group(tb, cfg.seed, 5);
-    tb.run_for(5 * sim::kMinute);
+    tb.run_for(5 * net::kMinute);
     return telemetry::to_jsonl(tb.flight().assemble());
   };
   const std::string a = run();
@@ -92,16 +92,16 @@ TEST(FlightTrace, TracingAddsZeroBytesToWirePayloads) {
     WhisperTestbed tb(cfg);
     std::uint64_t digest = 1469598103934665603ull;
     std::uint64_t packets = 0;
-    tb.network().set_tap([&](const sim::Datagram& dgram) {
+    tb.network().set_tap([&](const net::Datagram& dgram) {
       ++packets;
       for (std::uint8_t byte : dgram.payload) {
         digest ^= byte;
         digest *= 1099511628211ull;
       }
     });
-    tb.run_for(4 * sim::kMinute);
+    tb.run_for(4 * net::kMinute);
     form_group(tb, cfg.seed, 5);
-    tb.run_for(5 * sim::kMinute);
+    tb.run_for(5 * net::kMinute);
     return std::make_pair(digest, packets);
   };
   const auto dark = run(false);
@@ -114,31 +114,31 @@ TEST(FlightTrace, TracingAddsZeroBytesToWirePayloads) {
 TEST(FlightTrace, FaultInjectionIsAttributedInRecords) {
   TestbedConfig cfg = base_config(9004);
   WhisperTestbed tb(cfg);
-  tb.run_for(4 * sim::kMinute);
+  tb.run_for(4 * net::kMinute);
   form_group(tb, cfg.seed, 5);
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
 
   // A rough window: drop a third of packets, duplicate and jitter the rest.
   faults::FaultFabric& ff = tb.install_fault_fabric();
-  const sim::Time t0 = tb.simulator().now();
+  const net::Time t0 = tb.simulator().now();
   faults::FaultSpec loss;
   loss.kind = faults::FaultKind::kLoss;
   loss.start = t0;
-  loss.end = t0 + 3 * sim::kMinute;
+  loss.end = t0 + 3 * net::kMinute;
   loss.probability = 0.3;
   faults::FaultSpec dup;
   dup.kind = faults::FaultKind::kDuplicate;
   dup.start = t0;
-  dup.end = t0 + 3 * sim::kMinute;
+  dup.end = t0 + 3 * net::kMinute;
   dup.probability = 0.2;
   faults::FaultSpec reorder;
   reorder.kind = faults::FaultKind::kReorder;
   reorder.start = t0;
-  reorder.end = t0 + 3 * sim::kMinute;
+  reorder.end = t0 + 3 * net::kMinute;
   reorder.probability = 0.2;
-  reorder.delay = 50 * sim::kMillisecond;
+  reorder.delay = 50 * net::kMillisecond;
   ff.schedule_all({loss, dup, reorder});
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   const auto records = tb.flight().assemble();
   std::size_t fault_touched = 0, retransmitted = 0, dropped_hops = 0;
@@ -168,17 +168,17 @@ TEST(FlightTrace, RelayCrashDropsAreAttributed) {
   TestbedConfig cfg = base_config(9005);
   cfg.initial_nodes = 40;
   WhisperTestbed tb(cfg);
-  tb.run_for(4 * sim::kMinute);
+  tb.run_for(4 * net::kMinute);
   form_group(tb, cfg.seed, 6);
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
 
   faults::FaultFabric& ff = tb.install_fault_fabric();
   faults::FaultSpec crash;
   crash.kind = faults::FaultKind::kCrash;
-  crash.start = tb.simulator().now() + sim::kSecond;
+  crash.start = tb.simulator().now() + net::kSecond;
   crash.count = 2;  // two relay crashes
   ff.schedule_all({crash});
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Packets to the crashed relays die with a detach/filter drop; the traces
   // that hit them must record it rather than silently losing the hop.
@@ -199,9 +199,9 @@ TEST(FlightTrace, SingleHonestButCuriousRelayLinksNothing) {
   TestbedConfig cfg = base_config(9006);
   cfg.initial_nodes = 50;
   WhisperTestbed tb(cfg);
-  tb.run_for(4 * sim::kMinute);
+  tb.run_for(4 * net::kMinute);
   form_group(tb, cfg.seed, 8);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   const auto records = tb.flight().assemble();
   telemetry::Vantage vantage;

@@ -19,10 +19,10 @@ TEST(Soak, FullStackSurvivesSustainedChurn) {
   cfg.natted_fraction = 0.7;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = 4242;
   WhisperTestbed tb(cfg);
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // One private group led by a protected P-node; a third of nodes join.
   WhisperNode* leader_node = tb.alive_public_nodes()[0];
@@ -35,7 +35,7 @@ TEST(Soak, FullStackSurvivesSustainedChurn) {
     n->join_group(kGroup, *leader.invite(n->id()), leader.self_descriptor());
     ++joined;
   }
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Sustained 2%/min churn for 30 simulated minutes (group members and the
   // leader are spared so the group itself persists; the substrate below
@@ -66,10 +66,10 @@ TEST(Soak, FullStackSurvivesSustainedChurn) {
       [&] { return tb.alive_count(); });
   churn::ChurnPhase phase;
   phase.start = tb.simulator().now();
-  phase.end = phase.start + 30 * sim::kMinute;
+  phase.end = phase.start + 30 * net::kMinute;
   phase.leave_fraction = 0.02;
   engine.schedule(phase);
-  tb.run_for(30 * sim::kMinute);
+  tb.run_for(30 * net::kMinute);
 
   EXPECT_GT(engine.total_killed(), 30u);  // churn actually happened
 
@@ -109,7 +109,7 @@ TEST(Soak, FullStackSurvivesSustainedChurn) {
     got.assign(p.begin(), p.end());
   };
   EXPECT_TRUE(members[0]->send_app_to(members[1]->self_descriptor(), to_bytes("still here")));
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   EXPECT_EQ(got, to_bytes("still here"));
 }
 
@@ -120,11 +120,11 @@ TEST(Soak, NetworkDrainsCleanly) {
   cfg.initial_nodes = 30;
   cfg.seed = 555;
   WhisperTestbed tb(cfg);
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   for (WhisperNode* n : tb.alive_nodes()) tb.kill_node(n->id());
   EXPECT_EQ(tb.alive_count(), 0u);
   // Drain everything still queued (timers were cancelled; deliveries drop).
-  tb.run_for(10 * sim::kMinute);
+  tb.run_for(10 * net::kMinute);
   EXPECT_EQ(tb.network().packets_delivered(), tb.network().packets_delivered());
 }
 

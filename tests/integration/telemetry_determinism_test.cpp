@@ -26,12 +26,12 @@ RunOutput run_once(std::uint64_t seed, bool trace) {
   cfg.initial_nodes = 30;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   cfg.trace = trace;
-  cfg.telemetry_sample_every = trace ? sim::kMinute : 0;
+  cfg.telemetry_sample_every = trace ? net::kMinute : 0;
   WhisperTestbed tb(cfg);
-  tb.run_for(4 * sim::kMinute);
+  tb.run_for(4 * net::kMinute);
 
   auto nodes = tb.alive_nodes();
   crypto::Drbg d(seed);
@@ -40,7 +40,7 @@ RunOutput run_once(std::uint64_t seed, bool trace) {
     nodes[static_cast<std::size_t>(i)]->join_group(
         kGroup, *fg.invite(nodes[static_cast<std::size_t>(i)]->id()), fg.self_descriptor());
   }
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   RunOutput out;
   out.metrics_jsonl = telemetry::to_jsonl(tb.registry());

@@ -26,7 +26,7 @@ TEST(KeyService, PiggybackRoundTrips) {
 
 TEST(KeyService, GossipSpreadsKeys) {
   WhisperTestbed tb(config(20));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   // After a few cycles every node holds keys for (at least) its CB.
   for (WhisperNode* n : tb.alive_nodes()) {
     EXPECT_GT(n->keys().cache_size(), 0u);
@@ -38,7 +38,7 @@ TEST(KeyService, GossipSpreadsKeys) {
 
 TEST(KeyService, CachedKeysMatchRealKeys) {
   WhisperTestbed tb(config(15));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   for (WhisperNode* n : tb.alive_nodes()) {
     for (WhisperNode* other : tb.alive_nodes()) {
       if (auto k = n->keys().key_of(other->id())) {
@@ -50,20 +50,20 @@ TEST(KeyService, CachedKeysMatchRealKeys) {
 
 TEST(KeyService, ExplicitRequestDeliversKey) {
   WhisperTestbed tb(config(5));
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
   WhisperNode* a = tb.alive_nodes()[0];
   WhisperNode* b = tb.alive_nodes()[1];
   std::optional<crypto::RsaPublicKey> got;
   a->keys().request_key(b->transport().self_card(),
                         [&](std::optional<crypto::RsaPublicKey> k) { got = k; });
-  tb.run_for(10 * sim::kSecond);
+  tb.run_for(10 * net::kSecond);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, b->keypair().pub);
 }
 
 TEST(KeyService, RequestToDeadNodeTimesOut) {
   WhisperTestbed tb(config(5));
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
   WhisperNode* a = tb.alive_nodes()[0];
   // A node that does not exist (never cached, never answers).
   pss::ContactCard ghost;
@@ -76,14 +76,14 @@ TEST(KeyService, RequestToDeadNodeTimesOut) {
     called = true;
     got = k;
   });
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
   EXPECT_TRUE(called);
   EXPECT_FALSE(got.has_value());
 }
 
 TEST(KeyService, CacheHitAnswersSynchronously) {
   WhisperTestbed tb(config(5));
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   WhisperNode* a = tb.alive_nodes()[0];
   // Prime the cache.
   WhisperNode* b = tb.alive_nodes()[1];

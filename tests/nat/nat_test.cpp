@@ -85,9 +85,9 @@ TEST_F(NatFixture, MappingExpiresAfterLease) {
 TEST_F(NatFixture, OutboundRefreshesLease) {
   NatDevice dev = make(NatType::kFullCone);
   auto ext = dev.outbound(ep(0x0a000001), ep(1));
-  sim.run_until(config.lease - sim::kSecond);
+  sim.run_until(config.lease - net::kSecond);
   dev.outbound(ep(0x0a000001), ep(1));  // refresh
-  sim.run_until(config.lease + sim::kMinute);
+  sim.run_until(config.lease + net::kMinute);
   EXPECT_TRUE(dev.inbound(ext->port, ep(1)).has_value());
 }
 

@@ -1,0 +1,202 @@
+// UDP/epoll backend tests: loopback datagram exchange, wheel-driven
+// timers inside the event loop, frame validation against stray packets,
+// and EINTR handling under a signal storm.
+#include "net/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace whisper::net {
+namespace {
+
+constexpr Time kTick = 5 * kMillisecond;
+
+Bytes bytes_of(const char* s) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s);
+  return Bytes(p, p + std::strlen(s));
+}
+
+TEST(UdpBackend, ReservedEndpointsAreDistinctLoopbackPorts) {
+  UdpBackend backend;
+  ASSERT_TRUE(backend.last_error().empty()) << backend.last_error();
+  auto a = backend.reserve_endpoint();
+  auto b = backend.reserve_endpoint();
+  ASSERT_TRUE(a.has_value()) << backend.last_error();
+  ASSERT_TRUE(b.has_value()) << backend.last_error();
+  EXPECT_EQ(a->ip, (127u << 24) | 1);
+  EXPECT_NE(a->port, 0);
+  EXPECT_NE(b->port, 0);
+  EXPECT_FALSE(*a == *b);
+  // Reserved but not attached: no handler yet.
+  EXPECT_FALSE(backend.attached(*a));
+  backend.attach(*a, [](const Datagram&) {});
+  EXPECT_TRUE(backend.attached(*a));
+  backend.detach(*a);
+  EXPECT_FALSE(backend.attached(*a));
+}
+
+TEST(UdpBackend, LoopbackPingPong) {
+  UdpBackend backend;
+  auto a = backend.reserve_endpoint();
+  auto b = backend.reserve_endpoint();
+  ASSERT_TRUE(a && b) << backend.last_error();
+
+  std::vector<Datagram> at_a;
+  std::vector<Datagram> at_b;
+  backend.attach(*a, [&](const Datagram& d) { at_a.push_back(d); });
+  backend.attach(*b, [&](const Datagram& d) {
+    at_b.push_back(d);
+    backend.send(*b, d.src, bytes_of("pong"), Proto::kApp);
+  });
+
+  ASSERT_TRUE(backend.send(*a, *b, bytes_of("ping"), Proto::kWcl));
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (at_a.empty() && backend.now() < deadline) backend.poll(kTick);
+
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].payload, bytes_of("ping"));
+  EXPECT_EQ(at_b[0].proto, Proto::kWcl);
+  EXPECT_EQ(at_b[0].src, *a);  // loopback: source address survives verbatim
+  EXPECT_EQ(at_b[0].dst, *b);
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0].payload, bytes_of("pong"));
+  EXPECT_EQ(at_a[0].proto, Proto::kApp);
+  EXPECT_EQ(backend.packets_sent(), 2u);
+  EXPECT_EQ(backend.packets_delivered(), 2u);
+  EXPECT_GT(backend.bytes_sent(), 0u);
+  EXPECT_EQ(backend.bytes_sent(), backend.bytes_received());
+}
+
+TEST(UdpBackend, SendFromUnboundEndpointFails) {
+  UdpBackend backend;
+  auto a = backend.reserve_endpoint();
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(backend.send(Endpoint{(127u << 24) | 1, 1}, *a, bytes_of("x"),
+                            Proto::kApp));
+}
+
+TEST(UdpBackend, DeliveryToReservedButUnattachedSocketCountsDetachDrop) {
+  UdpBackend backend;
+  auto a = backend.reserve_endpoint();
+  auto c = backend.reserve_endpoint();  // bound socket, no handler
+  ASSERT_TRUE(a && c);
+  backend.attach(*a, [](const Datagram&) {});
+  ASSERT_TRUE(backend.send(*a, *c, bytes_of("void"), Proto::kApp));
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (backend.packets_dropped(DropReason::kDetach) == 0 &&
+         backend.now() < deadline) {
+    backend.poll(kTick);
+  }
+  EXPECT_EQ(backend.packets_dropped(DropReason::kDetach), 1u);
+  EXPECT_EQ(backend.packets_delivered(), 0u);
+}
+
+TEST(UdpBackend, RejectsFramesWithBadHeader) {
+  UdpBackend backend;
+  auto a = backend.reserve_endpoint();
+  ASSERT_TRUE(a);
+  int handled = 0;
+  backend.attach(*a, [&](const Datagram&) { ++handled; });
+
+  // A stray sender that knows nothing of the frame format.
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(a->ip);
+  dst.sin_port = htons(a->port);
+  const char garbage[] = "not a whisper frame";
+  ASSERT_GT(::sendto(fd, garbage, sizeof(garbage), 0,
+                     reinterpret_cast<const sockaddr*>(&dst), sizeof(dst)),
+            0);
+  // Right magic, out-of-range proto tag.
+  const std::uint8_t bad_proto[] = {0x57, 0x50, 1, 0xEE, 'x'};
+  ASSERT_GT(::sendto(fd, bad_proto, sizeof(bad_proto), 0,
+                     reinterpret_cast<const sockaddr*>(&dst), sizeof(dst)),
+            0);
+  ::close(fd);
+
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (backend.frame_rejects() < 2 && backend.now() < deadline) {
+    backend.poll(kTick);
+  }
+  EXPECT_EQ(backend.frame_rejects(), 2u);
+  EXPECT_EQ(handled, 0);
+  EXPECT_EQ(backend.packets_delivered(), 0u);
+}
+
+TEST(UdpBackend, TimersFireInDeadlineOrderAndCancelWorks) {
+  UdpBackend backend;
+  std::vector<int> order;
+  backend.schedule_after(30 * kMillisecond, [&] { order.push_back(3); });
+  backend.schedule_after(10 * kMillisecond, [&] { order.push_back(1); });
+  const TimerId victim =
+      backend.schedule_after(20 * kMillisecond, [&] { order.push_back(2); });
+  backend.schedule_at(backend.now() + 25 * kMillisecond,
+                      [&] { order.push_back(25); });
+  backend.cancel(victim);
+  backend.run_for(100 * kMillisecond);
+  EXPECT_EQ(order, (std::vector<int>{1, 25, 3}));
+  EXPECT_EQ(backend.pending_timers(), 0u);
+}
+
+TEST(UdpBackend, RequestStopEndsRun) {
+  UdpBackend backend;
+  backend.schedule_after(10 * kMillisecond, [&] { backend.request_stop(); });
+  backend.run();  // must return, not spin forever
+  EXPECT_TRUE(backend.stop_requested());
+}
+
+TEST(UdpBackend, EintrStormStillFiresTimersAndDeliversPackets) {
+  // Pepper the process with SIGALRM (no SA_RESTART: epoll_wait returns
+  // EINTR) while the loop runs; the backend must absorb the interruptions.
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old{};
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 2000;  // every 2 ms
+  storm.it_value.tv_usec = 2000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  UdpBackend backend;
+  auto a = backend.reserve_endpoint();
+  auto b = backend.reserve_endpoint();
+  ASSERT_TRUE(a && b);
+  int received = 0;
+  backend.attach(*a, [](const Datagram&) {});
+  backend.attach(*b, [&](const Datagram&) { ++received; });
+  int fired = 0;
+  backend.schedule_after(20 * kMillisecond, [&] { ++fired; });
+  backend.schedule_after(40 * kMillisecond, [&] {
+    ++fired;
+    backend.send(*a, *b, bytes_of("mid-storm"), Proto::kApp);
+  });
+
+  const Time deadline = backend.now() + 2 * kSecond;
+  while ((fired < 2 || received < 1) && backend.now() < deadline) {
+    backend.poll(kTick);
+  }
+
+  itimerval off{};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old, nullptr);
+
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(received, 1);
+  EXPECT_TRUE(backend.last_error().empty()) << backend.last_error();
+}
+
+}  // namespace
+}  // namespace whisper::net

@@ -1,0 +1,158 @@
+// Unit tests for the monotonic timer wheel behind the UDP backend: expiry
+// ordering, O(1) slot/generation cancellation, stale-id safety, and
+// re-arming from inside callbacks.
+#include "net/wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whisper::net {
+namespace {
+
+TEST(TimerWheel, FiresInDeadlineOrder) {
+  TimerWheel wheel;
+  std::vector<int> order;
+  wheel.schedule(300, [&] { order.push_back(3); });
+  wheel.schedule(100, [&] { order.push_back(1); });
+  wheel.schedule(200, [&] { order.push_back(2); });
+  EXPECT_EQ(wheel.advance(1000), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, SameDeadlineFiresInArmOrder) {
+  TimerWheel wheel;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    wheel.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  wheel.advance(50);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TimerWheel, AdvanceStopsAtNow) {
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule(100, [&] { ++fired; });
+  wheel.schedule(101, [&] { ++fired; });
+  EXPECT_EQ(wheel.advance(100), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_EQ(wheel.advance(101), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  const TimerId a = wheel.schedule(10, [&] { ++fired; });
+  const TimerId b = wheel.schedule(20, [&] { ++fired; });
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  ASSERT_NE(a, b);
+  wheel.cancel(a);
+  EXPECT_EQ(wheel.pending(), 1u);
+  wheel.advance(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.cancelled(), 1u);
+  EXPECT_EQ(wheel.fired(), 1u);
+}
+
+TEST(TimerWheel, StaleIdsAreHarmless) {
+  TimerWheel wheel;
+  int fired = 0;
+  const TimerId a = wheel.schedule(10, [&] { ++fired; });
+  wheel.advance(10);  // a fires; its slot retires
+  wheel.cancel(a);    // stale: no-op
+  // The slot is recycled for b under a new generation — cancelling the old
+  // id again must not disturb the new occupant.
+  const TimerId b = wheel.schedule(20, [&] { ++fired; });
+  EXPECT_NE(a, b);
+  wheel.cancel(a);
+  wheel.cancel(12345678u);  // never-issued id
+  wheel.cancel(0);          // the "no timer" sentinel
+  wheel.advance(20);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheel, DoubleCancelCountsOnce) {
+  TimerWheel wheel;
+  const TimerId a = wheel.schedule(10, [] {});
+  wheel.cancel(a);
+  wheel.cancel(a);
+  EXPECT_EQ(wheel.cancelled(), 1u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, NextDeadlineTracksEarliestLiveTimer) {
+  TimerWheel wheel;
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+  const TimerId a = wheel.schedule(100, [] {});
+  wheel.schedule(200, [] {});
+  EXPECT_EQ(wheel.next_deadline(), std::optional<Time>(100));
+  // Cancelling the front lazily leaves it in the heap; next_deadline must
+  // see through to the next live entry.
+  wheel.cancel(a);
+  EXPECT_EQ(wheel.next_deadline(), std::optional<Time>(200));
+  wheel.advance(200);
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+}
+
+TEST(TimerWheel, CallbackMayArmTimerDueNow) {
+  TimerWheel wheel;
+  std::vector<int> order;
+  wheel.schedule(10, [&] {
+    order.push_back(1);
+    wheel.schedule(10, [&] { order.push_back(2); });  // due within this advance
+    wheel.schedule(99, [&] { order.push_back(99); });
+  });
+  EXPECT_EQ(wheel.advance(10), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wheel.pending(), 1u);
+}
+
+TEST(TimerWheel, CallbackMayCancelLaterTimer) {
+  TimerWheel wheel;
+  int fired = 0;
+  TimerId victim = 0;
+  wheel.schedule(10, [&] { wheel.cancel(victim); });
+  victim = wheel.schedule(20, [&] { ++fired; });
+  wheel.advance(100);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.fired(), 1u);
+  EXPECT_EQ(wheel.cancelled(), 1u);
+}
+
+TEST(TimerWheel, PeriodicRearmKeepsSlotPoolBounded) {
+  TimerWheel wheel;
+  Time next = 1;
+  std::function<void()> tick = [&] {
+    if (next < 1000) wheel.schedule(++next, tick);
+  };
+  wheel.schedule(next, tick);
+  Time now = 0;
+  while (wheel.pending() > 0) wheel.advance(++now);
+  EXPECT_EQ(wheel.fired(), 1000u);
+}
+
+TEST(TimerWheel, ManyTimersRandomizedCancellation) {
+  TimerWheel wheel;
+  std::vector<TimerId> ids;
+  int fired = 0;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(wheel.schedule(static_cast<Time>(1 + (i * 7) % 100),
+                                 [&] { ++fired; }));
+  }
+  // Cancel every third one, deterministically.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    wheel.cancel(ids[i]);
+    ++cancelled;
+  }
+  wheel.advance(1000);
+  EXPECT_EQ(fired, 500 - cancelled);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace whisper::net

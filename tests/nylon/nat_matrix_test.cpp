@@ -16,7 +16,7 @@ class NatMatrix : public ::testing::TestWithParam<std::tuple<NatType, NatType>> 
  protected:
   sim::Simulator sim{13};
   nat::NatFabric fabric{sim};
-  sim::Network net{sim, std::make_unique<sim::FixedLatency>(sim::kMillisecond)};
+  sim::Network net{sim, std::make_unique<sim::FixedLatency>(net::kMillisecond)};
   std::vector<std::unique_ptr<Transport>> transports;
 
   NatMatrix() { net.set_translator(&fabric); }
@@ -37,7 +37,7 @@ TEST_P(NatMatrix, BidirectionalDeliveryThroughRelays) {
   Transport& b = add(3, type_b);
   if (type_a != NatType::kNone) a.set_relay(relay.self_card());
   if (type_b != NatType::kNone) b.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
 
   int a_got = 0, b_got = 0;
   a.register_handler(kTagApp, [&](NodeId, BytesView) { ++a_got; });
@@ -46,9 +46,9 @@ TEST_P(NatMatrix, BidirectionalDeliveryThroughRelays) {
   // Several rounds in both directions (punching may reroute midway; every
   // message must still arrive).
   for (int round = 0; round < 4; ++round) {
-    EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp));
-    EXPECT_TRUE(b.send(a.self_card(), kTagApp, Bytes{2}, sim::Proto::kApp));
-    sim.run_until(sim.now() + 10 * sim::kSecond);
+    EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1}, net::Proto::kApp));
+    EXPECT_TRUE(b.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp));
+    sim.run_until(sim.now() + 10 * net::kSecond);
   }
   EXPECT_EQ(a_got, 4);
   EXPECT_EQ(b_got, 4);
@@ -61,12 +61,12 @@ TEST_P(NatMatrix, HolePunchingMatchesDeviceSemantics) {
   Transport& b = add(3, type_b);
   if (type_a != NatType::kNone) a.set_relay(relay.self_card());
   if (type_b != NatType::kNone) b.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
 
   for (int round = 0; round < 6; ++round) {
-    a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp);
-    b.send(a.self_card(), kTagApp, Bytes{2}, sim::Proto::kApp);
-    sim.run_until(sim.now() + 10 * sim::kSecond);
+    a.send(b.self_card(), kTagApp, Bytes{1}, net::Proto::kApp);
+    b.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp);
+    sim.run_until(sim.now() + 10 * net::kSecond);
   }
 
   auto is_cone = [](NatType t) {

@@ -19,7 +19,7 @@ TestbedConfig small_config(std::size_t n, std::size_t pi = 0) {
 
 TEST(NylonPss, ViewsFillUp) {
   WhisperTestbed tb(small_config(30));
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   for (WhisperNode* n : tb.alive_nodes()) {
     EXPECT_GE(n->pss().view().size(), 5u) << n->id().str();
   }
@@ -27,7 +27,7 @@ TEST(NylonPss, ViewsFillUp) {
 
 TEST(NylonPss, ExchangesComplete) {
   WhisperTestbed tb(small_config(30));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   std::uint64_t initiated = 0, completed = 0;
   for (WhisperNode* n : tb.alive_nodes()) {
     initiated += n->pss().exchanges_initiated();
@@ -40,7 +40,7 @@ TEST(NylonPss, ExchangesComplete) {
 
 TEST(NylonPss, OverlayConnected) {
   WhisperTestbed tb(small_config(40));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   auto graph = tb.overlay_snapshot();
   const double reachable = pss::reachable_fraction(graph, tb.alive_nodes()[0]->id());
   EXPECT_GT(reachable, 0.95);
@@ -48,7 +48,7 @@ TEST(NylonPss, OverlayConnected) {
 
 TEST(NylonPss, ViewsContainNoSelfEntries) {
   WhisperTestbed tb(small_config(20));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   for (WhisperNode* n : tb.alive_nodes()) {
     EXPECT_FALSE(n->pss().view().contains(n->id()));
   }
@@ -56,7 +56,7 @@ TEST(NylonPss, ViewsContainNoSelfEntries) {
 
 TEST(NylonPss, PiBiasKeepsPublicNodesInViews) {
   WhisperTestbed tb(small_config(50, /*pi=*/3));
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   std::size_t satisfied = 0, total = 0;
   for (WhisperNode* n : tb.alive_nodes()) {
     ++total;
@@ -68,11 +68,11 @@ TEST(NylonPss, PiBiasKeepsPublicNodesInViews) {
 
 TEST(NylonPss, FailedNodesHealedFromViews) {
   WhisperTestbed tb(small_config(30));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   // Kill a node and let the protocol heal.
   const NodeId victim = tb.alive_nodes()[5]->id();
   tb.kill_node(victim);
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   std::size_t refs = 0;
   for (WhisperNode* n : tb.alive_nodes()) {
     if (n->pss().view().contains(victim)) ++refs;
@@ -83,7 +83,7 @@ TEST(NylonPss, FailedNodesHealedFromViews) {
 
 TEST(NylonPss, NattedNodeRepairsLostRelay) {
   WhisperTestbed tb(small_config(30));
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   // Find a natted node and kill its relay.
   WhisperNode* natted = nullptr;
   for (WhisperNode* n : tb.alive_nodes()) {
@@ -96,14 +96,14 @@ TEST(NylonPss, NattedNodeRepairsLostRelay) {
   const NodeId old_relay = natted->transport().relay_id();
   ASSERT_FALSE(old_relay.is_nil());
   tb.kill_node(old_relay);
-  tb.run_for(10 * sim::kMinute);
+  tb.run_for(10 * net::kMinute);
   EXPECT_FALSE(natted->transport().relay_lost());
   EXPECT_NE(natted->transport().relay_id(), old_relay);
 }
 
 TEST(NylonPss, InDegreeBalancedWithoutBias) {
   WhisperTestbed tb(small_config(60));
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   auto graph = tb.overlay_snapshot();
   auto degrees = pss::in_degrees(graph);
   double sum = 0;

@@ -11,7 +11,7 @@ namespace {
 struct TransportFixture : ::testing::Test {
   sim::Simulator sim{7};
   nat::NatFabric fabric{sim};
-  sim::Network net{sim, std::make_unique<sim::FixedLatency>(sim::kMillisecond)};
+  sim::Network net{sim, std::make_unique<sim::FixedLatency>(net::kMillisecond)};
 
   std::vector<std::unique_ptr<Transport>> transports;
 
@@ -46,8 +46,8 @@ TEST_F(TransportFixture, PublicToPublicDirect) {
   Transport& a = add_public(1);
   Transport& b = add_public(2);
   collect(b);
-  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{9}, sim::Proto::kApp));
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{9}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
   ASSERT_EQ(inbox(b).size(), 1u);
   EXPECT_EQ(inbox(b)[0].first, NodeId{1});
   EXPECT_EQ(inbox(b)[0].second, Bytes{9});
@@ -71,10 +71,10 @@ TEST_F(TransportFixture, NattedReachableViaRelay) {
   Transport& n = add_natted(2, nat::NatType::kSymmetric);  // sym: relay is the only way
   Transport& sender = add_public(3);
   n.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);  // registration settles
+  sim.run_until(sim.now() + net::kSecond);  // registration settles
   collect(n);
-  EXPECT_TRUE(sender.send(n.self_card(), kTagApp, Bytes{5}, sim::Proto::kApp));
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_TRUE(sender.send(n.self_card(), kTagApp, Bytes{5}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
   ASSERT_EQ(inbox(n).size(), 1u);
   EXPECT_EQ(inbox(n)[0].first, NodeId{3});
 }
@@ -84,11 +84,11 @@ TEST_F(TransportFixture, RelayLostWithoutAcks) {
   Transport& n = add_natted(2, nat::NatType::kFullCone);
   EXPECT_TRUE(n.relay_lost());  // no relay set yet
   n.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   EXPECT_FALSE(n.relay_lost());
   // Kill the relay: keepalives go unanswered.
   relay.shutdown();
-  sim.run_until(sim.now() + 5 * sim::kMinute);
+  sim.run_until(sim.now() + 5 * net::kMinute);
   EXPECT_TRUE(n.relay_lost());
 }
 
@@ -96,11 +96,11 @@ TEST_F(TransportFixture, RegistrationExpiresAtRelay) {
   Transport& relay = add_public(1);
   Transport& n = add_natted(2, nat::NatType::kFullCone);
   n.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   EXPECT_EQ(relay.relayed_registrations(), 1u);
   // Stop the N-node: registration decays.
   n.shutdown();
-  sim.run_until(sim.now() + 3 * sim::kMinute);
+  sim.run_until(sim.now() + 3 * net::kMinute);
   EXPECT_EQ(relay.relayed_registrations(), 0u);
 }
 
@@ -110,22 +110,22 @@ TEST_F(TransportFixture, HolePunchingConeToCone) {
   Transport& b = add_natted(3, nat::NatType::kRestrictedCone);
   a.set_relay(relay.self_card());
   b.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   collect(a);
   collect(b);
 
   // Exchange a few messages via relays; probes piggyback and punch.
   for (int i = 0; i < 3; ++i) {
-    a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp);
-    b.send(a.self_card(), kTagApp, Bytes{2}, sim::Proto::kApp);
-    sim.run_until(sim.now() + 10 * sim::kSecond);
+    a.send(b.self_card(), kTagApp, Bytes{1}, net::Proto::kApp);
+    b.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp);
+    sim.run_until(sim.now() + 10 * net::kSecond);
   }
   EXPECT_TRUE(a.can_send_direct(NodeId{3}));
   EXPECT_TRUE(b.can_send_direct(NodeId{2}));
   // And the direct route actually delivers.
   const std::size_t before = inbox(b).size();
-  a.send(b.self_card(), kTagApp, Bytes{7}, sim::Proto::kApp);
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  a.send(b.self_card(), kTagApp, Bytes{7}, net::Proto::kApp);
+  sim.run_until(sim.now() + 10 * net::kSecond);
   EXPECT_EQ(inbox(b).size(), before + 1);
 }
 
@@ -135,19 +135,19 @@ TEST_F(TransportFixture, NoDirectRouteBetweenSymmetricPair) {
   Transport& b = add_natted(3, nat::NatType::kSymmetric);
   a.set_relay(relay.self_card());
   b.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   collect(b);
   for (int i = 0; i < 5; ++i) {
-    a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp);
-    b.send(a.self_card(), kTagApp, Bytes{2}, sim::Proto::kApp);
-    sim.run_until(sim.now() + 10 * sim::kSecond);
+    a.send(b.self_card(), kTagApp, Bytes{1}, net::Proto::kApp);
+    b.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp);
+    sim.run_until(sim.now() + 10 * net::kSecond);
   }
   // Punching cannot work through two symmetric NATs...
   EXPECT_FALSE(a.can_send_direct(NodeId{3}));
   // ...but relay delivery still does.
   const std::size_t before = inbox(b).size();
-  a.send(b.self_card(), kTagApp, Bytes{9}, sim::Proto::kApp);
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  a.send(b.self_card(), kTagApp, Bytes{9}, net::Proto::kApp);
+  sim.run_until(sim.now() + 10 * net::kSecond);
   EXPECT_EQ(inbox(b).size(), before + 1);
 }
 
@@ -158,10 +158,10 @@ TEST_F(TransportFixture, NattedToNattedViaRelays) {
   Transport& b = add_natted(4, nat::NatType::kPortRestrictedCone);
   a.set_relay(r1.self_card());
   b.set_relay(r2.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   collect(b);
-  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1, 2}, sim::Proto::kApp));
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1, 2}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
   ASSERT_EQ(inbox(b).size(), 1u);
   EXPECT_EQ(inbox(b)[0].first, NodeId{3});
 }
@@ -171,8 +171,8 @@ TEST_F(TransportFixture, ShutdownStopsDelivery) {
   Transport& b = add_public(2);
   collect(b);
   b.shutdown();
-  a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp);
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  a.send(b.self_card(), kTagApp, Bytes{1}, net::Proto::kApp);
+  sim.run_until(sim.now() + 10 * net::kSecond);
   EXPECT_TRUE(inbox(b).empty());
   EXPECT_FALSE(b.running());
 }
@@ -180,14 +180,14 @@ TEST_F(TransportFixture, ShutdownStopsDelivery) {
 TEST_F(TransportFixture, SendToNilCardFails) {
   Transport& a = add_public(1);
   pss::ContactCard nil_card;
-  EXPECT_FALSE(a.send(nil_card, kTagApp, Bytes{1}, sim::Proto::kApp));
+  EXPECT_FALSE(a.send(nil_card, kTagApp, Bytes{1}, net::Proto::kApp));
 }
 
 TEST_F(TransportFixture, UnknownTagSilentlyIgnored) {
   Transport& a = add_public(1);
   Transport& b = add_public(2);
   // No handler registered for kTagApp on b.
-  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1}, sim::Proto::kApp));
+  EXPECT_TRUE(a.send(b.self_card(), kTagApp, Bytes{1}, net::Proto::kApp));
   sim.run();  // must not crash
 }
 
@@ -196,10 +196,10 @@ TEST_F(TransportFixture, RelayServesItsOwnRegistrants) {
   Transport& relay = add_public(1);
   Transport& n = add_natted(2, nat::NatType::kSymmetric);
   n.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   collect(n);
-  EXPECT_TRUE(relay.send(n.self_card(), kTagApp, Bytes{3}, sim::Proto::kApp));
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_TRUE(relay.send(n.self_card(), kTagApp, Bytes{3}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
   ASSERT_EQ(inbox(n).size(), 1u);
 }
 
@@ -210,20 +210,20 @@ TEST_F(TransportFixture, RelayCrashDetectedWithinThresholdKeepalives) {
   Transport& relay = add_public(1);
   Transport& n = add_natted(2, nat::NatType::kFullCone);
   n.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   ASSERT_FALSE(n.relay_lost());
 
-  sim::Time detected_at = 0;
+  net::Time detected_at = 0;
   n.on_relay_lost = [&] { detected_at = sim.now(); };
-  const sim::Time crash_at = sim.now();
+  const net::Time crash_at = sim.now();
   relay.shutdown();
-  sim.run_until(sim.now() + 10 * sim::kMinute);
+  sim.run_until(sim.now() + 10 * net::kMinute);
 
   ASSERT_NE(detected_at, 0u) << "on_relay_lost never fired";
   const TransportConfig cfg{};  // defaults match what add_natted built
   EXPECT_LE(detected_at - crash_at,
-            static_cast<sim::Time>(cfg.relay_loss_threshold) * cfg.keepalive_period +
-                sim::kSecond);
+            static_cast<net::Time>(cfg.relay_loss_threshold) * cfg.keepalive_period +
+                net::kSecond);
   EXPECT_EQ(n.relays_lost(), 1u);
 }
 
@@ -233,19 +233,19 @@ TEST_F(TransportFixture, RelayFailoverReRegistersAndRestoresDelivery) {
   Transport& n = add_natted(3, nat::NatType::kSymmetric);  // relay is the only path
   Transport& sender = add_public(4);
   n.set_relay(dead_relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
 
   // Failover hook the PSS would install: promote the backup on loss.
   n.on_relay_lost = [&] { n.set_relay(backup.self_card()); };
   dead_relay.shutdown();
-  sim.run_until(sim.now() + 10 * sim::kMinute);
+  sim.run_until(sim.now() + 10 * net::kMinute);
 
   EXPECT_FALSE(n.relay_lost());
   EXPECT_EQ(n.relay_id(), NodeId{2});
   EXPECT_EQ(backup.relayed_registrations(), 1u);
   collect(n);
-  EXPECT_TRUE(sender.send(n.self_card(), kTagApp, Bytes{8}, sim::Proto::kApp));
-  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_TRUE(sender.send(n.self_card(), kTagApp, Bytes{8}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
   ASSERT_EQ(inbox(n).size(), 1u);
   EXPECT_EQ(inbox(n)[0].second, Bytes{8});
 }
@@ -254,18 +254,18 @@ TEST_F(TransportFixture, KeepalivesBackOffAfterRelayLoss) {
   Transport& relay = add_public(1);
   Transport& n = add_natted(2, nat::NatType::kFullCone);
   n.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   relay.shutdown();
-  sim.run_until(sim.now() + 5 * sim::kMinute);  // loss declared, backoff engaged
+  sim.run_until(sim.now() + 5 * net::kMinute);  // loss declared, backoff engaged
   ASSERT_TRUE(n.relay_lost());
 
   // With no failover wired, keepalives must decay towards the backoff
   // ceiling instead of hammering the dead address at full cadence.
   const std::uint64_t before = net.packets_sent();
-  sim.run_until(sim.now() + 20 * sim::kMinute);
+  sim.run_until(sim.now() + 20 * net::kMinute);
   const std::uint64_t pings = net.packets_sent() - before;
   const TransportConfig cfg{};
-  const std::uint64_t full_cadence = 20 * sim::kMinute / cfg.keepalive_period;  // 40
+  const std::uint64_t full_cadence = 20 * net::kMinute / cfg.keepalive_period;  // 40
   EXPECT_LT(pings, full_cadence / 3);
   EXPECT_GE(pings, 2u);  // but it keeps probing: the relay may come back
 }
@@ -276,14 +276,14 @@ TEST_F(TransportFixture, RelayRecoveryResumesNormalKeepaliveCadence) {
   Transport& relay = add_public(1);
   Transport& n = add_natted(2, nat::NatType::kFullCone);
   n.set_relay(relay.self_card());
-  sim.run_until(sim.now() + sim::kSecond);
+  sim.run_until(sim.now() + net::kSecond);
   relay.shutdown();
-  sim.run_until(sim.now() + 5 * sim::kMinute);
+  sim.run_until(sim.now() + 5 * net::kMinute);
   ASSERT_TRUE(n.relay_lost());
 
   // "Reboot" the relay at the same endpoint: re-attach a fresh transport.
   Transport relay2(sim, net, NodeId{1}, relay.internal_endpoint(), true);
-  sim.run_until(sim.now() + 15 * sim::kMinute);  // next backed-off ping gets acked
+  sim.run_until(sim.now() + 15 * net::kMinute);  // next backed-off ping gets acked
   EXPECT_FALSE(n.relay_lost());
   EXPECT_EQ(relay2.relayed_registrations(), 1u);
 }

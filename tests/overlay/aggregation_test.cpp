@@ -14,7 +14,7 @@ TestbedConfig config(std::uint64_t seed) {
   cfg.initial_nodes = 30;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   return cfg;
 }
@@ -24,7 +24,7 @@ struct AggHarness {
   std::vector<WhisperNode*> members;
 
   AggHarness(std::size_t n_members, std::uint64_t seed) : tb(config(seed)) {
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     auto nodes = tb.alive_nodes();
     crypto::Drbg d(seed);
     auto& fg = nodes[0]->create_group(kGroup, crypto::RsaKeyPair::generate(512, d));
@@ -32,16 +32,16 @@ struct AggHarness {
     for (std::size_t i = 1; i < n_members; ++i) {
       nodes[i]->join_group(kGroup, *fg.invite(nodes[i]->id()), fg.self_descriptor());
       members.push_back(nodes[i]);
-      tb.run_for(5 * sim::kSecond);
+      tb.run_for(5 * net::kSecond);
     }
-    tb.run_for(5 * sim::kMinute);
+    tb.run_for(5 * net::kMinute);
   }
 };
 
 TEST(Aggregation, AverageConverges) {
   AggHarness h(10, 4001);
   AggregationConfig ac;
-  ac.cycle = 20 * sim::kSecond;
+  ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   double truth = 0;
   for (std::size_t i = 0; i < h.members.size(); ++i) {
@@ -53,7 +53,7 @@ TEST(Aggregation, AverageConverges) {
     aggs.back()->start();
   }
   truth /= static_cast<double>(h.members.size());
-  h.tb.run_for(10 * sim::kMinute);
+  h.tb.run_for(10 * net::kMinute);
 
   // Every estimate close to the global mean (45).
   for (auto& a : aggs) {
@@ -72,7 +72,7 @@ TEST(Aggregation, MaxPropagates) {
   AggHarness h(8, 4002);
   AggregationConfig ac;
   ac.kind = AggregateKind::kMax;
-  ac.cycle = 20 * sim::kSecond;
+  ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (std::size_t i = 0; i < h.members.size(); ++i) {
     aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
@@ -81,7 +81,7 @@ TEST(Aggregation, MaxPropagates) {
                                                  h.tb.rng().fork()));
     aggs.back()->start();
   }
-  h.tb.run_for(8 * sim::kMinute);
+  h.tb.run_for(8 * net::kMinute);
   // Everyone learns the maximum (7) — this is exactly the leader-election
   // primitive of §IV-A.
   for (auto& a : aggs) EXPECT_DOUBLE_EQ(a->estimate(), 7.0);
@@ -91,7 +91,7 @@ TEST(Aggregation, MinPropagates) {
   AggHarness h(6, 4003);
   AggregationConfig ac;
   ac.kind = AggregateKind::kMin;
-  ac.cycle = 20 * sim::kSecond;
+  ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (std::size_t i = 0; i < h.members.size(); ++i) {
     aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
@@ -100,14 +100,14 @@ TEST(Aggregation, MinPropagates) {
                                                  h.tb.rng().fork()));
     aggs.back()->start();
   }
-  h.tb.run_for(8 * sim::kMinute);
+  h.tb.run_for(8 * net::kMinute);
   for (auto& a : aggs) EXPECT_DOUBLE_EQ(a->estimate(), 100.0);
 }
 
 TEST(Aggregation, SizeEstimation) {
   AggHarness h(12, 4004);
   AggregationConfig ac;
-  ac.cycle = 20 * sim::kSecond;
+  ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (std::size_t i = 0; i < h.members.size(); ++i) {
     // The leader seeds 1, everyone else 0: the average converges to 1/n.
@@ -117,7 +117,7 @@ TEST(Aggregation, SizeEstimation) {
                                                  h.tb.rng().fork()));
     aggs.back()->start();
   }
-  h.tb.run_for(12 * sim::kMinute);
+  h.tb.run_for(12 * net::kMinute);
   // Estimates imply the true group size within a reasonable factor.
   for (auto& a : aggs) {
     EXPECT_GT(a->implied_size(), 6.0);
@@ -128,14 +128,14 @@ TEST(Aggregation, SizeEstimation) {
 TEST(Aggregation, ExchangesHappen) {
   AggHarness h(5, 4005);
   AggregationConfig ac;
-  ac.cycle = 20 * sim::kSecond;
+  ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (WhisperNode* m : h.members) {
     aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(), *m->group(kGroup), 1.0, ac,
                                                  h.tb.rng().fork()));
     aggs.back()->start();
   }
-  h.tb.run_for(5 * sim::kMinute);
+  h.tb.run_for(5 * net::kMinute);
   std::uint64_t total = 0;
   for (auto& a : aggs) total += a->exchanges();
   EXPECT_GT(total, 10u);

@@ -20,7 +20,7 @@ TestbedConfig config(std::uint64_t seed) {
   cfg.initial_nodes = 35;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   return cfg;
 }
@@ -30,7 +30,7 @@ struct GroupHarness {
   std::vector<WhisperNode*> members;
 
   GroupHarness(std::size_t n_members, std::uint64_t seed) : tb(config(seed)) {
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     auto nodes = tb.alive_nodes();
     crypto::Drbg d(seed);
     auto& fg = nodes[0]->create_group(kGroup, crypto::RsaKeyPair::generate(512, d));
@@ -38,9 +38,9 @@ struct GroupHarness {
     for (std::size_t i = 1; i < n_members; ++i) {
       nodes[i]->join_group(kGroup, *fg.invite(nodes[i]->id()), fg.self_descriptor());
       members.push_back(nodes[i]);
-      tb.run_for(5 * sim::kSecond);
+      tb.run_for(5 * net::kSecond);
     }
-    tb.run_for(5 * sim::kMinute);
+    tb.run_for(5 * net::kMinute);
   }
 };
 
@@ -61,7 +61,7 @@ TEST(OverlayKeys, DeterministicAndDistinctFromChord) {
 TEST(TManGeneric, ConvergesToClosestNeighbours) {
   GroupHarness h(10, 3001);
   TManConfig tc;
-  tc.cycle = 20 * sim::kSecond;
+  tc.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<TMan>> instances;
   for (WhisperNode* m : h.members) {
     instances.push_back(std::make_unique<TMan>(
@@ -69,7 +69,7 @@ TEST(TManGeneric, ConvergesToClosestNeighbours) {
         h.tb.rng().fork()));
     instances.back()->start();
   }
-  h.tb.run_for(8 * sim::kMinute);
+  h.tb.run_for(8 * net::kMinute);
 
   // Global truth: sorted keys.
   std::vector<OverlayKey> keys;
@@ -98,14 +98,14 @@ TEST(TManGeneric, ConvergesToClosestNeighbours) {
 TEST(GosSkipOverlay, LeftRightNeighboursCorrect) {
   GroupHarness h(10, 3002);
   GosSkipConfig gc;
-  gc.tman.cycle = 20 * sim::kSecond;
+  gc.tman.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<GosSkip>> instances;
   for (WhisperNode* m : h.members) {
     instances.push_back(
         std::make_unique<GosSkip>(h.tb.simulator(), *m->group(kGroup), gc, h.tb.rng().fork()));
     instances.back()->start();
   }
-  h.tb.run_for(8 * sim::kMinute);
+  h.tb.run_for(8 * net::kMinute);
 
   std::vector<OverlayKey> keys;
   for (WhisperNode* m : h.members) keys.push_back(overlay_key_of(m->id()));
@@ -134,14 +134,14 @@ TEST(GosSkipOverlay, LeftRightNeighboursCorrect) {
 TEST(GosSkipOverlay, SearchFindsOwner) {
   GroupHarness h(10, 3003);
   GosSkipConfig gc;
-  gc.tman.cycle = 20 * sim::kSecond;
+  gc.tman.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<GosSkip>> instances;
   for (WhisperNode* m : h.members) {
     instances.push_back(
         std::make_unique<GosSkip>(h.tb.simulator(), *m->group(kGroup), gc, h.tb.rng().fork()));
     instances.back()->start();
   }
-  h.tb.run_for(8 * sim::kMinute);
+  h.tb.run_for(8 * net::kMinute);
 
   std::vector<OverlayKey> keys;
   for (WhisperNode* m : h.members) keys.push_back(overlay_key_of(m->id()));
@@ -160,7 +160,7 @@ TEST(GosSkipOverlay, SearchFindsOwner) {
       ++answered;
       if (res->owner.key == expected) ++correct;
     });
-    h.tb.run_for(30 * sim::kSecond);
+    h.tb.run_for(30 * net::kSecond);
   }
   EXPECT_GE(answered, 9);
   EXPECT_GE(correct, answered * 7 / 10);
@@ -177,7 +177,7 @@ TEST(BroadcastDissemination, ReachesEveryMember) {
     casts[i]->on_deliver = [&received, i](NodeId, BytesView) { ++received[i]; };
   }
   casts[0]->publish(to_bytes("hello everyone"));
-  h.tb.run_for(2 * sim::kMinute);
+  h.tb.run_for(2 * net::kMinute);
 
   std::size_t reached = 0;
   for (int r : received) reached += r > 0 ? 1 : 0;
@@ -196,7 +196,7 @@ TEST(BroadcastDissemination, DuplicatesSuppressed) {
   }
   casts[0]->publish(to_bytes("dup test"));
   casts[0]->publish(to_bytes("dup test 2"));
-  h.tb.run_for(2 * sim::kMinute);
+  h.tb.run_for(2 * net::kMinute);
   std::uint64_t duplicates = 0, delivered = 0;
   for (auto& c : casts) {
     duplicates += c->stats().duplicates;
@@ -217,7 +217,7 @@ TEST(BroadcastDissemination, OriginAttributedCorrectly) {
   }
   casts[2]->on_deliver = [&](NodeId origin, BytesView) { seen_origin = origin; };
   casts[1]->publish(to_bytes("whodunit"));
-  h.tb.run_for(2 * sim::kMinute);
+  h.tb.run_for(2 * net::kMinute);
   EXPECT_EQ(seen_origin, h.members[1]->id());
 }
 
@@ -230,7 +230,7 @@ TEST(MultiApp, ChordAndBroadcastShareOneGroup) {
     casts.push_back(std::make_unique<Broadcast>(*m->group(kGroup), bc, h.tb.rng().fork()));
   }
   chord::TChordConfig tc;
-  tc.cycle = 20 * sim::kSecond;
+  tc.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<chord::TChord>> rings;
   for (WhisperNode* m : h.members) {
     rings.push_back(std::make_unique<chord::TChord>(h.tb.simulator(), *m->group(kGroup), tc,
@@ -240,7 +240,7 @@ TEST(MultiApp, ChordAndBroadcastShareOneGroup) {
   int broadcast_got = 0;
   casts[3]->on_deliver = [&](NodeId, BytesView) { ++broadcast_got; };
   casts[0]->publish(to_bytes("both at once"));
-  h.tb.run_for(8 * sim::kMinute);
+  h.tb.run_for(8 * net::kMinute);
   EXPECT_EQ(broadcast_got, 1);
   // The ring converged despite sharing the group with broadcast traffic.
   std::size_t with_successor = 0;

@@ -20,13 +20,13 @@ struct EdgeFixture : ::testing::Test {
     c.initial_nodes = 25;
     c.node.pss.pi_min_public = 3;
     c.node.wcl.pi = 3;
-    c.node.ppss.cycle = 30 * sim::kSecond;
+    c.node.ppss.cycle = 30 * net::kSecond;
     c.seed = 808;
     return c;
   }();
   WhisperTestbed tb{cfg};
 
-  void SetUp() override { tb.run_for(6 * sim::kMinute); }
+  void SetUp() override { tb.run_for(6 * net::kMinute); }
 };
 
 TEST_F(EdgeFixture, JoinGivesUpAfterRetriesWhenLeaderUnreachable) {
@@ -42,7 +42,7 @@ TEST_F(EdgeFixture, JoinGivesUpAfterRetriesWhenLeaderUnreachable) {
   accr.group = kGroup;
   accr.node = joiner->id();
   auto& g = joiner->join_group(kGroup, accr, ghost);
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   EXPECT_FALSE(g.joined());
 }
 
@@ -52,14 +52,14 @@ TEST_F(EdgeFixture, NonLeaderDropsJoinRequests) {
   WhisperNode* joiner = tb.alive_nodes()[2];
   auto& fg = founder->create_group(kGroup, fresh_key(1));
   auto& mg = member->join_group(kGroup, *fg.invite(member->id()), fg.self_descriptor());
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   ASSERT_TRUE(mg.joined());
   ASSERT_FALSE(mg.is_leader());
 
   // Joining through the non-leader member silently fails (it cannot issue
   // passports; the paper routes joins to leaders).
   auto& jg = joiner->join_group(kGroup, *fg.invite(joiner->id()), mg.self_descriptor());
-  tb.run_for(4 * sim::kMinute);
+  tb.run_for(4 * net::kMinute);
   EXPECT_FALSE(jg.joined());
 }
 
@@ -68,7 +68,7 @@ TEST_F(EdgeFixture, MalformedGroupPayloadsIgnored) {
   WhisperNode* member = tb.alive_nodes()[1];
   auto& fg = founder->create_group(kGroup, fresh_key(2));
   auto& mg = member->join_group(kGroup, *fg.invite(member->id()), fg.self_descriptor());
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   ASSERT_TRUE(mg.joined());
 
   // Random garbage at every PPSS message kind.
@@ -80,7 +80,7 @@ TEST_F(EdgeFixture, MalformedGroupPayloadsIgnored) {
     mg.handle_payload(garbage);
   }
   mg.handle_payload(Bytes{});
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   // Still operational.
   EXPECT_TRUE(mg.joined());
   Bytes got;
@@ -88,7 +88,7 @@ TEST_F(EdgeFixture, MalformedGroupPayloadsIgnored) {
     got.assign(p.begin(), p.end());
   };
   mg.send_app_to(fg.self_descriptor(), to_bytes("fine"));
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   EXPECT_EQ(got, to_bytes("fine"));
 }
 
@@ -104,7 +104,7 @@ TEST_F(EdgeFixture, SendAppBeforeJoiningFails) {
   auto& fg = founder->create_group(kGroup, fresh_key(5));
   // Instance created but join never completes (no request sent at all).
   auto& og = outsider->join_group(kGroup, Accreditation{}, fg.self_descriptor());
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   EXPECT_FALSE(og.joined());
   EXPECT_FALSE(og.send_app_to(fg.self_descriptor(), to_bytes("psst")));
 }
@@ -114,7 +114,7 @@ TEST_F(EdgeFixture, InviteRequiresLeadership) {
   WhisperNode* member = tb.alive_nodes()[1];
   auto& fg = founder->create_group(kGroup, fresh_key(6));
   auto& mg = member->join_group(kGroup, *fg.invite(member->id()), fg.self_descriptor());
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   ASSERT_TRUE(mg.joined());
   EXPECT_TRUE(fg.invite(NodeId{42}).has_value());
   EXPECT_FALSE(mg.invite(NodeId{42}).has_value());
@@ -126,12 +126,12 @@ TEST_F(EdgeFixture, DuplicateJoinIsIdempotent) {
   auto& fg = founder->create_group(kGroup, fresh_key(7));
   auto accr = *fg.invite(member->id());
   auto& g1 = member->join_group(kGroup, accr, fg.self_descriptor());
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   ASSERT_TRUE(g1.joined());
   // Joining again reuses the same instance and stays joined.
   auto& g2 = member->join_group(kGroup, accr, fg.self_descriptor());
   EXPECT_EQ(&g1, &g2);
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   EXPECT_TRUE(g2.joined());
   EXPECT_EQ(member->group_count(), 1u);
 }

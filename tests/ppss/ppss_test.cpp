@@ -20,7 +20,7 @@ TestbedConfig config(std::size_t n, std::uint64_t seed = 41) {
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
   // Faster PPSS cycles keep test wall-clock reasonable.
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   return cfg;
 }
@@ -32,7 +32,7 @@ struct GroupFixture {
 
   GroupFixture(std::size_t n_nodes, std::size_t n_members, std::uint64_t seed = 41)
       : tb(config(n_nodes, seed)) {
-    tb.run_for(6 * sim::kMinute);  // warm the substrate
+    tb.run_for(6 * net::kMinute);  // warm the substrate
     auto nodes = tb.alive_nodes();
     WhisperNode* founder = nodes[0];
     auto& founder_ppss = founder->create_group(kGroup, fresh_group_key(seed));
@@ -43,7 +43,7 @@ struct GroupFixture {
       auto accr = founder_ppss.invite(joiner->id());
       joiner->join_group(kGroup, *accr, founder_ppss.self_descriptor());
       members.push_back(joiner);
-      tb.run_for(5 * sim::kSecond);
+      tb.run_for(5 * net::kSecond);
     }
   }
 };
@@ -59,7 +59,7 @@ TEST(Ppss, FounderIsLeaderWithValidPassport) {
 
 TEST(Ppss, JoinersReceivePassports) {
   GroupFixture f(25, 5);
-  f.tb.run_for(2 * sim::kMinute);
+  f.tb.run_for(2 * net::kMinute);
   for (WhisperNode* m : f.members) {
     auto* g = m->group(kGroup);
     ASSERT_NE(g, nullptr);
@@ -70,7 +70,7 @@ TEST(Ppss, JoinersReceivePassports) {
 
 TEST(Ppss, PrivateViewsFillWithMembers) {
   GroupFixture f(30, 8);
-  f.tb.run_for(10 * sim::kMinute);
+  f.tb.run_for(10 * net::kMinute);
   std::unordered_set<NodeId> member_ids;
   for (WhisperNode* m : f.members) member_ids.insert(m->id());
   std::size_t views_ok = 0;
@@ -87,7 +87,7 @@ TEST(Ppss, PrivateViewsFillWithMembers) {
 
 TEST(Ppss, NonMembersDropGroupTraffic) {
   GroupFixture f(25, 4);
-  f.tb.run_for(5 * sim::kMinute);
+  f.tb.run_for(5 * net::kMinute);
   // Non-member nodes must have no instance and no knowledge of the group.
   for (WhisperNode* n : f.tb.alive_nodes()) {
     const bool is_member =
@@ -112,13 +112,13 @@ TEST(Ppss, InvalidAccreditationRejected) {
       impostor->keypair(), GroupKeyring::accreditation_message(kGroup, impostor->id(), 1));
   auto& g = impostor->join_group(kGroup, fake,
                                  founder->group(kGroup)->self_descriptor());
-  f.tb.run_for(3 * sim::kMinute);
+  f.tb.run_for(3 * net::kMinute);
   EXPECT_FALSE(g.joined());
 }
 
 TEST(Ppss, AppMessagesFlowBetweenMembers) {
   GroupFixture f(25, 4);
-  f.tb.run_for(8 * sim::kMinute);
+  f.tb.run_for(8 * net::kMinute);
   auto* ga = f.members[1]->group(kGroup);
   auto* gb = f.members[2]->group(kGroup);
   ASSERT_NE(ga, nullptr);
@@ -131,14 +131,14 @@ TEST(Ppss, AppMessagesFlowBetweenMembers) {
     got.assign(p.begin(), p.end());
   };
   ASSERT_TRUE(ga->send_app_to(gb->self_descriptor(), to_bytes("private hello")));
-  f.tb.run_for(30 * sim::kSecond);
+  f.tb.run_for(30 * net::kSecond);
   EXPECT_EQ(got, to_bytes("private hello"));
   EXPECT_EQ(got_from.card.id, f.members[1]->id());
 }
 
 TEST(Ppss, AppReplyViaShippedDescriptor) {
   GroupFixture f(25, 4);
-  f.tb.run_for(8 * sim::kMinute);
+  f.tb.run_for(8 * net::kMinute);
   auto* ga = f.members[1]->group(kGroup);
   auto* gb = f.members[3]->group(kGroup);
 
@@ -150,18 +150,18 @@ TEST(Ppss, AppReplyViaShippedDescriptor) {
     gb->send_app_to(from, to_bytes("pong"));
   };
   ga->send_app_to(gb->self_descriptor(), to_bytes("ping"));
-  f.tb.run_for(60 * sim::kSecond);
+  f.tb.run_for(60 * net::kSecond);
   EXPECT_EQ(reply_received, to_bytes("pong"));
 }
 
 TEST(Ppss, PersistentPeersRefreshed) {
   GroupFixture f(25, 4);
-  f.tb.run_for(8 * sim::kMinute);
+  f.tb.run_for(8 * net::kMinute);
   auto* ga = f.members[1]->group(kGroup);
   auto* gb = f.members[2]->group(kGroup);
   ga->make_persistent(gb->self_descriptor());
   EXPECT_EQ(ga->pcp_size(), 1u);
-  f.tb.run_for(10 * sim::kMinute);
+  f.tb.run_for(10 * net::kMinute);
   // Still pinned (pings answered), descriptor available.
   EXPECT_EQ(ga->pcp_size(), 1u);
   EXPECT_TRUE(ga->persistent_peer(f.members[2]->id()).has_value());
@@ -169,37 +169,37 @@ TEST(Ppss, PersistentPeersRefreshed) {
 
 TEST(Ppss, PersistentPeerDroppedWhenDead) {
   GroupFixture f(25, 4);
-  f.tb.run_for(8 * sim::kMinute);
+  f.tb.run_for(8 * net::kMinute);
   auto* ga = f.members[1]->group(kGroup);
   auto* gb = f.members[2]->group(kGroup);
   ga->make_persistent(gb->self_descriptor());
   f.tb.kill_node(f.members[2]->id());
-  f.tb.run_for(15 * sim::kMinute);
+  f.tb.run_for(15 * net::kMinute);
   EXPECT_EQ(ga->pcp_size(), 0u);
 }
 
 TEST(Ppss, ExchangeRttReported) {
   GroupFixture f(25, 5);
-  std::vector<sim::Time> rtts;
+  std::vector<net::Time> rtts;
   for (WhisperNode* m : f.members) {
-    m->group(kGroup)->on_exchange_rtt = [&](sim::Time rtt) { rtts.push_back(rtt); };
+    m->group(kGroup)->on_exchange_rtt = [&](net::Time rtt) { rtts.push_back(rtt); };
   }
-  f.tb.run_for(10 * sim::kMinute);
+  f.tb.run_for(10 * net::kMinute);
   EXPECT_GT(rtts.size(), 3u);
-  for (sim::Time rtt : rtts) {
+  for (net::Time rtt : rtts) {
     EXPECT_GT(rtt, 0u);
-    EXPECT_LT(rtt, 15 * sim::kSecond);
+    EXPECT_LT(rtt, 15 * net::kSecond);
   }
 }
 
 TEST(Ppss, LeaderElectionAfterLeaderDeath) {
   GroupFixture f(30, 6, /*seed=*/43);
-  f.tb.run_for(10 * sim::kMinute);
+  f.tb.run_for(10 * net::kMinute);
   const std::uint64_t epoch_before = f.members[1]->group(kGroup)->leader_epoch();
   // Kill the founding leader.
   f.tb.kill_node(f.members[0]->id());
   // Leader timeout (5 min) + election convergence (3 cycles of 30 s) + slack.
-  f.tb.run_for(25 * sim::kMinute);
+  f.tb.run_for(25 * net::kMinute);
   // Some surviving member becomes leader and rotates the key.
   std::size_t leaders = 0;
   std::uint64_t max_epoch = 0;
@@ -220,7 +220,7 @@ TEST(Ppss, LeaderElectionAfterLeaderDeath) {
 
 TEST(Ppss, MultiGroupIsolation) {
   WhisperTestbed tb(config(30, 47));
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   auto nodes = tb.alive_nodes();
   const GroupId g1{2001}, g2{2002};
   auto& p1 = nodes[0]->create_group(g1, fresh_group_key(1));
@@ -230,7 +230,7 @@ TEST(Ppss, MultiGroupIsolation) {
   nodes[2]->join_group(g2, *p2.invite(nodes[2]->id()), p2.self_descriptor());
   // nodes[3] joins only g1.
   nodes[3]->join_group(g1, *p1.invite(nodes[3]->id()), p1.self_descriptor());
-  tb.run_for(10 * sim::kMinute);
+  tb.run_for(10 * net::kMinute);
 
   EXPECT_TRUE(nodes[2]->group(g1)->joined());
   EXPECT_TRUE(nodes[2]->group(g2)->joined());

@@ -81,7 +81,7 @@ struct HostileInputFixture : ::testing::Test {
     cfg.initial_nodes = 30;
     cfg.node.pss.pi_min_public = 3;
     cfg.node.wcl.pi = 3;
-    cfg.node.ppss.cycle = 30 * sim::kSecond;
+    cfg.node.ppss.cycle = 30 * net::kSecond;
     cfg.seed = 1234;
     return cfg;
   }
@@ -94,14 +94,14 @@ struct HostileInputFixture : ::testing::Test {
   int bob_heard = 0;
 
   void SetUp() override {
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     alice = tb.alive_nodes()[0];
     bob = tb.alive_nodes()[1];
     crypto::Drbg d(1);
     alice_group = &alice->create_group(kGroup, crypto::RsaKeyPair::generate(512, d));
     bob_group = &bob->join_group(kGroup, *alice_group->invite(bob->id()),
                                  alice_group->self_descriptor());
-    tb.run_for(2 * sim::kMinute);
+    tb.run_for(2 * net::kMinute);
     ASSERT_TRUE(bob_group->joined());
     bob_group->on_app_message = [this](const wcl::RemotePeer&, BytesView) { ++bob_heard; };
   }

@@ -22,7 +22,7 @@ TestbedConfig config(std::uint64_t seed) {
   cfg.initial_nodes = 30;
   cfg.node.pss.pi_min_public = 3;
   cfg.node.wcl.pi = 3;
-  cfg.node.ppss.cycle = 30 * sim::kSecond;
+  cfg.node.ppss.cycle = 30 * net::kSecond;
   cfg.seed = seed;
   return cfg;
 }
@@ -35,14 +35,14 @@ struct SecurityFixture : ::testing::Test {
   ppss::Ppss* bob_group = nullptr;
 
   void SetUp() override {
-    tb.run_for(6 * sim::kMinute);
+    tb.run_for(6 * net::kMinute);
     alice = tb.alive_nodes()[0];
     bob = tb.alive_nodes()[1];
     crypto::Drbg d(1);
     alice_group = &alice->create_group(kGroup, crypto::RsaKeyPair::generate(512, d));
     bob_group = &bob->join_group(kGroup, *alice_group->invite(bob->id()),
                                  alice_group->self_descriptor());
-    tb.run_for(2 * sim::kMinute);
+    tb.run_for(2 * net::kMinute);
     ASSERT_TRUE(bob_group->joined());
   }
 };
@@ -52,7 +52,7 @@ TEST_F(SecurityFixture, ContentNeverAppearsOnAnyLink) {
   const Bytes secret = to_bytes("XK-ULTRA-SECRET-PAYLOAD!");
   bool leaked = false;
   std::size_t observed = 0;
-  tb.network().set_tap([&](const sim::Datagram& d) {
+  tb.network().set_tap([&](const net::Datagram& d) {
     ++observed;
     if (contains_bytes(d.payload, secret)) leaked = true;
   });
@@ -62,7 +62,7 @@ TEST_F(SecurityFixture, ContentNeverAppearsOnAnyLink) {
     received.assign(p.begin(), p.end());
   };
   ASSERT_TRUE(alice_group->send_app_to(bob_group->self_descriptor(), secret));
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   tb.network().set_tap(nullptr);
 
   EXPECT_EQ(received, secret);  // delivered end-to-end...
@@ -76,11 +76,11 @@ TEST_F(SecurityFixture, PassportNeverAppearsOnAnyLink) {
   const Bytes signature = bob_group->passport().signature;
   ASSERT_GE(signature.size(), 32u);
   bool leaked = false;
-  tb.network().set_tap([&](const sim::Datagram& d) {
+  tb.network().set_tap([&](const net::Datagram& d) {
     if (contains_bytes(d.payload, signature)) leaked = true;
   });
   // Drive several PPSS cycles (gossip ships passports with every message).
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
   tb.network().set_tap(nullptr);
   EXPECT_FALSE(leaked);
 }
@@ -90,14 +90,14 @@ TEST_F(SecurityFixture, GroupKeyNeverAppearsOnAnyLink) {
   // confidential channels (join responses, gossip metadata).
   const Bytes group_key = alice_group->keyring().key_for(1)->serialize();
   bool leaked = false;
-  tb.network().set_tap([&](const sim::Datagram& d) {
+  tb.network().set_tap([&](const net::Datagram& d) {
     if (contains_bytes(d.payload, group_key)) leaked = true;
   });
   // Fresh join while tapped: carol joins through alice.
   WhisperNode* carol = tb.alive_nodes()[2];
   auto& carol_group = carol->join_group(kGroup, *alice_group->invite(carol->id()),
                                         alice_group->self_descriptor());
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   tb.network().set_tap(nullptr);
   EXPECT_TRUE(carol_group.joined());
   EXPECT_FALSE(leaked);
@@ -109,10 +109,10 @@ TEST_F(SecurityFixture, NodeKeysDoAppearOnTheWire) {
   // must be able to find them. Guards against a vacuous leak test.
   const Bytes node_key = alice->keypair().pub.serialize();
   bool seen = false;
-  tb.network().set_tap([&](const sim::Datagram& d) {
+  tb.network().set_tap([&](const net::Datagram& d) {
     if (contains_bytes(d.payload, node_key)) seen = true;
   });
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   tb.network().set_tap(nullptr);
   EXPECT_TRUE(seen);
 }
@@ -125,11 +125,11 @@ TEST(RelationshipAnonymity, SourceNeverTalksToDestinationDirectly) {
   // fabric) never equals (alice, bob). An observer of any one link learns
   // at most one of the two endpoints.
   WhisperTestbed tb(config(888));
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   WhisperNode* alice = tb.alive_nodes()[0];
   WhisperNode* bob = tb.alive_nodes()[1];
 
-  auto resolve_receiver = [&](const sim::Datagram& d) -> NodeId {
+  auto resolve_receiver = [&](const net::Datagram& d) -> NodeId {
     auto internal = tb.fabric().inbound(d.dst, d.src);
     if (!internal) return kNilNode;
     for (WhisperNode* n : tb.alive_nodes()) {
@@ -137,7 +137,7 @@ TEST(RelationshipAnonymity, SourceNeverTalksToDestinationDirectly) {
     }
     return kNilNode;
   };
-  auto parse_sender = [](const sim::Datagram& d) -> NodeId {
+  auto parse_sender = [](const net::Datagram& d) -> NodeId {
     Reader r(d.payload);
     const std::uint8_t type = r.u8();
     if (type == 1) return r.node_id();  // transport data message: from
@@ -146,8 +146,8 @@ TEST(RelationshipAnonymity, SourceNeverTalksToDestinationDirectly) {
 
   bool linked = false;
   std::size_t wcl_datagrams = 0;
-  tb.network().set_tap([&](const sim::Datagram& d) {
-    if (d.proto != sim::Proto::kWcl) return;
+  tb.network().set_tap([&](const net::Datagram& d) {
+    if (d.proto != net::Proto::kWcl) return;
     ++wcl_datagrams;
     if (parse_sender(d) == alice->id() && resolve_receiver(d) == bob->id()) linked = true;
   });
@@ -155,7 +155,7 @@ TEST(RelationshipAnonymity, SourceNeverTalksToDestinationDirectly) {
   bool delivered = false;
   bob->wcl().on_deliver = [&](Bytes) { delivered = true; };
   ASSERT_TRUE(alice->wcl().send_confidential(bob->wcl().self_peer(), to_bytes("unlinkable")));
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   tb.network().set_tap(nullptr);
   bob->wcl().on_deliver = nullptr;
 
@@ -200,7 +200,7 @@ TEST_F(SecurityFixture, ForgedPassportRejectedAndIgnored) {
   bob_group->on_app_message = [&](const wcl::RemotePeer&, BytesView) { bob_heard = true; };
   const std::uint64_t bad_before = bob_group->stats().bad_passports;
   mallory->wcl().send_confidential(bob_group->self_descriptor(), w.data());
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   EXPECT_FALSE(bob_heard);
   EXPECT_GT(bob_group->stats().bad_passports, bad_before);
 }
@@ -217,9 +217,9 @@ TEST_F(SecurityFixture, GarbageDatagramsDoNotCrashTheStack) {
     tb.network().send(alice->internal_endpoint(),
                       victim->is_public() ? victim->internal_endpoint()
                                           : victim->transport().self_card().addr,
-                      garbage, sim::Proto::kApp);
+                      garbage, net::Proto::kApp);
   }
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   // Also garbage wrapped as valid transport data messages with random tags
   // and bodies reaches the upper-layer handlers.
   for (int i = 0; i < 100; ++i) {
@@ -228,9 +228,9 @@ TEST_F(SecurityFixture, GarbageDatagramsDoNotCrashTheStack) {
     rng.fill_bytes(garbage.data(), garbage.size());
     alice->transport().send(victim->transport().self_card(),
                             static_cast<std::uint8_t>(1 + rng.next_below(4)), garbage,
-                            sim::Proto::kApp);
+                            net::Proto::kApp);
   }
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   // Still alive and gossiping.
   EXPECT_EQ(tb.alive_count(), 30u);
   std::uint64_t total_completed = 0;

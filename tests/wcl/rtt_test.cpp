@@ -5,9 +5,9 @@
 namespace whisper::wcl {
 namespace {
 
-constexpr sim::Time kInitial = 5 * sim::kSecond;
-constexpr sim::Time kMin = 200 * sim::kMillisecond;
-constexpr sim::Time kMax = 30 * sim::kSecond;
+constexpr net::Time kInitial = 5 * net::kSecond;
+constexpr net::Time kMin = 200 * net::kMillisecond;
+constexpr net::Time kMax = 30 * net::kSecond;
 
 TEST(RttEstimator, NoSampleReturnsInitialRto) {
   RttEstimator est;
@@ -17,32 +17,32 @@ TEST(RttEstimator, NoSampleReturnsInitialRto) {
 
 TEST(RttEstimator, FirstSampleSeedsSrttAndVar) {
   RttEstimator est;
-  est.sample(80 * sim::kMillisecond);
-  EXPECT_EQ(est.srtt(), 80 * sim::kMillisecond);
-  EXPECT_EQ(est.rttvar(), 40 * sim::kMillisecond);
+  est.sample(80 * net::kMillisecond);
+  EXPECT_EQ(est.srtt(), 80 * net::kMillisecond);
+  EXPECT_EQ(est.rttvar(), 40 * net::kMillisecond);
   // RTO = srtt + 4*rttvar = 240 ms.
-  EXPECT_EQ(est.rto(kInitial, kMin, kMax), 240 * sim::kMillisecond);
+  EXPECT_EQ(est.rto(kInitial, kMin, kMax), 240 * net::kMillisecond);
 }
 
 TEST(RttEstimator, ConvergesToStableRtt) {
   RttEstimator est;
-  for (int i = 0; i < 50; ++i) est.sample(100 * sim::kMillisecond);
-  EXPECT_NEAR(static_cast<double>(est.srtt()), 100.0 * sim::kMillisecond,
-              1.0 * sim::kMillisecond);
+  for (int i = 0; i < 50; ++i) est.sample(100 * net::kMillisecond);
+  EXPECT_NEAR(static_cast<double>(est.srtt()), 100.0 * net::kMillisecond,
+              1.0 * net::kMillisecond);
   // Variance decays towards zero on a steady path; RTO approaches SRTT
   // (plus the RFC 6298 granularity floor) and the min clamp keeps it sane.
-  EXPECT_LT(est.rttvar(), 5 * sim::kMillisecond);
-  EXPECT_LT(est.rto(kInitial, kMin, kMax), 150 * sim::kMillisecond + kMin);
+  EXPECT_LT(est.rttvar(), 5 * net::kMillisecond);
+  EXPECT_LT(est.rto(kInitial, kMin, kMax), 150 * net::kMillisecond + kMin);
 }
 
 TEST(RttEstimator, SpikesInflateRtoThenDecay) {
   RttEstimator est;
-  for (int i = 0; i < 20; ++i) est.sample(50 * sim::kMillisecond);
-  const sim::Time calm = est.rto(kInitial, kMin, kMax);
-  est.sample(1 * sim::kSecond);  // delay spike
-  const sim::Time spiked = est.rto(kInitial, kMin, kMax);
+  for (int i = 0; i < 20; ++i) est.sample(50 * net::kMillisecond);
+  const net::Time calm = est.rto(kInitial, kMin, kMax);
+  est.sample(1 * net::kSecond);  // delay spike
+  const net::Time spiked = est.rto(kInitial, kMin, kMax);
   EXPECT_GT(spiked, calm);
-  for (int i = 0; i < 40; ++i) est.sample(50 * sim::kMillisecond);
+  for (int i = 0; i < 40; ++i) est.sample(50 * net::kMillisecond);
   EXPECT_LT(est.rto(kInitial, kMin, kMax), spiked / 2);
 }
 
@@ -52,7 +52,7 @@ TEST(RttEstimator, RtoClampedToBounds) {
   EXPECT_EQ(fast.rto(kInitial, kMin, kMax), kMin);
 
   RttEstimator slow;
-  slow.sample(100 * sim::kSecond);
+  slow.sample(100 * net::kSecond);
   EXPECT_EQ(slow.rto(kInitial, kMin, kMax), kMax);
 }
 

@@ -22,7 +22,7 @@ struct WclFixture : ::testing::Test {
   static WhisperTestbed& testbed() {
     static auto* tb = [] {
       auto* t = new WhisperTestbed(config(40));
-      t->run_for(6 * sim::kMinute);
+      t->run_for(6 * net::kMinute);
       return t;
     }();
     return *tb;
@@ -66,7 +66,7 @@ TEST_F(WclFixture, ConfidentialSendDelivers) {
   std::optional<SendOutcome> outcome;
   EXPECT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(), secret,
                                            [&](SendOutcome o) { outcome = o; }));
-  testbed().run_for(30 * sim::kSecond);
+  testbed().run_for(30 * net::kSecond);
   EXPECT_EQ(delivered, secret);
   ASSERT_TRUE(outcome.has_value());
   EXPECT_NE(*outcome, SendOutcome::kNoAlternative);
@@ -91,7 +91,7 @@ TEST_F(WclFixture, DeliveryToNattedDestination) {
   Bytes delivered;
   dst->wcl().on_deliver = [&](Bytes p) { delivered = std::move(p); };
   EXPECT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("to natted")));
-  testbed().run_for(30 * sim::kSecond);
+  testbed().run_for(30 * net::kSecond);
   EXPECT_EQ(delivered, to_bytes("to natted"));
   dst->wcl().on_deliver = nullptr;
 }
@@ -110,7 +110,7 @@ TEST_F(WclFixture, MixesNeverSeePlaintext) {
   int deliveries = 0;
   dst->wcl().on_deliver = [&](Bytes) { ++deliveries; };
   src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("x"));
-  testbed().run_for(30 * sim::kSecond);
+  testbed().run_for(30 * net::kSecond);
 
   std::uint64_t forwarded_after = 0;
   for (WhisperNode* n : nodes) forwarded_after += n->wcl().stats().onions_forwarded;
@@ -160,7 +160,7 @@ TEST_F(WclFixture, RetryFindsAlternativeWhenHelperDead) {
   std::optional<SendOutcome> outcome;
   src->wcl().send_confidential(peer, to_bytes("retry me"),
                                [&](SendOutcome o) { outcome = o; });
-  testbed().run_for(60 * sim::kSecond);
+  testbed().run_for(60 * net::kSecond);
   ASSERT_TRUE(outcome.has_value());
   EXPECT_NE(*outcome, SendOutcome::kNoAlternative);
   EXPECT_EQ(deliveries, 1);
@@ -171,7 +171,7 @@ TEST(WclAuthenticated, EndToEndWithAuthenticatedBodies) {
   TestbedConfig cfg = config(30, /*seed=*/350);
   cfg.node.wcl.authenticated_bodies = true;
   WhisperTestbed tb(cfg);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   auto nodes = tb.alive_nodes();
   WhisperNode* src = nodes[1];
   WhisperNode* dst = nodes[2];
@@ -181,7 +181,7 @@ TEST(WclAuthenticated, EndToEndWithAuthenticatedBodies) {
   ASSERT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(),
                                            to_bytes("integrity-protected"),
                                            [&](SendOutcome o) { outcome = o; }));
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
   EXPECT_EQ(delivered, to_bytes("integrity-protected"));
   ASSERT_TRUE(outcome.has_value());
   EXPECT_NE(*outcome, SendOutcome::kNoAlternative);
@@ -194,7 +194,7 @@ TEST(WclAuthenticated, ModesInteroperateAcrossMixes) {
   TestbedConfig cfg = config(30, /*seed=*/351);
   cfg.node.wcl.authenticated_bodies = false;  // mixes run plain mode
   WhisperTestbed tb(cfg);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   auto nodes = tb.alive_nodes();
   // A plain-mode sender to a plain-mode receiver through whatever mixes:
   // mode byte 0 round-trips (covered elsewhere); here assert an overall
@@ -204,7 +204,7 @@ TEST(WclAuthenticated, ModesInteroperateAcrossMixes) {
   int deliveries = 0;
   dst->wcl().on_deliver = [&](Bytes) { ++deliveries; };
   src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("plain"));
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
   EXPECT_EQ(deliveries, 1);
   for (WhisperNode* n : nodes) EXPECT_EQ(n->wcl().stats().bodies_rejected, 0u);
 }
@@ -216,7 +216,7 @@ TEST_P(WclPathLength, DeliversWithConfiguredMixCount) {
   TestbedConfig cfg = config(30, /*seed=*/300 + GetParam());
   cfg.node.wcl.mixes = GetParam();
   WhisperTestbed tb(cfg);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
 
   auto nodes = tb.alive_nodes();
   WhisperNode* src = nodes[1];
@@ -229,7 +229,7 @@ TEST_P(WclPathLength, DeliversWithConfiguredMixCount) {
 
   const Bytes secret = to_bytes("variable path length");
   ASSERT_TRUE(src->wcl().send_confidential(dst->wcl().self_peer(), secret));
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
   EXPECT_EQ(delivered, secret);
 
   // Exactly `mixes` forwarding steps per successful attempt (at least).
@@ -274,7 +274,7 @@ TEST(RemotePeerWire, DeserializeGarbageFails) {
 TEST(WclAdaptive, SuccessfulSendsSeedTheRttEstimator) {
   TestbedConfig cfg = config(30, /*seed=*/360);
   WhisperTestbed tb(cfg);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   auto nodes = tb.alive_nodes();
   WhisperNode* src = nodes[1];
   WhisperNode* dst = nodes[2];
@@ -287,7 +287,7 @@ TEST(WclAdaptive, SuccessfulSendsSeedTheRttEstimator) {
   int deliveries = 0;
   dst->wcl().on_deliver = [&](Bytes) { ++deliveries; };
   src->wcl().send_confidential(dst->wcl().self_peer(), to_bytes("time me"));
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
   ASSERT_EQ(deliveries, 1);
 
   // The ack round-trip produced a sample; the adaptive RTO is now far
@@ -300,7 +300,7 @@ TEST(WclAdaptive, SuccessfulSendsSeedTheRttEstimator) {
 TEST(WclSweep, ExpiredPendingForwardsAreSwept) {
   TestbedConfig cfg = config(30, /*seed=*/361);
   WhisperTestbed tb(cfg);
-  tb.run_for(6 * sim::kMinute);
+  tb.run_for(6 * net::kMinute);
   auto nodes = tb.alive_nodes();
   WhisperNode* src = nodes[1];
   WhisperNode* dst = nodes[2];
@@ -311,7 +311,7 @@ TEST(WclSweep, ExpiredPendingForwardsAreSwept) {
   RemotePeer stale = dst->wcl().self_peer();
   tb.kill_node(dst->id());
   src->wcl().send_confidential(stale, to_bytes("to the void"));
-  tb.run_for(30 * sim::kSecond);
+  tb.run_for(30 * net::kSecond);
 
   std::size_t lingering = 0;
   for (WhisperNode* n : tb.alive_nodes()) {

@@ -36,7 +36,7 @@ TEST(Testbed, AllNattedNodesGetRelays) {
   TestbedConfig cfg;
   cfg.initial_nodes = 30;
   WhisperTestbed tb(cfg);
-  tb.run_for(sim::kMinute);
+  tb.run_for(net::kMinute);
   for (WhisperNode* n : tb.alive_nodes()) {
     if (!n->is_public()) {
       EXPECT_FALSE(n->transport().relay_lost()) << n->id().str();
@@ -70,9 +70,9 @@ TEST(Testbed, SpawnAfterStartJoinsOverlay) {
   TestbedConfig cfg;
   cfg.initial_nodes = 15;
   WhisperTestbed tb(cfg);
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   WhisperNode& fresh = tb.spawn_node();
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   EXPECT_GE(fresh.pss().view().size(), 3u);
   // The newcomer appears in someone's view.
   std::size_t refs = 0;
@@ -88,7 +88,7 @@ TEST(Testbed, DeterministicRuns) {
     cfg.initial_nodes = 15;
     cfg.seed = 1234;
     WhisperTestbed tb(cfg);
-    tb.run_for(3 * sim::kMinute);
+    tb.run_for(3 * net::kMinute);
     // Digest: sum of (id, view size, exchange counts).
     std::uint64_t digest = 0;
     for (WhisperNode* n : tb.alive_nodes()) {
@@ -105,7 +105,7 @@ TEST(Testbed, OverlaySnapshotMatchesViews) {
   TestbedConfig cfg;
   cfg.initial_nodes = 10;
   WhisperTestbed tb(cfg);
-  tb.run_for(2 * sim::kMinute);
+  tb.run_for(2 * net::kMinute);
   auto graph = tb.overlay_snapshot();
   EXPECT_EQ(graph.size(), tb.alive_count());
   for (WhisperNode* n : tb.alive_nodes()) {
@@ -117,7 +117,7 @@ TEST(Testbed, BandwidthCountersPopulated) {
   TestbedConfig cfg;
   cfg.initial_nodes = 15;
   WhisperTestbed tb(cfg);
-  tb.run_for(3 * sim::kMinute);
+  tb.run_for(3 * net::kMinute);
   std::uint64_t total_up = 0;
   for (WhisperNode* n : tb.alive_nodes()) {
     total_up += tb.network().counters(n->internal_endpoint()).total_up();

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t prev_init = 0, prev_done = 0, prev_timeout = 0;
   for (int minute = 1; minute <= 12; ++minute) {
-    tb.run_for(sim::kMinute);
+    tb.run_for(net::kMinute);
     std::uint64_t init = 0, done = 0, timeout = 0;
     double view_fill = 0, view_pub = 0;
     std::size_t relayless = 0, direct_routes = 0;

@@ -1,0 +1,250 @@
+// whisper_localnet — boot a real WHISPER mesh on 127.0.0.1 and verify
+// end-to-end confidential delivery.
+//
+//   whisper_localnet --nodes=10 [--timeout=60s] [--dir=DIR] [--keep-dir]
+//                    [--noded=PATH] [--seed=7] [--flight]
+//
+// Forks N whisper_noded processes (one OS process per node, each with its
+// own UDP socket and epoll loop), wires them through a rendezvous
+// directory, and waits for every node to confirm its end of the
+// join -> group -> onion-send exchange (see whisper_noded for the file
+// protocol). Exit 0 iff all N delivered within the timeout.
+//
+// With --flight each node dumps its flight records to DIR/flight.I.jsonl,
+// ready for `whisper_trace summary|audit`.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+std::string arg_string(int argc, char** argv, const std::string& key,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+std::uint64_t arg_seconds(int argc, char** argv, const std::string& key,
+                          std::uint64_t fallback) {
+  std::string s = arg_string(argc, argv, key, "");
+  if (s.empty()) return fallback;
+  if (s.back() == 's' || s.back() == 'S') s.pop_back();
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+double now_s() {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Default noded binary: next to this one.
+std::string sibling_noded(const char* argv0) {
+  std::string self = argv0;
+  const auto slash = self.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/whisper_noded";
+}
+
+void print_log_tail(const std::string& path, int lines) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::vector<std::string> tail;
+  std::string line;
+  while (std::getline(in, line)) {
+    tail.push_back(line);
+    if (tail.size() > static_cast<std::size_t>(lines)) tail.erase(tail.begin());
+  }
+  for (const auto& l : tail) std::fprintf(stderr, "    %s\n", l.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t nodes = std::strtoull(
+      arg_string(argc, argv, "nodes", "10").c_str(), nullptr, 10);
+  const std::uint64_t timeout_s = arg_seconds(argc, argv, "timeout", 60);
+  const std::string seed = arg_string(argc, argv, "seed", "7");
+  const bool keep_dir = arg_flag(argc, argv, "keep-dir");
+  const bool flight = arg_flag(argc, argv, "flight");
+  std::string noded = arg_string(argc, argv, "noded", sibling_noded(argv[0]));
+  if (nodes < 2) {
+    std::fprintf(stderr, "need --nodes >= 2\n");
+    return 2;
+  }
+  if (::access(noded.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "noded binary not executable: %s (%s)\n", noded.c_str(),
+                 std::strerror(errno));
+    return 2;
+  }
+
+  std::string dir = arg_string(argc, argv, "dir", "");
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/whisper_localnet.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::fprintf(stderr, "mkdtemp: %s\n", std::strerror(errno));
+      return 1;
+    }
+    dir = tmpl;
+  } else {
+    ::mkdir(dir.c_str(), 0755);
+  }
+  std::printf("localnet: %llu nodes, rendezvous %s, timeout %llus\n",
+              (unsigned long long)nodes, dir.c_str(),
+              (unsigned long long)timeout_s);
+
+  // Fork the mesh: one whisper_noded per node, logs to DIR/log.I.
+  std::vector<pid_t> pids(nodes + 1, -1);
+  for (std::uint64_t i = 1; i <= nodes; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) {
+      const std::string log = dir + "/log." + std::to_string(i);
+      const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      std::vector<std::string> args = {
+          noded,
+          "--dir=" + dir,
+          "--id=" + std::to_string(i),
+          "--nodes=" + std::to_string(nodes),
+          "--timeout=" + std::to_string(timeout_s),
+          "--seed=" + seed,
+      };
+      if (flight) {
+        args.push_back("--flight=" + dir + "/flight." + std::to_string(i) +
+                       ".jsonl");
+      }
+      std::vector<char*> cargs;
+      for (auto& a : args) cargs.push_back(a.data());
+      cargs.push_back(nullptr);
+      ::execv(noded.c_str(), cargs.data());
+      std::fprintf(stderr, "execv %s: %s\n", noded.c_str(), std::strerror(errno));
+      _exit(127);
+    }
+    pids[i] = pid;
+  }
+
+  // Wait for every delivered.I, watching for children that die early.
+  const double deadline = now_s() + static_cast<double>(timeout_s);
+  std::vector<bool> delivered(nodes + 1, false);
+  std::uint64_t confirmed = 0;
+  bool failed = false;
+  while (confirmed < nodes && now_s() < deadline && !failed) {
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      if (!delivered[i] && file_exists(dir + "/delivered." + std::to_string(i))) {
+        delivered[i] = true;
+        ++confirmed;
+        std::printf("  delivered %llu/%llu (node %llu)\n",
+                    (unsigned long long)confirmed, (unsigned long long)nodes,
+                    (unsigned long long)i);
+      }
+    }
+    // A child exiting non-zero before its delivery confirms is a failure.
+    int status = 0;
+    const pid_t dead = ::waitpid(-1, &status, WNOHANG);
+    if (dead > 0) {
+      for (std::uint64_t i = 1; i <= nodes; ++i) {
+        if (pids[i] != dead) continue;
+        pids[i] = -1;
+        const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!ok && !delivered[i]) {
+          std::fprintf(stderr, "node %llu exited %d before delivering\n",
+                       (unsigned long long)i,
+                       WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+          failed = true;
+        }
+      }
+    }
+    ::usleep(100 * 1000);
+  }
+
+  const bool success = confirmed == nodes;
+  if (!success) {
+    std::fprintf(stderr, "FAIL: %llu/%llu nodes delivered within %llus\n",
+                 (unsigned long long)confirmed, (unsigned long long)nodes,
+                 (unsigned long long)timeout_s);
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      if (delivered[i]) continue;
+      std::fprintf(stderr, "  node %llu log tail:\n", (unsigned long long)i);
+      print_log_tail(dir + "/log." + std::to_string(i), 5);
+    }
+  }
+
+  // Tear down: TERM, grace period, then KILL; reap everything.
+  for (std::uint64_t i = 1; i <= nodes; ++i) {
+    if (pids[i] > 0) ::kill(pids[i], SIGTERM);
+  }
+  const double kill_at = now_s() + 3.0;
+  std::uint64_t live = 0;
+  for (std::uint64_t i = 1; i <= nodes; ++i) live += pids[i] > 0 ? 1 : 0;
+  while (live > 0) {
+    int status = 0;
+    const pid_t dead = ::waitpid(-1, &status, WNOHANG);
+    if (dead > 0) {
+      for (std::uint64_t i = 1; i <= nodes; ++i) {
+        if (pids[i] == dead) pids[i] = -1;
+      }
+      --live;
+      continue;
+    }
+    if (now_s() > kill_at) {
+      for (std::uint64_t i = 1; i <= nodes; ++i) {
+        if (pids[i] > 0) ::kill(pids[i], SIGKILL);
+      }
+    }
+    ::usleep(50 * 1000);
+  }
+
+  if (success) {
+    std::printf("OK: all %llu nodes delivered\n", (unsigned long long)nodes);
+    if (flight) {
+      std::printf("flight records: %s/flight.<id>.jsonl — try:\n"
+                  "  whisper_trace summary %s/flight.1.jsonl\n",
+                  dir.c_str(), dir.c_str());
+    }
+  }
+  if (!keep_dir && !flight && success) {
+    // Best-effort cleanup of the rendezvous directory.
+    std::string cmd = "rm -rf '" + dir + "'";
+    if (dir.rfind("/tmp/whisper_localnet.", 0) == 0) (void)!std::system(cmd.c_str());
+  } else {
+    std::printf("rendezvous dir kept: %s\n", dir.c_str());
+  }
+  return success ? 0 : 1;
+}

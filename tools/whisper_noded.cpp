@@ -1,0 +1,345 @@
+// whisper_noded — one real WHISPER node: a full protocol stack on a UDP
+// socket, driven by the epoll event loop.
+//
+//   whisper_noded --dir=RENDEZVOUS --id=I --nodes=N [--timeout=60]
+//                 [--seed=7] [--group=1] [--flight=out.jsonl]
+//
+// Nodes coordinate through the rendezvous directory (shared filesystem —
+// the localhost stand-in for a bootstrap service):
+//
+//   card.I       hex ContactCard, written by node I at boot
+//   invite.I     hex (Accreditation + leader RemotePeer), written by the
+//                leader (id 1) for each member I
+//   member.I     written by member I once its group join completed
+//   delivered.I  written by node I when its end of the exchange succeeded:
+//                members after receiving the leader's onion-routed pong,
+//                the leader after ponging every member
+//
+// The run: everyone boots and gossips; the leader founds the group and
+// writes invitations; members join and send an onion-routed "ping I" to
+// the leader, retrying until the leader's "pong I" arrives. Exit 0 iff
+// this node's delivered.I was written before the timeout. All file polling
+// runs on backend timers — the same wheel the protocol stack uses.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <csignal>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/flight.hpp"
+#include "whisper/keypool.hpp"
+#include "whisper/realnet.hpp"
+
+using namespace whisper;
+
+namespace {
+
+net::UdpBackend* g_backend = nullptr;
+
+void handle_term(int) {
+  if (g_backend != nullptr) g_backend->request_stop();
+}
+
+std::string arg_string(int argc, char** argv, const std::string& key,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return fallback;
+}
+
+std::uint64_t arg_u64(int argc, char** argv, const std::string& key,
+                      std::uint64_t fallback) {
+  const std::string s = arg_string(argc, argv, key, "");
+  if (s.empty()) return fallback;
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/// Seconds, tolerating a trailing 's' ("60" and "60s" both work).
+std::uint64_t arg_seconds(int argc, char** argv, const std::string& key,
+                          std::uint64_t fallback) {
+  std::string s = arg_string(argc, argv, key, "");
+  if (s.empty()) return fallback;
+  if (!s.empty() && (s.back() == 's' || s.back() == 'S')) s.pop_back();
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::optional<Bytes> read_hex_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string hex;
+  in >> hex;
+  if (hex.empty()) return std::nullopt;
+  return from_hex(hex);
+}
+
+/// Atomic publish: peers only ever observe complete files.
+bool write_hex_file(const std::string& path, BytesView bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << to_hex(bytes) << "\n";
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+struct Options {
+  std::string dir;
+  std::uint64_t id = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t timeout_s = 60;
+  std::uint64_t seed = 7;
+  std::uint64_t group = 1;
+  std::string flight_path;
+};
+
+/// The node's rendezvous-driven state machine, advanced by a 50 ms tick.
+struct Orchestrator {
+  Options opt;
+  net::UdpBackend& backend;
+  WhisperNode& node;
+  bool is_leader;
+
+  ppss::Ppss* group = nullptr;
+  std::optional<wcl::RemotePeer> leader_peer;
+  std::unordered_set<std::uint64_t> ponged;  // leader: members answered
+  net::Time next_ping_at = 0;
+  bool done = false;
+  int exit_code = 1;
+
+  std::string path(const std::string& base) const { return opt.dir + "/" + base; }
+
+  void finish(int code) {
+    if (done) return;
+    done = true;
+    exit_code = code;
+    // Linger briefly so in-flight ACKs towards peers still flow, then stop.
+    backend.schedule_after(500 * net::kMillisecond,
+                           [this] { backend.request_stop(); });
+  }
+
+  // --- Leader side. ---
+
+  void leader_found_group() {
+    crypto::Drbg drbg(opt.seed ^ 0x6e0ded);
+    group = &node.create_group(GroupId{opt.group},
+                               crypto::RsaKeyPair::generate(512, drbg));
+    group->on_app_message = [this](const wcl::RemotePeer& from, BytesView p) {
+      leader_on_ping(from, p);
+    };
+    for (std::uint64_t i = 2; i <= opt.nodes; ++i) {
+      auto accreditation = group->invite(NodeId{i});
+      if (!accreditation) continue;
+      Writer w;
+      accreditation->serialize(w);
+      group->self_descriptor().serialize(w);
+      write_hex_file(path("invite." + std::to_string(i)), w.data());
+    }
+    std::printf("[noded %llu] group founded, %llu invitations published\n",
+                (unsigned long long)opt.id, (unsigned long long)(opt.nodes - 1));
+  }
+
+  void leader_on_ping(const wcl::RemotePeer& from, BytesView payload) {
+    const std::string text = to_string(payload);
+    if (text.rfind("ping ", 0) != 0) return;
+    const std::uint64_t member = std::strtoull(text.c_str() + 5, nullptr, 10);
+    group->send_app_to(from, to_bytes("pong " + std::to_string(member)));
+    if (ponged.insert(member).second) {
+      std::printf("[noded %llu] ping from member %llu (%zu/%llu)\n",
+                  (unsigned long long)opt.id, (unsigned long long)member,
+                  ponged.size(), (unsigned long long)(opt.nodes - 1));
+    }
+    if (ponged.size() == opt.nodes - 1 && !done) {
+      write_hex_file(path("delivered." + std::to_string(opt.id)),
+                     to_bytes("pinged-by " + std::to_string(ponged.size())));
+      finish(0);
+    }
+  }
+
+  // --- Member side. ---
+
+  void member_try_join() {
+    if (group != nullptr) return;
+    auto bytes = read_hex_file(path("invite." + std::to_string(opt.id)));
+    if (!bytes) return;
+    Reader r(*bytes);
+    auto accreditation = ppss::Accreditation::deserialize(r);
+    auto leader = wcl::RemotePeer::deserialize(r);
+    if (!accreditation || !leader || !r.expect_done()) {
+      std::fprintf(stderr, "[noded %llu] malformed invitation\n",
+                   (unsigned long long)opt.id);
+      return;
+    }
+    leader_peer = *leader;
+    group = &node.join_group(GroupId{opt.group}, *accreditation, *leader);
+    group->on_app_message = [this](const wcl::RemotePeer&, BytesView p) {
+      member_on_pong(p);
+    };
+  }
+
+  void member_tick() {
+    member_try_join();
+    if (group == nullptr || done) return;
+    if (!group->joined()) return;
+    if (backend.now() < next_ping_at) return;
+    // Announce the completed join once, then ping until ponged.
+    const std::string member_file = path("member." + std::to_string(opt.id));
+    if (next_ping_at == 0) {
+      write_hex_file(member_file, to_bytes("joined"));
+      std::printf("[noded %llu] joined group, pinging leader\n",
+                  (unsigned long long)opt.id);
+    }
+    group->send_app_to(*leader_peer,
+                       to_bytes("ping " + std::to_string(opt.id)));
+    next_ping_at = backend.now() + net::kSecond;
+  }
+
+  void member_on_pong(BytesView payload) {
+    if (done) return;
+    const std::string expected = "pong " + std::to_string(opt.id);
+    if (to_string(payload) != expected) return;
+    write_hex_file(path("delivered." + std::to_string(opt.id)),
+                   Bytes(payload.begin(), payload.end()));
+    std::printf("[noded %llu] pong received — delivery confirmed\n",
+                (unsigned long long)opt.id);
+    finish(0);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.dir = arg_string(argc, argv, "dir", "");
+  opt.id = arg_u64(argc, argv, "id", 0);
+  opt.nodes = arg_u64(argc, argv, "nodes", 0);
+  opt.timeout_s = arg_seconds(argc, argv, "timeout", 60);
+  opt.seed = arg_u64(argc, argv, "seed", 7);
+  opt.group = arg_u64(argc, argv, "group", 1);
+  opt.flight_path = arg_string(argc, argv, "flight", "");
+  if (opt.dir.empty() || opt.id == 0 || opt.nodes < 2 || opt.id > opt.nodes) {
+    std::fprintf(stderr,
+                 "usage: whisper_noded --dir=DIR --id=I --nodes=N "
+                 "[--timeout=60] [--seed=7] [--group=1] [--flight=out.jsonl]\n"
+                 "ids are 1..N; id 1 is the group leader\n");
+    return 2;
+  }
+
+  net::UdpBackend backend;
+  if (!backend.last_error().empty()) {
+    std::fprintf(stderr, "backend: %s\n", backend.last_error().c_str());
+    return 1;
+  }
+  g_backend = &backend;
+  std::signal(SIGTERM, handle_term);
+  std::signal(SIGINT, handle_term);
+
+  telemetry::Registry registry;
+  telemetry::Tracer tracer;
+  telemetry::FlightRecorder flight;
+  tracer.set_clock(net::clock_fn(backend));
+  flight.set_clock(net::clock_fn(backend));
+  flight.set_enabled(!opt.flight_path.empty());
+  backend.set_flight(&flight);
+
+  const auto ep = backend.reserve_endpoint();
+  if (!ep) {
+    std::fprintf(stderr, "bind: %s\n", backend.last_error().c_str());
+    return 1;
+  }
+
+  Rng rng(opt.seed ^ (opt.id * 0x9e3779b97f4a7c15ull));
+  WhisperNode node(backend, backend, NodeId{opt.id}, *ep, /*is_public=*/true,
+                   pooled_keypair(opt.id, realtime_node_config().rsa_bits),
+                   realtime_node_config(), rng.fork(),
+                   telemetry::Sinks{&registry, &tracer, &flight});
+  flight.set_node_resolver([ep, &opt](Endpoint e) {
+    return e == *ep ? opt.id : 0ull;
+  });
+
+  Orchestrator orch{opt, backend, node, /*is_leader=*/opt.id == 1,
+                    nullptr, {}, {}, 0, false, 1};
+
+  // 1. Publish our card, then wait for the full roster before starting:
+  //    everyone boots with every peer in reach, like the testbed's
+  //    bootstrap handed out by an oracle.
+  {
+    Writer w;
+    node.transport().self_card().serialize(w);
+    if (!write_hex_file(orch.path("card." + std::to_string(opt.id)), w.data())) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   orch.path("card." + std::to_string(opt.id)).c_str());
+      return 1;
+    }
+  }
+
+  bool started = false;
+  std::function<void()> boot_poll = [&] {
+    if (backend.stop_requested()) return;
+    std::vector<pss::ContactCard> bootstrap;
+    for (std::uint64_t i = 1; i <= opt.nodes; ++i) {
+      if (i == opt.id) continue;
+      auto bytes = read_hex_file(orch.path("card." + std::to_string(i)));
+      if (!bytes) break;
+      Reader r(*bytes);
+      bootstrap.push_back(pss::ContactCard::deserialize(r));
+    }
+    if (bootstrap.size() == opt.nodes - 1) {
+      node.start(bootstrap);
+      started = true;
+      std::printf("[noded %llu] up at %s, %zu bootstrap contacts\n",
+                  (unsigned long long)opt.id, ep->str().c_str(),
+                  bootstrap.size());
+      return;
+    }
+    backend.schedule_after(50 * net::kMillisecond, boot_poll);
+  };
+  boot_poll();
+
+  // 2. The orchestration tick: leader founds the group once the substrate
+  //    has had a moment to gossip keys; members watch for their invitation.
+  const net::Time group_at = 3 * net::kSecond;
+  std::function<void()> tick = [&] {
+    if (backend.stop_requested()) return;
+    if (started) {
+      if (orch.is_leader) {
+        if (orch.group == nullptr && backend.now() >= group_at) {
+          orch.leader_found_group();
+        }
+      } else {
+        orch.member_tick();
+      }
+    }
+    backend.schedule_after(50 * net::kMillisecond, tick);
+  };
+  tick();
+
+  backend.schedule_after(opt.timeout_s * net::kSecond, [&] {
+    if (!orch.done) {
+      std::fprintf(stderr, "[noded %llu] timeout\n", (unsigned long long)opt.id);
+    }
+    backend.request_stop();
+  });
+
+  backend.run();
+  node.stop();
+
+  if (!opt.flight_path.empty()) {
+    const auto records = flight.assemble();
+    telemetry::write_text_file(opt.flight_path, telemetry::to_jsonl(records));
+    std::printf("[noded %llu] %zu flight records -> %s\n",
+                (unsigned long long)opt.id, records.size(),
+                opt.flight_path.c_str());
+  }
+  return orch.done ? orch.exit_code : 1;
+}

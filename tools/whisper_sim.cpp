@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   const double sample_secs = arg_double(argc, argv, "sample-secs", 0);
   cfg.trace = !trace_path.empty();
   cfg.flight = !flight_path.empty() || !audit_spec.empty();
-  cfg.telemetry_sample_every = static_cast<sim::Time>(sample_secs * sim::kSecond);
+  cfg.telemetry_sample_every = static_cast<net::Time>(sample_secs * net::kSecond);
 
   telemetry::Vantage vantage;
   if (!audit_spec.empty()) {
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
 
   WhisperTestbed tb(cfg);
   Rng rng(cfg.seed ^ 0x51b);
-  tb.run_for(5 * sim::kMinute);
+  tb.run_for(5 * net::kMinute);
 
   // Optional groups: leaders on P-nodes, every node one membership.
   std::vector<ppss::Ppss*> leaders;
@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
         node->join_group(gids[g], *accr, leaders[g]->self_descriptor());
       }
     }
-    tb.run_for(3 * sim::kMinute);
+    tb.run_for(3 * net::kMinute);
   }
 
   // Optional churn for the whole observation window.
@@ -144,8 +144,8 @@ int main(int argc, char** argv) {
       [&] { return tb.alive_count(); });
   if (churn_pct > 0) {
     churn::ChurnPhase phase;
-    phase.start = tb.simulator().now();
-    phase.end = phase.start + static_cast<sim::Time>(minutes) * sim::kMinute;
+    phase.start = tb.clock().now();
+    phase.end = phase.start + static_cast<net::Time>(minutes) * net::kMinute;
     phase.leave_fraction = churn_pct / 100.0;
     engine.schedule(phase);
   }
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     // Script times are relative to the observation window, which starts now.
-    const sim::Time t0 = tb.simulator().now();
+    const net::Time t0 = tb.clock().now();
     for (auto& spec : parsed.specs) {
       spec.start += t0;
       if (spec.end > 0) spec.end += t0;
@@ -179,8 +179,8 @@ int main(int argc, char** argv) {
     for (faults::FaultKind kind : kinds) {
       faults::FaultSpec spec;
       spec.kind = kind;
-      spec.start = tb.simulator().now();
-      spec.end = spec.start + static_cast<sim::Time>(minutes) * sim::kMinute;
+      spec.start = tb.clock().now();
+      spec.end = spec.start + static_cast<net::Time>(minutes) * net::kMinute;
       spec.fraction = byz_fraction / static_cast<double>(kinds.size());
       spec.count = 0;  // fraction-sized actor set
       spec.probability = 0.5;
@@ -196,7 +196,7 @@ int main(int argc, char** argv) {
               "fill", "clust", "wcl-ok", "wcl-fail", "traffic");
   std::uint64_t prev_done = 0;
   for (int minute = 1; minute <= minutes; ++minute) {
-    tb.run_for(sim::kMinute);
+    tb.run_for(net::kMinute);
     std::uint64_t done = 0, wcl_ok = 0, wcl_fail = 0, up_bytes = 0;
     double fill = 0;
     for (WhisperNode* n : tb.all_nodes()) {
@@ -221,8 +221,8 @@ int main(int argc, char** argv) {
 
   std::printf("\nsummary: killed=%zu spawned=%zu packets=%llu delivered=%llu\n",
               engine.total_killed(), engine.total_spawned(),
-              static_cast<unsigned long long>(tb.network().packets_sent()),
-              static_cast<unsigned long long>(tb.network().packets_delivered()));
+              static_cast<unsigned long long>(tb.stack().packets_sent()),
+              static_cast<unsigned long long>(tb.stack().packets_delivered()));
   if (const faults::FaultFabric* ff = tb.fault_fabric()) {
     const auto& fs = ff->stats();
     std::printf("faults: dropped=%llu delayed=%llu duplicated=%llu corrupted=%llu "
