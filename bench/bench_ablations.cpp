@@ -149,7 +149,7 @@ void ablation_retry_budget() {
     Rng rng(cfg.seed ^ 1);
     tb.run_for(6 * net::kMinute);
     churn::ChurnEngine engine(
-        tb.simulator(), [&](std::size_t n) {
+        tb.clock(), [&](std::size_t n) {
           std::size_t k = 0;
           for (std::size_t i = 0; i < n; ++i) {
             if (!tb.kill_random_node().is_nil()) ++k;

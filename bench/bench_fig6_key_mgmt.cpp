@@ -32,7 +32,7 @@ Fig6Row run_config(std::size_t n_nodes, double natted_fraction, std::size_t pi,
 
   // Warm-up, then measure over a window.
   tb.run_for(5 * net::kMinute);
-  tb.network().reset_counters();
+  tb.reset_traffic();
   const std::size_t cycles = 30;
   tb.run_for(cycles * cfg.node.pss.cycle);
 

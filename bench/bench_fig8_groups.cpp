@@ -62,7 +62,7 @@ Fig8Row run_config(std::size_t n_nodes, std::size_t n_groups, std::size_t subs) 
   tb.run_for(5 * net::kMinute);
 
   // Measure across complete PPSS cycles.
-  tb.network().reset_counters();
+  tb.reset_traffic();
   const std::size_t cycles = 5;
   tb.run_for(cycles * cfg.node.ppss.cycle);
   const double window_s =
@@ -70,7 +70,7 @@ Fig8Row run_config(std::size_t n_nodes, std::size_t n_groups, std::size_t subs) 
 
   Samples n_up, n_down, p_up, p_down;
   for (WhisperNode* node : tb.alive_nodes()) {
-    const auto& c = tb.network().counters(node->internal_endpoint());
+    const auto& c = tb.traffic(node->internal_endpoint());
     const double up = static_cast<double>(c.total_up()) / window_s / 1024.0;    // KB/s
     const double down = static_cast<double>(c.total_down()) / window_s / 1024.0;
     if (node->is_public()) {

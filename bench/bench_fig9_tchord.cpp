@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   tc.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<chord::TChord>> rings;
   for (WhisperNode* m : group_members) {
-    rings.push_back(std::make_unique<chord::TChord>(tb.simulator(), *m->group(gid), tc,
+    rings.push_back(std::make_unique<chord::TChord>(tb.clock(), *m->group(gid), tc,
                                                     tb.rng().fork()));
     rings.back()->start();
   }

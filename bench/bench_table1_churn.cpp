@@ -96,7 +96,7 @@ Table1Row run_config(std::size_t n_nodes, std::size_t n_groups, double churn_pct
 
   // Churn window (the paper's 300 s -> 1200 s script, shifted after setup).
   churn::ChurnEngine engine(
-      tb.simulator(),
+      tb.clock(),
       [&](std::size_t n) {
         std::size_t killed = 0;
         for (std::size_t i = 0; i < n; ++i) {

@@ -201,11 +201,16 @@ int run_udp_bench(bool quick, const std::string& json_dir) {
                                   [&] { mesh.backend().request_stop(); });
     // A round trip can die for good (all alternative mixes exhausted); the
     // serial driver would stall forever. Re-kick when progress stops for a
-    // second — the duplicate trip is still a real onion round trip.
+    // second — the duplicate trip is still a real onion round trip. Every
+    // rekick is a lost message on loopback, so the count is reported in
+    // BENCH_net.json: a regression that drops trips shows up there instead
+    // of being silently absorbed by the watchdog.
     std::size_t last_seen = 0;
+    std::size_t rekicks = 0;
     std::function<void()> watchdog = [&] {
       if (mesh.backend().stop_requested() || done >= trips) return;
       if (done == last_seen) {
+        ++rekicks;
         sent_at = mesh.clock().now();
         ag.send_app_to(bg.self_descriptor(), payload);
       }
@@ -222,9 +227,11 @@ int run_udp_bench(bool quick, const std::string& json_dir) {
     j.put("msgs_per_sec", static_cast<double>(2 * done) / elapsed);
     j.put("rtt_p50_us", rtt_us.percentile(50));
     j.put("rtt_p95_us", rtt_us.percentile(95));
+    j.put("watchdog_rekicks", static_cast<std::uint64_t>(rekicks));
     net_json.put("onion_rtt", j);
-    std::printf("onion: %zu trips through %zu-node mesh, RTT p50 %.0f us / p95 %.0f us\n",
-                done, kMeshNodes, rtt_us.percentile(50), rtt_us.percentile(95));
+    std::printf("onion: %zu trips through %zu-node mesh, RTT p50 %.0f us / p95 %.0f us, "
+                "%zu watchdog rekicks\n",
+                done, kMeshNodes, rtt_us.percentile(50), rtt_us.percentile(95), rekicks);
     if (done < trips) {
       std::fprintf(stderr, "onion: only %zu/%zu trips completed\n", done, trips);
       return 1;
@@ -373,15 +380,52 @@ int main(int argc, char** argv) {
     tb.run_for(minutes * net::kMinute);
     const double wall_s = seconds_since(start);
     const double events_per_wall_sec =
-        static_cast<double>(tb.simulator().executed_events()) / wall_s;
+        static_cast<double>(tb.executed_events()) / wall_s;
     bench::Json j;
     j.put("nodes", static_cast<std::uint64_t>(nodes));
     j.put("groups", static_cast<std::uint64_t>(groups));
     j.put("virtual_minutes", static_cast<std::uint64_t>(minutes));
     j.put("wall_seconds", wall_s);
-    j.put("sim_events_executed", tb.simulator().executed_events());
+    j.put("sim_events_executed", tb.executed_events());
     j.put("sim_events_per_wall_sec", events_per_wall_sec);
     sim_json.put("scenario", j);
+    {
+      // Attribute the 72k-vs-2.37M events/sec gap: wall-clock spent inside
+      // each subsystem's inbound handler and in individual crypto ops,
+      // summed across every node ever spawned. The buckets overlap by
+      // design (ppss_handler nests inside wcl_handler; crypto ops run
+      // inside handlers and send paths), so shares are reported against
+      // total wall, not against each other.
+      double spent_s[static_cast<std::size_t>(net::CpuCategory::kCount)] = {};
+      std::uint64_t ops[static_cast<std::size_t>(net::CpuCategory::kCount)] = {};
+      for (WhisperNode* node : tb.all_nodes()) {
+        for (std::size_t c = 0; c < static_cast<std::size_t>(net::CpuCategory::kCount); ++c) {
+          const auto cat = static_cast<net::CpuCategory>(c);
+          spent_s[c] += static_cast<double>(node->cpu().spent(cat)) / 1e6;
+          ops[c] += node->cpu().ops(cat);
+        }
+      }
+      bench::Json split;
+      for (std::size_t c = 0; c < static_cast<std::size_t>(net::CpuCategory::kCount); ++c) {
+        const auto cat = static_cast<net::CpuCategory>(c);
+        bench::Json e;
+        e.put("seconds", spent_s[c]);
+        e.put("ops", ops[c]);
+        e.put("share_of_wall", spent_s[c] / wall_s);
+        split.put(net::cpu_category_name(cat), e);
+      }
+      split.put("note",
+                "overlapping buckets: ppss_handler nests inside wcl_handler; "
+                "crypto categories time individual ops wherever they run");
+      sim_json.put("cpu_split", split);
+      std::printf("cpu split: pss %.1fs, keys %.1fs, wcl %.1fs (ppss %.1fs), "
+                  "crypto %.1fs of %.1fs wall\n",
+                  spent_s[static_cast<std::size_t>(net::CpuCategory::kPssHandler)],
+                  spent_s[static_cast<std::size_t>(net::CpuCategory::kKeysHandler)],
+                  spent_s[static_cast<std::size_t>(net::CpuCategory::kWclHandler)],
+                  spent_s[static_cast<std::size_t>(net::CpuCategory::kPpssHandler)],
+                  spent_s[0] + spent_s[1] + spent_s[2] + spent_s[3], wall_s);
+    }
     if (!quick && nodes == 1000 && groups == 8 && minutes == 30) {
       // Reference point: the identical scenario measured at the pre-fast-path
       // commit (plain RSA private ops, hash-set cancel bookkeeping) took

@@ -54,7 +54,7 @@ int main() {
   tc.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<chord::TChord>> rings;
   for (WhisperNode* m : members) {
-    rings.push_back(std::make_unique<chord::TChord>(tb.simulator(), *m->group(group), tc,
+    rings.push_back(std::make_unique<chord::TChord>(tb.clock(), *m->group(group), tc,
                                                     tb.rng().fork()));
     rings.back()->start();
   }

@@ -106,7 +106,7 @@ int main() {
   std::unordered_set<std::uint64_t> wcl_senders_seen;
   const Bytes payroll = to_bytes("payroll-2026.xlsx");
   bool payroll_leaked = false;
-  tb.network().set_tap([&](const net::Datagram& d) {
+  tb.set_tap([&](const net::Datagram& d) {
     ++tapped_packets;
     tapped_bytes += d.payload.size();
     if (std::search(d.payload.begin(), d.payload.end(), payroll.begin(), payroll.end()) !=
@@ -126,7 +126,7 @@ int main() {
   tb.run_for(net::kMinute);
   sites[3].send_frame(routing_table, 1, "recife quarterly numbers to hq");
   tb.run_for(net::kMinute);
-  tb.network().set_tap(nullptr);
+  tb.set_tap(nullptr);
 
   std::printf("\n--- what the eavesdropper got ---\n");
   std::printf("packets observed: %zu (%.1f KB)\n", tapped_packets,

@@ -68,7 +68,7 @@ void TChord::stop() {
   if (!running_) return;
   running_ = false;
   if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
-  for (auto& [id, p] : pending_lookups_) {
+  for (auto&& [id, p] : pending_lookups_) {
     if (p.timeout_timer != 0) clock_.cancel(p.timeout_timer);
   }
   pending_lookups_.clear();

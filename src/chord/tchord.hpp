@@ -13,6 +13,7 @@
 #include <map>
 #include <optional>
 
+#include "common/densemap.hpp"
 #include "ppss/ppss.hpp"
 
 namespace whisper::chord {
@@ -134,7 +135,7 @@ class TChord {
     std::uint64_t trace_root = 0;
   };
   void arm_lookup_timer(std::uint64_t lookup_id);
-  std::unordered_map<std::uint64_t, PendingLookup> pending_lookups_;
+  DenseMap<std::uint64_t, PendingLookup> pending_lookups_;
   std::uint64_t next_lookup_id_;
 
   Stats stats_;

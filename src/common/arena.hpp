@@ -1,0 +1,84 @@
+// Arena: chunked bump allocator for phase-scoped scratch memory.
+//
+// Boot-time planning and export canonicalization build large transient
+// structures (bootstrap plans for 100k nodes, merged flight records) whose
+// lifetimes end together. An arena turns those thousands of small
+// allocations into pointer bumps over a few large chunks, and frees them
+// all at once with reset(). Nothing here is thread-safe; one arena belongs
+// to one phase on one thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace whisper {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the granularity of backing allocations; oversized
+  /// requests get a dedicated chunk.
+  explicit Arena(std::size_t chunk_bytes = 1 << 16) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `size` bytes at `align` alignment. Never fails except by bad_alloc.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (p + size > limit_) {
+      new_chunk(size + align);
+      p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cursor_ = p + size;
+    used_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Typed helper: uninitialized storage for `n` objects of T.
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Construct one T in the arena. No destructor runs at reset(); only use
+  /// for trivially destructible payloads or accept the leak-until-reset.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Drop every allocation but keep the first chunk warm for reuse.
+  void reset() {
+    if (chunks_.size() > 1) chunks_.resize(1);
+    if (!chunks_.empty()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.front().get());
+      limit_ = cursor_ + chunk_bytes_;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+    used_ = 0;
+  }
+
+  /// Bytes handed out since construction/reset (excludes alignment pad).
+  std::size_t used() const { return used_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  void new_chunk(std::size_t min_bytes) {
+    const std::size_t bytes = min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+    chunks_.push_back(std::make_unique<std::byte[]>(bytes));
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().get());
+    limit_ = cursor_ + bytes;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace whisper

@@ -16,8 +16,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include "common/densemap.hpp"
 
 #include "common/ids.hpp"
 
@@ -76,7 +75,7 @@ class ReplayWindow {
 
  private:
   std::size_t capacity_;
-  std::unordered_set<std::uint64_t> seen_;
+  DenseSet<std::uint64_t> seen_;
   std::deque<std::uint64_t> order_;
   std::uint64_t evictions_ = 0;
 };
@@ -150,7 +149,7 @@ class PeerGuard {
   }
 
   PeerGuardConfig config_;
-  std::unordered_map<NodeId, State> peers_;
+  DenseMap<NodeId, State> peers_;
   std::deque<NodeId> order_;
   std::uint64_t rate_limited_ = 0;
   std::uint64_t evictions_ = 0;

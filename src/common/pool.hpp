@@ -1,0 +1,137 @@
+// FlatPool: fixed-capacity object pool with generation-checked handles.
+//
+// The simulator's slot/generation timer table (sim/simulator.hpp) proved the
+// idiom: objects live in one contiguous preallocated slab, callers hold a
+// 64-bit handle (generation << 32 | index), and a handle minted for an
+// earlier occupant of a reused slot goes stale instead of dangling. This
+// header generalizes that design for protocol state, in the flat style of
+// high-performance networking codebases: no per-object heap allocation, no
+// pointer-chasing, O(1) acquire/release, stable addresses for the pool's
+// lifetime.
+//
+// Handles are never 0 (generations start at 1), so 0 doubles as the "no
+// object" sentinel exactly like TimerId.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace whisper {
+
+/// Handle into a FlatPool. 0 is "null"; otherwise (gen << 32) | index.
+using PoolHandle = std::uint64_t;
+
+inline constexpr PoolHandle kNullPoolHandle = 0;
+
+template <typename T>
+class FlatPool {
+ public:
+  /// One slab of `capacity` objects, allocated up front. The pool never
+  /// grows: acquire() on a full pool returns the null handle, which keeps
+  /// memory bounded and allocation out of the hot path by construction.
+  explicit FlatPool(std::size_t capacity) : capacity_(capacity) {
+    slots_.resize(capacity);
+    storage_ = static_cast<Cell*>(::operator new[](capacity * sizeof(Cell),
+                                                   std::align_val_t{alignof(Cell)}));
+    free_.reserve(capacity);
+    // Hand out low indices first (freelist is popped from the back).
+    for (std::size_t i = capacity; i > 0; --i) {
+      free_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
+
+  ~FlatPool() {
+    clear();
+    ::operator delete[](storage_, std::align_val_t{alignof(Cell)});
+  }
+
+  FlatPool(const FlatPool&) = delete;
+  FlatPool& operator=(const FlatPool&) = delete;
+
+  /// Construct an object in a free slot; null handle when exhausted.
+  template <typename... Args>
+  PoolHandle acquire(Args&&... args) {
+    if (free_.empty()) return kNullPoolHandle;
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    Slot& s = slots_[idx];
+    assert(!s.live);
+    new (&storage_[idx]) T(std::forward<Args>(args)...);
+    s.live = true;
+    ++live_;
+    return make_handle(idx, s.gen);
+  }
+
+  /// The object named by `h`, or nullptr when `h` is null, out of range, or
+  /// stale (its slot was released and possibly reused since).
+  T* get(PoolHandle h) {
+    const std::uint32_t idx = index_of(h);
+    if (idx >= capacity_ || !slots_[idx].live || slots_[idx].gen != gen_of(h)) {
+      return nullptr;
+    }
+    return ptr(idx);
+  }
+  const T* get(PoolHandle h) const {
+    return const_cast<FlatPool*>(this)->get(h);
+  }
+
+  /// Destroy the object and recycle its slot, bumping the generation so
+  /// outstanding handles to it go stale. False when `h` was already stale.
+  bool release(PoolHandle h) {
+    const std::uint32_t idx = index_of(h);
+    if (idx >= capacity_ || !slots_[idx].live || slots_[idx].gen != gen_of(h)) {
+      return false;
+    }
+    ptr(idx)->~T();
+    Slot& s = slots_[idx];
+    s.live = false;
+    if (++s.gen == 0) s.gen = 1;  // keep handles non-zero across wrap
+    free_.push_back(idx);
+    --live_;
+    return true;
+  }
+
+  /// Destroy every live object (handles all go stale).
+  void clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (!slots_[i].live) continue;
+      ptr(static_cast<std::uint32_t>(i))->~T();
+      Slot& s = slots_[i];
+      s.live = false;
+      if (++s.gen == 0) s.gen = 1;
+      free_.push_back(static_cast<std::uint32_t>(i));
+    }
+    live_ = 0;
+  }
+
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return free_.empty(); }
+
+ private:
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+  using Cell = std::aligned_storage_t<sizeof(T), alignof(T)>;
+
+  static PoolHandle make_handle(std::uint32_t idx, std::uint32_t gen) {
+    return (static_cast<PoolHandle>(gen) << 32) | idx;
+  }
+  static std::uint32_t index_of(PoolHandle h) { return static_cast<std::uint32_t>(h); }
+  static std::uint32_t gen_of(PoolHandle h) { return static_cast<std::uint32_t>(h >> 32); }
+
+  T* ptr(std::uint32_t idx) { return std::launder(reinterpret_cast<T*>(&storage_[idx])); }
+
+  std::size_t capacity_;
+  std::vector<Slot> slots_;
+  Cell* storage_ = nullptr;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace whisper

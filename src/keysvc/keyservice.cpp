@@ -15,7 +15,7 @@ KeyService::KeyService(net::Clock& clock, nylon::Transport& transport,
 }
 
 KeyService::~KeyService() {
-  for (auto& [seq, pending] : pending_) {
+  for (auto&& [seq, pending] : pending_) {
     if (pending.timeout_timer != 0) clock_.cancel(pending.timeout_timer);
   }
 }

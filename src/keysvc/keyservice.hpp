@@ -14,7 +14,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include "common/densemap.hpp"
 
 #include "crypto/rsa.hpp"
 #include "nylon/transport.hpp"
@@ -66,7 +66,7 @@ class KeyService {
   nylon::Transport& transport_;
   const crypto::RsaKeyPair& own_;
   KeyServiceConfig config_;
-  std::unordered_map<NodeId, crypto::RsaPublicKey> cache_;
+  DenseMap<NodeId, crypto::RsaPublicKey> cache_;
   std::deque<NodeId> cache_order_;  // insertion order, for FIFO eviction
   std::uint64_t decode_rejects_ = 0;
   std::uint64_t cache_evictions_ = 0;
@@ -76,7 +76,7 @@ class KeyService {
     std::function<void(std::optional<crypto::RsaPublicKey>)> callback;
     net::TimerId timeout_timer = 0;
   };
-  std::unordered_map<std::uint32_t, PendingRequest> pending_;
+  DenseMap<std::uint32_t, PendingRequest> pending_;
   std::uint32_t next_seq_ = 1;
 };
 

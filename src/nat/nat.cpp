@@ -107,9 +107,20 @@ Endpoint NatFabric::add_public_node() {
 }
 
 Endpoint NatFabric::add_natted_node(NatType type) {
+  return add_natted_node_at(type, next_private_ip_++, next_device_ip_++);
+}
+
+Endpoint NatFabric::add_public_node_at(std::uint32_t public_ip) {
+  Endpoint ep{public_ip, 5000};
+  node_type_[ep] = NatType::kNone;
+  return ep;
+}
+
+Endpoint NatFabric::add_natted_node_at(NatType type, std::uint32_t private_ip,
+                                       std::uint32_t device_ip) {
   assert(type != NatType::kNone);
-  Endpoint internal{next_private_ip_++, 5000};
-  auto device = std::make_unique<NatDevice>(type, next_device_ip_++, config_, sim_);
+  Endpoint internal{private_ip, 5000};
+  auto device = std::make_unique<NatDevice>(type, device_ip, config_, sim_);
   device_by_ip_[device->public_ip()] = devices_.size();
   node_device_[internal] = devices_.size();
   node_type_[internal] = type;

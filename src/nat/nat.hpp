@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/densemap.hpp"
 #include "common/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -113,6 +114,14 @@ class NatFabric : public sim::AddressTranslator {
   /// Allocate a private address behind a fresh NAT device of the given type.
   Endpoint add_natted_node(NatType type);
 
+  /// Explicit-address variants for the sharded testbed: addresses there are
+  /// a pure function of the global node index, so every shard's fabric
+  /// registers non-colliding, shard-count-invariant endpoints instead of
+  /// drawing from its own sequential allocator.
+  Endpoint add_public_node_at(std::uint32_t public_ip);
+  Endpoint add_natted_node_at(NatType type, std::uint32_t private_ip,
+                              std::uint32_t device_ip);
+
   /// Remove a node's addressing state (churn departure).
   void remove_node(Endpoint internal_ep);
 
@@ -136,10 +145,10 @@ class NatFabric : public sim::AddressTranslator {
   std::uint32_t next_private_ip_ = (10u << 24) | 1;  // 10.0.0.1...
   std::uint32_t next_device_ip_ = (100u << 24) | 1;  // 100.0.0.1...
   // internal endpoint -> owning device index (or none for public nodes)
-  std::unordered_map<Endpoint, std::size_t> node_device_;
-  std::unordered_map<std::uint32_t, std::size_t> device_by_ip_;
+  DenseMap<Endpoint, std::size_t> node_device_;
+  DenseMap<std::uint32_t, std::size_t> device_by_ip_;
   std::vector<std::unique_ptr<NatDevice>> devices_;
-  std::unordered_map<Endpoint, NatType> node_type_;
+  DenseMap<Endpoint, NatType> node_type_;
 };
 
 /// Deployment mix helper: draw a NAT type according to the paper's default

@@ -22,8 +22,34 @@ enum class CpuCategory : std::uint8_t {
   kRsaEncrypt = 1, // onion path preparation (seal operations)
   kRsaDecrypt = 2, // onion peeling / envelope opening
   kRsaSign = 3,    // passport issuance & verification
-  kCount = 4,
+  // Subsystem handler time: wall-clock spent dispatching one inbound frame
+  // into the named layer, crypto included. PPSS handling nests inside the
+  // WCL handler (confidential payloads surface through the onion exit), so
+  // kPpssHandler is a subset of kWclHandler, and the crypto categories
+  // above overlap every handler bucket — report them side by side, never
+  // sum them.
+  kPssHandler = 4,
+  kKeysHandler = 5,
+  kWclHandler = 6,
+  kPpssHandler = 7,
+  kCount = 8,
 };
+
+/// Stable lower-case label for a category ("aes", "pss_handler", ...).
+inline const char* cpu_category_name(CpuCategory cat) {
+  switch (cat) {
+    case CpuCategory::kAes: return "aes";
+    case CpuCategory::kRsaEncrypt: return "rsa_encrypt";
+    case CpuCategory::kRsaDecrypt: return "rsa_decrypt";
+    case CpuCategory::kRsaSign: return "rsa_sign";
+    case CpuCategory::kPssHandler: return "pss_handler";
+    case CpuCategory::kKeysHandler: return "keys_handler";
+    case CpuCategory::kWclHandler: return "wcl_handler";
+    case CpuCategory::kPpssHandler: return "ppss_handler";
+    case CpuCategory::kCount: break;
+  }
+  return "unknown";
+}
 
 class CpuMeter {
  public:

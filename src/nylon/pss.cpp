@@ -67,7 +67,7 @@ void NylonPss::stop() {
   if (!running_) return;
   running_ = false;
   if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
-  for (auto& [seq, pending] : pending_) {
+  for (auto&& [seq, pending] : pending_) {
     if (pending.timeout_timer != 0) clock_.cancel(pending.timeout_timer);
   }
   pending_.clear();

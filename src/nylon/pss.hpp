@@ -16,7 +16,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include "common/densemap.hpp"
 
 #include "common/guard.hpp"
 #include "nylon/transport.hpp"
@@ -174,7 +174,7 @@ class NylonPss {
     net::TimerId timeout_timer = 0;
     net::Time started_at = 0;
   };
-  std::unordered_map<std::uint32_t, PendingExchange> pending_;
+  DenseMap<std::uint32_t, PendingExchange> pending_;
 
   std::uint64_t exchanges_initiated_ = 0;
   std::uint64_t exchanges_completed_ = 0;
@@ -194,9 +194,9 @@ class NylonPss {
   // quarantine (peer -> expiry) entered at the threshold. Both are
   // peer-driven, so both are hard-capped (suspicion evicts oldest-tracked
   // via the FIFO below; quarantine evicts the earliest expiry).
-  std::unordered_map<NodeId, int> suspicion_;
+  DenseMap<NodeId, int> suspicion_;
   std::deque<NodeId> suspicion_order_;
-  std::unordered_map<NodeId, net::Time> quarantine_;
+  DenseMap<NodeId, net::Time> quarantine_;
 
   // Per-peer admission + decode scoring.
   PeerGuard guard_;

@@ -228,7 +228,15 @@ void Transport::handle_data(const net::Datagram& dgram, Reader& r) {
   }
 
   auto it = handlers_.find(msg->tag);
-  if (it != handlers_.end()) it->second(msg->from, msg->payload);
+  if (it == handlers_.end()) return;
+  if (cpu_ == nullptr) {
+    it->second(msg->from, msg->payload);
+    return;
+  }
+  const net::CpuCategory cat = msg->tag == kTagPss    ? net::CpuCategory::kPssHandler
+                               : msg->tag == kTagKeys ? net::CpuCategory::kKeysHandler
+                                                      : net::CpuCategory::kWclHandler;
+  cpu_->charge(cat, [&] { it->second(msg->from, msg->payload); });
 }
 
 void Transport::handle_forward(const net::Datagram& dgram, Reader& r) {

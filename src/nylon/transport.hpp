@@ -15,13 +15,13 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/densemap.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "pss/contact.hpp"
-#include "net/spi.hpp"
+#include "net/cpumeter.hpp"
 #include "net/spi.hpp"
 
 namespace whisper::nylon {
@@ -97,6 +97,11 @@ class Transport {
   using Handler = std::function<void(NodeId from, BytesView payload)>;
   void register_handler(std::uint8_t tag, Handler handler);
 
+  /// Attribute inbound handler dispatch time (per protocol tag) to `meter`.
+  /// Accounting only — measured wall time never feeds the virtual clock, so
+  /// metering cannot perturb deterministic runs. nullptr disables.
+  void set_cpu_meter(net::CpuMeter* meter) { cpu_ = meter; }
+
   /// Send `payload` to the node described by `card`, preferring a verified
   /// direct route, then the card's address (direct for P-nodes, via relay
   /// for N-nodes). Returns false if no send was possible at all.
@@ -168,7 +173,7 @@ class Transport {
     Endpoint endpoint;
     net::Time verified_at = 0;
   };
-  std::unordered_map<NodeId, DirectRoute> direct_routes_;
+  DenseMap<NodeId, DirectRoute> direct_routes_;
 
   // Punch probes in flight: peer -> (seq, target, sent_at).
   struct PendingProbe {
@@ -176,7 +181,7 @@ class Transport {
     Endpoint target;
     net::Time sent_at = 0;
   };
-  std::unordered_map<NodeId, PendingProbe> probes_;
+  DenseMap<NodeId, PendingProbe> probes_;
   std::uint32_t next_probe_seq_ = 1;
 
   // Relay-side registrations (P-nodes).
@@ -184,9 +189,10 @@ class Transport {
     Endpoint external;
     net::Time expires = 0;
   };
-  std::unordered_map<NodeId, Registration> registrations_;
+  DenseMap<NodeId, Registration> registrations_;
 
-  std::unordered_map<std::uint8_t, Handler> handlers_;
+  DenseMap<std::uint8_t, Handler> handlers_;
+  net::CpuMeter* cpu_ = nullptr;
 
   std::uint64_t decode_rejects_ = 0;
   std::uint64_t cap_evictions_ = 0;

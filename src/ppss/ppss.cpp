@@ -142,7 +142,7 @@ void Ppss::on_pcp_refresh() {
   if (!running_) return;
   pcp_timer_ = clock_.schedule_after(config_.pcp_refresh, [this] { on_pcp_refresh(); });
   // Ping every pinned peer to refresh the helper sets used to reach it.
-  for (auto& [id, pinned] : pcp_) {
+  for (auto&& [id, pinned] : pcp_) {
     const std::uint32_t seq = next_seq_++;
     Writer w;
     w.group_id(group_);
@@ -155,7 +155,7 @@ void Ppss::on_pcp_refresh() {
     ++pinned.missed_pings;
   }
   // Drop peers that stopped answering.
-  std::erase_if(pcp_, [](const auto& kv) { return kv.second.missed_pings > 3; });
+  erase_if(pcp_, [](const auto& kv) { return kv.second.missed_pings > 3; });
 }
 
 void Ppss::stop() {
@@ -163,7 +163,7 @@ void Ppss::stop() {
   running_ = false;
   if (cycle_timer_ != 0) clock_.cancel(cycle_timer_);
   if (pcp_timer_ != 0) clock_.cancel(pcp_timer_);
-  for (auto& [seq, p] : pending_) {
+  for (auto&& [seq, p] : pending_) {
     if (p.timeout_timer != 0) clock_.cancel(p.timeout_timer);
   }
   pending_.clear();

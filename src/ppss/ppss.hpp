@@ -21,8 +21,7 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include "common/densemap.hpp"
 
 #include "common/guard.hpp"
 #include "ppss/group.hpp"
@@ -234,7 +233,7 @@ class Ppss {
     /// Flight-record root of this exchange (0 while tracing is off).
     std::uint64_t trace_root = 0;
   };
-  std::unordered_map<std::uint32_t, PendingExchange> pending_;
+  DenseMap<std::uint32_t, PendingExchange> pending_;
   std::uint32_t next_seq_ = 1;
 
   // Join state.
@@ -253,8 +252,8 @@ class Ppss {
     wcl::RemotePeer peer;
     int missed_pings = 0;
   };
-  std::unordered_map<NodeId, PinnedPeer> pcp_;
-  std::unordered_map<std::uint32_t, NodeId> pending_pings_;
+  DenseMap<NodeId, PinnedPeer> pcp_;
+  DenseMap<std::uint32_t, NodeId> pending_pings_;
 
   // Leader liveness & election.
   net::Time last_heartbeat_seen_ = 0;
@@ -273,7 +272,7 @@ class Ppss {
   std::uint64_t next_app_nonce_ = 1;
 
   // Registered application channels (app id 1..255).
-  std::unordered_map<std::uint8_t, AppHandler> app_handlers_;
+  DenseMap<std::uint8_t, AppHandler> app_handlers_;
 
   Stats stats_;
 

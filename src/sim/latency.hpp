@@ -21,6 +21,12 @@ class LatencyModel {
  public:
   virtual ~LatencyModel() = default;
   virtual std::optional<Time> sample(Endpoint from, Endpoint to, Rng& rng) = 0;
+
+  /// Hard floor on every delay this model can return. The sharded engine's
+  /// conservative-synchronization window must not exceed this bound: any
+  /// message sent inside a lockstep window is then guaranteed to arrive no
+  /// earlier than the next window, so shards never see the past change.
+  virtual Time lower_bound() const = 0;
 };
 
 /// Constant delay, no loss. For unit tests.
@@ -28,6 +34,7 @@ class FixedLatency : public LatencyModel {
  public:
   explicit FixedLatency(Time delay) : delay_(delay) {}
   std::optional<Time> sample(Endpoint, Endpoint, Rng&) override { return delay_; }
+  Time lower_bound() const override { return delay_; }
 
  private:
   Time delay_;
@@ -37,6 +44,7 @@ class FixedLatency : public LatencyModel {
 class ClusterLatency : public LatencyModel {
  public:
   std::optional<Time> sample(Endpoint from, Endpoint to, Rng& rng) override;
+  Time lower_bound() const override { return 100; }
 };
 
 /// PlanetLab-like WAN: per-pair lognormal base (median ~40 ms one-way),
@@ -46,6 +54,8 @@ class PlanetLabLatency : public LatencyModel {
   explicit PlanetLabLatency(double loss_probability = 0.02)
       : loss_probability_(loss_probability) {}
   std::optional<Time> sample(Endpoint from, Endpoint to, Rng& rng) override;
+  /// Base clamps at 5 ms and jitter is non-negative.
+  Time lower_bound() const override { return 5 * kMillisecond; }
 
  private:
   double loss_probability_;

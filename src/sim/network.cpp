@@ -13,6 +13,19 @@ std::uint64_t flow_id_of(const telemetry::TraceContext& ctx) {
   return (ctx.trace_id << 20) ^ ctx.seq;
 }
 
+/// Canonical 64-bit form of an endpoint (matches std::hash<Endpoint>'s
+/// packing): the major component of a delivery's ordering key.
+std::uint64_t pack_endpoint(Endpoint ep) {
+  return (std::uint64_t{ep.ip} << 16) | ep.port;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 std::uint64_t TrafficCounters::total_up() const {
@@ -104,7 +117,7 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
   // Account upload at the sender regardless of eventual delivery: bytes
   // leave the sender's uplink either way.
   const std::size_t pi = static_cast<std::size_t>(proto);
-  counters_for(internal_src).up[pi]->add(payload.size());
+  if (per_node_accounting_) counters_for(internal_src).up[pi]->add(payload.size());
   agg_up_[pi]->add(payload.size());
   packets_sent_c_->add(1);
 
@@ -145,7 +158,15 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
                             flow_id_of(scheduled.trace));
       }
     }
-    auto delay = latency_->sample(wire_src, public_dst, rng_);
+    // Canonical ordering key for this wire copy: (sender, per-sender seq).
+    // Allocated per copy even when the copy is then lost, so the key stream
+    // at the sender is identical whatever happens downstream.
+    std::uint64_t ka = 0, kb = 0;
+    if (deterministic_) {
+      ka = pack_endpoint(internal_src);
+      kb = wire_seqs_[internal_src]++;
+    }
+    auto delay = draw_latency(wire_src, public_dst, kb);
     if (!delay) {
       count_drop(DropReason::kLoss);  // lost in transit
       if (tracing_flight && scheduled.trace.valid()) {
@@ -153,12 +174,41 @@ bool Network::send(Endpoint internal_src, Endpoint public_dst, Bytes payload, Pr
       }
       continue;
     }
-    sim_.schedule_after(*delay + extra_delay,
-                        [this, internal_src, dgram = std::move(scheduled)]() mutable {
-                          deliver(internal_src, std::move(dgram));
-                        });
+    const Time deliver_at = sim_.now() + *delay + extra_delay;
+    if (is_remote_ && is_remote_(public_dst)) {
+      forward_remote_(RemoteDelivery{deliver_at, ka, kb, internal_src,
+                                     std::move(scheduled)});
+    } else if (deterministic_) {
+      sim_.schedule_keyed(deliver_at, ka, kb,
+                          [this, internal_src, dgram = std::move(scheduled)]() mutable {
+                            deliver(internal_src, std::move(dgram));
+                          });
+    } else {
+      sim_.schedule_at(deliver_at,
+                       [this, internal_src, dgram = std::move(scheduled)]() mutable {
+                         deliver(internal_src, std::move(dgram));
+                       });
+    }
   }
   return true;
+}
+
+std::optional<Time> Network::draw_latency(Endpoint wire_src, Endpoint public_dst,
+                                          std::uint64_t kb) {
+  if (!deterministic_) return latency_->sample(wire_src, public_dst, rng_);
+  // Stateless per-copy stream: the draw depends only on (salt, sender seq),
+  // never on how many other sends interleaved — shard-count invariant.
+  Rng copy_rng(mix64(latency_salt_ ^ mix64(pack_endpoint(wire_src)) ^
+                     mix64(kb * 0x9e3779b97f4a7c15ULL + 1)));
+  return latency_->sample(wire_src, public_dst, copy_rng);
+}
+
+void Network::deliver_remote(RemoteDelivery d) {
+  sim_.schedule_keyed(d.deliver_at, d.ka, d.kb,
+                      [this, internal_src = d.internal_src,
+                       dgram = std::move(d.dgram)]() mutable {
+                        deliver(internal_src, std::move(dgram));
+                      });
 }
 
 void Network::deliver(Endpoint internal_src, Datagram dgram) {
@@ -216,7 +266,7 @@ void Network::finish_delivery(Endpoint internal_dst, Datagram dgram) {
   }
 
   const std::size_t pi = static_cast<std::size_t>(dgram.proto);
-  counters_for(internal_dst).down[pi]->add(dgram.payload.size());
+  if (per_node_accounting_) counters_for(internal_dst).down[pi]->add(dgram.payload.size());
   agg_down_[pi]->add(dgram.payload.size());
   packets_delivered_c_->add(1);
   if (!traced) {

@@ -15,9 +15,9 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/densemap.hpp"
 #include "common/ids.hpp"
 #include "net/datagram.hpp"
 #include "net/spi.hpp"
@@ -133,6 +133,49 @@ class Network final : public net::Stack {
   bool send(Endpoint internal_src, Endpoint public_dst, Bytes payload,
             Proto proto) override;
 
+  // --- Sharded-engine integration (see sim/sharded.hpp). ---
+
+  /// A wire traversal crossing a shard boundary: everything the owning
+  /// shard's network needs to finish the delivery with the same canonical
+  /// ordering it would have used locally.
+  struct RemoteDelivery {
+    Time deliver_at;
+    std::uint64_t ka;  // canonical key: packed sender endpoint
+    std::uint64_t kb;  // canonical key: per-sender wire sequence
+    Endpoint internal_src;
+    Datagram dgram;
+  };
+
+  /// Deterministic delivery mode: latency (and loss) for each wire copy is
+  /// drawn from a private Rng seeded by (salt, sender, per-sender wire
+  /// sequence) instead of the network's shared stream, and deliveries are
+  /// heap-keyed by (sender, wire sequence). Both are invariant under how
+  /// nodes are partitioned into shards, which is what makes same-seed runs
+  /// byte-identical for every shard count. Must be set before traffic.
+  void set_deterministic_delivery(std::uint64_t salt) {
+    deterministic_ = true;
+    latency_salt_ = salt;
+  }
+
+  /// Route datagrams whose destination lives on another shard. `is_remote`
+  /// decides (from the public destination address); `forward` hands the
+  /// packet to the engine, which enqueues it on the owning shard's channel.
+  void set_shard_router(std::function<bool(Endpoint)> is_remote,
+                        std::function<void(RemoteDelivery)> forward) {
+    is_remote_ = std::move(is_remote);
+    forward_remote_ = std::move(forward);
+  }
+
+  /// Schedule a delivery that arrived over a shard channel. Runs on the
+  /// destination shard; `d.deliver_at` is guaranteed (by the conservative
+  /// window) to still be in this shard's future.
+  void deliver_remote(RemoteDelivery d);
+
+  /// Per-node byte counters cost ~12 registry entries per node — fine at
+  /// 1k nodes, gigabytes of label strings at 100k. Lean mode keeps only the
+  /// system-wide aggregates. Flip before any traffic flows.
+  void set_per_node_accounting(bool enabled) { per_node_accounting_ = enabled; }
+
   const TrafficCounters& counters(Endpoint internal_ep) const;
   /// Zero every "net."-prefixed metric (per-node, aggregates, packet
   /// counts) — benches call this after warm-up to open a measurement
@@ -170,6 +213,8 @@ class Network final : public net::Stack {
   void finish_delivery(Endpoint internal_dst, Datagram dgram);
   void count_drop(DropReason reason);
   TrafficCounters& counters_for(Endpoint internal_ep);
+  std::optional<Time> draw_latency(Endpoint wire_src, Endpoint public_dst,
+                                   std::uint64_t kb);
 
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
@@ -178,10 +223,18 @@ class Network final : public net::Stack {
   telemetry::FlightRecorder* flight_ = nullptr;
   telemetry::Tracer* tracer_ = nullptr;
   Tap tap_;
-  std::unordered_map<Endpoint, Handler> handlers_;
+  DenseMap<Endpoint, Handler> handlers_;
   std::unique_ptr<telemetry::Registry> owned_registry_;  // when none injected
   telemetry::Registry* registry_;                        // never null
-  std::unordered_map<Endpoint, TrafficCounters> counters_;
+  DenseMap<Endpoint, TrafficCounters> counters_;
+  bool per_node_accounting_ = true;
+  bool deterministic_ = false;
+  std::uint64_t latency_salt_ = 0;
+  /// Per-sender wire-copy sequence for canonical delivery keys
+  /// (deterministic mode only).
+  DenseMap<Endpoint, std::uint64_t> wire_seqs_;
+  std::function<bool(Endpoint)> is_remote_;
+  std::function<void(RemoteDelivery)> forward_remote_;
   telemetry::Counter* agg_up_[static_cast<std::size_t>(Proto::kCount)] = {};
   telemetry::Counter* agg_down_[static_cast<std::size_t>(Proto::kCount)] = {};
   telemetry::Counter* packets_sent_c_;

@@ -57,13 +57,18 @@ void Simulator::drop_stale_front() {
 }
 
 TimerId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  return schedule_keyed(at, UINT64_MAX, next_seq_, std::move(fn));
+}
+
+TimerId Simulator::schedule_keyed(Time at, std::uint64_t ka, std::uint64_t kb,
+                                  std::function<void()> fn) {
   assert(at >= now_);
   const std::uint32_t slot = claim_slot();
   Slot& s = slots_[slot];
   s.live = true;
   ++live_count_;
   const TimerId id = make_id(slot, s.gen);
-  events_.push_back(Event{at, next_seq_++, id, std::move(fn)});
+  events_.push_back(Event{at, ka, kb, next_seq_++, id, std::move(fn)});
   std::push_heap(events_.begin(), events_.end(), Later{});
   return id;
 }
@@ -104,6 +109,20 @@ void Simulator::run_until(Time t) {
   for (;;) {
     drop_stale_front();
     if (events_.empty() || events_.front().at > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+Time Simulator::next_event_at() {
+  drop_stale_front();
+  return events_.empty() ? UINT64_MAX : events_.front().at;
+}
+
+void Simulator::run_until_before(Time t) {
+  for (;;) {
+    drop_stale_front();
+    if (events_.empty() || events_.front().at >= t) break;
     step();
   }
   now_ = t;

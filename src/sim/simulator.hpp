@@ -51,6 +51,16 @@ class Simulator : public net::Clock {
   TimerId schedule_at(Time at, std::function<void()> fn) override;
   /// Schedule `fn` to run `delay` from now.
   TimerId schedule_after(Time delay, std::function<void()> fn) override;
+
+  /// Schedule with an explicit canonical ordering key. Events at the same
+  /// timestamp fire in (ka, kb) order, before any plain-scheduled event at
+  /// that timestamp (plain events carry ka = UINT64_MAX). The sharded
+  /// engine uses this for message deliveries — the key is derived from the
+  /// sender's identity and per-sender wire sequence, which is invariant
+  /// under shard count, so a delivery sorts identically whether it arrived
+  /// through a cross-shard channel or was scheduled locally.
+  TimerId schedule_keyed(Time at, std::uint64_t ka, std::uint64_t kb,
+                         std::function<void()> fn);
   /// Cancel a pending event; no-op if already fired or cancelled.
   void cancel(TimerId id) override;
 
@@ -58,8 +68,20 @@ class Simulator : public net::Clock {
   bool step();
   /// Run all events with timestamp <= t, then advance the clock to t.
   void run_until(Time t);
+  /// Run all events with timestamp strictly < t, then advance the clock to
+  /// t. The sharded engine's window primitive: a lockstep window [ws, we)
+  /// must NOT execute events at exactly `we`, because a cross-shard message
+  /// drained at the window barrier may be due at precisely that instant and
+  /// has to sort against the local queue before anything at `we` runs.
+  void run_until_before(Time t);
   /// Run until the event queue drains.
   void run();
+
+  /// Timestamp of the earliest pending event, UINT64_MAX when idle. Drops
+  /// cancelled entries sitting at the heap front as a side effect. The
+  /// sharded engine uses this to skip lockstep windows in which no shard
+  /// has work (conservative "lookahead jump").
+  Time next_event_at();
 
   std::size_t pending_events() const { return live_count_; }
   std::uint64_t executed_events() const { return executed_; }
@@ -74,15 +96,21 @@ class Simulator : public net::Clock {
  private:
   struct Event {
     Time at;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::uint64_t ka;   // canonical key, major (UINT64_MAX for plain timers)
+    std::uint64_t kb;   // canonical key, minor (== seq for plain timers)
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time, same-key events
     TimerId id;
     std::function<void()> fn;
   };
-  /// Min-heap order on (at, seq) for std::push_heap/pop_heap (which build
-  /// max-heaps, hence the inverted comparison).
+  /// Min-heap order on (at, ka, kb, seq) for std::push_heap/pop_heap (which
+  /// build max-heaps, hence the inverted comparison). Plain timers carry
+  /// (ka, kb) = (UINT64_MAX, seq), so among themselves the order is exactly
+  /// the historical (at, seq) FIFO.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.ka != b.ka) return a.ka > b.ka;
+      if (a.kb != b.kb) return a.kb > b.kb;
       return a.seq > b.seq;
     }
   };

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
+#include <tuple>
+#include <utility>
 
 namespace whisper::telemetry {
 
@@ -164,10 +166,17 @@ void FlightRecorder::end(std::uint64_t trace, std::uint64_t node, std::uint64_t 
 }
 
 std::vector<FlightRecord> FlightRecorder::assemble() const {
+  return assemble_flight_events(events_);
+}
+
+std::vector<FlightRecord> assemble_flight_events(
+    const std::vector<FlightEventRec>& events) {
   // Trace ids are minted sequentially, so a sorted map yields records in
-  // creation order — deterministic across same-seed runs.
+  // creation order — deterministic across same-seed runs. Per-trace event
+  // order is the caller's: the recorder passes its time-ordered log; the
+  // canonical multi-shard path passes a content-sorted merge.
   std::map<std::uint64_t, std::vector<const FlightEventRec*>> by_trace;
-  for (const FlightEventRec& ev : events_) by_trace[ev.trace].push_back(&ev);
+  for (const FlightEventRec& ev : events) by_trace[ev.trace].push_back(&ev);
 
   std::vector<FlightRecord> out;
   out.reserve(by_trace.size());
@@ -701,6 +710,102 @@ std::uint64_t flight_digest(std::string_view text) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+namespace {
+
+// Orders records by content alone — every field that is a property of the
+// traffic, none that is a recorder-allocation artifact (trace_id, root,
+// hop seqs). Ties mean byte-identical canonical output either way.
+bool content_less(const FlightRecord& a, const FlightRecord& b) {
+  auto head = [](const FlightRecord& r) {
+    return std::tie(r.begin_ts, r.layer, r.src, r.dst, r.end_ts, r.outcome,
+                    r.attempts, r.rtt_us, r.crypto_us, r.prop_us, r.queue_us,
+                    r.retry_us, r.group);
+  };
+  if (head(a) != head(b)) return head(a) < head(b);
+  if (a.faults != b.faults) return a.faults < b.faults;
+  if (a.hops.size() != b.hops.size()) return a.hops.size() < b.hops.size();
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    const FlightHop& x = a.hops[i];
+    const FlightHop& y = b.hops[i];
+    auto hk = [](const FlightHop& h) {
+      return std::tie(h.sent_ts, h.recv_ts, h.attempt, h.hop, h.from, h.to,
+                      h.prop_us, h.queue_us, h.status, h.fault);
+    };
+    if (hk(x) != hk(y)) return hk(x) < hk(y);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FlightRecord> canonical_flight_records(
+    const std::vector<const FlightRecorder*>& recorders) {
+  // A cross-shard message's events are split across recorders: the source
+  // shard logs kBegin/kWireOut, the destination shard logs kWireIn — under
+  // the same trace id, which set_id_base() keeps globally unique. Merge the
+  // logs into one stream and impose a *content* order (pure function of the
+  // event fields, so independent of execution interleaving), then run the
+  // standard assembly over it.
+  std::vector<FlightEventRec> merged;
+  for (const FlightRecorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    merged.insert(merged.end(), rec->events().begin(), rec->events().end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const FlightEventRec& a, const FlightEventRec& b) {
+              auto key = [](const FlightEventRec& e) {
+                return std::tie(e.trace, e.ts, e.kind, e.node, e.attempt, e.hop,
+                                e.seq, e.peer, e.dur, e.layer, e.root, e.detail);
+              };
+              return key(a) < key(b);
+            });
+
+  std::vector<FlightRecord> all = assemble_flight_events(merged);
+
+  // Hop lists come back sorted by (attempt, hop, seq), but seqs are
+  // per-recorder allocation artifacts; re-sort parallel branches at the
+  // same depth by wire content before renumbering.
+  for (FlightRecord& r : all) {
+    std::sort(r.hops.begin(), r.hops.end(), [](const FlightHop& a, const FlightHop& b) {
+      auto hk = [](const FlightHop& h) {
+        return std::tie(h.attempt, h.hop, h.sent_ts, h.recv_ts, h.from, h.to,
+                        h.prop_us, h.queue_us, h.status, h.fault, h.seq);
+      };
+      return hk(a) < hk(b);
+    });
+  }
+
+  std::vector<std::size_t> order(all.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return content_less(all[a], all[b]);
+  });
+
+  std::map<std::uint64_t, std::uint64_t> renumber;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    renumber[all[order[i]].trace_id] = i + 1;
+  }
+
+  std::vector<FlightRecord> out;
+  out.reserve(all.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    FlightRecord r = std::move(all[order[i]]);
+    r.trace_id = i + 1;
+    if (r.root != 0) {
+      // A root reference outside the log (capacity-dropped parent) has no
+      // canonical number; exporting the stale recorder-local id would break
+      // shard-count invariance, so it collapses to 0.
+      auto it = renumber.find(r.root);
+      r.root = it == renumber.end() ? 0 : it->second;
+    }
+    for (std::size_t j = 0; j < r.hops.size(); ++j) {
+      r.hops[j].seq = static_cast<std::uint32_t>(j + 1);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 }  // namespace whisper::telemetry

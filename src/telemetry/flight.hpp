@@ -163,6 +163,12 @@ class FlightRecorder {
   void set_capacity(std::size_t cap) { capacity_ = cap; }
   std::uint64_t dropped() const { return dropped_; }
 
+  /// Namespace this recorder's trace ids: the sharded testbed gives shard s
+  /// the base (s << 48), so a trace created on one shard stays unique when
+  /// its wire events land on another shard's recorder. Call before any
+  /// trace is created.
+  void set_id_base(std::uint64_t base) { next_id_ = base + 1; }
+
   // --- Ambient context (single-threaded, like the simulator). ---
   const TraceContext& context() const { return ctx_; }
   TraceContext exchange_context(TraceContext ctx) {
@@ -253,5 +259,21 @@ bool parse_flight_jsonl(std::string_view jsonl, std::vector<FlightRecord>* out,
 /// FNV-1a digest of an export — the golden-trace CI gate compares this
 /// across same-seed runs.
 std::uint64_t flight_digest(std::string_view text);
+
+/// Assembly over an explicit event stream (what FlightRecorder::assemble
+/// runs on its own log); per-trace event order is taken from the stream.
+std::vector<FlightRecord> assemble_flight_events(
+    const std::vector<FlightEventRec>& events);
+
+/// Merge per-shard flight logs into one shard-count-invariant record list.
+/// Requires each recorder to have a distinct set_id_base(). Events merge
+/// into one content-ordered stream (a cross-shard message's events span two
+/// recorders), assembly runs over it, then allocation artifacts are erased:
+/// records sort by content, trace ids become ordinals of that order, root
+/// references are rewritten through the same mapping, and hop seqs become
+/// per-record ordinals. Two same-seed runs then export byte-identical JSONL
+/// for any shard count — the S=1-vs-S=8 CI gate.
+std::vector<FlightRecord> canonical_flight_records(
+    const std::vector<const FlightRecorder*>& recorders);
 
 }  // namespace whisper::telemetry

@@ -95,6 +95,18 @@ std::uint64_t Registry::counter_sum(std::string_view name) const {
   return total;
 }
 
+void merge_registry_into(Registry& dst, const Registry& src) {
+  for (const auto& [key, entry] : src.entries()) {
+    if (const auto* c = std::get_if<Counter>(&entry.metric)) {
+      dst.counter(entry.name, entry.labels).add(c->value());
+    } else if (const auto* g = std::get_if<Gauge>(&entry.metric)) {
+      dst.gauge(entry.name, entry.labels).add(g->value());
+    } else if (const auto* h = std::get_if<Histogram>(&entry.metric)) {
+      dst.histogram(entry.name, h->spec(), entry.labels).merge(*h);
+    }
+  }
+}
+
 void Registry::reset(std::string_view prefix) {
   for (auto& [key, entry] : entries_) {
     if (!prefix.empty() && key.compare(0, prefix.size(), prefix) != 0) continue;

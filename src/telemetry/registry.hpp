@@ -72,4 +72,13 @@ class Registry {
   std::uint64_t mismatches_ = 0;
 };
 
+/// Accumulate every metric of `src` into `dst` (get-or-create under the
+/// identical canonical key): counters and gauges add, histograms merge
+/// (bounds must match — mismatches are skipped, surfaced via
+/// dst.mismatches()). Because all hot-path metric updates are commutative,
+/// the union of the sharded testbed's per-shard registries is invariant
+/// under shard count — the S=1-vs-S=8 byte-identical gate exports the
+/// merged registry on both sides.
+void merge_registry_into(Registry& dst, const Registry& src);
+
 }  // namespace whisper::telemetry

@@ -94,7 +94,7 @@ Wcl::Wcl(net::Clock& clock, nylon::Transport& transport, keysvc::KeyService& key
 }
 
 Wcl::~Wcl() {
-  for (auto& [id, pending] : pending_sends_) {
+  for (auto&& [id, pending] : pending_sends_) {
     if (pending.timeout_timer != 0) clock_.cancel(pending.timeout_timer);
   }
   if (sweep_timer_ != 0) clock_.cancel(sweep_timer_);

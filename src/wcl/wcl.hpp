@@ -18,8 +18,7 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include "common/densemap.hpp"
 
 #include "common/guard.hpp"
 #include "crypto/hmac.hpp"
@@ -197,7 +196,7 @@ class Wcl {
     Bytes payload;
     SendCallback callback;
     std::size_t attempts = 0;
-    std::unordered_set<NodeId> tried_helpers;
+    DenseSet<NodeId> tried_helpers;
     net::TimerId timeout_timer = 0;
     /// When the latest attempt's onion hit the wire (for RTT sampling).
     net::Time sent_at = 0;
@@ -236,7 +235,7 @@ class Wcl {
   crypto::Drbg drbg_;
   ConnectionBacklog cb_;
 
-  std::unordered_map<std::uint64_t, PendingSend> pending_sends_;
+  DenseMap<std::uint64_t, PendingSend> pending_sends_;
   std::uint64_t next_msg_id_;
 
   // Mix state: where an in-flight onion came from, for ACK/NACK backtracking.
@@ -244,7 +243,7 @@ class Wcl {
     pss::ContactCard predecessor;
     net::Time expires = 0;
   };
-  std::unordered_map<std::uint64_t, PendingForward> pending_forwards_;
+  DenseMap<std::uint64_t, PendingForward> pending_forwards_;
   /// Insertion order of pending_forwards_ (expiry is monotone in insertion
   /// time, so the front is always the earliest-expiring live entry). May
   /// hold ids already acked away — eviction skips those lazily, and the
@@ -254,7 +253,7 @@ class Wcl {
 
   // Per-destination RTT estimators, fed by first-attempt ACK round-trips.
   // Capped: peer-driven (one estimator per destination ever talked to).
-  std::unordered_map<NodeId, RttEstimator> rtt_;
+  DenseMap<NodeId, RttEstimator> rtt_;
   std::deque<NodeId> rtt_order_;
 
   // Per-peer admission + decode scoring, and the onion replay window.
@@ -262,7 +261,7 @@ class Wcl {
   ReplayWindow replay_window_;
 
   // P-nodes currently being fetched to restore the Π invariant.
-  std::unordered_set<NodeId> pnode_fetches_;
+  DenseSet<NodeId> pnode_fetches_;
 
   Stats stats_;
 

@@ -12,6 +12,7 @@ WhisperNode::WhisperNode(net::Clock& clock, net::Stack& net, NodeId id,
       pss_(clock, transport_, config.pss, rng_.fork(), tel_),
       keys_(clock, transport_, keypair_, config.keys),
       wcl_(clock, transport_, keys_, pss_, cpu_, config.wcl, rng_.fork(), tel_) {
+  transport_.set_cpu_meter(&cpu_);
   // Public key sampling rides on the PSS gossip (§III-B-2)...
   pss_.extra_provider = [this] { return keys_.piggyback(); };
   pss_.extra_consumer = [this](const pss::ContactCard& from, BytesView extra) {
@@ -43,7 +44,7 @@ void WhisperNode::start(const std::vector<pss::ContactCard>& bootstrap) {
 }
 
 void WhisperNode::stop() {
-  for (auto& [gid, group] : groups_) group->stop();
+  for (auto&& [gid, group] : groups_) group->stop();
   pss_.stop();
   transport_.shutdown();
 }
@@ -84,7 +85,8 @@ void WhisperNode::dispatch_wcl(Bytes payload) {
   if (!r.ok()) return;
   auto it = groups_.find(group);
   if (it == groups_.end()) return;  // not a member: drop silently
-  it->second->handle_payload(r.rest());
+  cpu_.charge(net::CpuCategory::kPpssHandler,
+              [&] { it->second->handle_payload(r.rest()); });
 }
 
 }  // namespace whisper

@@ -10,7 +10,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include "common/densemap.hpp"
 
 #include "keysvc/keyservice.hpp"
 #include "nylon/pss.hpp"
@@ -85,7 +85,7 @@ class WhisperNode {
   nylon::NylonPss pss_;
   keysvc::KeyService keys_;
   wcl::Wcl wcl_;
-  std::unordered_map<GroupId, std::unique_ptr<ppss::Ppss>> groups_;
+  DenseMap<GroupId, std::unique_ptr<ppss::Ppss>> groups_;
 };
 
 }  // namespace whisper

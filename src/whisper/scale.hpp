@@ -1,0 +1,153 @@
+// ScaleTestbed: the sharded deployment builder for very large populations.
+//
+// WhisperTestbed owns one simulator and boots nodes against it; at 100k
+// nodes a single event heap serializes everything on one core and per-node
+// telemetry labels dominate memory. ScaleTestbed partitions the population
+// across S shards (node i lives on shard i % S), each with its own
+// Simulator/Network/NatFabric/Registry/FlightRecorder, and drives them in
+// lockstep through sim::ShardedEngine.
+//
+// Shard-count invariance is a hard guarantee (CI-gated): everything that
+// shapes traffic is derived from the *global* node index, never from
+// shard-local allocator state —
+//   - addresses are pure functions of the index (add_*_node_at),
+//   - NAT types, per-node rngs, and bootstrap contact picks come from one
+//     planner rng consumed in global boot order on the main thread,
+//   - networks run in deterministic-delivery mode (per-copy latency/loss
+//     streams keyed by sender + wire seq, canonical heap keys),
+//   - exports go through merge_registry_into / canonical_flight_records.
+// Fault injection (install_fault_fabric) is the exception: each shard's
+// fabric draws victims from its own rng, so chaos runs gate on recovery,
+// not byte-identity. See DESIGN.md §13.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "nat/nat.hpp"
+#include "sim/network.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+#include "whisper/node.hpp"
+
+namespace whisper {
+
+struct ScaleConfig {
+  std::size_t initial_nodes = 0;
+  std::size_t shards = 1;
+  double natted_fraction = 0.7;
+  std::string latency = "cluster";
+  NodeConfig node;
+  std::uint64_t seed = 42;
+  std::size_t bootstrap_contacts = 5;
+  /// Record causal flight events on every shard's recorder.
+  bool flight = false;
+  /// Per-node byte counters and per-node protocol metrics. Off for 100k
+  /// runs: label strings would dominate memory; aggregates remain.
+  bool node_telemetry = true;
+  /// Recycle pooled RSA keypairs with this period (node i gets pooled key
+  /// i % key_cycle). 0 = every node gets a distinct key. 100k distinct
+  /// keygens would dominate boot wall-time; recycling is a pure function of
+  /// the global index, so shard-count invariance is unaffected and every
+  /// crypto operation still runs for real.
+  std::size_t key_cycle = 0;
+};
+
+class ScaleTestbed {
+ public:
+  explicit ScaleTestbed(ScaleConfig config);
+  ~ScaleTestbed();
+
+  ScaleTestbed(const ScaleTestbed&) = delete;
+  ScaleTestbed& operator=(const ScaleTestbed&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const ScaleConfig& config() const { return config_; }
+  sim::ShardedEngine& engine() { return *engine_; }
+
+  /// Advance all shards in lockstep. Main-thread only; node/population
+  /// mutations (spawn/kill/fault install) are only legal between calls.
+  void run_for(net::Time duration);
+  net::Time now() const { return engine_->now(); }
+
+  std::uint64_t executed_events() const { return engine_->executed_events(); }
+  std::uint64_t cross_shard_messages() const { return engine_->cross_shard_messages(); }
+
+  /// Boot one more node at the next global index.
+  WhisperNode& spawn_node();
+  /// Stop the node at global index i (no-op if already stopped).
+  void kill_node(std::size_t global_index);
+  /// Kill a planner-rng-chosen live node; returns its global index or
+  /// SIZE_MAX when none is alive.
+  std::size_t kill_random_node();
+
+  std::size_t node_count() const { return nodes_.size(); }
+  WhisperNode* node_at(std::size_t global_index);
+  std::size_t alive_count() const;
+  std::vector<WhisperNode*> alive_nodes();
+
+  static std::size_t shard_of_index(std::size_t index, std::size_t shards) {
+    return index % shards;
+  }
+
+  /// Install (once per shard) fault-injection fabrics wired to each shard's
+  /// slice of the population. Returns one fabric per shard.
+  std::vector<faults::FaultFabric*> install_fault_fabrics();
+
+  // --- Per-shard access (tests, benches). ---
+  sim::Simulator& simulator(std::size_t shard) { return *shards_[shard]->sim; }
+  sim::Network& network(std::size_t shard) { return *shards_[shard]->net; }
+  telemetry::Registry& registry(std::size_t shard) { return shards_[shard]->registry; }
+
+  // --- Shard-count-invariant exports (the determinism gate's inputs). ---
+  std::string merged_metrics_jsonl() const;
+  std::string canonical_flight_jsonl() const;
+
+ private:
+  struct ShardState {
+    std::unique_ptr<sim::Simulator> sim;
+    telemetry::Registry registry;
+    telemetry::Tracer tracer;  // constructed disabled; present so Sinks is complete
+    telemetry::FlightRecorder flight;
+    std::unique_ptr<nat::NatFabric> fabric;
+    std::unique_ptr<sim::Network> net;
+    // After net_: the fabric detaches from the network on destruction.
+    std::unique_ptr<faults::FaultFabric> faults;
+  };
+
+  // Addresses as pure functions of the global node index (see nat.hpp's
+  // allocator bases; indices never collide with any allocator range).
+  static std::uint32_t public_ip(std::size_t i) {
+    return (1u << 24) + 1 + static_cast<std::uint32_t>(i);
+  }
+  static std::uint32_t private_ip(std::size_t i) {
+    return (10u << 24) + 1 + static_cast<std::uint32_t>(i);
+  }
+  static std::uint32_t device_ip(std::size_t i) {
+    return (100u << 24) + 1 + static_cast<std::uint32_t>(i);
+  }
+  /// Global node index owning this wire/internal address.
+  static std::size_t index_of_ip(std::uint32_t ip);
+  std::size_t shard_of_ip(std::uint32_t ip) const {
+    return index_of_ip(ip) % shards_.size();
+  }
+
+  telemetry::Sinks sinks(std::size_t shard);
+
+  ScaleConfig config_;
+  Rng plan_rng_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
+  /// Internal endpoint -> node id, shared by every shard's flight resolver.
+  /// Written only between runs (boot/churn); read-only while shards run.
+  std::unordered_map<Endpoint, std::uint64_t> endpoint_ids_;
+  std::vector<std::unique_ptr<WhisperNode>> nodes_;  // global index order
+};
+
+}  // namespace whisper

@@ -57,11 +57,30 @@ class WhisperTestbed {
   net::Clock& clock() { return sim_; }
   net::Stack& stack() { return *net_; }
 
-  /// Deprecated sim-specific escape hatches — prefer clock()/stack().
-  /// Legitimate remaining uses are the simulation-only facilities:
-  /// executed_events(), run_until determinism, wiretaps, NAT counters.
-  sim::Simulator& simulator() { return sim_; }
-  sim::Network& network() { return *net_; }
+  // Narrow simulation-only helpers. These replace the removed
+  // simulator()/network() escape hatches: everything protocol-shaped goes
+  // through the SPI above; what remains below is the handful of
+  // measurement facilities only the simulation backend can offer.
+
+  /// Events the virtual-time event loop has executed so far.
+  std::uint64_t executed_events() const { return sim_.executed_events(); }
+  /// Packets the simulated wire has handed to a receiving node.
+  std::uint64_t packets_delivered() const { return net_->packets_delivered(); }
+  /// Wiretap on every emitted datagram (nullptr to clear).
+  void set_tap(sim::Network::Tap tap) { net_->set_tap(std::move(tap)); }
+  /// Per-node traffic counters (zeroes for unknown endpoints).
+  const sim::TrafficCounters& traffic(Endpoint internal_ep) const {
+    return net_->counters(internal_ep);
+  }
+  /// Zero every "net."-prefixed metric (bandwidth measurement windows).
+  void reset_traffic() { net_->reset_counters(); }
+  /// Raw wire injection for adversarial tests (bypasses every protocol
+  /// layer; the NAT fabric still applies).
+  bool inject(Endpoint internal_src, Endpoint public_dst, Bytes payload,
+              net::Proto proto) {
+    return net_->send(internal_src, public_dst, std::move(payload), proto);
+  }
+
   nat::NatFabric& fabric() { return *fabric_; }
   Rng& rng() { return rng_; }
   const TestbedConfig& config() const { return config_; }

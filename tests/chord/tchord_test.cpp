@@ -47,7 +47,7 @@ struct RingFixture {
     tc.cycle = 20 * net::kSecond;
     for (WhisperNode* m : members) {
       rings.push_back(
-          std::make_unique<TChord>(tb.simulator(), *m->group(kGroup), tc, tb.rng().fork()));
+          std::make_unique<TChord>(tb.clock(), *m->group(kGroup), tc, tb.rng().fork()));
       rings.back()->start();
     }
   }

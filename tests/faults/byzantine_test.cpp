@@ -34,7 +34,7 @@ faults::FaultSpec byz_spec(WhisperTestbed& tb, faults::FaultKind kind,
                            double rate = 10.0) {
   faults::FaultSpec spec;
   spec.kind = kind;
-  spec.start = tb.simulator().now();
+  spec.start = tb.clock().now();
   spec.end = 0;  // open window
   spec.probability = probability;
   spec.rate = rate;
@@ -243,7 +243,7 @@ ByzOutcome run_byzantine(std::uint64_t seed) {
   for (std::size_t i = 0; i < kinds.size(); ++i) {
     faults::FaultSpec spec;
     spec.kind = kinds[i];
-    spec.start = tb.simulator().now();
+    spec.start = tb.clock().now();
     spec.end = 0;  // hostile for the rest of the run
     spec.probability = 0.5;
     spec.rate = 5.0;

@@ -61,7 +61,7 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   // with two relay crashes one minute in (the partition hides the loss
   // from half the clients until it heals — the nasty ordering).
   faults::FaultFabric& fabric = tb.install_fault_fabric();
-  const net::Time t0 = tb.simulator().now() + 30 * net::kSecond;
+  const net::Time t0 = tb.clock().now() + 30 * net::kSecond;
   faults::FaultSpec partition;
   partition.kind = faults::FaultKind::kPartition;
   partition.start = t0;
@@ -130,7 +130,7 @@ TEST(PartitionRejoin, OverlayRemergesAfterFullViewTurnover) {
   faults::FaultFabric& fabric = tb.install_fault_fabric();
   faults::FaultSpec cut;
   cut.kind = faults::FaultKind::kPartition;
-  cut.start = tb.simulator().now();
+  cut.start = tb.clock().now();
   cut.end = cut.start + 150 * net::kSecond;
   cut.fraction = 0.5;
   fabric.schedule(cut);

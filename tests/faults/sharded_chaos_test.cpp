@@ -1,0 +1,112 @@
+// Sharded chaos soak (the TSan CI target): a 10k-node deployment on 8
+// shards rides out per-shard partitions plus relay crashes and must
+// recover route success to within 5% of its pre-fault baseline. Victim
+// selection is shard-local randomness, so unlike the determinism gate this
+// run is NOT byte-identical across shard counts — it gates on recovery
+// (DESIGN.md §13). Under TSan the same binary doubles as the data-race
+// detector for the cross-shard channels and barrier protocol.
+//
+// WHISPER_SOAK_NODES overrides the population (sanitizer bots with tight
+// wall-clock budgets can shrink it without editing the test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "faults/faults.hpp"
+#include "whisper/scale.hpp"
+
+namespace whisper {
+namespace {
+
+std::size_t soak_nodes() {
+  if (const char* env = std::getenv("WHISPER_SOAK_NODES")) {
+    const long v = std::atol(env);
+    if (v > 100) return static_cast<std::size_t>(v);
+  }
+  return 10'000;
+}
+
+// Fire confidential probes between deterministically-picked global indices
+// (stride 37 lands the pairs on every shard) and report the acked fraction
+// after `window`. The ack callback runs on shard worker threads.
+double route_success(ScaleTestbed& tb, std::size_t pairs, std::size_t salt,
+                     net::Time window) {
+  const std::size_t n = tb.node_count();
+  auto ok = std::make_shared<std::atomic<int>>(0);
+  int sent = 0;
+  for (std::size_t k = 0; k < pairs; ++k) {
+    WhisperNode* src = tb.node_at((salt + 37 * k) % n);
+    WhisperNode* dst = tb.node_at((salt + 37 * k + 11) % n);
+    if (src == nullptr || dst == nullptr || src == dst) continue;
+    if (!src->running() || !dst->running()) continue;
+    ++sent;
+    src->wcl().send_confidential(
+        dst->wcl().self_peer(), to_bytes("probe"),
+        [ok](wcl::SendOutcome o) {
+          if (o != wcl::SendOutcome::kNoAlternative) ok->fetch_add(1);
+        });
+  }
+  tb.run_for(window);
+  return sent == 0 ? 0.0
+                   : static_cast<double>(ok->load()) / static_cast<double>(sent);
+}
+
+TEST(ShardedChaosSoak, TenThousandNodesRecoverOnEightShards) {
+  ScaleConfig cfg;
+  cfg.initial_nodes = soak_nodes();
+  cfg.shards = 8;
+  cfg.natted_fraction = 0.7;
+  cfg.latency = "cluster";
+  cfg.seed = 4242;
+  cfg.node.pss.pi_min_public = 3;
+  cfg.node.wcl.pi = 3;
+  cfg.node_telemetry = false;  // aggregate metrics only at this population
+  cfg.key_cycle = 256;
+  ScaleTestbed tb(cfg);
+
+  tb.run_for(6 * net::kMinute);  // substrate convergence
+  const double baseline = route_success(tb, 40, /*salt=*/5, net::kMinute);
+  EXPECT_GE(baseline, 0.8) << "baseline route success too low";
+
+  // The incident, scheduled on every shard's fabric: a 30% partition for
+  // three minutes, with two relay crashes per shard one minute in.
+  auto fabrics = tb.install_fault_fabrics();
+  ASSERT_EQ(fabrics.size(), 8u);
+  const net::Time t0 = tb.now() + 30 * net::kSecond;
+  faults::FaultSpec partition;
+  partition.kind = faults::FaultKind::kPartition;
+  partition.start = t0;
+  partition.end = t0 + 3 * net::kMinute;
+  partition.fraction = 0.3;
+  faults::FaultSpec crash;
+  crash.kind = faults::FaultKind::kCrash;
+  crash.start = t0 + net::kMinute;
+  crash.count = 2;
+  for (faults::FaultFabric* f : fabrics) f->schedule_all({partition, crash});
+
+  // Ride out the incident, then grant the recovery budget: relay failover
+  // needs the keepalive loss threshold (3 x 30s), the PSS a quarantine TTL
+  // (2 min) to forgive peers the partition cut off.
+  tb.run_for(4 * net::kMinute);
+  tb.run_for(5 * net::kMinute);
+  const double recovered = route_success(tb, 40, /*salt=*/211, net::kMinute);
+
+  std::uint64_t crashed = 0, dropped = 0;
+  for (faults::FaultFabric* f : fabrics) {
+    crashed += f->stats().nodes_crashed;
+    dropped += f->stats().packets_dropped;
+  }
+  EXPECT_EQ(crashed, 16u);  // two per shard
+  EXPECT_GT(dropped, 0u) << "partitions never bit";
+  EXPECT_EQ(tb.alive_count(), cfg.initial_nodes - crashed);
+  EXPECT_GT(tb.cross_shard_messages(), 1000u) << "soak never crossed shards";
+
+  // The headline gate: recovery to within 5% of baseline.
+  EXPECT_GE(recovered, baseline - 0.05)
+      << "baseline=" << baseline << " recovered=" << recovered;
+}
+
+}  // namespace
+}  // namespace whisper

@@ -47,7 +47,7 @@ RunDigest run_once(std::uint64_t seed) {
     }
     digest.wcl = digest.wcl * 31 + n->wcl().stats().first_try_success;
     digest.wcl = digest.wcl * 31 + n->wcl().backlog().size();
-    digest.traffic += tb.network().counters(n->internal_endpoint()).total_up();
+    digest.traffic += tb.traffic(n->internal_endpoint()).total_up();
     if (auto* g = n->group(kGroup)) {
       digest.groups = digest.groups * 31 + (g->joined() ? 1u : 0u);
       digest.groups = digest.groups * 31 + g->private_view().size();

@@ -92,7 +92,7 @@ TEST(FlightTrace, TracingAddsZeroBytesToWirePayloads) {
     WhisperTestbed tb(cfg);
     std::uint64_t digest = 1469598103934665603ull;
     std::uint64_t packets = 0;
-    tb.network().set_tap([&](const net::Datagram& dgram) {
+    tb.set_tap([&](const net::Datagram& dgram) {
       ++packets;
       for (std::uint8_t byte : dgram.payload) {
         digest ^= byte;
@@ -120,7 +120,7 @@ TEST(FlightTrace, FaultInjectionIsAttributedInRecords) {
 
   // A rough window: drop a third of packets, duplicate and jitter the rest.
   faults::FaultFabric& ff = tb.install_fault_fabric();
-  const net::Time t0 = tb.simulator().now();
+  const net::Time t0 = tb.clock().now();
   faults::FaultSpec loss;
   loss.kind = faults::FaultKind::kLoss;
   loss.start = t0;
@@ -175,7 +175,7 @@ TEST(FlightTrace, RelayCrashDropsAreAttributed) {
   faults::FaultFabric& ff = tb.install_fault_fabric();
   faults::FaultSpec crash;
   crash.kind = faults::FaultKind::kCrash;
-  crash.start = tb.simulator().now() + net::kSecond;
+  crash.start = tb.clock().now() + net::kSecond;
   crash.count = 2;  // two relay crashes
   ff.schedule_all({crash});
   tb.run_for(5 * net::kMinute);

@@ -45,7 +45,7 @@ TEST(Soak, FullStackSurvivesSustainedChurn) {
     if (n->group(kGroup) != nullptr) protected_ids.insert(n->id());
   }
   churn::ChurnEngine engine(
-      tb.simulator(),
+      tb.clock(),
       [&](std::size_t n) {
         std::size_t killed = 0;
         for (std::size_t i = 0; i < n; ++i) {
@@ -65,7 +65,7 @@ TEST(Soak, FullStackSurvivesSustainedChurn) {
       },
       [&] { return tb.alive_count(); });
   churn::ChurnPhase phase;
-  phase.start = tb.simulator().now();
+  phase.start = tb.clock().now();
   phase.end = phase.start + 30 * net::kMinute;
   phase.leave_fraction = 0.02;
   engine.schedule(phase);
@@ -125,7 +125,7 @@ TEST(Soak, NetworkDrainsCleanly) {
   EXPECT_EQ(tb.alive_count(), 0u);
   // Drain everything still queued (timers were cancelled; deliveries drop).
   tb.run_for(10 * net::kMinute);
-  EXPECT_EQ(tb.network().packets_delivered(), tb.network().packets_delivered());
+  EXPECT_EQ(tb.packets_delivered(), tb.packets_delivered());
 }
 
 }  // namespace

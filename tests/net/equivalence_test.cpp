@@ -65,12 +65,10 @@ ScenarioOutcome run_on_simulator() {
   cfg.node = realtime_node_config();
   cfg.seed = 7;
   WhisperTestbed tb(cfg);
-  // Exercise the SPI route into the sim, not the legacy accessors.
-  net::SimBackend backend(tb.simulator(), tb.network());
-  backend.run_for(5 * net::kSecond);
+  tb.run_for(5 * net::kSecond);
   auto nodes = tb.alive_nodes();
   return run_scenario(*nodes[0], *nodes[1],
-                      [&](net::Time d) { backend.run_for(d); });
+                      [&](net::Time d) { tb.run_for(d); });
 }
 
 ScenarioOutcome run_on_udp() {

@@ -47,7 +47,7 @@ TEST(Aggregation, AverageConverges) {
   for (std::size_t i = 0; i < h.members.size(); ++i) {
     const double v = static_cast<double>(i * 10);  // 0, 10, ..., 90
     truth += v;
-    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.clock(),
                                                  *h.members[i]->group(kGroup), v, ac,
                                                  h.tb.rng().fork()));
     aggs.back()->start();
@@ -75,7 +75,7 @@ TEST(Aggregation, MaxPropagates) {
   ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (std::size_t i = 0; i < h.members.size(); ++i) {
-    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.clock(),
                                                  *h.members[i]->group(kGroup),
                                                  static_cast<double>(i), ac,
                                                  h.tb.rng().fork()));
@@ -94,7 +94,7 @@ TEST(Aggregation, MinPropagates) {
   ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (std::size_t i = 0; i < h.members.size(); ++i) {
-    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.clock(),
                                                  *h.members[i]->group(kGroup),
                                                  static_cast<double>(100 + i), ac,
                                                  h.tb.rng().fork()));
@@ -111,7 +111,7 @@ TEST(Aggregation, SizeEstimation) {
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (std::size_t i = 0; i < h.members.size(); ++i) {
     // The leader seeds 1, everyone else 0: the average converges to 1/n.
-    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(),
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.clock(),
                                                  *h.members[i]->group(kGroup),
                                                  i == 0 ? 1.0 : 0.0, ac,
                                                  h.tb.rng().fork()));
@@ -131,7 +131,7 @@ TEST(Aggregation, ExchangesHappen) {
   ac.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<Aggregation>> aggs;
   for (WhisperNode* m : h.members) {
-    aggs.push_back(std::make_unique<Aggregation>(h.tb.simulator(), *m->group(kGroup), 1.0, ac,
+    aggs.push_back(std::make_unique<Aggregation>(h.tb.clock(), *m->group(kGroup), 1.0, ac,
                                                  h.tb.rng().fork()));
     aggs.back()->start();
   }

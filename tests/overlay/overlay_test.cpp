@@ -65,7 +65,7 @@ TEST(TManGeneric, ConvergesToClosestNeighbours) {
   std::vector<std::unique_ptr<TMan>> instances;
   for (WhisperNode* m : h.members) {
     instances.push_back(std::make_unique<TMan>(
-        h.tb.simulator(), *m->group(kGroup), overlay_key_of(m->id()), rank::line, tc,
+        h.tb.clock(), *m->group(kGroup), overlay_key_of(m->id()), rank::line, tc,
         h.tb.rng().fork()));
     instances.back()->start();
   }
@@ -102,7 +102,7 @@ TEST(GosSkipOverlay, LeftRightNeighboursCorrect) {
   std::vector<std::unique_ptr<GosSkip>> instances;
   for (WhisperNode* m : h.members) {
     instances.push_back(
-        std::make_unique<GosSkip>(h.tb.simulator(), *m->group(kGroup), gc, h.tb.rng().fork()));
+        std::make_unique<GosSkip>(h.tb.clock(), *m->group(kGroup), gc, h.tb.rng().fork()));
     instances.back()->start();
   }
   h.tb.run_for(8 * net::kMinute);
@@ -138,7 +138,7 @@ TEST(GosSkipOverlay, SearchFindsOwner) {
   std::vector<std::unique_ptr<GosSkip>> instances;
   for (WhisperNode* m : h.members) {
     instances.push_back(
-        std::make_unique<GosSkip>(h.tb.simulator(), *m->group(kGroup), gc, h.tb.rng().fork()));
+        std::make_unique<GosSkip>(h.tb.clock(), *m->group(kGroup), gc, h.tb.rng().fork()));
     instances.back()->start();
   }
   h.tb.run_for(8 * net::kMinute);
@@ -233,7 +233,7 @@ TEST(MultiApp, ChordAndBroadcastShareOneGroup) {
   tc.cycle = 20 * net::kSecond;
   std::vector<std::unique_ptr<chord::TChord>> rings;
   for (WhisperNode* m : h.members) {
-    rings.push_back(std::make_unique<chord::TChord>(h.tb.simulator(), *m->group(kGroup), tc,
+    rings.push_back(std::make_unique<chord::TChord>(h.tb.clock(), *m->group(kGroup), tc,
                                                     h.tb.rng().fork()));
     rings.back()->start();
   }

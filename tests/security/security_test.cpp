@@ -52,7 +52,7 @@ TEST_F(SecurityFixture, ContentNeverAppearsOnAnyLink) {
   const Bytes secret = to_bytes("XK-ULTRA-SECRET-PAYLOAD!");
   bool leaked = false;
   std::size_t observed = 0;
-  tb.network().set_tap([&](const net::Datagram& d) {
+  tb.set_tap([&](const net::Datagram& d) {
     ++observed;
     if (contains_bytes(d.payload, secret)) leaked = true;
   });
@@ -63,7 +63,7 @@ TEST_F(SecurityFixture, ContentNeverAppearsOnAnyLink) {
   };
   ASSERT_TRUE(alice_group->send_app_to(bob_group->self_descriptor(), secret));
   tb.run_for(net::kMinute);
-  tb.network().set_tap(nullptr);
+  tb.set_tap(nullptr);
 
   EXPECT_EQ(received, secret);  // delivered end-to-end...
   EXPECT_GT(observed, 0u);
@@ -76,12 +76,12 @@ TEST_F(SecurityFixture, PassportNeverAppearsOnAnyLink) {
   const Bytes signature = bob_group->passport().signature;
   ASSERT_GE(signature.size(), 32u);
   bool leaked = false;
-  tb.network().set_tap([&](const net::Datagram& d) {
+  tb.set_tap([&](const net::Datagram& d) {
     if (contains_bytes(d.payload, signature)) leaked = true;
   });
   // Drive several PPSS cycles (gossip ships passports with every message).
   tb.run_for(5 * net::kMinute);
-  tb.network().set_tap(nullptr);
+  tb.set_tap(nullptr);
   EXPECT_FALSE(leaked);
 }
 
@@ -90,7 +90,7 @@ TEST_F(SecurityFixture, GroupKeyNeverAppearsOnAnyLink) {
   // confidential channels (join responses, gossip metadata).
   const Bytes group_key = alice_group->keyring().key_for(1)->serialize();
   bool leaked = false;
-  tb.network().set_tap([&](const net::Datagram& d) {
+  tb.set_tap([&](const net::Datagram& d) {
     if (contains_bytes(d.payload, group_key)) leaked = true;
   });
   // Fresh join while tapped: carol joins through alice.
@@ -98,7 +98,7 @@ TEST_F(SecurityFixture, GroupKeyNeverAppearsOnAnyLink) {
   auto& carol_group = carol->join_group(kGroup, *alice_group->invite(carol->id()),
                                         alice_group->self_descriptor());
   tb.run_for(3 * net::kMinute);
-  tb.network().set_tap(nullptr);
+  tb.set_tap(nullptr);
   EXPECT_TRUE(carol_group.joined());
   EXPECT_FALSE(leaked);
 }
@@ -109,11 +109,11 @@ TEST_F(SecurityFixture, NodeKeysDoAppearOnTheWire) {
   // must be able to find them. Guards against a vacuous leak test.
   const Bytes node_key = alice->keypair().pub.serialize();
   bool seen = false;
-  tb.network().set_tap([&](const net::Datagram& d) {
+  tb.set_tap([&](const net::Datagram& d) {
     if (contains_bytes(d.payload, node_key)) seen = true;
   });
   tb.run_for(2 * net::kMinute);
-  tb.network().set_tap(nullptr);
+  tb.set_tap(nullptr);
   EXPECT_TRUE(seen);
 }
 
@@ -146,7 +146,7 @@ TEST(RelationshipAnonymity, SourceNeverTalksToDestinationDirectly) {
 
   bool linked = false;
   std::size_t wcl_datagrams = 0;
-  tb.network().set_tap([&](const net::Datagram& d) {
+  tb.set_tap([&](const net::Datagram& d) {
     if (d.proto != net::Proto::kWcl) return;
     ++wcl_datagrams;
     if (parse_sender(d) == alice->id() && resolve_receiver(d) == bob->id()) linked = true;
@@ -156,7 +156,7 @@ TEST(RelationshipAnonymity, SourceNeverTalksToDestinationDirectly) {
   bob->wcl().on_deliver = [&](Bytes) { delivered = true; };
   ASSERT_TRUE(alice->wcl().send_confidential(bob->wcl().self_peer(), to_bytes("unlinkable")));
   tb.run_for(net::kMinute);
-  tb.network().set_tap(nullptr);
+  tb.set_tap(nullptr);
   bob->wcl().on_deliver = nullptr;
 
   EXPECT_TRUE(delivered);
@@ -214,7 +214,7 @@ TEST_F(SecurityFixture, GarbageDatagramsDoNotCrashTheStack) {
     Bytes garbage(1 + rng.next_below(200));
     rng.fill_bytes(garbage.data(), garbage.size());
     // Inject raw datagrams at the victim's public-facing endpoint.
-    tb.network().send(alice->internal_endpoint(),
+    tb.inject(alice->internal_endpoint(),
                       victim->is_public() ? victim->internal_endpoint()
                                           : victim->transport().self_card().addr,
                       garbage, net::Proto::kApp);

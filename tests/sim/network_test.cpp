@@ -218,6 +218,7 @@ TEST(NetworkLoss, LostPacketsNeverDeliver) {
   // A latency model that drops everything.
   struct AlwaysLost : LatencyModel {
     std::optional<Time> sample(Endpoint, Endpoint, Rng&) override { return std::nullopt; }
+    Time lower_bound() const override { return 0; }
   };
   Simulator sim(1);
   Network net(sim, std::make_unique<AlwaysLost>());

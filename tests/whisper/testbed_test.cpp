@@ -120,7 +120,7 @@ TEST(Testbed, BandwidthCountersPopulated) {
   tb.run_for(3 * net::kMinute);
   std::uint64_t total_up = 0;
   for (WhisperNode* n : tb.alive_nodes()) {
-    total_up += tb.network().counters(n->internal_endpoint()).total_up();
+    total_up += tb.traffic(n->internal_endpoint()).total_up();
   }
   EXPECT_GT(total_up, 0u);
 }

@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
 
   // Optional churn for the whole observation window.
   churn::ChurnEngine engine(
-      tb.simulator(),
+      tb.clock(),
       [&](std::size_t n) {
         std::size_t k = 0;
         for (std::size_t i = 0; i < n; ++i) {
@@ -206,7 +206,7 @@ int main(int argc, char** argv) {
     }
     for (WhisperNode* n : tb.alive_nodes()) {
       fill += static_cast<double>(n->pss().view().size());
-      up_bytes += tb.network().counters(n->internal_endpoint()).total_up();
+      up_bytes += tb.traffic(n->internal_endpoint()).total_up();
     }
     auto graph = tb.overlay_snapshot();
     Samples clust = pss::clustering_coefficients(graph);
