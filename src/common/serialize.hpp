@@ -175,6 +175,19 @@ class Reader {
     return n;
   }
 
+  /// Raw byte run of exactly `n` bytes (length known from context, no
+  /// prefix on the wire — e.g. CRC-framed journal records).
+  Bytes raw(std::size_t n) {
+    if (n > remaining()) {
+      fail(DecodeError::kTruncated);
+      return {};
+    }
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
   /// Consume all remaining bytes.
   Bytes rest() {
     Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());

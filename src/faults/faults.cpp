@@ -59,6 +59,7 @@ bool fabricate_pss_entries(Bytes& payload, Rng& rng) {
   Reader r(payload);
   if (r.u8() != kNylonMsgData) return false;
   const NodeId from = r.node_id();
+  const std::uint32_t incarnation = r.u32();  // sender's restart epoch
   const bool relayed = r.boolean();
   const Endpoint observed = r.endpoint();
   if (r.u8() != kNylonTagPss) return false;
@@ -87,6 +88,7 @@ bool fabricate_pss_entries(Bytes& payload, Rng& rng) {
   Writer w;
   w.u8(kNylonMsgData);
   w.node_id(from);
+  w.u32(incarnation);  // preserved: a mismatch would out the forgery
   w.boolean(relayed);
   w.endpoint(observed);
   w.u8(kNylonTagPss);

@@ -1,5 +1,7 @@
 #include "net/datagram.hpp"
 
+#include <cerrno>
+
 namespace whisper::net {
 
 const char* proto_name(Proto p) {
@@ -21,9 +23,37 @@ const char* drop_reason_name(DropReason r) {
     case DropReason::kFilter: return "filter";
     case DropReason::kDetach: return "detach";
     case DropReason::kFault: return "fault";
+    case DropReason::kBackpressure: return "backpressure";
+    case DropReason::kRefused: return "refused";
     case DropReason::kCount: break;
   }
   return "unknown";
+}
+
+DropReason classify_sendto_errno(int err) {
+  switch (err) {
+    // Local, transient: buffers full or allocation pressure. The datagram
+    // is gone but the socket is fine; retrying later will succeed.
+    case ENOBUFS:
+    case ENOMEM:
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return DropReason::kBackpressure;
+    // Peer-side: a previous datagram drew an ICMP port-unreachable (the
+    // peer process died — exactly what a crashed node looks like), or the
+    // route/host is down, or a local firewall rule vetoed the send.
+    case ECONNREFUSED:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case EHOSTDOWN:
+    case ENETDOWN:
+    case EPERM:
+      return DropReason::kRefused;
+    default:
+      return DropReason::kLoss;
+  }
 }
 
 }  // namespace whisper::net

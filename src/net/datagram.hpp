@@ -46,12 +46,21 @@ struct Datagram {
 /// Why a packet never reached its destination handler. Labels the
 /// "net.packets.dropped" counter instances.
 enum class DropReason : std::uint8_t {
-  kLoss = 0,    // latency model declared it lost in transit / send syscall failed
-  kFilter = 1,  // destination NAT device filtered it out
-  kDetach = 2,  // destination departed (no handler bound)
-  kFault = 3,   // fault fabric dropped it (partition, loss episode, ...)
-  kCount = 4,
+  kLoss = 0,          // latency model declared it lost in transit / send syscall failed
+  kFilter = 1,        // destination NAT device filtered it out
+  kDetach = 2,        // destination departed (no handler bound)
+  kFault = 3,         // fault fabric dropped it (partition, loss episode, ...)
+  kBackpressure = 4,  // transient local resource exhaustion (ENOBUFS/EAGAIN/ENOMEM)
+  kRefused = 5,       // destination refused/unreachable (ICMP-driven ECONNREFUSED etc.)
+  kCount = 6,
 };
 const char* drop_reason_name(DropReason r);
+
+/// Classify a failed sendto() errno into the drop taxonomy. Transient
+/// kernel-side pressure and ICMP-driven refusals are ordinary datagram
+/// loss to the protocol stack (the WCL RTO / PSS cycles retry), but they
+/// are *counted* separately so an operator can tell "my socket buffers are
+/// too small" from "the peer is gone" from genuine wire loss.
+DropReason classify_sendto_errno(int err);
 
 }  // namespace whisper::net

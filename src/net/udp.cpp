@@ -149,16 +149,26 @@ void UdpBackend::emit(int fd, Endpoint src, Endpoint dst, const Bytes& payload,
   frame.push_back(static_cast<std::uint8_t>(proto));
   frame.insert(frame.end(), payload.begin(), payload.end());
 
+  if (config_.send_error_hook) {
+    if (const int injected = config_.send_error_hook(dst); injected != 0) {
+      count_drop(classify_sendto_errno(injected));
+      return;
+    }
+  }
+
   const sockaddr_in sa = to_sockaddr(dst);
   const ssize_t n = ::sendto(fd, frame.data(), frame.size(), 0,
                              reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
   if (n < 0) {
-    // Best-effort datagram semantics: a full socket buffer or a transient
-    // kernel refusal is indistinguishable from in-flight loss, and the
-    // protocol stack's retry machinery (WCL RTO, PSS cycles) already covers
-    // it. EINTR on sendto is likewise counted as loss rather than retried:
-    // one lost datagram is cheaper than a blocking loop in the hot path.
-    count_drop(DropReason::kLoss);
+    // Best-effort datagram semantics: every sendto failure is ordinary
+    // datagram loss to the protocol stack — the retry machinery (WCL RTO,
+    // PSS cycles) already covers it, and a blocking retry loop in the hot
+    // path would be worse than one lost datagram. But the *cause* is
+    // counted: transient kernel backpressure (ENOBUFS/EAGAIN/ENOMEM) and
+    // ICMP-driven refusals (a crashed peer's port answering with
+    // port-unreachable) are operationally different from random loss, and
+    // none of them may kill the loop.
+    count_drop(classify_sendto_errno(errno));
     return;
   }
   bytes_sent_ += static_cast<std::uint64_t>(n);

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -40,6 +41,11 @@ struct UdpConfig {
   /// Ceiling on one epoll_wait sleep, so stop requests and run_for
   /// deadlines are honored promptly even with no timers armed.
   Time max_poll_wait = 250 * kMillisecond;
+  /// Test-only: consulted before each sendto(). A nonzero return simulates
+  /// that errno from the syscall (the datagram is not sent); 0 sends for
+  /// real. Unit tests inject ENOBUFS/ECONNREFUSED here — there is no
+  /// portable way to make a real loopback socket produce them on demand.
+  std::function<int(Endpoint dst)> send_error_hook;
 };
 
 class UdpBackend final : public Clock, public Stack {

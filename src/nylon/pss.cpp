@@ -137,6 +137,16 @@ void NylonPss::report_misbehavior(NodeId id) {
   note_failure(id);
 }
 
+void NylonPss::note_peer_restart(NodeId id) {
+  if (id.is_nil() || id == transport_.self()) return;
+  suspicion_.erase(id);
+  if (quarantine_.erase(id) > 0) {
+    ++peers_rejoined_;
+    m_rejoined_.add(1);
+    tel_.instant("pss.peer.restart_rejoin", "pss", clock_.now());
+  }
+}
+
 void NylonPss::reject_frame(NodeId from, Reader& r) {
   DecodeError err = r.reject_reason();
   if (err == DecodeError::kNone) err = DecodeError::kBadValue;

@@ -130,6 +130,13 @@ class NylonPss {
   /// quarantine exactly like peers that fail exchanges.
   void report_misbehavior(NodeId id);
 
+  /// Incarnation-bump proof-of-life from the transport (DESIGN.md §14): the
+  /// peer crashed and came back as a fresh process. Clear its suspicion and
+  /// quarantine so the rejoin re-enters the view immediately instead of
+  /// waiting out the quarantine TTL — the old strikes were earned by a
+  /// process that no longer exists.
+  void note_peer_restart(NodeId id);
+
   std::uint64_t decode_rejects() const { return decode_rejects_; }
   std::uint64_t rate_limited() const { return guard_.rate_limited(); }
   std::uint64_t misbehavior_reports() const { return misbehavior_reports_; }

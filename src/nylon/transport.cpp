@@ -24,6 +24,7 @@ Bytes Transport::DataMsg::serialize() const {
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kData));
   w.node_id(from);
+  w.u32(incarnation);
   w.boolean(relayed);
   w.endpoint(observed_src);
   w.u8(tag);
@@ -34,6 +35,7 @@ Bytes Transport::DataMsg::serialize() const {
 std::optional<Transport::DataMsg> Transport::DataMsg::parse(Reader& r) {
   DataMsg m;
   m.from = r.node_id();
+  m.incarnation = r.u32();
   m.relayed = r.boolean();
   m.observed_src = r.endpoint();
   m.tag = r.u8();
@@ -93,6 +95,7 @@ void Transport::send_keepalive() {
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegister));
   w.node_id(self_);
+  w.u32(config_.incarnation);
   net_.send(internal_ep_, relay_.addr, std::move(w).take(), net::Proto::kControl);
   ++unanswered_keepalives_;
   // Full rate while the relay still counts as alive (fast detection); after
@@ -127,6 +130,7 @@ bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView p
 
   DataMsg msg;
   msg.from = self_;
+  msg.incarnation = config_.incarnation;
   msg.tag = tag;
   msg.payload.assign(payload.begin(), payload.end());
 
@@ -161,6 +165,7 @@ bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, net::
   if (!attached_ || to.is_nil()) return false;
   DataMsg msg;
   msg.from = self_;
+  msg.incarnation = config_.incarnation;
   msg.tag = tag;
   msg.payload.assign(payload.begin(), payload.end());
 
@@ -215,6 +220,7 @@ void Transport::handle_data(const net::Datagram& dgram, Reader& r) {
     ++decode_rejects_;
     return;
   }
+  if (!observe_incarnation(msg->from, msg->incarnation)) return;  // stale straggler
 
   if (!msg->relayed) {
     // Direct packet: the peer can reach us; probe back so that we can
@@ -272,10 +278,12 @@ void Transport::handle_forward(const net::Datagram& dgram, Reader& r) {
 void Transport::handle_register(const net::Datagram& dgram, Reader& r) {
   if (!is_public_) return;
   const NodeId who = r.node_id();
+  const std::uint32_t incarnation = r.u32();
   if (!r.expect_done() || who.is_nil()) {
     ++decode_rejects_;
     return;
   }
+  if (!observe_incarnation(who, incarnation)) return;  // stale pre-crash register
   if (registrations_.count(who) == 0 &&
       registrations_.size() >= config_.max_registrations) {
     // Table full: evict the registration closest to expiry so an id-spraying
@@ -292,15 +300,18 @@ void Transport::handle_register(const net::Datagram& dgram, Reader& r) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegisterAck));
   w.node_id(self_);
+  w.u32(config_.incarnation);
   net_.send(internal_ep_, dgram.src, std::move(w).take(), net::Proto::kControl);
 }
 
 void Transport::handle_register_ack(Reader& r) {
   const NodeId from = r.node_id();
+  const std::uint32_t incarnation = r.u32();
   if (!r.expect_done()) {
     ++decode_rejects_;
     return;
   }
+  if (!observe_incarnation(from, incarnation)) return;
   if (from != relay_.id) return;
   const bool was_backed_off = unanswered_keepalives_ >= config_.relay_loss_threshold;
   unanswered_keepalives_ = 0;
@@ -334,39 +345,84 @@ void Transport::consider_probe(NodeId peer, Endpoint candidate) {
   w.u8(static_cast<std::uint8_t>(MsgType::kProbe));
   w.node_id(self_);
   w.u32(pending.seq);
+  w.u32(config_.incarnation);
   net_.send(internal_ep_, candidate, std::move(w).take(), net::Proto::kControl);
 }
 
 void Transport::handle_probe(const net::Datagram& dgram, Reader& r) {
   const NodeId from = r.node_id();
   const std::uint32_t seq = r.u32();
+  const std::uint32_t incarnation = r.u32();
   if (!r.expect_done()) {
     ++decode_rejects_;
     return;
   }
+  if (!observe_incarnation(from, incarnation)) return;
   // The probe reached us directly: answering to its wire source both
   // confirms reachability to the peer and opens our own mapping toward it.
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kProbeAck));
   w.node_id(self_);
   w.u32(seq);
+  w.u32(config_.incarnation);
   net_.send(internal_ep_, dgram.src, std::move(w).take(), net::Proto::kControl);
-  (void)from;
 }
 
 void Transport::handle_probe_ack(const net::Datagram& dgram, Reader& r) {
   const NodeId from = r.node_id();
   const std::uint32_t seq = r.u32();
+  const std::uint32_t incarnation = r.u32();
   if (!r.expect_done()) {
     ++decode_rejects_;
     return;
   }
+  if (!observe_incarnation(from, incarnation)) return;
   auto it = probes_.find(from);
   if (it == probes_.end() || it->second.seq != seq) return;
   // Our probe went through and the ack came back: the probed endpoint is a
   // working direct route.
   note_direct_route(from, it->second.target);
   (void)dgram;
+}
+
+bool Transport::observe_incarnation(NodeId peer, std::uint32_t incarnation) {
+  // Epochless peers (no durable state, incarnation 0) are never tracked and
+  // never stale — pre-incarnation frames keep working unchanged.
+  if (incarnation == 0 || peer == self_) return true;
+  auto it = peer_epochs_.find(peer);
+  if (it == peer_epochs_.end()) {
+    if (peer_epochs_.size() >= config_.max_peer_incarnations) {
+      // Evict the least recently seen epoch (peer-driven, hard-capped).
+      auto victim = peer_epochs_.begin();
+      for (auto i = peer_epochs_.begin(); i != peer_epochs_.end(); ++i) {
+        if (i->second.seen < victim->second.seen) victim = i;
+      }
+      peer_epochs_.erase(victim);
+      ++cap_evictions_;
+    }
+    peer_epochs_[peer] = PeerEpoch{incarnation, clock_.now()};
+    return true;
+  }
+  it->second.seen = clock_.now();
+  if (incarnation < it->second.incarnation) {
+    // A frame from a previous life of this peer, delayed in the network (or
+    // replayed). Acting on it would rebuild routes to a dead process.
+    ++stale_incarnation_rejects_;
+    return false;
+  }
+  if (incarnation > it->second.incarnation) {
+    // The peer restarted: everything we knew about its old process —
+    // punched holes, in-flight probes, its relay registration — described
+    // sockets that no longer exist. Purge, then let upper layers treat the
+    // new incarnation as proof-of-life.
+    it->second.incarnation = incarnation;
+    direct_routes_.erase(peer);
+    probes_.erase(peer);
+    registrations_.erase(peer);
+    ++peer_restarts_;
+    if (on_peer_restart) on_peer_restart(peer);
+  }
+  return true;
 }
 
 void Transport::note_direct_route(NodeId peer, Endpoint ep) {

@@ -33,6 +33,15 @@ inline constexpr std::uint8_t kTagWcl = 3;
 inline constexpr std::uint8_t kTagApp = 4;
 
 struct TransportConfig {
+  /// Incarnation epoch of this node's process (DESIGN.md §14). 0 means "no
+  /// durable state" (epochless peers are never considered stale). A node
+  /// booting from a state dir bumps this before touching the network, so
+  /// peers can distinguish its fresh frames from pre-crash stragglers:
+  /// frames carrying an older incarnation than the highest seen from that
+  /// peer are dropped, and the first frame of a *newer* incarnation purges
+  /// all per-peer transport state (punched routes, probes, registrations)
+  /// and fires on_peer_restart.
+  std::uint32_t incarnation = 0;
   /// Relay registration refresh period (also refreshes the NAT mapping).
   net::Time keepalive_period = 30 * net::kSecond;
   /// Registrations at a relay expire after this long without a keepalive.
@@ -60,6 +69,8 @@ struct TransportConfig {
   std::size_t max_direct_routes = 1024;
   /// Max punch probes tracked.
   std::size_t max_probes = 256;
+  /// Max per-peer incarnation epochs remembered (peer-driven, hard-capped).
+  std::size_t max_peer_incarnations = 2048;
 };
 
 class Transport {
@@ -93,6 +104,21 @@ class Transport {
 
   /// How many times this node's relay has been declared lost.
   std::uint64_t relays_lost() const { return relays_lost_; }
+
+  /// Fired when a peer shows up with a *newer* incarnation than we had on
+  /// record — i.e. it crashed and restarted. Transport state for the peer
+  /// has already been purged when this fires; upper layers clear their own
+  /// per-peer state (PSS quarantine, WCL RTT) so the rejoin counts as
+  /// proof-of-life instead of being mis-acked against the old process.
+  std::function<void(NodeId peer)> on_peer_restart;
+
+  /// Peer restarts observed (incarnation bumps).
+  std::uint64_t peer_restarts() const { return peer_restarts_; }
+  /// Frames dropped for carrying an incarnation older than the peer's
+  /// highest seen (pre-crash stragglers).
+  std::uint64_t stale_incarnation_rejects() const { return stale_incarnation_rejects_; }
+  /// Incarnation this transport stamps into its outbound frames.
+  std::uint32_t incarnation() const { return config_.incarnation; }
 
   using Handler = std::function<void(NodeId from, BytesView payload)>;
   void register_handler(std::uint8_t tag, Handler handler);
@@ -133,6 +159,7 @@ class Transport {
  private:
   struct DataMsg {
     NodeId from;
+    std::uint32_t incarnation = 0;
     bool relayed = false;
     Endpoint observed_src;  // stamped by the relay
     std::uint8_t tag = 0;
@@ -153,6 +180,10 @@ class Transport {
   void send_keepalive();
   void consider_probe(NodeId peer, Endpoint candidate);
   void note_direct_route(NodeId peer, Endpoint ep);
+  /// Track `peer`'s incarnation. Returns false when the frame is stale and
+  /// must be dropped; on a bump, purges per-peer state and fires
+  /// on_peer_restart.
+  bool observe_incarnation(NodeId peer, std::uint32_t incarnation);
 
   net::Clock& clock_;
   net::Stack& net_;
@@ -191,11 +222,20 @@ class Transport {
   };
   DenseMap<NodeId, Registration> registrations_;
 
+  // Highest incarnation seen per peer (+ last-seen time for cap eviction).
+  struct PeerEpoch {
+    std::uint32_t incarnation = 0;
+    net::Time seen = 0;
+  };
+  DenseMap<NodeId, PeerEpoch> peer_epochs_;
+
   DenseMap<std::uint8_t, Handler> handlers_;
   net::CpuMeter* cpu_ = nullptr;
 
   std::uint64_t decode_rejects_ = 0;
   std::uint64_t cap_evictions_ = 0;
+  std::uint64_t peer_restarts_ = 0;
+  std::uint64_t stale_incarnation_rejects_ = 0;
 };
 
 }  // namespace whisper::nylon

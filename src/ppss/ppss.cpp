@@ -77,7 +77,16 @@ Ppss::Ppss(net::Clock& clock, wcl::Wcl& wcl, NodeId self, GroupId group, net::Cp
       m_rtt_(tel_.histogram("ppss.exchange.rtt_us",
                             telemetry::BucketSpec::log_spaced(1'000, 60'000'000))),
       m_view_size_(tel_.histogram("ppss.view.size",
-                                  telemetry::BucketSpec::linear(0, 64, 64))) {}
+                                  telemetry::BucketSpec::linear(0, 64, 64))) {
+  // Incarnation-scoped counters (DESIGN.md §14): a restarted process must
+  // not reuse seqs/nonces its previous life already spent, or peers'
+  // replay-suppression windows drop its first frames as duplicates. Join
+  // frames are exempt from suppression, which is why a rejoin gets through
+  // even before this scoping matters.
+  next_seq_ = (static_cast<std::uint32_t>(config_.incarnation & 0xffu) << 24) | 1u;
+  next_app_nonce_ =
+      (static_cast<std::uint64_t>(config_.incarnation) << 32) | 1u;
+}
 
 Ppss::~Ppss() { stop(); }
 
@@ -96,6 +105,24 @@ std::optional<Accreditation> Ppss::invite(NodeId node) const {
 void Ppss::join(const Accreditation& accreditation, const wcl::RemotePeer& entry_point) {
   pending_join_ = PendingJoin{accreditation, entry_point, 0, 0};
   send_join_request();
+}
+
+void Ppss::resume(const std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>>& epochs,
+                  const Passport& passport, std::optional<crypto::RsaKeyPair> group_key) {
+  for (const auto& [epoch, key] : epochs) keyring_.add_epoch(epoch, key);
+  if (group_key) {
+    // Leader restore: the private key must actually match an epoch we
+    // recorded, otherwise the store is inconsistent — refuse leadership.
+    if (auto latest = keyring_.key_for(keyring_.latest_epoch());
+        latest && *latest == group_key->pub) {
+      group_key_ = std::move(*group_key);
+    }
+  }
+  // The passport only counts if the restored keyring vouches for it.
+  if (!passport.signature.empty() && keyring_.verify_passport(passport)) {
+    passport_ = passport;
+    last_heartbeat_seen_ = clock_.now();
+  }
 }
 
 void Ppss::send_join_request() {

@@ -48,6 +48,11 @@ struct PpssConfig {
   /// this many consecutive cycles.
   int election_stable_cycles = 3;
   std::size_t join_max_retries = 3;
+  /// Process incarnation epoch (DESIGN.md §14). Scopes outgoing gossip
+  /// seqs and app nonces so a restarted member's counters never collide
+  /// with its previous life inside peers' replay-suppression windows —
+  /// otherwise the first post-restart frames would be dropped as replays.
+  std::uint32_t incarnation = 0;
 
   // --- Hostile-input hardening. ---
   /// Cap on gossip/bootstrap entries per frame (well above gossip_size).
@@ -104,6 +109,18 @@ class Ppss {
   /// (the entry point; per the paper, join requests reach a leader — if the
   /// entry point is not a leader the request is forwarded to one).
   void join(const Accreditation& accreditation, const wcl::RemotePeer& entry_point);
+
+  /// Resume membership from durable state after a crash (DESIGN.md §14):
+  /// restore the key-epoch history and our passport, and for a leader the
+  /// group private key. The persisted passport is re-verified against the
+  /// restored keyring before being trusted — a corrupted or tampered store
+  /// must not grant membership; callers check joined() afterwards. Members
+  /// additionally call join() with their stored accreditation to
+  /// re-validate the passport with the group and fetch a fresh view (the
+  /// Pretty Private Group Management re-entry bar).
+  void resume(const std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>>& epochs,
+              const Passport& passport,
+              std::optional<crypto::RsaKeyPair> group_key = std::nullopt);
 
   bool joined() const { return !passport_.signature.empty(); }
   bool is_leader() const { return group_key_.has_value(); }

@@ -1,0 +1,248 @@
+#include "store/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace whisper::store {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 1 + 4 + 4;  // type + len + crc
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool fsync_dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return false;
+  const bool ok = ::fsync(dfd) == 0;
+  ::close(dfd);
+  return ok;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+Bytes encode_record(std::uint8_t type, BytesView payload) {
+  // CRC covers [type][len][payload]; assemble that span first.
+  Writer body;
+  body.u8(type);
+  body.u32(static_cast<std::uint32_t>(payload.size()));
+  body.raw(payload);
+  const Bytes& covered = body.data();
+
+  Writer w;
+  w.u8(type);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(covered));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+JournalReplay decode_journal(BytesView data) {
+  JournalReplay out;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    Reader r(data.subspan(pos));
+    const std::uint8_t type = r.u8();
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (!r.ok()) {
+      // Header itself is torn.
+      out.torn_tail = true;
+      out.tail_error = r.error();
+      break;
+    }
+    if (len > kMaxRecordBytes) {
+      out.torn_tail = true;
+      out.tail_error = DecodeError::kOversized;
+      break;
+    }
+    if (len > r.remaining()) {
+      out.torn_tail = true;
+      out.tail_error = DecodeError::kBadLength;
+      break;
+    }
+    Bytes payload = r.raw(len);
+
+    // Re-derive the CRC over [type][len][payload] exactly as the writer did.
+    Writer covered;
+    covered.u8(type);
+    covered.u32(len);
+    covered.raw(payload);
+    if (crc32(covered.data()) != crc) {
+      out.torn_tail = true;
+      out.tail_error = DecodeError::kBadValue;
+      break;
+    }
+
+    out.records.push_back(JournalRecord{type, std::move(payload)});
+    pos += kFrameHeaderBytes + len;
+  }
+  out.consumed = pos;
+  // A clean stream consumed everything.
+  if (!out.torn_tail && pos != data.size()) out.torn_tail = true;
+  return out;
+}
+
+JournalFile::~JournalFile() { close(); }
+
+void JournalFile::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::optional<JournalReplay> JournalFile::open(const std::string& path) {
+  close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    error_ = errno_string("open journal");
+    return std::nullopt;
+  }
+
+  auto data = read_file(path);
+  if (!data) {
+    error_ = "read journal failed";
+    close();
+    return std::nullopt;
+  }
+  JournalReplay replay = decode_journal(*data);
+  if (replay.consumed != data->size()) {
+    // Torn or corrupt tail from a crash mid-append: truncate it away so new
+    // appends start on a frame boundary (replay already excludes it).
+    if (::ftruncate(fd_, static_cast<off_t>(replay.consumed)) != 0 || ::fsync(fd_) != 0) {
+      error_ = errno_string("truncate torn tail");
+      close();
+      return std::nullopt;
+    }
+    ++torn_tails_;
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    error_ = errno_string("seek journal");
+    close();
+    return std::nullopt;
+  }
+  return replay;
+}
+
+bool JournalFile::append(std::uint8_t type, BytesView payload) {
+  if (fd_ < 0) {
+    error_ = "journal not open";
+    return false;
+  }
+  if (payload.size() > kMaxRecordBytes) {
+    error_ = "record payload over kMaxRecordBytes";
+    return false;
+  }
+  const Bytes frame = encode_record(type, payload);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    error_ = errno_string("append journal");
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    error_ = errno_string("fsync journal");
+    return false;
+  }
+  return true;
+}
+
+bool JournalFile::reset() {
+  if (fd_ < 0) {
+    error_ = "journal not open";
+    return false;
+  }
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0 || ::fsync(fd_) != 0) {
+    error_ = errno_string("reset journal");
+    return false;
+  }
+  return true;
+}
+
+bool atomic_write_file(const std::string& path, BytesView data, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error) *error = errno_string("open tmp");
+    return false;
+  }
+  const bool wrote = write_all(fd, data.data(), data.size()) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote) {
+    if (error) *error = errno_string("write tmp");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = errno_string("rename");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable.
+  if (!fsync_dir_of(path)) {
+    if (error) *error = errno_string("fsync dir");
+    return false;
+  }
+  return true;
+}
+
+std::optional<Bytes> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  Bytes out;
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace whisper::store

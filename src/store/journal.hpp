@@ -1,0 +1,111 @@
+// Durable storage primitives for crash recovery (DESIGN.md §14).
+//
+// Two building blocks, both decoded through the bounds-checked Reader /
+// DecodeError taxonomy so hostile or torn on-disk bytes can never drive an
+// oversized allocation or a partial-record apply:
+//
+//  - An *atomic snapshot*: the full node state serialized into a temp file,
+//    fsync'd, then renamed over the live snapshot (and the directory
+//    fsync'd). A crash at any point leaves either the old snapshot or the
+//    new one, never a mix.
+//  - An *append-only journal* of CRC-framed records written between
+//    snapshots. Appends are fsync'd before the caller proceeds
+//    (fsync-on-commit). Replay is torn-write tolerant: decoding stops at
+//    the first truncated or CRC-failing frame — exactly what a crash in
+//    the middle of an append leaves behind — and the torn tail is
+//    truncated away on open so it can never shadow later appends.
+//
+// Record framing (little-endian, matching Writer):
+//   [u8 type][u32 payload_len][u32 crc32][payload_len bytes]
+// The CRC covers type + length + payload, so a frame whose header was
+// half-written fails the check even when the payload bytes happen to be
+// present from an earlier file generation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+
+namespace whisper::store {
+
+/// Hard cap on a single journal record payload. Anything larger on disk is
+/// treated as corruption (kOversized), not an allocation request.
+inline constexpr std::size_t kMaxRecordBytes = 256 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Table-driven; no zlib
+/// dependency.
+std::uint32_t crc32(BytesView data);
+
+/// One replayed journal record. `type` is opaque at this layer; the state
+/// layer interprets it (store::RecordType).
+struct JournalRecord {
+  std::uint8_t type = 0;
+  Bytes payload;
+};
+
+/// Result of decoding a journal byte stream.
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  /// Bytes consumed by complete, CRC-valid frames. Anything after this
+  /// offset is a torn or corrupt tail.
+  std::size_t consumed = 0;
+  /// True when trailing bytes were present but did not form a valid frame
+  /// (crash mid-append, or corruption).
+  bool torn_tail = false;
+  /// Why decoding stopped (kNone on a clean end-of-stream).
+  DecodeError tail_error = DecodeError::kNone;
+};
+
+/// Encode one record with its CRC frame.
+Bytes encode_record(std::uint8_t type, BytesView payload);
+
+/// Pure, allocation-bounded journal decoder (also the fuzz target).
+/// Never throws; never reads past `data`.
+JournalReplay decode_journal(BytesView data);
+
+/// Append-only journal file with fsync-on-commit semantics.
+class JournalFile {
+ public:
+  JournalFile() = default;
+  ~JournalFile();
+
+  JournalFile(const JournalFile&) = delete;
+  JournalFile& operator=(const JournalFile&) = delete;
+
+  /// Open (creating if absent) and replay the journal at `path`. A torn
+  /// tail is truncated away so the next append starts at a clean frame
+  /// boundary. Returns nullopt only on I/O failure (not on torn data).
+  std::optional<JournalReplay> open(const std::string& path);
+
+  /// Append one CRC-framed record and fsync. False on I/O failure.
+  bool append(std::uint8_t type, BytesView payload);
+
+  /// Truncate to empty (after a snapshot subsumed the journal) and fsync.
+  bool reset();
+
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& last_error() const { return error_; }
+
+  /// Torn tails truncated by open() over this object's lifetime.
+  std::uint64_t torn_tails_truncated() const { return torn_tails_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string error_;
+  std::uint64_t torn_tails_ = 0;
+};
+
+/// Write `data` to `path` atomically: temp file in the same directory,
+/// fsync, rename, directory fsync. False on I/O failure.
+bool atomic_write_file(const std::string& path, BytesView data, std::string* error = nullptr);
+
+/// Read a whole file. nullopt if it does not exist or cannot be read.
+std::optional<Bytes> read_file(const std::string& path);
+
+}  // namespace whisper::store

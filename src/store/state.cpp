@@ -1,0 +1,296 @@
+#include "store/state.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace whisper::store {
+
+namespace {
+
+// StoredGroup presence flags.
+constexpr std::uint8_t kFlagLeader = 1u << 0;
+constexpr std::uint8_t kFlagGroupKey = 1u << 1;
+constexpr std::uint8_t kFlagAccreditation = 1u << 2;
+constexpr std::uint8_t kFlagEntryPoint = 1u << 3;
+
+void serialize_bigint(Writer& w, const crypto::BigInt& v) {
+  w.bytes(v.to_bytes());
+}
+
+std::optional<crypto::BigInt> deserialize_bigint(Reader& r) {
+  Bytes raw = r.bytes(crypto::kMaxKeyComponentBytes);
+  if (!r.ok()) return std::nullopt;
+  return crypto::BigInt::from_bytes(raw);
+}
+
+}  // namespace
+
+void serialize_keypair(Writer& w, const crypto::RsaKeyPair& kp) {
+  serialize_bigint(w, kp.pub.n);
+  serialize_bigint(w, kp.pub.e);
+  serialize_bigint(w, kp.d);
+  serialize_bigint(w, kp.p);
+  serialize_bigint(w, kp.q);
+  serialize_bigint(w, kp.dp);
+  serialize_bigint(w, kp.dq);
+  serialize_bigint(w, kp.qinv);
+}
+
+std::optional<crypto::RsaKeyPair> deserialize_keypair(Reader& r) {
+  crypto::RsaKeyPair kp;
+  crypto::BigInt* fields[] = {&kp.pub.n, &kp.pub.e, &kp.d, &kp.p,
+                              &kp.q,     &kp.dp,    &kp.dq, &kp.qinv};
+  for (crypto::BigInt* f : fields) {
+    auto v = deserialize_bigint(r);
+    if (!v) return std::nullopt;
+    *f = std::move(*v);
+  }
+  // A zero modulus can't be a key; flag it so replay stops cleanly.
+  if (kp.pub.n.is_zero()) {
+    r.fail(DecodeError::kBadValue);
+    return std::nullopt;
+  }
+  return kp;
+}
+
+void StoredGroup::serialize(Writer& w) const {
+  w.group_id(group);
+  std::uint8_t flags = 0;
+  if (is_leader) flags |= kFlagLeader;
+  if (group_key) flags |= kFlagGroupKey;
+  if (accreditation) flags |= kFlagAccreditation;
+  if (entry_point) flags |= kFlagEntryPoint;
+  w.u8(flags);
+  w.u16(static_cast<std::uint16_t>(epochs.size()));
+  for (const auto& [epoch, key] : epochs) {
+    w.u64(epoch);
+    w.bytes(key.serialize());
+  }
+  passport.serialize(w);
+  if (group_key) serialize_keypair(w, *group_key);
+  if (accreditation) accreditation->serialize(w);
+  if (entry_point) entry_point->serialize(w);
+}
+
+std::optional<StoredGroup> StoredGroup::deserialize(Reader& r) {
+  StoredGroup g;
+  g.group = r.group_id();
+  const std::uint8_t flags = r.u8();
+  if (r.ok() && (flags & ~(kFlagLeader | kFlagGroupKey | kFlagAccreditation |
+                           kFlagEntryPoint)) != 0) {
+    r.fail(DecodeError::kBadValue);
+    return std::nullopt;
+  }
+  g.is_leader = (flags & kFlagLeader) != 0;
+  const std::uint32_t n_epochs = r.count16(kMaxStoredEpochs);
+  for (std::uint32_t i = 0; i < n_epochs; ++i) {
+    const std::uint64_t epoch = r.u64();
+    Bytes key_blob = r.bytes(crypto::kMaxKeyWireBytes);
+    if (!r.ok()) return std::nullopt;
+    auto key = crypto::RsaPublicKey::deserialize(key_blob);
+    if (!key) {
+      r.fail(DecodeError::kBadValue);
+      return std::nullopt;
+    }
+    g.epochs.emplace_back(epoch, std::move(*key));
+  }
+  auto passport = ppss::Passport::deserialize(r);
+  if (!passport) return std::nullopt;
+  g.passport = std::move(*passport);
+  if (flags & kFlagGroupKey) {
+    auto kp = deserialize_keypair(r);
+    if (!kp) return std::nullopt;
+    g.group_key = std::move(*kp);
+  }
+  if (flags & kFlagAccreditation) {
+    auto acc = ppss::Accreditation::deserialize(r);
+    if (!acc) return std::nullopt;
+    g.accreditation = std::move(*acc);
+  }
+  if (flags & kFlagEntryPoint) {
+    auto entry = wcl::RemotePeer::deserialize(r);
+    if (!entry) return std::nullopt;
+    g.entry_point = std::move(*entry);
+  }
+  if (!r.ok()) return std::nullopt;
+  return g;
+}
+
+Bytes NodeState::serialize() const {
+  Writer w;
+  w.u32(kSnapshotMagic);
+  w.node_id(id);
+  w.boolean(is_public);
+  w.endpoint(endpoint);
+  w.u32(incarnation);
+  serialize_keypair(w, identity);
+  w.u16(static_cast<std::uint16_t>(groups.size()));
+  for (const auto& g : groups) g.serialize(w);
+  w.u16(static_cast<std::uint16_t>(peer_hints.size()));
+  for (const auto& c : peer_hints) c.serialize(w);
+  return std::move(w).take();
+}
+
+std::optional<NodeState> NodeState::deserialize(BytesView data, DecodeError* why) {
+  Reader r(data);
+  auto reject = [&](DecodeError fallback) -> std::optional<NodeState> {
+    if (why) *why = r.reject_reason() != DecodeError::kNone ? r.reject_reason() : fallback;
+    return std::nullopt;
+  };
+
+  NodeState s;
+  if (r.u32() != kSnapshotMagic) {
+    r.fail(DecodeError::kBadValue);
+    return reject(DecodeError::kBadValue);
+  }
+  s.id = r.node_id();
+  s.is_public = r.boolean();
+  s.endpoint = r.endpoint();
+  s.incarnation = r.u32();
+  if (r.ok() && (s.id.is_nil() || s.incarnation == 0)) {
+    r.fail(DecodeError::kBadValue);
+    return reject(DecodeError::kBadValue);
+  }
+  auto identity = deserialize_keypair(r);
+  if (!identity) return reject(DecodeError::kTruncated);
+  s.identity = std::move(*identity);
+  const std::uint32_t n_groups = r.count16(kMaxStoredGroups);
+  for (std::uint32_t i = 0; i < n_groups; ++i) {
+    auto g = StoredGroup::deserialize(r);
+    if (!g) return reject(DecodeError::kTruncated);
+    s.groups.push_back(std::move(*g));
+  }
+  const std::uint32_t n_hints = r.count16(kMaxStoredPeerHints);
+  for (std::uint32_t i = 0; i < n_hints; ++i) {
+    s.peer_hints.push_back(pss::ContactCard::deserialize(r));
+  }
+  if (!r.expect_done()) return reject(DecodeError::kTrailingBytes);
+  return s;
+}
+
+StoredGroup* NodeState::find_group(GroupId g) {
+  for (auto& sg : groups) {
+    if (sg.group == g) return &sg;
+  }
+  return nullptr;
+}
+
+void NodeState::upsert_group(StoredGroup g) {
+  if (StoredGroup* existing = find_group(g.group)) {
+    *existing = std::move(g);
+  } else if (groups.size() < kMaxStoredGroups) {
+    groups.push_back(std::move(g));
+  }
+}
+
+bool NodeStateStore::open(const std::string& dir) {
+  dir_ = dir;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    error_ = std::string("mkdir: ") + std::strerror(errno);
+    return false;
+  }
+
+  has_state_ = false;
+  state_ = NodeState{};
+  if (auto snap = read_file(snapshot_path())) {
+    DecodeError why = DecodeError::kNone;
+    auto s = NodeState::deserialize(*snap, &why);
+    if (!s) {
+      error_ = std::string("corrupt snapshot: ") + decode_error_name(why);
+      return false;
+    }
+    state_ = std::move(*s);
+    has_state_ = true;
+  }
+
+  auto replay = journal_.open(journal_path());
+  if (!replay) {
+    error_ = journal_.last_error();
+    return false;
+  }
+  for (const auto& rec : replay->records) {
+    // A record that fails to decode is treated like a torn tail: stop
+    // applying, keep everything before it. (The CRC already screens random
+    // corruption; this guards a version-skewed or truncated payload.)
+    if (!apply_record(rec)) break;
+    ++replayed_;
+    has_state_ = true;
+  }
+  return true;
+}
+
+bool NodeStateStore::apply_record(const JournalRecord& rec) {
+  Reader r(rec.payload);
+  switch (static_cast<RecordType>(rec.type)) {
+    case RecordType::kIncarnation: {
+      const std::uint32_t inc = r.u32();
+      if (!r.expect_done() || inc == 0) return false;
+      if (inc > state_.incarnation) state_.incarnation = inc;
+      return true;
+    }
+    case RecordType::kGroup: {
+      auto g = StoredGroup::deserialize(r);
+      if (!g || !r.expect_done()) return false;
+      state_.upsert_group(std::move(*g));
+      return true;
+    }
+    case RecordType::kPeerHints: {
+      const std::uint32_t n = r.count16(kMaxStoredPeerHints);
+      std::vector<pss::ContactCard> hints;
+      for (std::uint32_t i = 0; i < n; ++i) hints.push_back(pss::ContactCard::deserialize(r));
+      if (!r.expect_done()) return false;
+      state_.peer_hints = std::move(hints);
+      return true;
+    }
+  }
+  return false;  // unknown record type: do not guess
+}
+
+bool NodeStateStore::commit_snapshot() {
+  if (!atomic_write_file(snapshot_path(), state_.serialize(), &error_)) return false;
+  if (journal_.is_open() && !journal_.reset()) {
+    error_ = journal_.last_error();
+    return false;
+  }
+  has_state_ = true;
+  return true;
+}
+
+bool NodeStateStore::record_incarnation(std::uint32_t incarnation) {
+  Writer w;
+  w.u32(incarnation);
+  if (!journal_.append(static_cast<std::uint8_t>(RecordType::kIncarnation), w.data())) {
+    error_ = journal_.last_error();
+    return false;
+  }
+  if (incarnation > state_.incarnation) state_.incarnation = incarnation;
+  return true;
+}
+
+bool NodeStateStore::record_group(const StoredGroup& g) {
+  Writer w;
+  g.serialize(w);
+  if (!journal_.append(static_cast<std::uint8_t>(RecordType::kGroup), w.data())) {
+    error_ = journal_.last_error();
+    return false;
+  }
+  state_.upsert_group(g);
+  return true;
+}
+
+bool NodeStateStore::record_peer_hints(const std::vector<pss::ContactCard>& hints) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(hints.size()));
+  for (const auto& c : hints) c.serialize(w);
+  if (!journal_.append(static_cast<std::uint8_t>(RecordType::kPeerHints), w.data())) {
+    error_ = journal_.last_error();
+    return false;
+  }
+  state_.peer_hints = hints;
+  return true;
+}
+
+}  // namespace whisper::store

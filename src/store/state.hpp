@@ -1,0 +1,152 @@
+// Durable node state: what a whisper_noded process must remember across a
+// kill -9 to come back as *itself* (DESIGN.md §14).
+//
+//  - identity: node id, public flag, bound endpoint, RSA keypair (all CRT
+//    components, so private ops stay fast after restore);
+//  - incarnation: the transport/WCL epoch, bumped on every boot from
+//    existing state so peers can tell a restart from a replay;
+//  - groups: per-group PPSS membership — key epoch history, our passport,
+//    and (leader) the group private key or (member) the accreditation and
+//    entry point needed to re-join and re-validate the passport.
+//
+// Layout on disk under --state-dir:
+//   snapshot.bin   whole NodeState, written atomically (tmp+fsync+rename)
+//   journal.bin    CRC-framed deltas since the snapshot (store::RecordType)
+//
+// Open = load snapshot, replay journal over it, truncate any torn tail.
+// All decoding goes through Reader with explicit caps; a corrupt store is
+// reported, never trusted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+#include "crypto/rsa.hpp"
+#include "pss/contact.hpp"
+#include "ppss/group.hpp"
+#include "store/journal.hpp"
+#include "wcl/wcl.hpp"
+
+namespace whisper::store {
+
+/// Snapshot format magic + version ("WSN" + 1).
+inline constexpr std::uint32_t kSnapshotMagic = 0x0157534eu;
+
+/// Caps for store decoding (a node's own state, not hostile wire input —
+/// but the file may be damaged, so bounds still apply).
+inline constexpr std::size_t kMaxStoredGroups = 64;
+inline constexpr std::size_t kMaxStoredEpochs = 256;
+inline constexpr std::size_t kMaxStoredPeerHints = 256;
+
+/// Journal record types (u8 on the wire).
+enum class RecordType : std::uint8_t {
+  /// payload: u32 incarnation — bumped-on-boot epoch.
+  kIncarnation = 1,
+  /// payload: StoredGroup — upserts by group id.
+  kGroup = 2,
+  /// payload: count16 of ContactCard — replaces the peer hint list.
+  kPeerHints = 3,
+};
+
+/// Everything needed to resume one group membership.
+struct StoredGroup {
+  GroupId group;
+  bool is_leader = false;
+  /// Group key epoch history (epoch -> public key), for passport
+  /// verification across re-keys.
+  std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>> epochs;
+  /// Our passport (may be empty-signature if we crashed mid-join).
+  ppss::Passport passport;
+  /// Leader only: the group private key (all components).
+  std::optional<crypto::RsaKeyPair> group_key;
+  /// Member only: the invitation we joined with (re-sent on rejoin to
+  /// re-validate our passport with the group).
+  std::optional<ppss::Accreditation> accreditation;
+  /// Member only: the leader's WCL descriptor used as the rejoin entry.
+  std::optional<wcl::RemotePeer> entry_point;
+
+  void serialize(Writer& w) const;
+  static std::optional<StoredGroup> deserialize(Reader& r);
+};
+
+/// The full durable state of one node.
+struct NodeState {
+  NodeId id;
+  bool is_public = true;
+  /// The endpoint we were bound to; restart re-binds the same port so
+  /// peers' contact cards and punched routes stay valid.
+  Endpoint endpoint;
+  /// Transport/WCL incarnation epoch. 1 on first boot; bumped before the
+  /// node touches the network on every boot from existing state.
+  std::uint32_t incarnation = 1;
+  crypto::RsaKeyPair identity;
+  std::vector<StoredGroup> groups;
+  /// Last known contact cards of peers (bootstrap hints for rejoin).
+  std::vector<pss::ContactCard> peer_hints;
+
+  Bytes serialize() const;
+  static std::optional<NodeState> deserialize(BytesView data,
+                                              DecodeError* why = nullptr);
+
+  StoredGroup* find_group(GroupId g);
+  void upsert_group(StoredGroup g);
+};
+
+/// Serialize a keypair (all 8 BigInt components) for the store.
+void serialize_keypair(Writer& w, const crypto::RsaKeyPair& kp);
+std::optional<crypto::RsaKeyPair> deserialize_keypair(Reader& r);
+
+/// Snapshot + journal store rooted at one directory.
+class NodeStateStore {
+ public:
+  NodeStateStore() = default;
+
+  NodeStateStore(const NodeStateStore&) = delete;
+  NodeStateStore& operator=(const NodeStateStore&) = delete;
+
+  /// Open (creating the directory if needed), load the snapshot if one
+  /// exists and replay the journal over it. False on I/O failure or a
+  /// corrupt snapshot.
+  bool open(const std::string& dir);
+
+  /// True when open() found existing state to resume from.
+  bool has_state() const { return has_state_; }
+
+  NodeState& state() { return state_; }
+  const NodeState& state() const { return state_; }
+
+  /// Write the full state as a new atomic snapshot and clear the journal.
+  bool commit_snapshot();
+
+  /// Journal a bumped incarnation (fsync'd before returning).
+  bool record_incarnation(std::uint32_t incarnation);
+  /// Journal a group upsert (fsync'd before returning).
+  bool record_group(const StoredGroup& g);
+  /// Journal a replacement peer-hint list (fsync'd before returning).
+  bool record_peer_hints(const std::vector<pss::ContactCard>& hints);
+
+  const std::string& last_error() const { return error_; }
+  std::uint64_t journal_records_replayed() const { return replayed_; }
+  std::uint64_t torn_tails_truncated() const { return journal_.torn_tails_truncated(); }
+
+  std::string snapshot_path() const { return dir_ + "/snapshot.bin"; }
+  std::string journal_path() const { return dir_ + "/journal.bin"; }
+
+ private:
+  bool apply_record(const JournalRecord& rec);
+
+  std::string dir_;
+  NodeState state_;
+  JournalFile journal_;
+  bool has_state_ = false;
+  std::uint64_t replayed_ = 0;
+  std::string error_;
+};
+
+}  // namespace whisper::store

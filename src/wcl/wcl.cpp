@@ -64,7 +64,9 @@ Wcl::Wcl(net::Clock& clock, nylon::Transport& transport, keysvc::KeyService& key
          telemetry::Scope telemetry)
     : clock_(clock), transport_(transport), keys_(keys), pss_(pss), cpu_(cpu), config_(config),
       rng_(rng), drbg_(rng_.next_u64()), cb_(config.cb_capacity),
-      next_msg_id_(transport.self().value << 20), tel_(telemetry),
+      next_msg_id_((static_cast<std::uint64_t>(config.incarnation) << 44) |
+                   ((transport.self().value << 20) & ((1ull << 44) - 1))),
+      tel_(telemetry),
       m_first_try_(tel_.counter("wcl.sends.first_try")),
       m_alternative_(tel_.counter("wcl.sends.alternative")),
       m_no_alternative_(tel_.counter("wcl.sends.no_alternative")),
@@ -146,6 +148,11 @@ const RttEstimator& Wcl::rtt_of(NodeId dest) const {
   static const RttEstimator kEmpty{};
   auto it = rtt_.find(dest);
   return it == rtt_.end() ? kEmpty : it->second;
+}
+
+void Wcl::note_peer_restart(NodeId peer) {
+  // rtt_order_ keeps the id; eviction skips entries already erased.
+  rtt_.erase(peer);
 }
 
 net::Time Wcl::current_rto(NodeId dest) const {

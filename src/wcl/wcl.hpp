@@ -61,6 +61,12 @@ enum class SendOutcome {
 };
 
 struct WclConfig {
+  /// Incarnation epoch of this node's process (DESIGN.md §14). Scopes the
+  /// message-id space: ids are minted as
+  /// (incarnation << 44) | (self << 20) | seq, so a restarted node can
+  /// never re-mint ids its peers still hold in replay windows or pending
+  /// mix state — the mis-ack path a naive restart would hit.
+  std::uint32_t incarnation = 0;
   std::size_t pi = 3;                          // Π
   std::size_t cb_capacity = 20;                // 2c
   /// Number of mixes on a path (the paper's default is 2: S → A → B → D).
@@ -130,6 +136,11 @@ class Wcl {
   /// Feed a completed gossip exchange (wired to NylonPss::on_exchange):
   /// inserts the partner into the CB and restores the Π P-node invariant.
   void on_gossip_exchange(const pss::ContactCard& partner);
+
+  /// Incarnation-bump proof-of-life from the transport: the peer restarted,
+  /// so its RTT history describes a dead process (and its old socket). Drop
+  /// the estimator; the next exchange re-seeds it.
+  void note_peer_restart(NodeId peer);
 
   using SendCallback = std::function<void(SendOutcome)>;
 

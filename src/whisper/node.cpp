@@ -2,17 +2,40 @@
 
 namespace whisper {
 
+namespace {
+
+// One incarnation value for the whole stack: NodeConfig::incarnation wins
+// over whatever the per-layer configs carried.
+NodeConfig apply_incarnation(NodeConfig config) {
+  if (config.incarnation != 0) {
+    config.transport.incarnation = config.incarnation;
+    config.wcl.incarnation = config.incarnation;
+    config.ppss.incarnation = config.incarnation;
+  }
+  return config;
+}
+
+}  // namespace
+
 WhisperNode::WhisperNode(net::Clock& clock, net::Stack& net, NodeId id,
                          Endpoint internal_ep, bool is_public,
                          const crypto::RsaKeyPair& keypair, NodeConfig config, Rng rng,
                          telemetry::Sinks sinks)
-    : clock_(clock), id_(id), keypair_(keypair), config_(config), rng_(rng),
+    : clock_(clock), id_(id), keypair_(keypair), config_(apply_incarnation(std::move(config))),
+      rng_(rng),
       tel_(sinks, id.value),
-      transport_(clock, net, id, internal_ep, is_public, config.transport),
-      pss_(clock, transport_, config.pss, rng_.fork(), tel_),
-      keys_(clock, transport_, keypair_, config.keys),
-      wcl_(clock, transport_, keys_, pss_, cpu_, config.wcl, rng_.fork(), tel_) {
+      transport_(clock, net, id, internal_ep, is_public, config_.transport),
+      pss_(clock, transport_, config_.pss, rng_.fork(), tel_),
+      keys_(clock, transport_, keypair_, config_.keys),
+      wcl_(clock, transport_, keys_, pss_, cpu_, config_.wcl, rng_.fork(), tel_) {
   transport_.set_cpu_meter(&cpu_);
+  // A peer that shows up with a bumped incarnation crashed and restarted:
+  // the transport has already purged its routes; clear the PSS strikes (the
+  // rejoin is proof-of-life) and the WCL's RTT memory of the old process.
+  transport_.on_peer_restart = [this](NodeId peer) {
+    pss_.note_peer_restart(peer);
+    wcl_.note_peer_restart(peer);
+  };
   // Public key sampling rides on the PSS gossip (§III-B-2)...
   pss_.extra_provider = [this] { return keys_.piggyback(); };
   pss_.extra_consumer = [this](const pss::ContactCard& from, BytesView extra) {
@@ -70,6 +93,15 @@ ppss::Ppss& WhisperNode::join_group(GroupId group, const ppss::Accreditation& ac
                                     const wcl::RemotePeer& entry_point) {
   ppss::Ppss& instance = make_group_instance(group);
   instance.join(accreditation, entry_point);
+  instance.start();
+  return instance;
+}
+
+ppss::Ppss& WhisperNode::resume_group(
+    GroupId group, const std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>>& epochs,
+    const ppss::Passport& passport, std::optional<crypto::RsaKeyPair> group_key) {
+  ppss::Ppss& instance = make_group_instance(group);
+  instance.resume(epochs, passport, std::move(group_key));
   instance.start();
   return instance;
 }

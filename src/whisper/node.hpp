@@ -29,6 +29,11 @@ struct NodeConfig {
   wcl::WclConfig wcl;
   ppss::PpssConfig ppss;
   std::size_t rsa_bits = 512;
+  /// Process incarnation epoch (DESIGN.md §14). 0 = no durable state.
+  /// Overrides transport.incarnation and wcl.incarnation so the whole
+  /// stack agrees on the epoch; a node restoring from a state dir sets
+  /// this to its bumped persisted value before construction.
+  std::uint32_t incarnation = 0;
 };
 
 class WhisperNode {
@@ -66,6 +71,14 @@ class WhisperNode {
   /// Join an existing group through `entry_point` with an accreditation.
   ppss::Ppss& join_group(GroupId group, const ppss::Accreditation& accreditation,
                          const wcl::RemotePeer& entry_point);
+  /// Resume a group membership from durable state after a crash: restore
+  /// the key-epoch history + passport (and for leaders the group key). The
+  /// instance is started; joined() is false if the persisted passport
+  /// failed re-verification (callers then fall back to a fresh join()).
+  ppss::Ppss& resume_group(GroupId group,
+                           const std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>>& epochs,
+                           const ppss::Passport& passport,
+                           std::optional<crypto::RsaKeyPair> group_key = std::nullopt);
   /// Instance lookup; nullptr when this node is not a member.
   ppss::Ppss* group(GroupId group);
   std::size_t group_count() const { return groups_.size(); }

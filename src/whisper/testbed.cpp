@@ -53,11 +53,17 @@ WhisperNode& WhisperTestbed::spawn_node() {
                                                            config_.node.rsa_bits),
                                             config_.node, rng_.fork(), sinks());
 
+  node->start(sample_bootstrap(id));
+  nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+std::vector<pss::ContactCard> WhisperTestbed::sample_bootstrap(NodeId exclude) {
   // Bootstrap contacts: a random sample of live nodes, always including at
   // least one public node (required as a relay for N-nodes).
   std::vector<pss::ContactCard> bootstrap;
   auto alive = alive_nodes();
-  std::erase_if(alive, [&](WhisperNode* n) { return n->id() == id; });
+  std::erase_if(alive, [&](WhisperNode* n) { return n->id() == exclude; });
   rng_.shuffle(alive);
   for (WhisperNode* n : alive) {
     if (bootstrap.size() >= config_.bootstrap_contacts) break;
@@ -73,10 +79,27 @@ WhisperNode& WhisperTestbed::spawn_node() {
       }
     }
   }
+  return bootstrap;
+}
 
-  node->start(bootstrap);
-  nodes_.push_back(std::move(node));
-  return *nodes_.back();
+WhisperNode* WhisperTestbed::restart_node(NodeId id) {
+  WhisperNode* old = node(id);
+  if (old == nullptr || !old->running()) return nullptr;
+  const Endpoint ep = old->internal_endpoint();
+  const bool is_public = old->is_public();
+  const std::uint32_t incarnation = old->transport().incarnation() + 1;
+  // Abrupt stop: timers die, no departure message goes out (there is
+  // none), the endpoint frees up — but the NAT binding and the entry in
+  // endpoint_ids_ stay, exactly like a process dying under kill -9.
+  old->stop();
+  NodeConfig cfg = config_.node;
+  cfg.incarnation = incarnation;
+  auto fresh = std::make_unique<WhisperNode>(sim_, *net_, id, ep, is_public,
+                                             old->keypair(), cfg, rng_.fork(),
+                                             sinks());
+  fresh->start(sample_bootstrap(id));
+  nodes_.push_back(std::move(fresh));
+  return nodes_.back().get();
 }
 
 NodeId WhisperTestbed::kill_random_node() {
@@ -99,10 +122,15 @@ void WhisperTestbed::kill_node(NodeId id) {
 }
 
 WhisperNode* WhisperTestbed::node(NodeId id) {
+  // Restarts leave the stopped predecessor in nodes_ (its statistics stay
+  // readable); lookups prefer the live incarnation, then the newest.
+  WhisperNode* found = nullptr;
   for (auto& n : nodes_) {
-    if (n->id() == id) return n.get();
+    if (n->id() != id) continue;
+    found = n.get();
+    if (found->running()) return found;
   }
-  return nullptr;
+  return found;
 }
 
 std::vector<WhisperNode*> WhisperTestbed::all_nodes() {

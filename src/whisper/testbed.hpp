@@ -90,6 +90,14 @@ class WhisperTestbed {
   /// Remove a random live node; returns its id (nil if none).
   NodeId kill_random_node();
   void kill_node(NodeId id);
+  /// Crash-restart `id` in place: stop it abruptly (the sim's kill -9 — no
+  /// graceful departure exists anyway) and boot a replacement with the same
+  /// id, endpoint and identity keys at incarnation old+1, bootstrapping
+  /// from live cards like any booting node (DESIGN.md §14). Peers only
+  /// notice the restart when the previous life advertised a nonzero
+  /// incarnation, so crash-recovery scenarios set config.node.incarnation.
+  /// Returns nullptr for unknown or already-stopped ids.
+  WhisperNode* restart_node(NodeId id);
 
   WhisperNode* node(NodeId id);
   std::vector<WhisperNode*> alive_nodes();
@@ -131,6 +139,8 @@ class WhisperTestbed {
 
  private:
   void schedule_telemetry_sample();
+  /// Random live-card sample for a booting (or rebooting) node.
+  std::vector<pss::ContactCard> sample_bootstrap(NodeId exclude);
 
   TestbedConfig config_;
   Rng rng_;

@@ -18,6 +18,7 @@
 #include "overlay/tman.hpp"
 #include "ppss/group.hpp"
 #include "ppss/ppss.hpp"
+#include "store/state.hpp"
 #include "wcl/wcl.hpp"
 
 namespace whisper {
@@ -142,6 +143,73 @@ int main(int argc, char** argv) {
     pkt.header = Bytes(40, 0x11);
     pkt.body = Bytes(60, 0x22);
     emit(codecs, "onion_packet", 9, pkt.serialize());
+  }
+
+  // Durable-store seeds (fuzz_store selectors, see fuzz_store.cpp).
+  const std::filesystem::path store_dir = root / "store";
+  std::filesystem::create_directories(store_dir);
+  const crypto::RsaKeyPair identity = crypto::RsaKeyPair::generate(512, drbg);
+
+  store::StoredGroup leader_group;
+  leader_group.group = GroupId{7};
+  leader_group.is_leader = true;
+  leader_group.epochs.emplace_back(1, identity.pub);
+  leader_group.passport = ppss::issue_passport(GroupId{7}, 1, NodeId{42}, identity);
+  leader_group.group_key = identity;
+
+  store::StoredGroup member_group;
+  member_group.group = GroupId{8};
+  member_group.epochs.emplace_back(1, key);
+  member_group.passport = ppss::issue_passport(GroupId{8}, 1, NodeId{42}, identity);
+  member_group.accreditation = ppss::issue_accreditation(GroupId{8}, 1, NodeId{42}, identity);
+  member_group.entry_point = sample_peer(rng, key, 2);
+
+  {
+    // A realistic journal: one frame of each RecordType, matching what
+    // NodeStateStore appends between snapshots.
+    Bytes journal;
+    auto append = [&journal](store::RecordType type, const Bytes& payload) {
+      const Bytes frame =
+          store::encode_record(static_cast<std::uint8_t>(type), payload);
+      journal.insert(journal.end(), frame.begin(), frame.end());
+    };
+    Writer inc;
+    inc.u32(2);
+    append(store::RecordType::kIncarnation, inc.data());
+    Writer grp;
+    member_group.serialize(grp);
+    append(store::RecordType::kGroup, grp.data());
+    Writer hints;
+    hints.u16(2);
+    sample_card(rng).serialize(hints);
+    sample_card(rng).serialize(hints);
+    append(store::RecordType::kPeerHints, hints.data());
+    emit(store_dir, "journal", 0, journal);
+    // The same journal with a torn tail (crash mid-append).
+    Bytes torn(journal.begin(), journal.end() - 3);
+    emit(store_dir, "journal_torn", 0, torn);
+  }
+  {
+    store::NodeState st;
+    st.id = NodeId{42};
+    st.is_public = true;
+    st.endpoint = Endpoint{(127u << 24) | 1, 40123};
+    st.incarnation = 3;
+    st.identity = identity;
+    st.groups.push_back(leader_group);
+    st.groups.push_back(member_group);
+    st.peer_hints.push_back(sample_card(rng));
+    emit(store_dir, "node_state", 1, st.serialize());
+  }
+  {
+    Writer w;
+    member_group.serialize(w);
+    emit(store_dir, "stored_group", 2, w.data());
+  }
+  {
+    Writer w;
+    store::serialize_keypair(w, identity);
+    emit(store_dir, "keypair", 3, w.data());
   }
   return 0;
 }

@@ -156,6 +156,71 @@ TEST(UdpBackend, RequestStopEndsRun) {
   EXPECT_TRUE(backend.stop_requested());
 }
 
+TEST(ClassifySendtoErrno, MapsTransientAndPeerErrnosToDistinctReasons) {
+  EXPECT_EQ(classify_sendto_errno(ENOBUFS), DropReason::kBackpressure);
+  EXPECT_EQ(classify_sendto_errno(ENOMEM), DropReason::kBackpressure);
+  EXPECT_EQ(classify_sendto_errno(EAGAIN), DropReason::kBackpressure);
+  EXPECT_EQ(classify_sendto_errno(ECONNREFUSED), DropReason::kRefused);
+  EXPECT_EQ(classify_sendto_errno(EHOSTUNREACH), DropReason::kRefused);
+  EXPECT_EQ(classify_sendto_errno(ENETUNREACH), DropReason::kRefused);
+  EXPECT_EQ(classify_sendto_errno(EPERM), DropReason::kRefused);
+  // Anything unanticipated degrades to plain datagram loss.
+  EXPECT_EQ(classify_sendto_errno(EINVAL), DropReason::kLoss);
+  EXPECT_EQ(classify_sendto_errno(0), DropReason::kLoss);
+}
+
+TEST(UdpBackend, SendErrorHookCountsClassifiedDropsAndRecovers) {
+  // There is no portable way to make a real loopback sendto() fail with
+  // ENOBUFS or ECONNREFUSED on demand, so the config hook injects the
+  // errnos the kernel would produce: transient backpressure, ICMP-derived
+  // refusals from a crashed peer, and recovery once the hook stands down.
+  UdpConfig config;
+  std::vector<int> script = {ENOBUFS, EAGAIN, ECONNREFUSED, EHOSTUNREACH, 0};
+  std::size_t call = 0;
+  config.send_error_hook = [&](Endpoint) {
+    const int err = call < script.size() ? script[call] : 0;
+    ++call;
+    return err;
+  };
+  UdpBackend backend(config);
+  auto a = backend.reserve_endpoint();
+  auto b = backend.reserve_endpoint();
+  ASSERT_TRUE(a && b) << backend.last_error();
+  int received = 0;
+  backend.attach(*a, [](const Datagram&) {});
+  backend.attach(*b, [&](const Datagram&) { ++received; });
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(backend.send(*a, *b, bytes_of("probe"), Proto::kApp));
+  }
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (received < 1 && backend.now() < deadline) backend.poll(kTick);
+
+  // Two transient + two peer-side failures, each counted under its cause;
+  // the fifth datagram went out for real.
+  EXPECT_EQ(backend.packets_dropped(DropReason::kBackpressure), 2u);
+  EXPECT_EQ(backend.packets_dropped(DropReason::kRefused), 2u);
+  EXPECT_EQ(backend.packets_dropped(DropReason::kLoss), 0u);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(UdpBackend, TimersStillFireViaPollAfterRequestStop) {
+  // request_stop() ends run(), but poll() keeps working: whisper_noded's
+  // shutdown path (and its post-delivery linger) schedules timers after
+  // the stop flag is up and drives them manually.
+  UdpBackend backend;
+  backend.schedule_after(5 * kMillisecond, [&] { backend.request_stop(); });
+  backend.run();
+  EXPECT_TRUE(backend.stop_requested());
+
+  int fired = 0;
+  backend.schedule_after(5 * kMillisecond, [&] { ++fired; });
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (fired == 0 && backend.now() < deadline) backend.poll(kTick);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(backend.pending_timers(), 0u);
+}
+
 TEST(UdpBackend, EintrStormStillFiresTimersAndDeliversPackets) {
   // Pepper the process with SIGALRM (no SA_RESTART: epoll_wait returns
   // EINTR) while the loop runs; the backend must absorb the interruptions.

@@ -135,6 +135,65 @@ TEST(TimerWheel, PeriodicRearmKeepsSlotPoolBounded) {
   EXPECT_EQ(wheel.fired(), 1000u);
 }
 
+TEST(TimerWheel, CancelDuringExpiryOfSameDeadlineBatch) {
+  // Three timers due at the same instant fire in arm order; the first
+  // cancels the second MID-EXPIRY, so the batch must deliver 1 then 3 —
+  // the cancel takes effect even though the victim was already due.
+  TimerWheel wheel;
+  std::vector<int> order;
+  TimerId second = 0;
+  wheel.schedule(10, [&] {
+    order.push_back(1);
+    wheel.cancel(second);
+  });
+  second = wheel.schedule(10, [&] { order.push_back(2); });
+  wheel.schedule(10, [&] { order.push_back(3); });
+  EXPECT_EQ(wheel.advance(10), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(wheel.cancelled(), 1u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CancelThenRearmInCallbackYieldsFreshTimer) {
+  // A callback that cancels a due timer and re-arms a replacement must not
+  // resurrect the cancelled one, and the replacement's id must be distinct
+  // (slot generations retire stale ids).
+  TimerWheel wheel;
+  int victim_fired = 0;
+  int replacement_fired = 0;
+  TimerId victim = 0;
+  TimerId replacement = 0;
+  wheel.schedule(10, [&] {
+    wheel.cancel(victim);
+    replacement = wheel.schedule(20, [&] { ++replacement_fired; });
+  });
+  victim = wheel.schedule(15, [&] { ++victim_fired; });
+  wheel.advance(10);
+  EXPECT_NE(replacement, victim);
+  wheel.advance(100);
+  EXPECT_EQ(victim_fired, 0);
+  EXPECT_EQ(replacement_fired, 1);
+  // The stale victim id must not cancel the replacement's recycled slot.
+  wheel.cancel(victim);
+  EXPECT_EQ(wheel.cancelled(), 1u);
+}
+
+TEST(TimerWheel, RearmAfterFullDrainKeepsFiring) {
+  // The wheel survives going idle: drain everything, re-arm, fire again —
+  // the pattern a lingering noded relies on after its own work is done.
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule(5, [&] { ++fired; });
+  wheel.advance(10);
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+  wheel.schedule(20, [&] { ++fired; });
+  wheel.schedule(30, [&] { ++fired; });
+  EXPECT_EQ(wheel.next_deadline(), std::optional<Time>(20));
+  wheel.advance(50);
+  EXPECT_EQ(fired, 3);
+}
+
 TEST(TimerWheel, ManyTimersRandomizedCancellation) {
   TimerWheel wheel;
   std::vector<TimerId> ids;

@@ -23,6 +23,14 @@ struct TransportFixture : ::testing::Test {
     return *transports.back();
   }
 
+  Transport& add_public_inc(std::uint64_t id, std::uint32_t incarnation,
+                            TransportConfig cfg = {}) {
+    Endpoint ep = fabric.add_public_node();
+    cfg.incarnation = incarnation;
+    transports.push_back(std::make_unique<Transport>(sim, net, NodeId{id}, ep, true, cfg));
+    return *transports.back();
+  }
+
   Transport& add_natted(std::uint64_t id, nat::NatType type) {
     Endpoint ep = fabric.add_natted_node(type);
     transports.push_back(std::make_unique<Transport>(sim, net, NodeId{id}, ep, false));
@@ -286,6 +294,103 @@ TEST_F(TransportFixture, RelayRecoveryResumesNormalKeepaliveCadence) {
   sim.run_until(sim.now() + 15 * net::kMinute);  // next backed-off ping gets acked
   EXPECT_FALSE(n.relay_lost());
   EXPECT_EQ(relay2.relayed_registrations(), 1u);
+}
+
+// --- Incarnation epochs (crash-recovery, DESIGN.md §14). ---
+
+TEST_F(TransportFixture, PeerRestartBumpsCounterAndFiresCallback) {
+  Transport& a = add_public(1);
+  Transport& b1 = add_public_inc(2, 1);
+  collect(a);
+  EXPECT_TRUE(b1.send(a.self_card(), kTagApp, Bytes{1}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  ASSERT_EQ(inbox(a).size(), 1u);
+  EXPECT_EQ(a.peer_restarts(), 0u);
+
+  NodeId restarted = kNilNode;
+  a.on_peer_restart = [&](NodeId peer) { restarted = peer; };
+  // kill -9 and reboot at the same endpoint with the epoch bumped.
+  const Endpoint ep = b1.internal_endpoint();
+  b1.shutdown();
+  TransportConfig cfg;
+  cfg.incarnation = 2;
+  Transport b2(sim, net, NodeId{2}, ep, true, cfg);
+  EXPECT_TRUE(b2.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  // The reborn peer's frame is delivered AND recognized as a restart.
+  ASSERT_EQ(inbox(a).size(), 2u);
+  EXPECT_EQ(a.peer_restarts(), 1u);
+  EXPECT_EQ(restarted, NodeId{2});
+  EXPECT_EQ(a.stale_incarnation_rejects(), 0u);
+}
+
+TEST_F(TransportFixture, PreCrashStragglersAreDroppedAsStale) {
+  Transport& a = add_public(1);
+  Transport& b_new = add_public_inc(2, 2);
+  collect(a);
+  EXPECT_TRUE(b_new.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  ASSERT_EQ(inbox(a).size(), 1u);
+
+  // A delayed frame from the peer's previous life (same id, older epoch)
+  // surfaces afterwards: it must be dropped, not delivered, and must not
+  // count as a "restart" either.
+  Transport& b_old = add_public_inc(2, 1);
+  EXPECT_TRUE(b_old.send(a.self_card(), kTagApp, Bytes{1}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  EXPECT_EQ(inbox(a).size(), 1u);
+  EXPECT_EQ(a.stale_incarnation_rejects(), 1u);
+  EXPECT_EQ(a.peer_restarts(), 0u);
+}
+
+TEST_F(TransportFixture, EpochlessPeersAreNeverStale) {
+  // Nodes without durable state send incarnation 0 and must interoperate
+  // unchanged: no tracking, no staleness, no restart signals — even when
+  // such a node reboots at the same endpoint.
+  Transport& a = add_public(1);
+  Transport& b1 = add_public(2);
+  collect(a);
+  EXPECT_TRUE(b1.send(a.self_card(), kTagApp, Bytes{1}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  const Endpoint ep = b1.internal_endpoint();
+  b1.shutdown();
+  Transport b2(sim, net, NodeId{2}, ep, true);
+  EXPECT_TRUE(b2.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  EXPECT_EQ(inbox(a).size(), 2u);
+  EXPECT_EQ(a.peer_restarts(), 0u);
+  EXPECT_EQ(a.stale_incarnation_rejects(), 0u);
+}
+
+TEST_F(TransportFixture, FirstNonzeroEpochIsNotARestart) {
+  // A peer that upgrades from epochless (0) to durable state (nonzero)
+  // starts being tracked without a spurious restart signal.
+  Transport& a = add_public(1);
+  Transport& b_epochless = add_public(2);
+  collect(a);
+  EXPECT_TRUE(b_epochless.send(a.self_card(), kTagApp, Bytes{1}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  Transport& b_durable = add_public_inc(2, 5);
+  EXPECT_TRUE(b_durable.send(a.self_card(), kTagApp, Bytes{2}, net::Proto::kApp));
+  sim.run_until(sim.now() + 10 * net::kSecond);
+  EXPECT_EQ(inbox(a).size(), 2u);
+  EXPECT_EQ(a.peer_restarts(), 0u);
+}
+
+TEST_F(TransportFixture, PeerEpochTableIsHardCapped) {
+  // The epoch table is peer-driven state: an id-spraying adversary must not
+  // grow it without bound. Overflow evicts the least recently seen entry.
+  TransportConfig cfg;
+  cfg.max_peer_incarnations = 2;
+  Transport& a = add_public_inc(1, 1, cfg);
+  collect(a);
+  for (std::uint64_t id = 2; id <= 4; ++id) {
+    Transport& sender = add_public_inc(id, 1);
+    EXPECT_TRUE(sender.send(a.self_card(), kTagApp, Bytes{1}, net::Proto::kApp));
+    sim.run_until(sim.now() + 10 * net::kSecond);
+  }
+  EXPECT_EQ(inbox(a).size(), 3u);      // delivery unaffected by eviction
+  EXPECT_GE(a.cap_evictions(), 1u);    // the table stayed within its cap
 }
 
 }  // namespace

@@ -1,0 +1,394 @@
+// Durable-store tests (DESIGN.md §14): CRC journal framing, torn-tail
+// tolerance at every byte boundary, snapshot atomicity, and full
+// NodeState round-trips including keys that must keep signing after
+// restore.
+#include "store/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "crypto/random.hpp"
+#include "crypto/rsa.hpp"
+#include "ppss/group.hpp"
+
+namespace whisper::store {
+namespace {
+
+/// Fresh scratch directory per test, removed on teardown.
+struct StoreTest : ::testing::Test {
+  std::string dir;
+
+  void SetUp() override {
+    char tmpl[] = "/tmp/whisper_store_test.XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir + "'";
+    if (dir.rfind("/tmp/whisper_store_test.", 0) == 0) (void)!std::system(cmd.c_str());
+  }
+
+  std::string path(const std::string& base) const { return dir + "/" + base; }
+
+  static Bytes file_bytes(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    Bytes out((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    return out;
+  }
+
+  static void write_bytes(const std::string& p, BytesView data) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+};
+
+// --- Journal framing. ---
+
+TEST_F(StoreTest, JournalRecordsRoundTrip) {
+  Bytes stream;
+  for (std::uint8_t t = 1; t <= 3; ++t) {
+    const Bytes payload(t * 5, static_cast<std::uint8_t>(0xa0 + t));
+    const Bytes frame = encode_record(t, payload);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  const JournalReplay replay = decode_journal(stream);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.consumed, stream.size());
+  for (std::uint8_t t = 1; t <= 3; ++t) {
+    EXPECT_EQ(replay.records[t - 1].type, t);
+    EXPECT_EQ(replay.records[t - 1].payload,
+              Bytes(t * 5u, static_cast<std::uint8_t>(0xa0 + t)));
+  }
+}
+
+TEST_F(StoreTest, TornTailToleratedAtEveryByteBoundary) {
+  // A crash can truncate the journal at ANY byte. Whatever the cut point,
+  // decode must keep every complete frame before it and flag the rest as a
+  // torn tail — never crash, never misparse.
+  std::vector<std::size_t> boundaries = {0};
+  Bytes stream;
+  for (std::uint8_t t = 1; t <= 3; ++t) {
+    const Bytes frame = encode_record(t, Bytes(4 * t, t));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    boundaries.push_back(stream.size());
+  }
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    const JournalReplay replay =
+        decode_journal(BytesView(stream.data(), cut));
+    std::size_t complete = 0;
+    while (complete + 1 < boundaries.size() && boundaries[complete + 1] <= cut) {
+      ++complete;
+    }
+    EXPECT_EQ(replay.records.size(), complete) << "cut at " << cut;
+    EXPECT_EQ(replay.consumed, boundaries[complete]) << "cut at " << cut;
+    EXPECT_EQ(replay.torn_tail, cut != boundaries[complete]) << "cut at " << cut;
+  }
+}
+
+TEST_F(StoreTest, CorruptedPayloadFailsCrcAndStopsReplay) {
+  Bytes stream;
+  for (std::uint8_t t = 1; t <= 3; ++t) {
+    const Bytes frame = encode_record(t, Bytes(16, t));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  const std::size_t frame_len = stream.size() / 3;
+  // Flip one payload byte inside the SECOND frame.
+  stream[frame_len + 12] ^= 0x40;
+  const JournalReplay replay = decode_journal(stream);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.tail_error, DecodeError::kBadValue);
+  EXPECT_EQ(replay.consumed, frame_len);
+}
+
+TEST_F(StoreTest, OversizedLengthIsCorruptionNotAllocation) {
+  Bytes frame = encode_record(1, Bytes(8, 0x11));
+  // Rewrite the length field to claim a payload far over the cap.
+  const std::uint32_t huge = kMaxRecordBytes + 1;
+  frame[1] = static_cast<std::uint8_t>(huge & 0xff);
+  frame[2] = static_cast<std::uint8_t>((huge >> 8) & 0xff);
+  frame[3] = static_cast<std::uint8_t>((huge >> 16) & 0xff);
+  frame[4] = static_cast<std::uint8_t>((huge >> 24) & 0xff);
+  const JournalReplay replay = decode_journal(frame);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.tail_error, DecodeError::kOversized);
+}
+
+TEST_F(StoreTest, JournalFileTruncatesTornTailOnOpen) {
+  const std::string jpath = path("journal.bin");
+  {
+    JournalFile j;
+    ASSERT_TRUE(j.open(jpath).has_value());
+    ASSERT_TRUE(j.append(7, Bytes(10, 0x22)));
+    ASSERT_TRUE(j.append(8, Bytes(20, 0x33)));
+    j.close();
+  }
+  // Crash mid-append: chop the file inside the second frame.
+  Bytes raw = file_bytes(jpath);
+  const std::size_t first_frame = 9 + 10;
+  write_bytes(jpath, BytesView(raw.data(), first_frame + 5));
+
+  JournalFile j;
+  const auto replay = j.open(jpath);
+  ASSERT_TRUE(replay.has_value());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].type, 7);
+  EXPECT_EQ(j.torn_tails_truncated(), 1u);
+  // The torn bytes are gone from disk, and appends land cleanly after the
+  // surviving frame.
+  ASSERT_TRUE(j.append(9, Bytes(5, 0x44)));
+  j.close();
+  const JournalReplay after = decode_journal(file_bytes(jpath));
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_FALSE(after.torn_tail);
+  EXPECT_EQ(after.records[1].type, 9);
+}
+
+TEST_F(StoreTest, AtomicWriteFileRoundTrips) {
+  const std::string p = path("blob.bin");
+  const Bytes data{1, 2, 3, 250, 251, 252};
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(p, data, &error)) << error;
+  EXPECT_EQ(read_file(p), std::optional<Bytes>(data));
+  // Overwrite atomically; no temp file debris survives.
+  const Bytes next{9, 9, 9};
+  ASSERT_TRUE(atomic_write_file(p, next, &error)) << error;
+  EXPECT_EQ(read_file(p), std::optional<Bytes>(next));
+  EXPECT_NE(::access(p.c_str(), F_OK), -1);
+  EXPECT_EQ(::access((p + ".tmp").c_str(), F_OK), -1);
+}
+
+// --- NodeState serialization. ---
+
+NodeState sample_state(std::uint64_t seed) {
+  crypto::Drbg drbg(seed);
+  NodeState st;
+  st.id = NodeId{42};
+  st.is_public = true;
+  st.endpoint = Endpoint{(127u << 24) | 1, 40123};
+  st.incarnation = 3;
+  st.identity = crypto::RsaKeyPair::generate(512, drbg);
+
+  crypto::RsaKeyPair group_key = crypto::RsaKeyPair::generate(512, drbg);
+  StoredGroup leader_side;
+  leader_side.group = GroupId{7};
+  leader_side.is_leader = true;
+  leader_side.epochs.emplace_back(1, group_key.pub);
+  leader_side.passport = ppss::issue_passport(GroupId{7}, 1, NodeId{42}, group_key);
+  leader_side.group_key = group_key;
+  st.groups.push_back(leader_side);
+
+  StoredGroup member_side;
+  member_side.group = GroupId{8};
+  member_side.epochs.emplace_back(1, group_key.pub);
+  member_side.epochs.emplace_back(2, st.identity.pub);
+  member_side.passport = ppss::issue_passport(GroupId{8}, 1, NodeId{42}, group_key);
+  member_side.accreditation =
+      ppss::issue_accreditation(GroupId{8}, 1, NodeId{42}, group_key);
+  wcl::RemotePeer entry;
+  entry.card.id = NodeId{1};
+  entry.card.addr = Endpoint{(127u << 24) | 1, 40001};
+  entry.card.is_public = true;
+  entry.key = group_key.pub;
+  st.groups.push_back(member_side);
+  st.groups.back().entry_point = entry;
+
+  st.peer_hints.push_back(pss::ContactCard{NodeId{5},
+                                           Endpoint{(10u << 24) | 9, 5555},
+                                           false, NodeId{6}});
+  return st;
+}
+
+TEST_F(StoreTest, NodeStateRoundTripsEveryField) {
+  const NodeState st = sample_state(101);
+  DecodeError why = DecodeError::kNone;
+  const auto back = NodeState::deserialize(st.serialize(), &why);
+  ASSERT_TRUE(back.has_value()) << static_cast<int>(why);
+  EXPECT_EQ(back->id, st.id);
+  EXPECT_EQ(back->is_public, st.is_public);
+  EXPECT_EQ(back->endpoint, st.endpoint);
+  EXPECT_EQ(back->incarnation, st.incarnation);
+  ASSERT_EQ(back->groups.size(), 2u);
+  const StoredGroup& lg = back->groups[0];
+  EXPECT_TRUE(lg.is_leader);
+  ASSERT_TRUE(lg.group_key.has_value());
+  EXPECT_FALSE(lg.accreditation.has_value());
+  const StoredGroup& mg = back->groups[1];
+  EXPECT_FALSE(mg.is_leader);
+  ASSERT_EQ(mg.epochs.size(), 2u);
+  EXPECT_EQ(mg.epochs[1].first, 2u);
+  ASSERT_TRUE(mg.accreditation.has_value());
+  ASSERT_TRUE(mg.entry_point.has_value());
+  EXPECT_EQ(mg.entry_point->card.id, NodeId{1});
+  ASSERT_EQ(back->peer_hints.size(), 1u);
+  EXPECT_EQ(back->peer_hints[0], st.peer_hints[0]);
+
+  // Restored passports must still verify against the restored keyring —
+  // that is the whole point of persisting the epoch history.
+  ppss::GroupKeyring keyring(mg.group);
+  for (const auto& [epoch, key] : mg.epochs) keyring.add_epoch(epoch, key);
+  EXPECT_TRUE(keyring.verify_passport(mg.passport));
+}
+
+TEST_F(StoreTest, RestoredIdentityKeypairStillSigns) {
+  const NodeState st = sample_state(202);
+  const auto back = NodeState::deserialize(st.serialize());
+  ASSERT_TRUE(back.has_value());
+  // Sign with the restored private key, verify with the ORIGINAL public
+  // key: all CRT components survived the round trip.
+  const Bytes msg = to_bytes("still me after kill -9");
+  const Bytes sig = crypto::rsa_sign(back->identity, msg);
+  EXPECT_TRUE(crypto::rsa_verify(st.identity.pub, msg, sig));
+}
+
+TEST_F(StoreTest, NodeStateRejectsDamage) {
+  const NodeState st = sample_state(303);
+  const Bytes good = st.serialize();
+  DecodeError why = DecodeError::kNone;
+
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(NodeState::deserialize(bad_magic, &why).has_value());
+
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(NodeState::deserialize(trailing, &why).has_value());
+
+  Bytes truncated(good.begin(), good.begin() + static_cast<long>(good.size() / 2));
+  EXPECT_FALSE(NodeState::deserialize(truncated, &why).has_value());
+
+  EXPECT_FALSE(NodeState::deserialize(Bytes{}, &why).has_value());
+}
+
+// --- NodeStateStore: snapshot + journal over a directory. ---
+
+TEST_F(StoreTest, FreshDirectoryHasNoState) {
+  NodeStateStore store;
+  ASSERT_TRUE(store.open(dir + "/fresh")) << store.last_error();
+  EXPECT_FALSE(store.has_state());
+  EXPECT_EQ(store.journal_records_replayed(), 0u);
+}
+
+TEST_F(StoreTest, SnapshotCommitSurvivesReopen) {
+  {
+    NodeStateStore store;
+    ASSERT_TRUE(store.open(dir)) << store.last_error();
+    store.state() = sample_state(404);
+    ASSERT_TRUE(store.commit_snapshot()) << store.last_error();
+  }
+  NodeStateStore store;
+  ASSERT_TRUE(store.open(dir)) << store.last_error();
+  ASSERT_TRUE(store.has_state());
+  EXPECT_EQ(store.state().id, NodeId{42});
+  EXPECT_EQ(store.state().incarnation, 3u);
+  ASSERT_EQ(store.state().groups.size(), 2u);
+  EXPECT_EQ(store.journal_records_replayed(), 0u);
+}
+
+TEST_F(StoreTest, JournalRecordsReplayOverSnapshot) {
+  {
+    NodeStateStore store;
+    ASSERT_TRUE(store.open(dir)) << store.last_error();
+    store.state() = sample_state(505);
+    store.state().incarnation = 1;
+    ASSERT_TRUE(store.commit_snapshot());
+    // Post-snapshot deltas: a restart bump, a group update, fresh hints.
+    ASSERT_TRUE(store.record_incarnation(2)) << store.last_error();
+    StoredGroup g = store.state().groups[1];
+    g.epochs.emplace_back(3, store.state().identity.pub);
+    ASSERT_TRUE(store.record_group(g));
+    ASSERT_TRUE(store.record_peer_hints({pss::ContactCard{
+        NodeId{77}, Endpoint{(127u << 24) | 1, 7777}, true, kNilNode}}));
+  }
+  NodeStateStore store;
+  ASSERT_TRUE(store.open(dir)) << store.last_error();
+  ASSERT_TRUE(store.has_state());
+  EXPECT_EQ(store.journal_records_replayed(), 3u);
+  EXPECT_EQ(store.state().incarnation, 2u);
+  ASSERT_EQ(store.state().groups.size(), 2u);
+  EXPECT_EQ(store.state().groups[1].epochs.size(), 3u);
+  ASSERT_EQ(store.state().peer_hints.size(), 1u);
+  EXPECT_EQ(store.state().peer_hints[0].id, NodeId{77});
+
+  // A snapshot commit folds the journal in and resets it.
+  ASSERT_TRUE(store.commit_snapshot());
+  NodeStateStore reopened;
+  ASSERT_TRUE(reopened.open(dir));
+  EXPECT_EQ(reopened.journal_records_replayed(), 0u);
+  EXPECT_EQ(reopened.state().incarnation, 2u);
+}
+
+TEST_F(StoreTest, TornJournalTailIsTruncatedOnOpen) {
+  {
+    NodeStateStore store;
+    ASSERT_TRUE(store.open(dir));
+    store.state() = sample_state(606);
+    store.state().incarnation = 1;
+    ASSERT_TRUE(store.commit_snapshot());
+    ASSERT_TRUE(store.record_incarnation(2));
+    ASSERT_TRUE(store.record_incarnation(3));
+  }
+  // Crash mid-append: drop the last 3 bytes of the journal.
+  Bytes raw = file_bytes(dir + "/journal.bin");
+  ASSERT_GT(raw.size(), 3u);
+  write_bytes(dir + "/journal.bin", BytesView(raw.data(), raw.size() - 3));
+
+  NodeStateStore store;
+  ASSERT_TRUE(store.open(dir)) << store.last_error();
+  EXPECT_EQ(store.journal_records_replayed(), 1u);  // the bump to 2 survived
+  EXPECT_EQ(store.state().incarnation, 2u);
+  EXPECT_EQ(store.torn_tails_truncated(), 1u);
+}
+
+TEST_F(StoreTest, CorruptSnapshotIsReportedNotTrusted) {
+  {
+    NodeStateStore store;
+    ASSERT_TRUE(store.open(dir));
+    store.state() = sample_state(707);
+    ASSERT_TRUE(store.commit_snapshot());
+  }
+  // Structural damage is what open() can detect (there is no whole-file
+  // checksum on the snapshot): a truncated file and a clobbered magic.
+  const Bytes raw = file_bytes(dir + "/snapshot.bin");
+  write_bytes(dir + "/snapshot.bin", BytesView(raw.data(), raw.size() / 2));
+  {
+    NodeStateStore store;
+    EXPECT_FALSE(store.open(dir));
+    EXPECT_FALSE(store.last_error().empty());
+  }
+  Bytes bad_magic = raw;
+  bad_magic[0] ^= 0xff;
+  write_bytes(dir + "/snapshot.bin", bad_magic);
+  {
+    NodeStateStore store;
+    EXPECT_FALSE(store.open(dir));
+    EXPECT_FALSE(store.last_error().empty());
+  }
+}
+
+TEST_F(StoreTest, UpsertGroupReplacesById) {
+  NodeState st = sample_state(808);
+  StoredGroup replacement = st.groups[0];
+  replacement.is_leader = false;
+  replacement.group_key.reset();
+  st.upsert_group(replacement);
+  ASSERT_EQ(st.groups.size(), 2u);
+  EXPECT_FALSE(st.groups[0].is_leader);
+  EXPECT_FALSE(st.find_group(GroupId{7})->group_key.has_value());
+  StoredGroup novel;
+  novel.group = GroupId{99};
+  st.upsert_group(novel);
+  EXPECT_EQ(st.groups.size(), 3u);
+  EXPECT_NE(st.find_group(GroupId{99}), nullptr);
+  EXPECT_EQ(st.find_group(GroupId{1000}), nullptr);
+}
+
+}  // namespace
+}  // namespace whisper::store

@@ -1,8 +1,9 @@
 // whisper_localnet — boot a real WHISPER mesh on 127.0.0.1 and verify
-// end-to-end confidential delivery.
+// end-to-end confidential delivery, optionally under crash chaos.
 //
 //   whisper_localnet --nodes=10 [--timeout=60s] [--dir=DIR] [--keep-dir]
 //                    [--noded=PATH] [--seed=7] [--flight]
+//                    [--chaos=kill:0.3[,stop:1]]
 //
 // Forks N whisper_noded processes (one OS process per node, each with its
 // own UDP socket and epoll loop), wires them through a rendezvous
@@ -10,14 +11,34 @@
 // join -> group -> onion-send exchange (see whisper_noded for the file
 // protocol). Exit 0 iff all N delivered within the timeout.
 //
-// With --flight each node dumps its flight records to DIR/flight.I.jsonl,
-// ready for `whisper_trace summary|audit`.
+// --chaos turns the launcher into a crash supervisor (DESIGN.md §14.4).
+// Victim selection is deterministic from --seed; each spec value is a
+// count when >= 1, a fraction of the mesh when < 1 (the Byzantine fabric's
+// actor-selection idiom):
+//
+//   kill:F   after the mesh converges, SIGKILL F nodes, erase their
+//            delivery receipts, and restart each from its --state-dir with
+//            exponential backoff (250 ms * 2^attempt, capped at 5 s). The
+//            run passes only if every victim comes back as ITSELF — its
+//            rendezvous card byte-identical (same node id, key, port), its
+//            heartbeat incarnation bumped — and re-confirms delivery.
+//   stop:F   SIGSTOP F different nodes for a few seconds, then SIGCONT.
+//            The supervisor must flag them hung (pid alive, heartbeat
+//            seq frozen past the stall threshold) while stopped and see
+//            the heartbeat resume after SIGCONT: the liveness probe must
+//            tell a wedged process from a dead one.
+//
+// Chaos implies per-node state dirs (DIR/state.I) and --linger, so the
+// surviving mesh keeps serving while victims rejoin. Children that die
+// when the supervisor did not kill them fail the run, with the exit code
+// or signal named in the report.
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,6 +50,10 @@
 #include <unistd.h>
 
 namespace {
+
+volatile std::sig_atomic_t g_child_died = 0;
+
+void handle_sigchld(int) { g_child_died = 1; }
 
 std::string arg_string(int argc, char** argv, const std::string& key,
                        const std::string& fallback) {
@@ -67,6 +92,14 @@ bool file_exists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
 /// Default noded binary: next to this one.
 std::string sibling_noded(const char* argv0) {
   std::string self = argv0;
@@ -87,6 +120,98 @@ void print_log_tail(const std::string& path, int lines) {
   for (const auto& l : tail) std::fprintf(stderr, "    %s\n", l.c_str());
 }
 
+std::string exit_cause(int status) {
+  if (WIFEXITED(status)) return "exit " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    return "signal " + std::to_string(sig) + " (" + strsignal(sig) + ")";
+  }
+  return "status " + std::to_string(status);
+}
+
+/// splitmix64 — deterministic victim selection from --seed, no libs.
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// --chaos=kill:0.3,stop:1 — each value is a count when >= 1, a fraction
+/// of the mesh when < 1 (mirrors the fault fabric's actor selection).
+struct ChaosSpec {
+  double kill = 0.0;
+  double stop = 0.0;
+  bool enabled() const { return kill > 0.0 || stop > 0.0; }
+
+  static std::uint64_t resolve(double v, std::uint64_t nodes) {
+    if (v <= 0.0) return 0;
+    if (v >= 1.0) return static_cast<std::uint64_t>(v);
+    const auto n = static_cast<std::uint64_t>(v * static_cast<double>(nodes) + 0.5);
+    return n == 0 ? 1 : n;
+  }
+};
+
+bool parse_chaos(const std::string& spec, ChaosSpec* out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string kind = part.substr(0, colon);
+    const double value = std::strtod(part.c_str() + colon + 1, nullptr);
+    if (kind == "kill") {
+      out->kill = value;
+    } else if (kind == "stop") {
+      out->stop = value;
+    } else {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return out->enabled();
+}
+
+/// Parsed heartbeat file: "pid incarnation seq".
+struct Heartbeat {
+  long pid = 0;
+  unsigned incarnation = 0;
+  unsigned long long seq = 0;
+  bool ok = false;
+};
+
+Heartbeat read_heartbeat(const std::string& path) {
+  Heartbeat hb;
+  const std::string text = read_file(path);
+  hb.ok = std::sscanf(text.c_str(), "%ld %u %llu", &hb.pid, &hb.incarnation,
+                      &hb.seq) == 3;
+  return hb;
+}
+
+/// Everything the supervisor tracks about one node process.
+struct Child {
+  pid_t pid = -1;
+  /// Chaos bookkeeping.
+  bool kill_victim = false;
+  bool stop_victim = false;
+  bool stopped = false;       // currently SIGSTOP'd
+  bool expected_dead = false; // we sent SIGKILL; next reap is ours
+  int restarts = 0;
+  double restart_at = 0.0;    // 0 = no restart scheduled
+  std::string card_before;    // rendezvous card bytes before the kill
+  unsigned inc_before = 0;    // heartbeat incarnation before the kill
+  bool recovered = false;
+  bool hung_seen = false;     // liveness probe flagged a frozen heartbeat
+  bool resumed_seen = false;  // ...and saw it advance again after SIGCONT
+  /// Liveness probe state.
+  unsigned long long last_seq = 0;
+  double seq_changed_at = 0.0;
+  std::string death_cause;    // exit/signal description of last death
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +222,13 @@ int main(int argc, char** argv) {
   const bool keep_dir = arg_flag(argc, argv, "keep-dir");
   const bool flight = arg_flag(argc, argv, "flight");
   std::string noded = arg_string(argc, argv, "noded", sibling_noded(argv[0]));
+  ChaosSpec chaos;
+  const std::string chaos_arg = arg_string(argc, argv, "chaos", "");
+  if (!chaos_arg.empty() && !parse_chaos(chaos_arg, &chaos)) {
+    std::fprintf(stderr, "bad --chaos spec '%s' (want kill:F[,stop:F])\n",
+                 chaos_arg.c_str());
+    return 2;
+  }
   if (nodes < 2) {
     std::fprintf(stderr, "need --nodes >= 2\n");
     return 2;
@@ -118,21 +250,34 @@ int main(int argc, char** argv) {
   } else {
     ::mkdir(dir.c_str(), 0755);
   }
-  std::printf("localnet: %llu nodes, rendezvous %s, timeout %llus\n",
+  std::printf("localnet: %llu nodes, rendezvous %s, timeout %llus%s%s\n",
               (unsigned long long)nodes, dir.c_str(),
-              (unsigned long long)timeout_s);
+              (unsigned long long)timeout_s, chaos.enabled() ? ", chaos " : "",
+              chaos.enabled() ? chaos_arg.c_str() : "");
 
-  // Fork the mesh: one whisper_noded per node, logs to DIR/log.I.
-  std::vector<pid_t> pids(nodes + 1, -1);
-  for (std::uint64_t i = 1; i <= nodes; ++i) {
+  std::signal(SIGCHLD, handle_sigchld);  // prompt reaping: interrupts usleep
+
+  // Children must outlive both the convergence and the recovery window;
+  // the supervisor, not the node timeout, ends a chaos run.
+  const std::uint64_t child_timeout_s =
+      chaos.enabled() ? 2 * timeout_s + 15 : timeout_s;
+
+  std::vector<Child> children(nodes + 1);
+
+  // Fork one whisper_noded. Initial boot truncates DIR/log.I; a chaos
+  // restart appends, keeping the pre-crash tail for the report.
+  const auto spawn_node = [&](std::uint64_t i, bool restart) -> pid_t {
     const pid_t pid = ::fork();
     if (pid < 0) {
       std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
-      return 1;
+      return -1;
     }
     if (pid == 0) {
+      std::signal(SIGCHLD, SIG_DFL);
       const std::string log = dir + "/log." + std::to_string(i);
-      const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      const int fd = ::open(log.c_str(),
+                            O_WRONLY | O_CREAT | (restart ? O_APPEND : O_TRUNC),
+                            0644);
       if (fd >= 0) {
         ::dup2(fd, 1);
         ::dup2(fd, 2);
@@ -143,9 +288,13 @@ int main(int argc, char** argv) {
           "--dir=" + dir,
           "--id=" + std::to_string(i),
           "--nodes=" + std::to_string(nodes),
-          "--timeout=" + std::to_string(timeout_s),
+          "--timeout=" + std::to_string(child_timeout_s),
           "--seed=" + seed,
       };
+      if (chaos.enabled()) {
+        args.push_back("--state-dir=" + dir + "/state." + std::to_string(i));
+        args.push_back("--linger");
+      }
       if (flight) {
         args.push_back("--flight=" + dir + "/flight." + std::to_string(i) +
                        ".jsonl");
@@ -157,14 +306,60 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "execv %s: %s\n", noded.c_str(), std::strerror(errno));
       _exit(127);
     }
-    pids[i] = pid;
+    return pid;
+  };
+
+  for (std::uint64_t i = 1; i <= nodes; ++i) {
+    children[i].pid = spawn_node(i, /*restart=*/false);
+    if (children[i].pid < 0) return 1;
   }
 
-  // Wait for every delivered.I, watching for children that die early.
+  bool failed = false;
+
+  /// Reap every dead child. A death the supervisor caused (SIGKILL victim,
+  /// teardown) is expected; anything else fails the run unless the child
+  /// finished cleanly after delivering. Returns ids that died expectedly.
+  const auto reap = [&](bool teardown) {
+    g_child_died = 0;
+    int status = 0;
+    pid_t dead = 0;
+    while ((dead = ::waitpid(-1, &status, WNOHANG)) > 0) {
+      for (std::uint64_t i = 1; i <= nodes; ++i) {
+        Child& c = children[i];
+        if (c.pid != dead) continue;
+        c.pid = -1;
+        c.death_cause = exit_cause(status);
+        if (c.expected_dead || teardown) {
+          c.expected_dead = false;
+          break;
+        }
+        const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        const bool had_delivered =
+            file_exists(dir + "/delivered." + std::to_string(i));
+        if (!clean || !had_delivered) {
+          std::fprintf(stderr, "node %llu died unexpectedly: %s\n",
+                       (unsigned long long)i, c.death_cause.c_str());
+          if (chaos.enabled() && c.kill_victim && c.restarts > 0 &&
+              c.restarts < 5) {
+            // A restarted victim crashed again: back off exponentially and
+            // try once more rather than giving up on first stumble.
+            const double backoff = 0.25 * static_cast<double>(1 << c.restarts);
+            c.restart_at = now_s() + (backoff > 5.0 ? 5.0 : backoff);
+            std::fprintf(stderr, "  rescheduling restart #%d of node %llu\n",
+                         c.restarts + 1, (unsigned long long)i);
+          } else {
+            failed = true;
+          }
+        }
+        break;
+      }
+    }
+  };
+
+  // --- Phase 1: convergence — every node confirms delivery. ---
   const double deadline = now_s() + static_cast<double>(timeout_s);
   std::vector<bool> delivered(nodes + 1, false);
   std::uint64_t confirmed = 0;
-  bool failed = false;
   while (confirmed < nodes && now_s() < deadline && !failed) {
     for (std::uint64_t i = 1; i <= nodes; ++i) {
       if (!delivered[i] && file_exists(dir + "/delivered." + std::to_string(i))) {
@@ -175,64 +370,231 @@ int main(int argc, char** argv) {
                     (unsigned long long)i);
       }
     }
-    // A child exiting non-zero before its delivery confirms is a failure.
-    int status = 0;
-    const pid_t dead = ::waitpid(-1, &status, WNOHANG);
-    if (dead > 0) {
-      for (std::uint64_t i = 1; i <= nodes; ++i) {
-        if (pids[i] != dead) continue;
-        pids[i] = -1;
-        const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-        if (!ok && !delivered[i]) {
-          std::fprintf(stderr, "node %llu exited %d before delivering\n",
-                       (unsigned long long)i,
-                       WIFEXITED(status) ? WEXITSTATUS(status) : -1);
-          failed = true;
-        }
-      }
-    }
+    reap(/*teardown=*/false);
     ::usleep(100 * 1000);
   }
 
-  const bool success = confirmed == nodes;
+  bool success = confirmed == nodes;
   if (!success) {
     std::fprintf(stderr, "FAIL: %llu/%llu nodes delivered within %llus\n",
                  (unsigned long long)confirmed, (unsigned long long)nodes,
                  (unsigned long long)timeout_s);
     for (std::uint64_t i = 1; i <= nodes; ++i) {
       if (delivered[i]) continue;
-      std::fprintf(stderr, "  node %llu log tail:\n", (unsigned long long)i);
+      std::fprintf(stderr, "  node %llu (%s) log tail:\n", (unsigned long long)i,
+                   children[i].death_cause.empty() ? "running"
+                                                   : children[i].death_cause.c_str());
       print_log_tail(dir + "/log." + std::to_string(i), 5);
     }
   }
 
-  // Tear down: TERM, grace period, then KILL; reap everything.
+  // --- Phase 2: chaos — SIGKILL + restart, SIGSTOP + liveness probe. ---
+  if (success && chaos.enabled()) {
+    const std::uint64_t kill_n = ChaosSpec::resolve(chaos.kill, nodes);
+    const std::uint64_t stop_n = ChaosSpec::resolve(chaos.stop, nodes);
+    // Deterministic victim draw: shuffle 1..N by seeded splitmix, take
+    // kill victims then stop victims from the front (disjoint sets).
+    std::uint64_t prng = std::strtoull(seed.c_str(), nullptr, 10) ^ 0xc4405;
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t i = 1; i <= nodes; ++i) ids.push_back(i);
+    for (std::size_t i = ids.size(); i > 1; --i) {
+      std::swap(ids[i - 1], ids[splitmix64(prng) % i]);
+    }
+    if (kill_n + stop_n > nodes) {
+      std::fprintf(stderr, "chaos spec selects more victims than nodes\n");
+      return 2;
+    }
+
+    const double chaos_start = now_s();
+    const double stall_threshold = 3.0;   // hb frozen longer than this = hung
+    const double cont_at = chaos_start + 5.0;
+    bool cont_sent = false;
+
+    for (std::uint64_t k = 0; k < kill_n; ++k) {
+      const std::uint64_t v = ids[k];
+      Child& c = children[v];
+      c.kill_victim = true;
+      c.card_before = read_file(dir + "/card." + std::to_string(v));
+      c.inc_before = read_heartbeat(dir + "/hb." + std::to_string(v)).incarnation;
+      c.expected_dead = true;
+      ::kill(c.pid, SIGKILL);
+      // The receipt must be re-earned by the restarted incarnation.
+      ::unlink((dir + "/delivered." + std::to_string(v)).c_str());
+      c.restarts = 1;
+      c.restart_at = chaos_start + 0.25;
+      std::printf("chaos: SIGKILL node %llu (pid %d), restart in 250 ms\n",
+                  (unsigned long long)v, (int)c.pid);
+    }
+    for (std::uint64_t k = 0; k < stop_n; ++k) {
+      const std::uint64_t v = ids[kill_n + k];
+      Child& c = children[v];
+      c.stop_victim = true;
+      c.stopped = true;
+      ::kill(c.pid, SIGSTOP);
+      std::printf("chaos: SIGSTOP node %llu (pid %d), SIGCONT in 5 s\n",
+                  (unsigned long long)v, (int)c.pid);
+    }
+
+    // Recovery window: a fresh `timeout_s`, independent of convergence.
+    const double recover_deadline = now_s() + static_cast<double>(timeout_s);
+    while (now_s() < recover_deadline && !failed) {
+      const double t = now_s();
+      reap(/*teardown=*/false);
+
+      // Restart due victims from their state dirs.
+      for (std::uint64_t i = 1; i <= nodes; ++i) {
+        Child& c = children[i];
+        if (c.restart_at != 0.0 && t >= c.restart_at && c.pid < 0) {
+          c.restart_at = 0.0;
+          c.pid = spawn_node(i, /*restart=*/true);
+          std::printf("chaos: node %llu restarting from %s/state.%llu "
+                      "(attempt %d)\n",
+                      (unsigned long long)i, dir.c_str(), (unsigned long long)i,
+                      c.restarts);
+        }
+      }
+
+      // SIGCONT the stopped set once their stall has lasted long enough
+      // for the probe to have seen it.
+      if (!cont_sent && t >= cont_at) {
+        cont_sent = true;
+        for (std::uint64_t i = 1; i <= nodes; ++i) {
+          Child& c = children[i];
+          if (c.stop_victim && c.stopped) {
+            c.stopped = false;
+            ::kill(c.pid, SIGCONT);
+            std::printf("chaos: SIGCONT node %llu\n", (unsigned long long)i);
+          }
+        }
+      }
+
+      // Liveness probe: pid alive + heartbeat seq frozen = hung, not dead.
+      for (std::uint64_t i = 1; i <= nodes; ++i) {
+        Child& c = children[i];
+        if (c.pid < 0) continue;
+        const Heartbeat hb = read_heartbeat(dir + "/hb." + std::to_string(i));
+        if (!hb.ok) continue;
+        if (hb.seq != c.last_seq) {
+          if (c.stop_victim && c.hung_seen && !c.resumed_seen) {
+            c.resumed_seen = true;
+            std::printf("chaos: node %llu heartbeat resumed after SIGCONT\n",
+                        (unsigned long long)i);
+          }
+          c.last_seq = hb.seq;
+          c.seq_changed_at = t;
+          continue;
+        }
+        if (c.seq_changed_at != 0.0 && t - c.seq_changed_at > stall_threshold &&
+            ::kill(c.pid, 0) == 0 && !c.hung_seen) {
+          c.hung_seen = true;
+          std::printf("chaos: node %llu is HUNG (pid %d alive, heartbeat "
+                      "frozen %.1fs)\n",
+                      (unsigned long long)i, (int)c.pid, t - c.seq_changed_at);
+        }
+      }
+
+      // Recovery gate per kill victim: delivery re-confirmed AND the node
+      // came back as itself (card byte-identical, incarnation bumped).
+      bool all_recovered = true;
+      for (std::uint64_t i = 1; i <= nodes; ++i) {
+        Child& c = children[i];
+        if (c.kill_victim && !c.recovered) {
+          if (!file_exists(dir + "/delivered." + std::to_string(i))) {
+            all_recovered = false;
+            continue;
+          }
+          const std::string card_now = read_file(dir + "/card." + std::to_string(i));
+          const Heartbeat hb = read_heartbeat(dir + "/hb." + std::to_string(i));
+          if (card_now != c.card_before) {
+            std::fprintf(stderr,
+                         "chaos FAIL: node %llu came back with a different "
+                         "identity card\n",
+                         (unsigned long long)i);
+            failed = true;
+          } else if (!hb.ok || hb.incarnation <= c.inc_before) {
+            std::fprintf(stderr,
+                         "chaos FAIL: node %llu did not bump its incarnation "
+                         "(%u -> %u)\n",
+                         (unsigned long long)i, c.inc_before,
+                         hb.ok ? hb.incarnation : 0);
+            failed = true;
+          } else {
+            c.recovered = true;
+            std::printf("chaos: node %llu recovered — identity intact, "
+                        "incarnation %u -> %u, delivery re-confirmed\n",
+                        (unsigned long long)i, c.inc_before, hb.incarnation);
+          }
+        }
+        if (c.kill_victim && !c.recovered) all_recovered = false;
+        if (c.stop_victim && (!c.hung_seen || !c.resumed_seen)) {
+          all_recovered = false;
+        }
+      }
+      if (all_recovered) break;
+      ::usleep(100 * 1000);
+    }
+
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      const Child& c = children[i];
+      if (c.kill_victim && !c.recovered) {
+        std::fprintf(stderr,
+                     "chaos FAIL: node %llu never re-confirmed delivery "
+                     "(last death: %s); log tail:\n",
+                     (unsigned long long)i,
+                     c.death_cause.empty() ? "n/a" : c.death_cause.c_str());
+        print_log_tail(dir + "/log." + std::to_string(i), 8);
+        failed = true;
+      }
+      if (c.stop_victim && !c.hung_seen) {
+        std::fprintf(stderr,
+                     "chaos FAIL: liveness probe never flagged stopped node "
+                     "%llu as hung\n",
+                     (unsigned long long)i);
+        failed = true;
+      }
+      if (c.stop_victim && c.hung_seen && !c.resumed_seen) {
+        std::fprintf(stderr,
+                     "chaos FAIL: node %llu heartbeat did not resume after "
+                     "SIGCONT\n",
+                     (unsigned long long)i);
+        failed = true;
+      }
+    }
+    success = !failed;
+  }
+
+  // Tear down: CONT (a stopped child cannot die of TERM), TERM, grace
+  // period, then KILL; reap everything.
   for (std::uint64_t i = 1; i <= nodes; ++i) {
-    if (pids[i] > 0) ::kill(pids[i], SIGTERM);
+    if (children[i].pid > 0) {
+      ::kill(children[i].pid, SIGCONT);
+      ::kill(children[i].pid, SIGTERM);
+    }
   }
   const double kill_at = now_s() + 3.0;
   std::uint64_t live = 0;
-  for (std::uint64_t i = 1; i <= nodes; ++i) live += pids[i] > 0 ? 1 : 0;
+  for (std::uint64_t i = 1; i <= nodes; ++i) live += children[i].pid > 0 ? 1 : 0;
   while (live > 0) {
-    int status = 0;
-    const pid_t dead = ::waitpid(-1, &status, WNOHANG);
-    if (dead > 0) {
-      for (std::uint64_t i = 1; i <= nodes; ++i) {
-        if (pids[i] == dead) pids[i] = -1;
-      }
-      --live;
-      continue;
-    }
+    reap(/*teardown=*/true);
+    live = 0;
+    for (std::uint64_t i = 1; i <= nodes; ++i) live += children[i].pid > 0 ? 1 : 0;
+    if (live == 0) break;
     if (now_s() > kill_at) {
       for (std::uint64_t i = 1; i <= nodes; ++i) {
-        if (pids[i] > 0) ::kill(pids[i], SIGKILL);
+        if (children[i].pid > 0) ::kill(children[i].pid, SIGKILL);
       }
     }
     ::usleep(50 * 1000);
   }
 
   if (success) {
-    std::printf("OK: all %llu nodes delivered\n", (unsigned long long)nodes);
+    if (chaos.enabled()) {
+      std::printf("OK: all %llu nodes delivered; chaos victims rejoined with "
+                  "their original identities\n",
+                  (unsigned long long)nodes);
+    } else {
+      std::printf("OK: all %llu nodes delivered\n", (unsigned long long)nodes);
+    }
     if (flight) {
       std::printf("flight records: %s/flight.<id>.jsonl — try:\n"
                   "  whisper_trace summary %s/flight.1.jsonl\n",

@@ -3,6 +3,7 @@
 //
 //   whisper_noded --dir=RENDEZVOUS --id=I --nodes=N [--timeout=60]
 //                 [--seed=7] [--group=1] [--flight=out.jsonl]
+//                 [--state-dir=DIR] [--linger]
 //
 // Nodes coordinate through the rendezvous directory (shared filesystem —
 // the localhost stand-in for a bootstrap service):
@@ -14,12 +15,24 @@
 //   delivered.I  written by node I when its end of the exchange succeeded:
 //                members after receiving the leader's onion-routed pong,
 //                the leader after ponging every member
+//   hb.I         heartbeat, rewritten every 500 ms: "pid inc seq" — the
+//                chaos supervisor's liveness probe (a live pid with a
+//                stale heartbeat is hung, not dead)
 //
 // The run: everyone boots and gossips; the leader founds the group and
 // writes invitations; members join and send an onion-routed "ping I" to
 // the leader, retrying until the leader's "pong I" arrives. Exit 0 iff
 // this node's delivered.I was written before the timeout. All file polling
 // runs on backend timers — the same wheel the protocol stack uses.
+//
+// Crash recovery (DESIGN.md §14): with --state-dir the node persists its
+// identity keys, bound endpoint, incarnation and group membership through
+// a snapshot+journal store. A restart after kill -9 restores the same node
+// id, keys and port, bumps the incarnation (journaled before the first
+// frame goes out), resumes its groups from the store, and — as a member —
+// re-sends its join request to re-validate its passport with the group.
+// --linger keeps the node serving after its own delivery succeeded, so a
+// mesh under chaos always has live peers to rejoin through.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,8 +43,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
+#include "store/state.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/flight.hpp"
 #include "whisper/keypool.hpp"
@@ -55,6 +71,14 @@ std::string arg_string(int argc, char** argv, const std::string& key,
     if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
   }
   return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 std::uint64_t arg_u64(int argc, char** argv, const std::string& key,
@@ -83,14 +107,18 @@ std::optional<Bytes> read_hex_file(const std::string& path) {
 }
 
 /// Atomic publish: peers only ever observe complete files.
-bool write_hex_file(const std::string& path, BytesView bytes) {
+bool write_text_file_atomic(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp);
     if (!out) return false;
-    out << to_hex(bytes) << "\n";
+    out << text;
   }
   return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool write_hex_file(const std::string& path, BytesView bytes) {
+  return write_text_file_atomic(path, to_hex(bytes) + "\n");
 }
 
 struct Options {
@@ -101,7 +129,19 @@ struct Options {
   std::uint64_t seed = 7;
   std::uint64_t group = 1;
   std::string flight_path;
+  std::string state_dir;
+  bool linger = false;
 };
+
+/// Epoch history in the form Ppss::resume and the store share.
+std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>> collect_epochs(
+    const ppss::GroupKeyring& keyring) {
+  std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>> out;
+  for (std::uint64_t e = 1; e <= keyring.latest_epoch(); ++e) {
+    if (auto key = keyring.key_for(e)) out.emplace_back(e, *key);
+  }
+  return out;
+}
 
 /// The node's rendezvous-driven state machine, advanced by a 50 ms tick.
 struct Orchestrator {
@@ -109,13 +149,19 @@ struct Orchestrator {
   net::UdpBackend& backend;
   WhisperNode& node;
   bool is_leader;
+  store::NodeStateStore* store = nullptr;  // null without --state-dir
 
   ppss::Ppss* group = nullptr;
-  std::optional<wcl::RemotePeer> leader_peer;
-  std::unordered_set<std::uint64_t> ponged;  // leader: members answered
+  std::optional<wcl::RemotePeer> leader_peer = std::nullopt;
+  std::optional<ppss::Accreditation> accreditation = std::nullopt;
+  std::optional<crypto::RsaKeyPair> group_secret = std::nullopt;  // leader only
+  std::unordered_set<std::uint64_t> ponged = {};  // leader: members answered
   net::Time next_ping_at = 0;
+  bool announced_join = false;
+  bool persisted_membership = false;
   bool done = false;
   int exit_code = 1;
+  std::uint64_t hb_seq = 0;
 
   std::string path(const std::string& base) const { return opt.dir + "/" + base; }
 
@@ -123,28 +169,101 @@ struct Orchestrator {
     if (done) return;
     done = true;
     exit_code = code;
+    if (opt.linger) return;  // keep serving: chaos peers rejoin through us
     // Linger briefly so in-flight ACKs towards peers still flow, then stop.
     backend.schedule_after(500 * net::kMillisecond,
                            [this] { backend.request_stop(); });
+  }
+
+  /// Heartbeat: "pid incarnation seq", rewritten atomically. The supervisor
+  /// reads pid to track the process, incarnation to verify a restart
+  /// actually bumped the epoch, and seq to tell hung from alive.
+  void heartbeat() {
+    ++hb_seq;
+    write_text_file_atomic(
+        path("hb." + std::to_string(opt.id)),
+        std::to_string(::getpid()) + " " + std::to_string(node.transport().incarnation()) +
+            " " + std::to_string(hb_seq) + "\n");
+    backend.schedule_after(500 * net::kMillisecond, [this] { heartbeat(); });
+  }
+
+  /// Journal the current group membership (leader secret included).
+  void persist_group() {
+    if (store == nullptr || group == nullptr) return;
+    store::StoredGroup sg;
+    sg.group = GroupId{opt.group};
+    sg.is_leader = is_leader;
+    sg.epochs = collect_epochs(group->keyring());
+    sg.passport = group->passport();
+    if (is_leader) sg.group_key = group_secret;
+    sg.accreditation = accreditation;
+    sg.entry_point = leader_peer;
+    store->record_group(sg);
+  }
+
+  /// Boot-from-state: re-instantiate persisted group membership. Leaders
+  /// come back with the group key; members resume their passport and then
+  /// re-join with the stored accreditation — the proof-of-life /
+  /// passport-re-validation pass the group demands of a returning member.
+  void resume_from_store() {
+    if (store == nullptr || !store->has_state()) return;
+    store::StoredGroup* sg = store->state().find_group(GroupId{opt.group});
+    if (sg == nullptr) return;
+    if (is_leader && sg->group_key) {
+      group_secret = sg->group_key;
+      group = &node.resume_group(sg->group, sg->epochs, sg->passport, sg->group_key);
+      if (!group->is_leader()) {
+        // Inconsistent store (key does not match the recorded epochs):
+        // fall back to founding fresh via the normal tick path.
+        std::fprintf(stderr, "[noded %llu] stored group key rejected, refounding\n",
+                     (unsigned long long)opt.id);
+        group = nullptr;
+        return;
+      }
+      group->on_app_message = [this](const wcl::RemotePeer& from, BytesView p) {
+        leader_on_ping(from, p);
+      };
+      std::printf("[noded %llu] group leadership resumed from state (epoch %llu)\n",
+                  (unsigned long long)opt.id,
+                  (unsigned long long)group->leader_epoch());
+      return;
+    }
+    if (!is_leader) {
+      accreditation = sg->accreditation;
+      leader_peer = sg->entry_point;
+      group = &node.resume_group(sg->group, sg->epochs, sg->passport);
+      group->on_app_message = [this](const wcl::RemotePeer&, BytesView p) {
+        member_on_pong(p);
+      };
+      std::printf("[noded %llu] membership resumed from state (passport %s)\n",
+                  (unsigned long long)opt.id,
+                  group->joined() ? "restored" : "pending re-join");
+      // Re-validate with the group even when the stored passport verified:
+      // the join response refreshes the key history and view, and tells the
+      // leader this incarnation is alive.
+      if (accreditation && leader_peer) group->join(*accreditation, *leader_peer);
+    }
   }
 
   // --- Leader side. ---
 
   void leader_found_group() {
     crypto::Drbg drbg(opt.seed ^ 0x6e0ded);
-    group = &node.create_group(GroupId{opt.group},
-                               crypto::RsaKeyPair::generate(512, drbg));
+    crypto::RsaKeyPair group_key = crypto::RsaKeyPair::generate(512, drbg);
+    group_secret = group_key;
+    group = &node.create_group(GroupId{opt.group}, std::move(group_key));
     group->on_app_message = [this](const wcl::RemotePeer& from, BytesView p) {
       leader_on_ping(from, p);
     };
     for (std::uint64_t i = 2; i <= opt.nodes; ++i) {
-      auto accreditation = group->invite(NodeId{i});
-      if (!accreditation) continue;
+      auto invite = group->invite(NodeId{i});
+      if (!invite) continue;
       Writer w;
-      accreditation->serialize(w);
+      invite->serialize(w);
       group->self_descriptor().serialize(w);
       write_hex_file(path("invite." + std::to_string(i)), w.data());
     }
+    persist_group();
     std::printf("[noded %llu] group founded, %llu invitations published\n",
                 (unsigned long long)opt.id, (unsigned long long)(opt.nodes - 1));
   }
@@ -173,35 +292,45 @@ struct Orchestrator {
     auto bytes = read_hex_file(path("invite." + std::to_string(opt.id)));
     if (!bytes) return;
     Reader r(*bytes);
-    auto accreditation = ppss::Accreditation::deserialize(r);
+    auto invite = ppss::Accreditation::deserialize(r);
     auto leader = wcl::RemotePeer::deserialize(r);
-    if (!accreditation || !leader || !r.expect_done()) {
+    if (!invite || !leader || !r.expect_done()) {
       std::fprintf(stderr, "[noded %llu] malformed invitation\n",
                    (unsigned long long)opt.id);
       return;
     }
+    accreditation = *invite;
     leader_peer = *leader;
-    group = &node.join_group(GroupId{opt.group}, *accreditation, *leader);
+    group = &node.join_group(GroupId{opt.group}, *invite, *leader);
     group->on_app_message = [this](const wcl::RemotePeer&, BytesView p) {
       member_on_pong(p);
     };
+    // Journal the invitation immediately: a crash between here and the join
+    // response must not lose the ability to rejoin.
+    persist_group();
   }
 
   void member_tick() {
     member_try_join();
-    if (group == nullptr || done) return;
+    if (group == nullptr) return;
     if (!group->joined()) return;
-    if (backend.now() < next_ping_at) return;
-    // Announce the completed join once, then ping until ponged.
-    const std::string member_file = path("member." + std::to_string(opt.id));
-    if (next_ping_at == 0) {
-      write_hex_file(member_file, to_bytes("joined"));
+    if (!announced_join) {
+      announced_join = true;
+      write_hex_file(path("member." + std::to_string(opt.id)), to_bytes("joined"));
       std::printf("[noded %llu] joined group, pinging leader\n",
                   (unsigned long long)opt.id);
     }
+    if (!persisted_membership && !group->passport().signature.empty()) {
+      persisted_membership = true;
+      persist_group();  // now with the granted passport + key history
+    }
+    if (done && !opt.linger) return;
+    if (backend.now() < next_ping_at) return;
+    // Ping until ponged; lingering nodes keep a slow liveness ping going so
+    // a restarted leader can re-collect the full roster.
     group->send_app_to(*leader_peer,
                        to_bytes("ping " + std::to_string(opt.id)));
-    next_ping_at = backend.now() + net::kSecond;
+    next_ping_at = backend.now() + (done ? 2 * net::kSecond : net::kSecond);
   }
 
   void member_on_pong(BytesView payload) {
@@ -227,10 +356,13 @@ int main(int argc, char** argv) {
   opt.seed = arg_u64(argc, argv, "seed", 7);
   opt.group = arg_u64(argc, argv, "group", 1);
   opt.flight_path = arg_string(argc, argv, "flight", "");
+  opt.state_dir = arg_string(argc, argv, "state-dir", "");
+  opt.linger = arg_flag(argc, argv, "linger");
   if (opt.dir.empty() || opt.id == 0 || opt.nodes < 2 || opt.id > opt.nodes) {
     std::fprintf(stderr,
                  "usage: whisper_noded --dir=DIR --id=I --nodes=N "
                  "[--timeout=60] [--seed=7] [--group=1] [--flight=out.jsonl]\n"
+                 "       [--state-dir=DIR] [--linger]\n"
                  "ids are 1..N; id 1 is the group leader\n");
     return 2;
   }
@@ -244,6 +376,29 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_term);
   std::signal(SIGINT, handle_term);
 
+  // Durable state: open before anything touches the network. A boot from
+  // existing state bumps the incarnation and journals the bump (fsync'd)
+  // BEFORE the first frame goes out — peers must never see two lives of
+  // this node under one epoch.
+  store::NodeStateStore store;
+  store::NodeStateStore* storep = nullptr;
+  bool restored = false;
+  if (!opt.state_dir.empty()) {
+    if (!store.open(opt.state_dir)) {
+      std::fprintf(stderr, "[noded %llu] state store: %s\n",
+                   (unsigned long long)opt.id, store.last_error().c_str());
+      return 1;
+    }
+    storep = &store;
+    restored = store.has_state();
+    if (restored && store.state().id != NodeId{opt.id}) {
+      std::fprintf(stderr, "[noded %llu] state dir belongs to node %llu\n",
+                   (unsigned long long)opt.id,
+                   (unsigned long long)store.state().id.value);
+      return 1;
+    }
+  }
+
   telemetry::Registry registry;
   telemetry::Tracer tracer;
   telemetry::FlightRecorder flight;
@@ -252,23 +407,75 @@ int main(int argc, char** argv) {
   flight.set_enabled(!opt.flight_path.empty());
   backend.set_flight(&flight);
 
-  const auto ep = backend.reserve_endpoint();
-  if (!ep) {
-    std::fprintf(stderr, "bind: %s\n", backend.last_error().c_str());
-    return 1;
+  Endpoint ep;
+  if (restored) {
+    store::NodeState& st = store.state();
+    st.incarnation += 1;
+    if (!store.record_incarnation(st.incarnation)) {
+      std::fprintf(stderr, "[noded %llu] incarnation journal: %s\n",
+                   (unsigned long long)opt.id, store.last_error().c_str());
+      return 1;
+    }
+    // Re-bind the persisted port so peers' contact cards stay valid. The
+    // placeholder handler is replaced when the transport attaches.
+    backend.attach(st.endpoint, [](const net::Datagram&) {});
+    if (backend.attached(st.endpoint)) {
+      ep = st.endpoint;
+    } else {
+      // Port still held (e.g. a SIGSTOP'd predecessor): take a fresh one
+      // and persist it; peers relearn the address through PSS gossip.
+      const auto fresh = backend.reserve_endpoint();
+      if (!fresh) {
+        std::fprintf(stderr, "bind: %s\n", backend.last_error().c_str());
+        return 1;
+      }
+      ep = *fresh;
+      st.endpoint = ep;
+      store.commit_snapshot();
+      std::fprintf(stderr, "[noded %llu] stored port unavailable, rebound to %s\n",
+                   (unsigned long long)opt.id, ep.str().c_str());
+    }
+    std::printf("[noded %llu] restart from state: incarnation %u at %s\n",
+                (unsigned long long)opt.id, st.incarnation, ep.str().c_str());
+  } else {
+    const auto fresh = backend.reserve_endpoint();
+    if (!fresh) {
+      std::fprintf(stderr, "bind: %s\n", backend.last_error().c_str());
+      return 1;
+    }
+    ep = *fresh;
+    if (storep != nullptr) {
+      store::NodeState& st = store.state();
+      st.id = NodeId{opt.id};
+      st.is_public = true;
+      st.endpoint = ep;
+      st.incarnation = 1;
+      st.identity = pooled_keypair(opt.id, realtime_node_config().rsa_bits);
+      if (!store.commit_snapshot()) {
+        std::fprintf(stderr, "[noded %llu] snapshot: %s\n",
+                     (unsigned long long)opt.id, store.last_error().c_str());
+        return 1;
+      }
+    }
   }
 
+  NodeConfig cfg = realtime_node_config();
+  // Identity: from the store when persistent (identical keys across
+  // restarts — that IS the recovery claim), from the pool otherwise.
+  const crypto::RsaKeyPair identity =
+      storep != nullptr ? store.state().identity : pooled_keypair(opt.id, cfg.rsa_bits);
+  cfg.incarnation = storep != nullptr ? store.state().incarnation : 0;
+
   Rng rng(opt.seed ^ (opt.id * 0x9e3779b97f4a7c15ull));
-  WhisperNode node(backend, backend, NodeId{opt.id}, *ep, /*is_public=*/true,
-                   pooled_keypair(opt.id, realtime_node_config().rsa_bits),
-                   realtime_node_config(), rng.fork(),
+  WhisperNode node(backend, backend, NodeId{opt.id}, ep, /*is_public=*/true,
+                   identity, cfg, rng.fork(),
                    telemetry::Sinks{&registry, &tracer, &flight});
   flight.set_node_resolver([ep, &opt](Endpoint e) {
-    return e == *ep ? opt.id : 0ull;
+    return e == ep ? opt.id : 0ull;
   });
 
-  Orchestrator orch{opt, backend, node, /*is_leader=*/opt.id == 1,
-                    nullptr, {}, {}, 0, false, 1};
+  Orchestrator orch{opt, backend, node, /*is_leader=*/opt.id == 1, storep};
+  orch.heartbeat();
 
   // 1. Publish our card, then wait for the full roster before starting:
   //    everyone boots with every peer in reach, like the testbed's
@@ -297,9 +504,13 @@ int main(int argc, char** argv) {
     if (bootstrap.size() == opt.nodes - 1) {
       node.start(bootstrap);
       started = true;
-      std::printf("[noded %llu] up at %s, %zu bootstrap contacts\n",
-                  (unsigned long long)opt.id, ep->str().c_str(),
-                  bootstrap.size());
+      if (storep != nullptr) store.record_peer_hints(bootstrap);
+      // Re-announce into PSS happened via start(); now resurrect group
+      // membership and (members) kick off the passport re-validation.
+      orch.resume_from_store();
+      std::printf("[noded %llu] up at %s, %zu bootstrap contacts%s\n",
+                  (unsigned long long)opt.id, ep.str().c_str(), bootstrap.size(),
+                  restored ? " (recovered)" : "");
       return;
     }
     backend.schedule_after(50 * net::kMillisecond, boot_poll);
