@@ -1,0 +1,30 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace whisper {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace whisper

@@ -19,12 +19,46 @@ namespace whisper::net {
 namespace {
 
 // Frame header on every UDP datagram: magic "WP", version, proto tag.
+// Version 1 = bare header; version 2 = header + 27-byte TraceContext
+// extension (trace_wire opt-in). Receivers accept both.
 constexpr std::uint8_t kMagic0 = 0x57;  // 'W'
 constexpr std::uint8_t kMagic1 = 0x50;  // 'P'
 constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersionTraced = 2;
 constexpr std::size_t kHeaderLen = 4;
+constexpr std::size_t kTraceCtxLen = 8 + 8 + 4 + 4 + 2 + 1;  // 27
 
 constexpr int kMaxEpollEvents = 64;
+
+void put_le(Bytes& out, std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_le(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void append_trace_ctx(Bytes& frame, const telemetry::TraceContext& ctx) {
+  put_le(frame, ctx.root, 8);
+  put_le(frame, ctx.trace_id, 8);
+  put_le(frame, ctx.hop, 4);
+  put_le(frame, ctx.seq, 4);
+  put_le(frame, ctx.attempt, 2);
+  frame.push_back(static_cast<std::uint8_t>(ctx.layer));
+}
+
+telemetry::TraceContext parse_trace_ctx(const std::uint8_t* p) {
+  telemetry::TraceContext ctx;
+  ctx.root = get_le(p, 8);
+  ctx.trace_id = get_le(p + 8, 8);
+  ctx.hop = static_cast<std::uint32_t>(get_le(p + 16, 4));
+  ctx.seq = static_cast<std::uint32_t>(get_le(p + 20, 4));
+  ctx.attempt = static_cast<std::uint16_t>(get_le(p + 24, 2));
+  ctx.layer = static_cast<telemetry::TraceLayer>(p[26]);
+  return ctx;
+}
 
 std::uint64_t monotonic_ns() {
   timespec ts{};
@@ -48,7 +82,8 @@ Endpoint from_sockaddr(const sockaddr_in& sa) {
 }  // namespace
 
 UdpBackend::UdpBackend(Config config) : config_(config) {
-  epoch_ns_ = monotonic_ns();
+  epoch_ns_ = config_.epoch_ns >= 0 ? static_cast<std::uint64_t>(config_.epoch_ns)
+                                    : monotonic_ns();
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) last_error_ = std::string("epoll_create1: ") + std::strerror(errno);
 }
@@ -140,13 +175,14 @@ bool UdpBackend::attached(Endpoint internal_ep) const {
 }
 
 void UdpBackend::emit(int fd, Endpoint src, Endpoint dst, const Bytes& payload,
-                      Proto proto) {
+                      Proto proto, const telemetry::TraceContext* trace) {
   Bytes frame;
-  frame.reserve(kHeaderLen + payload.size());
+  frame.reserve(kHeaderLen + (trace != nullptr ? kTraceCtxLen : 0) + payload.size());
   frame.push_back(kMagic0);
   frame.push_back(kMagic1);
-  frame.push_back(kVersion);
+  frame.push_back(trace != nullptr ? kVersionTraced : kVersion);
   frame.push_back(static_cast<std::uint8_t>(proto));
+  if (trace != nullptr) append_trace_ctx(frame, *trace);
   frame.insert(frame.end(), payload.begin(), payload.end());
 
   if (config_.send_error_hook) {
@@ -172,6 +208,7 @@ void UdpBackend::emit(int fd, Endpoint src, Endpoint dst, const Bytes& payload,
     return;
   }
   bytes_sent_ += static_cast<std::uint64_t>(n);
+  if (config_.frame_tap) config_.frame_tap(BytesView(frame), /*outbound=*/true);
   (void)src;
 }
 
@@ -201,8 +238,10 @@ bool UdpBackend::send(Endpoint internal_src, Endpoint public_dst, Bytes payload,
   for (std::size_t i = 0; i < copies; ++i) {
     if (i > 0) ++packets_duplicated_;
     if (tracing_flight && dgram.trace.valid()) {
-      // The context cannot travel inside the datagram (zero wire bytes), so
-      // on this backend a flight records the sender's side of each hop.
+      // Without trace_wire the context cannot travel inside the datagram
+      // (zero wire bytes), so this backend records only the sender's side
+      // of each hop; with trace_wire the same context rides the frame and
+      // the receiving process logs the paired wire_in.
       dgram.trace.seq = flight_->next_wire_seq();
       const std::uint64_t src_node = flight_->node_of(internal_src);
       flight_->wire_out(dgram.trace, src_node, now(), extra_delay);
@@ -211,20 +250,25 @@ bool UdpBackend::send(Endpoint internal_src, Endpoint public_dst, Bytes payload,
                             dgram.trace.trace_id ^ (static_cast<std::uint64_t>(dgram.trace.seq) << 32));
       }
     }
+    const bool carry_ctx =
+        config_.trace_wire && tracing_flight && dgram.trace.valid();
     if (extra_delay == 0) {
-      emit(fd, internal_src, public_dst, dgram.payload, proto);
+      emit(fd, internal_src, public_dst, dgram.payload, proto,
+           carry_ctx ? &dgram.trace : nullptr);
     } else {
       // Fault-injected delay: hold the bytes on the wheel, then emit. The
       // socket may be gone by then (detach); that drop is the same loss the
       // real network would produce.
       schedule_after(extra_delay, [this, internal_src, public_dst,
-                                   payload = dgram.payload, proto] {
+                                   payload = dgram.payload, proto, carry_ctx,
+                                   trace = dgram.trace] {
         auto sit = sockets_.find(internal_src);
         if (sit == sockets_.end()) {
           count_drop(DropReason::kLoss);
           return;
         }
-        emit(sit->second.fd, internal_src, public_dst, payload, proto);
+        emit(sit->second.fd, internal_src, public_dst, payload, proto,
+             carry_ctx ? &trace : nullptr);
       });
     }
   }
@@ -258,6 +302,17 @@ void UdpBackend::deliver(SocketState& sock, Datagram dgram) {
     return;
   }
   ++packets_delivered_;
+  // A context parsed off a version-2 frame (trace_wire sender) pairs the
+  // remote wire_out with a local wire_in and arms the ambient context —
+  // exactly what the sim network does on delivery — so the causal chain
+  // continues across the process boundary.
+  if (flight_ != nullptr && flight_->enabled() && dgram.trace.valid()) {
+    const std::uint64_t dst_node = flight_->node_of(sock.ep);
+    flight_->wire_in(dgram.trace, dst_node, now());
+    telemetry::ScopedTraceContext guard(flight_, dgram.trace.next_hop());
+    sock.handler(dgram);
+    return;
+  }
   sock.handler(dgram);
 }
 
@@ -280,18 +335,35 @@ void UdpBackend::drain_socket(int fd) {
     }
     bytes_received_ += static_cast<std::uint64_t>(n);
     if (static_cast<std::size_t>(n) < kHeaderLen || buf[0] != kMagic0 ||
-        buf[1] != kMagic1 || buf[2] != kVersion ||
+        buf[1] != kMagic1 ||
+        (buf[2] != kVersion && buf[2] != kVersionTraced) ||
         buf[3] >= static_cast<std::uint8_t>(Proto::kCount)) {
       ++frame_rejects_;  // stray or hostile datagram; not ours
       continue;
     }
+    std::size_t payload_off = kHeaderLen;
+    if (buf[2] == kVersionTraced) {
+      if (static_cast<std::size_t>(n) < kHeaderLen + kTraceCtxLen) {
+        ++frame_rejects_;  // truncated trace extension
+        continue;
+      }
+      payload_off += kTraceCtxLen;
+    }
     auto sit = sockets_.find(ep);
     if (sit == sockets_.end()) return;
+    if (config_.frame_tap) {
+      config_.frame_tap(BytesView(buf.data(), static_cast<std::size_t>(n)),
+                        /*outbound=*/false);
+    }
     Datagram dgram;
     dgram.src = from_sockaddr(from);
     dgram.dst = ep;
     dgram.proto = static_cast<Proto>(buf[3]);
-    dgram.payload.assign(buf.begin() + kHeaderLen, buf.begin() + n);
+    if (buf[2] == kVersionTraced) {
+      dgram.trace = parse_trace_ctx(buf.data() + kHeaderLen);
+    }
+    dgram.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(payload_off),
+                         buf.begin() + n);
     deliver(sit->second, std::move(dgram));
   }
 }

@@ -10,11 +10,18 @@
 //
 // Wire format: each protocol datagram travels as one UDP datagram with a
 // 4-byte frame header [0x57 'W', 0x50 'P', version, proto] so the receiver
-// can restore the traffic-accounting tag and discard stray packets. The
-// causal TraceContext does NOT travel — flight tracing keeps its zero-
-// wire-bytes contract, so on this backend each process records its own
-// side of a flight (sends, retries, acks, outcomes) and wire_in hop
-// pairing is a sim-only luxury.
+// can restore the traffic-accounting tag and discard stray packets. By
+// default (version 1) the causal TraceContext does NOT travel — flight
+// tracing keeps its zero-wire-bytes contract (tap-digest-asserted), so each
+// process records its own side of a flight and wire_in hop pairing is a
+// sim-only luxury. Opting in with UdpConfig::trace_wire emits version-2
+// frames whose header is followed by the 27-byte TraceContext
+// (root u64 | trace u64 | hop u32 | seq u32 | attempt u16 | layer u8,
+// little-endian), letting receivers log paired wire_in events so
+// whisper_trace can merge per-process event exports into cross-process
+// per-hop RTT decompositions (DESIGN.md §15). Receivers accept both
+// versions regardless of the local flag; anonymity-sensitive deployments
+// simply never enable the flag.
 #pragma once
 
 #include <atomic>
@@ -23,6 +30,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/bytes.hpp"
 #include "net/spi.hpp"
 #include "net/wheel.hpp"
 
@@ -41,11 +49,26 @@ struct UdpConfig {
   /// Ceiling on one epoll_wait sleep, so stop requests and run_for
   /// deadlines are honored promptly even with no timers armed.
   Time max_poll_wait = 250 * kMillisecond;
+  /// Opt-in cross-process flight tracing: emit version-2 frames carrying
+  /// the sender's TraceContext (27 extra wire bytes per traced datagram).
+  /// OFF by default — the zero-wire-bytes anonymity contract holds unless
+  /// the operator explicitly trades it for observability.
+  bool trace_wire = false;
+  /// Shared CLOCK_MONOTONIC epoch (nanoseconds) for now(). Negative =
+  /// sample at construction (each backend gets its own zero). A supervisor
+  /// passes one epoch to every process it forks so cross-process flight
+  /// timestamps are directly comparable (CLOCK_MONOTONIC is boot-relative,
+  /// hence machine-wide).
+  std::int64_t epoch_ns = -1;
   /// Test-only: consulted before each sendto(). A nonzero return simulates
   /// that errno from the syscall (the datagram is not sent); 0 sends for
   /// real. Unit tests inject ENOBUFS/ECONNREFUSED here — there is no
   /// portable way to make a real loopback socket produce them on demand.
   std::function<int(Endpoint dst)> send_error_hook;
+  /// Test-only: observes every framed datagram exactly as it hits / left
+  /// the wire (header included). The zero-wire-bytes test digests tapped
+  /// frames from a traced and an untraced run and asserts byte equality.
+  std::function<void(BytesView frame, bool outbound)> frame_tap;
 };
 
 class UdpBackend final : public Clock, public Stack {
@@ -128,8 +151,10 @@ class UdpBackend final : public Clock, public Stack {
   void close_socket(Endpoint ep);
   void drain_socket(int fd);
   void deliver(SocketState& sock, Datagram dgram);
-  /// Emit one framed UDP datagram; counts and classifies failures.
-  void emit(int fd, Endpoint src, Endpoint dst, const Bytes& payload, Proto proto);
+  /// Emit one framed UDP datagram; counts and classifies failures. `trace`
+  /// non-null emits a version-2 frame carrying the context (trace_wire).
+  void emit(int fd, Endpoint src, Endpoint dst, const Bytes& payload, Proto proto,
+            const telemetry::TraceContext* trace = nullptr);
   void count_drop(DropReason r) { ++packets_dropped_[static_cast<std::size_t>(r)]; }
 
   Config config_;

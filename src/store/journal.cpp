@@ -15,18 +15,6 @@ namespace {
 
 constexpr std::size_t kFrameHeaderBytes = 1 + 4 + 4;  // type + len + crc
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
 std::string errno_string(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
@@ -55,13 +43,6 @@ bool fsync_dir_of(const std::string& path) {
 }
 
 }  // namespace
-
-std::uint32_t crc32(BytesView data) {
-  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
-  std::uint32_t c = 0xffffffffu;
-  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
-  return c ^ 0xffffffffu;
-}
 
 Bytes encode_record(std::uint8_t type, BytesView payload) {
   // CRC covers [type][len][payload]; assemble that span first.
@@ -199,14 +180,18 @@ bool JournalFile::reset() {
   return true;
 }
 
-bool atomic_write_file(const std::string& path, BytesView data, std::string* error) {
+namespace {
+
+bool atomic_write_impl(const std::string& path, BytesView data,
+                       std::string* error, bool durable) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     if (error) *error = errno_string("open tmp");
     return false;
   }
-  const bool wrote = write_all(fd, data.data(), data.size()) && ::fsync(fd) == 0;
+  const bool wrote =
+      write_all(fd, data.data(), data.size()) && (!durable || ::fsync(fd) == 0);
   ::close(fd);
   if (!wrote) {
     if (error) *error = errno_string("write tmp");
@@ -219,11 +204,21 @@ bool atomic_write_file(const std::string& path, BytesView data, std::string* err
     return false;
   }
   // Make the rename itself durable.
-  if (!fsync_dir_of(path)) {
+  if (durable && !fsync_dir_of(path)) {
     if (error) *error = errno_string("fsync dir");
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, BytesView data, std::string* error) {
+  return atomic_write_impl(path, data, error, /*durable=*/true);
+}
+
+bool atomic_publish_file(const std::string& path, BytesView data, std::string* error) {
+  return atomic_write_impl(path, data, error, /*durable=*/false);
 }
 
 std::optional<Bytes> read_file(const std::string& path) {

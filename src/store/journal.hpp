@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/crc32.hpp"
 #include "common/serialize.hpp"
 
 namespace whisper::store {
@@ -36,9 +37,10 @@ namespace whisper::store {
 /// treated as corruption (kOversized), not an allocation request.
 inline constexpr std::size_t kMaxRecordBytes = 256 * 1024;
 
-/// CRC-32 (IEEE 802.3, reflected) over `data`. Table-driven; no zlib
-/// dependency.
-std::uint32_t crc32(BytesView data);
+/// CRC-32 (IEEE 802.3, reflected) over `data`. The implementation moved to
+/// common/crc32.hpp so the telemetry health records can share it; this alias
+/// keeps existing store call sites and fuzz harnesses unchanged.
+using whisper::crc32;
 
 /// One replayed journal record. `type` is opaque at this layer; the state
 /// layer interprets it (store::RecordType).
@@ -104,6 +106,15 @@ class JournalFile {
 /// Write `data` to `path` atomically: temp file in the same directory,
 /// fsync, rename, directory fsync. False on I/O failure.
 bool atomic_write_file(const std::string& path, BytesView data, std::string* error = nullptr);
+
+/// Rename-atomic publish WITHOUT the fsyncs: readers can never observe a
+/// torn file, but the bytes are not durable across power loss. For
+/// ephemeral high-frequency artifacts (live stats records) where the two
+/// fsyncs of atomic_write_file cost ~1.5 ms each tick and the data is
+/// worthless after a crash anyway. Durable state must keep using
+/// atomic_write_file.
+bool atomic_publish_file(const std::string& path, BytesView data,
+                         std::string* error = nullptr);
 
 /// Read a whole file. nullopt if it does not exist or cannot be read.
 std::optional<Bytes> read_file(const std::string& path);

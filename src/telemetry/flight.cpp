@@ -47,6 +47,20 @@ const char* flight_kind_name(FlightKind k) {
   return "unknown";
 }
 
+FlightKind flight_kind_from_name(std::string_view name) {
+  if (name == "wire_out") return FlightKind::kWireOut;
+  if (name == "wire_in") return FlightKind::kWireIn;
+  if (name == "queued") return FlightKind::kQueued;
+  if (name == "crypto") return FlightKind::kCrypto;
+  if (name == "retry") return FlightKind::kRetry;
+  if (name == "timeout") return FlightKind::kTimeout;
+  if (name == "drop") return FlightKind::kDrop;
+  if (name == "fault") return FlightKind::kFault;
+  if (name == "ack") return FlightKind::kAck;
+  if (name == "end") return FlightKind::kEnd;
+  return FlightKind::kBegin;
+}
+
 void FlightRecorder::push(FlightEventRec ev) {
   if (events_.size() >= capacity_) {
     ++dropped_;
@@ -334,16 +348,25 @@ std::vector<FlightRecord> assemble_flight_events(
       std::vector<bool> used(final_ok.size(), false);
       // `seen_dst` forces the chain through the true destination — echo
       // branches can close a src -> src loop without ever reaching it.
+      // `exact` requires the closing hop to land on the kEnd timestamp —
+      // true under the virtual clock, where delivery and outcome share an
+      // instant. On the real backend the outcome is stamped inside the ack
+      // handler, microseconds *after* the final wire_in, so a second pass
+      // relaxes the close to recv_ts <= end_ts (still through dst, still
+      // ending at src). The exact pass always runs first, so sim behavior
+      // is unchanged.
       auto dfs = [&](auto&& self, std::uint64_t node, std::uint32_t depth,
-                     std::uint64_t t, bool seen_dst) -> bool {
+                     std::uint64_t t, bool seen_dst, bool exact) -> bool {
         for (std::size_t i = 0; i < final_ok.size(); ++i) {
           const FlightHop* h = final_ok[i];
           if (used[i] || h->hop != depth || h->from != node || h->sent_ts < t) continue;
           used[i] = true;
           chain.push_back(h);
           const bool arrived = seen_dst || h->to == rec.dst;
-          if ((arrived && h->to == rec.src && h->recv_ts == rec.end_ts) ||
-              self(self, h->to, depth + 1, h->recv_ts, arrived)) {
+          const bool closes = exact ? h->recv_ts == rec.end_ts
+                                    : h->recv_ts <= rec.end_ts;
+          if ((arrived && h->to == rec.src && closes) ||
+              self(self, h->to, depth + 1, h->recv_ts, arrived, exact)) {
             return true;
           }
           chain.pop_back();
@@ -351,7 +374,9 @@ std::vector<FlightRecord> assemble_flight_events(
         }
         return false;
       };
-      if (dfs(dfs, rec.src, 0, rec.begin_ts, false)) {
+      if (dfs(dfs, rec.src, 0, rec.begin_ts, false, true) ||
+          (chain.clear(), used.assign(final_ok.size(), false),
+           dfs(dfs, rec.src, 0, rec.begin_ts, false, false))) {
         for (const FlightHop* h : chain) {
           rec.prop_us += h->prop_us;
           rec.queue_us += h->queue_us;
@@ -367,6 +392,15 @@ std::vector<FlightRecord> assemble_flight_events(
     }
     if (final_attempt > 1 && last_retry_ts > rec.begin_ts) {
       rec.retry_us = last_retry_ts - rec.begin_ts;
+    }
+    // Critical-path residual: handler/stack time the other components can't
+    // see. Zero under the virtual clock (the exact chain already sums to
+    // the RTT); on the real backend it closes the decomposition so
+    // decomposed_us() == rtt_us exactly for every chained delivery.
+    if (chained && rec.rtt_us > 0) {
+      const std::uint64_t sum =
+          rec.crypto_us + rec.prop_us + rec.queue_us + rec.retry_us;
+      if (rec.rtt_us > sum) rec.proc_us = rec.rtt_us - sum;
     }
     std::sort(rec.hops.begin(), rec.hops.end(), [](const FlightHop& a, const FlightHop& b) {
       if (a.attempt != b.attempt) return a.attempt < b.attempt;
@@ -431,6 +465,7 @@ std::string to_jsonl(const std::vector<FlightRecord>& records) {
     out += ",\"prop_us\":" + fmt_u64(r.prop_us);
     out += ",\"queue_us\":" + fmt_u64(r.queue_us);
     out += ",\"retry_us\":" + fmt_u64(r.retry_us);
+    out += ",\"proc_us\":" + fmt_u64(r.proc_us);
     out += ",\"group\":\"";
     append_escaped(out, r.group);
     out += "\",\"faults\":[";
@@ -674,6 +709,7 @@ bool parse_flight_jsonl(std::string_view jsonl, std::vector<FlightRecord>* out,
     r.prop_us = v.u64("prop_us");
     r.queue_us = v.u64("queue_us");
     r.retry_us = v.u64("retry_us");
+    r.proc_us = v.u64("proc_us");
     r.group = v.str_of("group");
     if (const JsonV* faults = v.get("faults"); faults != nullptr) {
       for (const JsonV& f : faults->arr) {
@@ -721,7 +757,7 @@ bool content_less(const FlightRecord& a, const FlightRecord& b) {
   auto head = [](const FlightRecord& r) {
     return std::tie(r.begin_ts, r.layer, r.src, r.dst, r.end_ts, r.outcome,
                     r.attempts, r.rtt_us, r.crypto_us, r.prop_us, r.queue_us,
-                    r.retry_us, r.group);
+                    r.retry_us, r.proc_us, r.group);
   };
   if (head(a) != head(b)) return head(a) < head(b);
   if (a.faults != b.faults) return a.faults < b.faults;
@@ -745,14 +781,21 @@ std::vector<FlightRecord> canonical_flight_records(
   // A cross-shard message's events are split across recorders: the source
   // shard logs kBegin/kWireOut, the destination shard logs kWireIn — under
   // the same trace id, which set_id_base() keeps globally unique. Merge the
-  // logs into one stream and impose a *content* order (pure function of the
-  // event fields, so independent of execution interleaving), then run the
-  // standard assembly over it.
+  // logs into one stream and canonicalize.
   std::vector<FlightEventRec> merged;
   for (const FlightRecorder* rec : recorders) {
     if (rec == nullptr) continue;
     merged.insert(merged.end(), rec->events().begin(), rec->events().end());
   }
+  return canonical_flight_records(std::move(merged));
+}
+
+std::vector<FlightRecord> canonical_flight_records(
+    std::vector<FlightEventRec> merged) {
+  // Impose a *content* order on the merged stream (pure function of the
+  // event fields, so independent of execution interleaving — or of which
+  // process/shard logged which half of a message), then run the standard
+  // assembly over it.
   std::sort(merged.begin(), merged.end(),
             [](const FlightEventRec& a, const FlightEventRec& b) {
               auto key = [](const FlightEventRec& e) {
@@ -762,8 +805,11 @@ std::vector<FlightRecord> canonical_flight_records(
               return key(a) < key(b);
             });
 
-  std::vector<FlightRecord> all = assemble_flight_events(merged);
+  return canonicalize_flight_records(assemble_flight_events(merged));
+}
 
+std::vector<FlightRecord> canonicalize_flight_records(
+    std::vector<FlightRecord> all) {
   // Hop lists come back sorted by (attempt, hop, seq), but seqs are
   // per-recorder allocation artifacts; re-sort parallel branches at the
   // same depth by wire content before renumbering.
@@ -806,6 +852,77 @@ std::vector<FlightRecord> canonical_flight_records(
     out.push_back(std::move(r));
   }
   return out;
+}
+
+// --- Raw-event JSONL (cross-process interchange) --------------------------
+
+std::string to_events_jsonl(const std::vector<FlightEventRec>& events) {
+  std::string out;
+  for (const FlightEventRec& e : events) {
+    out += "{\"trace\":" + fmt_u64(e.trace);
+    out += ",\"root\":" + fmt_u64(e.root);
+    out += ",\"kind\":\"";
+    out += flight_kind_name(e.kind);
+    out += "\",\"hop\":" + fmt_u64(e.hop);
+    out += ",\"seq\":" + fmt_u64(e.seq);
+    out += ",\"attempt\":" + fmt_u64(e.attempt);
+    out += ",\"node\":" + fmt_u64(e.node);
+    out += ",\"peer\":" + fmt_u64(e.peer);
+    out += ",\"ts\":" + fmt_u64(e.ts);
+    out += ",\"dur\":" + fmt_u64(e.dur);
+    out += ",\"layer\":\"";
+    out += trace_layer_name(e.layer);
+    out += "\",\"detail\":\"";
+    append_escaped(out, e.detail);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+bool parse_flight_events_jsonl(std::string_view jsonl,
+                               std::vector<FlightEventRec>* out, std::string* err) {
+  out->clear();
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string_view::npos) nl = jsonl.size();
+    const std::string_view line = jsonl.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonV v;
+    std::string perr;
+    JsonParser parser(line, &perr);
+    if (!parser.parse(&v) || v.type != JsonV::Type::kObj) {
+      if (err != nullptr) {
+        *err = "line " + std::to_string(line_no) + ": " +
+               (perr.empty() ? "not a JSON object" : perr);
+      }
+      return false;
+    }
+    if (v.get("kind") == nullptr) {
+      if (err != nullptr) {
+        *err = "line " + std::to_string(line_no) + ": not a flight event (no kind)";
+      }
+      return false;
+    }
+    FlightEventRec e;
+    e.trace = v.u64("trace");
+    e.root = v.u64("root");
+    e.kind = flight_kind_from_name(v.str_of("kind"));
+    e.hop = static_cast<std::uint32_t>(v.u64("hop"));
+    e.seq = static_cast<std::uint32_t>(v.u64("seq"));
+    e.attempt = static_cast<std::uint16_t>(v.u64("attempt"));
+    e.node = v.u64("node");
+    e.peer = v.u64("peer");
+    e.ts = v.u64("ts");
+    e.dur = v.u64("dur");
+    e.layer = trace_layer_from_name(v.str_of("layer"));
+    e.detail = v.str_of("detail");
+    out->push_back(std::move(e));
+  }
+  return true;
 }
 
 }  // namespace whisper::telemetry

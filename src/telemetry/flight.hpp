@@ -77,6 +77,7 @@ enum class FlightKind : std::uint8_t {
   kEnd = 10,     // outcome determined (detail: delivered/no_route/...)
 };
 const char* flight_kind_name(FlightKind k);
+FlightKind flight_kind_from_name(std::string_view name);
 
 struct FlightEventRec {
   std::uint64_t trace = 0;
@@ -130,6 +131,12 @@ struct FlightRecord {
   std::uint64_t queue_us = 0;
   /// Time burned on earlier failed attempts (begin -> final attempt start).
   std::uint64_t retry_us = 0;
+  /// Handler/stack time on the critical path not attributable to any other
+  /// component. Always 0 under the virtual clock (handlers are free there);
+  /// on the real backend it is the residual rtt - (crypto+prop+queue+retry)
+  /// whenever the critical-path chain closed, so decomposed_us() == rtt_us
+  /// exactly for delivered records on both backends.
+  std::uint64_t proc_us = 0;
   std::string group;  // group label for PPSS roots ("g7000"), else empty
   std::vector<std::string> faults;  // fault kinds encountered, in order
   std::vector<FlightHop> hops;
@@ -137,7 +144,7 @@ struct FlightRecord {
   /// Sum of the decomposition components; the integration test asserts
   /// |rtt_us - decomposed_us()| <= 1ms for delivered WCL records.
   std::uint64_t decomposed_us() const {
-    return crypto_us + prop_us + queue_us + retry_us;
+    return crypto_us + prop_us + queue_us + retry_us + proc_us;
   }
 };
 
@@ -275,5 +282,31 @@ std::vector<FlightRecord> assemble_flight_events(
 /// for any shard count — the S=1-vs-S=8 CI gate.
 std::vector<FlightRecord> canonical_flight_records(
     const std::vector<const FlightRecorder*>& recorders);
+
+/// Same canonicalization over an explicit merged event stream — the
+/// cross-process path: each whisper_noded exports its raw event log
+/// (to_events_jsonl), whisper_trace concatenates the per-process files and
+/// merges them here. Trace ids must already be globally unique (noded
+/// namespaces them with set_id_base(node_id << 48), mirroring the sharded
+/// engine's per-shard bases).
+std::vector<FlightRecord> canonical_flight_records(
+    std::vector<FlightEventRec> events);
+
+/// The canonical tail alone: content-sort already-assembled records,
+/// renumber trace ids to ordinals of that order (roots rewritten through
+/// the same map, out-of-log roots collapse to 0), hop seqs become
+/// per-record ordinals. What whisper_trace runs when merging multiple
+/// record-format exports (no raw events available).
+std::vector<FlightRecord> canonicalize_flight_records(
+    std::vector<FlightRecord> records);
+
+/// One JSON object per raw event (the cross-process interchange format;
+/// distinguishable from record JSONL by its "kind" key).
+std::string to_events_jsonl(const std::vector<FlightEventRec>& events);
+
+/// Inverse of to_events_jsonl. Returns false and sets `err` on malformed
+/// input.
+bool parse_flight_events_jsonl(std::string_view jsonl,
+                               std::vector<FlightEventRec>* out, std::string* err);
 
 }  // namespace whisper::telemetry

@@ -1,0 +1,297 @@
+#include "telemetry/health.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <variant>
+
+#include "common/crc32.hpp"
+#include "telemetry/export.hpp"
+
+namespace whisper::telemetry {
+
+namespace {
+
+void set_error(DecodeError* error, DecodeError e) {
+  if (error) *error = e;
+}
+
+// Matches the registry exporter's number format: integral values print as
+// integers, everything else round-trips via %.17g.
+std::string fmt_double(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+void encode_payload(Writer& w, const HealthSnapshot& s) {
+  w.u64(s.node);
+  w.u32(s.pid);
+  w.u32(s.incarnation);
+  w.u64(s.seq);
+  w.u64(s.now_us);
+  w.u64(s.uptime_us);
+  w.u32(s.groups);
+  w.u32(s.wcl_backlog);
+  w.u32(s.pending_forwards);
+  w.u32(s.pss_view);
+  w.u32(s.pss_reserve);
+  w.u32(s.quarantined);
+  w.u32(s.peer_restarts);
+  w.u32(s.decode_rejects);
+  w.u32(s.rate_limited);
+  w.u64(s.rss_kb);
+  w.u64(s.cpu_us);
+  w.u16(static_cast<std::uint16_t>(
+      s.metrics.size() > kMaxHealthMetrics ? kMaxHealthMetrics : s.metrics.size()));
+  std::size_t n = 0;
+  for (const auto& [name, value] : s.metrics) {
+    if (n++ == kMaxHealthMetrics) break;
+    w.str(name);
+    w.f64(value);
+  }
+}
+
+}  // namespace
+
+Bytes encode_health_record(const HealthSnapshot& snap) {
+  Writer payload;
+  encode_payload(payload, snap);
+
+  Writer w;
+  w.u8(kHealthMagic0);
+  w.u8(kHealthMagic1);
+  w.u8(kHealthVersion);
+  w.u8(snap.keyframe ? kHealthFlagKeyframe : 0);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload.data()));
+  w.raw(payload.data());
+  return std::move(w).take();
+}
+
+std::optional<HealthSnapshot> decode_health_record(BytesView data, DecodeError* error) {
+  set_error(error, DecodeError::kNone);
+  Reader r(data);
+  const std::uint8_t m0 = r.u8();
+  const std::uint8_t m1 = r.u8();
+  const std::uint8_t version = r.u8();
+  const std::uint8_t flags = r.u8();
+  const std::uint32_t len = r.u32();
+  const std::uint32_t crc = r.u32();
+  if (!r.ok()) {
+    set_error(error, r.error());
+    return std::nullopt;
+  }
+  if (m0 != kHealthMagic0 || m1 != kHealthMagic1 || version != kHealthVersion) {
+    set_error(error, DecodeError::kBadValue);
+    return std::nullopt;
+  }
+  if (len > kMaxHealthPayloadBytes) {
+    set_error(error, DecodeError::kOversized);
+    return std::nullopt;
+  }
+  if (len > r.remaining()) {
+    set_error(error, DecodeError::kBadLength);
+    return std::nullopt;
+  }
+  const Bytes payload = r.raw(len);
+  if (!r.expect_done()) {
+    set_error(error, r.error());
+    return std::nullopt;
+  }
+  if (crc32(BytesView(payload)) != crc) {
+    set_error(error, DecodeError::kBadValue);
+    return std::nullopt;
+  }
+
+  Reader p(payload);
+  HealthSnapshot s;
+  s.node = p.u64();
+  s.pid = p.u32();
+  s.incarnation = p.u32();
+  s.seq = p.u64();
+  s.now_us = p.u64();
+  s.uptime_us = p.u64();
+  s.groups = p.u32();
+  s.wcl_backlog = p.u32();
+  s.pending_forwards = p.u32();
+  s.pss_view = p.u32();
+  s.pss_reserve = p.u32();
+  s.quarantined = p.u32();
+  s.peer_restarts = p.u32();
+  s.decode_rejects = p.u32();
+  s.rate_limited = p.u32();
+  s.rss_kb = p.u64();
+  s.cpu_us = p.u64();
+  s.keyframe = (flags & kHealthFlagKeyframe) != 0;
+  const std::uint32_t count = p.count16(kMaxHealthMetrics);
+  s.metrics.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = p.str(kMaxHealthNameBytes);
+    const double value = p.f64();
+    if (!p.ok()) break;
+    s.metrics.emplace_back(std::move(name), value);
+  }
+  if (!p.expect_done()) {
+    set_error(error, p.error());
+    return std::nullopt;
+  }
+  return s;
+}
+
+std::vector<std::pair<std::string, double>> registry_values(const Registry& reg) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(reg.size());
+  for (const auto& [key, entry] : reg.entries()) {
+    if (const auto* c = std::get_if<Counter>(&entry.metric)) {
+      out.emplace_back(key, static_cast<double>(c->value()));
+    } else if (const auto* g = std::get_if<Gauge>(&entry.metric)) {
+      out.emplace_back(key, g->value());
+    } else if (const auto* h = std::get_if<Histogram>(&entry.metric)) {
+      out.emplace_back(key + "#count", static_cast<double>(h->count()));
+      out.emplace_back(key + "#sum", h->sum());
+      out.emplace_back(key + "#min", h->min());
+      out.emplace_back(key + "#max", h->max());
+      out.emplace_back(key + "#p50", h->percentile(50));
+      out.emplace_back(key + "#p95", h->percentile(95));
+      out.emplace_back(key + "#p99", h->percentile(99));
+    }
+  }
+  return out;
+}
+
+Bytes HealthExporter::next(HealthSnapshot snap) {
+  snap.seq = ++seq_;
+  snap.keyframe = ((seq_ - 1) % keyframe_every_) == 0;
+  snap.metrics.clear();
+  if (reg_) {
+    const auto values = registry_values(*reg_);
+    if (snap.keyframe) {
+      snap.metrics = values;
+      last_.clear();
+      for (const auto& [k, v] : values) last_[k] = v;
+    } else {
+      for (const auto& [k, v] : values) {
+        auto it = last_.find(k);
+        if (it == last_.end() || it->second != v) {
+          snap.metrics.emplace_back(k, v);
+          last_[k] = v;
+        }
+      }
+    }
+  }
+  return encode_health_record(snap);
+}
+
+bool HealthAccumulator::apply(BytesView record, DecodeError* error) {
+  auto snap = decode_health_record(record, error);
+  if (!snap) return false;
+  apply(*snap);
+  return true;
+}
+
+void HealthAccumulator::apply(const HealthSnapshot& snap) {
+  // Same record scraped twice: nothing new — unless it is a keyframe and
+  // the metric view is stale (an admin reply reuses the last exported seq;
+  // its full value set is exactly what an unsynced accumulator needs).
+  if (valid_ && snap.pid == last_.pid && snap.incarnation == last_.incarnation &&
+      snap.seq == last_.seq && (synced_ || !snap.keyframe)) {
+    return;
+  }
+  const bool contiguous =
+      valid_ && snap.pid == last_.pid && snap.incarnation == last_.incarnation &&
+      snap.seq == last_.seq + 1;
+  if (snap.keyframe) {
+    metrics_.clear();
+    for (const auto& [k, v] : snap.metrics) metrics_[k] = v;
+    synced_ = true;
+  } else if (synced_ && contiguous) {
+    for (const auto& [k, v] : snap.metrics) metrics_[k] = v;
+  } else {
+    // Gap in the delta chain (missed scrape or restarted node): the metric
+    // view is stale until the next keyframe. Header fields stay live so the
+    // supervisor probe keeps working.
+    synced_ = false;
+  }
+  last_ = snap;
+  valid_ = true;
+}
+
+std::string health_to_json(const HealthSnapshot& snap,
+                           const std::map<std::string, double>& metrics,
+                           std::string_view label) {
+  std::string out = "{\"node\":\"";
+  out += json_escape(label);
+  out += "\"";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                ",\"ts_us\":%" PRIu64 ",\"pid\":%u,\"inc\":%u,\"seq\":%" PRIu64
+                ",\"uptime_us\":%" PRIu64,
+                snap.now_us, snap.pid, snap.incarnation, snap.seq, snap.uptime_us);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                ",\"groups\":%u,\"wcl_backlog\":%u,\"pending_forwards\":%u"
+                ",\"pss_view\":%u,\"pss_reserve\":%u,\"quarantined\":%u",
+                snap.groups, snap.wcl_backlog, snap.pending_forwards, snap.pss_view,
+                snap.pss_reserve, snap.quarantined);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                ",\"peer_restarts\":%u,\"decode_rejects\":%u,\"rate_limited\":%u"
+                ",\"rss_kb\":%" PRIu64 ",\"cpu_us\":%" PRIu64,
+                snap.peer_restarts, snap.decode_rejects, snap.rate_limited, snap.rss_kb,
+                snap.cpu_us);
+  out += buf;
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [k, v] : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += json_escape(k);
+    out += "\":";
+    out += fmt_double(v);
+  }
+  out += "}}";
+  return out;
+}
+
+Bytes encode_admin_request(AdminOp op) {
+  Writer w;
+  w.u8(kAdminMagic0);
+  w.u8(kAdminMagic1);
+  w.u8(kAdminVersion);
+  w.u8(static_cast<std::uint8_t>(op));
+  return std::move(w).take();
+}
+
+std::optional<AdminOp> decode_admin_request(BytesView data, DecodeError* error) {
+  set_error(error, DecodeError::kNone);
+  Reader r(data);
+  const std::uint8_t m0 = r.u8();
+  const std::uint8_t m1 = r.u8();
+  const std::uint8_t version = r.u8();
+  const std::uint8_t op = r.u8();
+  if (!r.ok()) {
+    set_error(error, r.error());
+    return std::nullopt;
+  }
+  if (!r.expect_done()) {
+    set_error(error, r.error());
+    return std::nullopt;
+  }
+  if (m0 != kAdminMagic0 || m1 != kAdminMagic1 || version != kAdminVersion) {
+    set_error(error, DecodeError::kBadValue);
+    return std::nullopt;
+  }
+  if (op != static_cast<std::uint8_t>(AdminOp::kStats)) {
+    set_error(error, DecodeError::kBadValue);
+    return std::nullopt;
+  }
+  return AdminOp::kStats;
+}
+
+}  // namespace whisper::telemetry

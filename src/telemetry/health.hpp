@@ -1,0 +1,158 @@
+// Live per-node health/stats records for the real-network backend
+// (DESIGN.md §15).
+//
+// Each whisper_noded periodically folds its telemetry registry plus a fixed
+// health summary (incarnation, membership, WCL backlog, PSS view, guard
+// counters, rss/cpu) into a versioned, CRC-framed binary record. The record
+// is published two ways: as an atomic file in the rendezvous directory
+// (scraped by whisper_localnet / whisper_top, and probed by the chaos
+// supervisor in place of the old "pid inc seq" heartbeat text file) and as
+// the reply on a local admin UDP socket.
+//
+// Wire format (little-endian, matching common/serialize.hpp):
+//   [0x57 'W'][0x48 'H'][u8 version][u8 flags][u32 payload_len]
+//   [u32 crc32(payload)][payload]
+// flags bit0 = keyframe (payload carries the FULL registry value set;
+// otherwise only values changed since the previous record). Decoding is
+// bounds-checked through Reader/DecodeError with hard caps on payload size,
+// metric count and name length, and rejects trailing garbage — hostile or
+// torn bytes can never drive an oversized allocation or a partial apply.
+//
+// Delta scheme: records carry a per-process monotonic `seq`. An aggregator
+// (HealthAccumulator) applies deltas only while the sequence is unbroken;
+// after a gap (dropped scrape, restarted node) it keeps serving the header
+// fields — the liveness probe must work from any record — but holds the
+// metric view stale until the next keyframe resyncs it. Exporters emit a
+// keyframe first and every `keyframe_every` records thereafter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "telemetry/registry.hpp"
+
+namespace whisper::telemetry {
+
+inline constexpr std::uint8_t kHealthMagic0 = 0x57;  // 'W'
+inline constexpr std::uint8_t kHealthMagic1 = 0x48;  // 'H'
+inline constexpr std::uint8_t kHealthVersion = 1;
+inline constexpr std::uint8_t kHealthFlagKeyframe = 0x01;
+/// Hard cap on a record payload; larger on-disk/wire values are corruption
+/// (kOversized), never an allocation request.
+inline constexpr std::size_t kMaxHealthPayloadBytes = 256 * 1024;
+inline constexpr std::size_t kMaxHealthMetrics = 4096;
+inline constexpr std::size_t kMaxHealthNameBytes = 256;
+
+/// One exported snapshot. The fixed header fields are what the chaos
+/// supervisor's hung-vs-dead probe reads (pid / incarnation / seq); the
+/// metrics vector carries registry values keyed by canonical metric key
+/// (histograms flattened to "<key>#count|sum|min|max|p50|p95|p99").
+struct HealthSnapshot {
+  std::uint64_t node = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t incarnation = 0;
+  std::uint64_t seq = 0;        ///< per-process export sequence, monotonic
+  std::uint64_t now_us = 0;     ///< monotonic clock at snapshot time
+  std::uint64_t uptime_us = 0;  ///< now - process attach
+  std::uint32_t groups = 0;
+  std::uint32_t wcl_backlog = 0;
+  std::uint32_t pending_forwards = 0;
+  std::uint32_t pss_view = 0;
+  std::uint32_t pss_reserve = 0;
+  std::uint32_t quarantined = 0;
+  std::uint32_t peer_restarts = 0;
+  std::uint32_t decode_rejects = 0;
+  std::uint32_t rate_limited = 0;
+  std::uint64_t rss_kb = 0;
+  std::uint64_t cpu_us = 0;  ///< CpuMeter::total(), wall µs in handlers
+  bool keyframe = true;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Encode one CRC-framed record.
+Bytes encode_health_record(const HealthSnapshot& snap);
+
+/// Bounds-checked decode. nullopt on any malformed input; `error` (when
+/// non-null) receives the DecodeError that rejected it. The whole input
+/// must be exactly one record (trailing bytes are kTrailingBytes).
+std::optional<HealthSnapshot> decode_health_record(BytesView data,
+                                                   DecodeError* error = nullptr);
+
+/// Flatten a registry into (canonical key, value) pairs: counters and
+/// gauges one value each, histograms as derived "<key>#stat" values.
+std::vector<std::pair<std::string, double>> registry_values(const Registry& reg);
+
+/// Stateful producer: tracks the previously exported value set so each
+/// record carries only changed values, with a keyframe first and every
+/// `keyframe_every` records. Fills snap.seq / snap.keyframe / snap.metrics;
+/// all other fields are the caller's.
+class HealthExporter {
+ public:
+  explicit HealthExporter(const Registry* reg = nullptr,
+                          std::uint32_t keyframe_every = 10)
+      : reg_(reg), keyframe_every_(keyframe_every ? keyframe_every : 1) {}
+
+  Bytes next(HealthSnapshot snap);
+  std::uint64_t seq() const { return seq_; }
+
+ private:
+  const Registry* reg_;
+  std::uint32_t keyframe_every_;
+  std::uint64_t seq_ = 0;
+  std::map<std::string, double> last_;
+};
+
+/// Aggregator side: folds a stream of keyframe/delta records from one node
+/// into the current metric view, resyncing on keyframes after a sequence
+/// gap. apply() is atomic: a record that fails to decode changes nothing.
+class HealthAccumulator {
+ public:
+  bool apply(BytesView record, DecodeError* error = nullptr);
+  void apply(const HealthSnapshot& snap);
+
+  bool valid() const { return valid_; }
+  /// True while the metric view reflects an unbroken delta chain.
+  bool synced() const { return synced_; }
+  const HealthSnapshot& last() const { return last_; }
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+ private:
+  HealthSnapshot last_{};
+  std::map<std::string, double> metrics_;
+  bool valid_ = false;
+  bool synced_ = false;
+};
+
+/// One JSONL object for fleet timelines: the fixed header fields plus every
+/// metric in `metrics` (deterministic: map order, fixed number format).
+/// `label` names the node ("3", or "fleet" for the summed line).
+std::string health_to_json(const HealthSnapshot& snap,
+                           const std::map<std::string, double>& metrics,
+                           std::string_view label);
+
+// ---------------------------------------------------------------------------
+// Admin socket protocol: fixed 4-byte request, health-record reply.
+//   [0x57 'W'][0x41 'A'][u8 version][u8 op]
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint8_t kAdminMagic0 = 0x57;  // 'W'
+inline constexpr std::uint8_t kAdminMagic1 = 0x41;  // 'A'
+inline constexpr std::uint8_t kAdminVersion = 1;
+
+enum class AdminOp : std::uint8_t {
+  kStats = 1,  ///< reply: one keyframe health record
+};
+
+Bytes encode_admin_request(AdminOp op);
+
+/// nullopt on malformed request (bad magic/version/op, wrong size).
+std::optional<AdminOp> decode_admin_request(BytesView data,
+                                            DecodeError* error = nullptr);
+
+}  // namespace whisper::telemetry

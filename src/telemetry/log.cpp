@@ -1,0 +1,116 @@
+#include "telemetry/log.hpp"
+
+#include <time.h>
+
+#include <cinttypes>
+#include <cmath>
+
+#include "telemetry/export.hpp"
+
+namespace whisper::telemetry {
+
+namespace {
+
+std::uint64_t monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000u +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000u;
+}
+
+void append_json_value(std::string& out, const LogField& f) {
+  char buf[64];
+  switch (f.kind) {
+    case LogField::Kind::kStr:
+      out += '"';
+      out += json_escape(f.s);
+      out += '"';
+      return;
+    case LogField::Kind::kU64:
+      std::snprintf(buf, sizeof buf, "%" PRIu64, f.u);
+      out += buf;
+      return;
+    case LogField::Kind::kI64:
+      std::snprintf(buf, sizeof buf, "%" PRId64, f.i);
+      out += buf;
+      return;
+    case LogField::Kind::kF64:
+      if (std::isfinite(f.f)) {
+        std::snprintf(buf, sizeof buf, "%.17g", f.f);
+        out += buf;
+      } else {
+        out += "null";
+      }
+      return;
+    case LogField::Kind::kBool:
+      out += f.b ? "true" : "false";
+      return;
+  }
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+Logger::~Logger() { close_owned(); }
+
+void Logger::close_owned() {
+  if (owns_stream_ && stream_) std::fclose(stream_);
+  stream_ = nullptr;
+  owns_stream_ = false;
+}
+
+void Logger::set_stream(std::FILE* stream) {
+  close_owned();
+  stream_ = stream;
+}
+
+bool Logger::open_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return false;
+  close_owned();
+  stream_ = f;
+  owns_stream_ = true;
+  return true;
+}
+
+void Logger::log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!stream_ || static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  const std::uint64_t ts = now_us_ ? now_us_() : monotonic_us();
+
+  std::string line;
+  line.reserve(128);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "{\"ts_us\":%" PRIu64, ts);
+  line += buf;
+  line += ",\"level\":\"";
+  line += log_level_name(level);
+  line += "\"";
+  if (has_node_) {
+    std::snprintf(buf, sizeof buf, ",\"node\":%" PRIu64, node_);
+    line += buf;
+  }
+  line += ",\"event\":\"";
+  line += json_escape(event);
+  line += "\"";
+  for (const LogField& f : fields) {
+    line += ",\"";
+    line += json_escape(f.key);
+    line += "\":";
+    append_json_value(line, f);
+  }
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), stream_);
+  std::fflush(stream_);
+}
+
+}  // namespace whisper::telemetry

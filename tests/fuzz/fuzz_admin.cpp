@@ -1,0 +1,44 @@
+// Fuzz harness for the observability-plane codecs: the CRC-framed health/
+// stats record (rendezvous stats.N files and admin-socket replies) and the
+// fixed 4-byte admin request.
+//
+// These decoders face the most hostile inputs in the system: the stats file
+// is world-readable and scraped mid-write by independent processes, and the
+// admin UDP socket accepts datagrams from anything that can reach loopback.
+// The harness asserts nothing about the result — any input must decode or
+// reject without crashing, over-allocating (kMaxHealthPayloadBytes /
+// kMaxHealthMetrics / kMaxHealthNameBytes caps), or tripping ASan/UBSan.
+//
+// The first input byte selects the codec; the remainder is the datagram.
+#include <cstddef>
+#include <cstdint>
+
+#include "telemetry/health.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const whisper::BytesView body(data + 1, size - 1);
+  whisper::DecodeError err = whisper::DecodeError::kNone;
+  switch (data[0] % 3) {
+    case 0:
+      (void)whisper::telemetry::decode_health_record(body, &err);
+      break;
+    case 1:
+      (void)whisper::telemetry::decode_admin_request(body, &err);
+      break;
+    case 2: {
+      // Accumulator path: the aggregator must stay consistent across any
+      // record sequence, including decode failures interleaved with valid
+      // applies (atomicity: a failed apply changes nothing).
+      whisper::telemetry::HealthAccumulator acc;
+      (void)acc.apply(body, &err);
+      if (acc.valid()) {
+        (void)acc.last().seq;
+        (void)acc.metrics().size();
+      }
+      (void)acc.apply(body, &err);  // duplicate must be a no-op, not a crash
+      break;
+    }
+  }
+  return 0;
+}

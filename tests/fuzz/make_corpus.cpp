@@ -19,6 +19,7 @@
 #include "ppss/group.hpp"
 #include "ppss/ppss.hpp"
 #include "store/state.hpp"
+#include "telemetry/health.hpp"
 #include "wcl/wcl.hpp"
 
 namespace whisper {
@@ -211,5 +212,39 @@ int main(int argc, char** argv) {
     store::serialize_keypair(w, identity);
     emit(store_dir, "keypair", 3, w.data());
   }
+
+  // Observability-plane seeds (fuzz_admin selectors, see fuzz_admin.cpp):
+  // one valid keyframe health record, one delta, one admin request.
+  const std::filesystem::path admin_dir = root / "admin";
+  std::filesystem::create_directories(admin_dir);
+  {
+    telemetry::HealthSnapshot snap;
+    snap.node = 3;
+    snap.pid = 12345;
+    snap.incarnation = 2;
+    snap.seq = 7;
+    snap.now_us = 4'200'000;
+    snap.uptime_us = 4'100'000;
+    snap.groups = 1;
+    snap.wcl_backlog = 4;
+    snap.pss_view = 20;
+    snap.pss_reserve = 40;
+    snap.rss_kb = 9000;
+    snap.cpu_us = 123456;
+    snap.keyframe = true;
+    snap.metrics = {{"wcl.onions.delivered", 11.0},
+                    {"pss.exchange.rtt_us#p95", 4321.0},
+                    {"wcl.backlog.depth{node=n3}", 4.0}};
+    emit(admin_dir, "health_keyframe", 0, telemetry::encode_health_record(snap));
+    snap.keyframe = false;
+    snap.seq = 8;
+    snap.metrics = {{"wcl.onions.delivered", 12.0}};
+    emit(admin_dir, "health_delta", 0, telemetry::encode_health_record(snap));
+    // Selector 2 replays the same record shape through the accumulator.
+    emit(admin_dir, "health_accumulate", 2,
+         telemetry::encode_health_record(snap));
+  }
+  emit(admin_dir, "admin_request", 1,
+       telemetry::encode_admin_request(telemetry::AdminOp::kStats));
   return 0;
 }

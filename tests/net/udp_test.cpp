@@ -1,6 +1,8 @@
 // UDP/epoll backend tests: loopback datagram exchange, wheel-driven
 // timers inside the event loop, frame validation against stray packets,
-// and EINTR handling under a signal storm.
+// EINTR handling under a signal storm, and the trace-wire contract
+// (version-2 frames carry the TraceContext; with the flag off the tapped
+// byte stream is identical to a build that never heard of tracing).
 #include "net/udp.hpp"
 
 #include <gtest/gtest.h>
@@ -14,6 +16,8 @@
 #include <unistd.h>
 
 #include <vector>
+
+#include "telemetry/flight.hpp"
 
 namespace whisper::net {
 namespace {
@@ -261,6 +265,165 @@ TEST(UdpBackend, EintrStormStillFiresTimersAndDeliversPackets) {
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(received, 1);
   EXPECT_TRUE(backend.last_error().empty()) << backend.last_error();
+}
+
+// --- Trace-wire contract -------------------------------------------------
+
+// Drives one traced ping through a backend and returns the concatenated
+// tapped outbound frames. `trace_wire` toggles version-2 framing; `traced`
+// controls whether a FlightRecorder with an armed ambient context exists at
+// all (the "build without the feature" side of the digest comparison).
+Bytes tapped_frames(bool trace_wire, bool traced) {
+  UdpConfig config;
+  config.trace_wire = trace_wire;
+  Bytes tapped;
+  config.frame_tap = [&](BytesView frame, bool outbound) {
+    if (outbound) tapped.insert(tapped.end(), frame.begin(), frame.end());
+  };
+  UdpBackend backend(config);
+  telemetry::FlightRecorder flight;
+  if (traced) {
+    flight.set_clock(clock_fn(backend));
+    flight.set_enabled(true);
+    backend.set_flight(&flight);
+  }
+  auto a = backend.reserve_endpoint();
+  auto b = backend.reserve_endpoint();
+  EXPECT_TRUE(a && b) << backend.last_error();
+  int received = 0;
+  backend.attach(*a, [](const Datagram&) {});
+  backend.attach(*b, [&](const Datagram&) { ++received; });
+
+  telemetry::TraceContext ctx;
+  if (traced) {
+    ctx.trace_id = flight.new_trace(telemetry::TraceLayer::kWcl, 1, 0, 2);
+    ctx.root = ctx.trace_id;
+    ctx.attempt = 1;
+    ctx.layer = telemetry::TraceLayer::kWcl;
+  }
+  telemetry::ScopedTraceContext guard(traced ? &flight : nullptr, ctx);
+  EXPECT_TRUE(backend.send(*a, *b, bytes_of("traced-ping"), Proto::kWcl));
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (received < 1 && backend.now() < deadline) backend.poll(kTick);
+  EXPECT_EQ(received, 1);
+  return tapped;
+}
+
+TEST(UdpTraceWire, TapDigestByteIdenticalWhenOff) {
+  // The anonymity contract: with trace_wire OFF, a fully traced process
+  // puts exactly the same bytes on the wire as one with no tracing at all.
+  const Bytes traced_off = tapped_frames(/*trace_wire=*/false, /*traced=*/true);
+  const Bytes untraced = tapped_frames(/*trace_wire=*/false, /*traced=*/false);
+  ASSERT_FALSE(traced_off.empty());
+  EXPECT_EQ(traced_off, untraced);
+  // And the opt-in really does change the wire: 4-byte v1 header grows to
+  // 4 + 27 bytes of context per traced datagram.
+  const Bytes traced_on = tapped_frames(/*trace_wire=*/true, /*traced=*/true);
+  EXPECT_EQ(traced_on.size(), traced_off.size() + 27);
+}
+
+TEST(UdpTraceWire, V2FrameLogsPairedWireInAtReceiver) {
+  UdpConfig config;
+  config.trace_wire = true;
+  UdpBackend backend(config);
+  telemetry::FlightRecorder flight;
+  flight.set_clock(clock_fn(backend));
+  flight.set_enabled(true);
+  backend.set_flight(&flight);
+
+  auto a = backend.reserve_endpoint();
+  auto b = backend.reserve_endpoint();
+  ASSERT_TRUE(a && b) << backend.last_error();
+  int received = 0;
+  backend.attach(*a, [](const Datagram&) {});
+  backend.attach(*b, [&](const Datagram& d) {
+    ++received;
+    // The receiver sees the sender's context on the datagram...
+    EXPECT_TRUE(d.trace.valid());
+    // ...and deliver() armed the ambient context at the next hop, so any
+    // forward this handler performs chains onto the same trace.
+    EXPECT_EQ(flight.context().trace_id, d.trace.trace_id);
+    EXPECT_EQ(flight.context().hop, d.trace.hop + 1);
+  });
+
+  telemetry::TraceContext ctx;
+  ctx.trace_id = flight.new_trace(telemetry::TraceLayer::kWcl, 1, 0, 2);
+  ctx.root = ctx.trace_id;
+  ctx.attempt = 1;
+  ctx.layer = telemetry::TraceLayer::kWcl;
+  {
+    telemetry::ScopedTraceContext guard(&flight, ctx);
+    ASSERT_TRUE(backend.send(*a, *b, bytes_of("hop"), Proto::kWcl));
+  }
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (received < 1 && backend.now() < deadline) backend.poll(kTick);
+  ASSERT_EQ(received, 1);
+
+  // Event log holds a wire_out/wire_in pair with matching identity and
+  // recv >= sent (shared clock).
+  const telemetry::FlightEventRec* out = nullptr;
+  const telemetry::FlightEventRec* in = nullptr;
+  for (const auto& e : flight.events()) {
+    if (e.kind == telemetry::FlightKind::kWireOut) out = &e;
+    if (e.kind == telemetry::FlightKind::kWireIn) in = &e;
+  }
+  ASSERT_NE(out, nullptr);
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(out->trace, ctx.trace_id);
+  EXPECT_EQ(in->trace, out->trace);
+  EXPECT_EQ(in->hop, out->hop);
+  EXPECT_EQ(in->seq, out->seq);
+  EXPECT_EQ(in->attempt, out->attempt);
+  EXPECT_GE(in->ts, out->ts);
+}
+
+TEST(UdpTraceWire, TruncatedV2FrameRejected) {
+  UdpBackend backend;
+  auto a = backend.reserve_endpoint();
+  ASSERT_TRUE(a);
+  int handled = 0;
+  backend.attach(*a, [&](const Datagram&) { ++handled; });
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(a->ip);
+  dst.sin_port = htons(a->port);
+  // Version-2 header followed by only 5 of the 27 context bytes.
+  const std::uint8_t truncated[] = {0x57, 0x50, 2, 1, 0xAA, 0xBB, 0xCC, 0xDD,
+                                    0xEE};
+  ASSERT_GT(::sendto(fd, truncated, sizeof(truncated), 0,
+                     reinterpret_cast<const sockaddr*>(&dst), sizeof(dst)),
+            0);
+  ::close(fd);
+
+  const Time deadline = backend.now() + 2 * kSecond;
+  while (backend.frame_rejects() < 1 && backend.now() < deadline) {
+    backend.poll(kTick);
+  }
+  EXPECT_EQ(backend.frame_rejects(), 1u);
+  EXPECT_EQ(handled, 0);
+}
+
+TEST(UdpTraceWire, SharedEpochAlignsClocksAcrossBackends) {
+  // Two backends constructed with the same epoch report comparable now();
+  // with the default (-1) each starts near zero at its own construction.
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const std::int64_t epoch =
+      ts.tv_sec * 1'000'000'000LL + ts.tv_nsec - 3'000'000'000LL;  // 3s ago
+  UdpConfig ca;
+  ca.epoch_ns = epoch;
+  UdpConfig cb;
+  cb.epoch_ns = epoch;
+  UdpBackend ba(ca);
+  UdpBackend bb(cb);
+  // Both clocks read ~3s and agree within a generous scheduling margin.
+  EXPECT_GT(ba.now(), 2 * kSecond);
+  const Time da = ba.now();
+  const Time db = bb.now();
+  EXPECT_LT(da > db ? da - db : db - da, kSecond);
 }
 
 }  // namespace

@@ -290,5 +290,73 @@ TEST(FlightJsonl, RejectsMalformedInputWithLineNumber) {
   EXPECT_NE(err.find("line 2"), std::string::npos);
 }
 
+// Cross-process merge: two recorders with disjoint id bases each log their
+// own side of the same flight (sender: begin/wire_out/end; receiver:
+// wire_in under the context parsed off the wire). Concatenating both event
+// exports and assembling canonically must pair the halves — exactly what
+// whisper_trace does with per-process .events.jsonl files.
+TEST(FlightMerge, CrossProcessHalvesPairUp) {
+  std::uint64_t clock = 0;
+  FlightRecorder sender = make_recorder(&clock);
+  sender.set_id_base(1ull << 48);
+  FlightRecorder receiver = make_recorder(&clock);
+  receiver.set_id_base(2ull << 48);
+
+  const std::uint64_t id = sender.new_trace(TraceLayer::kWcl, 1, 0, 2);
+  TraceContext ctx;
+  ctx.trace_id = id;
+  ctx.root = id;
+  ctx.layer = TraceLayer::kWcl;
+  ctx.attempt = 1;
+  ctx.seq = sender.next_wire_seq();
+  sender.wire_out(ctx, 1, 100, 0);
+  receiver.wire_in(ctx, 2, 400);  // context arrived on the v2 frame
+  sender.end(id, 1, 400, "delivered", 1, 300);
+
+  // Round-trip both sides through the JSONL event interchange, concatenate,
+  // and assemble.
+  const std::string merged_text =
+      to_events_jsonl(sender.events()) + to_events_jsonl(receiver.events());
+  std::vector<FlightEventRec> merged;
+  std::string err;
+  ASSERT_TRUE(parse_flight_events_jsonl(merged_text, &merged, &err)) << err;
+  const auto records = canonical_flight_records(std::move(merged));
+  ASSERT_EQ(records.size(), 1u);
+  const FlightRecord& rec = records[0];
+  EXPECT_EQ(rec.trace_id, 1u);  // canonical renumbering: ordinal, not raw id
+  EXPECT_EQ(rec.outcome, "delivered");
+  ASSERT_EQ(rec.hops.size(), 1u);
+  EXPECT_EQ(rec.hops[0].from, 1u);
+  EXPECT_EQ(rec.hops[0].to, 2u);
+  EXPECT_EQ(rec.hops[0].prop_us, 300u);  // wire_in ts - wire_out ts
+  EXPECT_EQ(rec.rtt_us, 300u);
+}
+
+TEST(FlightMerge, CanonicalizeRecordsRenumbersByContentOrder) {
+  // Records merged from several processes carry id-base-namespaced trace
+  // ids; canonicalize_flight_records maps them to content-order ordinals so
+  // digests are stable across shard/process layouts.
+  FlightRecord a;
+  a.trace_id = (7ull << 48) + 5;
+  a.root = a.trace_id;
+  a.layer = TraceLayer::kWcl;
+  a.src = 1;
+  a.dst = 2;
+  a.begin_ts = 200;
+  a.outcome = "delivered";
+  FlightRecord b = a;
+  b.trace_id = (3ull << 48) + 9;
+  b.root = b.trace_id;
+  b.begin_ts = 100;
+
+  auto canon = canonicalize_flight_records({a, b});
+  ASSERT_EQ(canon.size(), 2u);
+  // Content order (begin_ts first) decides ordinals, not raw ids.
+  EXPECT_EQ(canon[0].begin_ts, 100u);
+  EXPECT_EQ(canon[0].trace_id, 1u);
+  EXPECT_EQ(canon[1].begin_ts, 200u);
+  EXPECT_EQ(canon[1].trace_id, 2u);
+}
+
 }  // namespace
 }  // namespace whisper::telemetry

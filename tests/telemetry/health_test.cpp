@@ -1,0 +1,383 @@
+#include "telemetry/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "telemetry/registry.hpp"
+
+namespace whisper::telemetry {
+namespace {
+
+HealthSnapshot sample_snapshot() {
+  HealthSnapshot s;
+  s.node = 7;
+  s.pid = 4242;
+  s.incarnation = 3;
+  s.seq = 11;
+  s.now_us = 5'000'000;
+  s.uptime_us = 4'900'000;
+  s.groups = 2;
+  s.wcl_backlog = 5;
+  s.pending_forwards = 1;
+  s.pss_view = 20;
+  s.pss_reserve = 40;
+  s.quarantined = 1;
+  s.peer_restarts = 2;
+  s.decode_rejects = 3;
+  s.rate_limited = 4;
+  s.rss_kb = 10'240;
+  s.cpu_us = 123'456;
+  s.keyframe = true;
+  s.metrics = {{"a.count", 10.0}, {"b.depth{node=n7}", 2.5}};
+  return s;
+}
+
+TEST(HealthRecord, RoundTrip) {
+  const HealthSnapshot in = sample_snapshot();
+  const Bytes rec = encode_health_record(in);
+  DecodeError err = DecodeError::kNone;
+  const auto out = decode_health_record(rec, &err);
+  ASSERT_TRUE(out.has_value()) << static_cast<int>(err);
+  EXPECT_EQ(out->node, in.node);
+  EXPECT_EQ(out->pid, in.pid);
+  EXPECT_EQ(out->incarnation, in.incarnation);
+  EXPECT_EQ(out->seq, in.seq);
+  EXPECT_EQ(out->now_us, in.now_us);
+  EXPECT_EQ(out->uptime_us, in.uptime_us);
+  EXPECT_EQ(out->groups, in.groups);
+  EXPECT_EQ(out->wcl_backlog, in.wcl_backlog);
+  EXPECT_EQ(out->pending_forwards, in.pending_forwards);
+  EXPECT_EQ(out->pss_view, in.pss_view);
+  EXPECT_EQ(out->pss_reserve, in.pss_reserve);
+  EXPECT_EQ(out->quarantined, in.quarantined);
+  EXPECT_EQ(out->peer_restarts, in.peer_restarts);
+  EXPECT_EQ(out->decode_rejects, in.decode_rejects);
+  EXPECT_EQ(out->rate_limited, in.rate_limited);
+  EXPECT_EQ(out->rss_kb, in.rss_kb);
+  EXPECT_EQ(out->cpu_us, in.cpu_us);
+  EXPECT_TRUE(out->keyframe);
+  EXPECT_EQ(out->metrics, in.metrics);
+}
+
+TEST(HealthRecord, DeltaFlagRoundTrips) {
+  HealthSnapshot in = sample_snapshot();
+  in.keyframe = false;
+  const auto out = decode_health_record(encode_health_record(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->keyframe);
+}
+
+// Satellite requirement: decoding must fail cleanly on EVERY truncation
+// point, not just a sampled few. Walk all strict prefixes of a real record.
+TEST(HealthRecord, AllPrefixesRejected) {
+  const Bytes rec = encode_health_record(sample_snapshot());
+  ASSERT_GT(rec.size(), 12u);
+  for (std::size_t n = 0; n < rec.size(); ++n) {
+    DecodeError err = DecodeError::kNone;
+    const auto out =
+        decode_health_record(BytesView(rec.data(), n), &err);
+    EXPECT_FALSE(out.has_value()) << "prefix length " << n;
+    EXPECT_NE(err, DecodeError::kNone) << "prefix length " << n;
+  }
+}
+
+TEST(HealthRecord, TrailingGarbageRejected) {
+  Bytes rec = encode_health_record(sample_snapshot());
+  rec.push_back(0x00);
+  DecodeError err = DecodeError::kNone;
+  EXPECT_FALSE(decode_health_record(rec, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kTrailingBytes);
+}
+
+TEST(HealthRecord, CrcCorruptionRejected) {
+  Bytes rec = encode_health_record(sample_snapshot());
+  // Flip one payload byte (past the 12-byte header); CRC must catch it.
+  rec[rec.size() - 1] ^= 0x01;
+  DecodeError err = DecodeError::kNone;
+  EXPECT_FALSE(decode_health_record(rec, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kBadValue);
+}
+
+TEST(HealthRecord, BadMagicAndVersionRejected) {
+  const Bytes good = encode_health_record(sample_snapshot());
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    Bytes bad = good;
+    bad[i] ^= 0xFF;
+    EXPECT_FALSE(decode_health_record(bad).has_value()) << "byte " << i;
+  }
+}
+
+TEST(HealthRecord, OversizedPayloadLengthRejected) {
+  Bytes rec = encode_health_record(sample_snapshot());
+  // Overwrite the u32 payload_len at offset 4 with a value beyond the cap.
+  const std::uint32_t huge = kMaxHealthPayloadBytes + 1;
+  std::memcpy(rec.data() + 4, &huge, sizeof(huge));
+  DecodeError err = DecodeError::kNone;
+  EXPECT_FALSE(decode_health_record(rec, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kOversized);
+}
+
+TEST(HealthRecord, OversizedMetricNameRejected) {
+  HealthSnapshot in = sample_snapshot();
+  in.metrics = {{std::string(kMaxHealthNameBytes + 1, 'x'), 1.0}};
+  const Bytes rec = encode_health_record(in);
+  DecodeError err = DecodeError::kNone;
+  EXPECT_FALSE(decode_health_record(rec, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kOversized);
+}
+
+TEST(HealthRecord, EmptyInputRejected) {
+  DecodeError err = DecodeError::kNone;
+  EXPECT_FALSE(decode_health_record(BytesView{}, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kTruncated);
+}
+
+TEST(HealthExporter, KeyframeThenDeltas) {
+  Registry reg;
+  reg.counter("c").add(5);
+  HealthExporter exp(&reg, 10);
+
+  HealthSnapshot s;
+  s.node = 1;
+  const auto first = decode_health_record(exp.next(s));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 1u);
+  EXPECT_TRUE(first->keyframe);
+  ASSERT_EQ(first->metrics.size(), 1u);
+  EXPECT_EQ(first->metrics[0].first, "c");
+  EXPECT_DOUBLE_EQ(first->metrics[0].second, 5.0);
+
+  // Nothing changed: delta record carries no metrics.
+  const auto second = decode_health_record(exp.next(s));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 2u);
+  EXPECT_FALSE(second->keyframe);
+  EXPECT_TRUE(second->metrics.empty());
+
+  // One metric changed: delta carries exactly that metric.
+  reg.counter("c").add(1);
+  reg.gauge("g").set(2.0);
+  const auto third = decode_health_record(exp.next(s));
+  ASSERT_TRUE(third.has_value());
+  EXPECT_FALSE(third->keyframe);
+  ASSERT_EQ(third->metrics.size(), 2u);
+  EXPECT_EQ(third->metrics[0].first, "c");
+  EXPECT_DOUBLE_EQ(third->metrics[0].second, 6.0);
+  EXPECT_EQ(third->metrics[1].first, "g");
+}
+
+TEST(HealthExporter, PeriodicKeyframe) {
+  Registry reg;
+  reg.counter("c").add(1);
+  HealthExporter exp(&reg, 3);
+  HealthSnapshot s;
+  std::vector<bool> keyframes;
+  for (int i = 0; i < 7; ++i) {
+    const auto rec = decode_health_record(exp.next(s));
+    ASSERT_TRUE(rec.has_value());
+    keyframes.push_back(rec->keyframe);
+  }
+  // Keyframe first and every 3rd record thereafter (seq 1, 4, 7 ...).
+  EXPECT_EQ(keyframes, (std::vector<bool>{true, false, false, true, false,
+                                          false, true}));
+}
+
+TEST(HealthAccumulator, DeltaChainAndGapResync) {
+  Registry reg;
+  reg.counter("c").add(1);
+  HealthExporter exp(&reg, 100);
+  HealthSnapshot s;
+  s.node = 2;
+  s.pid = 99;
+
+  HealthAccumulator acc;
+  EXPECT_FALSE(acc.valid());
+  ASSERT_TRUE(acc.apply(exp.next(s)));  // keyframe, seq 1
+  EXPECT_TRUE(acc.valid());
+  EXPECT_TRUE(acc.synced());
+  EXPECT_DOUBLE_EQ(acc.metrics().at("c"), 1.0);
+
+  reg.counter("c").add(1);
+  ASSERT_TRUE(acc.apply(exp.next(s)));  // delta, seq 2
+  EXPECT_TRUE(acc.synced());
+  EXPECT_DOUBLE_EQ(acc.metrics().at("c"), 2.0);
+
+  // Drop seq 3 on the floor: accumulator must go unsynced but stay valid
+  // (header liveness probing still works from any record).
+  reg.counter("c").add(1);
+  (void)exp.next(s);
+  reg.counter("c").add(1);
+  const Bytes after_gap = exp.next(s);  // delta, seq 4
+  ASSERT_TRUE(acc.apply(after_gap));
+  EXPECT_TRUE(acc.valid());
+  EXPECT_FALSE(acc.synced());
+  EXPECT_EQ(acc.last().seq, 4u);
+
+  // Deltas while unsynced do not resync...
+  reg.counter("c").add(1);
+  ASSERT_TRUE(acc.apply(exp.next(s)));  // delta, seq 5
+  EXPECT_FALSE(acc.synced());
+
+  // ...a keyframe does, with the full value set.
+  HealthExporter fresh(&reg, 100);
+  // Simulate node restart: new exporter restarts seq at 1 with a keyframe.
+  ASSERT_TRUE(acc.apply(fresh.next(s)));
+  EXPECT_TRUE(acc.synced());
+  EXPECT_DOUBLE_EQ(acc.metrics().at("c"), 5.0);
+}
+
+// Admin replies reuse the last exported seq as a keyframe; an accumulator
+// that is unsynced at that seq must accept the keyframe, not skip it as a
+// duplicate.
+TEST(HealthAccumulator, SameSeqKeyframeResyncsUnsynced) {
+  HealthSnapshot delta = sample_snapshot();
+  delta.keyframe = false;
+  delta.seq = 5;
+
+  HealthAccumulator acc;
+  acc.apply(delta);  // cold start on a mid-stream delta: valid, unsynced
+  EXPECT_TRUE(acc.valid());
+  EXPECT_FALSE(acc.synced());
+
+  HealthSnapshot key = delta;
+  key.keyframe = true;  // same pid / incarnation / seq
+  acc.apply(key);
+  EXPECT_TRUE(acc.synced());
+  EXPECT_DOUBLE_EQ(acc.metrics().at("a.count"), 10.0);
+
+  // Once synced, the same-seq record IS a duplicate and must be ignored.
+  HealthSnapshot dup = key;
+  dup.metrics = {{"a.count", 999.0}};
+  acc.apply(dup);
+  EXPECT_DOUBLE_EQ(acc.metrics().at("a.count"), 10.0);
+}
+
+TEST(HealthAccumulator, MalformedRecordChangesNothing) {
+  Registry reg;
+  reg.counter("c").add(1);
+  HealthExporter exp(&reg, 100);
+  HealthSnapshot s;
+  HealthAccumulator acc;
+  ASSERT_TRUE(acc.apply(exp.next(s)));
+  const auto before = acc.metrics();
+
+  Bytes bad = exp.next(s);
+  bad.resize(bad.size() / 2);
+  DecodeError err = DecodeError::kNone;
+  EXPECT_FALSE(acc.apply(bad, &err));
+  EXPECT_NE(err, DecodeError::kNone);
+  EXPECT_EQ(acc.metrics(), before);
+  EXPECT_EQ(acc.last().seq, 1u);
+}
+
+TEST(RegistryValues, FlattensHistogramsDeterministically) {
+  Registry reg;
+  reg.counter("z.count").add(3);
+  reg.gauge("a.depth", {{"node", "n1"}}).set(4.0);
+  auto& h = reg.histogram("lat", BucketSpec::log_spaced(1, 1000));
+  h.observe(10);
+  h.observe(100);
+
+  const auto vals = registry_values(reg);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : vals) keys.push_back(k);
+  // Sorted by canonical key; each histogram flattens to its derived stats
+  // in fixed order (count, sum, min, max, p50, p95, p99).
+  const std::vector<std::string> want = {
+      "a.depth{node=n1}", "lat#count", "lat#sum",  "lat#min",  "lat#max",
+      "lat#p50",          "lat#p95",   "lat#p99",  "z.count"};
+  EXPECT_EQ(keys, want);
+  for (const auto& [k, v] : vals) {
+    if (k == "lat#count") {
+      EXPECT_DOUBLE_EQ(v, 2.0);
+    } else if (k == "lat#sum") {
+      EXPECT_DOUBLE_EQ(v, 110.0);
+    } else if (k == "z.count") {
+      EXPECT_DOUBLE_EQ(v, 3.0);
+    }
+  }
+}
+
+TEST(HealthToJson, DeterministicOrdering) {
+  HealthSnapshot s = sample_snapshot();
+  const std::map<std::string, double> m = {{"b", 2.0}, {"a", 1.0}};
+  const std::string j1 = health_to_json(s, m, "7");
+  const std::string j2 = health_to_json(s, m, "7");
+  EXPECT_EQ(j1, j2);
+  // Map iteration order: "a" before "b".
+  EXPECT_LT(j1.find("\"a\""), j1.find("\"b\""));
+  EXPECT_NE(j1.find("\"node\":\"7\""), std::string::npos);
+}
+
+TEST(AdminRequest, RoundTrip) {
+  const Bytes req = encode_admin_request(AdminOp::kStats);
+  ASSERT_EQ(req.size(), 4u);
+  const auto op = decode_admin_request(req);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(*op, AdminOp::kStats);
+}
+
+TEST(AdminRequest, MalformedRejected) {
+  const Bytes good = encode_admin_request(AdminOp::kStats);
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    DecodeError err = DecodeError::kNone;
+    EXPECT_FALSE(
+        decode_admin_request(BytesView(good.data(), n), &err).has_value())
+        << "prefix " << n;
+    EXPECT_EQ(err, DecodeError::kTruncated) << "prefix " << n;
+  }
+  Bytes long_req = good;
+  long_req.push_back(0);
+  DecodeError err = DecodeError::kNone;
+  EXPECT_FALSE(decode_admin_request(long_req, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kTrailingBytes);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    Bytes bad = good;
+    bad[i] ^= 0xFF;
+    EXPECT_FALSE(decode_admin_request(bad).has_value()) << "byte " << i;
+  }
+}
+
+// Satellite: histogram percentile edge cases surfaced by the exporter.
+TEST(HistogramEdge, EmptyHistogramExportsZeros) {
+  Registry reg;
+  reg.histogram("h", BucketSpec::log_spaced(1, 100));
+  const auto vals = registry_values(reg);
+  for (const auto& [k, v] : vals) {
+    EXPECT_DOUBLE_EQ(v, 0.0) << k;
+  }
+}
+
+TEST(HistogramEdge, SingleSamplePercentilesCollapse) {
+  Histogram h(BucketSpec::log_spaced(1, 1000));
+  h.observe(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  // Every percentile of a single sample is that sample (clamped to
+  // [min, max]).
+  EXPECT_DOUBLE_EQ(h.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 42.0);
+}
+
+TEST(HistogramEdge, AllSamplesInOneBucket) {
+  Histogram h(BucketSpec::linear(0, 100, 10));
+  for (int i = 0; i < 1000; ++i) h.observe(55.0);
+  EXPECT_DOUBLE_EQ(h.min(), 55.0);
+  EXPECT_DOUBLE_EQ(h.max(), 55.0);
+  // All mass in one bucket: interpolation is clamped to [min, max], so
+  // every percentile must return exactly the common value.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 55.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 55.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 55.0);
+}
+
+}  // namespace
+}  // namespace whisper::telemetry

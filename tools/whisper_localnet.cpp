@@ -3,13 +3,25 @@
 //
 //   whisper_localnet --nodes=10 [--timeout=60s] [--dir=DIR] [--keep-dir]
 //                    [--noded=PATH] [--seed=7] [--flight]
-//                    [--chaos=kill:0.3[,stop:1]]
+//                    [--chaos=kill:0.3[,stop:1]] [--stats-interval=0.5]
+//                    [--scrape-admin] [--trace-wire]
 //
 // Forks N whisper_noded processes (one OS process per node, each with its
 // own UDP socket and epoll loop), wires them through a rendezvous
 // directory, and waits for every node to confirm its end of the
 // join -> group -> onion-send exchange (see whisper_noded for the file
 // protocol). Exit 0 iff all N delivered within the timeout.
+//
+// Observability (DESIGN.md §15): the supervisor scrapes each node's binary
+// stats.I health record (its liveness probe — there is no separate
+// heartbeat file) and folds the fleet into DIR/fleet.jsonl: one JSON line
+// per node per new record, ascending node id, followed by one summed
+// "fleet" line per scrape round — a merged time series that shows kill /
+// recovery dips. Every child shares one CLOCK_MONOTONIC epoch (--epoch)
+// so timestamps are directly comparable. --scrape-admin additionally
+// queries every node's admin UDP socket mid-run and gates the replies
+// against the rendezvous delivery receipts. --trace-wire passes the
+// cross-process flight tracing opt-in through (implies --flight).
 //
 // --chaos turns the launcher into a crash supervisor (DESIGN.md §14.4).
 // Victim selection is deterministic from --seed; each spec value is a
@@ -21,11 +33,11 @@
 //            exponential backoff (250 ms * 2^attempt, capped at 5 s). The
 //            run passes only if every victim comes back as ITSELF — its
 //            rendezvous card byte-identical (same node id, key, port), its
-//            heartbeat incarnation bumped — and re-confirms delivery.
+//            health-record incarnation bumped — and re-confirms delivery.
 //   stop:F   SIGSTOP F different nodes for a few seconds, then SIGCONT.
-//            The supervisor must flag them hung (pid alive, heartbeat
+//            The supervisor must flag them hung (pid alive, health-record
 //            seq frozen past the stall threshold) while stopped and see
-//            the heartbeat resume after SIGCONT: the liveness probe must
+//            the records resume after SIGCONT: the liveness probe must
 //            tell a wedged process from a dead one.
 //
 // Chaos implies per-node state dirs (DIR/state.I) and --linger, so the
@@ -37,17 +49,27 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/time.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include "common/bytes.hpp"
+#include "telemetry/health.hpp"
+
+namespace tel = whisper::telemetry;
 
 namespace {
 
@@ -87,6 +109,13 @@ double now_s() {
   return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) / 1e6;
 }
 
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
 bool file_exists(const std::string& path) {
   struct stat st{};
   return ::stat(path.c_str(), &st) == 0;
@@ -98,6 +127,14 @@ std::string read_file(const std::string& path) {
   std::string out((std::istreambuf_iterator<char>(in)),
                   std::istreambuf_iterator<char>());
   return out;
+}
+
+whisper::Bytes read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string s((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  return whisper::Bytes(s.begin(), s.end());
 }
 
 /// Default noded binary: next to this one.
@@ -175,20 +212,27 @@ bool parse_chaos(const std::string& spec, ChaosSpec* out) {
   return out->enabled();
 }
 
-/// Parsed heartbeat file: "pid incarnation seq".
-struct Heartbeat {
+/// Liveness probe read off a node's binary stats.I health record: the
+/// fixed header fields work from any record, keyframe or delta, even
+/// when the metric delta chain is broken (health.hpp).
+struct Probe {
   long pid = 0;
   unsigned incarnation = 0;
   unsigned long long seq = 0;
   bool ok = false;
 };
 
-Heartbeat read_heartbeat(const std::string& path) {
-  Heartbeat hb;
-  const std::string text = read_file(path);
-  hb.ok = std::sscanf(text.c_str(), "%ld %u %llu", &hb.pid, &hb.incarnation,
-                      &hb.seq) == 3;
-  return hb;
+Probe read_stats_probe(const std::string& path) {
+  Probe p;
+  const whisper::Bytes bytes = read_bytes(path);
+  if (bytes.empty()) return p;
+  const auto snap = tel::decode_health_record(bytes);
+  if (!snap) return p;
+  p.pid = static_cast<long>(snap->pid);
+  p.incarnation = snap->incarnation;
+  p.seq = snap->seq;
+  p.ok = true;
+  return p;
 }
 
 /// Everything the supervisor tracks about one node process.
@@ -202,15 +246,44 @@ struct Child {
   int restarts = 0;
   double restart_at = 0.0;    // 0 = no restart scheduled
   std::string card_before;    // rendezvous card bytes before the kill
-  unsigned inc_before = 0;    // heartbeat incarnation before the kill
+  unsigned inc_before = 0;    // health-record incarnation before the kill
   bool recovered = false;
-  bool hung_seen = false;     // liveness probe flagged a frozen heartbeat
-  bool resumed_seen = false;  // ...and saw it advance again after SIGCONT
+  bool hung_seen = false;     // liveness probe flagged frozen stats records
+  bool resumed_seen = false;  // ...and saw them advance again after SIGCONT
   /// Liveness probe state.
   unsigned long long last_seq = 0;
   double seq_changed_at = 0.0;
   std::string death_cause;    // exit/signal description of last death
 };
+
+/// One admin stats query: 4-byte request to 127.0.0.1:port, one health
+/// record back. Retries a few times with a poll() timeout — the node
+/// services its admin socket off a 50 ms timer.
+std::optional<tel::HealthSnapshot> query_admin(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  to.sin_port = htons(port);
+  const whisper::Bytes req = tel::encode_admin_request(tel::AdminOp::kStats);
+  std::optional<tel::HealthSnapshot> out;
+  for (int attempt = 0; attempt < 3 && !out; ++attempt) {
+    if (::sendto(fd, req.data(), req.size(), 0,
+                 reinterpret_cast<sockaddr*>(&to), sizeof to) < 0) {
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) <= 0) continue;
+    std::vector<std::uint8_t> buf(tel::kMaxHealthPayloadBytes + 64);
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n <= 0) continue;
+    out = tel::decode_health_record(
+        whisper::BytesView(buf.data(), static_cast<std::size_t>(n)));
+  }
+  ::close(fd);
+  return out;
+}
 
 }  // namespace
 
@@ -220,7 +293,11 @@ int main(int argc, char** argv) {
   const std::uint64_t timeout_s = arg_seconds(argc, argv, "timeout", 60);
   const std::string seed = arg_string(argc, argv, "seed", "7");
   const bool keep_dir = arg_flag(argc, argv, "keep-dir");
-  const bool flight = arg_flag(argc, argv, "flight");
+  const bool trace_wire = arg_flag(argc, argv, "trace-wire");
+  const bool flight = arg_flag(argc, argv, "flight") || trace_wire;
+  const bool scrape_admin = arg_flag(argc, argv, "scrape-admin");
+  const std::string stats_interval =
+      arg_string(argc, argv, "stats-interval", "0.5");
   std::string noded = arg_string(argc, argv, "noded", sibling_noded(argv[0]));
   ChaosSpec chaos;
   const std::string chaos_arg = arg_string(argc, argv, "chaos", "");
@@ -257,6 +334,11 @@ int main(int argc, char** argv) {
 
   std::signal(SIGCHLD, handle_sigchld);  // prompt reaping: interrupts usleep
 
+  // One shared CLOCK_MONOTONIC zero for the whole fleet: every child's
+  // now() — and therefore every health record and flight event timestamp —
+  // counts from the same instant.
+  const std::uint64_t epoch_ns = monotonic_ns();
+
   // Children must outlive both the convergence and the recovery window;
   // the supervisor, not the node timeout, ends a chaos run.
   const std::uint64_t child_timeout_s =
@@ -290,6 +372,8 @@ int main(int argc, char** argv) {
           "--nodes=" + std::to_string(nodes),
           "--timeout=" + std::to_string(child_timeout_s),
           "--seed=" + seed,
+          "--epoch=" + std::to_string(epoch_ns),
+          "--stats-interval=" + stats_interval,
       };
       if (chaos.enabled()) {
         args.push_back("--state-dir=" + dir + "/state." + std::to_string(i));
@@ -299,6 +383,7 @@ int main(int argc, char** argv) {
         args.push_back("--flight=" + dir + "/flight." + std::to_string(i) +
                        ".jsonl");
       }
+      if (trace_wire) args.push_back("--trace-wire");
       std::vector<char*> cargs;
       for (auto& a : args) cargs.push_back(a.data());
       cargs.push_back(nullptr);
@@ -315,6 +400,65 @@ int main(int argc, char** argv) {
   }
 
   bool failed = false;
+
+  // Fleet time series: per-node HealthAccumulators fold each node's
+  // keyframe/delta stream; every new record becomes one JSON line in
+  // DIR/fleet.jsonl (ascending node id), and each scrape round that saw
+  // news appends one summed "fleet" line. Deterministic ordering makes the
+  // file diffable in CI.
+  std::vector<tel::HealthAccumulator> accs(nodes + 1);
+  std::vector<std::pair<unsigned long long, unsigned>> last_emitted(
+      nodes + 1, {0, 0});  // (seq, incarnation) per node
+  std::uint64_t fleet_rounds = 0;
+  std::FILE* fleet = std::fopen((dir + "/fleet.jsonl").c_str(), "w");
+  if (fleet == nullptr) {
+    std::fprintf(stderr, "cannot write %s/fleet.jsonl\n", dir.c_str());
+    return 1;
+  }
+
+  const auto scrape_fleet = [&] {
+    bool any = false;
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      const whisper::Bytes bytes = read_bytes(dir + "/stats." + std::to_string(i));
+      if (bytes.empty()) continue;
+      if (!accs[i].apply(whisper::BytesView(bytes))) continue;
+      const auto key = std::make_pair(
+          (unsigned long long)accs[i].last().seq, accs[i].last().incarnation);
+      if (key == last_emitted[i]) continue;  // no new record since last round
+      last_emitted[i] = key;
+      std::fputs(tel::health_to_json(accs[i].last(), accs[i].metrics(),
+                                     std::to_string(i))
+                     .c_str(),
+                 fleet);
+      std::fputc('\n', fleet);
+      any = true;
+    }
+    if (!any) return;
+    tel::HealthSnapshot sum;
+    std::map<std::string, double> msum;
+    sum.seq = ++fleet_rounds;
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      if (!accs[i].valid()) continue;
+      const tel::HealthSnapshot& s = accs[i].last();
+      if (s.now_us > sum.now_us) sum.now_us = s.now_us;
+      if (s.uptime_us > sum.uptime_us) sum.uptime_us = s.uptime_us;
+      sum.groups += s.groups;
+      sum.wcl_backlog += s.wcl_backlog;
+      sum.pending_forwards += s.pending_forwards;
+      sum.pss_view += s.pss_view;
+      sum.pss_reserve += s.pss_reserve;
+      sum.quarantined += s.quarantined;
+      sum.peer_restarts += s.peer_restarts;
+      sum.decode_rejects += s.decode_rejects;
+      sum.rate_limited += s.rate_limited;
+      sum.rss_kb += s.rss_kb;
+      sum.cpu_us += s.cpu_us;
+      for (const auto& [k, v] : accs[i].metrics()) msum[k] += v;
+    }
+    std::fputs(tel::health_to_json(sum, msum, "fleet").c_str(), fleet);
+    std::fputc('\n', fleet);
+    std::fflush(fleet);
+  };
 
   /// Reap every dead child. A death the supervisor caused (SIGKILL victim,
   /// teardown) is expected; anything else fails the run unless the child
@@ -370,6 +514,7 @@ int main(int argc, char** argv) {
                     (unsigned long long)i);
       }
     }
+    scrape_fleet();
     reap(/*teardown=*/false);
     ::usleep(100 * 1000);
   }
@@ -385,6 +530,53 @@ int main(int argc, char** argv) {
                    children[i].death_cause.empty() ? "running"
                                                    : children[i].death_cause.c_str());
       print_log_tail(dir + "/log." + std::to_string(i), 5);
+    }
+  }
+
+  // --- Admin scrape gate: query every node's admin socket mid-run and
+  // cross-check the replies against the rendezvous receipts. ---
+  if (success && scrape_admin) {
+    double fleet_delivered = 0;
+    std::uint64_t replies = 0;
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      const std::uint16_t port = static_cast<std::uint16_t>(
+          std::strtoul(read_file(dir + "/admin." + std::to_string(i)).c_str(),
+                       nullptr, 10));
+      if (port == 0) {
+        std::fprintf(stderr, "admin FAIL: node %llu published no admin port\n",
+                     (unsigned long long)i);
+        continue;
+      }
+      const auto snap = query_admin(port);
+      if (!snap || snap->node != i || !snap->keyframe || snap->pid == 0) {
+        std::fprintf(stderr, "admin FAIL: node %llu gave no valid reply\n",
+                     (unsigned long long)i);
+        continue;
+      }
+      ++replies;
+      for (const auto& [k, v] : snap->metrics) {
+        if (k == "wcl.onions.delivered") fleet_delivered += v;
+      }
+    }
+    std::uint64_t receipts = 0;
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      receipts += file_exists(dir + "/delivered." + std::to_string(i)) ? 1 : 0;
+    }
+    // Every delivery receipt implies at least one onion opened at its final
+    // destination somewhere in the fleet.
+    if (replies != nodes || fleet_delivered + 0.5 < static_cast<double>(receipts)) {
+      std::fprintf(stderr,
+                   "admin FAIL: %llu/%llu replies, fleet onions delivered "
+                   "%.0f vs %llu receipts\n",
+                   (unsigned long long)replies, (unsigned long long)nodes,
+                   fleet_delivered, (unsigned long long)receipts);
+      success = false;
+      failed = true;
+    } else {
+      std::printf("admin scrape: %llu/%llu replies, %.0f onions delivered "
+                  ">= %llu receipts\n",
+                  (unsigned long long)replies, (unsigned long long)nodes,
+                  fleet_delivered, (unsigned long long)receipts);
     }
   }
 
@@ -406,7 +598,7 @@ int main(int argc, char** argv) {
     }
 
     const double chaos_start = now_s();
-    const double stall_threshold = 3.0;   // hb frozen longer than this = hung
+    const double stall_threshold = 3.0;   // stats frozen longer = hung
     const double cont_at = chaos_start + 5.0;
     bool cont_sent = false;
 
@@ -415,7 +607,8 @@ int main(int argc, char** argv) {
       Child& c = children[v];
       c.kill_victim = true;
       c.card_before = read_file(dir + "/card." + std::to_string(v));
-      c.inc_before = read_heartbeat(dir + "/hb." + std::to_string(v)).incarnation;
+      c.inc_before =
+          read_stats_probe(dir + "/stats." + std::to_string(v)).incarnation;
       c.expected_dead = true;
       ::kill(c.pid, SIGKILL);
       // The receipt must be re-earned by the restarted incarnation.
@@ -440,6 +633,7 @@ int main(int argc, char** argv) {
     while (now_s() < recover_deadline && !failed) {
       const double t = now_s();
       reap(/*teardown=*/false);
+      scrape_fleet();
 
       // Restart due victims from their state dirs.
       for (std::uint64_t i = 1; i <= nodes; ++i) {
@@ -468,16 +662,18 @@ int main(int argc, char** argv) {
         }
       }
 
-      // Liveness probe: pid alive + heartbeat seq frozen = hung, not dead.
+      // Liveness probe: pid alive + health-record seq frozen = hung, not
+      // dead. Same versioned record the fleet scrape reads — there is no
+      // separate heartbeat format.
       for (std::uint64_t i = 1; i <= nodes; ++i) {
         Child& c = children[i];
         if (c.pid < 0) continue;
-        const Heartbeat hb = read_heartbeat(dir + "/hb." + std::to_string(i));
+        const Probe hb = read_stats_probe(dir + "/stats." + std::to_string(i));
         if (!hb.ok) continue;
         if (hb.seq != c.last_seq) {
           if (c.stop_victim && c.hung_seen && !c.resumed_seen) {
             c.resumed_seen = true;
-            std::printf("chaos: node %llu heartbeat resumed after SIGCONT\n",
+            std::printf("chaos: node %llu stats resumed after SIGCONT\n",
                         (unsigned long long)i);
           }
           c.last_seq = hb.seq;
@@ -487,7 +683,7 @@ int main(int argc, char** argv) {
         if (c.seq_changed_at != 0.0 && t - c.seq_changed_at > stall_threshold &&
             ::kill(c.pid, 0) == 0 && !c.hung_seen) {
           c.hung_seen = true;
-          std::printf("chaos: node %llu is HUNG (pid %d alive, heartbeat "
+          std::printf("chaos: node %llu is HUNG (pid %d alive, stats "
                       "frozen %.1fs)\n",
                       (unsigned long long)i, (int)c.pid, t - c.seq_changed_at);
         }
@@ -504,7 +700,7 @@ int main(int argc, char** argv) {
             continue;
           }
           const std::string card_now = read_file(dir + "/card." + std::to_string(i));
-          const Heartbeat hb = read_heartbeat(dir + "/hb." + std::to_string(i));
+          const Probe hb = read_stats_probe(dir + "/stats." + std::to_string(i));
           if (card_now != c.card_before) {
             std::fprintf(stderr,
                          "chaos FAIL: node %llu came back with a different "
@@ -554,7 +750,7 @@ int main(int argc, char** argv) {
       }
       if (c.stop_victim && c.hung_seen && !c.resumed_seen) {
         std::fprintf(stderr,
-                     "chaos FAIL: node %llu heartbeat did not resume after "
+                     "chaos FAIL: node %llu stats did not resume after "
                      "SIGCONT\n",
                      (unsigned long long)i);
         failed = true;
@@ -586,6 +782,10 @@ int main(int argc, char** argv) {
     }
     ::usleep(50 * 1000);
   }
+  // Final scrape: exit-time records (noded writes one on shutdown) land in
+  // the timeline before the file closes.
+  scrape_fleet();
+  std::fclose(fleet);
 
   if (success) {
     if (chaos.enabled()) {
@@ -595,9 +795,15 @@ int main(int argc, char** argv) {
     } else {
       std::printf("OK: all %llu nodes delivered\n", (unsigned long long)nodes);
     }
+    std::printf("fleet timeline: %s/fleet.jsonl\n", dir.c_str());
     if (flight) {
       std::printf("flight records: %s/flight.<id>.jsonl — try:\n"
                   "  whisper_trace summary %s/flight.1.jsonl\n",
+                  dir.c_str(), dir.c_str());
+    }
+    if (trace_wire) {
+      std::printf("cross-process events: %s/flight.<id>.events.jsonl — try:\n"
+                  "  whisper_trace summary %s/flight.*.events.jsonl\n",
                   dir.c_str(), dir.c_str());
     }
   }

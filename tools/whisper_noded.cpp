@@ -3,7 +3,8 @@
 //
 //   whisper_noded --dir=RENDEZVOUS --id=I --nodes=N [--timeout=60]
 //                 [--seed=7] [--group=1] [--flight=out.jsonl]
-//                 [--state-dir=DIR] [--linger]
+//                 [--state-dir=DIR] [--linger] [--stats-interval=1]
+//                 [--trace-wire] [--epoch=NS]
 //
 // Nodes coordinate through the rendezvous directory (shared filesystem —
 // the localhost stand-in for a bootstrap service):
@@ -15,9 +16,14 @@
 //   delivered.I  written by node I when its end of the exchange succeeded:
 //                members after receiving the leader's onion-routed pong,
 //                the leader after ponging every member
-//   hb.I         heartbeat, rewritten every 500 ms: "pid inc seq" — the
-//                chaos supervisor's liveness probe (a live pid with a
-//                stale heartbeat is hung, not dead)
+//   stats.I      binary health record (telemetry/health.hpp), rewritten
+//                atomically every --stats-interval: registry delta/keyframe
+//                plus the fixed health header. Doubles as the chaos
+//                supervisor's liveness probe (pid / incarnation / seq) and
+//                as the scrape source for whisper_localnet / whisper_top.
+//   admin.I      decimal UDP port of the node's loopback admin socket;
+//                a 4-byte stats request (health.hpp) gets one keyframe
+//                health record back.
 //
 // The run: everyone boots and gossips; the leader founds the group and
 // writes invitations; members join and send an onion-routed "ping I" to
@@ -33,6 +39,14 @@
 // re-sends its join request to re-validate its passport with the group.
 // --linger keeps the node serving after its own delivery succeeded, so a
 // mesh under chaos always has live peers to rejoin through.
+//
+// Observability (DESIGN.md §15): --trace-wire opts into version-2 UDP
+// frames that carry the TraceContext, so flight events recorded here pair
+// with the sender's and whisper_trace can merge per-process event exports
+// (written beside --flight as <out>.events.jsonl) into cross-process
+// per-hop decompositions. --epoch=NS shares one CLOCK_MONOTONIC zero
+// across the fleet so those timestamps are directly comparable. Status
+// lines go to stderr as structured JSONL (telemetry/log.hpp).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,13 +57,18 @@
 #include <unordered_set>
 #include <vector>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
+#include "store/journal.hpp"
 #include "store/state.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/flight.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/log.hpp"
 #include "whisper/keypool.hpp"
 #include "whisper/realnet.hpp"
 
@@ -97,6 +116,17 @@ std::uint64_t arg_seconds(int argc, char** argv, const std::string& key,
   return std::strtoull(s.c_str(), nullptr, 10);
 }
 
+/// Fractional seconds ("0.25", "1", "2s") as microseconds.
+net::Time arg_interval_us(int argc, char** argv, const std::string& key,
+                          net::Time fallback_us) {
+  std::string s = arg_string(argc, argv, key, "");
+  if (s.empty()) return fallback_us;
+  if (s.back() == 's' || s.back() == 'S') s.pop_back();
+  const double v = std::strtod(s.c_str(), nullptr);
+  if (v <= 0) return fallback_us;
+  return static_cast<net::Time>(v * 1e6);
+}
+
 std::optional<Bytes> read_hex_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
@@ -121,6 +151,37 @@ bool write_hex_file(const std::string& path, BytesView bytes) {
   return write_text_file_atomic(path, to_hex(bytes) + "\n");
 }
 
+/// Resident set from /proc/self/statm, in KiB (0 when unreadable).
+std::uint64_t read_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vsz = 0, rss_pages = 0;
+  const int rc = std::fscanf(f, "%llu %llu", &vsz, &rss_pages);
+  std::fclose(f);
+  if (rc != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096) / 1024;
+}
+
+/// Non-blocking loopback UDP socket on an OS-assigned port, for the admin
+/// stats endpoint. Returns the fd (or -1) and fills `port`.
+int open_admin_socket(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  socklen_t len = sizeof addr;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0 ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
 struct Options {
   std::string dir;
   std::uint64_t id = 0;
@@ -131,6 +192,9 @@ struct Options {
   std::string flight_path;
   std::string state_dir;
   bool linger = false;
+  net::Time stats_interval = net::kSecond;
+  bool trace_wire = false;
+  std::int64_t epoch_ns = -1;
 };
 
 /// Epoch history in the form Ppss::resume and the store share.
@@ -150,6 +214,8 @@ struct Orchestrator {
   WhisperNode& node;
   bool is_leader;
   store::NodeStateStore* store = nullptr;  // null without --state-dir
+  telemetry::Logger& log;
+  telemetry::Registry& registry;
 
   ppss::Ppss* group = nullptr;
   std::optional<wcl::RemotePeer> leader_peer = std::nullopt;
@@ -161,7 +227,9 @@ struct Orchestrator {
   bool persisted_membership = false;
   bool done = false;
   int exit_code = 1;
-  std::uint64_t hb_seq = 0;
+  telemetry::HealthExporter exporter = telemetry::HealthExporter{};
+  net::Time boot_at = 0;
+  int admin_fd = -1;
 
   std::string path(const std::string& base) const { return opt.dir + "/" + base; }
 
@@ -175,16 +243,71 @@ struct Orchestrator {
                            [this] { backend.request_stop(); });
   }
 
-  /// Heartbeat: "pid incarnation seq", rewritten atomically. The supervisor
-  /// reads pid to track the process, incarnation to verify a restart
-  /// actually bumped the epoch, and seq to tell hung from alive.
-  void heartbeat() {
-    ++hb_seq;
-    write_text_file_atomic(
-        path("hb." + std::to_string(opt.id)),
-        std::to_string(::getpid()) + " " + std::to_string(node.transport().incarnation()) +
-            " " + std::to_string(hb_seq) + "\n");
-    backend.schedule_after(500 * net::kMillisecond, [this] { heartbeat(); });
+  /// The fixed health header: what the supervisor's hung-vs-dead probe and
+  /// the fleet aggregator read from every record, keyframe or delta.
+  telemetry::HealthSnapshot snapshot() {
+    telemetry::HealthSnapshot s;
+    s.node = opt.id;
+    s.pid = static_cast<std::uint32_t>(::getpid());
+    s.incarnation = node.transport().incarnation();
+    s.now_us = static_cast<std::uint64_t>(backend.now());
+    s.uptime_us = static_cast<std::uint64_t>(backend.now() - boot_at);
+    s.groups = static_cast<std::uint32_t>(node.group_count());
+    s.wcl_backlog = static_cast<std::uint32_t>(node.wcl().backlog().size());
+    s.pending_forwards =
+        static_cast<std::uint32_t>(node.wcl().pending_forward_count());
+    s.pss_view = static_cast<std::uint32_t>(node.pss().view().size());
+    s.pss_reserve = static_cast<std::uint32_t>(node.pss().reserve_size());
+    s.quarantined = static_cast<std::uint32_t>(node.pss().peers_quarantined());
+    s.peer_restarts = static_cast<std::uint32_t>(node.transport().peer_restarts());
+    s.decode_rejects = static_cast<std::uint32_t>(
+        node.transport().decode_rejects() + node.pss().decode_rejects() +
+        node.wcl().stats().decode_rejects);
+    s.rate_limited = static_cast<std::uint32_t>(node.pss().rate_limited() +
+                                                node.wcl().stats().rate_limited);
+    s.rss_kb = read_rss_kb();
+    s.cpu_us = static_cast<std::uint64_t>(node.cpu().total());
+    return s;
+  }
+
+  /// Stats publisher: the versioned delta/keyframe record replaces the old
+  /// "pid inc seq" heartbeat text file wholesale — same cadence contract
+  /// (supervisor treats a stale seq from a live pid as hung), richer body.
+  void publish_stats() {
+    const Bytes rec = exporter.next(snapshot());
+    std::string err;
+    if (!store::atomic_publish_file(path("stats." + std::to_string(opt.id)), rec,
+                                  &err)) {
+      log.warn("stats_write_failed", {{"error", err}});
+    }
+    backend.schedule_after(opt.stats_interval, [this] { publish_stats(); });
+  }
+
+  /// Admin endpoint: drain pending requests, answer each with one keyframe
+  /// record (full registry — an admin scrape must not depend on the file
+  /// stream's delta chain). Served off the tick wheel; sub-50 ms latency is
+  /// plenty for an operator tool.
+  void admin_poll() {
+    for (;;) {
+      std::uint8_t buf[64];
+      sockaddr_in from{};
+      socklen_t from_len = sizeof from;
+      const ssize_t n =
+          ::recvfrom(admin_fd, buf, sizeof buf, 0,
+                     reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n < 0) break;
+      const auto op = telemetry::decode_admin_request(
+          BytesView(buf, static_cast<std::size_t>(n)));
+      if (!op || *op != telemetry::AdminOp::kStats) continue;
+      telemetry::HealthSnapshot snap = snapshot();
+      snap.seq = exporter.seq();
+      snap.keyframe = true;
+      snap.metrics = telemetry::registry_values(registry);
+      const Bytes reply = telemetry::encode_health_record(snap);
+      (void)::sendto(admin_fd, reply.data(), reply.size(), 0,
+                     reinterpret_cast<sockaddr*>(&from), from_len);
+    }
+    backend.schedule_after(50 * net::kMillisecond, [this] { admin_poll(); });
   }
 
   /// Journal the current group membership (leader secret included).
@@ -215,17 +338,15 @@ struct Orchestrator {
       if (!group->is_leader()) {
         // Inconsistent store (key does not match the recorded epochs):
         // fall back to founding fresh via the normal tick path.
-        std::fprintf(stderr, "[noded %llu] stored group key rejected, refounding\n",
-                     (unsigned long long)opt.id);
+        log.warn("stored_group_key_rejected");
         group = nullptr;
         return;
       }
       group->on_app_message = [this](const wcl::RemotePeer& from, BytesView p) {
         leader_on_ping(from, p);
       };
-      std::printf("[noded %llu] group leadership resumed from state (epoch %llu)\n",
-                  (unsigned long long)opt.id,
-                  (unsigned long long)group->leader_epoch());
+      log.info("group_resumed",
+               {{"epoch", (unsigned long long)group->leader_epoch()}});
       return;
     }
     if (!is_leader) {
@@ -235,9 +356,8 @@ struct Orchestrator {
       group->on_app_message = [this](const wcl::RemotePeer&, BytesView p) {
         member_on_pong(p);
       };
-      std::printf("[noded %llu] membership resumed from state (passport %s)\n",
-                  (unsigned long long)opt.id,
-                  group->joined() ? "restored" : "pending re-join");
+      log.info("membership_resumed",
+               {{"passport", group->joined() ? "restored" : "pending-rejoin"}});
       // Re-validate with the group even when the stored passport verified:
       // the join response refreshes the key history and view, and tells the
       // leader this incarnation is alive.
@@ -264,8 +384,8 @@ struct Orchestrator {
       write_hex_file(path("invite." + std::to_string(i)), w.data());
     }
     persist_group();
-    std::printf("[noded %llu] group founded, %llu invitations published\n",
-                (unsigned long long)opt.id, (unsigned long long)(opt.nodes - 1));
+    log.info("group_founded",
+             {{"invitations", (unsigned long long)(opt.nodes - 1)}});
   }
 
   void leader_on_ping(const wcl::RemotePeer& from, BytesView payload) {
@@ -274,9 +394,9 @@ struct Orchestrator {
     const std::uint64_t member = std::strtoull(text.c_str() + 5, nullptr, 10);
     group->send_app_to(from, to_bytes("pong " + std::to_string(member)));
     if (ponged.insert(member).second) {
-      std::printf("[noded %llu] ping from member %llu (%zu/%llu)\n",
-                  (unsigned long long)opt.id, (unsigned long long)member,
-                  ponged.size(), (unsigned long long)(opt.nodes - 1));
+      log.info("ping", {{"member", (unsigned long long)member},
+                        {"answered", (unsigned long long)ponged.size()},
+                        {"expected", (unsigned long long)(opt.nodes - 1)}});
     }
     if (ponged.size() == opt.nodes - 1 && !done) {
       write_hex_file(path("delivered." + std::to_string(opt.id)),
@@ -295,8 +415,7 @@ struct Orchestrator {
     auto invite = ppss::Accreditation::deserialize(r);
     auto leader = wcl::RemotePeer::deserialize(r);
     if (!invite || !leader || !r.expect_done()) {
-      std::fprintf(stderr, "[noded %llu] malformed invitation\n",
-                   (unsigned long long)opt.id);
+      log.warn("invite_malformed");
       return;
     }
     accreditation = *invite;
@@ -317,8 +436,7 @@ struct Orchestrator {
     if (!announced_join) {
       announced_join = true;
       write_hex_file(path("member." + std::to_string(opt.id)), to_bytes("joined"));
-      std::printf("[noded %llu] joined group, pinging leader\n",
-                  (unsigned long long)opt.id);
+      log.info("joined");
     }
     if (!persisted_membership && !group->passport().signature.empty()) {
       persisted_membership = true;
@@ -339,8 +457,7 @@ struct Orchestrator {
     if (to_string(payload) != expected) return;
     write_hex_file(path("delivered." + std::to_string(opt.id)),
                    Bytes(payload.begin(), payload.end()));
-    std::printf("[noded %llu] pong received — delivery confirmed\n",
-                (unsigned long long)opt.id);
+    log.info("delivered");
     finish(0);
   }
 };
@@ -358,20 +475,36 @@ int main(int argc, char** argv) {
   opt.flight_path = arg_string(argc, argv, "flight", "");
   opt.state_dir = arg_string(argc, argv, "state-dir", "");
   opt.linger = arg_flag(argc, argv, "linger");
+  opt.stats_interval = arg_interval_us(argc, argv, "stats-interval", net::kSecond);
+  opt.trace_wire = arg_flag(argc, argv, "trace-wire");
+  const std::string epoch_s = arg_string(argc, argv, "epoch", "");
+  if (!epoch_s.empty()) {
+    opt.epoch_ns =
+        static_cast<std::int64_t>(std::strtoull(epoch_s.c_str(), nullptr, 10));
+  }
   if (opt.dir.empty() || opt.id == 0 || opt.nodes < 2 || opt.id > opt.nodes) {
     std::fprintf(stderr,
                  "usage: whisper_noded --dir=DIR --id=I --nodes=N "
                  "[--timeout=60] [--seed=7] [--group=1] [--flight=out.jsonl]\n"
-                 "       [--state-dir=DIR] [--linger]\n"
+                 "       [--state-dir=DIR] [--linger] [--stats-interval=SECS]\n"
+                 "       [--trace-wire] [--epoch=NS]\n"
                  "ids are 1..N; id 1 is the group leader\n");
     return 2;
   }
 
-  net::UdpBackend backend;
+  telemetry::Logger logger;
+  logger.set_node(opt.id);
+
+  net::UdpConfig bcfg;
+  bcfg.trace_wire = opt.trace_wire;
+  bcfg.epoch_ns = opt.epoch_ns;
+  net::UdpBackend backend(bcfg);
   if (!backend.last_error().empty()) {
-    std::fprintf(stderr, "backend: %s\n", backend.last_error().c_str());
+    logger.error("backend", {{"error", backend.last_error()}});
     return 1;
   }
+  logger.set_clock(
+      [&backend] { return static_cast<std::uint64_t>(backend.now()); });
   g_backend = &backend;
   std::signal(SIGTERM, handle_term);
   std::signal(SIGINT, handle_term);
@@ -385,16 +518,14 @@ int main(int argc, char** argv) {
   bool restored = false;
   if (!opt.state_dir.empty()) {
     if (!store.open(opt.state_dir)) {
-      std::fprintf(stderr, "[noded %llu] state store: %s\n",
-                   (unsigned long long)opt.id, store.last_error().c_str());
+      logger.error("state_store", {{"error", store.last_error()}});
       return 1;
     }
     storep = &store;
     restored = store.has_state();
     if (restored && store.state().id != NodeId{opt.id}) {
-      std::fprintf(stderr, "[noded %llu] state dir belongs to node %llu\n",
-                   (unsigned long long)opt.id,
-                   (unsigned long long)store.state().id.value);
+      logger.error("state_dir_mismatch",
+                   {{"owner", (unsigned long long)store.state().id.value}});
       return 1;
     }
   }
@@ -404,7 +535,10 @@ int main(int argc, char** argv) {
   telemetry::FlightRecorder flight;
   tracer.set_clock(net::clock_fn(backend));
   flight.set_clock(net::clock_fn(backend));
-  flight.set_enabled(!opt.flight_path.empty());
+  flight.set_enabled(!opt.flight_path.empty() || opt.trace_wire);
+  // Namespace trace ids per process so merged cross-process event streams
+  // never collide (same scheme as the sharded engine's per-shard bases).
+  flight.set_id_base(opt.id << 48);
   backend.set_flight(&flight);
 
   Endpoint ep;
@@ -412,8 +546,7 @@ int main(int argc, char** argv) {
     store::NodeState& st = store.state();
     st.incarnation += 1;
     if (!store.record_incarnation(st.incarnation)) {
-      std::fprintf(stderr, "[noded %llu] incarnation journal: %s\n",
-                   (unsigned long long)opt.id, store.last_error().c_str());
+      logger.error("incarnation_journal", {{"error", store.last_error()}});
       return 1;
     }
     // Re-bind the persisted port so peers' contact cards stay valid. The
@@ -426,21 +559,20 @@ int main(int argc, char** argv) {
       // and persist it; peers relearn the address through PSS gossip.
       const auto fresh = backend.reserve_endpoint();
       if (!fresh) {
-        std::fprintf(stderr, "bind: %s\n", backend.last_error().c_str());
+        logger.error("bind", {{"error", backend.last_error()}});
         return 1;
       }
       ep = *fresh;
       st.endpoint = ep;
       store.commit_snapshot();
-      std::fprintf(stderr, "[noded %llu] stored port unavailable, rebound to %s\n",
-                   (unsigned long long)opt.id, ep.str().c_str());
+      logger.warn("port_rebound", {{"ep", ep.str()}});
     }
-    std::printf("[noded %llu] restart from state: incarnation %u at %s\n",
-                (unsigned long long)opt.id, st.incarnation, ep.str().c_str());
+    logger.info("restart_from_state",
+                {{"incarnation", st.incarnation}, {"ep", ep.str()}});
   } else {
     const auto fresh = backend.reserve_endpoint();
     if (!fresh) {
-      std::fprintf(stderr, "bind: %s\n", backend.last_error().c_str());
+      logger.error("bind", {{"error", backend.last_error()}});
       return 1;
     }
     ep = *fresh;
@@ -452,8 +584,7 @@ int main(int argc, char** argv) {
       st.incarnation = 1;
       st.identity = pooled_keypair(opt.id, realtime_node_config().rsa_bits);
       if (!store.commit_snapshot()) {
-        std::fprintf(stderr, "[noded %llu] snapshot: %s\n",
-                     (unsigned long long)opt.id, store.last_error().c_str());
+        logger.error("snapshot", {{"error", store.last_error()}});
         return 1;
       }
     }
@@ -474,8 +605,23 @@ int main(int argc, char** argv) {
     return e == ep ? opt.id : 0ull;
   });
 
-  Orchestrator orch{opt, backend, node, /*is_leader=*/opt.id == 1, storep};
-  orch.heartbeat();
+  Orchestrator orch{opt,    backend, node, /*is_leader=*/opt.id == 1,
+                    storep, logger,  registry};
+  orch.exporter = telemetry::HealthExporter(&registry);
+  orch.boot_at = backend.now();
+  orch.publish_stats();
+
+  // Admin stats endpoint: loopback UDP socket, port published via the
+  // rendezvous dir; serviced off the timer wheel.
+  std::uint16_t admin_port = 0;
+  orch.admin_fd = open_admin_socket(&admin_port);
+  if (orch.admin_fd >= 0) {
+    write_text_file_atomic(orch.path("admin." + std::to_string(opt.id)),
+                           std::to_string(admin_port) + "\n");
+    orch.admin_poll();
+  } else {
+    logger.warn("admin_socket_failed");
+  }
 
   // 1. Publish our card, then wait for the full roster before starting:
   //    everyone boots with every peer in reach, like the testbed's
@@ -484,8 +630,8 @@ int main(int argc, char** argv) {
     Writer w;
     node.transport().self_card().serialize(w);
     if (!write_hex_file(orch.path("card." + std::to_string(opt.id)), w.data())) {
-      std::fprintf(stderr, "cannot write %s\n",
-                   orch.path("card." + std::to_string(opt.id)).c_str());
+      logger.error("card_write_failed",
+                   {{"path", orch.path("card." + std::to_string(opt.id))}});
       return 1;
     }
   }
@@ -508,9 +654,9 @@ int main(int argc, char** argv) {
       // Re-announce into PSS happened via start(); now resurrect group
       // membership and (members) kick off the passport re-validation.
       orch.resume_from_store();
-      std::printf("[noded %llu] up at %s, %zu bootstrap contacts%s\n",
-                  (unsigned long long)opt.id, ep.str().c_str(), bootstrap.size(),
-                  restored ? " (recovered)" : "");
+      logger.info("up", {{"ep", ep.str()},
+                         {"bootstrap", (unsigned long long)bootstrap.size()},
+                         {"recovered", restored}});
       return;
     }
     backend.schedule_after(50 * net::kMillisecond, boot_poll);
@@ -536,21 +682,33 @@ int main(int argc, char** argv) {
   tick();
 
   backend.schedule_after(opt.timeout_s * net::kSecond, [&] {
-    if (!orch.done) {
-      std::fprintf(stderr, "[noded %llu] timeout\n", (unsigned long long)opt.id);
-    }
+    if (!orch.done) logger.warn("timeout");
     backend.request_stop();
   });
 
   backend.run();
   node.stop();
 
+  // One final record so post-mortem scrapes see the exit-time counters.
+  orch.publish_stats();
+  if (orch.admin_fd >= 0) ::close(orch.admin_fd);
+
   if (!opt.flight_path.empty()) {
     const auto records = flight.assemble();
     telemetry::write_text_file(opt.flight_path, telemetry::to_jsonl(records));
-    std::printf("[noded %llu] %zu flight records -> %s\n",
-                (unsigned long long)opt.id, records.size(),
-                opt.flight_path.c_str());
+    // Raw per-process events beside the records: the cross-process merge
+    // input for `whisper_trace summary a.events.jsonl b.events.jsonl ...`.
+    std::string events_path = opt.flight_path;
+    const std::string ext = ".jsonl";
+    if (events_path.size() > ext.size() &&
+        events_path.compare(events_path.size() - ext.size(), ext.size(), ext) == 0) {
+      events_path.resize(events_path.size() - ext.size());
+    }
+    events_path += ".events.jsonl";
+    telemetry::write_text_file(events_path,
+                               telemetry::to_events_jsonl(flight.events()));
+    logger.info("flight_export", {{"records", (unsigned long long)records.size()},
+                                  {"path", opt.flight_path}});
   }
   return orch.done ? orch.exit_code : 1;
 }

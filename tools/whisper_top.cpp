@@ -1,0 +1,293 @@
+// whisper_top — live fleet view over a whisper_localnet rendezvous
+// directory (DESIGN.md §15).
+//
+//   whisper_top --dir=DIR [--nodes=N] [--interval=1] [--once] [--json]
+//               [--admin]
+//
+// Scrapes each node's binary stats.I health record (the same versioned
+// keyframe/delta stream the chaos supervisor probes) through a per-node
+// HealthAccumulator and renders a refreshing table: delivery counters and
+// rate, PSS exchange RTT p95, quarantines, peer restarts, incarnation,
+// rss/cpu. A node whose record stops advancing is flagged stale — exactly
+// the supervisor's hung-vs-dead signal, read by an operator.
+//
+//   --nodes=N    probe ids 1..N (default: every stats.* file in DIR)
+//   --interval   refresh period in seconds (default 1)
+//   --once       one sample, no screen clearing — for scripts
+//   --json       emit machine-readable JSONL (health_to_json lines,
+//                per-node ascending then one "fleet" sum) instead of the
+//                table; with --once this is the CI dump format
+//   --admin      scrape via each node's admin UDP socket (admin.I ports)
+//                instead of the stats files: exercises the request/reply
+//                path and always yields fresh keyframes
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/bytes.hpp"
+#include "telemetry/health.hpp"
+
+namespace tel = whisper::telemetry;
+
+namespace {
+
+std::string arg_string(int argc, char** argv, const std::string& key,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+whisper::Bytes read_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  whisper::Bytes out;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+/// Node ids found as stats.I files in the rendezvous dir, ascending.
+std::vector<std::uint64_t> discover_nodes(const std::string& dir) {
+  std::vector<std::uint64_t> ids;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ids;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("stats.", 0) != 0) continue;
+    const std::uint64_t id = std::strtoull(name.c_str() + 6, nullptr, 10);
+    if (id > 0) ids.push_back(id);
+  }
+  ::closedir(d);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// One admin stats query (see whisper_noded: 4-byte request, one keyframe
+/// health record back).
+std::optional<tel::HealthSnapshot> query_admin(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  to.sin_port = htons(port);
+  const whisper::Bytes req = tel::encode_admin_request(tel::AdminOp::kStats);
+  std::optional<tel::HealthSnapshot> out;
+  for (int attempt = 0; attempt < 2 && !out; ++attempt) {
+    if (::sendto(fd, req.data(), req.size(), 0,
+                 reinterpret_cast<sockaddr*>(&to), sizeof to) < 0) {
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 500) <= 0) continue;
+    std::vector<std::uint8_t> buf(tel::kMaxHealthPayloadBytes + 64);
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n <= 0) continue;
+    out = tel::decode_health_record(
+        whisper::BytesView(buf.data(), static_cast<std::size_t>(n)));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::uint16_t read_port(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  unsigned long port = 0;
+  const int rc = std::fscanf(f, "%lu", &port);
+  std::fclose(f);
+  return rc == 1 ? static_cast<std::uint16_t>(port) : 0;
+}
+
+double metric_or(const std::map<std::string, double>& m, const std::string& key) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+/// Rolling per-node view state across refreshes.
+struct NodeView {
+  tel::HealthAccumulator acc;
+  std::uint64_t last_seq = 0;
+  unsigned last_inc = 0;
+  int frozen_rounds = 0;      // refreshes without a new record
+  double prev_delivered = 0;  // for the delivery-rate column
+  std::uint64_t prev_now_us = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = arg_string(argc, argv, "dir", "");
+  const std::uint64_t nodes_arg =
+      std::strtoull(arg_string(argc, argv, "nodes", "0").c_str(), nullptr, 10);
+  const double interval =
+      std::strtod(arg_string(argc, argv, "interval", "1").c_str(), nullptr);
+  const bool once = arg_flag(argc, argv, "once");
+  const bool json = arg_flag(argc, argv, "json");
+  const bool admin = arg_flag(argc, argv, "admin");
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: whisper_top --dir=DIR [--nodes=N] [--interval=1]\n"
+                 "       [--once] [--json] [--admin]\n");
+    return 2;
+  }
+
+  std::map<std::uint64_t, NodeView> views;
+  const bool tty = ::isatty(1) != 0;
+
+  for (;;) {
+    std::vector<std::uint64_t> ids;
+    if (nodes_arg > 0) {
+      for (std::uint64_t i = 1; i <= nodes_arg; ++i) ids.push_back(i);
+    } else {
+      ids = discover_nodes(dir);
+    }
+
+    // Scrape every node; track freshness by (incarnation, seq) movement.
+    for (const std::uint64_t id : ids) {
+      NodeView& v = views[id];
+      bool applied = false;
+      if (admin) {
+        const std::uint16_t port =
+            read_port(dir + "/admin." + std::to_string(id));
+        if (port != 0) {
+          if (const auto snap = query_admin(port)) {
+            v.acc.apply(*snap);
+            applied = true;
+          }
+        }
+      } else {
+        const whisper::Bytes bytes =
+            read_bytes(dir + "/stats." + std::to_string(id));
+        if (!bytes.empty()) applied = v.acc.apply(whisper::BytesView(bytes));
+        // A cold start mid-stream lands on a delta record and cannot
+        // resync until the next keyframe; a live node's admin socket can
+        // hand us one right now.
+        if (v.acc.valid() && !v.acc.synced()) {
+          const std::uint16_t port =
+              read_port(dir + "/admin." + std::to_string(id));
+          if (port != 0) {
+            if (const auto snap = query_admin(port)) {
+              v.acc.apply(*snap);
+              applied = true;
+            }
+          }
+        }
+      }
+      if (!applied || !v.acc.valid()) {
+        ++v.frozen_rounds;
+        continue;
+      }
+      const tel::HealthSnapshot& s = v.acc.last();
+      if (s.seq != v.last_seq || s.incarnation != v.last_inc) {
+        v.last_seq = s.seq;
+        v.last_inc = s.incarnation;
+        v.frozen_rounds = 0;
+      } else {
+        ++v.frozen_rounds;
+      }
+    }
+
+    if (json) {
+      tel::HealthSnapshot sum;
+      std::map<std::string, double> msum;
+      for (auto& [id, v] : views) {
+        if (!v.acc.valid()) continue;
+        std::printf("%s\n",
+                    tel::health_to_json(v.acc.last(), v.acc.metrics(),
+                                        std::to_string(id))
+                        .c_str());
+        const tel::HealthSnapshot& s = v.acc.last();
+        if (s.now_us > sum.now_us) sum.now_us = s.now_us;
+        sum.groups += s.groups;
+        sum.wcl_backlog += s.wcl_backlog;
+        sum.pending_forwards += s.pending_forwards;
+        sum.pss_view += s.pss_view;
+        sum.pss_reserve += s.pss_reserve;
+        sum.quarantined += s.quarantined;
+        sum.peer_restarts += s.peer_restarts;
+        sum.decode_rejects += s.decode_rejects;
+        sum.rate_limited += s.rate_limited;
+        sum.rss_kb += s.rss_kb;
+        sum.cpu_us += s.cpu_us;
+        for (const auto& [k, val] : v.acc.metrics()) msum[k] += val;
+      }
+      std::printf("%s\n", tel::health_to_json(sum, msum, "fleet").c_str());
+      std::fflush(stdout);
+    } else {
+      if (tty && !once) std::printf("\033[H\033[2J");
+      std::printf("whisper_top — %s%s\n", dir.c_str(),
+                  admin ? " (admin sockets)" : "");
+      std::printf(
+          "%4s %5s %4s %6s %9s %8s %9s %6s %6s %8s %8s %7s  %s\n", "node",
+          "pid", "inc", "seq", "delivered", "dlvr/s", "rtt_p95ms", "quar",
+          "rstrt", "backlog", "rss_mb", "cpu_s", "state");
+      double fleet_delivered = 0, fleet_rate = 0;
+      for (auto& [id, v] : views) {
+        if (!v.acc.valid()) {
+          std::printf("%4llu %*s no data\n", (unsigned long long)id, 5, "-");
+          continue;
+        }
+        const tel::HealthSnapshot& s = v.acc.last();
+        const auto& m = v.acc.metrics();
+        const double delivered = metric_or(m, "wcl.onions.delivered");
+        double rate = 0;
+        if (v.prev_now_us != 0 && s.now_us > v.prev_now_us) {
+          rate = (delivered - v.prev_delivered) /
+                 (static_cast<double>(s.now_us - v.prev_now_us) / 1e6);
+        }
+        v.prev_delivered = delivered;
+        v.prev_now_us = s.now_us;
+        fleet_delivered += delivered;
+        fleet_rate += rate;
+        const double rtt_p95_ms = metric_or(m, "pss.exchange.rtt_us#p95") / 1e3;
+        // Stale = no new record for ~3 refreshes: the supervisor's
+        // hung-vs-dead threshold, at operator granularity.
+        const char* state =
+            v.frozen_rounds >= 3
+                ? "STALE"
+                : (v.acc.synced() ? "live" : "live (resyncing)");
+        std::printf("%4llu %5u %4u %6llu %9.0f %8.1f %9.1f %6u %6u %8u "
+                    "%8.1f %7.1f  %s\n",
+                    (unsigned long long)id, s.pid, s.incarnation,
+                    (unsigned long long)s.seq, delivered, rate, rtt_p95_ms,
+                    s.quarantined, s.peer_restarts, s.wcl_backlog,
+                    static_cast<double>(s.rss_kb) / 1024.0,
+                    static_cast<double>(s.cpu_us) / 1e6, state);
+      }
+      std::printf("fleet: %zu nodes, %.0f delivered, %.1f/s\n", views.size(),
+                  fleet_delivered, fleet_rate);
+      std::fflush(stdout);
+    }
+
+    if (once) break;
+    ::usleep(static_cast<useconds_t>((interval > 0.05 ? interval : 1.0) * 1e6));
+  }
+  return 0;
+}

@@ -3,10 +3,17 @@
 // Operates on the JSONL emitted by `whisper_sim --flight=out.jsonl` (or any
 // FlightRecorder export):
 //
-//   whisper_trace summary out.jsonl
+//   whisper_trace summary out.jsonl [more.jsonl ...]
 //       Outcome counts, per-hop latency decomposition totals, digest.
-//   whisper_trace show <trace_id> out.jsonl
-//       Full per-hop breakdown of one message.
+//       Multiple inputs merge by trace id with canonical renumbering
+//       (the sharded-engine merge rules). Raw-event exports
+//       (*.events.jsonl, auto-detected by their "kind" key) merge at the
+//       event level first — the cross-process path: each whisper_noded
+//       under --trace-wire logs its own half of every flight, and the
+//       merged assembly rebuilds full per-hop decompositions.
+//   whisper_trace show <trace_id> out.jsonl [more.jsonl ...]
+//       Full per-hop breakdown of one message (trace ids as renumbered
+//       by the merge when multiple inputs are given).
 //   whisper_trace audit out.jsonl [--observe-relays=3,5] [--observe-links=1-2,4-7]
 //                       [--observe-taps=9] [--global] [--nodes=N] [--verbose]
 //       Adversary's-view anonymity audit: anonymity-set sizes, per-relay
@@ -59,7 +66,20 @@ std::string positional(int argc, char** argv, int index) {
   return {};
 }
 
-bool load_records(const std::string& path, std::vector<telemetry::FlightRecord>* out) {
+// Every non-option argument from `index` on.
+std::vector<std::string> positionals_from(int argc, char** argv, int index) {
+  std::vector<std::string> out;
+  int seen = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) continue;
+    if (seen >= index) out.push_back(a);
+    ++seen;
+  }
+  return out;
+}
+
+bool slurp(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -67,25 +87,89 @@ bool load_records(const std::string& path, std::vector<telemetry::FlightRecord>*
   }
   std::ostringstream ss;
   ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Raw-event exports carry a "kind" key on every line; record exports
+/// never do. Peek at the first non-empty line.
+bool looks_like_events(const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  const std::string first = text.substr(0, eol == std::string::npos ? text.size() : eol);
+  return first.find("\"kind\"") != std::string::npos;
+}
+
+bool load_records(const std::string& path, std::vector<telemetry::FlightRecord>* out) {
+  std::string text;
+  if (!slurp(path, &text)) return false;
   std::string err;
-  if (!telemetry::parse_flight_jsonl(ss.str(), out, &err)) {
+  if (!telemetry::parse_flight_jsonl(text, out, &err)) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
     return false;
   }
   return true;
 }
 
-int cmd_summary(const std::string& path) {
+/// Load any mix of record and raw-event exports. Events from all event
+/// files merge into one stream and assemble canonically (cross-process
+/// halves pair up); with more than one input the records also pass through
+/// canonical renumbering so trace ids are ordinals of content order —
+/// identical to the sharded engine's merge rules. `text_out` (non-null)
+/// receives the canonical JSONL of the merged set, for digesting.
+bool load_merged(const std::vector<std::string>& paths,
+                 std::vector<telemetry::FlightRecord>* out,
+                 std::string* text_out) {
+  std::vector<telemetry::FlightRecord> records;
+  std::vector<telemetry::FlightEventRec> events;
+  bool any_events = false;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!slurp(path, &text)) return false;
+    std::string err;
+    if (looks_like_events(text)) {
+      std::vector<telemetry::FlightEventRec> chunk;
+      if (!telemetry::parse_flight_events_jsonl(text, &chunk, &err)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        return false;
+      }
+      events.insert(events.end(), std::make_move_iterator(chunk.begin()),
+                    std::make_move_iterator(chunk.end()));
+      any_events = true;
+    } else {
+      std::vector<telemetry::FlightRecord> chunk;
+      if (!telemetry::parse_flight_jsonl(text, &chunk, &err)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        return false;
+      }
+      records.insert(records.end(), std::make_move_iterator(chunk.begin()),
+                     std::make_move_iterator(chunk.end()));
+    }
+  }
+  if (any_events) {
+    auto assembled = telemetry::canonical_flight_records(std::move(events));
+    records.insert(records.end(), std::make_move_iterator(assembled.begin()),
+                   std::make_move_iterator(assembled.end()));
+    if (!records.empty() && records.size() != assembled.size()) {
+      // Mixed record + event inputs: renumber the union too.
+      records = telemetry::canonicalize_flight_records(std::move(records));
+    }
+  } else if (paths.size() > 1) {
+    records = telemetry::canonicalize_flight_records(std::move(records));
+  }
+  *out = std::move(records);
+  if (text_out != nullptr) *text_out = telemetry::to_jsonl(*out);
+  return true;
+}
+
+int cmd_summary(const std::vector<std::string>& paths) {
   std::vector<telemetry::FlightRecord> recs;
-  if (!load_records(path, &recs)) return 1;
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream ss;
-  ss << in.rdbuf();
+  std::string canonical_text;
+  if (!load_merged(paths, &recs, &canonical_text)) return 1;
 
   std::map<std::string, std::size_t> outcomes;
   std::map<std::string, std::size_t> layers;
-  std::uint64_t rtt = 0, crypto = 0, prop = 0, queue = 0, retry = 0;
-  std::size_t delivered = 0, karn = 0, faulted = 0;
+  std::uint64_t rtt = 0, crypto = 0, prop = 0, queue = 0, retry = 0, proc = 0;
+  std::size_t delivered = 0, karn = 0, faulted = 0, exact = 0;
   for (const auto& r : recs) {
     outcomes[r.outcome.empty() ? "(unresolved)" : r.outcome]++;
     layers[telemetry::trace_layer_name(r.layer)]++;
@@ -98,10 +182,12 @@ int cmd_summary(const std::string& path) {
       prop += r.prop_us;
       queue += r.queue_us;
       retry += r.retry_us;
+      proc += r.proc_us;
+      if (r.rtt_us > 0 && r.decomposed_us() == r.rtt_us) ++exact;
     }
   }
   std::printf("%zu records (digest %016llx)\n", recs.size(),
-              static_cast<unsigned long long>(telemetry::flight_digest(ss.str())));
+              static_cast<unsigned long long>(telemetry::flight_digest(canonical_text)));
   std::printf("layers:");
   for (const auto& [l, n] : layers) std::printf(" %s=%zu", l.c_str(), n);
   std::printf("\noutcomes:");
@@ -110,17 +196,19 @@ int cmd_summary(const std::string& path) {
   if (delivered > 0) {
     const double d = static_cast<double>(delivered);
     std::printf("delivered mean decomposition (us): rtt=%.0f = crypto %.0f + prop %.0f "
-                "+ queue %.0f + retry %.0f\n",
+                "+ queue %.0f + retry %.0f + proc %.0f\n",
                 static_cast<double>(rtt) / d, static_cast<double>(crypto) / d,
                 static_cast<double>(prop) / d, static_cast<double>(queue) / d,
-                static_cast<double>(retry) / d);
+                static_cast<double>(retry) / d, static_cast<double>(proc) / d);
+    std::printf("decomposition sums exactly to rtt on %zu/%zu delivered\n",
+                exact, delivered);
   }
   return 0;
 }
 
-int cmd_show(std::uint64_t trace_id, const std::string& path) {
+int cmd_show(std::uint64_t trace_id, const std::vector<std::string>& paths) {
   std::vector<telemetry::FlightRecord> recs;
-  if (!load_records(path, &recs)) return 1;
+  if (!load_merged(paths, &recs, nullptr)) return 1;
   for (const auto& r : recs) {
     if (r.trace_id != trace_id) continue;
     std::printf("trace %llu (%s) root=%llu %llu -> %llu\n",
@@ -130,13 +218,14 @@ int cmd_show(std::uint64_t trace_id, const std::string& path) {
                 static_cast<unsigned long long>(r.src),
                 static_cast<unsigned long long>(r.dst));
     std::printf("  outcome=%s attempts=%u karn=%s rtt=%lluus (crypto %llu + prop %llu + "
-                "queue %llu + retry %llu)\n",
+                "queue %llu + retry %llu + proc %llu)\n",
                 r.outcome.c_str(), r.attempts, r.karn_ambiguous ? "yes" : "no",
                 static_cast<unsigned long long>(r.rtt_us),
                 static_cast<unsigned long long>(r.crypto_us),
                 static_cast<unsigned long long>(r.prop_us),
                 static_cast<unsigned long long>(r.queue_us),
-                static_cast<unsigned long long>(r.retry_us));
+                static_cast<unsigned long long>(r.retry_us),
+                static_cast<unsigned long long>(r.proc_us));
     if (!r.group.empty()) std::printf("  group=%s\n", r.group.c_str());
     for (const std::string& f : r.faults) std::printf("  fault: %s\n", f.c_str());
     for (const auto& h : r.hops) {
@@ -152,8 +241,8 @@ int cmd_show(std::uint64_t trace_id, const std::string& path) {
     }
     return 0;
   }
-  std::fprintf(stderr, "trace %llu not found in %s\n",
-               static_cast<unsigned long long>(trace_id), path.c_str());
+  std::fprintf(stderr, "trace %llu not found (%zu input file(s))\n",
+               static_cast<unsigned long long>(trace_id), paths.size());
   return 1;
 }
 
@@ -229,13 +318,13 @@ int cmd_faults(int argc, char** argv, const std::string& path) {
 int main(int argc, char** argv) {
   const std::string cmd = positional(argc, argv, 0);
   if (cmd == "summary") {
-    const std::string path = positional(argc, argv, 1);
-    if (!path.empty()) return cmd_summary(path);
+    const std::vector<std::string> paths = positionals_from(argc, argv, 1);
+    if (!paths.empty()) return cmd_summary(paths);
   } else if (cmd == "show") {
     const std::string id = positional(argc, argv, 1);
-    const std::string path = positional(argc, argv, 2);
-    if (!id.empty() && !path.empty()) {
-      return cmd_show(std::strtoull(id.c_str(), nullptr, 10), path);
+    const std::vector<std::string> paths = positionals_from(argc, argv, 2);
+    if (!id.empty() && !paths.empty()) {
+      return cmd_show(std::strtoull(id.c_str(), nullptr, 10), paths);
     }
   } else if (cmd == "audit") {
     const std::string path = positional(argc, argv, 1);
@@ -245,8 +334,8 @@ int main(int argc, char** argv) {
     if (!path.empty()) return cmd_faults(argc, argv, path);
   }
   std::fprintf(stderr,
-               "usage: whisper_trace summary <flight.jsonl>\n"
-               "       whisper_trace show <trace_id> <flight.jsonl>\n"
+               "usage: whisper_trace summary <flight.jsonl> [more.jsonl ...]\n"
+               "       whisper_trace show <trace_id> <flight.jsonl> [more.jsonl ...]\n"
                "       whisper_trace audit <flight.jsonl> [--observe-relays=a,b]\n"
                "                     [--observe-links=a-b,...] [--observe-taps=a,b]\n"
                "                     [--global] [--nodes=N] [--verbose]\n"
