@@ -4,100 +4,6 @@
 
 namespace whisper::nat {
 
-const char* nat_type_name(NatType t) {
-  switch (t) {
-    case NatType::kNone:
-      return "public";
-    case NatType::kFullCone:
-      return "full_cone";
-    case NatType::kRestrictedCone:
-      return "restricted_cone";
-    case NatType::kPortRestrictedCone:
-      return "port_restricted_cone";
-    case NatType::kSymmetric:
-      return "sym";
-  }
-  return "?";
-}
-
-NatDevice::NatDevice(NatType type, std::uint32_t public_ip, NatConfig config,
-                     sim::Simulator& sim)
-    : type_(type), public_ip_(public_ip), config_(config), sim_(sim),
-      next_port_(config.base_port) {
-  assert(type != NatType::kNone);
-}
-
-std::uint16_t NatDevice::allocate_port() { return next_port_++; }
-
-std::optional<Endpoint> NatDevice::outbound(Endpoint internal_src, Endpoint dst) {
-  // Cone NATs reuse one mapping per internal endpoint (endpoint-independent
-  // mapping); symmetric NATs allocate one per destination.
-  const Endpoint map_key_dst = type_ == NatType::kSymmetric ? dst : Endpoint{};
-  auto key = std::make_pair(internal_src, map_key_dst);
-
-  auto it = mappings_.find(key);
-  if (it != mappings_.end() && it->second.expires <= sim_.now()) {
-    mappings_.erase(it);
-    it = mappings_.end();
-  }
-  if (it == mappings_.end()) {
-    Mapping m;
-    m.internal = internal_src;
-    m.external_port = allocate_port();
-    m.sym_dst = dst;
-    it = mappings_.emplace(key, std::move(m)).first;
-  }
-  Mapping& m = it->second;
-  m.expires = sim_.now() + config_.lease;
-  m.contacted_ips.insert(dst.ip);
-  m.contacted_eps.insert(dst);
-  return Endpoint{public_ip_, m.external_port};
-}
-
-NatDevice::Mapping* NatDevice::find_by_port(std::uint16_t port) {
-  for (auto& [key, m] : mappings_) {
-    if (m.external_port == port) {
-      if (m.expires <= sim_.now()) return nullptr;
-      return &m;
-    }
-  }
-  return nullptr;
-}
-
-std::optional<Endpoint> NatDevice::inbound(std::uint16_t external_port, Endpoint src) {
-  Mapping* m = find_by_port(external_port);
-  if (m == nullptr) return std::nullopt;
-
-  switch (type_) {
-    case NatType::kFullCone:
-      break;  // endpoint-independent filtering: anyone may send
-    case NatType::kRestrictedCone:
-      if (!m->contacted_ips.contains(src.ip)) return std::nullopt;
-      break;
-    case NatType::kPortRestrictedCone:
-      if (!m->contacted_eps.contains(src)) return std::nullopt;
-      break;
-    case NatType::kSymmetric:
-      // Address-and-port-dependent filtering against the mapping's one
-      // destination.
-      if (src != m->sym_dst) return std::nullopt;
-      break;
-    case NatType::kNone:
-      break;
-  }
-  return m->internal;
-}
-
-void NatDevice::reset() { mappings_.clear(); }
-
-std::size_t NatDevice::active_mappings() const {
-  std::size_t n = 0;
-  for (const auto& [key, m] : mappings_) {
-    if (m.expires > sim_.now()) ++n;
-  }
-  return n;
-}
-
 NatFabric::NatFabric(sim::Simulator& sim, NatConfig config) : sim_(sim), config_(config) {}
 
 Endpoint NatFabric::add_public_node() {
@@ -120,7 +26,8 @@ Endpoint NatFabric::add_natted_node_at(NatType type, std::uint32_t private_ip,
                                        std::uint32_t device_ip) {
   assert(type != NatType::kNone);
   Endpoint internal{private_ip, 5000};
-  auto device = std::make_unique<NatDevice>(type, device_ip, config_, sim_);
+  auto device = std::make_unique<NatDevice>(type, device_ip, config_,
+                                            [this] { return sim_.now(); });
   device_by_ip_[device->public_ip()] = devices_.size();
   node_device_[internal] = devices_.size();
   node_type_[internal] = type;
@@ -162,20 +69,6 @@ std::optional<Endpoint> NatFabric::inbound(Endpoint public_dst, Endpoint public_
   auto it = device_by_ip_.find(public_dst.ip);
   if (it == device_by_ip_.end()) return public_dst;  // public node: direct
   return devices_[it->second]->inbound(public_dst.port, public_src);
-}
-
-NatType draw_nat_type(Rng& rng, double natted_fraction) {
-  if (!rng.next_bool(natted_fraction)) return NatType::kNone;
-  switch (rng.next_below(4)) {
-    case 0:
-      return NatType::kFullCone;
-    case 1:
-      return NatType::kRestrictedCone;
-    case 2:
-      return NatType::kPortRestrictedCone;
-    default:
-      return NatType::kSymmetric;
-  }
 }
 
 }  // namespace whisper::nat

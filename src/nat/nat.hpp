@@ -1,105 +1,22 @@
-// NAT device emulation (the paper's SPLAY NAT-emulation feature, §V-A).
+// Simulator-side NAT fabric (the paper's SPLAY NAT-emulation feature, §V-A).
 //
-// Four device types are emulated, mirroring the paper's setup:
-//   full_cone            one external port per internal endpoint; anyone may
-//                        send to it once it exists.
-//   restricted_cone      same mapping; inbound allowed only from IPs the
-//                        internal endpoint has sent to.
-//   port_restricted_cone same mapping; inbound allowed only from exact
-//                        ip:port pairs the internal endpoint has sent to.
-//   symmetric            a fresh external port per (internal, destination)
-//                        pair; inbound allowed only from that destination.
-//                        Hole punching fails; relays are required (as Nylon
-//                        observes).
-//
-// Mappings follow RFC 4787/5382 behaviour: created and refreshed by outbound
-// traffic, expired after a lease (default 5 minutes, the Cisco UDP figure
-// cited by the paper).
+// The per-device mapping/filtering rules live in the backend-agnostic rule
+// engine (nat/rules.hpp) — shared verbatim with the real-socket interposer
+// in net/shim.hpp. This file keeps the sim coupling: NatFabric owns every
+// device in a simulated deployment, allocates the address plan, and plugs
+// into sim::Network as its AddressTranslator.
 #pragma once
 
-#include <map>
-#include <optional>
-#include <set>
-#include <string>
+#include <memory>
 #include <vector>
 
 #include "common/densemap.hpp"
 #include "common/ids.hpp"
+#include "nat/rules.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace whisper::nat {
-
-enum class NatType : std::uint8_t {
-  kNone = 0,  // public node, no device
-  kFullCone = 1,
-  kRestrictedCone = 2,
-  kPortRestrictedCone = 3,
-  kSymmetric = 4,
-};
-
-const char* nat_type_name(NatType t);
-
-struct NatConfig {
-  /// Association-rule lease; outbound traffic refreshes it. The default
-  /// models TCP-style connections (the paper's prototype: Cisco quotes 24 h
-  /// for TCP vs 5 min for UDP; we default to a conservative hour). Set to
-  /// 5 minutes to study the UDP regime.
-  sim::Time lease = 60 * sim::kMinute;
-  /// First external port handed out.
-  std::uint16_t base_port = 20000;
-};
-
-/// One emulated NAT device, owning one public IP.
-class NatDevice {
- public:
-  NatDevice(NatType type, std::uint32_t public_ip, NatConfig config, sim::Simulator& sim);
-
-  NatType type() const { return type_; }
-  std::uint32_t public_ip() const { return public_ip_; }
-
-  /// Outbound packet from `internal_src` to `dst`: create/refresh the
-  /// mapping, record the destination in the filter, return the external
-  /// (public) source endpoint.
-  std::optional<Endpoint> outbound(Endpoint internal_src, Endpoint dst);
-
-  /// Inbound packet to our `external_port` from `src`: return the internal
-  /// endpoint to deliver to, or nullopt if the filter drops it.
-  std::optional<Endpoint> inbound(std::uint16_t external_port, Endpoint src);
-
-  /// Number of live (unexpired) mappings.
-  std::size_t active_mappings() const;
-
-  /// Drop every mapping and its filter state (device reboot / power cycle).
-  /// In-flight inbound packets to old external ports are filtered out; the
-  /// node must re-open mappings with outbound traffic — the fault the
-  /// fabric's "natreset" kind injects.
-  void reset();
-
- private:
-  struct Mapping {
-    Endpoint internal;
-    std::uint16_t external_port = 0;
-    sim::Time expires = 0;
-    // Filtering state: destinations this mapping has sent to.
-    std::set<std::uint32_t> contacted_ips;
-    std::set<Endpoint> contacted_eps;
-    // Symmetric only: the one destination this mapping serves.
-    Endpoint sym_dst;
-  };
-
-  Mapping* find_by_port(std::uint16_t port);
-  std::uint16_t allocate_port();
-
-  NatType type_;
-  std::uint32_t public_ip_;
-  NatConfig config_;
-  sim::Simulator& sim_;
-  std::uint16_t next_port_;
-  // Cone NATs: keyed by internal endpoint. Symmetric: keyed by
-  // (internal, destination).
-  std::map<std::pair<Endpoint, Endpoint>, Mapping> mappings_;
-};
 
 /// The collection of all NAT devices in a deployment; implements the
 /// sim::Network translator hook. Also acts as the address allocator for
@@ -150,9 +67,5 @@ class NatFabric : public sim::AddressTranslator {
   std::vector<std::unique_ptr<NatDevice>> devices_;
   DenseMap<Endpoint, NatType> node_type_;
 };
-
-/// Deployment mix helper: draw a NAT type according to the paper's default
-/// population (70% natted, evenly split across the four types).
-NatType draw_nat_type(Rng& rng, double natted_fraction = 0.7);
 
 }  // namespace whisper::nat

@@ -1,0 +1,163 @@
+#include "nat/rules.hpp"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace whisper::nat {
+
+const char* nat_type_name(NatType t) {
+  switch (t) {
+    case NatType::kNone:
+      return "public";
+    case NatType::kFullCone:
+      return "full_cone";
+    case NatType::kRestrictedCone:
+      return "restricted_cone";
+    case NatType::kPortRestrictedCone:
+      return "port_restricted_cone";
+    case NatType::kSymmetric:
+      return "sym";
+  }
+  return "?";
+}
+
+std::optional<NatType> nat_type_from_name(const std::string& name) {
+  if (name == "public" || name == "none") return NatType::kNone;
+  if (name == "full_cone" || name == "full") return NatType::kFullCone;
+  if (name == "restricted_cone" || name == "restricted") {
+    return NatType::kRestrictedCone;
+  }
+  if (name == "port_restricted_cone" || name == "port_restricted") {
+    return NatType::kPortRestrictedCone;
+  }
+  if (name == "sym" || name == "symmetric") return NatType::kSymmetric;
+  return std::nullopt;
+}
+
+NatDevice::NatDevice(NatType type, std::uint32_t public_ip, NatConfig config,
+                     NowFn now)
+    : type_(type), public_ip_(public_ip), config_(config), now_(std::move(now)),
+      next_port_(config.base_port) {
+  assert(type != NatType::kNone);
+}
+
+std::uint16_t NatDevice::allocate_port() {
+  if (alloc_) return alloc_();
+  return next_port_++;
+}
+
+std::optional<Endpoint> NatDevice::outbound(Endpoint internal_src, Endpoint dst) {
+  // Cone NATs reuse one mapping per internal endpoint (endpoint-independent
+  // mapping); symmetric NATs allocate one per destination.
+  const Endpoint map_key_dst = type_ == NatType::kSymmetric ? dst : Endpoint{};
+  auto key = std::make_pair(internal_src, map_key_dst);
+
+  auto it = mappings_.find(key);
+  if (it != mappings_.end() && it->second.expires <= now_()) {
+    mappings_.erase(it);
+    it = mappings_.end();
+  }
+  if (it == mappings_.end()) {
+    Mapping m;
+    m.internal = internal_src;
+    m.external_port = allocate_port();
+    if (m.external_port == 0) return std::nullopt;  // backend bind failed
+    m.sym_dst = dst;
+    it = mappings_.emplace(key, std::move(m)).first;
+  }
+  Mapping& m = it->second;
+  m.expires = now_() + config_.lease;
+  m.contacted_ips.insert(dst.ip);
+  m.contacted_eps.insert(dst);
+  return Endpoint{public_ip_, m.external_port};
+}
+
+NatDevice::Mapping* NatDevice::find_by_port(std::uint16_t port) {
+  for (auto& [key, m] : mappings_) {
+    if (m.external_port == port) {
+      if (m.expires <= now_()) return nullptr;
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Endpoint> NatDevice::inbound(std::uint16_t external_port, Endpoint src) {
+  Mapping* m = find_by_port(external_port);
+  if (m == nullptr) return std::nullopt;
+
+  switch (type_) {
+    case NatType::kFullCone:
+      break;  // endpoint-independent filtering: anyone may send
+    case NatType::kRestrictedCone:
+      if (!m->contacted_ips.contains(src.ip)) return std::nullopt;
+      break;
+    case NatType::kPortRestrictedCone:
+      if (!m->contacted_eps.contains(src)) return std::nullopt;
+      break;
+    case NatType::kSymmetric:
+      // Address-and-port-dependent filtering against the mapping's one
+      // destination.
+      if (src != m->sym_dst) return std::nullopt;
+      break;
+    case NatType::kNone:
+      break;
+  }
+  return m->internal;
+}
+
+std::vector<std::uint16_t> NatDevice::prune() {
+  const net::Time now = now_();
+  std::vector<std::uint16_t> freed;
+  for (auto it = mappings_.begin(); it != mappings_.end();) {
+    if (it->second.expires <= now) {
+      freed.push_back(it->second.external_port);
+      it = mappings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+std::optional<net::Time> NatDevice::expiry_of(std::uint16_t external_port) const {
+  for (const auto& [key, m] : mappings_) {
+    if (m.external_port == external_port && m.expires > now_()) {
+      return m.expires;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint16_t> NatDevice::reset() {
+  std::vector<std::uint16_t> freed;
+  freed.reserve(mappings_.size());
+  for (const auto& [key, m] : mappings_) freed.push_back(m.external_port);
+  mappings_.clear();
+  return freed;
+}
+
+std::size_t NatDevice::active_mappings() const {
+  std::size_t n = 0;
+  for (const auto& [key, m] : mappings_) {
+    if (m.expires > now_()) ++n;
+  }
+  return n;
+}
+
+NatType draw_nat_type(Rng& rng, double natted_fraction) {
+  if (!rng.next_bool(natted_fraction)) return NatType::kNone;
+  switch (rng.next_below(4)) {
+    case 0:
+      return NatType::kFullCone;
+    case 1:
+      return NatType::kRestrictedCone;
+    case 2:
+      return NatType::kPortRestrictedCone;
+    default:
+      return NatType::kSymmetric;
+  }
+}
+
+}  // namespace whisper::nat

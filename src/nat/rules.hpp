@@ -1,0 +1,139 @@
+// Backend-agnostic NAT rule engine (the paper's SPLAY NAT-emulation feature,
+// §V-A), shared by the deterministic simulator fabric (nat.hpp) and the real
+// UDP interposer (net/shim.hpp).
+//
+// Four device types are emulated, mirroring the paper's setup:
+//   full_cone            one external port per internal endpoint; anyone may
+//                        send to it once it exists.
+//   restricted_cone      same mapping; inbound allowed only from IPs the
+//                        internal endpoint has sent to.
+//   port_restricted_cone same mapping; inbound allowed only from exact
+//                        ip:port pairs the internal endpoint has sent to.
+//   symmetric            a fresh external port per (internal, destination)
+//                        pair; inbound allowed only from that destination.
+//                        Hole punching fails; relays are required (as Nylon
+//                        observes).
+//
+// Mappings follow RFC 4787/5382 behaviour: created and refreshed by outbound
+// traffic, expired after a lease (default 5 minutes, the Cisco UDP figure
+// cited by the paper).
+//
+// Time comes from an injected now-function rather than a simulator handle so
+// the same rules run against sim::Simulator virtual time and the UDP
+// backend's wall clock. External ports are sequential by default; a backend
+// that must bind a real socket per mapping injects a port allocator whose
+// side effect is the bind (returning 0 on bind failure).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/time.hpp"
+
+namespace whisper::nat {
+
+enum class NatType : std::uint8_t {
+  kNone = 0,  // public node, no device
+  kFullCone = 1,
+  kRestrictedCone = 2,
+  kPortRestrictedCone = 3,
+  kSymmetric = 4,
+};
+
+const char* nat_type_name(NatType t);
+
+/// Parse a NAT type name as printed by nat_type_name(), plus the common
+/// aliases ("none", "full", "restricted", "port_restricted", "symmetric").
+std::optional<NatType> nat_type_from_name(const std::string& name);
+
+struct NatConfig {
+  /// Association-rule lease; outbound traffic refreshes it. The default
+  /// models TCP-style connections (the paper's prototype: Cisco quotes 24 h
+  /// for TCP vs 5 min for UDP; we default to a conservative hour). Set to
+  /// 5 minutes to study the UDP regime.
+  net::Time lease = 60 * net::kMinute;
+  /// First external port handed out (sequential allocator only).
+  std::uint16_t base_port = 20000;
+};
+
+/// One emulated NAT device, owning one public IP.
+class NatDevice {
+ public:
+  using NowFn = std::function<net::Time()>;
+  /// Allocates the next external port. A real backend binds a socket here
+  /// and returns its port; 0 means allocation failed and the outbound packet
+  /// is dropped.
+  using PortAllocator = std::function<std::uint16_t()>;
+
+  NatDevice(NatType type, std::uint32_t public_ip, NatConfig config, NowFn now);
+
+  /// Override the sequential port allocator (see PortAllocator).
+  void set_port_allocator(PortAllocator alloc) { alloc_ = std::move(alloc); }
+
+  NatType type() const { return type_; }
+  std::uint32_t public_ip() const { return public_ip_; }
+
+  /// Outbound packet from `internal_src` to `dst`: create/refresh the
+  /// mapping, record the destination in the filter, return the external
+  /// (public) source endpoint.
+  std::optional<Endpoint> outbound(Endpoint internal_src, Endpoint dst);
+
+  /// Inbound packet to our `external_port` from `src`: return the internal
+  /// endpoint to deliver to, or nullopt if the filter drops it.
+  std::optional<Endpoint> inbound(std::uint16_t external_port, Endpoint src);
+
+  /// Number of live (unexpired) mappings.
+  std::size_t active_mappings() const;
+
+  /// Remove every expired mapping, returning the external ports freed — the
+  /// backend closes their sockets. Expiry is also checked lazily on the
+  /// outbound/inbound paths, so calling this is optional for correctness.
+  std::vector<std::uint16_t> prune();
+
+  /// Lease deadline of a live mapping by external port, if any.
+  std::optional<net::Time> expiry_of(std::uint16_t external_port) const;
+
+  /// Drop every mapping and its filter state (device reboot / power cycle),
+  /// returning the external ports freed. In-flight inbound packets to old
+  /// external ports are filtered out; the node must re-open mappings with
+  /// outbound traffic — the fault the fabric's "natreset" kind injects and
+  /// the localnet supervisor's "natreboot" chaos event.
+  std::vector<std::uint16_t> reset();
+
+ private:
+  struct Mapping {
+    Endpoint internal;
+    std::uint16_t external_port = 0;
+    net::Time expires = 0;
+    // Filtering state: destinations this mapping has sent to.
+    std::set<std::uint32_t> contacted_ips;
+    std::set<Endpoint> contacted_eps;
+    // Symmetric only: the one destination this mapping serves.
+    Endpoint sym_dst;
+  };
+
+  Mapping* find_by_port(std::uint16_t port);
+  std::uint16_t allocate_port();
+
+  NatType type_;
+  std::uint32_t public_ip_;
+  NatConfig config_;
+  NowFn now_;
+  PortAllocator alloc_;
+  std::uint16_t next_port_;
+  // Cone NATs: keyed by internal endpoint. Symmetric: keyed by
+  // (internal, destination).
+  std::map<std::pair<Endpoint, Endpoint>, Mapping> mappings_;
+};
+
+/// Deployment mix helper: draw a NAT type according to the paper's default
+/// population (70% natted, evenly split across the four types).
+NatType draw_nat_type(Rng& rng, double natted_fraction = 0.7);
+
+}  // namespace whisper::nat

@@ -115,6 +115,15 @@ std::optional<Endpoint> UdpBackend::open_socket(Endpoint ep) {
     last_error_ = std::string("socket: ") + std::strerror(errno);
     return std::nullopt;
   }
+#ifdef SO_RXQ_OVFL
+  // Ask the kernel to report receive-queue overflow (drops since socket
+  // creation) as a per-datagram cmsg; best-effort, the counter just stays
+  // zero where unsupported.
+  {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof one);
+  }
+#endif
   sockaddr_in sa = to_sockaddr(ep);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
     last_error_ = "bind " + ep.str() + ": " + std::strerror(errno);
@@ -145,6 +154,10 @@ std::optional<Endpoint> UdpBackend::open_socket(Endpoint ep) {
 
 std::optional<Endpoint> UdpBackend::reserve_endpoint() {
   return open_socket(Endpoint{config_.bind_ip, 0});
+}
+
+std::optional<Endpoint> UdpBackend::reserve_endpoint_on(std::uint32_t bind_ip) {
+  return open_socket(Endpoint{bind_ip, 0});
 }
 
 void UdpBackend::attach(Endpoint internal_ep, Handler handler) {
@@ -326,14 +339,34 @@ void UdpBackend::drain_socket(int fd) {
     const Endpoint ep = eit->second;
 
     sockaddr_in from{};
-    socklen_t from_len = sizeof(from);
-    const ssize_t n = ::recvfrom(fd, buf.data(), buf.size(), 0,
-                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    iovec iov{buf.data(), buf.size()};
+    alignas(cmsghdr) char cmsg_buf[CMSG_SPACE(sizeof(std::uint32_t))];
+    msghdr msg{};
+    msg.msg_name = &from;
+    msg.msg_namelen = sizeof(from);
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cmsg_buf;
+    msg.msg_controllen = sizeof cmsg_buf;
+    const ssize_t n = ::recvmsg(fd, &msg, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN/EWOULDBLOCK: drained
     }
     bytes_received_ += static_cast<std::uint64_t>(n);
+#ifdef SO_RXQ_OVFL
+    for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr; c = CMSG_NXTHDR(&msg, c)) {
+      if (c->cmsg_level != SOL_SOCKET || c->cmsg_type != SO_RXQ_OVFL) continue;
+      std::uint32_t dropped = 0;
+      std::memcpy(&dropped, CMSG_DATA(c), sizeof dropped);
+      if (auto sit = sockets_.find(ep); sit != sockets_.end()) {
+        // The cmsg carries a cumulative per-socket counter; fold the delta
+        // into the backend-wide total (the counter can wrap at 2^32).
+        rx_kernel_drops_ += dropped - sit->second.rxq_ovfl;
+        sit->second.rxq_ovfl = dropped;
+      }
+    }
+#endif
     if (static_cast<std::size_t>(n) < kHeaderLen || buf[0] != kMagic0 ||
         buf[1] != kMagic1 ||
         (buf[2] != kVersion && buf[2] != kVersionTraced) ||

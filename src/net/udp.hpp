@@ -112,6 +112,12 @@ class UdpBackend final : public Clock, public Stack {
   /// socket/bind failure (see last_error()).
   std::optional<Endpoint> reserve_endpoint();
 
+  /// reserve_endpoint() on an explicit bind address instead of
+  /// config_.bind_ip. The NAT shim allocates its per-device mapping sockets
+  /// here: each emulated device owns a distinct loopback IP (all of 127/8 is
+  /// local), so IP-based restricted-cone filtering is real.
+  std::optional<Endpoint> reserve_endpoint_on(std::uint32_t bind_ip);
+
   // --- Event loop. ---
   /// One iteration: sleep until I/O, the next timer deadline, or
   /// `max_wait` (whichever is earliest), drain ready sockets, fire due
@@ -133,6 +139,11 @@ class UdpBackend final : public Clock, public Stack {
   }
   /// Stray/garbage datagrams rejected by the frame-header check.
   std::uint64_t frame_rejects() const { return frame_rejects_; }
+  /// Datagrams the kernel dropped on our receive queues (SO_RXQ_OVFL),
+  /// summed across sockets. Distinguishes kernel overflow from shim/network
+  /// loss in fleet stats: this counter moving means the event loop is not
+  /// draining fast enough, not that the (emulated) network is lossy.
+  std::uint64_t rx_kernel_drops() const { return rx_kernel_drops_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
   std::size_t pending_timers() const { return wheel_.pending(); }
@@ -143,6 +154,9 @@ class UdpBackend final : public Clock, public Stack {
     int fd = -1;
     Endpoint ep;
     Handler handler;  // null while only reserved
+    // Last SO_RXQ_OVFL counter seen on this socket (kernel drop count since
+    // socket creation, attached per-datagram as a cmsg).
+    std::uint32_t rxq_ovfl = 0;
   };
 
   /// Create + bind a non-blocking socket at `ep` (port 0 = OS-assigned) and
@@ -172,6 +186,7 @@ class UdpBackend final : public Clock, public Stack {
   std::uint64_t packets_duplicated_ = 0;
   std::uint64_t packets_dropped_[static_cast<std::size_t>(DropReason::kCount)] = {};
   std::uint64_t frame_rejects_ = 0;
+  std::uint64_t rx_kernel_drops_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::string last_error_;

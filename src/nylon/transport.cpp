@@ -59,6 +59,8 @@ void Transport::shutdown() {
   net_.detach(internal_ep_);
   if (keepalive_timer_ != 0) clock_.cancel(keepalive_timer_);
   keepalive_timer_ = 0;
+  if (probe_sweep_timer_ != 0) clock_.cancel(probe_sweep_timer_);
+  probe_sweep_timer_ = 0;
   attached_ = false;
 }
 
@@ -80,6 +82,7 @@ void Transport::set_relay(const pss::ContactCard& relay) {
   assert(relay.is_public);
   relay_ = relay;
   unanswered_keepalives_ = 0;
+  registered_ = false;
   if (keepalive_timer_ != 0) clock_.cancel(keepalive_timer_);
   send_keepalive();
 }
@@ -106,10 +109,21 @@ void Transport::send_keepalive() {
     const int over = unanswered_keepalives_ - config_.relay_loss_threshold;
     for (int i = 0; i <= over && delay < config_.keepalive_backoff_max; ++i) delay *= 2;
     delay = std::min(delay, config_.keepalive_backoff_max);
+  } else if (!registered_ && config_.register_retry_initial > 0) {
+    // Never acked by this relay yet: retry fast with doubling backoff until
+    // the first ack lands (lossy paths eat initial registers; an unregistered
+    // N-node is unreachable, so waiting a whole keepalive period per attempt
+    // compounds the outage).
+    delay = config_.register_retry_initial;
+    for (int i = 1; i < unanswered_keepalives_; ++i) {
+      delay = std::min(delay * 2, config_.keepalive_period);
+    }
+    delay = std::min(delay, config_.keepalive_period);
   }
   keepalive_timer_ = clock_.schedule_after(delay, [this] { send_keepalive(); });
   if (unanswered_keepalives_ == config_.relay_loss_threshold) {
     ++relays_lost_;
+    registered_ = false;
     if (on_relay_lost) on_relay_lost();  // may re-enter set_relay()
   }
 }
@@ -137,10 +151,18 @@ bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView p
   // 1. Verified punched route.
   if (auto it = direct_routes_.find(card.id);
       it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > clock_.now()) {
+    // Past the half-life, re-verify in the background while still using the
+    // route: a hole whose far NAT silently dropped the mapping looks exactly
+    // like a working one until probes stop coming back.
+    if (it->second.verified_at + config_.route_ttl / 2 <= clock_.now()) {
+      consider_probe(card.id, it->second.endpoint);
+    }
+    ++sends_punched_;
     return net_.send(internal_ep_, it->second.endpoint, msg.serialize(), proto);
   }
   // 2. P-node: its address is globally reachable.
   if (card.is_public) {
+    ++sends_direct_;
     return net_.send(internal_ep_, card.addr, msg.serialize(), proto);
   }
   // 3. We are the target's relay: forward from our own registration table.
@@ -149,6 +171,7 @@ bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView p
     if (it == registrations_.end() || it->second.expires <= clock_.now()) return false;
     msg.relayed = true;
     msg.observed_src = internal_ep_;  // we are public; peers see this address
+    ++sends_relayed_;
     return net_.send(internal_ep_, it->second.external, msg.serialize(), proto);
   }
   // 4. Via the target's relay.
@@ -158,6 +181,7 @@ bool Transport::send(const pss::ContactCard& card, std::uint8_t tag, BytesView p
   w.u8(static_cast<std::uint8_t>(MsgType::kForward));
   w.node_id(card.id);
   w.bytes(msg.serialize());
+  ++sends_relayed_;
   return net_.send(internal_ep_, card.addr, std::move(w).take(), proto);
 }
 
@@ -171,12 +195,17 @@ bool Transport::send_by_id(NodeId to, std::uint8_t tag, BytesView payload, net::
 
   if (auto it = direct_routes_.find(to);
       it != direct_routes_.end() && it->second.verified_at + config_.route_ttl > clock_.now()) {
+    if (it->second.verified_at + config_.route_ttl / 2 <= clock_.now()) {
+      consider_probe(to, it->second.endpoint);
+    }
+    ++sends_punched_;
     return net_.send(internal_ep_, it->second.endpoint, msg.serialize(), proto);
   }
   if (auto it = registrations_.find(to);
       it != registrations_.end() && it->second.expires > clock_.now()) {
     msg.relayed = true;
     msg.observed_src = internal_ep_;
+    ++sends_relayed_;
     return net_.send(internal_ep_, it->second.external, msg.serialize(), proto);
   }
   return false;
@@ -230,7 +259,19 @@ void Transport::handle_data(const net::Datagram& dgram, Reader& r) {
     // Relayed with an observed external endpoint: hole punch candidate —
     // unless the "observed" address is the relay itself (P-node relaying
     // for us stamps its own address when it is the original sender).
-    if (!can_send_direct(msg->from)) consider_probe(msg->from, msg->observed_src);
+    if (!can_send_direct(msg->from)) {
+      consider_probe(msg->from, msg->observed_src);
+    } else if (auto it = direct_routes_.find(msg->from);
+               it != direct_routes_.end() &&
+               it->second.endpoint != msg->observed_src) {
+      // The relay sees this peer at a different external address than our
+      // verified route: its NAT rebooted or the mapping expired and was
+      // re-opened on a new port. Our punched route points at a dead hole —
+      // drop it and court the new candidate.
+      direct_routes_.erase(it);
+      ++routes_invalidated_;
+      consider_probe(msg->from, msg->observed_src);
+    }
   }
 
   auto it = handlers_.find(msg->tag);
@@ -314,7 +355,16 @@ void Transport::handle_register_ack(Reader& r) {
   if (!observe_incarnation(from, incarnation)) return;
   if (from != relay_.id) return;
   const bool was_backed_off = unanswered_keepalives_ >= config_.relay_loss_threshold;
+  const bool first_ack = !registered_;
   unanswered_keepalives_ = 0;
+  registered_ = true;
+  if (first_ack && !was_backed_off && attached_ && keepalive_timer_ != 0) {
+    // The fast-retry timer is still armed at its short cadence; the relay
+    // answered, so fall back to the normal keepalive rhythm.
+    clock_.cancel(keepalive_timer_);
+    keepalive_timer_ =
+        clock_.schedule_after(config_.keepalive_period, [this] { send_keepalive(); });
+  }
   if (was_backed_off && attached_) {
     // The relay answered after all: drop the backed-off timer and resume
     // the normal cadence immediately.
@@ -340,13 +390,48 @@ void Transport::consider_probe(NodeId peer, Endpoint candidate) {
   pending.seq = next_probe_seq_++;
   pending.target = candidate;
   pending.sent_at = clock_.now();
+  pending.retries = 0;
 
+  send_probe_frame(candidate, pending.seq);
+  arm_probe_sweep();
+}
+
+void Transport::send_probe_frame(Endpoint target, std::uint32_t seq) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kProbe));
   w.node_id(self_);
-  w.u32(pending.seq);
+  w.u32(seq);
   w.u32(config_.incarnation);
-  net_.send(internal_ep_, candidate, std::move(w).take(), net::Proto::kControl);
+  ++probes_sent_;
+  net_.send(internal_ep_, target, std::move(w).take(), net::Proto::kControl);
+}
+
+void Transport::arm_probe_sweep() {
+  if (probe_sweep_timer_ != 0 || !attached_ || config_.probe_max_retries <= 0) return;
+  probe_sweep_timer_ =
+      clock_.schedule_after(config_.probe_min_interval, [this] { probe_sweep(); });
+}
+
+void Transport::probe_sweep() {
+  probe_sweep_timer_ = 0;
+  if (!attached_) return;
+  const net::Time now = clock_.now();
+  bool pending_left = false;
+  for (auto [peer, p] : probes_) {
+    if (p.retries >= config_.probe_max_retries) continue;
+    if (can_send_direct(peer)) continue;  // the ack landed; nothing to chase
+    net::Time wait = config_.probe_min_interval;
+    for (int i = 0; i < p.retries; ++i) wait *= 2;
+    if (p.sent_at + wait <= now) {
+      // Same seq: a late ack to any retransmission still verifies the route.
+      send_probe_frame(p.target, p.seq);
+      ++p.retries;
+      ++probe_retries_;
+      p.sent_at = now;
+    }
+    if (p.retries < config_.probe_max_retries) pending_left = true;
+  }
+  if (pending_left) arm_probe_sweep();
 }
 
 void Transport::handle_probe(const net::Datagram& dgram, Reader& r) {
@@ -437,6 +522,14 @@ void Transport::note_direct_route(NodeId peer, Endpoint ep) {
     ++cap_evictions_;
   }
   direct_routes_[peer] = DirectRoute{ep, clock_.now()};
+}
+
+std::size_t Transport::direct_route_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, route] : direct_routes_) {
+    if (route.verified_at + config_.route_ttl > clock_.now()) ++n;
+  }
+  return n;
 }
 
 std::size_t Transport::relayed_registrations() const {

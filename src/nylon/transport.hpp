@@ -52,6 +52,17 @@ struct TransportConfig {
   net::Time route_ttl = 30 * net::kMinute;
   /// Minimum interval between punch probes to the same peer.
   net::Time probe_min_interval = 5 * net::kSecond;
+  /// Until the first RegisterAck from a freshly-set relay arrives,
+  /// registrations retry at this cadence (doubling up to keepalive_period)
+  /// instead of waiting out a full keepalive period — under loss the
+  /// initial register is the one packet standing between a natted node and
+  /// total unreachability. 0 disables the fast path.
+  net::Time register_retry_initial = 250 * net::kMillisecond;
+  /// Unanswered punch probes retransmit (doubling from probe_min_interval)
+  /// up to this many times before waiting for fresh traffic to re-trigger
+  /// them; a single probe/ack pair is two datagrams that both must survive
+  /// the lossy path for a hole to open.
+  int probe_max_retries = 3;
   /// After this many unanswered keepalives the relay is declared lost.
   int relay_loss_threshold = 3;
   /// Once the relay is declared lost, keepalives back off exponentially up
@@ -137,6 +148,23 @@ class Transport {
   /// True if a verified, fresh direct route to `peer` exists.
   bool can_send_direct(NodeId peer) const;
 
+  // --- Traversal stats (fed into health metrics / whisper_top). ---
+  /// True once the current relay has acked a registration (N-nodes); P-nodes
+  /// report true.
+  bool registered() const { return is_public_ || registered_; }
+  /// Sends by resolved path: a verified punched route, a directly-reachable
+  /// public address, or a relay hop (either side of it).
+  std::uint64_t sends_punched() const { return sends_punched_; }
+  std::uint64_t sends_direct() const { return sends_direct_; }
+  std::uint64_t sends_relayed() const { return sends_relayed_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t probe_retries() const { return probe_retries_; }
+  /// Punched routes dropped because the relay observed the peer at a new
+  /// external address (NAT reboot / mapping expiry on the peer's side).
+  std::uint64_t routes_invalidated() const { return routes_invalidated_; }
+  /// Verified punched routes currently fresh.
+  std::size_t direct_route_count() const;
+
   /// Best-effort send using only local state — a verified punched route or
   /// our own relay registration for the peer. Used by the WCL when a mix
   /// must reach the next hop without a contact card (the onion carries only
@@ -179,6 +207,12 @@ class Transport {
 
   void send_keepalive();
   void consider_probe(NodeId peer, Endpoint candidate);
+  void send_probe_frame(Endpoint target, std::uint32_t seq);
+  /// Retransmit pending unanswered probes with per-probe backoff; one
+  /// periodic timer owns all retries (simple lifecycle: cancelled in
+  /// shutdown, disarmed when nothing is pending).
+  void probe_sweep();
+  void arm_probe_sweep();
   void note_direct_route(NodeId peer, Endpoint ep);
   /// Track `peer`'s incarnation. Returns false when the frame is stale and
   /// must be dropped; on a bump, purges per-peer state and fires
@@ -198,6 +232,7 @@ class Transport {
   int unanswered_keepalives_ = 0;
   net::TimerId keepalive_timer_ = 0;
   std::uint64_t relays_lost_ = 0;
+  bool registered_ = false;  // acked since the current set_relay()
 
   // Verified direct routes to peers.
   struct DirectRoute {
@@ -211,9 +246,11 @@ class Transport {
     std::uint32_t seq = 0;
     Endpoint target;
     net::Time sent_at = 0;
+    int retries = 0;
   };
   DenseMap<NodeId, PendingProbe> probes_;
   std::uint32_t next_probe_seq_ = 1;
+  net::TimerId probe_sweep_timer_ = 0;
 
   // Relay-side registrations (P-nodes).
   struct Registration {
@@ -236,6 +273,12 @@ class Transport {
   std::uint64_t cap_evictions_ = 0;
   std::uint64_t peer_restarts_ = 0;
   std::uint64_t stale_incarnation_rejects_ = 0;
+  std::uint64_t sends_punched_ = 0;
+  std::uint64_t sends_direct_ = 0;
+  std::uint64_t sends_relayed_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probe_retries_ = 0;
+  std::uint64_t routes_invalidated_ = 0;
 };
 
 }  // namespace whisper::nylon

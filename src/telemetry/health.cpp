@@ -287,11 +287,12 @@ std::optional<AdminOp> decode_admin_request(BytesView data, DecodeError* error) 
     set_error(error, DecodeError::kBadValue);
     return std::nullopt;
   }
-  if (op != static_cast<std::uint8_t>(AdminOp::kStats)) {
+  if (op != static_cast<std::uint8_t>(AdminOp::kStats) &&
+      op != static_cast<std::uint8_t>(AdminOp::kNatReboot)) {
     set_error(error, DecodeError::kBadValue);
     return std::nullopt;
   }
-  return AdminOp::kStats;
+  return static_cast<AdminOp>(op);
 }
 
 }  // namespace whisper::telemetry

@@ -146,7 +146,10 @@ inline constexpr std::uint8_t kAdminMagic1 = 0x41;  // 'A'
 inline constexpr std::uint8_t kAdminVersion = 1;
 
 enum class AdminOp : std::uint8_t {
-  kStats = 1,  ///< reply: one keyframe health record
+  kStats = 1,      ///< reply: one keyframe health record
+  kNatReboot = 2,  ///< wipe the node's emulated NAT mapping table (chaos
+                   ///< supervisor event); reply: one keyframe health record
+                   ///< so the supervisor gets delivery confirmation
 };
 
 Bytes encode_admin_request(AdminOp op);

@@ -33,6 +33,13 @@ NodeConfig realtime_node_config() {
   cfg.transport.keepalive_period = net::kSecond;
   cfg.transport.registration_ttl = 5 * net::kSecond;
   cfg.transport.probe_min_interval = 200 * net::kMillisecond;
+  // Punched routes must expire on the same timescale as the emulated NAT
+  // leases the localnet shim applies (seconds, not the sim's hour-scale
+  // default): a hole whose far mapping died looks healthy until the TTL
+  // forces traffic back through the relay, where the observed-src stamp
+  // triggers re-punching.
+  cfg.transport.route_ttl = 10 * net::kSecond;
+  cfg.transport.register_retry_initial = 250 * net::kMillisecond;
 
   return cfg;
 }

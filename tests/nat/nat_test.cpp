@@ -11,7 +11,9 @@ struct NatFixture : ::testing::Test {
   sim::Simulator sim{1};
   NatConfig config{};
 
-  NatDevice make(NatType type) { return NatDevice(type, 0x64000001, config, sim); }
+  NatDevice make(NatType type) {
+    return NatDevice(type, 0x64000001, config, [this] { return sim.now(); });
+  }
 };
 
 TEST_F(NatFixture, OutboundAllocatesExternalEndpoint) {

@@ -3,8 +3,10 @@
 //
 //   whisper_localnet --nodes=10 [--timeout=60s] [--dir=DIR] [--keep-dir]
 //                    [--noded=PATH] [--seed=7] [--flight]
-//                    [--chaos=kill:0.3[,stop:1]] [--stats-interval=0.5]
-//                    [--scrape-admin] [--trace-wire]
+//                    [--chaos=kill:0.3[,stop:1][,natreboot:1]]
+//                    [--stats-interval=0.5] [--scrape-admin] [--trace-wire]
+//                    [--nat=symmetric:0.3,port_restricted:0.3]
+//                    [--impair=loss:0.05,delay:20ms~10ms] [--nat-lease=SECS]
 //
 // Forks N whisper_noded processes (one OS process per node, each with its
 // own UDP socket and epoll loop), wires them through a rendezvous
@@ -39,11 +41,32 @@
 //            seq frozen past the stall threshold) while stopped and see
 //            the records resume after SIGCONT: the liveness probe must
 //            tell a wedged process from a dead one.
+//   natreboot:F  power-cycle the emulated NAT in front of F *natted*
+//            nodes (admin kNatReboot wipes every mapping + mapping
+//            socket), erase their delivery receipts, and require each
+//            victim to re-earn its receipt through fresh mappings —
+//            re-registration, hole re-punching and relay fallback proven
+//            on a live process. Requires --nat.
 //
 // Chaos implies per-node state dirs (DIR/state.I) and --linger, so the
 // surviving mesh keeps serving while victims rejoin. Children that die
 // when the supervisor did not kill them fail the run, with the exit code
 // or signal named in the report.
+//
+// NAT adversity (DESIGN.md §16): --nat assigns each node a NAT type from a
+// mix spec ("TYPE:F,..." — F a count when >= 1, a fraction when < 1; the
+// remainder stays public; node 1, the leader/relay, is always public). Each
+// natted noded runs behind the deterministic ShimStack, so traversal runs
+// against the same mapping/filtering rules the simulator enforces — on real
+// sockets. --impair passes loss/delay/reorder/dup/rate shaping to every
+// node; --nat-lease shortens the emulated mapping lease so expiry-driven
+// route refresh happens on localnet timescales. On a convergence failure
+// the report names each missing node's NAT type and last traversal state
+// (registered? direct/punched/relayed sends, live mappings) scraped from
+// its stats records. After a NAT-mixed run the supervisor also audits the
+// rendezvous surfaces for internal-endpoint leaks: a natted node's private
+// address must never appear in any contact card — the address-level
+// unlinkability claim (zero linkable pairs) the relay architecture makes.
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -67,9 +90,13 @@
 #include <unistd.h>
 
 #include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "nat/rules.hpp"
+#include "pss/contact.hpp"
 #include "telemetry/health.hpp"
 
 namespace tel = whisper::telemetry;
+namespace nat = whisper::nat;
 
 namespace {
 
@@ -175,12 +202,14 @@ std::uint64_t splitmix64(std::uint64_t& s) {
   return z ^ (z >> 31);
 }
 
-/// --chaos=kill:0.3,stop:1 — each value is a count when >= 1, a fraction
-/// of the mesh when < 1 (mirrors the fault fabric's actor selection).
+/// --chaos=kill:0.3,stop:1,natreboot:1 — each value is a count when >= 1,
+/// a fraction of the mesh when < 1 (mirrors the fault fabric's actor
+/// selection).
 struct ChaosSpec {
   double kill = 0.0;
   double stop = 0.0;
-  bool enabled() const { return kill > 0.0 || stop > 0.0; }
+  double natreboot = 0.0;
+  bool enabled() const { return kill > 0.0 || stop > 0.0 || natreboot > 0.0; }
 
   static std::uint64_t resolve(double v, std::uint64_t nodes) {
     if (v <= 0.0) return 0;
@@ -204,12 +233,51 @@ bool parse_chaos(const std::string& spec, ChaosSpec* out) {
       out->kill = value;
     } else if (kind == "stop") {
       out->stop = value;
+    } else if (kind == "natreboot") {
+      out->natreboot = value;
     } else {
       return false;
     }
     pos = comma + 1;
   }
   return out->enabled();
+}
+
+/// --nat=symmetric:0.3,port_restricted:0.3 — one (type, amount) pair per
+/// item; amounts are counts when >= 1, fractions of the mesh when < 1.
+/// Unassigned nodes stay public. "--nat=symmetric" alone nats everyone but
+/// the leader symmetrically.
+struct NatMixItem {
+  nat::NatType type = nat::NatType::kNone;
+  double amount = 0.0;
+};
+
+bool parse_nat_mix(const std::string& spec, std::vector<NatMixItem>* out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const std::size_t colon = part.find(':');
+    NatMixItem item;
+    const std::string name = part.substr(0, colon);
+    const auto type = nat::nat_type_from_name(name);
+    if (!type || *type == nat::NatType::kNone) return false;
+    item.type = *type;
+    item.amount = colon == std::string::npos
+                      ? 1e18  // bare type: everything that can be natted
+                      : std::strtod(part.c_str() + colon + 1, nullptr);
+    if (item.amount <= 0) return false;
+    out->push_back(item);
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+double metric_or(const std::map<std::string, double>& m, const std::string& key,
+                 double fallback = 0) {
+  const auto it = m.find(key);
+  return it == m.end() ? fallback : it->second;
 }
 
 /// Liveness probe read off a node's binary stats.I health record: the
@@ -250,23 +318,28 @@ struct Child {
   bool recovered = false;
   bool hung_seen = false;     // liveness probe flagged frozen stats records
   bool resumed_seen = false;  // ...and saw them advance again after SIGCONT
+  bool natreboot_victim = false;
+  bool reboot_acked = false;     // admin kNatReboot got its keyframe reply
+  bool nat_recovered = false;    // delivery re-confirmed post NAT reboot
   /// Liveness probe state.
   unsigned long long last_seq = 0;
   double seq_changed_at = 0.0;
   std::string death_cause;    // exit/signal description of last death
 };
 
-/// One admin stats query: 4-byte request to 127.0.0.1:port, one health
-/// record back. Retries a few times with a poll() timeout — the node
-/// services its admin socket off a 50 ms timer.
-std::optional<tel::HealthSnapshot> query_admin(std::uint16_t port) {
+/// One admin query: 4-byte request to 127.0.0.1:port, one health record
+/// back (every op replies with a keyframe — for kNatReboot that reply IS
+/// the delivery confirmation). Retries a few times with a poll() timeout —
+/// the node services its admin socket off a 50 ms timer.
+std::optional<tel::HealthSnapshot> query_admin(
+    std::uint16_t port, tel::AdminOp op = tel::AdminOp::kStats) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return std::nullopt;
   sockaddr_in to{};
   to.sin_family = AF_INET;
   to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   to.sin_port = htons(port);
-  const whisper::Bytes req = tel::encode_admin_request(tel::AdminOp::kStats);
+  const whisper::Bytes req = tel::encode_admin_request(op);
   std::optional<tel::HealthSnapshot> out;
   for (int attempt = 0; attempt < 3 && !out; ++attempt) {
     if (::sendto(fd, req.data(), req.size(), 0,
@@ -302,13 +375,58 @@ int main(int argc, char** argv) {
   ChaosSpec chaos;
   const std::string chaos_arg = arg_string(argc, argv, "chaos", "");
   if (!chaos_arg.empty() && !parse_chaos(chaos_arg, &chaos)) {
-    std::fprintf(stderr, "bad --chaos spec '%s' (want kill:F[,stop:F])\n",
+    std::fprintf(stderr,
+                 "bad --chaos spec '%s' (want kill:F[,stop:F][,natreboot:F])\n",
                  chaos_arg.c_str());
     return 2;
   }
+  const std::string nat_arg = arg_string(argc, argv, "nat", "");
+  std::vector<NatMixItem> nat_mix;
+  if (!nat_arg.empty() && !parse_nat_mix(nat_arg, &nat_mix)) {
+    std::fprintf(stderr,
+                 "bad --nat spec '%s' (want TYPE:F,... with TYPE in "
+                 "full_cone/restricted_cone/port_restricted_cone/symmetric)\n",
+                 nat_arg.c_str());
+    return 2;
+  }
+  const std::string impair_arg = arg_string(argc, argv, "impair", "");
+  const std::string nat_lease_arg = arg_string(argc, argv, "nat-lease", "");
   if (nodes < 2) {
     std::fprintf(stderr, "need --nodes >= 2\n");
     return 2;
+  }
+  if (chaos.natreboot > 0 && nat_mix.empty()) {
+    std::fprintf(stderr, "--chaos=natreboot needs --nat (victims must be natted)\n");
+    return 2;
+  }
+
+  // NAT assignment: seeded shuffle of 2..N (node 1 — the leader, everyone's
+  // bootstrap relay — stays public), then deal types off the front in spec
+  // order. Deterministic per --seed, independent of the chaos draw.
+  std::vector<nat::NatType> nat_of(nodes + 1, nat::NatType::kNone);
+  if (!nat_mix.empty()) {
+    std::uint64_t prng = std::strtoull(seed.c_str(), nullptr, 10) ^ 0x4a7;
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t i = 2; i <= nodes; ++i) ids.push_back(i);
+    for (std::size_t i = ids.size(); i > 1; --i) {
+      std::swap(ids[i - 1], ids[splitmix64(prng) % i]);
+    }
+    std::size_t next = 0;
+    for (const NatMixItem& item : nat_mix) {
+      std::uint64_t n = item.amount >= 1e17
+                            ? ids.size()
+                            : ChaosSpec::resolve(item.amount, nodes);
+      for (; n > 0 && next < ids.size(); --n, ++next) {
+        nat_of[ids[next]] = item.type;
+      }
+    }
+    std::string mix_report;
+    for (std::uint64_t i = 2; i <= nodes; ++i) {
+      if (nat_of[i] == nat::NatType::kNone) continue;
+      mix_report += " " + std::to_string(i) + "=" + nat::nat_type_name(nat_of[i]);
+    }
+    std::printf("nat mix:%s (others public)\n",
+                mix_report.empty() ? " none" : mix_report.c_str());
   }
   if (::access(noded.c_str(), X_OK) != 0) {
     std::fprintf(stderr, "noded binary not executable: %s (%s)\n", noded.c_str(),
@@ -379,6 +497,11 @@ int main(int argc, char** argv) {
         args.push_back("--state-dir=" + dir + "/state." + std::to_string(i));
         args.push_back("--linger");
       }
+      if (nat_of[i] != nat::NatType::kNone) {
+        args.push_back(std::string("--nat=") + nat::nat_type_name(nat_of[i]));
+      }
+      if (!impair_arg.empty()) args.push_back("--impair=" + impair_arg);
+      if (!nat_lease_arg.empty()) args.push_back("--nat-lease=" + nat_lease_arg);
       if (flight) {
         args.push_back("--flight=" + dir + "/flight." + std::to_string(i) +
                        ".jsonl");
@@ -530,6 +653,29 @@ int main(int argc, char** argv) {
                    children[i].death_cause.empty() ? "running"
                                                    : children[i].death_cause.c_str());
       print_log_tail(dir + "/log." + std::to_string(i), 5);
+      // Traversal diagnostics off the node's last scraped stats record:
+      // a node that never registered with its relay, or that registered but
+      // punched/relayed nothing, names its failure stage directly.
+      if (accs[i].valid()) {
+        const auto& m = accs[i].metrics();
+        std::fprintf(
+            stderr,
+            "    nat=%s registered=%s sends(direct/punched/relayed)="
+            "%.0f/%.0f/%.0f probes=%.0f mappings=%.0f rx_kernel_drops=%.0f\n",
+            nat::nat_type_name(nat_of[i]),
+            metric_or(m, "nylon.registered") > 0 ? "yes" : "NO",
+            metric_or(m, "nylon.sends.direct"),
+            metric_or(m, "nylon.sends.punched"),
+            metric_or(m, "nylon.sends.relayed"),
+            metric_or(m, "nylon.probes.sent"),
+            metric_or(m, "shim.nat.active"),
+            metric_or(m, "udp.rx_kernel_drops"));
+      } else {
+        std::fprintf(stderr,
+                     "    nat=%s — no stats record ever scraped (process "
+                     "never published)\n",
+                     nat::nat_type_name(nat_of[i]));
+      }
     }
   }
 
@@ -626,6 +772,40 @@ int main(int argc, char** argv) {
       ::kill(c.pid, SIGSTOP);
       std::printf("chaos: SIGSTOP node %llu (pid %d), SIGCONT in 5 s\n",
                   (unsigned long long)v, (int)c.pid);
+    }
+
+    // NAT reboots: natted nodes only, disjoint from the kill/stop sets,
+    // taken in the same shuffled order. The admin request wipes every
+    // mapping (and closes the mapping sockets) inside the victim's shim;
+    // the receipt is unlinked after the reply so re-delivery can only
+    // happen through mappings the rebooted NAT allocated afresh.
+    const std::uint64_t natreboot_n = ChaosSpec::resolve(chaos.natreboot, nodes);
+    std::uint64_t rebooted = 0;
+    for (std::size_t k = kill_n + stop_n;
+         k < ids.size() && rebooted < natreboot_n; ++k) {
+      const std::uint64_t v = ids[k];
+      if (nat_of[v] == nat::NatType::kNone) continue;
+      Child& c = children[v];
+      const std::uint16_t port = static_cast<std::uint16_t>(
+          std::strtoul(read_file(dir + "/admin." + std::to_string(v)).c_str(),
+                       nullptr, 10));
+      c.natreboot_victim = true;
+      std::optional<tel::HealthSnapshot> snap;
+      if (port != 0) snap = query_admin(port, tel::AdminOp::kNatReboot);
+      c.reboot_acked = snap.has_value();
+      ::unlink((dir + "/delivered." + std::to_string(v)).c_str());
+      std::printf("chaos: NAT reboot node %llu (%s)%s — receipt erased, "
+                  "must re-traverse\n",
+                  (unsigned long long)v, nat::nat_type_name(nat_of[v]),
+                  c.reboot_acked ? "" : " [no admin ack]");
+      ++rebooted;
+    }
+    if (rebooted < natreboot_n) {
+      std::fprintf(stderr,
+                   "chaos FAIL: only %llu of %llu requested natreboot victims "
+                   "available (natted, not already a victim)\n",
+                   (unsigned long long)rebooted, (unsigned long long)natreboot_n);
+      failed = true;
     }
 
     // Recovery window: a fresh `timeout_s`, independent of convergence.
@@ -725,6 +905,18 @@ int main(int argc, char** argv) {
         if (c.stop_victim && (!c.hung_seen || !c.resumed_seen)) {
           all_recovered = false;
         }
+        // NAT-reboot gate: the receipt must come back, re-earned through
+        // post-reboot mappings (re-registration, then a pong traversing
+        // fresh holes or the relay).
+        if (c.natreboot_victim && !c.nat_recovered) {
+          if (file_exists(dir + "/delivered." + std::to_string(i))) {
+            c.nat_recovered = true;
+            std::printf("chaos: node %llu re-delivered after NAT reboot\n",
+                        (unsigned long long)i);
+          } else {
+            all_recovered = false;
+          }
+        }
       }
       if (all_recovered) break;
       ::usleep(100 * 1000);
@@ -753,6 +945,15 @@ int main(int argc, char** argv) {
                      "chaos FAIL: node %llu stats did not resume after "
                      "SIGCONT\n",
                      (unsigned long long)i);
+        failed = true;
+      }
+      if (c.natreboot_victim && !c.nat_recovered) {
+        std::fprintf(stderr,
+                     "chaos FAIL: node %llu (%s) never re-delivered after its "
+                     "NAT rebooted%s; log tail:\n",
+                     (unsigned long long)i, nat::nat_type_name(nat_of[i]),
+                     c.reboot_acked ? "" : " (admin reboot unacked)");
+        print_log_tail(dir + "/log." + std::to_string(i), 8);
         failed = true;
       }
     }
@@ -786,6 +987,50 @@ int main(int argc, char** argv) {
   // the timeline before the file closes.
   scrape_fleet();
   std::fclose(fleet);
+
+  // Address-level unlinkability audit (NAT runs): a natted node's internal
+  // endpoint (the shim's 10/8 synthetic address) must never reach a
+  // rendezvous surface other nodes read — its contact card must advertise
+  // its relay, not itself. One leak would let an observer link the node's
+  // group traffic to its private identity; the gate is zero such pairs.
+  if (success && !nat_mix.empty()) {
+    std::uint64_t leaks = 0, natted_cards = 0;
+    for (std::uint64_t i = 1; i <= nodes; ++i) {
+      std::ifstream in(dir + "/card." + std::to_string(i));
+      std::string hex;
+      in >> hex;
+      if (hex.empty()) continue;
+      const whisper::Bytes bytes = whisper::from_hex(hex);
+      whisper::Reader r(bytes);
+      const auto card = whisper::pss::ContactCard::deserialize(r);
+      const bool internal_leak = (card.addr.ip >> 24) == 10;
+      if (nat_of[i] != nat::NatType::kNone) {
+        ++natted_cards;
+        if (card.is_public || internal_leak) {
+          std::fprintf(stderr,
+                       "linkability FAIL: natted node %llu advertises %s "
+                       "(public=%d) in its card\n",
+                       (unsigned long long)i, card.addr.str().c_str(),
+                       card.is_public);
+          ++leaks;
+        }
+      } else if (internal_leak) {
+        std::fprintf(stderr,
+                     "linkability FAIL: node %llu leaked an internal address "
+                     "%s\n",
+                     (unsigned long long)i, card.addr.str().c_str());
+        ++leaks;
+      }
+    }
+    if (leaks > 0) {
+      success = false;
+      failed = true;
+    } else {
+      std::printf("linkability: 0 internal-endpoint leaks across %llu natted "
+                  "cards — zero linkable pairs\n",
+                  (unsigned long long)natted_cards);
+    }
+  }
 
   if (success) {
     if (chaos.enabled()) {

@@ -63,6 +63,8 @@
 
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
+#include "nat/rules.hpp"
+#include "net/shim.hpp"
 #include "store/journal.hpp"
 #include "store/state.hpp"
 #include "telemetry/export.hpp"
@@ -195,7 +197,24 @@ struct Options {
   net::Time stats_interval = net::kSecond;
   bool trace_wire = false;
   std::int64_t epoch_ns = -1;
+  nat::NatType nat = nat::NatType::kNone;
+  net::ImpairConfig impair;
+  net::Time nat_lease = 0;  // 0 = rules-engine default
 };
+
+/// The emulated NAT device's public IP: a distinct loopback address per
+/// node id (all of 127/8 is host-local), so restricted-cone IP filtering
+/// discriminates between peers instead of collapsing onto 127.0.0.1.
+std::uint32_t device_ip_for(std::uint64_t id) {
+  return 0x7F010000u + static_cast<std::uint32_t>(id & 0xFFFF);
+}
+
+/// A natted node's internal endpoint: never bound, never on the wire —
+/// traffic enters and leaves through the shim's per-mapping sockets. The
+/// 10/8 address keeps it visibly distinct from real loopback binds.
+Endpoint internal_ep_for(std::uint64_t id) {
+  return Endpoint{0x0A000000u + static_cast<std::uint32_t>(id & 0xFFFF), 40000};
+}
 
 /// Epoch history in the form Ppss::resume and the store share.
 std::vector<std::pair<std::uint64_t, crypto::RsaPublicKey>> collect_epochs(
@@ -216,6 +235,7 @@ struct Orchestrator {
   store::NodeStateStore* store = nullptr;  // null without --state-dir
   telemetry::Logger& log;
   telemetry::Registry& registry;
+  net::ShimStack* shim = nullptr;  // null without --nat/--impair
 
   ppss::Ppss* group = nullptr;
   std::optional<wcl::RemotePeer> leader_peer = std::nullopt;
@@ -243,9 +263,51 @@ struct Orchestrator {
                            [this] { backend.request_stop(); });
   }
 
+  /// Fold the traversal/shim/socket counters that live outside the registry
+  /// into it as gauges, so every export path (stats file, admin reply)
+  /// carries them. Called from snapshot() — both paths go through it.
+  void refresh_net_metrics() {
+    const auto& t = node.transport();
+    registry.gauge("udp.rx_kernel_drops")
+        .set(static_cast<double>(backend.rx_kernel_drops()));
+    registry.gauge("nylon.nat_type")
+        .set(static_cast<double>(static_cast<int>(opt.nat)));
+    registry.gauge("nylon.registered").set(t.registered() ? 1 : 0);
+    registry.gauge("nylon.sends.direct").set(static_cast<double>(t.sends_direct()));
+    registry.gauge("nylon.sends.punched").set(static_cast<double>(t.sends_punched()));
+    registry.gauge("nylon.sends.relayed").set(static_cast<double>(t.sends_relayed()));
+    registry.gauge("nylon.probes.sent").set(static_cast<double>(t.probes_sent()));
+    registry.gauge("nylon.probes.retries").set(static_cast<double>(t.probe_retries()));
+    registry.gauge("nylon.routes.direct")
+        .set(static_cast<double>(t.direct_route_count()));
+    registry.gauge("nylon.routes.invalidated")
+        .set(static_cast<double>(t.routes_invalidated()));
+    if (shim != nullptr) {
+      registry.gauge("shim.impair.dropped")
+          .set(static_cast<double>(shim->impair_dropped()));
+      registry.gauge("shim.impair.duplicated")
+          .set(static_cast<double>(shim->impair_duplicated()));
+      registry.gauge("shim.impair.delayed")
+          .set(static_cast<double>(shim->impair_delayed()));
+      registry.gauge("shim.rate.dropped")
+          .set(static_cast<double>(shim->rate_dropped()));
+      registry.gauge("shim.nat.filtered")
+          .set(static_cast<double>(shim->nat_filtered()));
+      registry.gauge("shim.nat.mappings")
+          .set(static_cast<double>(shim->nat_mappings_created()));
+      registry.gauge("shim.nat.active")
+          .set(static_cast<double>(shim->mappings_active()));
+      registry.gauge("shim.nat.expired")
+          .set(static_cast<double>(shim->nat_expired()));
+      registry.gauge("shim.nat.reboots")
+          .set(static_cast<double>(shim->nat_reboots()));
+    }
+  }
+
   /// The fixed health header: what the supervisor's hung-vs-dead probe and
   /// the fleet aggregator read from every record, keyframe or delta.
   telemetry::HealthSnapshot snapshot() {
+    refresh_net_metrics();
     telemetry::HealthSnapshot s;
     s.node = opt.id;
     s.pid = static_cast<std::uint32_t>(::getpid());
@@ -298,7 +360,14 @@ struct Orchestrator {
       if (n < 0) break;
       const auto op = telemetry::decode_admin_request(
           BytesView(buf, static_cast<std::size_t>(n)));
-      if (!op || *op != telemetry::AdminOp::kStats) continue;
+      if (!op) continue;
+      if (*op == telemetry::AdminOp::kNatReboot) {
+        // Chaos event: the emulated NAT in front of this node power-cycles.
+        // Every mapping (and its socket) dies; recovery is the protocol's
+        // job — re-register through fresh mappings, re-punch routes.
+        const std::size_t dropped = shim != nullptr ? shim->nat_reboot() : 0;
+        log.warn("nat_reboot", {{"mappings_dropped", (unsigned long long)dropped}});
+      }
       telemetry::HealthSnapshot snap = snapshot();
       snap.seq = exporter.seq();
       snap.keyframe = true;
@@ -452,11 +521,14 @@ struct Orchestrator {
   }
 
   void member_on_pong(BytesView payload) {
-    if (done) return;
     const std::string expected = "pong " + std::to_string(opt.id);
     if (to_string(payload) != expected) return;
+    // Rewrite the receipt even after the first delivery: the natreboot
+    // chaos gate unlinks delivered.I and requires the (lingering) victim to
+    // re-earn it through the rebooted NAT's fresh mappings.
     write_hex_file(path("delivered." + std::to_string(opt.id)),
                    Bytes(payload.begin(), payload.end()));
+    if (done) return;
     log.info("delivered");
     finish(0);
   }
@@ -482,13 +554,37 @@ int main(int argc, char** argv) {
     opt.epoch_ns =
         static_cast<std::int64_t>(std::strtoull(epoch_s.c_str(), nullptr, 10));
   }
+  const std::string nat_s = arg_string(argc, argv, "nat", "");
+  if (!nat_s.empty()) {
+    const auto type = nat::nat_type_from_name(nat_s);
+    if (!type) {
+      std::fprintf(stderr, "whisper_noded: unknown NAT type '%s'\n", nat_s.c_str());
+      return 2;
+    }
+    opt.nat = *type;
+  }
+  const std::string impair_s = arg_string(argc, argv, "impair", "");
+  if (!impair_s.empty()) {
+    std::string err;
+    const auto impair = net::parse_impair(impair_s, &err);
+    if (!impair) {
+      std::fprintf(stderr, "whisper_noded: %s\n", err.c_str());
+      return 2;
+    }
+    opt.impair = *impair;
+  }
+  opt.nat_lease = arg_interval_us(argc, argv, "nat-lease", 0);
   if (opt.dir.empty() || opt.id == 0 || opt.nodes < 2 || opt.id > opt.nodes) {
     std::fprintf(stderr,
                  "usage: whisper_noded --dir=DIR --id=I --nodes=N "
                  "[--timeout=60] [--seed=7] [--group=1] [--flight=out.jsonl]\n"
                  "       [--state-dir=DIR] [--linger] [--stats-interval=SECS]\n"
-                 "       [--trace-wire] [--epoch=NS]\n"
-                 "ids are 1..N; id 1 is the group leader\n");
+                 "       [--trace-wire] [--epoch=NS] [--nat=TYPE] "
+                 "[--impair=SPEC] [--nat-lease=SECS]\n"
+                 "ids are 1..N; id 1 is the group leader\n"
+                 "NAT types: public full_cone restricted_cone "
+                 "port_restricted_cone symmetric\n"
+                 "impair: loss:F,dup:F,reorder:F,delay:DUR~DUR,rate:N[km]bps\n");
     return 2;
   }
 
@@ -541,8 +637,35 @@ int main(int argc, char** argv) {
   flight.set_id_base(opt.id << 48);
   backend.set_flight(&flight);
 
+  const bool natted = opt.nat != nat::NatType::kNone;
   Endpoint ep;
-  if (restored) {
+  if (natted) {
+    // The internal endpoint is synthetic and deterministic per id: it never
+    // goes on the wire (the shim's mapping sockets do), so there is nothing
+    // to bind and nothing for a restart to re-bind.
+    ep = internal_ep_for(opt.id);
+    if (restored) {
+      store::NodeState& st = store.state();
+      st.incarnation += 1;
+      if (!store.record_incarnation(st.incarnation)) {
+        logger.error("incarnation_journal", {{"error", store.last_error()}});
+        return 1;
+      }
+      logger.info("restart_from_state",
+                  {{"incarnation", st.incarnation}, {"ep", ep.str()}});
+    } else if (storep != nullptr) {
+      store::NodeState& st = store.state();
+      st.id = NodeId{opt.id};
+      st.is_public = false;
+      st.endpoint = ep;
+      st.incarnation = 1;
+      st.identity = pooled_keypair(opt.id, realtime_node_config().rsa_bits);
+      if (!store.commit_snapshot()) {
+        logger.error("snapshot", {{"error", store.last_error()}});
+        return 1;
+      }
+    }
+  } else if (restored) {
     store::NodeState& st = store.state();
     st.incarnation += 1;
     if (!store.record_incarnation(st.incarnation)) {
@@ -590,6 +713,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // NAT/impairment interposer (DESIGN.md §16): the protocol stack talks to
+  // the shim, the shim talks to the backend. Absent --nat/--impair the shim
+  // is not even constructed — the UDP path is byte-identical to before.
+  std::unique_ptr<net::ShimStack> shim;
+  std::ofstream shim_log;
+  net::Stack* stack = &backend;
+  if (natted || opt.impair.any()) {
+    net::ShimConfig scfg;
+    scfg.seed = opt.seed ^ (opt.id * 0x9e3779b97f4a7c15ull);
+    if (opt.nat_lease > 0) scfg.nat.lease = opt.nat_lease;
+    scfg.reserve = [&backend](std::uint32_t bind_ip) {
+      return backend.reserve_endpoint_on(bind_ip);
+    };
+    shim = std::make_unique<net::ShimStack>(backend, backend, std::move(scfg));
+    net::ShimProfile profile;
+    profile.nat = opt.nat;
+    profile.device_ip = device_ip_for(opt.id);
+    profile.impair = opt.impair;
+    shim->set_profile(ep, profile);
+    shim_log.open(opt.dir + "/shim." + std::to_string(opt.id) + ".jsonl",
+                  std::ios::app);
+    if (shim_log.is_open()) {
+      shim->set_event_sink([&shim_log](const net::ShimEvent& ev) {
+        shim_log << net::shim_event_json(ev) << "\n";
+      });
+    }
+    stack = shim.get();
+    logger.info("shim", {{"nat", nat::nat_type_name(opt.nat)},
+                         {"device_ip", Endpoint{profile.device_ip, 0}.str()}});
+  }
+
   NodeConfig cfg = realtime_node_config();
   // Identity: from the store when persistent (identical keys across
   // restarts — that IS the recovery claim), from the pool otherwise.
@@ -598,7 +752,7 @@ int main(int argc, char** argv) {
   cfg.incarnation = storep != nullptr ? store.state().incarnation : 0;
 
   Rng rng(opt.seed ^ (opt.id * 0x9e3779b97f4a7c15ull));
-  WhisperNode node(backend, backend, NodeId{opt.id}, ep, /*is_public=*/true,
+  WhisperNode node(backend, *stack, NodeId{opt.id}, ep, /*is_public=*/!natted,
                    identity, cfg, rng.fork(),
                    telemetry::Sinks{&registry, &tracer, &flight});
   flight.set_node_resolver([ep, &opt](Endpoint e) {
@@ -607,6 +761,7 @@ int main(int argc, char** argv) {
 
   Orchestrator orch{opt,    backend, node, /*is_leader=*/opt.id == 1,
                     storep, logger,  registry};
+  orch.shim = shim.get();
   orch.exporter = telemetry::HealthExporter(&registry);
   orch.boot_at = backend.now();
   orch.publish_stats();

@@ -130,6 +130,28 @@ double metric_or(const std::map<std::string, double>& m, const std::string& key)
   return it == m.end() ? 0.0 : it->second;
 }
 
+/// Short NAT-type label off the nylon.nat_type gauge (nat/rules.hpp order).
+const char* nat_label(double type) {
+  switch (static_cast<int>(type)) {
+    case 1: return "fc";    // full cone
+    case 2: return "rc";    // restricted cone
+    case 3: return "prc";   // port-restricted cone
+    case 4: return "sym";   // symmetric
+    default: return "pub";
+  }
+}
+
+/// Traversal split "direct/punched/relayed" — how this node's outbound
+/// data actually reached peers (nylon path counters).
+std::string traversal_cell(const std::map<std::string, double>& m) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.0f/%.0f/%.0f",
+                metric_or(m, "nylon.sends.direct"),
+                metric_or(m, "nylon.sends.punched"),
+                metric_or(m, "nylon.sends.relayed"));
+  return buf;
+}
+
 /// Rolling per-node view state across refreshes.
 struct NodeView {
   tel::HealthAccumulator acc;
@@ -245,9 +267,10 @@ int main(int argc, char** argv) {
       std::printf("whisper_top — %s%s\n", dir.c_str(),
                   admin ? " (admin sockets)" : "");
       std::printf(
-          "%4s %5s %4s %6s %9s %8s %9s %6s %6s %8s %8s %7s  %s\n", "node",
-          "pid", "inc", "seq", "delivered", "dlvr/s", "rtt_p95ms", "quar",
-          "rstrt", "backlog", "rss_mb", "cpu_s", "state");
+          "%4s %5s %4s %6s %9s %8s %9s %4s %13s %6s %6s %8s %8s %7s  %s\n",
+          "node", "pid", "inc", "seq", "delivered", "dlvr/s", "rtt_p95ms",
+          "nat", "d/p/r", "quar", "rstrt", "backlog", "rss_mb", "cpu_s",
+          "state");
       double fleet_delivered = 0, fleet_rate = 0;
       for (auto& [id, v] : views) {
         if (!v.acc.valid()) {
@@ -273,12 +296,13 @@ int main(int argc, char** argv) {
             v.frozen_rounds >= 3
                 ? "STALE"
                 : (v.acc.synced() ? "live" : "live (resyncing)");
-        std::printf("%4llu %5u %4u %6llu %9.0f %8.1f %9.1f %6u %6u %8u "
-                    "%8.1f %7.1f  %s\n",
+        std::printf("%4llu %5u %4u %6llu %9.0f %8.1f %9.1f %4s %13s %6u %6u "
+                    "%8u %8.1f %7.1f  %s\n",
                     (unsigned long long)id, s.pid, s.incarnation,
                     (unsigned long long)s.seq, delivered, rate, rtt_p95_ms,
-                    s.quarantined, s.peer_restarts, s.wcl_backlog,
-                    static_cast<double>(s.rss_kb) / 1024.0,
+                    nat_label(metric_or(m, "nylon.nat_type")),
+                    traversal_cell(m).c_str(), s.quarantined, s.peer_restarts,
+                    s.wcl_backlog, static_cast<double>(s.rss_kb) / 1024.0,
                     static_cast<double>(s.cpu_us) / 1e6, state);
       }
       std::printf("fleet: %zu nodes, %.0f delivered, %.1f/s\n", views.size(),
